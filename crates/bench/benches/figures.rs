@@ -1,0 +1,142 @@
+//! One representative benchmark per paper figure.
+//!
+//! Each bench exercises the figure's workload generator and scenario at
+//! a single representative operating point (the full parameter sweeps
+//! live in `falcon-repro`, which regenerates the complete tables).
+//! Regressions here mean a figure's underlying machinery changed
+//! weight.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use falcon::FalconConfig;
+use falcon_bench::measure_single_flow_udp;
+use falcon_cpusim::CpuSet;
+use falcon_experiments::measure::{run_measured, Scale};
+use falcon_experiments::scenario::{Mode, Scenario, MF_APP_CORES, SF_APP_CORE};
+use falcon_netdev::{LinkSpeed, NicConfig};
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{
+    DataCaching, DataCachingConfig, TcpStreams, TcpStreamsConfig, UdpPingPong, UdpStressApp,
+    UdpStressConfig, WebServing, WebServingConfig,
+};
+
+fn bench_motivation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_motivation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    // fig2/fig10 cell: overlay UDP stress at a fixed rate.
+    g.bench_function("fig02_overlay_udp_cell", |b| {
+        b.iter(|| measure_single_flow_udp(Mode::Vanilla, 200_000.0, 16))
+    });
+    // fig4/fig5/fig11/fig19 cell: interrupt + CPU accounting run.
+    g.bench_function("fig04_irq_accounting_cell", |b| {
+        b.iter(|| measure_single_flow_udp(Mode::Host, 150_000.0, 16))
+    });
+    // fig2d/fig12a cell: ping-pong latency.
+    g.bench_function("fig12_pingpong_cell", |b| {
+        b.iter(|| {
+            let scenario =
+                Scenario::single_flow(Mode::Vanilla, KernelVersion::K419, LinkSpeed::HundredGbit);
+            let mut app = UdpPingPong::new(64);
+            app.app_cores = vec![SF_APP_CORE];
+            let mut runner = scenario.build(Box::new(app));
+            run_measured(&mut runner, Scale::Quick)
+        })
+    });
+    g.finish();
+}
+
+fn bench_falcon_mechanisms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_falcon");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    // fig10/fig11 cell: falcon pipelining under stress.
+    g.bench_function("fig10_falcon_udp_cell", |b| {
+        b.iter(|| measure_single_flow_udp(Mode::Falcon(Scenario::sf_falcon()), 300_000.0, 16))
+    });
+    // fig9a/fig13 cell: TCP with GRO splitting.
+    g.bench_function("fig13_tcp_split_cell", |b| {
+        b.iter(|| {
+            let cfg = FalconConfig::new(CpuSet::range(1, 5)).with_split_gro(true);
+            let scenario = Scenario::single_flow(
+                Mode::Falcon(cfg),
+                KernelVersion::K419,
+                LinkSpeed::HundredGbit,
+            );
+            let mut wl = TcpStreamsConfig::single(4096);
+            wl.app_cores = vec![SF_APP_CORE];
+            let mut runner = scenario.build(Box::new(TcpStreams::new(wl)));
+            run_measured(&mut runner, Scale::Quick)
+        })
+    });
+    // fig14/fig15/fig16 cell: multi-container balancing.
+    g.bench_function("fig14_multicontainer_cell", |b| {
+        b.iter(|| {
+            let scenario = Scenario::multi_flow(
+                Mode::Falcon(Scenario::mf_falcon()),
+                KernelVersion::K419,
+                LinkSpeed::HundredGbit,
+            );
+            let mut cfg = UdpStressConfig::multi_flow(6, 512);
+            cfg.pacing = Pacing::PoissonPps(120_000.0);
+            cfg.senders_per_flow = 1;
+            cfg.app_cores = MF_APP_CORES.to_vec();
+            let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+            run_measured(&mut runner, Scale::Quick)
+        })
+    });
+    g.finish();
+}
+
+fn bench_applications(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_applications");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    // fig17 cell: web serving.
+    g.bench_function("fig17_web_serving_cell", |b| {
+        b.iter(|| {
+            let scenario = Scenario::multi_flow(
+                Mode::Falcon(FalconConfig::new(CpuSet::range(1, 11))),
+                KernelVersion::K419,
+                LinkSpeed::HundredGbit,
+            )
+            .tweak(|stack| {
+                stack.n_cores = 12;
+                stack.nic = NicConfig::single_queue(1024);
+                stack.rps = Some(CpuSet::range(1, 7));
+            });
+            let (app, _stats) = WebServing::new(WebServingConfig::new(50));
+            let mut runner = scenario.build(Box::new(app));
+            runner.run_for(falcon_simcore::SimDuration::from_millis(15));
+        })
+    });
+    // fig18 cell: data caching.
+    g.bench_function("fig18_memcached_cell", |b| {
+        b.iter(|| {
+            let scenario = Scenario::multi_flow(
+                Mode::Falcon(Scenario::mf_falcon()),
+                KernelVersion::K419,
+                LinkSpeed::HundredGbit,
+            )
+            .tweak(|stack| {
+                stack.nic = NicConfig::multi_queue(4, 1024, 4);
+                stack.rps = Some(CpuSet::range(0, 6));
+            });
+            let mut dc = DataCachingConfig::open_loop(4, 10_000.0);
+            dc.app_cores = vec![8, 9, 10, 11, 12, 13];
+            let mut runner = scenario.build(Box::new(DataCaching::new(dc)));
+            run_measured(&mut runner, Scale::Quick)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_motivation,
+    bench_falcon_mechanisms,
+    bench_applications
+);
+criterion_main!(benches);

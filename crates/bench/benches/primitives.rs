@@ -1,0 +1,131 @@
+//! Micro-benchmarks of the substrate primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use falcon_khash::{
+    flow_hash_from_keys, hash_32, jhash2, toeplitz_hash, FlowKeys, MICROSOFT_RSS_KEY,
+};
+use falcon_metrics::Histogram;
+use falcon_packet::{
+    build_udp_frame, dissect_flow, vxlan_decapsulate, vxlan_encapsulate, EncapParams, Ipv4Addr4,
+    MacAddr,
+};
+use falcon_simcore::{Engine, SimDuration, SimRng};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let keys = FlowKeys::udp(0x0A00_0001, 40_001, 0x0A00_0002, 5001);
+    g.bench_function("jhash2_4words", |b| {
+        b.iter(|| jhash2(black_box(&[1u32, 2, 3, 4]), black_box(7)))
+    });
+    g.bench_function("hash_32", |b| {
+        b.iter(|| hash_32(black_box(0xDEAD_BEEF), 32))
+    });
+    g.bench_function("flow_hash_from_keys", |b| {
+        b.iter(|| flow_hash_from_keys(black_box(&keys), black_box(7)))
+    });
+    let input = falcon_khash::toeplitz::rss_input_v4(0x0A00_0001, 0x0A00_0002, 40_001, 5001);
+    g.bench_function("toeplitz_rss", |b| {
+        b.iter(|| toeplitz_hash(black_box(&MICROSOFT_RSS_KEY), black_box(&input)))
+    });
+    g.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codecs");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let keys = FlowKeys::udp(0x0A00_0001, 40_001, 0x0A00_0002, 5001);
+    let inner = build_udp_frame(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        &keys,
+        &vec![0u8; 1400],
+    );
+    let params = EncapParams {
+        src_mac: MacAddr::from_index(1),
+        dst_mac: MacAddr::from_index(2),
+        src_ip: Ipv4Addr4::new(192, 168, 0, 1),
+        dst_ip: Ipv4Addr4::new(192, 168, 0, 2),
+        src_port: 49_999,
+        vni: 256,
+    };
+    let outer = vxlan_encapsulate(&inner, &params);
+    g.throughput(Throughput::Bytes(inner.len() as u64));
+    g.bench_function("build_udp_frame_1400B", |b| {
+        b.iter(|| {
+            build_udp_frame(
+                black_box(MacAddr::from_index(1)),
+                black_box(MacAddr::from_index(2)),
+                black_box(&keys),
+                black_box(&[0u8; 1400]),
+            )
+        })
+    });
+    g.bench_function("vxlan_encapsulate_1400B", |b| {
+        b.iter(|| vxlan_encapsulate(black_box(&inner), black_box(&params)))
+    });
+    g.bench_function("vxlan_decapsulate_1400B", |b| {
+        b.iter(|| vxlan_decapsulate(black_box(&outer)).unwrap())
+    });
+    g.bench_function("dissect_flow", |b| {
+        b.iter(|| dissect_flow(black_box(&inner)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("histogram_record", |b| {
+        let mut h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(black_box(v % 1_000_000));
+        })
+    });
+    g.bench_function("histogram_p99", |b| {
+        let mut h = Histogram::new();
+        for v in 0..100_000u64 {
+            h.record(v % 50_000);
+        }
+        b.iter(|| h.percentile(black_box(99.0)))
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("rng_next_u64", |b| {
+        let mut rng = SimRng::new(7);
+        b.iter(|| rng.next_u64())
+    });
+    g.bench_function("schedule_and_run_1k_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            for i in 0..1_000u64 {
+                eng.schedule_after(SimDuration::from_nanos(i % 97), |w: &mut u64, _| {
+                    *w += 1;
+                });
+            }
+            eng.run_to_completion(&mut world);
+            black_box(world)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_codecs,
+    bench_metrics,
+    bench_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! End-to-end simulation throughput: how many simulated packets per
+//! wall-clock second the engine sustains in each network configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use falcon_bench::measure_single_flow_udp;
+use falcon_experiments::scenario::{Mode, Scenario};
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("host_udp_100kpps_window", |b| {
+        b.iter(|| measure_single_flow_udp(Mode::Host, 100_000.0, 16))
+    });
+    g.bench_function("overlay_udp_100kpps_window", |b| {
+        b.iter(|| measure_single_flow_udp(Mode::Vanilla, 100_000.0, 16))
+    });
+    g.bench_function("falcon_udp_100kpps_window", |b| {
+        b.iter(|| measure_single_flow_udp(Mode::Falcon(Scenario::sf_falcon()), 100_000.0, 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark suite.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `primitives` — hash functions, packet codecs, histograms, RNG.
+//! * `simulation` — event-engine and end-to-end simulation throughput
+//!   (simulated packets per wall-clock second) for Host / Con / Falcon.
+//! * `figures` — one representative measurement per paper figure,
+//!   exercising each figure's workload generator and scenario through
+//!   the experiment harness at quick scale.
+//!
+//! Full paper-scale sweeps are not benches; run them with
+//! `falcon-repro` (see `crates/experiments`).
+
+use falcon_experiments::measure::{run_measured, RunStats, Scale};
+use falcon_experiments::scenario::{Mode, Scenario, SF_APP_CORE};
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+/// Builds and measures a standard single-flow UDP run; the common body
+/// of several benches.
+pub fn measure_single_flow_udp(mode: Mode, rate: f64, payload: usize) -> RunStats {
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = UdpStressConfig::single_flow(payload);
+    cfg.senders_per_flow = 2;
+    cfg.pacing = Pacing::FixedPps(rate / 2.0);
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    run_measured(&mut runner, Scale::Quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helper_runs() {
+        let stats = measure_single_flow_udp(Mode::Vanilla, 50_000.0, 16);
+        assert!(stats.delivered > 100);
+    }
+}

@@ -1,0 +1,199 @@
+//! Core occupancy: who is running what, until when.
+//!
+//! A core executes one *work unit* at a time. A work unit is a short,
+//! non-preemptible batch of kernel function invocations (one packet's
+//! processing at one pipeline stage, one hardirq handler, one
+//! copy-to-user). Priorities between work classes apply at dispatch
+//! points — the moment a core picks its next unit — which mirrors how
+//! the kernel only switches contexts at interrupt/softirq boundaries.
+
+use falcon_metrics::{Context, CpuLedger, IrqStats};
+use falcon_simcore::{SimDuration, SimTime};
+
+/// Execution state of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreState {
+    /// Nothing running.
+    Idle,
+    /// Running a work unit in `ctx` until `until`.
+    Busy {
+        /// Context being charged.
+        ctx: Context,
+        /// Completion instant.
+        until: SimTime,
+    },
+}
+
+/// The machine's cores, with accounting.
+#[derive(Debug)]
+pub struct Cores {
+    state: Vec<CoreState>,
+    /// Busy-time and per-function attribution ledger.
+    pub ledger: CpuLedger,
+    /// Interrupt counters.
+    pub irqs: IrqStats,
+}
+
+impl Cores {
+    /// Creates `n` idle cores.
+    pub fn new(n: usize) -> Self {
+        Cores {
+            state: vec![CoreState::Idle; n],
+            ledger: CpuLedger::new(n),
+            irqs: IrqStats::new(n),
+        }
+    }
+
+    /// Number of cores.
+    pub fn n(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Returns the state of a core.
+    pub fn state(&self, core: usize) -> CoreState {
+        self.state[core]
+    }
+
+    /// Returns `true` if the core is idle.
+    pub fn is_idle(&self, core: usize) -> bool {
+        matches!(self.state[core], CoreState::Idle)
+    }
+
+    /// Returns the completion time of the running unit, if busy.
+    pub fn busy_until(&self, core: usize) -> Option<SimTime> {
+        match self.state[core] {
+            CoreState::Idle => None,
+            CoreState::Busy { until, .. } => Some(until),
+        }
+    }
+
+    /// Begins a work unit on an idle core, charging each `(function,
+    /// cost)` item to the ledger. Returns the completion time; the
+    /// caller schedules the completion event and must call
+    /// [`Cores::complete`] there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is already busy (the caller's dispatcher must
+    /// only start work on idle cores) or if `items` is empty.
+    pub fn begin_work(
+        &mut self,
+        core: usize,
+        ctx: Context,
+        now: SimTime,
+        items: &[(&'static str, SimDuration)],
+    ) -> SimTime {
+        assert!(self.is_idle(core), "core {core} is busy");
+        assert!(!items.is_empty(), "work unit needs at least one item");
+        let mut total = SimDuration::ZERO;
+        for &(func, cost) in items {
+            self.ledger.charge(core, ctx, func, cost);
+            total += cost;
+        }
+        let until = now + total;
+        self.state[core] = CoreState::Busy { ctx, until };
+        until
+    }
+
+    /// Marks a busy core idle at its completion time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is idle or `now` is not the recorded
+    /// completion time (which would indicate a lost or duplicated
+    /// completion event).
+    pub fn complete(&mut self, core: usize, now: SimTime) {
+        match self.state[core] {
+            CoreState::Busy { until, .. } => {
+                assert_eq!(until, now, "completion at wrong time on core {core}");
+                self.state[core] = CoreState::Idle;
+            }
+            CoreState::Idle => panic!("completion on idle core {core}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_metrics::Context;
+
+    #[test]
+    fn begin_and_complete() {
+        let mut cores = Cores::new(2);
+        assert!(cores.is_idle(0));
+        let until = cores.begin_work(
+            0,
+            Context::SoftIrq,
+            SimTime::from_nanos(100),
+            &[
+                ("ip_rcv", SimDuration::from_nanos(200)),
+                ("udp_rcv", SimDuration::from_nanos(300)),
+            ],
+        );
+        assert_eq!(until.as_nanos(), 600);
+        assert!(!cores.is_idle(0));
+        assert!(cores.is_idle(1));
+        assert_eq!(cores.busy_until(0), Some(until));
+        cores.complete(0, until);
+        assert!(cores.is_idle(0));
+        assert_eq!(cores.ledger.core(0).softirq_ns, 500);
+        assert_eq!(cores.ledger.function_total("ip_rcv"), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "is busy")]
+    fn double_begin_panics() {
+        let mut cores = Cores::new(1);
+        let items = [("f", SimDuration::from_nanos(10))];
+        cores.begin_work(0, Context::Task, SimTime::ZERO, &items);
+        cores.begin_work(0, Context::Task, SimTime::ZERO, &items);
+    }
+
+    #[test]
+    #[should_panic(expected = "completion on idle core")]
+    fn complete_idle_panics() {
+        let mut cores = Cores::new(1);
+        cores.complete(0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong time")]
+    fn complete_wrong_time_panics() {
+        let mut cores = Cores::new(1);
+        let until = cores.begin_work(
+            0,
+            Context::Task,
+            SimTime::ZERO,
+            &[("f", SimDuration::from_nanos(10))],
+        );
+        cores.complete(0, until + SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn empty_work_panics() {
+        let mut cores = Cores::new(1);
+        cores.begin_work(0, Context::Task, SimTime::ZERO, &[]);
+    }
+
+    #[test]
+    fn state_reporting() {
+        let mut cores = Cores::new(1);
+        assert_eq!(cores.state(0), CoreState::Idle);
+        assert_eq!(cores.busy_until(0), None);
+        let until = cores.begin_work(
+            0,
+            Context::HardIrq,
+            SimTime::from_nanos(5),
+            &[("pnic_interrupt", SimDuration::from_nanos(300))],
+        );
+        assert_eq!(
+            cores.state(0),
+            CoreState::Busy {
+                ctx: Context::HardIrq,
+                until
+            }
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Ordered sets of CPU ids.
+//!
+//! Used for the Falcon CPU set (`FALCON_CPUS`, the cores softirq
+//! pipelining may target), RPS masks, and the receive-core restriction
+//! in the multi-container experiments (paper §6.1 limits packet
+//! receiving to 6 cores).
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered, duplicate-free set of core ids.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct CpuSet {
+    cpus: Vec<usize>,
+}
+
+impl CpuSet {
+    /// Creates a set from a list of core ids; duplicates are dropped,
+    /// order is normalized ascending.
+    pub fn new(mut cpus: Vec<usize>) -> Self {
+        cpus.sort_unstable();
+        cpus.dedup();
+        CpuSet { cpus }
+    }
+
+    /// The set `{0, 1, ..., n-1}`.
+    pub fn first_n(n: usize) -> Self {
+        CpuSet {
+            cpus: (0..n).collect(),
+        }
+    }
+
+    /// The contiguous range `[start, end)`.
+    pub fn range(start: usize, end: usize) -> Self {
+        CpuSet {
+            cpus: (start..end).collect(),
+        }
+    }
+
+    /// Number of cores in the set.
+    pub fn len(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cpus.is_empty()
+    }
+
+    /// Returns `true` if `cpu` is a member.
+    pub fn contains(&self, cpu: usize) -> bool {
+        self.cpus.binary_search(&cpu).is_ok()
+    }
+
+    /// Returns the `i`-th core (by ascending id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn nth(&self, i: usize) -> usize {
+        self.cpus[i]
+    }
+
+    /// Maps a hash value onto a member, `set[hash % len]` — how both RPS
+    /// and Falcon turn a hash into a CPU choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set is empty.
+    pub fn pick_by_hash(&self, hash: u32) -> usize {
+        assert!(!self.cpus.is_empty(), "cannot pick from an empty CpuSet");
+        self.cpus[hash as usize % self.cpus.len()]
+    }
+
+    /// Iterates over member ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cpus.iter().copied()
+    }
+
+    /// Returns the members as a slice.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.cpus
+    }
+}
+
+impl FromIterator<usize> for CpuSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        CpuSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_normalizes() {
+        let s = CpuSet::new(vec![3, 1, 2, 1, 3]);
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn first_n_and_range() {
+        assert_eq!(CpuSet::first_n(3).as_slice(), &[0, 1, 2]);
+        assert_eq!(CpuSet::range(4, 7).as_slice(), &[4, 5, 6]);
+        assert!(CpuSet::first_n(0).is_empty());
+    }
+
+    #[test]
+    fn membership() {
+        let s = CpuSet::new(vec![0, 2, 4]);
+        assert!(s.contains(2));
+        assert!(!s.contains(3));
+        assert_eq!(s.nth(1), 2);
+    }
+
+    #[test]
+    fn pick_by_hash_is_stable_modulo() {
+        let s = CpuSet::new(vec![5, 6, 7]);
+        assert_eq!(s.pick_by_hash(0), 5);
+        assert_eq!(s.pick_by_hash(1), 6);
+        assert_eq!(s.pick_by_hash(2), 7);
+        assert_eq!(s.pick_by_hash(3), 5);
+        assert_eq!(s.pick_by_hash(u32::MAX), s.pick_by_hash(u32::MAX % 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty CpuSet")]
+    fn pick_from_empty_panics() {
+        CpuSet::default().pick_by_hash(1);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: CpuSet = [9, 3, 9].into_iter().collect();
+        assert_eq!(s.as_slice(), &[3, 9]);
+    }
+}

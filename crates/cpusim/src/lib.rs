@@ -1,0 +1,24 @@
+//! Multi-core CPU execution model.
+//!
+//! The network stack simulation charges all packet processing to
+//! simulated cores. This crate provides:
+//!
+//! * [`Cores`] — the occupancy state machine: a core is either idle or
+//!   busy until a known completion time; beginning work charges the
+//!   [`falcon_metrics::CpuLedger`] with per-function attribution.
+//! * [`LoadTracker`] — windowed per-core load (the simulation's
+//!   `/proc/stat` reader) with exponential smoothing, sampled from the
+//!   timer tick like Falcon's `do_timer` hook does (paper §5).
+//! * [`CpuSet`] — an ordered set of core ids (`FALCON_CPUS`, RPS masks).
+//!
+//! Scheduling *policy* (what a core runs next: hardirqs before softirqs
+//! before task work, NAPI budgets, backlog draining) lives in
+//! `falcon-netstack`; this crate only models the physical resource.
+
+pub mod cores;
+pub mod cpuset;
+pub mod load;
+
+pub use cores::{CoreState, Cores};
+pub use cpuset::CpuSet;
+pub use load::LoadTracker;

@@ -1,0 +1,156 @@
+//! Windowed per-core load measurement.
+//!
+//! Falcon's dynamic balancing (paper §4.3, Algorithm 1) needs two load
+//! signals: the system-wide average `L_avg` (gates Falcon on/off against
+//! `FALCON_LOAD_THRESHOLD`) and per-core load (the two-choice check
+//! `cpu.load < threshold`). The kernel prototype samples `/proc/stat`
+//! every N timer interrupts from `do_timer`; the simulation does the
+//! same — the netstack's timer tick calls [`LoadTracker::sample`] with
+//! the ledger.
+//!
+//! Loads are exponentially smoothed. The paper observes that per-packet
+//! load reading fluctuates wildly; the periodic, smoothed sample is
+//! exactly the "not timely but stable" signal the two-choice design is
+//! built around.
+
+use falcon_metrics::CpuLedger;
+use falcon_simcore::SimTime;
+
+/// Smoothing factor for the exponentially weighted moving average:
+/// `load = (1 - ALPHA) * load + ALPHA * instant`.
+const ALPHA: f64 = 0.5;
+
+/// Periodic per-core load sampler.
+#[derive(Debug, Clone)]
+pub struct LoadTracker {
+    last_busy_ns: Vec<u64>,
+    last_time: SimTime,
+    loads: Vec<f64>,
+    avg: f64,
+    samples: u64,
+}
+
+impl LoadTracker {
+    /// Creates a tracker for `n_cores` cores, with all loads at zero.
+    pub fn new(n_cores: usize) -> Self {
+        LoadTracker {
+            last_busy_ns: vec![0; n_cores],
+            last_time: SimTime::ZERO,
+            loads: vec![0.0; n_cores],
+            avg: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Takes a sample at `now` from the ledger's cumulative busy times.
+    ///
+    /// Call periodically (the timer tick). A zero-length window is
+    /// ignored.
+    pub fn sample(&mut self, now: SimTime, ledger: &CpuLedger) {
+        let window = now.saturating_since(self.last_time).as_nanos();
+        if window == 0 {
+            return;
+        }
+        let mut sum = 0.0;
+        for core in 0..self.loads.len() {
+            let busy = ledger.core(core).busy_ns();
+            let delta = busy.saturating_sub(self.last_busy_ns[core]);
+            let instant = (delta as f64 / window as f64).min(1.0);
+            self.loads[core] = (1.0 - ALPHA) * self.loads[core] + ALPHA * instant;
+            self.last_busy_ns[core] = busy;
+            sum += self.loads[core];
+        }
+        self.avg = if self.loads.is_empty() {
+            0.0
+        } else {
+            sum / self.loads.len() as f64
+        };
+        self.last_time = now;
+        self.samples += 1;
+    }
+
+    /// Smoothed load of one core, 0–1.
+    pub fn core_load(&self, core: usize) -> f64 {
+        self.loads[core]
+    }
+
+    /// Smoothed machine-wide average load, 0–1 (`L_avg` in Algorithm 1).
+    pub fn avg_load(&self) -> f64 {
+        self.avg
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// All per-core loads.
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_metrics::Context;
+    use falcon_simcore::SimDuration;
+
+    #[test]
+    fn converges_to_busy_fraction() {
+        let mut ledger = CpuLedger::new(2);
+        let mut tracker = LoadTracker::new(2);
+        // Core 0 is 60% busy in every 1 ms window; core 1 idle.
+        for tick in 1..=20u64 {
+            ledger.charge(0, Context::SoftIrq, "f", SimDuration::from_micros(600));
+            tracker.sample(SimTime::from_millis(tick), &ledger);
+        }
+        assert!(
+            (tracker.core_load(0) - 0.6).abs() < 0.01,
+            "load {}",
+            tracker.core_load(0)
+        );
+        assert!(tracker.core_load(1) < 0.01);
+        assert!((tracker.avg_load() - 0.3).abs() < 0.01);
+        assert_eq!(tracker.samples(), 20);
+    }
+
+    #[test]
+    fn smoothing_dampens_spikes() {
+        let mut ledger = CpuLedger::new(1);
+        let mut tracker = LoadTracker::new(1);
+        // Ten idle windows...
+        for tick in 1..=10u64 {
+            tracker.sample(SimTime::from_millis(tick), &ledger);
+        }
+        // ...then one fully-busy window.
+        ledger.charge(0, Context::SoftIrq, "f", SimDuration::from_millis(1));
+        tracker.sample(SimTime::from_millis(11), &ledger);
+        let after_spike = tracker.core_load(0);
+        assert!(
+            after_spike > 0.4 && after_spike < 0.6,
+            "one spike gives ~ALPHA: {after_spike}"
+        );
+    }
+
+    #[test]
+    fn zero_window_ignored() {
+        let ledger = CpuLedger::new(1);
+        let mut tracker = LoadTracker::new(1);
+        tracker.sample(SimTime::from_millis(1), &ledger);
+        let before = tracker.samples();
+        tracker.sample(SimTime::from_millis(1), &ledger);
+        assert_eq!(tracker.samples(), before);
+    }
+
+    #[test]
+    fn instant_load_clamped() {
+        let mut ledger = CpuLedger::new(1);
+        let mut tracker = LoadTracker::new(1);
+        // Charge more busy time than the window (can happen when a long
+        // unit is charged up-front at begin_work).
+        ledger.charge(0, Context::Task, "f", SimDuration::from_millis(5));
+        tracker.sample(SimTime::from_millis(1), &ledger);
+        assert!(tracker.core_load(0) <= 1.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests of the CPU substrate.
+
+use falcon_cpusim::{Cores, CpuSet, LoadTracker};
+use falcon_metrics::Context;
+use falcon_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// pick_by_hash always returns a member, and is stable.
+    #[test]
+    fn cpuset_pick_is_member(cpus in prop::collection::vec(0usize..64, 1..16), hash in any::<u32>()) {
+        let set = CpuSet::new(cpus);
+        let pick = set.pick_by_hash(hash);
+        prop_assert!(set.contains(pick));
+        prop_assert_eq!(set.pick_by_hash(hash), pick);
+    }
+
+    /// CpuSet construction is order- and duplicate-insensitive.
+    #[test]
+    fn cpuset_normalizes(mut cpus in prop::collection::vec(0usize..64, 1..32)) {
+        let a = CpuSet::new(cpus.clone());
+        cpus.reverse();
+        cpus.extend(a.iter());
+        let b = CpuSet::new(cpus);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    /// Work accounting: total busy equals the sum of charged items, and
+    /// completion times are consistent.
+    #[test]
+    fn cores_account_exactly(durations in prop::collection::vec(1u64..10_000, 1..50)) {
+        let mut cores = Cores::new(1);
+        let mut now = SimTime::ZERO;
+        let mut expected_total = 0u64;
+        for &d in &durations {
+            let until = cores.begin_work(
+                0,
+                Context::SoftIrq,
+                now,
+                &[("work", SimDuration::from_nanos(d))],
+            );
+            prop_assert_eq!(until.as_nanos(), now.as_nanos() + d);
+            cores.complete(0, until);
+            now = until;
+            expected_total += d;
+        }
+        prop_assert_eq!(cores.ledger.core(0).softirq_ns, expected_total);
+        prop_assert_eq!(cores.ledger.total_busy().as_nanos(), expected_total);
+    }
+
+    /// Loads are always within [0, 1] and the average is the mean.
+    #[test]
+    fn load_tracker_bounds(
+        busy_fracs in prop::collection::vec(0.0f64..2.0, 1..8),
+        ticks in 1u64..30,
+    ) {
+        let n = busy_fracs.len();
+        let mut ledger = falcon_metrics::CpuLedger::new(n);
+        let mut tracker = LoadTracker::new(n);
+        for t in 1..=ticks {
+            for (c, &frac) in busy_fracs.iter().enumerate() {
+                let ns = (frac * 1e6) as u64;
+                if ns > 0 {
+                    ledger.charge(c, Context::Task, "w", SimDuration::from_nanos(ns));
+                }
+            }
+            tracker.sample(SimTime::from_millis(t), &ledger);
+        }
+        let mut sum = 0.0;
+        for c in 0..n {
+            let load = tracker.core_load(c);
+            prop_assert!((0.0..=1.0).contains(&load), "load {load}");
+            sum += load;
+        }
+        prop_assert!((tracker.avg_load() - sum / n as f64).abs() < 1e-9);
+    }
+}

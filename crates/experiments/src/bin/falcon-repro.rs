@@ -1,0 +1,90 @@
+//! `falcon-repro`: regenerate the paper's figures from the simulation.
+//!
+//! ```text
+//! falcon-repro --list             # available figure ids
+//! falcon-repro all                # run everything at full scale
+//! falcon-repro --quick fig10      # quick (test-scale) run of one figure
+//! falcon-repro --json fig18       # machine-readable output
+//! ```
+
+use std::process::ExitCode;
+
+use falcon_experiments::figs;
+use falcon_experiments::measure::Scale;
+
+fn usage() {
+    eprintln!(
+        "usage: falcon-repro [--quick] [--json] [--list] <fig-id>... | all\n\
+         figure ids: {}",
+        figs::all()
+            .iter()
+            .map(|&(id, _)| id)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut json = false;
+    let mut wanted: Vec<String> = Vec::new();
+
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => scale = Scale::Quick,
+            "--json" => json = true,
+            "--list" | "-l" => {
+                for (id, _) in figs::all() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            id => wanted.push(id.to_string()),
+        }
+    }
+
+    if wanted.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let registry = figs::all();
+    let run_all = wanted.iter().any(|w| w == "all");
+    let selected: Vec<_> = registry
+        .iter()
+        .filter(|(id, _)| run_all || wanted.iter().any(|w| w == id))
+        .collect();
+
+    if !run_all {
+        for w in &wanted {
+            if !registry.iter().any(|(id, _)| id == w) {
+                eprintln!("unknown figure id: {w}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    for (id, runner) in selected {
+        eprintln!("running {id} ({:?} scale)...", scale);
+        let result = runner(scale);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&result).expect("serializable")
+            );
+        } else {
+            println!("{result}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,117 @@
+//! Ablation study: which of Falcon's design choices carries how much.
+//!
+//! Not a paper figure — this isolates the contribution of each
+//! mechanism on the standard single-flow UDP stress and the TCP 4 KB
+//! stream (DESIGN.md §5):
+//!
+//! * *full* — pipelining + two-choice + device-aware hash.
+//! * *no device hash* — `ifindex` removed from the hash input: every
+//!   stage of a flow collapses onto one core (RPS-equivalent placement),
+//!   which is exactly the paper's diagnosis of why RPS cannot
+//!   parallelize a single flow.
+//! * *no two-choice* — first choice only (Figure 16's "static").
+//! * *always-on* — the load gate removed.
+//! * *with GRO splitting* — the TCP case's extra half-stage.
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{TcpStreams, TcpStreamsConfig, UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::ratesearch::max_sustainable;
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{kpps, FigResult, Table};
+
+fn udp_plateau(mode: Mode, scale: Scale) -> f64 {
+    let build = move |rate: f64| {
+        let scenario =
+            Scenario::single_flow(mode.clone(), KernelVersion::K419, LinkSpeed::HundredGbit);
+        let mut cfg = UdpStressConfig::single_flow(16);
+        cfg.senders_per_flow = 4;
+        cfg.pacing = Pacing::FixedPps(rate / 4.0);
+        cfg.app_cores = vec![SF_APP_CORE];
+        scenario.build(Box::new(UdpStressApp::new(cfg)))
+    };
+    max_sustainable(&build, 60_000.0, scale).delivered_pps
+}
+
+fn tcp_rate(mode: Mode, scale: Scale) -> f64 {
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = TcpStreamsConfig::single(4096);
+    cfg.window = 256;
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(TcpStreams::new(cfg)));
+    run_measured(&mut runner, scale).pps()
+}
+
+fn base() -> FalconConfig {
+    FalconConfig::new(CpuSet::range(1, 5))
+}
+
+/// Contribution of each Falcon design choice.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "ablation",
+        "Ablations: each design choice's contribution (single flow)",
+    );
+
+    let variants: [(&str, Mode); 5] = [
+        ("vanilla overlay", Mode::Vanilla),
+        ("falcon (full)", Mode::Falcon(base())),
+        (
+            "no device hash",
+            Mode::Falcon(base().with_device_aware(false)),
+        ),
+        ("no two-choice", Mode::Falcon(base().with_two_choice(false))),
+        ("always-on", Mode::Falcon(base().with_always_on(true))),
+    ];
+
+    let mut u = Table::new(&["variant", "UDP 16B Kpps"]);
+    let mut udp_results = Vec::new();
+    for (name, mode) in &variants {
+        let pps = udp_plateau(mode.clone(), scale);
+        udp_results.push((name.to_string(), pps));
+        u.row(vec![name.to_string(), kpps(pps)]);
+    }
+    fig.panel("UDP stress plateau", u);
+
+    let mut t = Table::new(&["variant", "TCP 4KB Kpps"]);
+    for (name, mode) in [
+        ("falcon, no split", Mode::Falcon(base())),
+        (
+            "falcon + GRO split",
+            Mode::Falcon(base().with_split_gro(true)),
+        ),
+    ] {
+        t.row(vec![name.into(), kpps(tcp_rate(mode, scale))]);
+    }
+    fig.panel("TCP stream (window 256)", t);
+
+    let full = udp_results
+        .iter()
+        .find(|(n, _)| n == "falcon (full)")
+        .unwrap()
+        .1;
+    let no_dev = udp_results
+        .iter()
+        .find(|(n, _)| n == "no device hash")
+        .unwrap()
+        .1;
+    let vanilla = udp_results
+        .iter()
+        .find(|(n, _)| n == "vanilla overlay")
+        .unwrap()
+        .1;
+    fig.note(format!(
+        "removing the device hash loses {:.0}% of falcon's gain over vanilla",
+        (full - no_dev) / (full - vanilla).max(1.0) * 100.0
+    ));
+    fig.note(
+        "on this shared 4-core FALCON_CPUS set, GRO splitting adds a 5th pipeline \
+         stage onto 4 cores and hurts — the paper's section-4.2 caveat that splitting \
+         'should be applied with discretion'; with dedicated cores (fig13) it wins",
+    );
+    fig
+}

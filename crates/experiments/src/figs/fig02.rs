@@ -1,0 +1,134 @@
+//! Figure 2: the motivation — overlay vs native host performance.
+//!
+//! Four panels: (a) single-flow throughput at 64 KB, (b) single-flow
+//! packet rate across packet sizes, (c) multi-flow packet rate at two
+//! flow-to-core ratios, (d) round-trip latency. Expected shape: the
+//! overlay is near-native on 10G but far behind on 100G; the gap is
+//! largest for small packets; multi-flow loses more than single-flow;
+//! latency is a multiple of the host's.
+
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpPingPong, UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::ratesearch::max_sustainable;
+use crate::scenario::{Mode, Scenario, MF_APP_CORES, SF_APP_CORE};
+use crate::table::{kpps, us, FigResult, Table};
+
+/// Max sustainable single-flow rate (datagrams/s), paced across four
+/// sender threads as the ramp protocol requires.
+pub(crate) fn single_flow_plateau(
+    mode: Mode,
+    link: LinkSpeed,
+    payload: usize,
+    scale: Scale,
+) -> f64 {
+    let build = move |rate: f64| {
+        let scenario = Scenario::single_flow(mode.clone(), KernelVersion::K419, link);
+        let mut cfg = UdpStressConfig::single_flow(payload);
+        cfg.senders_per_flow = 4;
+        cfg.pacing = Pacing::FixedPps(rate / 4.0);
+        cfg.app_cores = vec![SF_APP_CORE];
+        scenario.build(Box::new(UdpStressApp::new(cfg)))
+    };
+    let start = if payload >= 16_384 { 4_000.0 } else { 60_000.0 };
+    max_sustainable(&build, start, scale).delivered_pps
+}
+
+fn throughput_gbps(mode: Mode, link: LinkSpeed, payload: usize, scale: Scale) -> f64 {
+    single_flow_plateau(mode, link, payload, scale) * payload as f64 * 8.0 / 1e9
+}
+
+fn multi_flow_plateau(mode: Mode, n_flows: usize, scale: Scale) -> f64 {
+    let build = move |rate: f64| {
+        let scenario =
+            Scenario::multi_flow(mode.clone(), KernelVersion::K419, LinkSpeed::HundredGbit);
+        let mut cfg = UdpStressConfig::multi_flow(n_flows, 4096);
+        cfg.senders_per_flow = 1;
+        cfg.pacing = Pacing::FixedPps(rate / n_flows as f64);
+        cfg.app_cores = MF_APP_CORES.to_vec();
+        scenario.build(Box::new(UdpStressApp::new(cfg)))
+    };
+    max_sustainable(&build, 50_000.0, scale).delivered_pps
+}
+
+fn ping_latency(mode: Mode, scale: Scale) -> (u64, u64) {
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut app = UdpPingPong::new(64);
+    app.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(app));
+    let stats = run_measured(&mut runner, scale);
+    (stats.rtt.mean() as u64, stats.rtt.percentile(99.0))
+}
+
+/// Runs all four panels.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig2",
+        "Container overlay vs native host network (motivation)",
+    );
+
+    // (a) Single-flow 64 KB UDP throughput.
+    let mut a = Table::new(&["link", "Host Gbps", "Con Gbps", "Con/Host"]);
+    for link in [LinkSpeed::TenGbit, LinkSpeed::HundredGbit] {
+        let host = throughput_gbps(Mode::Host, link, 65_507, scale);
+        let con = throughput_gbps(Mode::Vanilla, link, 65_507, scale);
+        a.row(vec![
+            link.label().into(),
+            format!("{host:.2}"),
+            format!("{con:.2}"),
+            format!("{:.2}", con / host),
+        ]);
+    }
+    fig.panel("(a) single-flow UDP 64KB throughput", a);
+
+    // (b) Packet rate vs packet size.
+    let sizes: &[usize] = match scale {
+        Scale::Quick => &[16, 1024, 65_507],
+        Scale::Full => &[16, 256, 1024, 4096, 16_384, 65_507],
+    };
+    let mut b = Table::new(&["size", "link", "Host Kpps", "Con Kpps", "Con/Host"]);
+    for link in [LinkSpeed::TenGbit, LinkSpeed::HundredGbit] {
+        for &size in sizes {
+            let host = single_flow_plateau(Mode::Host, link, size, scale);
+            let con = single_flow_plateau(Mode::Vanilla, link, size, scale);
+            b.row(vec![
+                size.to_string(),
+                link.label().into(),
+                kpps(host),
+                kpps(con),
+                format!("{:.2}", con / host),
+            ]);
+        }
+    }
+    fig.panel("(b) single-flow UDP packet rate vs size", b);
+
+    // (c) Multi-flow packet rate: 1:1 (6 flows on 6 rx cores) and 4:1.
+    let mut c = Table::new(&["flows:cores", "Host Kpps", "Con Kpps", "Con/Host"]);
+    for (label, flows) in [("1:1", 6usize), ("4:1", 24)] {
+        let host = multi_flow_plateau(Mode::Host, flows, scale);
+        let con = multi_flow_plateau(Mode::Vanilla, flows, scale);
+        c.row(vec![
+            label.into(),
+            kpps(host),
+            kpps(con),
+            format!("{:.2}", con / host),
+        ]);
+    }
+    fig.panel("(c) multi-flow UDP 4KB packet rate", c);
+
+    // (d) Latency.
+    let mut d = Table::new(&["mode", "RTT mean us", "RTT p99 us"]);
+    let (host_mean, host_p99) = ping_latency(Mode::Host, scale);
+    let (con_mean, con_p99) = ping_latency(Mode::Vanilla, scale);
+    d.row(vec!["Host".into(), us(host_mean), us(host_p99)]);
+    d.row(vec!["Con".into(), us(con_mean), us(con_p99)]);
+    fig.panel("(d) UDP ping-pong latency", d);
+    fig.note(format!(
+        "overlay latency hike: {:.1}x mean",
+        con_mean as f64 / host_mean.max(1) as f64
+    ));
+
+    fig
+}

@@ -1,0 +1,70 @@
+//! Figure 4: hardware and software interrupt rates, host vs overlay.
+//!
+//! Expected shape: at the same fixed packet rate, the overlay triggers
+//! ~3× the `NET_RX` softirqs (three devices, three softirqs) and many
+//! more rescheduling/backlog IPIs.
+
+use falcon_metrics::IrqKind;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{FigResult, Table};
+
+fn irq_rates(mode: Mode, scale: Scale) -> Vec<(IrqKind, f64)> {
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = UdpStressConfig::single_flow(16);
+    cfg.senders_per_flow = 2;
+    // Pacing is per sender thread: 2 x 75 kpps Poisson = 150 kpps
+    // aggregate, low enough that queues drain between packets and the
+    // per-packet softirq structure is visible (not coalesced away).
+    cfg.pacing = Pacing::PoissonPps(75_000.0);
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    let stats = run_measured(&mut runner, scale);
+    let secs = stats.window.as_secs_f64();
+    stats
+        .irqs
+        .iter()
+        .map(|&(k, n)| (k, n as f64 / secs))
+        .collect()
+}
+
+/// Compares interrupt rates at a fixed 150 kpps UDP load.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig4",
+        "Interrupt rates at fixed 150kpps UDP (host vs overlay)",
+    );
+    let host = irq_rates(Mode::Host, scale);
+    let con = irq_rates(Mode::Vanilla, scale);
+
+    let mut t = Table::new(&["interrupt", "Host /s", "Con /s", "Con/Host"]);
+    for (idx, &(kind, h)) in host.iter().enumerate() {
+        let c = con[idx].1;
+        if h == 0.0 && c == 0.0 {
+            continue;
+        }
+        t.row(vec![
+            kind.label().into(),
+            format!("{h:.0}"),
+            format!("{c:.0}"),
+            if h > 0.0 {
+                format!("{:.2}", c / h)
+            } else {
+                "inf".into()
+            },
+        ]);
+    }
+    fig.panel("", t);
+
+    let h_netrx = host.iter().find(|(k, _)| *k == IrqKind::NetRx).unwrap().1;
+    let c_netrx = con.iter().find(|(k, _)| *k == IrqKind::NetRx).unwrap().1;
+    fig.note(format!(
+        "overlay NET_RX is {:.1}x the host's (paper: ~3.6x)",
+        c_netrx / h_netrx.max(1.0)
+    ));
+    fig
+}

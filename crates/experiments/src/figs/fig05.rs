@@ -1,0 +1,89 @@
+//! Figure 5: serialization of softirqs and load imbalance.
+//!
+//! Per-core CPU utilization stacked by context for single-flow and
+//! multi-flow UDP at fixed rates. Expected shape: the overlay's softirq
+//! time piles onto a single core per flow; multi-flow tests cannot use
+//! more cores than flows, and hash collisions leave cores unevenly
+//! loaded.
+
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, RunStats, Scale};
+use crate::scenario::{Mode, Scenario, MF_APP_CORES, SF_APP_CORE};
+use crate::table::{pct, FigResult, Table};
+
+fn run_case(mode: Mode, n_flows: usize, rate: f64, scale: Scale) -> RunStats {
+    let (scenario, app_cores) = if n_flows == 1 {
+        (
+            Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit),
+            vec![SF_APP_CORE],
+        )
+    } else {
+        (
+            Scenario::multi_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit),
+            MF_APP_CORES.to_vec(),
+        )
+    };
+    let mut cfg = if n_flows == 1 {
+        UdpStressConfig::single_flow(16)
+    } else {
+        UdpStressConfig::multi_flow(n_flows, 16)
+    };
+    cfg.pacing = Pacing::FixedPps(rate / n_flows as f64);
+    cfg.senders_per_flow = 1;
+    cfg.app_cores = app_cores;
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    run_measured(&mut runner, scale)
+}
+
+fn core_table(stats: &RunStats) -> Table {
+    let mut t = Table::new(&["core", "hardirq", "softirq", "task", "busy"]);
+    for (core, share) in stats.cores.iter().enumerate() {
+        if share.busy() < 0.01 {
+            continue;
+        }
+        t.row(vec![
+            core.to_string(),
+            pct(share.hardirq),
+            pct(share.softirq),
+            pct(share.task),
+            pct(share.busy()),
+        ]);
+    }
+    t
+}
+
+/// Per-core utilization under fixed single- and multi-flow UDP loads.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig5",
+        "Softirq serialization and load imbalance (CPU% per core)",
+    );
+
+    for (label, mode) in [("Host", Mode::Host), ("Con", Mode::Vanilla)] {
+        let stats = run_case(mode.clone(), 1, 250_000.0, scale);
+        fig.panel(
+            &format!("single flow 250kpps — {label}"),
+            core_table(&stats),
+        );
+        if label == "Con" {
+            let max_softirq = stats.cores.iter().map(|c| c.softirq).fold(0.0f64, f64::max);
+            fig.note(format!(
+                "overlay stacks {:.0}% softirq on one core for a single flow",
+                max_softirq * 100.0
+            ));
+        }
+    }
+
+    for (label, mode) in [("Host", Mode::Host), ("Con", Mode::Vanilla)] {
+        let stats = run_case(mode.clone(), 5, 900_000.0, scale);
+        fig.panel(
+            &format!("five flows 900kpps total — {label}"),
+            core_table(&stats),
+        );
+    }
+    fig.note("multi-flow softirq work concentrates on at most one core per flow");
+    fig
+}

@@ -1,0 +1,99 @@
+//! Figure 6: flamegraph shares of the three poll functions, sockperf vs
+//! memcached.
+//!
+//! The paper shows that a uniform micro-benchmark spreads overlay
+//! overhead across roughly equally weighted softirqs, while a realistic
+//! mixed workload makes certain softirqs dominate. We compute the share
+//! of CPU attributed to each device's poll stage from the function
+//! ledger.
+
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{DataCaching, DataCachingConfig, UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, RunStats, Scale};
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{FigResult, Table};
+
+/// Aggregates the ledger into the paper's three poll-function groups.
+fn poll_shares(stats: &RunStats) -> [(&'static str, f64); 3] {
+    let napi_poll = stats.func_ns("skb_allocation")
+        + stats.func_ns("napi_gro_receive")
+        + stats.func_ns("netif_receive_skb")
+        + stats.func_ns("get_rps_cpu");
+    let gro_cell = stats.func_ns("gro_cell_poll")
+        + stats.func_ns("br_handle_frame")
+        + stats.func_ns("veth_xmit");
+    let backlog = stats.func_ns("process_backlog")
+        + stats.func_ns("ip_rcv")
+        + stats.func_ns("udp_rcv")
+        + stats.func_ns("tcp_v4_rcv")
+        + stats.func_ns("vxlan_rcv")
+        + stats.func_ns("ip_defrag");
+    let total = (napi_poll + gro_cell + backlog).max(1) as f64;
+    [
+        ("mlx5e_napi_poll", napi_poll as f64 / total),
+        ("gro_cell_poll", gro_cell as f64 / total),
+        ("process_backlog", backlog as f64 / total),
+    ]
+}
+
+/// Shares of the three softirq poll stages under two workloads.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig6",
+        "Poll-function CPU shares: sockperf (uniform) vs memcached (mixed)",
+    );
+
+    // sockperf: uniform 16-byte UDP.
+    let scenario =
+        Scenario::single_flow(Mode::Vanilla, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = UdpStressConfig::single_flow(16);
+    cfg.senders_per_flow = 2;
+    // Pacing is per sender thread: 2 x 125 kpps = 250 kpps aggregate.
+    cfg.pacing = Pacing::FixedPps(125_000.0);
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    let sockperf = run_measured(&mut runner, scale);
+
+    // memcached: a real mix — tiny GETs and multi-kilobyte SETs whose
+    // datagrams fragment, dragging extra reassembly work into the
+    // backlog stage.
+    let scenario = Scenario::multi_flow(Mode::Vanilla, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut dc = DataCachingConfig::open_loop(4, 10_000.0);
+    dc.object_size = 2_800;
+    dc.get_ratio = 0.7;
+    dc.tcp_fraction = 0.8;
+    dc.app_cores = vec![8, 9, 10, 11, 12, 13];
+    let mut runner = scenario.build(Box::new(DataCaching::new(dc)));
+    let memcached = run_measured(&mut runner, scale);
+
+    let mut t = Table::new(&["poll stage", "sockperf", "memcached"]);
+    let s_shares = poll_shares(&sockperf);
+    let m_shares = poll_shares(&memcached);
+    for i in 0..3 {
+        t.row(vec![
+            s_shares[i].0.into(),
+            format!("{:.1}%", s_shares[i].1 * 100.0),
+            format!("{:.1}%", m_shares[i].1 * 100.0),
+        ]);
+    }
+    fig.panel("", t);
+
+    let s_spread = s_shares.iter().map(|s| s.1).fold(0.0f64, f64::max)
+        / s_shares
+            .iter()
+            .map(|s| s.1)
+            .fold(1.0f64, f64::min)
+            .max(1e-9);
+    let m_spread = m_shares.iter().map(|s| s.1).fold(0.0f64, f64::max)
+        / m_shares
+            .iter()
+            .map(|s| s.1)
+            .fold(1.0f64, f64::min)
+            .max(1e-9);
+    fig.note(format!(
+        "stage-weight spread (max/min): sockperf {s_spread:.1}, memcached {m_spread:.1}"
+    ));
+    fig
+}

@@ -1,0 +1,52 @@
+//! Figure 9a: a single device saturates a core under TCP 4 KB.
+//!
+//! With Falcon pipelining but *without* GRO splitting, the first stage
+//! (physical NIC driver poll) pegs its core, and within that stage
+//! `skb_allocation` and `napi_gro_receive` each contribute roughly half
+//! — the condition that motivates softirq splitting.
+
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::KernelVersion;
+use falcon_workloads::{TcpStreams, TcpStreamsConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{pct, FigResult, Table};
+
+/// First-stage saturation under TCP 4 KB with splitting off.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig9a",
+        "TCP 4KB: the pNIC stage saturates one core; skb_alloc and GRO split it ~evenly",
+    );
+    let scenario = Scenario::single_flow(
+        Mode::Falcon(Scenario::sf_falcon()),
+        KernelVersion::K419,
+        LinkSpeed::HundredGbit,
+    );
+    let mut cfg = TcpStreamsConfig::single(4096);
+    cfg.app_cores = vec![SF_APP_CORE];
+    cfg.window = 256;
+    let mut runner = scenario.build(Box::new(TcpStreams::new(cfg)));
+    let stats = run_measured(&mut runner, scale);
+
+    // Core 0 runs the hardirq + driver poll (stage A).
+    let mut t = Table::new(&["metric", "value"]);
+    let core0 = &stats.cores[0];
+    t.row(vec!["stage-A core busy".into(), pct(core0.busy())]);
+    let alloc = stats.func_ns("skb_allocation") as f64;
+    let gro = stats.func_ns("napi_gro_receive") as f64;
+    let window_ns = stats.window.as_nanos() as f64;
+    t.row(vec!["skb_allocation CPU".into(), pct(alloc / window_ns)]);
+    t.row(vec!["napi_gro_receive CPU".into(), pct(gro / window_ns)]);
+    t.row(vec![
+        "alloc : gro ratio".into(),
+        format!("{:.2}", alloc / gro.max(1.0)),
+    ]);
+    fig.panel("", t);
+    fig.note(format!(
+        "stage-A core at {:.0}% — the bottleneck GRO-splitting removes",
+        core0.busy() * 100.0
+    ));
+    fig
+}

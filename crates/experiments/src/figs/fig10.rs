@@ -1,0 +1,92 @@
+//! Figure 10: single-flow UDP stress packet rates — Host vs Con vs
+//! Falcon across kernels, links and packet sizes.
+//!
+//! Expected shape: Falcon recovers most of the overlay's loss; on 10G
+//! it is near-native, on 100G it reaches a large fraction of the host
+//! rate (the paper reports up to 87 %), with the residual gap at small
+//! packets (user-space receive becomes the bottleneck).
+
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+use crate::measure::Scale;
+use crate::ratesearch::max_sustainable;
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{kpps, FigResult, Table};
+
+fn rate(mode: Mode, kernel: KernelVersion, link: LinkSpeed, payload: usize, scale: Scale) -> f64 {
+    let build = move |offered: f64| {
+        let scenario = Scenario::single_flow(mode.clone(), kernel, link);
+        let mut cfg = UdpStressConfig::single_flow(payload);
+        cfg.senders_per_flow = 4;
+        cfg.pacing = Pacing::FixedPps(offered / 4.0);
+        cfg.app_cores = vec![SF_APP_CORE];
+        scenario.build(Box::new(UdpStressApp::new(cfg)))
+    };
+    let start = if payload >= 16_384 { 4_000.0 } else { 60_000.0 };
+    max_sustainable(&build, start, scale).delivered_pps
+}
+
+/// UDP stress packet rates for every (kernel, link, size) cell.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig10",
+        "Single-flow UDP stress packet rates (Host / Con / Falcon)",
+    );
+    let (kernels, links, sizes): (&[KernelVersion], &[LinkSpeed], &[usize]) = match scale {
+        Scale::Quick => (
+            &[KernelVersion::K419],
+            &[LinkSpeed::HundredGbit],
+            &[16, 1024, 65_507],
+        ),
+        Scale::Full => (
+            &[KernelVersion::K419, KernelVersion::K54],
+            &[LinkSpeed::TenGbit, LinkSpeed::HundredGbit],
+            &[16, 512, 1024, 4096, 16_384, 65_507],
+        ),
+    };
+
+    let mut best_recovery: f64 = 0.0;
+    for &kernel in kernels {
+        for &link in links {
+            let mut t = Table::new(&[
+                "size",
+                "Host Kpps",
+                "Con Kpps",
+                "Falcon Kpps",
+                "Con/Host",
+                "Falcon/Host",
+            ]);
+            for &size in sizes {
+                let host = rate(Mode::Host, kernel, link, size, scale);
+                let con = rate(Mode::Vanilla, kernel, link, size, scale);
+                let fal = rate(
+                    Mode::Falcon(Scenario::sf_falcon()),
+                    kernel,
+                    link,
+                    size,
+                    scale,
+                );
+                best_recovery = best_recovery.max(fal / host.max(1.0));
+                t.row(vec![
+                    size.to_string(),
+                    kpps(host),
+                    kpps(con),
+                    kpps(fal),
+                    format!("{:.2}", con / host.max(1.0)),
+                    format!("{:.2}", fal / host.max(1.0)),
+                ]);
+            }
+            t_rows_note(&mut fig, kernel, link, t);
+        }
+    }
+    fig.note(format!(
+        "best Falcon/Host ratio: {best_recovery:.2} (paper: up to 0.87 on 100G)"
+    ));
+    fig
+}
+
+fn t_rows_note(fig: &mut FigResult, kernel: KernelVersion, link: LinkSpeed, t: Table) {
+    fig.panel(&format!("kernel {} / {}", kernel.label(), link.label()), t);
+}

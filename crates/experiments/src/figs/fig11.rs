@@ -1,0 +1,58 @@
+//! Figure 11: per-core CPU breakdown for a 16 B single-flow UDP stress.
+//!
+//! Expected shape: vanilla Linux uses at most three cores (hardirq +
+//! first softirq; the serialized remaining softirqs; the application),
+//! with the middle core overloaded. Falcon adds two more softirq cores
+//! and shifts the bottleneck to user-space receive.
+
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+use crate::figs::fig02::single_flow_plateau;
+use crate::measure::{run_measured, Scale};
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{pct, FigResult, Table};
+
+fn breakdown(mode: Mode, scale: Scale) -> Table {
+    // Drive each configuration at 95% of its own sustainable rate, the
+    // stress test's operating point.
+    let plateau = single_flow_plateau(mode.clone(), LinkSpeed::HundredGbit, 16, scale);
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = UdpStressConfig::single_flow(16);
+    cfg.senders_per_flow = 4;
+    cfg.pacing = Pacing::FixedPps(plateau * 0.95 / 4.0);
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    let stats = run_measured(&mut runner, scale);
+    let mut t = Table::new(&["core", "hardirq", "softirq", "task", "busy"]);
+    for (core, share) in stats.cores.iter().enumerate() {
+        if share.busy() < 0.02 {
+            continue;
+        }
+        t.row(vec![
+            core.to_string(),
+            pct(share.hardirq),
+            pct(share.softirq),
+            pct(share.task),
+            pct(share.busy()),
+        ]);
+    }
+    t
+}
+
+/// Per-core context breakdown for the three configurations.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig11",
+        "CPU utilization of a single 16B UDP flow (per core, by context)",
+    );
+    fig.panel("Host", breakdown(Mode::Host, scale));
+    fig.panel("Con", breakdown(Mode::Vanilla, scale));
+    fig.panel(
+        "Falcon",
+        breakdown(Mode::Falcon(Scenario::sf_falcon()), scale),
+    );
+    fig.note("Falcon spreads the overlay's serialized softirqs over the FALCON_CPUS set");
+    fig
+}

@@ -1,0 +1,122 @@
+//! Figure 12: per-packet latency, underloaded and overloaded.
+//!
+//! Four panels: (a) UDP 16 B underloaded, (b) TCP 4 KB underloaded
+//! (with GRO splitting), (c) UDP 16 B overloaded, (d) TCP overloaded.
+//! Expected shape: modest gains when underloaded (most pronounced at
+//! the tail), dramatic gains when overloaded (queueing on the
+//! serialized core dominates vanilla latency).
+
+use falcon::FalconConfig;
+use falcon_metrics::Histogram;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{TcpStreams, TcpStreamsConfig, UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{us, FigResult, Table};
+
+fn latency_row(label: &str, h: &Histogram) -> Vec<String> {
+    vec![
+        label.into(),
+        us(h.mean() as u64),
+        us(h.percentile(90.0)),
+        us(h.percentile(99.0)),
+        us(h.percentile(99.9)),
+    ]
+}
+
+fn udp_latency(mode: Mode, rate: f64, scale: Scale) -> Histogram {
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = UdpStressConfig::single_flow(16);
+    cfg.senders_per_flow = 2;
+    // Pacing is per sender thread: split the aggregate rate.
+    cfg.pacing = Pacing::PoissonPps(rate / 2.0);
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    run_measured(&mut runner, scale).latency
+}
+
+fn tcp_latency(mode: Mode, window: u32, scale: Scale) -> Histogram {
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = TcpStreamsConfig::single(4096);
+    cfg.window = window;
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(TcpStreams::new(cfg)));
+    // Deep windows queue segments at the *sender*; the figure plots the
+    // receive-path (kernel) latency, NIC arrival → delivery.
+    run_measured(&mut runner, scale).rx_latency
+}
+
+fn falcon_plain() -> Mode {
+    Mode::Falcon(Scenario::sf_falcon())
+}
+
+fn falcon_split() -> Mode {
+    Mode::Falcon(FalconConfig::new(falcon_cpusim_range()).with_split_gro(true))
+}
+
+fn falcon_cpusim_range() -> falcon_cpusim::CpuSet {
+    falcon_cpusim::CpuSet::range(1, 5)
+}
+
+/// One-way latency percentiles across load regimes.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig12",
+        "Per-packet one-way latency (mean / p90 / p99 / p99.9, microseconds)",
+    );
+    let headers = ["mode", "mean", "p90", "p99", "p99.9"];
+
+    // (a) UDP underloaded: 100 kpps, far below the overlay's capacity.
+    let mut a = Table::new(&headers);
+    a.row(latency_row(
+        "Host",
+        &udp_latency(Mode::Host, 100_000.0, scale),
+    ));
+    a.row(latency_row(
+        "Con",
+        &udp_latency(Mode::Vanilla, 100_000.0, scale),
+    ));
+    a.row(latency_row(
+        "Falcon",
+        &udp_latency(falcon_plain(), 100_000.0, scale),
+    ));
+    fig.panel("(a) UDP 16B underloaded (100kpps)", a);
+
+    // (b) TCP 4KB underloaded: small window keeps the pipe unsaturated.
+    let mut b = Table::new(&headers);
+    b.row(latency_row("Host", &tcp_latency(Mode::Host, 8, scale)));
+    b.row(latency_row("Con", &tcp_latency(Mode::Vanilla, 8, scale)));
+    b.row(latency_row(
+        "Falcon+split",
+        &tcp_latency(falcon_split(), 8, scale),
+    ));
+    fig.panel("(b) TCP 4KB underloaded (window 8)", b);
+
+    // (c) UDP overloaded: drive near the vanilla overlay's saturation.
+    let mut c = Table::new(&headers);
+    let rate = 420_000.0;
+    let con_over = udp_latency(Mode::Vanilla, rate, scale);
+    let fal_over = udp_latency(falcon_plain(), rate, scale);
+    c.row(latency_row("Host", &udp_latency(Mode::Host, rate, scale)));
+    c.row(latency_row("Con", &con_over));
+    c.row(latency_row("Falcon", &fal_over));
+    fig.panel("(c) UDP 16B overloaded (420kpps)", c);
+    fig.note(format!(
+        "overloaded UDP p99: Falcon {:.0}us vs Con {:.0}us",
+        fal_over.percentile(99.0) as f64 / 1e3,
+        con_over.percentile(99.0) as f64 / 1e3
+    ));
+
+    // (d) TCP overloaded: large window saturates the pipeline.
+    let mut d = Table::new(&headers);
+    d.row(latency_row("Host", &tcp_latency(Mode::Host, 256, scale)));
+    d.row(latency_row("Con", &tcp_latency(Mode::Vanilla, 256, scale)));
+    d.row(latency_row(
+        "Falcon+split",
+        &tcp_latency(falcon_split(), 256, scale),
+    ));
+    fig.panel("(d) TCP 4KB overloaded (window 256)", d);
+    fig
+}

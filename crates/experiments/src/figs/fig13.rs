@@ -1,0 +1,125 @@
+//! Figure 13: multi-flow packet rates, including Host+ (GRO-split host).
+//!
+//! 1–5 flows of UDP 16 B and TCP 4 KB on dedicated falcon CPUs.
+//! Expected shape: Falcon consistently above the vanilla overlay; for
+//! TCP, GRO splitting helps even the *host* network (Host+), and Falcon
+//! can beat plain Host.
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::KernelVersion;
+use falcon_workloads::{TcpStreams, TcpStreamsConfig, UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::scenario::{Mode, Scenario, MF_APP_CORES};
+use crate::table::{kpps, FigResult, Table};
+
+fn mf_falcon() -> FalconConfig {
+    // "We used dedicated cores in FALCON_CPUS. This ensures that Falcon
+    // always has access to idle cores for flow parallelization" (§6.1):
+    // cores 4-7 serve only pipelined stages; RPS stays on 0-3.
+    FalconConfig::new(CpuSet::range(4, 8))
+}
+
+fn dedicated(scenario: Scenario) -> Scenario {
+    scenario.tweak(|stack| {
+        stack.rps = Some(falcon_cpusim::CpuSet::range(0, 4));
+    })
+}
+
+fn udp_rate(mode: Mode, flows: usize, scale: Scale) -> f64 {
+    use crate::ratesearch::max_sustainable;
+    use falcon_netstack::Pacing;
+    let build = move |rate: f64| {
+        let scenario = dedicated(Scenario::multi_flow(
+            mode.clone(),
+            KernelVersion::K419,
+            LinkSpeed::HundredGbit,
+        ));
+        let mut cfg = UdpStressConfig::multi_flow(flows, 16);
+        cfg.senders_per_flow = 2;
+        cfg.pacing = Pacing::FixedPps(rate / (2 * flows) as f64);
+        cfg.app_cores = MF_APP_CORES.to_vec();
+        scenario.build(Box::new(UdpStressApp::new(cfg)))
+    };
+    max_sustainable(&build, 60_000.0 * flows as f64, scale).delivered_pps
+}
+
+fn tcp_rate(mode: Mode, flows: usize, scale: Scale) -> f64 {
+    let scenario = dedicated(Scenario::multi_flow(
+        mode,
+        KernelVersion::K419,
+        LinkSpeed::HundredGbit,
+    ));
+    let mut cfg = TcpStreamsConfig::single(4096);
+    cfg.n_flows = flows;
+    // Deep windows drive each flow to its pipeline's capacity (the
+    // stress regime where the pNIC stage saturates and GRO splitting
+    // pays off).
+    cfg.window = 384;
+    cfg.app_cores = MF_APP_CORES.to_vec();
+    let mut runner = scenario.build(Box::new(TcpStreams::new(cfg)));
+    // Packet rate: TCP counters count segments.
+    run_measured(&mut runner, scale).pps()
+}
+
+/// Multi-flow UDP and TCP packet rates across 1–5 flows.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig13",
+        "Multi-flow packet rates: Host / Con / Falcon (+ Host+ for TCP)",
+    );
+    let flow_counts: &[usize] = match scale {
+        Scale::Quick => &[1, 3],
+        Scale::Full => &[1, 2, 3, 4, 5],
+    };
+
+    let mut u = Table::new(&[
+        "flows",
+        "Host Kpps",
+        "Con Kpps",
+        "Falcon Kpps",
+        "Falcon/Con",
+    ]);
+    for &flows in flow_counts {
+        let host = udp_rate(Mode::Host, flows, scale);
+        let con = udp_rate(Mode::Vanilla, flows, scale);
+        let fal = udp_rate(Mode::Falcon(mf_falcon()), flows, scale);
+        u.row(vec![
+            flows.to_string(),
+            kpps(host),
+            kpps(con),
+            kpps(fal),
+            format!("{:.2}", fal / con.max(1.0)),
+        ]);
+    }
+    fig.panel("UDP 16B", u);
+
+    let mut t = Table::new(&[
+        "flows",
+        "Host Kpps",
+        "Host+ Kpps",
+        "Con Kpps",
+        "Falcon Kpps",
+        "Falcon/Host",
+    ]);
+    let falcon_tcp = mf_falcon().with_split_gro(true);
+    for &flows in flow_counts {
+        let host = tcp_rate(Mode::Host, flows, scale);
+        let hostp = tcp_rate(Mode::HostPlus(falcon_tcp.clone()), flows, scale);
+        let con = tcp_rate(Mode::Vanilla, flows, scale);
+        let fal = tcp_rate(Mode::Falcon(falcon_tcp.clone()), flows, scale);
+        t.row(vec![
+            flows.to_string(),
+            kpps(host),
+            kpps(hostp),
+            kpps(con),
+            kpps(fal),
+            format!("{:.2}", fal / host.max(1.0)),
+        ]);
+    }
+    fig.panel("TCP 4KB (GRO splitting on for Host+ and Falcon)", t);
+    fig.note("GRO splitting lifts even the host network (Host+); Falcon can exceed Host");
+    fig
+}

@@ -1,0 +1,101 @@
+//! Figure 14: multi-container throughput in busy systems.
+//!
+//! 6 → 40 containers, each with one paced UDP flow, receive processing
+//! restricted to six cores (the `FALCON_CPUS`). Expected shape: Falcon
+//! gains while idle cycles exist, the gain diminishes as utilization
+//! climbs, and it never loses once the system is saturated (the load
+//! gate turns it off).
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::scenario::{Mode, Scenario, MF_APP_CORES};
+use crate::table::{kpps, pct, FigResult, Table};
+
+fn run_once(mode: Mode, containers: usize, seed: u64, scale: Scale) -> (f64, f64) {
+    let scenario =
+        Scenario::multi_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit).with_seed(seed);
+    let mut cfg = UdpStressConfig::multi_flow(containers, 512);
+    // Rate per container chosen so six containers load the six rx
+    // cores to ~70%: six flows at 170kpps ≈ 1Mpps aggregate.
+    cfg.pacing = Pacing::PoissonPps(170_000.0);
+    cfg.senders_per_flow = 1;
+    cfg.app_cores = MF_APP_CORES.to_vec();
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    let stats = run_measured(&mut runner, scale);
+    // Mean utilization of the six receive cores.
+    let rx_util: f64 = stats.cores[..6].iter().map(|c| c.busy()).sum::<f64>() / 6.0;
+    (stats.pps(), rx_util)
+}
+
+/// Averages several seeds per cell (hash placements vary run to run,
+/// as the paper's error bars do).
+fn run_case(mode: Mode, containers: usize, scale: Scale) -> (f64, f64) {
+    let seeds: &[u64] = match scale {
+        Scale::Quick => &[1],
+        Scale::Full => &[1, 2, 3],
+    };
+    let mut pps = 0.0;
+    let mut util = 0.0;
+    for &seed in seeds {
+        let (p, u) = run_once(mode.clone(), containers, seed, scale);
+        pps += p;
+        util += u;
+    }
+    (pps / seeds.len() as f64, util / seeds.len() as f64)
+}
+
+/// Throughput and receive-core utilization, 6 → 40 containers.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig14",
+        "Multi-container throughput in busy systems (6 rx cores)",
+    );
+    let container_counts: &[usize] = match scale {
+        Scale::Quick => &[6, 20],
+        Scale::Full => &[6, 10, 20, 30, 40],
+    };
+
+    let mut t = Table::new(&[
+        "containers",
+        "Con Kpps",
+        "Falcon Kpps",
+        "gain",
+        "Con rx-util",
+        "Falcon rx-util",
+    ]);
+    let mut gains = Vec::new();
+    for &n in container_counts {
+        let (con, con_util) = run_case(Mode::Vanilla, n, scale);
+        let (fal, fal_util) = run_case(
+            Mode::Falcon(FalconConfig::new(CpuSet::range(0, 6))),
+            n,
+            scale,
+        );
+        let gain = fal / con.max(1.0) - 1.0;
+        gains.push((n, gain));
+        t.row(vec![
+            n.to_string(),
+            kpps(con),
+            kpps(fal),
+            format!("{:+.1}%", gain * 100.0),
+            pct(con_util),
+            pct(fal_util),
+        ]);
+    }
+    fig.panel("", t);
+    if let (Some(first), Some(last)) = (gains.first(), gains.last()) {
+        fig.note(format!(
+            "gain at {} containers: {:+.1}%; at {} containers: {:+.1}% (diminishes, never large loss)",
+            first.0,
+            first.1 * 100.0,
+            last.0,
+            last.1 * 100.0
+        ));
+    }
+    fig
+}

@@ -1,0 +1,68 @@
+//! Figure 15: `FALCON_LOAD_THRESHOLD` sensitivity.
+//!
+//! Expected shape: always-on hurts when the system is highly loaded;
+//! low thresholds (≤ 0.7) miss parallelization opportunities; 0.8–0.9
+//! is the sweet spot.
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, Scale};
+use crate::scenario::{Mode, Scenario, MF_APP_CORES};
+use crate::table::{kpps, FigResult, Table};
+
+fn run_case(threshold: Option<f64>, containers: usize, rate: f64, scale: Scale) -> f64 {
+    let cfg = match threshold {
+        Some(t) => FalconConfig::new(CpuSet::range(0, 6)).with_threshold(t),
+        None => FalconConfig::new(CpuSet::range(0, 6)).with_always_on(true),
+    };
+    let scenario = Scenario::multi_flow(
+        Mode::Falcon(cfg),
+        KernelVersion::K419,
+        LinkSpeed::HundredGbit,
+    );
+    let mut wl = UdpStressConfig::multi_flow(containers, 512);
+    wl.pacing = Pacing::PoissonPps(rate);
+    wl.senders_per_flow = 1;
+    wl.app_cores = MF_APP_CORES.to_vec();
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(wl)));
+    run_measured(&mut runner, scale).pps()
+}
+
+/// Delivered rate across thresholds under moderate and heavy load.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig15",
+        "FALCON_LOAD_THRESHOLD sensitivity (delivered Kpps)",
+    );
+    let thresholds: &[(&str, Option<f64>)] = &[
+        ("0.5", Some(0.5)),
+        ("0.7", Some(0.7)),
+        ("0.85", Some(0.85)),
+        ("0.9", Some(0.9)),
+        ("always-on", None),
+    ];
+
+    for (label, containers, rate) in [
+        ("moderate load (8 containers)", 8usize, 150_000.0),
+        // Past the saturation knee: every receive core is pegged and
+        // there are no idle cycles for pipelining to exploit.
+        ("heavy load (40 containers)", 40, 170_000.0),
+    ] {
+        let mut t = Table::new(&["threshold", "Kpps"]);
+        let mut best: (String, f64) = (String::new(), 0.0);
+        for &(name, th) in thresholds {
+            let pps = run_case(th, containers, rate, scale);
+            if pps > best.1 {
+                best = (name.to_string(), pps);
+            }
+            t.row(vec![name.into(), kpps(pps)]);
+        }
+        fig.panel(label, t);
+        fig.note(format!("{label}: best threshold {}", best.0));
+    }
+    fig
+}

@@ -1,0 +1,94 @@
+//! Figure 17: CloudSuite web serving.
+//!
+//! 200 users against an Elgg-style op mix; web workers and the RPS mask
+//! share six cores, idle cores exist that only Falcon can exploit.
+//! Expected shape: Falcon improves per-operation success rates and cuts
+//! response and delay times by multiples.
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, StackConfig};
+use falcon_workloads::webserving::ELGG_OPS;
+use falcon_workloads::{WebServing, WebServingConfig, WebStats};
+
+use crate::measure::Scale;
+use crate::scenario::{Mode, Scenario};
+use crate::table::{FigResult, Table};
+
+fn tweak_stack(stack: &mut StackConfig) {
+    // Web workers and RPS share cores 1-6 (set in the workload config);
+    // the machine has idle cores 7-10.
+    stack.rps = Some(CpuSet::range(1, 7));
+}
+
+fn run_case(falcon_on: bool, scale: Scale) -> (WebStats, f64) {
+    let mode = if falcon_on {
+        Mode::Falcon(FalconConfig::new(CpuSet::range(1, 11)))
+    } else {
+        Mode::Vanilla
+    };
+    let mut scenario = Scenario::multi_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    scenario.stack = StackConfig::new(falcon_netstack::NetMode::Overlay, KernelVersion::K419, 12);
+    tweak_stack(&mut scenario.stack);
+    let (app, stats) = WebServing::new(WebServingConfig::new(200));
+    let mut runner = scenario.build(Box::new(app));
+    let dur = match scale {
+        Scale::Quick => falcon_simcore::SimDuration::from_millis(40),
+        Scale::Full => falcon_simcore::SimDuration::from_millis(150),
+    };
+    runner.run_for(dur);
+    (stats, dur.as_secs_f64())
+}
+
+/// Per-operation success rate, response time, and delay time.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig17",
+        "Web serving (Elgg op mix, 200 users): success rate, response and delay times",
+    );
+    let (vanilla, secs) = run_case(false, scale);
+    let (falcon, _) = run_case(true, scale);
+
+    let v = vanilla.borrow();
+    let f = falcon.borrow();
+    let mut t = Table::new(&[
+        "operation",
+        "Con ops/s",
+        "Falcon ops/s",
+        "Con resp us",
+        "Falcon resp us",
+        "Con delay us",
+        "Falcon delay us",
+    ]);
+    let mut total_gain: f64 = 0.0;
+    let mut rows = 0u32;
+    for op in &ELGG_OPS {
+        let (Some(vs), Some(fs)) = (v.get(op.name), f.get(op.name)) else {
+            continue;
+        };
+        let v_rate = vs.successes as f64 / secs;
+        let f_rate = fs.successes as f64 / secs;
+        if vs.completed > 0 && fs.completed > 0 {
+            total_gain += f_rate / v_rate.max(1.0);
+            rows += 1;
+        }
+        t.row(vec![
+            op.name.into(),
+            format!("{v_rate:.0}"),
+            format!("{f_rate:.0}"),
+            format!("{:.0}", vs.avg_response_us()),
+            format!("{:.0}", fs.avg_response_us()),
+            format!("{:.0}", vs.avg_delay_us()),
+            format!("{:.0}", fs.avg_delay_us()),
+        ]);
+    }
+    fig.panel("", t);
+    if rows > 0 {
+        fig.note(format!(
+            "mean success-rate gain across ops: {:.1}x (paper: up to 4x for BrowsetoElgg)",
+            total_gain / rows as f64
+        ));
+    }
+    fig
+}

@@ -1,0 +1,81 @@
+//! Figure 18: data caching (memcached) latency.
+//!
+//! 1 vs 10 client threads at a fixed per-connection request rate.
+//! Expected shape: with one client both configurations are comparable
+//! (slight Falcon tail advantage); with ten clients the vanilla
+//! overlay's hash-hot cores queue and Falcon cuts average and p99
+//! latency by half or more.
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_netdev::{LinkSpeed, NicConfig};
+use falcon_netstack::KernelVersion;
+use falcon_workloads::{DataCaching, DataCachingConfig};
+
+use crate::measure::{run_measured, RunStats, Scale};
+use crate::scenario::{Mode, Scenario};
+use crate::table::{us, FigResult, Table};
+
+fn run_case(falcon_on: bool, threads: usize, scale: Scale) -> RunStats {
+    // Vanilla gets all six receive cores as its RPS mask; Falcon keeps
+    // RPS on the four IRQ cores and dedicates cores 4-7 to pipelined
+    // stages ("we used dedicated cores in FALCON_CPUS", §6.1) — the
+    // stage demand then cannot stack onto the already-loaded IRQ cores.
+    let mode = if falcon_on {
+        Mode::Falcon(FalconConfig::new(CpuSet::range(4, 8)))
+    } else {
+        Mode::Vanilla
+    };
+    let scenario =
+        Scenario::multi_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit).tweak(|stack| {
+            stack.nic = NicConfig::multi_queue(4, 1024, 4);
+            stack.rps = Some(if falcon_on {
+                CpuSet::range(0, 4)
+            } else {
+                CpuSet::range(0, 6)
+            });
+        });
+    let mut dc = DataCachingConfig::open_loop(threads, 13_500.0);
+    dc.app_cores = vec![8, 9, 10, 11, 12, 13];
+    let mut runner = scenario.build(Box::new(DataCaching::new(dc)));
+    run_measured(&mut runner, scale)
+}
+
+/// Average and p99 request latency for 1 and 10 client threads.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new(
+        "fig18",
+        "Data caching (memcached, 550B objects): request latency",
+    );
+    let mut t = Table::new(&[
+        "clients",
+        "Con avg us",
+        "Falcon avg us",
+        "Con p99 us",
+        "Falcon p99 us",
+        "p99 reduction",
+    ]);
+    for threads in [1usize, 10] {
+        let con = run_case(false, threads, scale);
+        let fal = run_case(true, threads, scale);
+        let c99 = con.rtt.percentile(99.0);
+        let f99 = fal.rtt.percentile(99.0);
+        t.row(vec![
+            threads.to_string(),
+            us(con.rtt.mean() as u64),
+            us(fal.rtt.mean() as u64),
+            us(c99),
+            us(f99),
+            format!("{:.0}%", (1.0 - f99 as f64 / c99.max(1) as f64) * 100.0),
+        ]);
+        if threads == 10 {
+            fig.note(format!(
+                "10 clients: Falcon reduces avg by {:.0}%, p99 by {:.0}% (paper: 51% and 53%)",
+                (1.0 - fal.rtt.mean() / con.rtt.mean().max(1.0)) * 100.0,
+                (1.0 - f99 as f64 / c99.max(1) as f64) * 100.0
+            ));
+        }
+    }
+    fig.panel("", t);
+    fig
+}

@@ -1,0 +1,76 @@
+//! Figure 19: Falcon's overhead.
+//!
+//! Total CPU usage at fixed packet rates for host / vanilla overlay /
+//! Falcon, plus softirq counts. Expected shape: Falcon costs about the
+//! same CPU as the vanilla overlay at low rates and ≤ ~10 % more at
+//! high rates, while raising substantially more (smaller) softirqs.
+
+use falcon_metrics::IrqKind;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+use crate::measure::{run_measured, RunStats, Scale};
+use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+use crate::table::{FigResult, Table};
+
+fn run_case(mode: Mode, rate: f64, scale: Scale) -> RunStats {
+    let scenario = Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit);
+    let mut cfg = UdpStressConfig::single_flow(16);
+    cfg.senders_per_flow = 2;
+    // Pacing is per sender thread: split the aggregate rate.
+    cfg.pacing = Pacing::FixedPps(rate / 2.0);
+    cfg.app_cores = vec![SF_APP_CORE];
+    let mut runner = scenario.build(Box::new(UdpStressApp::new(cfg)));
+    run_measured(&mut runner, scale)
+}
+
+/// CPU usage and softirq counts across fixed packet rates.
+pub fn run(scale: Scale) -> FigResult {
+    let mut fig = FigResult::new("fig19", "Falcon overhead: CPU at fixed packet rates");
+    // Rates stay below the vanilla overlay's single-flow capacity
+    // (~360 kpps here) so all three configurations face the same
+    // delivered load — the paper's fig19 likewise uses "a less loaded
+    // case (400 Kpps)" on its faster testbed.
+    let rates: &[f64] = match scale {
+        Scale::Quick => &[100_000.0, 300_000.0],
+        Scale::Full => &[100_000.0, 200_000.0, 300_000.0, 340_000.0],
+    };
+
+    let mut a = Table::new(&[
+        "rate Kpps",
+        "Host cores",
+        "Con cores",
+        "Falcon cores",
+        "Falcon/Con",
+    ]);
+    let mut b = Table::new(&["rate Kpps", "Con NET_RX/s", "Falcon NET_RX/s", "increase"]);
+    for &rate in rates {
+        let host = run_case(Mode::Host, rate, scale);
+        let con = run_case(Mode::Vanilla, rate, scale);
+        let fal = run_case(Mode::Falcon(Scenario::sf_falcon()), rate, scale);
+        a.row(vec![
+            format!("{:.0}", rate / 1e3),
+            format!("{:.2}", host.total_busy_cores()),
+            format!("{:.2}", con.total_busy_cores()),
+            format!("{:.2}", fal.total_busy_cores()),
+            format!(
+                "{:.2}",
+                fal.total_busy_cores() / con.total_busy_cores().max(1e-9)
+            ),
+        ]);
+        let secs = con.window.as_secs_f64();
+        let con_rx = con.irq(IrqKind::NetRx) as f64 / secs;
+        let fal_rx = fal.irq(IrqKind::NetRx) as f64 / secs;
+        b.row(vec![
+            format!("{:.0}", rate / 1e3),
+            format!("{con_rx:.0}"),
+            format!("{fal_rx:.0}"),
+            format!("{:+.1}%", (fal_rx / con_rx.max(1.0) - 1.0) * 100.0),
+        ]);
+    }
+    fig.panel("(a) total CPU (core-equivalents busy)", a);
+    fig.panel("(b) NET_RX softirq rate", b);
+    fig.note("Falcon triggers more, smaller softirqs at bounded extra CPU (paper: +44.6% softirqs, <=10% CPU)");
+    fig
+}

@@ -1,0 +1,64 @@
+//! One module per figure of the paper's evaluation.
+//!
+//! Each `run(scale)` regenerates the figure's data as text tables. The
+//! registry in [`all`] drives the `falcon-repro` CLI.
+
+pub mod ablation;
+pub mod fig02;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+
+use crate::measure::Scale;
+use crate::table::FigResult;
+
+/// A figure-reproduction entry point.
+pub type FigRunner = fn(Scale) -> FigResult;
+
+/// The figure registry: `(id, runner)`.
+pub fn all() -> Vec<(&'static str, FigRunner)> {
+    vec![
+        ("fig2", fig02::run as FigRunner),
+        ("fig4", fig04::run),
+        ("fig5", fig05::run),
+        ("fig6", fig06::run),
+        ("fig9a", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+        ("fig18", fig18::run),
+        ("fig19", fig19::run),
+        ("ablation", ablation::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let ids: Vec<&str> = all().iter().map(|&(id, _)| id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+        assert_eq!(ids.len(), 16);
+    }
+}

@@ -1,0 +1,264 @@
+//! The measurement protocol.
+//!
+//! Every experiment follows the same shape: build the runner, run a
+//! *warmup* window (queues fill, loads stabilize, the load tracker
+//! converges), snapshot all counters, run the *measurement* window,
+//! and report deltas. [`RunStats`] carries everything the figures
+//! need.
+
+use falcon_metrics::{Histogram, IrqKind};
+use falcon_netstack::sim::SimRunner;
+use falcon_netstack::SimCounters;
+use falcon_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Experiment scale: `Quick` for tests/benches, `Full` for the real
+/// reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Short windows, reduced parameter sweeps.
+    Quick,
+    /// Paper-scale windows and sweeps.
+    Full,
+}
+
+impl Scale {
+    /// Warmup window.
+    pub fn warmup(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_millis(5),
+            Scale::Full => SimDuration::from_millis(30),
+        }
+    }
+
+    /// Measurement window.
+    pub fn window(self) -> SimDuration {
+        match self {
+            Scale::Quick => SimDuration::from_millis(15),
+            Scale::Full => SimDuration::from_millis(100),
+        }
+    }
+}
+
+/// Per-core usage shares over the measured window, 0–1.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreShare {
+    /// Hardirq share.
+    pub hardirq: f64,
+    /// Softirq share.
+    pub softirq: f64,
+    /// Task share.
+    pub task: f64,
+}
+
+impl CoreShare {
+    /// Total busy share.
+    pub fn busy(&self) -> f64 {
+        self.hardirq + self.softirq + self.task
+    }
+}
+
+/// Results of one measured window.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Window length.
+    pub window: SimDuration,
+    /// Messages delivered to applications during the window.
+    pub delivered: u64,
+    /// Payload bytes delivered during the window.
+    pub delivered_bytes: u64,
+    /// Messages sent during the window.
+    pub sent: u64,
+    /// Drops (ring + backlog + gro_cell) during the window.
+    pub drops: u64,
+    /// One-way latency histogram (samples recorded during the window).
+    pub latency: Histogram,
+    /// Receive-path latency (NIC arrival → delivery).
+    pub rx_latency: Histogram,
+    /// Round-trip histogram for request/response workloads.
+    pub rtt: Histogram,
+    /// Per-core context shares.
+    pub cores: Vec<CoreShare>,
+    /// Interrupt deltas by kind.
+    pub irqs: Vec<(IrqKind, u64)>,
+    /// Per-function CPU nanoseconds during the window.
+    pub functions: Vec<(&'static str, u64)>,
+    /// Steering decisions that crossed cores.
+    pub steered_remote: u64,
+    /// TCP retransmissions.
+    pub retransmits: u64,
+}
+
+impl RunStats {
+    /// Delivered messages per second.
+    pub fn pps(&self) -> f64 {
+        self.delivered as f64 / self.window.as_secs_f64()
+    }
+
+    /// Delivered payload bits per second.
+    pub fn bps(&self) -> f64 {
+        self.delivered_bytes as f64 * 8.0 / self.window.as_secs_f64()
+    }
+
+    /// Delivered payload in Gbit/s.
+    pub fn gbps(&self) -> f64 {
+        self.bps() / 1e9
+    }
+
+    /// Total machine busy share (sum of per-core busy, in core-units).
+    pub fn total_busy_cores(&self) -> f64 {
+        self.cores.iter().map(|c| c.busy()).sum()
+    }
+
+    /// An interrupt kind's delta.
+    pub fn irq(&self, kind: IrqKind) -> u64 {
+        self.irqs
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// A function's CPU nanoseconds.
+    pub fn func_ns(&self, name: &str) -> u64 {
+        self.functions
+            .iter()
+            .find(|(f, _)| *f == name)
+            .map_or(0, |&(_, ns)| ns)
+    }
+}
+
+struct Snapshot {
+    counters: SimCounters,
+    busy: Vec<[u64; 3]>,
+    irqs: Vec<(IrqKind, u64)>,
+    functions: Vec<(usize, &'static str, u64)>,
+}
+
+fn snapshot(runner: &SimRunner) -> Snapshot {
+    let m = runner.machine();
+    Snapshot {
+        counters: runner.counters().clone(),
+        busy: (0..m.cfg.n_cores)
+            .map(|c| {
+                let u = m.cores.ledger.core(c);
+                [u.hardirq_ns, u.softirq_ns, u.task_ns]
+            })
+            .collect(),
+        irqs: IrqKind::ALL
+            .iter()
+            .map(|&k| (k, m.cores.irqs.total(k)))
+            .collect(),
+        functions: m.cores.ledger.iter_attribution().collect(),
+    }
+}
+
+/// Runs the standard protocol on `runner` and returns the stats of the
+/// measured window.
+pub fn run_measured(runner: &mut SimRunner, scale: Scale) -> RunStats {
+    runner.run_for(scale.warmup());
+    runner.begin_measurement();
+    let before = snapshot(runner);
+    let window = scale.window();
+    runner.run_for(window);
+    let after = snapshot(runner);
+
+    let d = |f: fn(&SimCounters) -> u64| f(&after.counters) - f(&before.counters);
+    let window_ns = window.as_nanos() as f64;
+
+    let cores = before
+        .busy
+        .iter()
+        .zip(after.busy.iter())
+        .map(|(b, a)| CoreShare {
+            hardirq: (a[0] - b[0]) as f64 / window_ns,
+            softirq: (a[1] - b[1]) as f64 / window_ns,
+            task: (a[2] - b[2]) as f64 / window_ns,
+        })
+        .collect();
+
+    let irqs = before
+        .irqs
+        .iter()
+        .zip(after.irqs.iter())
+        .map(|(&(k, b), &(_, a))| (k, a - b))
+        .collect();
+
+    // Function deltas: aggregate after minus before across cores.
+    let mut func_before: std::collections::HashMap<&'static str, u64> =
+        std::collections::HashMap::new();
+    for (_, f, ns) in &before.functions {
+        *func_before.entry(f).or_insert(0) += ns;
+    }
+    let mut func_delta: std::collections::HashMap<&'static str, u64> =
+        std::collections::HashMap::new();
+    for (_, f, ns) in &after.functions {
+        *func_delta.entry(f).or_insert(0) += ns;
+    }
+    for (f, ns) in func_before {
+        if let Some(v) = func_delta.get_mut(f) {
+            *v -= ns;
+        }
+    }
+    let mut functions: Vec<(&'static str, u64)> = func_delta.into_iter().collect();
+    functions.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+
+    // The latency/rtt histograms accumulate from begin_measurement()
+    // (they cannot be diffed bucket-wise without cloning; we rely on
+    // measure_from gating instead).
+    RunStats {
+        window,
+        delivered: d(SimCounters::total_delivered),
+        delivered_bytes: d(SimCounters::total_delivered_bytes),
+        sent: d(SimCounters::total_sent),
+        drops: d(SimCounters::total_drops),
+        latency: after.counters.latency.clone(),
+        rx_latency: after.counters.rx_latency.clone(),
+        rtt: after.counters.rtt.clone(),
+        cores,
+        irqs,
+        functions,
+        steered_remote: after.counters.steered_remote - before.counters.steered_remote,
+        retransmits: after.counters.retransmits - before.counters.retransmits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+    use falcon_netdev::LinkSpeed;
+    use falcon_netstack::sim::{App, SimApi};
+    use falcon_netstack::{KernelVersion, Pacing};
+
+    struct MiniUdp;
+    impl App for MiniUdp {
+        fn on_start(&mut self, api: &mut SimApi<'_>) {
+            let c = api.add_container(0, 10);
+            api.bind_udp(Some(c), 5001, SF_APP_CORE, 300);
+            let flow = api.udp_flow(Some(c), 5001, 16);
+            api.udp_stress(flow, 1, Pacing::FixedPps(50_000.0));
+        }
+    }
+
+    #[test]
+    fn measured_window_reports_rates() {
+        let scenario =
+            Scenario::single_flow(Mode::Vanilla, KernelVersion::K419, LinkSpeed::HundredGbit);
+        let mut runner = scenario.build(Box::new(MiniUdp));
+        let stats = run_measured(&mut runner, Scale::Quick);
+        // 50 kpps paced: the measured window should see ~50k/s.
+        let pps = stats.pps();
+        assert!((40_000.0..60_000.0).contains(&pps), "pps {pps}");
+        assert!(stats.latency.count() > 100);
+        assert!(stats.total_busy_cores() > 0.05);
+        assert!(stats.irq(falcon_metrics::IrqKind::NetRx) > 0);
+        assert!(stats.func_ns("vxlan_rcv") > 0);
+        assert_eq!(stats.drops, 0);
+    }
+
+    #[test]
+    fn scale_windows() {
+        assert!(Scale::Quick.window() < Scale::Full.window());
+        assert!(Scale::Quick.warmup() < Scale::Full.warmup());
+    }
+}

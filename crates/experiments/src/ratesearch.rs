@@ -1,0 +1,109 @@
+//! Maximum-sustainable-rate search.
+//!
+//! The paper's throughput protocol: "we kept increasing the sending
+//! rate until received packet rate plateaued and packet drop occurred"
+//! (§2.2). Blasting at line rate is *not* equivalent — under extreme
+//! overload the overlay's re-entrant backlog (inner packets share the
+//! per-CPU `input_pkt_queue` with outer arrivals) compounds tail drops
+//! and reassembly failures, collapsing goodput. [`max_sustainable`]
+//! reproduces the ramp: probe increasing offered rates, track delivered
+//! rate, stop when it stops improving, and report the plateau.
+
+use falcon_netstack::sim::SimRunner;
+
+use crate::measure::{run_measured, Scale};
+
+/// Result of a rate search.
+#[derive(Debug, Clone, Copy)]
+pub struct RatePoint {
+    /// Offered rate at the best probe (datagrams or messages /s).
+    pub offered_pps: f64,
+    /// Delivered rate at the best probe.
+    pub delivered_pps: f64,
+}
+
+/// Probes geometrically increasing offered rates, returning the best
+/// delivered rate observed (the plateau).
+///
+/// `build` constructs a fresh runner for an aggregate offered rate.
+/// The ramp starts at `start_pps` and multiplies by 1.35 per step; it
+/// stops when the delivered rate has not improved by more than 2 % for
+/// two consecutive probes, or after `max_probes`.
+pub fn max_sustainable(
+    build: &dyn Fn(f64) -> SimRunner,
+    start_pps: f64,
+    scale: Scale,
+) -> RatePoint {
+    let max_probes = match scale {
+        Scale::Quick => 12,
+        Scale::Full => 18,
+    };
+    let mut best = RatePoint {
+        offered_pps: 0.0,
+        delivered_pps: 0.0,
+    };
+    let mut rate = start_pps;
+    let mut stale = 0;
+    for _ in 0..max_probes {
+        let mut runner = build(rate);
+        let stats = run_measured(&mut runner, scale);
+        let delivered = stats.pps();
+        if delivered > best.delivered_pps * 1.02 {
+            best = RatePoint {
+                offered_pps: rate,
+                delivered_pps: delivered,
+            };
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale >= 2 {
+                break;
+            }
+        }
+        rate *= 1.35;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Mode, Scenario, SF_APP_CORE};
+    use falcon_netdev::LinkSpeed;
+    use falcon_netstack::{KernelVersion, Pacing};
+    use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+    fn build_udp(mode: Mode) -> impl Fn(f64) -> SimRunner {
+        move |rate: f64| {
+            let scenario =
+                Scenario::single_flow(mode.clone(), KernelVersion::K419, LinkSpeed::HundredGbit);
+            let mut cfg = UdpStressConfig::single_flow(16);
+            cfg.senders_per_flow = 4;
+            cfg.pacing = Pacing::FixedPps(rate / 4.0);
+            cfg.app_cores = vec![SF_APP_CORE];
+            scenario.build(Box::new(UdpStressApp::new(cfg)))
+        }
+    }
+
+    #[test]
+    fn finds_a_plateau_between_modes() {
+        let host = max_sustainable(&build_udp(Mode::Host), 100_000.0, Scale::Quick);
+        let con = max_sustainable(&build_udp(Mode::Vanilla), 100_000.0, Scale::Quick);
+        assert!(
+            host.delivered_pps > 500_000.0,
+            "host plateau {}",
+            host.delivered_pps
+        );
+        assert!(
+            con.delivered_pps > 100_000.0,
+            "overlay plateau {}",
+            con.delivered_pps
+        );
+        assert!(
+            con.delivered_pps < host.delivered_pps * 0.7,
+            "overlay {} should be well under host {}",
+            con.delivered_pps,
+            host.delivered_pps
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Canonical experiment topologies.
+//!
+//! Every figure compares some subset of three network configurations on
+//! the same machine shape:
+//!
+//! * **Host** — native host networking;
+//! * **Con** — vanilla Docker-style VXLAN overlay;
+//! * **Falcon** — the overlay with Falcon's steering enabled.
+//!
+//! Two machine shapes cover the paper's tests:
+//!
+//! * the *single-flow* shape (`Scenario::single_flow`): 8 cores, a
+//!   single-queue NIC with its IRQ on core 0, RPS on cores 1–4, the
+//!   application thread on core 5 — the layout the paper's Figure 11
+//!   CPU breakdown shows;
+//! * the *multi-flow* shape (`Scenario::multi_flow`): 14 cores, a
+//!   4-queue NIC on cores 0–3, RPS (and `FALCON_CPUS`) on cores 0–5,
+//!   application threads on cores 8–13.
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_netdev::{LinkSpeed, NicConfig};
+use falcon_netstack::sim::{App, SimRunner};
+use falcon_netstack::{KernelVersion, NetMode, SimConfig, StackConfig, StayLocal, Steering};
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's three configurations to run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Mode {
+    /// Native host network.
+    Host,
+    /// Vanilla overlay ("Con").
+    Vanilla,
+    /// Falcon overlay with the given configuration.
+    Falcon(FalconConfig),
+    /// Host network with GRO splitting ("Host+", Figure 13).
+    HostPlus(FalconConfig),
+}
+
+impl Mode {
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Host => "Host",
+            Mode::Vanilla => "Con",
+            Mode::Falcon(_) => "Falcon",
+            Mode::HostPlus(_) => "Host+",
+        }
+    }
+}
+
+/// A fully specified experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Configuration label triple member.
+    pub mode: Mode,
+    /// Stack configuration (before the mode's adjustments).
+    pub stack: StackConfig,
+    /// Link speed.
+    pub link: LinkSpeed,
+    /// Random seed.
+    pub seed: u64,
+}
+
+/// The single-flow shape's application core.
+pub const SF_APP_CORE: usize = 5;
+/// The multi-flow shape's application cores.
+pub const MF_APP_CORES: [usize; 6] = [8, 9, 10, 11, 12, 13];
+
+impl Scenario {
+    /// The single-flow topology.
+    pub fn single_flow(mode: Mode, kernel: KernelVersion, link: LinkSpeed) -> Self {
+        let net = match mode {
+            Mode::Host | Mode::HostPlus(_) => NetMode::Host,
+            Mode::Vanilla | Mode::Falcon(_) => NetMode::Overlay,
+        };
+        let mut stack = StackConfig::new(net, kernel, 8);
+        stack.nic = NicConfig::single_queue(1024);
+        stack.rps = Some(CpuSet::range(1, 5));
+        Scenario {
+            mode,
+            stack,
+            link,
+            seed: 0x5EED_F00D,
+        }
+    }
+
+    /// The multi-flow topology.
+    pub fn multi_flow(mode: Mode, kernel: KernelVersion, link: LinkSpeed) -> Self {
+        let net = match mode {
+            Mode::Host | Mode::HostPlus(_) => NetMode::Host,
+            Mode::Vanilla | Mode::Falcon(_) => NetMode::Overlay,
+        };
+        let mut stack = StackConfig::new(net, kernel, 14);
+        stack.nic = NicConfig::multi_queue(4, 1024, 4);
+        stack.rps = Some(CpuSet::range(0, 6));
+        Scenario {
+            mode,
+            stack,
+            link,
+            seed: 0x5EED_F00D,
+        }
+    }
+
+    /// The default Falcon configuration for the single-flow shape.
+    pub fn sf_falcon() -> FalconConfig {
+        FalconConfig::new(CpuSet::range(1, 5))
+    }
+
+    /// The default Falcon configuration for the multi-flow shape.
+    pub fn mf_falcon() -> FalconConfig {
+        FalconConfig::new(CpuSet::range(0, 6))
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Applies a stack tweak.
+    pub fn tweak(mut self, f: impl FnOnce(&mut StackConfig)) -> Self {
+        f(&mut self.stack);
+        self
+    }
+
+    /// Builds the runner with the given application.
+    pub fn build(&self, app: Box<dyn App>) -> SimRunner {
+        let mut stack = self.stack.clone();
+        let steering: Box<dyn Steering> = match &self.mode {
+            Mode::Host | Mode::Vanilla => Box::new(StayLocal),
+            Mode::Falcon(cfg) | Mode::HostPlus(cfg) => {
+                falcon::enable_falcon(&mut stack, cfg.clone())
+            }
+        };
+        let mut cfg = SimConfig::new(stack);
+        cfg.link = self.link;
+        cfg.seed = self.seed;
+        SimRunner::new(cfg, steering, app)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_netstack::sim::{App as AppTrait, SimApi};
+
+    struct Noop;
+    impl AppTrait for Noop {
+        fn on_start(&mut self, _api: &mut SimApi<'_>) {}
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mode::Host.label(), "Host");
+        assert_eq!(Mode::Vanilla.label(), "Con");
+        assert_eq!(Mode::Falcon(Scenario::sf_falcon()).label(), "Falcon");
+        assert_eq!(Mode::HostPlus(Scenario::sf_falcon()).label(), "Host+");
+    }
+
+    #[test]
+    fn single_flow_shape() {
+        let s = Scenario::single_flow(Mode::Vanilla, KernelVersion::K419, LinkSpeed::HundredGbit);
+        assert_eq!(s.stack.n_cores, 8);
+        assert_eq!(s.stack.mode, NetMode::Overlay);
+        assert_eq!(s.stack.nic.n_queues, 1);
+        let h = Scenario::single_flow(Mode::Host, KernelVersion::K419, LinkSpeed::TenGbit);
+        assert_eq!(h.stack.mode, NetMode::Host);
+    }
+
+    #[test]
+    fn multi_flow_shape() {
+        let s = Scenario::multi_flow(
+            Mode::Falcon(Scenario::mf_falcon()),
+            KernelVersion::K54,
+            LinkSpeed::HundredGbit,
+        );
+        assert_eq!(s.stack.n_cores, 14);
+        assert_eq!(s.stack.nic.n_queues, 4);
+    }
+
+    #[test]
+    fn build_applies_falcon_split() {
+        let cfg = Scenario::sf_falcon().with_split_gro(true);
+        let s = Scenario::single_flow(
+            Mode::Falcon(cfg),
+            KernelVersion::K419,
+            LinkSpeed::HundredGbit,
+        );
+        let runner = s.build(Box::new(Noop));
+        assert!(runner.sim.inner.cfg.server.split_gro);
+        let v = Scenario::single_flow(Mode::Vanilla, KernelVersion::K419, LinkSpeed::HundredGbit)
+            .build(Box::new(Noop));
+        assert!(!v.sim.inner.cfg.server.split_gro);
+    }
+}

@@ -1,0 +1,186 @@
+//! Plain-text result tables.
+
+use serde::{Deserialize, Serialize};
+
+/// A column-aligned text table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Looks up a cell by row predicate and column name.
+    pub fn cell(&self, row_match: impl Fn(&[String]) -> bool, col: &str) -> Option<&str> {
+        let col_idx = self.headers.iter().position(|h| h == col)?;
+        self.rows
+            .iter()
+            .find(|r| row_match(r))
+            .map(|r| r[col_idx].as_str())
+    }
+}
+
+impl core::fmt::Display for Table {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:<w$}  ", h, w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, _) in self.headers.iter().enumerate() {
+            write!(f, "{}  ", "-".repeat(widths[i]))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, "{:<w$}  ", cell, w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The output of one figure reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigResult {
+    /// Figure id (`fig10`, `fig2a`, ...).
+    pub id: String,
+    /// What the figure shows.
+    pub title: String,
+    /// One or more result tables (some figures have panels).
+    pub tables: Vec<(String, Table)>,
+    /// Free-form observations the harness derives (who won, factors).
+    pub notes: Vec<String>,
+}
+
+impl FigResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str) -> Self {
+        FigResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a panel.
+    pub fn panel(&mut self, name: &str, table: Table) {
+        self.tables.push((name.to_string(), table));
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+}
+
+impl core::fmt::Display for FigResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        for (name, table) in &self.tables {
+            if !name.is_empty() {
+                writeln!(f, "\n[{name}]")?;
+            }
+            write!(f, "{table}")?;
+        }
+        for note in &self.notes {
+            writeln!(f, "note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a packet rate in Kpps with sensible precision.
+pub fn kpps(pps: f64) -> String {
+    format!("{:.1}", pps / 1e3)
+}
+
+/// Formats nanoseconds as microseconds.
+pub fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+/// Formats a 0–1 share as a percentage.
+pub fn pct(share: f64) -> String {
+    format!("{:.0}%", share * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["mode", "kpps"]);
+        t.row(vec!["Host".into(), "1234.5".into()]);
+        t.row(vec!["Con".into(), "395.0".into()]);
+        let s = t.to_string();
+        assert!(s.contains("mode"));
+        assert!(s.contains("Host"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let mut t = Table::new(&["mode", "kpps"]);
+        t.row(vec!["Host".into(), "1000".into()]);
+        t.row(vec!["Con".into(), "400".into()]);
+        assert_eq!(t.cell(|r| r[0] == "Con", "kpps"), Some("400"));
+        assert_eq!(t.cell(|r| r[0] == "X", "kpps"), None);
+        assert_eq!(t.cell(|r| r[0] == "Con", "nope"), None);
+    }
+
+    #[test]
+    fn fig_result_display() {
+        let mut fig = FigResult::new("fig10", "UDP stress packet rates");
+        let mut t = Table::new(&["mode"]);
+        t.row(vec!["Host".into()]);
+        fig.panel("100G / 4.19", t);
+        fig.note("Falcon reaches 87% of host");
+        let s = fig.to_string();
+        assert!(s.contains("fig10"));
+        assert!(s.contains("[100G / 4.19]"));
+        assert!(s.contains("note: Falcon"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(kpps(1_234_500.0), "1234.5");
+        assert_eq!(us(12_345), "12.3");
+        assert_eq!(pct(0.87), "87%");
+    }
+}

@@ -1,0 +1,351 @@
+//! `get_falcon_cpu`: the device-aware, two-choice CPU selector
+//! (Algorithm 1 of the paper), and its [`Steering`] implementation.
+
+use falcon_cpusim::LoadTracker;
+use falcon_khash::hash_32;
+use falcon_netstack::{SteerCtx, Steering};
+use serde::{Deserialize, Serialize};
+
+use crate::config::FalconConfig;
+
+/// Decision counters, for the overhead analysis (paper §6.3).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FalconStats {
+    /// Stage transitions where Falcon picked a CPU.
+    pub decisions: u64,
+    /// Decisions where the first-choice core was busy and the second
+    /// random choice was used.
+    pub second_choices: u64,
+    /// Stage transitions where Falcon was gated off by the load
+    /// threshold (the original path ran instead).
+    pub gated_off: u64,
+}
+
+/// The Falcon CPU-selection policy (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct FalconSteering {
+    config: FalconConfig,
+    /// `L_avg`, updated from the periodic load sample (the paper's
+    /// `do_timer` hook reading `/proc/stat` every N ticks).
+    l_avg: f64,
+    /// Gate state, with hysteresis: off at `>= threshold`, back on
+    /// below `0.9 * threshold` (prevents flapping when the load sits
+    /// exactly at the threshold).
+    active: bool,
+    /// Consecutive load samples spent gated off (debounces the
+    /// return-to-local migration below).
+    inactive_samples: u32,
+    stats: FalconStats,
+}
+
+/// Pure Algorithm 1, lines 17–27: pick the CPU for a softirq given the
+/// flow hash, the device index, the per-core loads, and the config.
+///
+/// Returns `(cpu, used_second_choice)`.
+pub fn get_falcon_cpu(
+    config: &FalconConfig,
+    rx_hash: u32,
+    ifindex: u32,
+    loads: &LoadTracker,
+) -> (usize, bool) {
+    // First choice based on the device hash (line 19–20). With
+    // device_aware off (ablation), the hash degenerates to flow-only —
+    // every stage of a flow collapses onto one core, like RPS.
+    let input = if config.device_aware {
+        rx_hash.wrapping_add(ifindex)
+    } else {
+        rx_hash
+    };
+    let hash = hash_32(input, 32);
+    let first = config.falcon_cpus.pick_by_hash(hash);
+    if !config.two_choice || loads.core_load(first) < config.load_threshold {
+        return (first, false);
+    }
+    // Second choice if the first one is overloaded (line 25–26):
+    // re-hash and commit, busy or not, to avoid load-chasing
+    // fluctuations.
+    let second = config.falcon_cpus.pick_by_hash(hash_32(hash, 32));
+    (second, true)
+}
+
+impl FalconSteering {
+    /// Creates the policy.
+    pub fn new(config: FalconConfig) -> Self {
+        FalconSteering {
+            config,
+            l_avg: 0.0,
+            active: true,
+            inactive_samples: 0,
+            stats: FalconStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FalconConfig {
+        &self.config
+    }
+
+    /// Decision counters.
+    pub fn stats(&self) -> FalconStats {
+        self.stats
+    }
+
+    /// The last observed system-average load.
+    pub fn l_avg(&self) -> f64 {
+        self.l_avg
+    }
+
+    /// Whether Falcon is currently active (not gated off by load).
+    pub fn is_active(&self) -> bool {
+        self.config.always_on || self.active
+    }
+}
+
+impl Steering for FalconSteering {
+    fn name(&self) -> &'static str {
+        "falcon"
+    }
+
+    fn select_cpu(&mut self, ctx: &SteerCtx<'_>) -> Option<usize> {
+        // Enable Falcon only if there is room for parallelization
+        // (Algorithm 1, lines 6–13).
+        if !self.is_active() {
+            self.stats.gated_off += 1;
+            return None;
+        }
+        let (cpu, second) = get_falcon_cpu(&self.config, ctx.rx_hash, ctx.ifindex, ctx.loads);
+        self.stats.decisions += 1;
+        if second {
+            self.stats.second_choices += 1;
+        }
+        Some(cpu)
+    }
+
+    fn on_load_sample(&mut self, loads: &LoadTracker) {
+        // Gate on the average load of the cores Falcon actually uses:
+        // idle cores outside FALCON_CPUS (and dedicated app cores) say
+        // nothing about whether there is room to parallelize softirqs.
+        let cpus = &self.config.falcon_cpus;
+        let sum: f64 = cpus.iter().map(|c| loads.core_load(c)).sum();
+        self.l_avg = if cpus.is_empty() {
+            0.0
+        } else {
+            sum / cpus.len() as f64
+        };
+        if self.active {
+            if self.l_avg >= self.config.load_threshold {
+                self.active = false;
+                self.inactive_samples = 0;
+            }
+        } else if self.l_avg < self.config.load_threshold * 0.9 {
+            self.active = true;
+        } else {
+            self.inactive_samples = self.inactive_samples.saturating_add(1);
+        }
+    }
+
+    fn allow_inflight_migration(
+        &self,
+        old_cpu: usize,
+        new_cpu: usize,
+        loads: &LoadTracker,
+    ) -> bool {
+        // When the load gate has been off for a sustained period there
+        // are no idle cycles to exploit: flows return to their local
+        // (vanilla) path rather than keep paying cross-core transfer
+        // costs at saturation. Debounced, so a transient dip near the
+        // threshold does not churn placements. One bounded reordering
+        // transient per flow-stage.
+        if !self.is_active() && self.inactive_samples >= 10 {
+            return true;
+        }
+        if !self.is_active() {
+            return false;
+        }
+        // Escape hotspots: a (flow, stage) pinned to an over-threshold
+        // core may re-steer even with packets in flight — but only
+        // towards a core with clear headroom (hysteresis), so flows
+        // commit to their new home instead of ping-ponging between two
+        // candidates at the load-smoothing period. The transient
+        // reordering window is bounded by the old queue's depth.
+        loads.core_load(old_cpu) >= self.config.load_threshold
+            && loads.core_load(new_cpu) < self.config.load_threshold * 0.6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_cpusim::CpuSet;
+    use falcon_metrics::{Context, CpuLedger};
+    use falcon_simcore::{SimDuration, SimTime};
+
+    fn idle_loads(n: usize) -> LoadTracker {
+        LoadTracker::new(n)
+    }
+
+    /// Builds a tracker where `busy_core` is ~fully loaded.
+    fn loads_with_hotspot(n: usize, busy_core: usize) -> LoadTracker {
+        let mut ledger = CpuLedger::new(n);
+        let mut tracker = LoadTracker::new(n);
+        for tick in 1..=10u64 {
+            ledger.charge(
+                busy_core,
+                Context::SoftIrq,
+                "f",
+                SimDuration::from_millis(1),
+            );
+            tracker.sample(SimTime::from_millis(tick), &ledger);
+        }
+        assert!(tracker.core_load(busy_core) > 0.9);
+        tracker
+    }
+
+    #[test]
+    fn same_flow_same_device_is_deterministic() {
+        let cfg = FalconConfig::new(CpuSet::range(1, 7));
+        let loads = idle_loads(8);
+        let (cpu1, _) = get_falcon_cpu(&cfg, 0xABCD_1234, 3, &loads);
+        let (cpu2, _) = get_falcon_cpu(&cfg, 0xABCD_1234, 3, &loads);
+        assert_eq!(cpu1, cpu2, "order preservation requires determinism");
+        assert!(cfg.falcon_cpus.contains(cpu1));
+    }
+
+    #[test]
+    fn different_devices_usually_map_to_different_cpus() {
+        // The point of device-aware hashing: a flow's stages spread.
+        let cfg = FalconConfig::new(CpuSet::range(0, 8));
+        let loads = idle_loads(8);
+        let mut spread = 0;
+        let flows = 200u32;
+        for f in 0..flows {
+            let hash = 0x9E37_0000u32.wrapping_add(f.wrapping_mul(2_654_435_761));
+            let (a, _) = get_falcon_cpu(&cfg, hash, 1, &loads);
+            let (b, _) = get_falcon_cpu(&cfg, hash, 3, &loads);
+            let (c, _) = get_falcon_cpu(&cfg, hash, 5, &loads);
+            if a != b || b != c {
+                spread += 1;
+            }
+        }
+        assert!(
+            spread as f64 / flows as f64 > 0.8,
+            "only {spread}/{flows} flows had stages on distinct cores"
+        );
+    }
+
+    #[test]
+    fn ablation_without_device_awareness_collapses_stages() {
+        let cfg = FalconConfig::new(CpuSet::range(0, 8)).with_device_aware(false);
+        let loads = idle_loads(8);
+        for hash in [1u32, 0xDEAD, 0xBEEF, 0x1234_5678] {
+            let (a, _) = get_falcon_cpu(&cfg, hash, 1, &loads);
+            let (b, _) = get_falcon_cpu(&cfg, hash, 3, &loads);
+            let (c, _) = get_falcon_cpu(&cfg, hash, 5, &loads);
+            assert_eq!(a, b);
+            assert_eq!(b, c, "flow-only hash cannot distinguish stages");
+        }
+    }
+
+    #[test]
+    fn two_choice_steers_away_from_hotspot() {
+        let cfg = FalconConfig::new(CpuSet::range(0, 8));
+        // Find a (hash, ifindex) whose first choice is core 5.
+        let loads = idle_loads(8);
+        let (hash, ifx) = (0..10_000u32)
+            .flat_map(|h| [(h, 1u32), (h, 3u32)])
+            .find(|&(h, i)| get_falcon_cpu(&cfg, h, i, &loads).0 == 5)
+            .expect("some input maps to core 5");
+        // Now overload core 5: the second choice must be used.
+        let hot = loads_with_hotspot(8, 5);
+        let (cpu, second) = get_falcon_cpu(&cfg, hash, ifx, &hot);
+        assert!(second, "busy first choice triggers the second choice");
+        // The second choice is a re-hash; with 8 CPUs it almost surely
+        // differs, and for this particular input it must be stable.
+        assert_eq!(get_falcon_cpu(&cfg, hash, ifx, &hot).0, cpu);
+    }
+
+    #[test]
+    fn static_variant_never_uses_second_choice() {
+        let cfg = FalconConfig::new(CpuSet::range(0, 8)).with_two_choice(false);
+        let hot = loads_with_hotspot(8, 5);
+        for h in 0..1000u32 {
+            let (_, second) = get_falcon_cpu(&cfg, h, 1, &hot);
+            assert!(!second);
+        }
+    }
+
+    #[test]
+    fn steering_gates_on_system_load() {
+        let mut steering = FalconSteering::new(FalconConfig::new(CpuSet::range(0, 4)));
+        let hot = loads_with_hotspot(4, 0); // avg load ~0.25 — below 0.85.
+        steering.on_load_sample(&hot);
+        assert!(steering.is_active());
+
+        // Overload every core.
+        let mut ledger = CpuLedger::new(4);
+        let mut all_hot = LoadTracker::new(4);
+        for tick in 1..=10u64 {
+            for c in 0..4 {
+                ledger.charge(c, Context::SoftIrq, "f", SimDuration::from_millis(1));
+            }
+            all_hot.sample(SimTime::from_millis(tick), &ledger);
+        }
+        steering.on_load_sample(&all_hot);
+        assert!(
+            !steering.is_active(),
+            "L_avg above threshold disables Falcon"
+        );
+        let ctx = SteerCtx {
+            rx_hash: 1,
+            ifindex: 2,
+            current_cpu: 0,
+            loads: &all_hot,
+        };
+        assert_eq!(steering.select_cpu(&ctx), None);
+        assert_eq!(steering.stats().gated_off, 1);
+    }
+
+    #[test]
+    fn always_on_ignores_the_gate() {
+        let mut steering =
+            FalconSteering::new(FalconConfig::new(CpuSet::range(0, 4)).with_always_on(true));
+        let mut ledger = CpuLedger::new(4);
+        let mut all_hot = LoadTracker::new(4);
+        for tick in 1..=10u64 {
+            for c in 0..4 {
+                ledger.charge(c, Context::SoftIrq, "f", SimDuration::from_millis(1));
+            }
+            all_hot.sample(SimTime::from_millis(tick), &ledger);
+        }
+        steering.on_load_sample(&all_hot);
+        assert!(steering.is_active());
+        let ctx = SteerCtx {
+            rx_hash: 1,
+            ifindex: 2,
+            current_cpu: 0,
+            loads: &all_hot,
+        };
+        assert!(steering.select_cpu(&ctx).is_some());
+    }
+
+    #[test]
+    fn decisions_are_counted() {
+        let mut steering = FalconSteering::new(FalconConfig::new(CpuSet::range(0, 4)));
+        let loads = idle_loads(4);
+        for i in 0..10u32 {
+            let ctx = SteerCtx {
+                rx_hash: i,
+                ifindex: 2,
+                current_cpu: 0,
+                loads: &loads,
+            };
+            steering.select_cpu(&ctx);
+        }
+        assert_eq!(steering.stats().decisions, 10);
+        assert_eq!(
+            steering.stats().second_choices,
+            0,
+            "idle cores: first choice fits"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Falcon configuration knobs.
+
+use falcon_cpusim::CpuSet;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Falcon mechanisms (paper §4, §5, §6.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FalconConfig {
+    /// `FALCON_CPUS`: the cores softirq pipelining may target.
+    pub falcon_cpus: CpuSet,
+    /// `FALCON_LOAD_THRESHOLD` (0–1): Falcon is disabled while the
+    /// system-wide average load is at or above this; the same threshold
+    /// gates the per-core first-choice check. The paper's empirical
+    /// sweet spot is 0.80–0.90 (§6.1, Figure 15).
+    pub load_threshold: f64,
+    /// Use the second random choice when the first core is busy
+    /// (disabling this gives the "static" baseline of Figure 16).
+    pub two_choice: bool,
+    /// Mix the device ifindex into the hash. Disabling this is the
+    /// ablation that degrades Falcon to flow-only (RPS-like) placement:
+    /// every stage of a flow lands on the same core.
+    pub device_aware: bool,
+    /// Apply GRO-splitting at the pNIC stage (paper §4.2/§5).
+    pub split_gro: bool,
+    /// Ignore the load gate entirely ("always-on" in Figure 15).
+    pub always_on: bool,
+}
+
+impl FalconConfig {
+    /// Falcon with the paper's defaults: threshold 0.85, two-choice
+    /// balancing, device-aware hashing, no GRO splitting.
+    pub fn new(falcon_cpus: CpuSet) -> Self {
+        assert!(!falcon_cpus.is_empty(), "FALCON_CPUS must not be empty");
+        FalconConfig {
+            falcon_cpus,
+            load_threshold: 0.85,
+            two_choice: true,
+            device_aware: true,
+            split_gro: false,
+            always_on: false,
+        }
+    }
+
+    /// Sets the load threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in 0..=1"
+        );
+        self.load_threshold = threshold;
+        self
+    }
+
+    /// Enables or disables the second random choice.
+    pub fn with_two_choice(mut self, on: bool) -> Self {
+        self.two_choice = on;
+        self
+    }
+
+    /// Enables or disables device-aware hashing (ablation).
+    pub fn with_device_aware(mut self, on: bool) -> Self {
+        self.device_aware = on;
+        self
+    }
+
+    /// Enables or disables GRO-splitting.
+    pub fn with_split_gro(mut self, on: bool) -> Self {
+        self.split_gro = on;
+        self
+    }
+
+    /// Makes Falcon ignore the load gate ("always-on").
+    pub fn with_always_on(mut self, on: bool) -> Self {
+        self.always_on = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = FalconConfig::new(CpuSet::range(1, 7));
+        assert_eq!(cfg.load_threshold, 0.85);
+        assert!(cfg.two_choice);
+        assert!(cfg.device_aware);
+        assert!(!cfg.split_gro);
+        assert!(!cfg.always_on);
+        assert_eq!(cfg.falcon_cpus.len(), 6);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = FalconConfig::new(CpuSet::range(0, 4))
+            .with_threshold(0.7)
+            .with_two_choice(false)
+            .with_device_aware(false)
+            .with_split_gro(true)
+            .with_always_on(true);
+        assert_eq!(cfg.load_threshold, 0.7);
+        assert!(!cfg.two_choice);
+        assert!(!cfg.device_aware);
+        assert!(cfg.split_gro);
+        assert!(cfg.always_on);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_cpu_set_rejected() {
+        let _ = FalconConfig::new(CpuSet::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be in")]
+    fn bad_threshold_rejected() {
+        let _ = FalconConfig::new(CpuSet::range(0, 2)).with_threshold(1.5);
+    }
+}

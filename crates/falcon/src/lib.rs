@@ -1,0 +1,90 @@
+//! Falcon: fast and balanced container networking.
+//!
+//! This crate is the paper's primary contribution — the three
+//! mechanisms of *Parallelizing Packet Processing in Container Overlay
+//! Networks* (EuroSys '21), implemented against the stage-transition
+//! hook of `falcon-netstack`:
+//!
+//! 1. **Softirq pipelining** (§4.1): [`get_falcon_cpu`] hashes the flow
+//!    hash *plus the device ifindex* through the kernel's `hash_32`, so
+//!    each device stage of one flow maps to a (usually different)
+//!    dedicated CPU. Per-(flow, device) processing stays on one core —
+//!    order is preserved — while the stages of one flow run
+//!    concurrently on different cores.
+//! 2. **Softirq splitting** (§4.2): enabled via
+//!    [`FalconConfig::split_gro`], which configures the netstack to
+//!    insert the stage-transition function before `napi_gro_receive`
+//!    ("GRO-splitting"), breaking a core-saturating pNIC stage into two
+//!    pipeline half-stages with their own ifindex identities.
+//! 3. **Dynamic softirq balancing** (§4.3, Algorithm 1):
+//!    [`FalconSteering`] gates itself on the system-wide load average
+//!    (`FALCON_LOAD_THRESHOLD`) and picks CPUs by *two random choices*:
+//!    the device hash first, a re-hash if that core is busy —
+//!    committing to the second choice to avoid herding.
+//!
+//! # Examples
+//!
+//! ```
+//! use falcon::{FalconConfig, FalconSteering};
+//! use falcon_cpusim::CpuSet;
+//!
+//! let config = FalconConfig::new(CpuSet::range(1, 5));
+//! let steering = FalconSteering::new(config);
+//! // Hand `Box::new(steering)` to `falcon_netstack::sim::SimRunner`.
+//! ```
+
+pub mod balance;
+pub mod config;
+
+pub use balance::{get_falcon_cpu, FalconSteering};
+pub use config::FalconConfig;
+
+/// Builds a Falcon-enabled steering policy and applies the
+/// configuration's stack-side settings (GRO splitting) to a
+/// [`StackConfig`](falcon_netstack::StackConfig).
+///
+/// This is the one-stop setup the experiment harness uses:
+///
+/// ```
+/// use falcon::{enable_falcon, FalconConfig};
+/// use falcon_cpusim::CpuSet;
+/// use falcon_netstack::{KernelVersion, NetMode, StackConfig};
+///
+/// let mut stack = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+/// let config = FalconConfig::new(CpuSet::range(1, 5)).with_split_gro(true);
+/// let steering = enable_falcon(&mut stack, config);
+/// assert!(stack.split_gro);
+/// ```
+pub fn enable_falcon(
+    stack: &mut falcon_netstack::StackConfig,
+    config: FalconConfig,
+) -> Box<dyn falcon_netstack::Steering> {
+    stack.split_gro = config.split_gro;
+    Box::new(FalconSteering::new(config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_cpusim::CpuSet;
+    use falcon_netstack::{KernelVersion, NetMode, StackConfig};
+
+    #[test]
+    fn enable_falcon_wires_split_gro() {
+        let mut stack = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+        assert!(!stack.split_gro);
+        let steering = enable_falcon(
+            &mut stack,
+            FalconConfig::new(CpuSet::range(1, 5)).with_split_gro(true),
+        );
+        assert!(stack.split_gro);
+        assert_eq!(steering.name(), "falcon");
+    }
+
+    #[test]
+    fn enable_falcon_without_split_leaves_stack() {
+        let mut stack = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+        let _ = enable_falcon(&mut stack, FalconConfig::new(CpuSet::range(1, 5)));
+        assert!(!stack.split_gro);
+    }
+}

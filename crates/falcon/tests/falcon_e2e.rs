@@ -1,0 +1,194 @@
+//! End-to-end Falcon-vs-vanilla tests: the paper's headline behaviours,
+//! at miniature scale.
+
+use falcon::{enable_falcon, FalconConfig};
+use falcon_cpusim::CpuSet;
+use falcon_netstack::sim::{App, SimApi, SimRunner};
+use falcon_netstack::{
+    KernelVersion, NetMode, Pacing, SimConfig, StackConfig, StayLocal, Steering,
+};
+use falcon_simcore::SimDuration;
+
+const APP_CORE: usize = 5;
+
+struct UdpStress {
+    payload: usize,
+    pacing: Pacing,
+    senders: usize,
+}
+
+impl App for UdpStress {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let c = api.add_container(0, 10);
+        api.bind_udp(Some(c), 5001, APP_CORE, 300);
+        let flow = api.udp_flow(Some(c), 5001, self.payload);
+        api.udp_stress(flow, self.senders, self.pacing);
+    }
+}
+
+fn run_overlay_udp(steering: Option<FalconConfig>, pacing: Pacing, millis: u64) -> SimRunner {
+    let mut server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+    let policy: Box<dyn Steering> = match steering {
+        Some(cfg) => enable_falcon(&mut server, cfg),
+        None => Box::new(StayLocal),
+    };
+    let cfg = SimConfig::new(server);
+    let app = UdpStress {
+        payload: 16,
+        pacing,
+        senders: 3,
+    };
+    let mut runner = SimRunner::new(cfg, policy, Box::new(app));
+    runner.run_for(SimDuration::from_millis(millis));
+    runner
+}
+
+fn falcon_cfg() -> FalconConfig {
+    FalconConfig::new(CpuSet::range(1, 5))
+}
+
+#[test]
+fn falcon_improves_single_flow_udp_throughput() {
+    let vanilla = run_overlay_udp(None, Pacing::MaxRate, 30);
+    let falcon = run_overlay_udp(Some(falcon_cfg()), Pacing::MaxRate, 30);
+    let v = vanilla.counters().total_delivered();
+    let f = falcon.counters().total_delivered();
+    assert!(
+        f as f64 > v as f64 * 1.3,
+        "falcon {f} should clearly beat vanilla {v} on a single flow"
+    );
+    assert_eq!(
+        falcon.machine().order.violations(),
+        0,
+        "pipelining must not reorder"
+    );
+}
+
+#[test]
+fn falcon_spreads_softirqs_over_more_cores() {
+    let vanilla = run_overlay_udp(None, Pacing::MaxRate, 20);
+    let falcon = run_overlay_udp(Some(falcon_cfg()), Pacing::MaxRate, 20);
+    let busy = |runner: &SimRunner| {
+        let ledger = &runner.machine().cores.ledger;
+        let top = (0..8).map(|c| ledger.core(c).softirq_ns).max().unwrap();
+        (0..8)
+            .filter(|&c| ledger.core(c).softirq_ns > top / 10)
+            .count()
+    };
+    let vb = busy(&vanilla);
+    let fb = busy(&falcon);
+    assert!(fb > vb, "falcon uses {fb} softirq cores vs vanilla {vb}");
+}
+
+#[test]
+fn falcon_cuts_overload_latency() {
+    // Drive near the vanilla saturation point: queues build on the
+    // serialized core, and Falcon's extra cores absorb them.
+    let rate = Pacing::FixedPps(450_000.0);
+    let vanilla = run_overlay_udp(None, rate, 30);
+    let falcon = run_overlay_udp(Some(falcon_cfg()), rate, 30);
+    let vp99 = vanilla.counters().latency.percentile(99.0);
+    let fp99 = falcon.counters().latency.percentile(99.0);
+    assert!(
+        (fp99 as f64) < vp99 as f64 * 0.7,
+        "falcon p99 {fp99}ns should be well under vanilla p99 {vp99}ns"
+    );
+}
+
+#[test]
+fn falcon_never_hurts_when_gated_off() {
+    // With the threshold at zero Falcon is permanently gated off; the
+    // result must match vanilla behaviour (same steering decisions).
+    let gated = run_overlay_udp(Some(falcon_cfg().with_threshold(0.0)), Pacing::MaxRate, 10);
+    let vanilla = run_overlay_udp(None, Pacing::MaxRate, 10);
+    let g = gated.counters().total_delivered() as f64;
+    let v = vanilla.counters().total_delivered() as f64;
+    assert!((g - v).abs() / v < 0.05, "gated falcon {g} ~= vanilla {v}");
+    assert_eq!(
+        gated.counters().steered_remote,
+        0,
+        "no pipelining while gated"
+    );
+}
+
+struct TcpStream {
+    msg_size: usize,
+}
+
+impl App for TcpStream {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let c = api.add_container(0, 10);
+        api.bind_tcp(Some(c), 5201, APP_CORE, 300);
+        let flow = api.tcp_flow(Some(c), 5201, 128);
+        api.tcp_stream(flow, self.msg_size);
+    }
+}
+
+fn run_overlay_tcp(steering: Option<FalconConfig>, millis: u64) -> SimRunner {
+    let mut server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+    let policy: Box<dyn Steering> = match steering {
+        Some(cfg) => enable_falcon(&mut server, cfg),
+        None => Box::new(StayLocal),
+    };
+    let cfg = SimConfig::new(server);
+    let mut runner = SimRunner::new(cfg, policy, Box::new(TcpStream { msg_size: 4096 }));
+    runner.run_for(SimDuration::from_millis(millis));
+    runner
+}
+
+#[test]
+fn falcon_tcp_pipeline_preserves_order_and_delivers() {
+    let falcon = run_overlay_tcp(Some(falcon_cfg()), 20);
+    assert_eq!(falcon.machine().order.violations(), 0);
+    assert!(falcon.counters().total_delivered() > 500);
+}
+
+#[test]
+fn gro_splitting_relieves_the_first_stage() {
+    // TCP 4 KB: skb_allocation + napi_gro_receive saturate the pNIC
+    // stage core (paper Figure 9a); splitting moves GRO off it.
+    let unsplit = run_overlay_tcp(Some(falcon_cfg()), 25);
+    let split = run_overlay_tcp(Some(falcon_cfg().with_split_gro(true)), 25);
+
+    // Where does GRO run? Unsplit: on the IRQ core (0). Split: on a
+    // falcon CPU.
+    let gro_on_core0 = |r: &SimRunner| {
+        r.machine()
+            .cores
+            .ledger
+            .function_on_core(0, "napi_gro_receive")
+    };
+    assert!(gro_on_core0(&unsplit) > 0);
+    assert_eq!(gro_on_core0(&split), 0, "split moved GRO off the IRQ core");
+    // Adaptive rebalancing may migrate a saturated stage occasionally;
+    // the transient reordering must stay negligible.
+    let delivered = split.counters().total_delivered().max(1);
+    let violations = split.machine().order.violations();
+    assert!(
+        (violations as f64) < delivered as f64 * 0.005,
+        "reordering rate too high: {violations} / {delivered}"
+    );
+
+    // The IRQ core's softirq load drops under splitting.
+    let core0 = |r: &SimRunner| r.machine().cores.ledger.core(0).softirq_ns;
+    assert!(
+        core0(&split) < core0(&unsplit),
+        "split core0 {} vs unsplit {}",
+        core0(&split),
+        core0(&unsplit)
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_overlay_udp(Some(falcon_cfg()), Pacing::MaxRate, 10);
+    let b = run_overlay_udp(Some(falcon_cfg()), Pacing::MaxRate, 10);
+    assert_eq!(
+        a.counters().total_delivered(),
+        b.counters().total_delivered()
+    );
+    assert_eq!(
+        a.machine().cores.ledger.total_busy(),
+        b.machine().cores.ledger.total_busy()
+    );
+}

@@ -1,0 +1,181 @@
+//! Flow-key dissection and flow hashing, mirroring the kernel's
+//! `struct flow_keys` / `__flow_hash_from_keys`.
+//!
+//! RPS (`get_rps_cpu`) steers packets by `skb->hash`, which the flow
+//! dissector computes over (addresses, ports, protocol) with `jhash2` and
+//! a boot-time random `hashrnd`. Crucially for the paper, **no device
+//! information enters this hash** — every processing stage of a flow
+//! therefore hashes to the same CPU, which is the single-flow
+//! serialization problem Falcon fixes by adding `dev->ifindex` to the
+//! hash input (see `falcon::get_falcon_cpu`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::jhash::jhash2;
+
+/// The tuple of fields identifying a network flow, as dissected from a
+/// packet's headers (a compact `struct flow_keys`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKeys {
+    /// IPv4 source address (host byte order).
+    pub src_addr: u32,
+    /// IPv4 destination address (host byte order).
+    pub dst_addr: u32,
+    /// L4 source port.
+    pub src_port: u16,
+    /// L4 destination port.
+    pub dst_port: u16,
+    /// IP protocol number (17 = UDP, 6 = TCP).
+    pub ip_proto: u8,
+}
+
+impl FlowKeys {
+    /// Creates flow keys for a UDP flow.
+    pub fn udp(src_addr: u32, src_port: u16, dst_addr: u32, dst_port: u16) -> Self {
+        FlowKeys {
+            src_addr,
+            dst_addr,
+            src_port,
+            dst_port,
+            ip_proto: 17,
+        }
+    }
+
+    /// Creates flow keys for a TCP flow.
+    pub fn tcp(src_addr: u32, src_port: u16, dst_addr: u32, dst_port: u16) -> Self {
+        FlowKeys {
+            src_addr,
+            dst_addr,
+            src_port,
+            dst_port,
+            ip_proto: 6,
+        }
+    }
+
+    /// Returns the keys of the reverse direction of this flow.
+    pub fn reversed(self) -> Self {
+        FlowKeys {
+            src_addr: self.dst_addr,
+            dst_addr: self.src_addr,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            ip_proto: self.ip_proto,
+        }
+    }
+}
+
+/// Computes the flow hash over the keys, like `__flow_hash_from_keys`.
+///
+/// `hashrnd` models the kernel's boot-time random salt; the simulation
+/// fixes it per run for reproducibility. The result is never zero (the
+/// kernel reserves 0 to mean "no hash computed"), matching
+/// `__flow_hash_from_keys`'s `if (!hash) hash = 1;` fixup.
+///
+/// # Examples
+///
+/// ```
+/// use falcon_khash::{flow_hash_from_keys, FlowKeys};
+///
+/// let keys = FlowKeys::udp(0x0A000001, 5001, 0x0A000002, 8080);
+/// let h = flow_hash_from_keys(&keys, 42);
+/// assert_eq!(h, flow_hash_from_keys(&keys, 42));
+/// assert_ne!(h, 0);
+/// ```
+pub fn flow_hash_from_keys(keys: &FlowKeys, hashrnd: u32) -> u32 {
+    let words = [
+        keys.src_addr,
+        keys.dst_addr,
+        ((keys.src_port as u32) << 16) | keys.dst_port as u32,
+        keys.ip_proto as u32,
+    ];
+    let hash = jhash2(&words, hashrnd);
+    if hash == 0 {
+        1
+    } else {
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let u = FlowKeys::udp(1, 2, 3, 4);
+        assert_eq!(u.ip_proto, 17);
+        let t = FlowKeys::tcp(1, 2, 3, 4);
+        assert_eq!(t.ip_proto, 6);
+        assert_eq!(u.src_addr, 1);
+        assert_eq!(u.src_port, 2);
+        assert_eq!(u.dst_addr, 3);
+        assert_eq!(u.dst_port, 4);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let k = FlowKeys::tcp(10, 20, 30, 40);
+        let r = k.reversed();
+        assert_eq!(r.src_addr, 30);
+        assert_eq!(r.dst_addr, 10);
+        assert_eq!(r.src_port, 40);
+        assert_eq!(r.dst_port, 20);
+        assert_eq!(r.reversed(), k);
+    }
+
+    #[test]
+    fn hash_is_flow_stable_and_direction_sensitive() {
+        let k = FlowKeys::udp(0x0A00_0001, 1234, 0x0A00_0002, 80);
+        assert_eq!(flow_hash_from_keys(&k, 7), flow_hash_from_keys(&k, 7));
+        assert_ne!(
+            flow_hash_from_keys(&k, 7),
+            flow_hash_from_keys(&k.reversed(), 7)
+        );
+    }
+
+    #[test]
+    fn hash_depends_on_every_field() {
+        let base = FlowKeys::udp(0x0A00_0001, 1234, 0x0A00_0002, 80);
+        let h = flow_hash_from_keys(&base, 7);
+        let variants = [
+            FlowKeys {
+                src_addr: base.src_addr + 1,
+                ..base
+            },
+            FlowKeys {
+                dst_addr: base.dst_addr + 1,
+                ..base
+            },
+            FlowKeys {
+                src_port: base.src_port + 1,
+                ..base
+            },
+            FlowKeys {
+                dst_port: base.dst_port + 1,
+                ..base
+            },
+            FlowKeys {
+                ip_proto: 6,
+                ..base
+            },
+        ];
+        for v in variants {
+            assert_ne!(flow_hash_from_keys(&v, 7), h, "field change ignored: {v:?}");
+        }
+    }
+
+    #[test]
+    fn hash_never_zero() {
+        // Sweep salts looking for a zero; the fixup must prevent it.
+        let k = FlowKeys::udp(0, 0, 0, 0);
+        for rnd in 0..10_000u32 {
+            assert_ne!(flow_hash_from_keys(&k, rnd), 0);
+        }
+    }
+
+    #[test]
+    fn salt_changes_hash() {
+        let k = FlowKeys::tcp(0x0A00_0001, 5000, 0x0A00_0002, 80);
+        assert_ne!(flow_hash_from_keys(&k, 1), flow_hash_from_keys(&k, 2));
+    }
+}

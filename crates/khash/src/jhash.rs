@@ -1,0 +1,178 @@
+//! Bob Jenkins' lookup3 hash, as carried in `include/linux/jhash.h`.
+//!
+//! This is the hash the Linux flow dissector uses to derive `skb->hash`
+//! from the flow keys, so the reproduction uses the exact same mixing
+//! constants and rotation schedule.
+
+/// Arbitrary initial parameter from the kernel (`JHASH_INITVAL`).
+pub const JHASH_INITVAL: u32 = 0xDEAD_BEEF;
+
+#[inline]
+fn rol32(x: u32, r: u32) -> u32 {
+    x.rotate_left(r)
+}
+
+/// The `__jhash_mix` macro: mix three 32-bit values reversibly.
+#[inline]
+fn jhash_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rol32(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rol32(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rol32(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rol32(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rol32(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rol32(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+/// The `__jhash_final` macro: final mixing of the three values.
+#[inline]
+fn jhash_final(mut a: u32, mut b: u32, mut c: u32) -> u32 {
+    c ^= b;
+    c = c.wrapping_sub(rol32(b, 14));
+    a ^= c;
+    a = a.wrapping_sub(rol32(c, 11));
+    b ^= a;
+    b = b.wrapping_sub(rol32(a, 25));
+    c ^= b;
+    c = c.wrapping_sub(rol32(b, 16));
+    a ^= c;
+    a = a.wrapping_sub(rol32(c, 4));
+    b ^= a;
+    b = b.wrapping_sub(rol32(a, 14));
+    c ^= b;
+    c = c.wrapping_sub(rol32(b, 24));
+    c
+}
+
+/// `jhash2`: hash an array of `u32` words with an initial value.
+///
+/// Matches the kernel implementation word for word, so hash values (and
+/// therefore RPS CPU choices) are bit-identical to a real kernel given
+/// the same inputs.
+///
+/// # Examples
+///
+/// ```
+/// use falcon_khash::jhash2;
+///
+/// let h1 = jhash2(&[1, 2, 3, 4, 5], 0);
+/// let h2 = jhash2(&[1, 2, 3, 4, 5], 0);
+/// assert_eq!(h1, h2);
+/// assert_ne!(h1, jhash2(&[1, 2, 3, 4, 6], 0));
+/// ```
+pub fn jhash2(k: &[u32], initval: u32) -> u32 {
+    let mut length = k.len() as u32;
+    let mut a = JHASH_INITVAL
+        .wrapping_add(length << 2)
+        .wrapping_add(initval);
+    let mut b = a;
+    let mut c = a;
+
+    let mut idx = 0usize;
+    while length > 3 {
+        a = a.wrapping_add(k[idx]);
+        b = b.wrapping_add(k[idx + 1]);
+        c = c.wrapping_add(k[idx + 2]);
+        jhash_mix(&mut a, &mut b, &mut c);
+        length -= 3;
+        idx += 3;
+    }
+
+    // Handle the last 3 u32's.
+    if length >= 3 {
+        c = c.wrapping_add(k[idx + 2]);
+    }
+    if length >= 2 {
+        b = b.wrapping_add(k[idx + 1]);
+    }
+    if length >= 1 {
+        a = a.wrapping_add(k[idx]);
+        return jhash_final(a, b, c);
+    }
+    // Zero-length input: nothing to add, c holds the initialized state.
+    c
+}
+
+/// `jhash_3words`: hash exactly three words (the kernel's fast path for
+/// (saddr, daddr, ports) flow hashing).
+pub fn jhash_3words(a: u32, b: u32, c: u32, initval: u32) -> u32 {
+    let a = a.wrapping_add(JHASH_INITVAL);
+    let b = b.wrapping_add(JHASH_INITVAL);
+    let c = c.wrapping_add(initval);
+    jhash_final(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let words = [0x0A00_0001u32, 0x0A00_0002, 0x1234_5678];
+        assert_eq!(jhash2(&words, 7), jhash2(&words, 7));
+        assert_eq!(jhash_3words(1, 2, 3, 4), jhash_3words(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn initval_changes_hash() {
+        let words = [1u32, 2, 3, 4];
+        assert_ne!(jhash2(&words, 0), jhash2(&words, 1));
+        assert_ne!(jhash_3words(1, 2, 3, 0), jhash_3words(1, 2, 3, 1));
+    }
+
+    #[test]
+    fn length_sensitivity() {
+        // A trailing zero word must change the hash (length is mixed in).
+        assert_ne!(jhash2(&[1, 2], 0), jhash2(&[1, 2, 0], 0));
+    }
+
+    #[test]
+    fn empty_input_is_stable() {
+        assert_eq!(jhash2(&[], 5), jhash2(&[], 5));
+        assert_ne!(jhash2(&[], 5), jhash2(&[], 6));
+    }
+
+    #[test]
+    fn multi_block_inputs() {
+        // More than 3 words exercises the mixing loop.
+        let long: Vec<u32> = (0..16).collect();
+        let h1 = jhash2(&long, 0);
+        let mut tweaked = long.clone();
+        tweaked[0] ^= 1;
+        assert_ne!(h1, jhash2(&tweaked, 0));
+        tweaked[0] ^= 1;
+        tweaked[15] ^= 1;
+        assert_ne!(h1, jhash2(&tweaked, 0));
+    }
+
+    #[test]
+    fn avalanche_quality() {
+        // Flipping one input bit should flip roughly half the output
+        // bits on average. Accept a generous band.
+        let base = [0x0A01_0203u32, 0x0A04_0506, 0xABCD_1234];
+        let h0 = jhash2(&base, 0);
+        let mut total_flips = 0u32;
+        let mut trials = 0u32;
+        for w in 0..3 {
+            for bit in 0..32 {
+                let mut m = base;
+                m[w] ^= 1 << bit;
+                total_flips += (jhash2(&m, 0) ^ h0).count_ones();
+                trials += 1;
+            }
+        }
+        let avg = total_flips as f64 / trials as f64;
+        assert!((10.0..22.0).contains(&avg), "poor avalanche: {avg} bits");
+    }
+}

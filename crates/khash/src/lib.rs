@@ -1,0 +1,95 @@
+//! Linux-compatible hash primitives used throughout the packet path.
+//!
+//! The Falcon paper's CPU-selection logic is built on three hash
+//! functions from the Linux kernel, all reimplemented here:
+//!
+//! * [`jhash2`] / [`jhash_3words`] — Bob Jenkins' lookup3 hash as used by
+//!   the kernel flow dissector (`include/linux/jhash.h`). RPS computes the
+//!   flow hash (`skb->hash`) with it.
+//! * [`hash_32`] — the kernel's golden-ratio multiplicative hash
+//!   (`include/linux/hash.h`). Falcon's `get_falcon_cpu` applies it to
+//!   `skb->hash + dev->ifindex` (Algorithm 1, line 19) and re-applies it
+//!   for the second random choice (line 25).
+//! * [`toeplitz_hash`] — the Microsoft RSS Toeplitz hash computed by
+//!   multi-queue NICs in hardware to pick a receive queue.
+//!
+//! [`FlowKeys`] mirrors the kernel's `struct flow_keys` (the tuple RPS
+//! hashes over) and [`flow_hash_from_keys`] mirrors
+//! `__flow_hash_from_keys`.
+
+pub mod flow;
+pub mod jhash;
+pub mod toeplitz;
+
+pub use flow::{flow_hash_from_keys, FlowKeys};
+pub use jhash::{jhash2, jhash_3words};
+pub use toeplitz::{toeplitz_hash, MICROSOFT_RSS_KEY};
+
+/// Golden ratio constant for 32-bit multiplicative hashing
+/// (`GOLDEN_RATIO_32` in `include/linux/hash.h`).
+pub const GOLDEN_RATIO_32: u32 = 0x61C8_8647;
+
+/// The kernel's `hash_32`: multiply by the 32-bit golden ratio and keep
+/// the top `bits` bits.
+///
+/// With `bits == 32` this degenerates to the plain multiplicative mix,
+/// which is how Falcon uses it (the modulo onto the CPU set happens
+/// separately).
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 32.
+///
+/// # Examples
+///
+/// ```
+/// use falcon_khash::hash_32;
+///
+/// // Same input, same hash.
+/// assert_eq!(hash_32(12345, 32), hash_32(12345, 32));
+/// // Different inputs spread apart.
+/// assert_ne!(hash_32(1, 32), hash_32(2, 32));
+/// ```
+pub fn hash_32(val: u32, bits: u32) -> u32 {
+    assert!(bits > 0 && bits <= 32, "hash_32 bits must be in 1..=32");
+    let h = val.wrapping_mul(GOLDEN_RATIO_32);
+    h >> (32 - bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_32_full_width_is_multiplicative_mix() {
+        assert_eq!(hash_32(1, 32), GOLDEN_RATIO_32);
+        assert_eq!(hash_32(0, 32), 0);
+    }
+
+    #[test]
+    fn hash_32_bit_truncation() {
+        let h = hash_32(0xDEAD_BEEF, 8);
+        assert!(h < 256);
+        assert_eq!(h, hash_32(0xDEAD_BEEF, 32) >> 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=32")]
+    fn hash_32_rejects_zero_bits() {
+        let _ = hash_32(1, 0);
+    }
+
+    #[test]
+    fn hash_32_spreads_sequential_inputs() {
+        // Sequential device indexes must land on well-spread values —
+        // this is exactly why Falcon mixes ifindex through hash_32
+        // instead of using it raw.
+        let mut buckets = [0u32; 8];
+        for i in 0..800u32 {
+            buckets[(hash_32(i, 32) % 8) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((60..=140).contains(&b), "bucket count {b} badly skewed");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Per-core, per-context CPU time accounting.
+//!
+//! The simulated machine charges every unit of executed work to a
+//! `(core, context, kernel function)` triple. From this ledger the
+//! experiment harness derives exactly what the paper measures with
+//! `mpstat`/`perf`: per-core utilization stacked by context (Figures 5
+//! and 11), per-function shares (Figures 6 and 9a) and total CPU cost at
+//! fixed load (Figure 19).
+
+use std::collections::HashMap;
+
+use falcon_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Execution context of a unit of CPU work, mirroring how `/proc/stat`
+/// splits time into `irq`, `softirq`, `user`/`system` and idle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Context {
+    /// Hardware interrupt handler.
+    HardIrq,
+    /// Software interrupt handler (the NET_RX work this paper is about).
+    SoftIrq,
+    /// Process context: syscalls, copies to user space, application work.
+    Task,
+}
+
+impl Context {
+    /// All accountable contexts, in display order.
+    pub const ALL: [Context; 3] = [Context::HardIrq, Context::SoftIrq, Context::Task];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Context::HardIrq => "hardirq",
+            Context::SoftIrq => "softirq",
+            Context::Task => "task",
+        }
+    }
+}
+
+/// Busy-time totals for one core.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoreUsage {
+    /// Nanoseconds spent in hardirq context.
+    pub hardirq_ns: u64,
+    /// Nanoseconds spent in softirq context.
+    pub softirq_ns: u64,
+    /// Nanoseconds spent in task context.
+    pub task_ns: u64,
+}
+
+impl CoreUsage {
+    /// Total busy nanoseconds.
+    pub fn busy_ns(&self) -> u64 {
+        self.hardirq_ns + self.softirq_ns + self.task_ns
+    }
+
+    fn slot(&mut self, ctx: Context) -> &mut u64 {
+        match ctx {
+            Context::HardIrq => &mut self.hardirq_ns,
+            Context::SoftIrq => &mut self.softirq_ns,
+            Context::Task => &mut self.task_ns,
+        }
+    }
+
+    /// Returns the accumulated time for one context.
+    pub fn get(&self, ctx: Context) -> u64 {
+        match ctx {
+            Context::HardIrq => self.hardirq_ns,
+            Context::SoftIrq => self.softirq_ns,
+            Context::Task => self.task_ns,
+        }
+    }
+}
+
+/// The machine-wide CPU accounting ledger.
+///
+/// Not serializable: function names are interned `&'static str`s. The
+/// harness serializes derived artifacts ([`crate::Profile`],
+/// utilization vectors) instead.
+#[derive(Debug, Clone)]
+pub struct CpuLedger {
+    cores: Vec<CoreUsage>,
+    /// Per-(core, function) attribution in nanoseconds.
+    functions: HashMap<(usize, &'static str), u64>,
+    /// When accounting started (for utilization denominators).
+    epoch: SimTime,
+}
+
+impl CpuLedger {
+    /// Creates a ledger for `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        CpuLedger {
+            cores: vec![CoreUsage::default(); n_cores],
+            functions: HashMap::new(),
+            epoch: SimTime::ZERO,
+        }
+    }
+
+    /// Number of cores tracked.
+    pub fn n_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Charges `dur` of work on `core` in `ctx`, attributed to `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn charge(&mut self, core: usize, ctx: Context, func: &'static str, dur: SimDuration) {
+        *self.cores[core].slot(ctx) += dur.as_nanos();
+        *self.functions.entry((core, func)).or_insert(0) += dur.as_nanos();
+    }
+
+    /// Returns the usage of one core.
+    pub fn core(&self, core: usize) -> &CoreUsage {
+        &self.cores[core]
+    }
+
+    /// Returns the total busy time across all cores.
+    pub fn total_busy(&self) -> SimDuration {
+        SimDuration::from_nanos(self.cores.iter().map(|c| c.busy_ns()).sum())
+    }
+
+    /// Returns per-core utilization (0–1) over the window ending at `now`.
+    pub fn utilization(&self, now: SimTime) -> Vec<f64> {
+        let window = now.saturating_since(self.epoch).as_nanos().max(1) as f64;
+        self.cores
+            .iter()
+            .map(|c| (c.busy_ns() as f64 / window).min(1.0))
+            .collect()
+    }
+
+    /// Returns machine-wide average utilization (0–1) over the window
+    /// ending at `now`.
+    pub fn avg_utilization(&self, now: SimTime) -> f64 {
+        let u = self.utilization(now);
+        if u.is_empty() {
+            0.0
+        } else {
+            u.iter().sum::<f64>() / u.len() as f64
+        }
+    }
+
+    /// Total nanoseconds attributed to `func` across all cores.
+    pub fn function_total(&self, func: &str) -> u64 {
+        self.functions
+            .iter()
+            .filter(|((_, f), _)| *f == func)
+            .map(|(_, &ns)| ns)
+            .sum()
+    }
+
+    /// Nanoseconds attributed to `func` on one core.
+    pub fn function_on_core(&self, core: usize, func: &str) -> u64 {
+        self.functions
+            .iter()
+            .filter(|((c, f), _)| *c == core && *f == func)
+            .map(|(_, &ns)| ns)
+            .sum()
+    }
+
+    /// Returns all `(function, total_ns)` pairs, sorted by descending
+    /// time.
+    pub fn functions_by_time(&self) -> Vec<(&'static str, u64)> {
+        let mut totals: HashMap<&'static str, u64> = HashMap::new();
+        for ((_, f), ns) in &self.functions {
+            *totals.entry(f).or_insert(0) += ns;
+        }
+        let mut v: Vec<_> = totals.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Iterates over the raw `((core, function), ns)` attribution.
+    pub fn iter_attribution(&self) -> impl Iterator<Item = (usize, &'static str, u64)> + '_ {
+        self.functions
+            .iter()
+            .map(|(&(core, func), &ns)| (core, func, ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_accumulates_per_context() {
+        let mut ledger = CpuLedger::new(4);
+        ledger.charge(
+            0,
+            Context::HardIrq,
+            "pnic_interrupt",
+            SimDuration::from_nanos(300),
+        );
+        ledger.charge(
+            0,
+            Context::SoftIrq,
+            "mlx5e_napi_poll",
+            SimDuration::from_nanos(700),
+        );
+        ledger.charge(
+            1,
+            Context::Task,
+            "copy_to_user",
+            SimDuration::from_nanos(500),
+        );
+        assert_eq!(ledger.core(0).hardirq_ns, 300);
+        assert_eq!(ledger.core(0).softirq_ns, 700);
+        assert_eq!(ledger.core(0).busy_ns(), 1000);
+        assert_eq!(ledger.core(1).task_ns, 500);
+        assert_eq!(ledger.total_busy().as_nanos(), 1500);
+    }
+
+    #[test]
+    fn utilization_over_window() {
+        let mut ledger = CpuLedger::new(2);
+        ledger.charge(0, Context::SoftIrq, "f", SimDuration::from_micros(500));
+        let u = ledger.utilization(SimTime::from_millis(1));
+        assert!((u[0] - 0.5).abs() < 1e-9);
+        assert_eq!(u[1], 0.0);
+        assert!((ledger.avg_utilization(SimTime::from_millis(1)) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let mut ledger = CpuLedger::new(1);
+        ledger.charge(0, Context::Task, "f", SimDuration::from_secs(10));
+        let u = ledger.utilization(SimTime::from_secs(1));
+        assert_eq!(u[0], 1.0);
+    }
+
+    #[test]
+    fn function_attribution() {
+        let mut ledger = CpuLedger::new(2);
+        ledger.charge(
+            0,
+            Context::SoftIrq,
+            "vxlan_rcv",
+            SimDuration::from_nanos(100),
+        );
+        ledger.charge(
+            1,
+            Context::SoftIrq,
+            "vxlan_rcv",
+            SimDuration::from_nanos(150),
+        );
+        ledger.charge(
+            0,
+            Context::SoftIrq,
+            "br_handle_frame",
+            SimDuration::from_nanos(80),
+        );
+        assert_eq!(ledger.function_total("vxlan_rcv"), 250);
+        assert_eq!(ledger.function_on_core(1, "vxlan_rcv"), 150);
+        assert_eq!(ledger.function_total("missing"), 0);
+        let by_time = ledger.functions_by_time();
+        assert_eq!(by_time[0], ("vxlan_rcv", 250));
+        assert_eq!(by_time[1], ("br_handle_frame", 80));
+    }
+
+    #[test]
+    fn context_labels() {
+        assert_eq!(Context::HardIrq.label(), "hardirq");
+        assert_eq!(Context::SoftIrq.label(), "softirq");
+        assert_eq!(Context::Task.label(), "task");
+        assert_eq!(Context::ALL.len(), 3);
+    }
+
+    #[test]
+    fn core_usage_get_matches_slots() {
+        let mut ledger = CpuLedger::new(1);
+        ledger.charge(0, Context::HardIrq, "a", SimDuration::from_nanos(1));
+        ledger.charge(0, Context::SoftIrq, "b", SimDuration::from_nanos(2));
+        ledger.charge(0, Context::Task, "c", SimDuration::from_nanos(3));
+        let core = ledger.core(0);
+        for ctx in Context::ALL {
+            assert!(core.get(ctx) > 0);
+        }
+        assert_eq!(core.get(Context::Task), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Interrupt counters, mirroring `/proc/interrupts` and `/proc/softirqs`.
+//!
+//! Figure 4 of the paper compares hardware interrupt and softirq rates
+//! between the native and overlay networks: the overlay fires ~3.6× the
+//! `NET_RX` softirqs and far more `RES` rescheduling IPIs. These
+//! counters make that measurable in the simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Kinds of interrupts the simulation counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IrqKind {
+    /// NIC hardware interrupt.
+    HardIrq,
+    /// `NET_RX` softirq (packet reception).
+    NetRx,
+    /// `NET_TX` softirq (packet transmission).
+    NetTx,
+    /// Timer interrupt.
+    Timer,
+    /// Rescheduling inter-processor interrupt (`RES` in /proc/interrupts).
+    ResIpi,
+    /// IPI raised to signal a remote backlog (`enqueue_to_backlog` on
+    /// another CPU, as RPS and Falcon do).
+    BacklogIpi,
+}
+
+impl IrqKind {
+    /// All kinds, in display order.
+    pub const ALL: [IrqKind; 6] = [
+        IrqKind::HardIrq,
+        IrqKind::NetRx,
+        IrqKind::NetTx,
+        IrqKind::Timer,
+        IrqKind::ResIpi,
+        IrqKind::BacklogIpi,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            IrqKind::HardIrq => "HW",
+            IrqKind::NetRx => "NET_RX",
+            IrqKind::NetTx => "NET_TX",
+            IrqKind::Timer => "TIMER",
+            IrqKind::ResIpi => "RES",
+            IrqKind::BacklogIpi => "CAL",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            IrqKind::HardIrq => 0,
+            IrqKind::NetRx => 1,
+            IrqKind::NetTx => 2,
+            IrqKind::Timer => 3,
+            IrqKind::ResIpi => 4,
+            IrqKind::BacklogIpi => 5,
+        }
+    }
+}
+
+/// Per-core interrupt counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IrqStats {
+    /// `counts[core][kind]`.
+    counts: Vec<[u64; 6]>,
+}
+
+impl IrqStats {
+    /// Creates counters for `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        IrqStats {
+            counts: vec![[0; 6]; n_cores],
+        }
+    }
+
+    /// Counts one interrupt of `kind` on `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn count(&mut self, core: usize, kind: IrqKind) {
+        self.counts[core][kind.index()] += 1;
+    }
+
+    /// Returns the count of `kind` on one core.
+    pub fn on_core(&self, core: usize, kind: IrqKind) -> u64 {
+        self.counts[core][kind.index()]
+    }
+
+    /// Returns the machine-wide total for `kind`.
+    pub fn total(&self, kind: IrqKind) -> u64 {
+        self.counts.iter().map(|c| c[kind.index()]).sum()
+    }
+
+    /// Number of cores tracked.
+    pub fn n_cores(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_totals() {
+        let mut stats = IrqStats::new(4);
+        stats.count(0, IrqKind::HardIrq);
+        stats.count(0, IrqKind::NetRx);
+        stats.count(1, IrqKind::NetRx);
+        stats.count(1, IrqKind::NetRx);
+        stats.count(2, IrqKind::ResIpi);
+        assert_eq!(stats.on_core(0, IrqKind::NetRx), 1);
+        assert_eq!(stats.on_core(1, IrqKind::NetRx), 2);
+        assert_eq!(stats.total(IrqKind::NetRx), 3);
+        assert_eq!(stats.total(IrqKind::HardIrq), 1);
+        assert_eq!(stats.total(IrqKind::ResIpi), 1);
+        assert_eq!(stats.total(IrqKind::Timer), 0);
+        assert_eq!(stats.n_cores(), 4);
+    }
+
+    #[test]
+    fn labels_are_proc_interrupts_style() {
+        assert_eq!(IrqKind::NetRx.label(), "NET_RX");
+        assert_eq!(IrqKind::ResIpi.label(), "RES");
+        assert_eq!(IrqKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn indices_are_distinct() {
+        let mut seen = [false; 6];
+        for kind in IrqKind::ALL {
+            let i = kind.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Measurement substrate for the Falcon reproduction.
+//!
+//! Everything the paper's evaluation section reports is computed from
+//! the primitives here:
+//!
+//! * [`Histogram`] — log-linear latency histograms with
+//!   HdrHistogram-style bucketing (used for every latency figure).
+//! * [`CpuLedger`] — per-core, per-context busy-time
+//!   accounting plus per-kernel-function attribution (Figures 5, 6, 9a,
+//!   11, 19 and the flamegraph-style profiles).
+//! * [`IrqStats`] — hardware/software interrupt counters
+//!   (Figure 4's NET_RX/RES comparison, Figure 19b).
+//! * [`Profile`] — folded-stack export and per-function
+//!   shares, the simulation's answer to `perf` + flamegraph.
+
+pub mod cpu;
+pub mod hist;
+pub mod irq;
+pub mod profile;
+pub mod stats;
+
+pub use cpu::{Context, CpuLedger};
+pub use hist::Histogram;
+pub use irq::{IrqKind, IrqStats};
+pub use profile::Profile;
+pub use stats::Summary;

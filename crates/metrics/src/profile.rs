@@ -1,0 +1,171 @@
+//! Flamegraph-style profiles from the CPU ledger.
+//!
+//! The paper uses `perf` + flamegraph to show which kernel functions
+//! dominate the overlay path (Figure 6: `gro_cell_poll`,
+//! `process_backlog`, `mlx5e_napi_poll` shares under sockperf vs
+//! memcached). [`Profile`] computes per-function shares from a
+//! [`CpuLedger`] and exports the standard
+//! *folded-stack* text format that `flamegraph.pl` and speedscope read.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuLedger;
+
+/// A per-function CPU profile (the simulation's flamegraph).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Profile {
+    entries: Vec<ProfileEntry>,
+    total_ns: u64,
+}
+
+/// One function's share of total CPU time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProfileEntry {
+    /// Kernel function name.
+    pub func: String,
+    /// Nanoseconds attributed to the function.
+    pub ns: u64,
+    /// Share of total busy time, 0–1.
+    pub share: f64,
+}
+
+impl Profile {
+    /// Builds a profile from a ledger.
+    pub fn from_ledger(ledger: &CpuLedger) -> Self {
+        let by_time = ledger.functions_by_time();
+        let total_ns: u64 = by_time.iter().map(|&(_, ns)| ns).sum();
+        let entries = by_time
+            .into_iter()
+            .map(|(func, ns)| ProfileEntry {
+                func: func.to_string(),
+                ns,
+                share: if total_ns == 0 {
+                    0.0
+                } else {
+                    ns as f64 / total_ns as f64
+                },
+            })
+            .collect();
+        Profile { entries, total_ns }
+    }
+
+    /// Total busy nanoseconds in the profile.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Returns the share (0–1) of one function, 0 if absent.
+    pub fn share_of(&self, func: &str) -> f64 {
+        self.entries
+            .iter()
+            .find(|e| e.func == func)
+            .map_or(0.0, |e| e.share)
+    }
+
+    /// The entries, sorted by descending time.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// Exports folded-stack lines (`root;func count`), one per function,
+    /// with counts in microseconds. Feed to `flamegraph.pl`.
+    pub fn to_folded(&self, root: &str) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(root);
+            out.push(';');
+            out.push_str(&e.func);
+            out.push(' ');
+            out.push_str(&(e.ns / 1_000).max(1).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a compact text table of the top `n` functions.
+    pub fn to_table(&self, n: usize) -> String {
+        let mut out = String::from("function                          time        share\n");
+        for e in self.entries.iter().take(n) {
+            out.push_str(&format!(
+                "{:<32}  {:>9.3}ms  {:>6.2}%\n",
+                e.func,
+                e.ns as f64 / 1e6,
+                e.share * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::Context;
+    use falcon_simcore::SimDuration;
+
+    fn ledger() -> CpuLedger {
+        let mut l = CpuLedger::new(2);
+        l.charge(
+            0,
+            Context::SoftIrq,
+            "mlx5e_napi_poll",
+            SimDuration::from_micros(300),
+        );
+        l.charge(
+            1,
+            Context::SoftIrq,
+            "gro_cell_poll",
+            SimDuration::from_micros(500),
+        );
+        l.charge(
+            1,
+            Context::SoftIrq,
+            "process_backlog",
+            SimDuration::from_micros(200),
+        );
+        l
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = Profile::from_ledger(&ledger());
+        let sum: f64 = p.entries().iter().map(|e| e.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(p.total_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn ordering_and_lookup() {
+        let p = Profile::from_ledger(&ledger());
+        assert_eq!(p.entries()[0].func, "gro_cell_poll");
+        assert!((p.share_of("gro_cell_poll") - 0.5).abs() < 1e-9);
+        assert!((p.share_of("mlx5e_napi_poll") - 0.3).abs() < 1e-9);
+        assert_eq!(p.share_of("not_a_function"), 0.0);
+    }
+
+    #[test]
+    fn folded_format() {
+        let p = Profile::from_ledger(&ledger());
+        let folded = p.to_folded("sockperf");
+        assert!(folded.contains("sockperf;gro_cell_poll 500"));
+        assert!(folded.contains("sockperf;process_backlog 200"));
+        assert_eq!(folded.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_ledger_profile() {
+        let p = Profile::from_ledger(&CpuLedger::new(2));
+        assert_eq!(p.total_ns(), 0);
+        assert!(p.entries().is_empty());
+        assert_eq!(p.to_folded("x"), "");
+    }
+
+    #[test]
+    fn table_renders_top_n() {
+        let p = Profile::from_ledger(&ledger());
+        let table = p.to_table(2);
+        assert!(table.contains("gro_cell_poll"));
+        assert!(table.contains("mlx5e_napi_poll"));
+        assert!(!table.contains("process_backlog"));
+    }
+}

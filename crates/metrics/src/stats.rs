@@ -1,0 +1,103 @@
+//! Small-sample summary statistics for multi-run experiments.
+//!
+//! The paper reports results over multiple runs and notes when a
+//! technique's benefit is "consistent across runs" (Figures 14, 16).
+//! [`Summary`] computes mean, standard deviation and a coefficient of
+//! variation so the harness can report the same.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `f64` observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 when n < 2).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a slice of observations. Returns a zeroed summary for
+    /// an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Coefficient of variation (std_dev / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic dataset is ~2.138.
+        assert!((s.std_dev - 2.13809).abs() < 1e-4);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = Summary::of(&[]);
+        assert_eq!(e.n, 0);
+        assert_eq!(e.mean, 0.0);
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn cv() {
+        let s = Summary::of(&[10.0, 10.0, 10.0]);
+        assert_eq!(s.cv(), 0.0);
+        let z = Summary::of(&[0.0, 0.0]);
+        assert_eq!(z.cv(), 0.0);
+        let v = Summary::of(&[1.0, 3.0]);
+        assert!(v.cv() > 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests of the histogram against a naive exact
+//! implementation.
+
+use falcon_metrics::Histogram;
+use proptest::prelude::*;
+
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    /// Percentiles match the exact answer within the bucketing's 1.6%
+    /// relative error.
+    #[test]
+    fn percentiles_within_relative_error(
+        mut values in prop::collection::vec(1u64..10_000_000, 1..500),
+        p in prop::sample::select(vec![50.0f64, 90.0, 99.0, 100.0]),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_percentile(&values, p);
+        let approx = h.percentile(p);
+        // The bucket's representative is an upper bound with < 1/64
+        // relative error.
+        prop_assert!(approx >= exact, "approx {approx} < exact {exact}");
+        let err = (approx - exact) as f64 / exact.max(1) as f64;
+        prop_assert!(err < 1.0 / 64.0 + 1e-9, "error {err}");
+    }
+
+    /// Count, min, max and mean are exact.
+    #[test]
+    fn moments_are_exact(values in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-6);
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn merge_equals_concat(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hc = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.max(), hc.max());
+        for p in [50.0, 99.0] {
+            prop_assert_eq!(ha.percentile(p), hc.percentile(p));
+        }
+    }
+
+    /// Percentiles are monotone in p.
+    #[test]
+    fn percentiles_monotone(values in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let ps = [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0];
+        for pair in ps.windows(2) {
+            prop_assert!(h.percentile(pair[0]) <= h.percentile(pair[1]));
+        }
+    }
+}

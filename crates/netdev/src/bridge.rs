@@ -1,0 +1,107 @@
+//! The Linux bridge's forwarding database (FDB).
+//!
+//! Containers attach to the host through a bridge (`docker0` or an
+//! overlay bridge) plus a veth pair. `br_handle_frame` looks up the
+//! destination MAC in the FDB to pick the egress port; unknown
+//! destinations flood. The simulation learns source MACs like a real
+//! bridge so the forwarding path settles into unicast after the first
+//! frame in each direction.
+
+use std::collections::HashMap;
+
+use falcon_packet::MacAddr;
+
+/// A bridge port identifier (index of the attached device).
+pub type PortId = usize;
+
+/// A learning forwarding database.
+#[derive(Debug, Default)]
+pub struct Fdb {
+    entries: HashMap<MacAddr, PortId>,
+    lookups: u64,
+    floods: u64,
+}
+
+impl Fdb {
+    /// Creates an empty FDB.
+    pub fn new() -> Self {
+        Fdb::default()
+    }
+
+    /// Learns that `mac` is reachable via `port` (called with the
+    /// source MAC of every frame the bridge sees).
+    pub fn learn(&mut self, mac: MacAddr, port: PortId) {
+        self.entries.insert(mac, port);
+    }
+
+    /// Looks up the egress port for `dst`. `None` means flood (unknown
+    /// unicast or broadcast).
+    pub fn lookup(&mut self, dst: MacAddr) -> Option<PortId> {
+        self.lookups += 1;
+        if dst.is_broadcast() {
+            self.floods += 1;
+            return None;
+        }
+        let hit = self.entries.get(&dst).copied();
+        if hit.is_none() {
+            self.floods += 1;
+        }
+        hit
+    }
+
+    /// Number of learned entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing has been learned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that had to flood.
+    pub fn floods(&self) -> u64 {
+        self.floods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learn_then_lookup() {
+        let mut fdb = Fdb::new();
+        let mac = MacAddr::from_index(5);
+        assert!(fdb.is_empty());
+        assert_eq!(fdb.lookup(mac), None);
+        fdb.learn(mac, 3);
+        assert_eq!(fdb.lookup(mac), Some(3));
+        assert_eq!(fdb.len(), 1);
+        assert_eq!(fdb.lookups(), 2);
+        assert_eq!(fdb.floods(), 1);
+    }
+
+    #[test]
+    fn relearning_moves_port() {
+        let mut fdb = Fdb::new();
+        let mac = MacAddr::from_index(1);
+        fdb.learn(mac, 1);
+        fdb.learn(mac, 2);
+        assert_eq!(fdb.lookup(mac), Some(2));
+        assert_eq!(fdb.len(), 1);
+    }
+
+    #[test]
+    fn broadcast_always_floods() {
+        let mut fdb = Fdb::new();
+        fdb.learn(MacAddr::BROADCAST, 1); // Nonsense a real bridge never does.
+        assert_eq!(fdb.lookup(MacAddr::BROADCAST), None);
+        assert_eq!(fdb.floods(), 1);
+    }
+}

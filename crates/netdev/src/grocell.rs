@@ -1,0 +1,120 @@
+//! Per-CPU `gro_cell` queues of the VXLAN device.
+//!
+//! After `vxlan_rcv` decapsulates a packet it does not continue up the
+//! stack inline: it enqueues the inner packet into the VXLAN device's
+//! per-CPU `gro_cell` and raises a second `NET_RX` softirq (paper
+//! Figure 3, step 2). The softirq's poll function is `gro_cell_poll`.
+//! In the vanilla kernel the cell is the current CPU's; Falcon's stage
+//! transition targets another CPU's cell instead.
+
+use falcon_packet::SkBuff;
+
+use crate::ring::RxRing;
+
+/// Per-CPU receive cells for a NAPI-backed virtual device.
+#[derive(Debug)]
+pub struct GroCells {
+    cells: Vec<RxRing>,
+    napi_scheduled: Vec<bool>,
+}
+
+impl GroCells {
+    /// Creates one cell per CPU, each holding up to `capacity` packets.
+    pub fn new(n_cpus: usize, capacity: usize) -> Self {
+        GroCells {
+            cells: (0..n_cpus).map(|_| RxRing::new(capacity)).collect(),
+            napi_scheduled: vec![false; n_cpus],
+        }
+    }
+
+    /// Enqueues a decapsulated packet onto `cpu`'s cell.
+    ///
+    /// Returns `(accepted, need_softirq)` with NAPI-style coalescing,
+    /// like [`crate::Backlogs::enqueue`].
+    pub fn enqueue(&mut self, cpu: usize, skb: SkBuff) -> (bool, bool) {
+        let accepted = self.cells[cpu].push(skb);
+        if !accepted {
+            return (false, false);
+        }
+        let need = !self.napi_scheduled[cpu];
+        if need {
+            self.napi_scheduled[cpu] = true;
+        }
+        (true, need)
+    }
+
+    /// Dequeues from `cpu`'s cell (one `gro_cell_poll` iteration).
+    pub fn dequeue(&mut self, cpu: usize) -> Option<SkBuff> {
+        self.cells[cpu].pop()
+    }
+
+    /// Packets queued on `cpu`'s cell.
+    pub fn len(&self, cpu: usize) -> usize {
+        self.cells[cpu].len()
+    }
+
+    /// Returns `true` if every cell is empty.
+    pub fn all_empty(&self) -> bool {
+        self.cells.iter().all(|c| c.is_empty())
+    }
+
+    /// Completes the cell NAPI on `cpu`.
+    pub fn napi_complete(&mut self, cpu: usize) {
+        self.napi_scheduled[cpu] = false;
+    }
+
+    /// Whether `cpu`'s cell NAPI is scheduled.
+    pub fn is_napi_scheduled(&self, cpu: usize) -> bool {
+        self.napi_scheduled[cpu]
+    }
+
+    /// Total drops across cells.
+    pub fn total_dropped(&self) -> u64 {
+        self.cells.iter().map(|c| c.dropped()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_packet::PacketId;
+
+    fn skb(id: u64) -> SkBuff {
+        SkBuff::new(PacketId(id), vec![0u8; 60])
+    }
+
+    #[test]
+    fn per_cpu_isolation() {
+        let mut cells = GroCells::new(4, 16);
+        let (ok, need) = cells.enqueue(2, skb(0));
+        assert!(ok && need);
+        assert_eq!(cells.len(2), 1);
+        assert_eq!(cells.len(0), 0);
+        assert!(cells.is_napi_scheduled(2));
+        assert!(!cells.is_napi_scheduled(0));
+        assert!(!cells.all_empty());
+        assert_eq!(cells.dequeue(2).unwrap().id, PacketId(0));
+        assert!(cells.dequeue(2).is_none());
+        assert!(cells.all_empty());
+    }
+
+    #[test]
+    fn softirq_coalescing() {
+        let mut cells = GroCells::new(1, 16);
+        assert!(cells.enqueue(0, skb(0)).1);
+        assert!(!cells.enqueue(0, skb(1)).1);
+        cells.dequeue(0);
+        cells.dequeue(0);
+        cells.napi_complete(0);
+        assert!(cells.enqueue(0, skb(2)).1);
+    }
+
+    #[test]
+    fn overflow_drops() {
+        let mut cells = GroCells::new(1, 1);
+        assert!(cells.enqueue(0, skb(0)).0);
+        let (ok, need) = cells.enqueue(0, skb(1));
+        assert!(!ok && !need);
+        assert_eq!(cells.total_dropped(), 1);
+    }
+}

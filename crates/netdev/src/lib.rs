@@ -1,0 +1,37 @@
+//! Network device models for the simulated data path.
+//!
+//! Passive state of every device the overlay receive path crosses
+//! (paper Figure 3), in the order a packet meets them:
+//!
+//! * [`Wire`] — the physical link: bandwidth-serialized,
+//!   full-duplex, with propagation delay. The 10G-vs-100G contrast in
+//!   the paper's Figure 2 comes from this model.
+//! * [`PhysNic`] — a multi-queue NIC: Toeplitz RSS over
+//!   the outer flow picks a queue; each queue has a bounded
+//!   [`RxRing`] and an IRQ affinity core.
+//! * [`GroCells`] — the VXLAN device's per-CPU
+//!   `gro_cell` queues, polled by `gro_cell_poll` in a second softirq.
+//! * [`Fdb`] — the Linux bridge's forwarding database.
+//! * [`Backlogs`] — per-CPU `input_pkt_queue`s
+//!   (`softnet_data`), the queues `netif_rx`/`enqueue_to_backlog` feed
+//!   and `process_backlog` drains. RPS and Falcon both move packets
+//!   between cores by enqueuing here.
+//! * [`DeviceTable`] — ifindex allocation and
+//!   device descriptors (`skb->dev` updates at each hop).
+//!
+//! The *active* logic — who polls what, on which core, raising which
+//! softirq — lives in `falcon-netstack`.
+
+pub mod bridge;
+pub mod grocell;
+pub mod nic;
+pub mod registry;
+pub mod ring;
+pub mod wire;
+
+pub use bridge::Fdb;
+pub use grocell::GroCells;
+pub use nic::{NicConfig, PhysNic};
+pub use registry::{DeviceKind, DeviceTable};
+pub use ring::{Backlogs, RxRing};
+pub use wire::{LinkSpeed, Wire};

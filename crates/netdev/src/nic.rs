@@ -1,0 +1,276 @@
+//! The multi-queue physical NIC.
+//!
+//! On frame arrival the NIC computes the Toeplitz RSS hash over the
+//! outer 5-tuple, picks a receive queue (`hash % n_queues` over the
+//! indirection table, collapsed here to a modulo), DMAs the frame into
+//! that queue's rx ring, and — NAPI-style — raises a hardirq on the
+//! queue's affinity core only if the queue's NAPI is not already
+//! scheduled. While the driver's poll loop is active, further arrivals
+//! are absorbed silently by the ring (interrupt mitigation).
+
+use falcon_khash::{toeplitz_hash, FlowKeys, MICROSOFT_RSS_KEY};
+use falcon_packet::SkBuff;
+use serde::{Deserialize, Serialize};
+
+use crate::ring::RxRing;
+
+/// Static NIC configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NicConfig {
+    /// Number of hardware receive queues.
+    pub n_queues: usize,
+    /// Capacity of each rx ring, in packets.
+    pub ring_size: usize,
+    /// Affinity: which core services queue `i`'s IRQ.
+    pub irq_affinity: Vec<usize>,
+}
+
+impl NicConfig {
+    /// A single-queue NIC with its IRQ on core 0 — the paper's baseline
+    /// configuration before RSS enters the picture.
+    pub fn single_queue(ring_size: usize) -> Self {
+        NicConfig {
+            n_queues: 1,
+            ring_size,
+            irq_affinity: vec![0],
+        }
+    }
+
+    /// A multi-queue NIC with queue `i`'s IRQ on core `i % n_cores`.
+    pub fn multi_queue(n_queues: usize, ring_size: usize, n_cores: usize) -> Self {
+        NicConfig {
+            n_queues,
+            ring_size,
+            irq_affinity: (0..n_queues).map(|q| q % n_cores).collect(),
+        }
+    }
+}
+
+/// One hardware receive queue.
+#[derive(Debug)]
+pub struct NicQueue {
+    /// The descriptor ring.
+    pub ring: RxRing,
+    /// NAPI scheduled state: while `true`, new arrivals do not raise
+    /// hardirqs.
+    pub napi_scheduled: bool,
+}
+
+/// A multi-queue physical NIC.
+#[derive(Debug)]
+pub struct PhysNic {
+    config: NicConfig,
+    queues: Vec<NicQueue>,
+    hardirqs_raised: u64,
+}
+
+impl PhysNic {
+    /// Creates a NIC from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the affinity table does not match the queue count.
+    pub fn new(config: NicConfig) -> Self {
+        assert_eq!(
+            config.irq_affinity.len(),
+            config.n_queues,
+            "irq_affinity must list one core per queue"
+        );
+        let queues = (0..config.n_queues)
+            .map(|_| NicQueue {
+                ring: RxRing::new(config.ring_size),
+                napi_scheduled: false,
+            })
+            .collect();
+        PhysNic {
+            config,
+            queues,
+            hardirqs_raised: 0,
+        }
+    }
+
+    /// Number of receive queues.
+    pub fn n_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// RSS: picks the receive queue for a flow.
+    pub fn select_queue(&self, keys: &FlowKeys) -> usize {
+        if self.queues.len() == 1 {
+            return 0;
+        }
+        let input = falcon_khash::toeplitz::rss_input_v4(
+            keys.src_addr,
+            keys.dst_addr,
+            keys.src_port,
+            keys.dst_port,
+        );
+        let hash = toeplitz_hash(&MICROSOFT_RSS_KEY, &input);
+        hash as usize % self.queues.len()
+    }
+
+    /// Delivers an arriving frame into `queue`'s ring.
+    ///
+    /// Returns `(accepted, raise_irq_on)`: when the frame is accepted
+    /// and the queue's NAPI was idle, the caller must fire a hardirq on
+    /// the returned core and mark the poll loop running.
+    pub fn receive(&mut self, queue: usize, skb: SkBuff) -> (bool, Option<usize>) {
+        let q = &mut self.queues[queue];
+        let accepted = q.ring.push(skb);
+        if !accepted {
+            return (false, None);
+        }
+        if q.napi_scheduled {
+            (true, None)
+        } else {
+            q.napi_scheduled = true;
+            self.hardirqs_raised += 1;
+            (true, Some(self.config.irq_affinity[queue]))
+        }
+    }
+
+    /// Takes one frame from `queue`'s ring.
+    pub fn pop(&mut self, queue: usize) -> Option<SkBuff> {
+        self.queues[queue].ring.pop()
+    }
+
+    /// Peeks at the oldest frame in `queue`'s ring (GRO looks ahead for
+    /// coalescable segments).
+    pub fn peek(&self, queue: usize) -> Option<&SkBuff> {
+        self.queues[queue].ring.front()
+    }
+
+    /// Takes up to `budget` frames from `queue`'s ring (the driver poll).
+    pub fn poll(&mut self, queue: usize, budget: usize) -> Vec<SkBuff> {
+        let q = &mut self.queues[queue];
+        let mut out = Vec::new();
+        while out.len() < budget {
+            match q.ring.pop() {
+                Some(skb) => out.push(skb),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Packets waiting in `queue`'s ring.
+    pub fn ring_len(&self, queue: usize) -> usize {
+        self.queues[queue].ring.len()
+    }
+
+    /// Completes NAPI on `queue`: re-enables its interrupt.
+    pub fn napi_complete(&mut self, queue: usize) {
+        self.queues[queue].napi_scheduled = false;
+    }
+
+    /// Whether `queue`'s poll loop is marked running.
+    pub fn is_napi_scheduled(&self, queue: usize) -> bool {
+        self.queues[queue].napi_scheduled
+    }
+
+    /// IRQ affinity core of `queue`.
+    pub fn irq_core(&self, queue: usize) -> usize {
+        self.config.irq_affinity[queue]
+    }
+
+    /// Total frames dropped across all rings.
+    pub fn total_dropped(&self) -> u64 {
+        self.queues.iter().map(|q| q.ring.dropped()).sum()
+    }
+
+    /// Total hardirqs raised.
+    pub fn hardirqs_raised(&self) -> u64 {
+        self.hardirqs_raised
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_packet::PacketId;
+
+    fn skb(id: u64) -> SkBuff {
+        SkBuff::new(PacketId(id), vec![0u8; 60])
+    }
+
+    #[test]
+    fn single_queue_always_zero() {
+        let nic = PhysNic::new(NicConfig::single_queue(64));
+        let keys = FlowKeys::udp(1, 2, 3, 4);
+        assert_eq!(nic.select_queue(&keys), 0);
+    }
+
+    #[test]
+    fn rss_spreads_flows_but_is_per_flow_stable() {
+        let nic = PhysNic::new(NicConfig::multi_queue(8, 64, 8));
+        let a = FlowKeys::udp(0x0A00_0001, 1111, 0x0A00_0002, 5001);
+        let qa = nic.select_queue(&a);
+        assert_eq!(nic.select_queue(&a), qa, "same flow, same queue");
+        // Across many flows, more than one queue must be used.
+        let mut used = std::collections::HashSet::new();
+        for port in 0..64u16 {
+            let k = FlowKeys::udp(0x0A00_0001, 10_000 + port, 0x0A00_0002, 5001);
+            used.insert(nic.select_queue(&k));
+        }
+        assert!(used.len() > 3, "RSS used only {} queues", used.len());
+    }
+
+    #[test]
+    fn interrupt_mitigation() {
+        let mut nic = PhysNic::new(NicConfig::single_queue(64));
+        let (ok, irq) = nic.receive(0, skb(0));
+        assert!(ok);
+        assert_eq!(irq, Some(0), "first frame raises the IRQ");
+        let (ok, irq) = nic.receive(0, skb(1));
+        assert!(ok);
+        assert_eq!(irq, None, "poll loop already running");
+        assert_eq!(nic.hardirqs_raised(), 1);
+
+        let polled = nic.poll(0, 64);
+        assert_eq!(polled.len(), 2);
+        nic.napi_complete(0);
+        let (_, irq) = nic.receive(0, skb(2));
+        assert_eq!(irq, Some(0), "after napi_complete IRQs fire again");
+    }
+
+    #[test]
+    fn poll_respects_budget() {
+        let mut nic = PhysNic::new(NicConfig::single_queue(64));
+        for i in 0..10 {
+            nic.receive(0, skb(i));
+        }
+        assert_eq!(nic.poll(0, 4).len(), 4);
+        assert_eq!(nic.ring_len(0), 6);
+        assert_eq!(nic.poll(0, 64).len(), 6);
+        assert!(nic.poll(0, 64).is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_drops() {
+        let mut nic = PhysNic::new(NicConfig::single_queue(2));
+        assert!(nic.receive(0, skb(0)).0);
+        assert!(nic.receive(0, skb(1)).0);
+        let (ok, irq) = nic.receive(0, skb(2));
+        assert!(!ok && irq.is_none());
+        assert_eq!(nic.total_dropped(), 1);
+    }
+
+    #[test]
+    fn affinity_routing() {
+        let nic = PhysNic::new(NicConfig::multi_queue(4, 64, 2));
+        assert_eq!(nic.irq_core(0), 0);
+        assert_eq!(nic.irq_core(1), 1);
+        assert_eq!(nic.irq_core(2), 0);
+        assert_eq!(nic.irq_core(3), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "one core per queue")]
+    fn bad_affinity_panics() {
+        let _ = PhysNic::new(NicConfig {
+            n_queues: 2,
+            ring_size: 4,
+            irq_affinity: vec![0],
+        });
+    }
+}

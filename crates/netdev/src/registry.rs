@@ -1,0 +1,135 @@
+//! Device registry: ifindex allocation and descriptors.
+//!
+//! Every network device gets a kernel-style `ifindex` (starting at 1,
+//! like Linux). The ifindex matters beyond bookkeeping: it is the extra
+//! hash input that lets Falcon distinguish processing stages of the
+//! same flow (`hash_32(skb.hash + ifindex)`).
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of device an ifindex names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Physical NIC.
+    Pnic,
+    /// VXLAN tunnel endpoint.
+    Vxlan,
+    /// Linux bridge.
+    Bridge,
+    /// veth pair endpoint (container gateway).
+    Veth,
+    /// A synthetic sub-stage created by softirq splitting (e.g. the
+    /// "pNIC(2)" half of GRO-splitting in paper Figure 9b). It has its
+    /// own ifindex so the split halves hash to different CPUs.
+    SplitStage,
+}
+
+impl DeviceKind {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeviceKind::Pnic => "pNIC",
+            DeviceKind::Vxlan => "vxlan",
+            DeviceKind::Bridge => "bridge",
+            DeviceKind::Veth => "veth",
+            DeviceKind::SplitStage => "split",
+        }
+    }
+}
+
+/// Descriptor of one registered device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceDesc {
+    /// The kernel-style interface index (>= 1).
+    pub ifindex: u32,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Interface name (`eth0`, `vxlan0`, `docker0`, `veth3`...).
+    pub name: String,
+}
+
+/// The machine's device table.
+#[derive(Debug, Default)]
+pub struct DeviceTable {
+    devices: Vec<DeviceDesc>,
+}
+
+impl DeviceTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        DeviceTable::default()
+    }
+
+    /// Registers a device; returns its ifindex.
+    pub fn register(&mut self, kind: DeviceKind, name: impl Into<String>) -> u32 {
+        let ifindex = self.devices.len() as u32 + 1;
+        self.devices.push(DeviceDesc {
+            ifindex,
+            kind,
+            name: name.into(),
+        });
+        ifindex
+    }
+
+    /// Looks up a device by ifindex.
+    pub fn get(&self, ifindex: u32) -> Option<&DeviceDesc> {
+        if ifindex == 0 {
+            return None;
+        }
+        self.devices.get(ifindex as usize - 1)
+    }
+
+    /// Returns the name of a device, or `"?"`.
+    pub fn name(&self, ifindex: u32) -> &str {
+        self.get(ifindex).map_or("?", |d| d.name.as_str())
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Returns `true` if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Iterates over all descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = &DeviceDesc> {
+        self.devices.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ifindex_starts_at_one() {
+        let mut table = DeviceTable::new();
+        assert!(table.is_empty());
+        let eth0 = table.register(DeviceKind::Pnic, "eth0");
+        let vxlan0 = table.register(DeviceKind::Vxlan, "vxlan0");
+        assert_eq!(eth0, 1);
+        assert_eq!(vxlan0, 2);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_names() {
+        let mut table = DeviceTable::new();
+        let idx = table.register(DeviceKind::Bridge, "docker0");
+        assert_eq!(table.get(idx).unwrap().kind, DeviceKind::Bridge);
+        assert_eq!(table.name(idx), "docker0");
+        assert_eq!(table.name(0), "?");
+        assert_eq!(table.name(99), "?");
+        assert!(table.get(0).is_none());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DeviceKind::Pnic.label(), "pNIC");
+        assert_eq!(DeviceKind::Veth.label(), "veth");
+        assert_eq!(DeviceKind::SplitStage.label(), "split");
+    }
+}

@@ -1,0 +1,228 @@
+//! Bounded packet queues: NIC rx rings and per-CPU backlogs.
+//!
+//! Both are tail-drop FIFOs with drop accounting. The backlog array
+//! models `softnet_data.input_pkt_queue` — one queue per CPU, bounded by
+//! `netdev_max_backlog` (default 1000). `enqueue_to_backlog` (called by
+//! `netif_rx`, RPS, and Falcon's stage transitions) pushes here, and the
+//! `process_backlog` NAPI poll drains it.
+
+use falcon_packet::SkBuff;
+use std::collections::VecDeque;
+
+/// A bounded tail-drop FIFO of packets.
+#[derive(Debug, Default)]
+pub struct RxRing {
+    queue: VecDeque<SkBuff>,
+    capacity: usize,
+    dropped: u64,
+    enqueued: u64,
+}
+
+impl RxRing {
+    /// Creates a ring holding at most `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        RxRing {
+            queue: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enqueued: 0,
+        }
+    }
+
+    /// Enqueues a packet; returns `false` (and counts a drop) if full.
+    pub fn push(&mut self, skb: SkBuff) -> bool {
+        if self.queue.len() >= self.capacity {
+            self.dropped += 1;
+            false
+        } else {
+            self.queue.push_back(skb);
+            self.enqueued += 1;
+            true
+        }
+    }
+
+    /// Dequeues the oldest packet.
+    pub fn pop(&mut self) -> Option<SkBuff> {
+        self.queue.pop_front()
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` if no packets are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total packets dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total packets accepted.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Peeks at the oldest packet without dequeuing.
+    pub fn front(&self) -> Option<&SkBuff> {
+        self.queue.front()
+    }
+}
+
+/// Per-CPU input packet queues (`softnet_data.input_pkt_queue`).
+#[derive(Debug)]
+pub struct Backlogs {
+    queues: Vec<RxRing>,
+    /// Whether the backlog NAPI is already scheduled on each CPU (the
+    /// `NAPI_STATE_SCHED` bit): a second enqueue does not raise another
+    /// softirq.
+    napi_scheduled: Vec<bool>,
+}
+
+impl Backlogs {
+    /// Creates per-CPU backlogs with `capacity` (`netdev_max_backlog`).
+    pub fn new(n_cpus: usize, capacity: usize) -> Self {
+        Backlogs {
+            queues: (0..n_cpus).map(|_| RxRing::new(capacity)).collect(),
+            napi_scheduled: vec![false; n_cpus],
+        }
+    }
+
+    /// Enqueues onto `cpu`'s backlog. Returns `(accepted, need_softirq)`:
+    /// `need_softirq` is `true` when the backlog NAPI was not yet
+    /// scheduled on that CPU and the caller must raise `NET_RX` there.
+    pub fn enqueue(&mut self, cpu: usize, skb: SkBuff) -> (bool, bool) {
+        let accepted = self.queues[cpu].push(skb);
+        if !accepted {
+            return (false, false);
+        }
+        let need_softirq = !self.napi_scheduled[cpu];
+        if need_softirq {
+            self.napi_scheduled[cpu] = true;
+        }
+        (true, need_softirq)
+    }
+
+    /// Dequeues from `cpu`'s backlog.
+    pub fn dequeue(&mut self, cpu: usize) -> Option<SkBuff> {
+        self.queues[cpu].pop()
+    }
+
+    /// Peeks at the oldest packet on `cpu`'s backlog.
+    pub fn peek(&self, cpu: usize) -> Option<&SkBuff> {
+        self.queues[cpu].front()
+    }
+
+    /// Packets queued on `cpu`.
+    pub fn len(&self, cpu: usize) -> usize {
+        self.queues[cpu].len()
+    }
+
+    /// Returns `true` if every backlog is empty.
+    pub fn all_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Marks `cpu`'s backlog NAPI complete (`napi_complete`): the next
+    /// enqueue will need a new softirq.
+    pub fn napi_complete(&mut self, cpu: usize) {
+        self.napi_scheduled[cpu] = false;
+    }
+
+    /// Whether `cpu`'s backlog NAPI is scheduled.
+    pub fn is_napi_scheduled(&self, cpu: usize) -> bool {
+        self.napi_scheduled[cpu]
+    }
+
+    /// Total drops across CPUs.
+    pub fn total_dropped(&self) -> u64 {
+        self.queues.iter().map(|q| q.dropped()).sum()
+    }
+
+    /// Drops on one CPU.
+    pub fn dropped(&self, cpu: usize) -> u64 {
+        self.queues[cpu].dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_packet::PacketId;
+
+    fn skb(id: u64) -> SkBuff {
+        SkBuff::new(PacketId(id), vec![0u8; 60])
+    }
+
+    #[test]
+    fn ring_fifo_order() {
+        let mut ring = RxRing::new(4);
+        assert!(ring.is_empty());
+        for i in 0..3 {
+            assert!(ring.push(skb(i)));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.front().unwrap().id, PacketId(0));
+        assert_eq!(ring.pop().unwrap().id, PacketId(0));
+        assert_eq!(ring.pop().unwrap().id, PacketId(1));
+        assert_eq!(ring.pop().unwrap().id, PacketId(2));
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn ring_tail_drop() {
+        let mut ring = RxRing::new(2);
+        assert!(ring.push(skb(0)));
+        assert!(ring.push(skb(1)));
+        assert!(!ring.push(skb(2)));
+        assert_eq!(ring.dropped(), 1);
+        assert_eq!(ring.enqueued(), 2);
+        assert_eq!(ring.len(), 2);
+        // Draining makes room again.
+        ring.pop();
+        assert!(ring.push(skb(3)));
+    }
+
+    #[test]
+    fn backlog_softirq_coalescing() {
+        let mut b = Backlogs::new(2, 100);
+        let (ok, raise) = b.enqueue(1, skb(0));
+        assert!(ok && raise, "first enqueue needs a softirq");
+        let (ok, raise) = b.enqueue(1, skb(1));
+        assert!(ok && !raise, "NAPI already scheduled: no new softirq");
+        assert!(b.is_napi_scheduled(1));
+        assert!(!b.is_napi_scheduled(0));
+        assert_eq!(b.len(1), 2);
+
+        b.dequeue(1);
+        b.dequeue(1);
+        b.napi_complete(1);
+        let (_, raise) = b.enqueue(1, skb(2));
+        assert!(raise, "after napi_complete a new softirq is needed");
+    }
+
+    #[test]
+    fn backlog_drop_does_not_schedule() {
+        let mut b = Backlogs::new(1, 1);
+        let (_, raise) = b.enqueue(0, skb(0));
+        assert!(raise);
+        // Fill: drop, no softirq state change.
+        let (ok, raise) = b.enqueue(0, skb(1));
+        assert!(!ok && !raise);
+        assert_eq!(b.total_dropped(), 1);
+        assert_eq!(b.dropped(0), 1);
+    }
+
+    #[test]
+    fn all_empty() {
+        let mut b = Backlogs::new(2, 10);
+        assert!(b.all_empty());
+        b.enqueue(0, skb(0));
+        assert!(!b.all_empty());
+        b.dequeue(0);
+        assert!(b.all_empty());
+    }
+}

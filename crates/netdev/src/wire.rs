@@ -1,0 +1,145 @@
+//! The physical link: bandwidth serialization plus propagation delay.
+//!
+//! A frame of `n` wire bytes occupies the link for `n * 8 / bandwidth`
+//! seconds; frames queue behind each other per direction (the link is
+//! full duplex). The paper's testbed uses two direct links — an Intel
+//! X550T 10 GbE and a Mellanox ConnectX-5 100 GbE — modelled by
+//! [`LinkSpeed::TenGbit`] and [`LinkSpeed::HundredGbit`].
+
+use falcon_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Link speeds used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkSpeed {
+    /// Intel X550T 10-Gigabit Ethernet ("10G" in the figures).
+    TenGbit,
+    /// Mellanox ConnectX-5 EN 100-Gigabit Ethernet ("100G").
+    HundredGbit,
+}
+
+impl LinkSpeed {
+    /// Bits per second.
+    pub fn bits_per_sec(self) -> u64 {
+        match self {
+            LinkSpeed::TenGbit => 10_000_000_000,
+            LinkSpeed::HundredGbit => 100_000_000_000,
+        }
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkSpeed::TenGbit => "10G",
+            LinkSpeed::HundredGbit => "100G",
+        }
+    }
+}
+
+/// Direction of travel on a full-duplex wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Machine 0 to machine 1.
+    AtoB,
+    /// Machine 1 to machine 0.
+    BtoA,
+}
+
+/// A full-duplex point-to-point link.
+#[derive(Debug, Clone)]
+pub struct Wire {
+    speed: LinkSpeed,
+    propagation: SimDuration,
+    next_free: [SimTime; 2],
+}
+
+impl Wire {
+    /// Creates a link of the given speed with a propagation delay
+    /// (~500 ns models the short direct cables plus PHY latency of the
+    /// paper's back-to-back testbed).
+    pub fn new(speed: LinkSpeed, propagation: SimDuration) -> Self {
+        Wire {
+            speed,
+            propagation,
+            next_free: [SimTime::ZERO; 2],
+        }
+    }
+
+    /// Link speed.
+    pub fn speed(&self) -> LinkSpeed {
+        self.speed
+    }
+
+    /// Time to serialize `wire_bytes` onto the link.
+    pub fn serialization_delay(&self, wire_bytes: usize) -> SimDuration {
+        let bits = wire_bytes as u64 * 8;
+        // ns = bits / (bits/s) * 1e9, computed without overflow.
+        SimDuration::from_nanos(bits * 1_000_000_000 / self.speed.bits_per_sec())
+    }
+
+    /// Transmits a frame in `dir` starting no earlier than `now`;
+    /// returns the time the last bit arrives at the far end.
+    ///
+    /// The sender's NIC queues frames back to back, so transmission
+    /// begins when the previous frame in this direction has left the
+    /// wire.
+    pub fn transmit(&mut self, dir: Dir, now: SimTime, wire_bytes: usize) -> SimTime {
+        let idx = match dir {
+            Dir::AtoB => 0,
+            Dir::BtoA => 1,
+        };
+        let start = now.max(self.next_free[idx]);
+        let done_sending = start + self.serialization_delay(wire_bytes);
+        self.next_free[idx] = done_sending;
+        done_sending + self.propagation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_scales_with_speed() {
+        let w10 = Wire::new(LinkSpeed::TenGbit, SimDuration::ZERO);
+        let w100 = Wire::new(LinkSpeed::HundredGbit, SimDuration::ZERO);
+        // 1250 bytes = 10_000 bits: 1 us at 10G, 100 ns at 100G.
+        assert_eq!(w10.serialization_delay(1250).as_nanos(), 1_000);
+        assert_eq!(w100.serialization_delay(1250).as_nanos(), 100);
+    }
+
+    #[test]
+    fn frames_queue_behind_each_other() {
+        let mut w = Wire::new(LinkSpeed::TenGbit, SimDuration::from_nanos(500));
+        let t0 = SimTime::ZERO;
+        let a1 = w.transmit(Dir::AtoB, t0, 1250);
+        let a2 = w.transmit(Dir::AtoB, t0, 1250);
+        assert_eq!(a1.as_nanos(), 1_500);
+        assert_eq!(a2.as_nanos(), 2_500, "second frame waits for the first");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut w = Wire::new(LinkSpeed::TenGbit, SimDuration::ZERO);
+        let a = w.transmit(Dir::AtoB, SimTime::ZERO, 1250);
+        let b = w.transmit(Dir::BtoA, SimTime::ZERO, 1250);
+        assert_eq!(a, b, "full duplex: reverse direction does not queue");
+    }
+
+    #[test]
+    fn idle_wire_resets_queueing() {
+        let mut w = Wire::new(LinkSpeed::TenGbit, SimDuration::ZERO);
+        w.transmit(Dir::AtoB, SimTime::ZERO, 1250);
+        // Much later, no queueing applies.
+        let late = SimTime::from_millis(1);
+        let arr = w.transmit(Dir::AtoB, late, 1250);
+        assert_eq!(arr, late + SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(LinkSpeed::TenGbit.label(), "10G");
+        assert_eq!(LinkSpeed::HundredGbit.label(), "100G");
+        assert!(LinkSpeed::HundredGbit.bits_per_sec() == 10 * LinkSpeed::TenGbit.bits_per_sec());
+    }
+}

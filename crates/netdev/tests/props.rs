@@ -1,0 +1,93 @@
+//! Property-based tests of the device substrate.
+
+use falcon_netdev::wire::Dir;
+use falcon_netdev::{Backlogs, LinkSpeed, RxRing, Wire};
+use falcon_packet::{PacketId, SkBuff};
+use falcon_simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn skb(id: u64) -> SkBuff {
+    SkBuff::new(PacketId(id), vec![0u8; 60])
+}
+
+proptest! {
+    /// The ring is an exact FIFO with exact drop accounting.
+    #[test]
+    fn ring_is_fifo_with_exact_drops(capacity in 1usize..64, pushes in 1u64..200) {
+        let mut ring = RxRing::new(capacity);
+        let mut accepted = Vec::new();
+        for i in 0..pushes {
+            if ring.push(skb(i)) {
+                accepted.push(i);
+            }
+        }
+        prop_assert_eq!(ring.enqueued() as usize, accepted.len());
+        prop_assert_eq!(ring.dropped(), pushes - accepted.len() as u64);
+        for &id in &accepted {
+            prop_assert_eq!(ring.pop().unwrap().id, PacketId(id));
+        }
+        prop_assert!(ring.pop().is_none());
+    }
+
+    /// Wire arrivals are strictly monotone per direction and respect
+    /// serialization delay.
+    #[test]
+    fn wire_is_causal(
+        sizes in prop::collection::vec(60usize..9000, 1..50),
+        speed in prop::sample::select(vec![LinkSpeed::TenGbit, LinkSpeed::HundredGbit]),
+    ) {
+        let mut wire = Wire::new(speed, SimDuration::from_nanos(500));
+        let mut last = SimTime::ZERO;
+        let mut now = SimTime::ZERO;
+        for (i, &size) in sizes.iter().enumerate() {
+            now += SimDuration::from_nanos((i as u64 * 37) % 500);
+            let arrival = wire.transmit(Dir::AtoB, now, size);
+            prop_assert!(arrival > last, "arrivals must be strictly increasing");
+            // No frame can arrive before its own serialization +
+            // propagation from its send time.
+            let min = now + wire.serialization_delay(size) + SimDuration::from_nanos(500);
+            prop_assert!(arrival >= min);
+            last = arrival;
+        }
+    }
+
+    /// Backlogs raise exactly one softirq per idle->busy transition.
+    #[test]
+    fn backlog_raises_once_per_burst(burst_sizes in prop::collection::vec(1usize..20, 1..20)) {
+        let mut backlogs = Backlogs::new(1, 10_000);
+        let mut raises = 0usize;
+        let mut id = 0u64;
+        let n_bursts = burst_sizes.len();
+        for burst in burst_sizes {
+            for _ in 0..burst {
+                let (accepted, need) = backlogs.enqueue(0, skb(id));
+                prop_assert!(accepted);
+                if need {
+                    raises += 1;
+                }
+                id += 1;
+            }
+            // Drain and complete, like the softirq would.
+            while backlogs.dequeue(0).is_some() {}
+            backlogs.napi_complete(0);
+        }
+        prop_assert_eq!(raises, n_bursts);
+    }
+}
+
+#[test]
+fn backlog_one_raise_per_burst_exact() {
+    let mut backlogs = Backlogs::new(1, 100);
+    for burst in [1usize, 5, 3] {
+        let mut raises = 0;
+        for i in 0..burst {
+            let (_, need) = backlogs.enqueue(0, skb(i as u64));
+            if need {
+                raises += 1;
+            }
+        }
+        assert_eq!(raises, 1, "exactly one raise per idle burst");
+        while backlogs.dequeue(0).is_some() {}
+        backlogs.napi_complete(0);
+    }
+}

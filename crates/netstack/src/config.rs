@@ -1,0 +1,218 @@
+//! Configuration of the simulated machines and experiments.
+
+use falcon_cpusim::CpuSet;
+use falcon_netdev::{LinkSpeed, NicConfig};
+use falcon_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{CostModel, KernelVersion};
+
+/// Networking mode of the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetMode {
+    /// Native host network: single softirq stage ("Host" in figures).
+    Host,
+    /// Docker-style VXLAN overlay: pNIC → VXLAN → bridge/veth stages
+    /// ("Con" in figures).
+    Overlay,
+}
+
+impl NetMode {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetMode::Host => "Host",
+            NetMode::Overlay => "Con",
+        }
+    }
+}
+
+/// How a traffic source paces its sends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Pacing {
+    /// Send as fast as the sender threads can (stress test).
+    MaxRate,
+    /// Fixed deterministic rate, datagrams (or messages) per second.
+    FixedPps(f64),
+    /// Poisson arrivals at the given mean rate.
+    PoissonPps(f64),
+}
+
+/// Configuration of the server's network stack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StackConfig {
+    /// Number of cores on the server.
+    pub n_cores: usize,
+    /// Kernel cost profile.
+    pub kernel: KernelVersion,
+    /// Host or overlay networking.
+    pub mode: NetMode,
+    /// Physical NIC configuration (queues, ring size, IRQ affinity).
+    pub nic: NicConfig,
+    /// RPS CPU mask; `None` disables RPS.
+    pub rps: Option<CpuSet>,
+    /// Whether GRO is enabled (TCP coalescing in the driver poll).
+    pub gro: bool,
+    /// Maximum segments GRO may coalesce per poll visit.
+    pub gro_batch: usize,
+    /// Falcon softirq splitting: defer `napi_gro_receive` to a second
+    /// pipeline half-stage ("GRO-splitting", paper §4.2/§5).
+    pub split_gro: bool,
+    /// Capacity of each per-CPU backlog (`netdev_max_backlog`).
+    pub backlog_capacity: usize,
+    /// Capacity of each per-CPU VXLAN gro_cell.
+    pub gro_cell_capacity: usize,
+    /// Host-side MTU in bytes.
+    pub mtu: usize,
+    /// Container-side MTU (smaller: VXLAN overhead must still fit the
+    /// host MTU; Docker uses 1450).
+    pub overlay_mtu: usize,
+    /// Per-function CPU costs.
+    pub costs: CostModel,
+    /// Load sampling period (the timer tick driving `LoadTracker` and
+    /// Falcon's monitor).
+    pub load_sample_every: SimDuration,
+    /// Scheduler wake latency when task work lands on an idle core.
+    pub wake_latency: SimDuration,
+    /// ksoftirqd fairness: after this many consecutive softirq work
+    /// units on a core with task work pending, one task unit runs
+    /// (mirrors the kernel's softirq budget + ksoftirqd deferral, which
+    /// keeps softirq storms from starving user space entirely).
+    pub softirq_quantum: u32,
+}
+
+impl StackConfig {
+    /// A sensible default server: `n_cores` cores, multi-queue NIC with
+    /// one queue pinned to core 0 (the paper's single-flow layout), RPS
+    /// on cores 1..n, GRO on.
+    pub fn new(mode: NetMode, kernel: KernelVersion, n_cores: usize) -> Self {
+        assert!(n_cores >= 2, "server needs at least 2 cores");
+        StackConfig {
+            n_cores,
+            kernel,
+            mode,
+            nic: NicConfig::single_queue(1024),
+            rps: Some(CpuSet::range(1, n_cores.min(5))),
+            gro: true,
+            gro_batch: 8,
+            split_gro: false,
+            backlog_capacity: 1000,
+            gro_cell_capacity: 1000,
+            mtu: 1500,
+            overlay_mtu: 1450,
+            costs: CostModel::for_kernel(kernel),
+            load_sample_every: SimDuration::from_millis(1),
+            wake_latency: SimDuration::from_micros(2),
+            softirq_quantum: 2,
+        }
+    }
+
+    /// The MTU that applies to a flow's *inner* frames in this mode.
+    pub fn effective_mtu(&self) -> usize {
+        match self.mode {
+            NetMode::Host => self.mtu,
+            NetMode::Overlay => self.overlay_mtu,
+        }
+    }
+
+    /// Maximum L4 payload per wire frame: MTU minus IP (20) and UDP (8)
+    /// headers (UDP case).
+    pub fn max_udp_payload(&self) -> usize {
+        self.effective_mtu() - 28
+    }
+
+    /// TCP maximum segment size: MTU minus IP (20) and TCP (20) headers.
+    pub fn mss(&self) -> usize {
+        self.effective_mtu() - 40
+    }
+}
+
+/// Configuration of a complete client–server simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Server stack configuration.
+    pub server: StackConfig,
+    /// Physical link speed.
+    pub link: LinkSpeed,
+    /// Link propagation delay.
+    pub propagation: SimDuration,
+    /// Fixed client-side receive cost (the simplified peer: hardirq +
+    /// stack + wakeup on the client machine, which the paper does not
+    /// instrument).
+    pub client_rx_delay: SimDuration,
+    /// Per-datagram/message transmit CPU cost of one client sender
+    /// thread (caps a single sender's packet rate).
+    pub client_tx_cost: SimDuration,
+    /// Per-segment transmit cost of a TCP sender thread. Much cheaper
+    /// than a datagram: TSO hands the NIC multi-segment bursts, so
+    /// consecutive segments hit the receiver's ring back to back —
+    /// which is what gives GRO segments to coalesce.
+    pub client_tx_tcp_seg: SimDuration,
+    /// Random seed.
+    pub seed: u64,
+    /// Boot-time flow-hash salt (`hashrnd`).
+    pub hashrnd: u32,
+}
+
+impl SimConfig {
+    /// Defaults around a given server config: 100 G link, 500 ns
+    /// propagation, 2 µs client rx, ~1.45 µs client tx per datagram.
+    pub fn new(server: StackConfig) -> Self {
+        SimConfig {
+            server,
+            link: LinkSpeed::HundredGbit,
+            propagation: SimDuration::from_nanos(500),
+            client_rx_delay: SimDuration::from_micros(2),
+            client_tx_cost: SimDuration::from_nanos(1450),
+            client_tx_tcp_seg: SimDuration::from_nanos(250),
+            seed: 0x5EED_F00D,
+            hashrnd: 0x9E37_79B9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(NetMode::Host.label(), "Host");
+        assert_eq!(NetMode::Overlay.label(), "Con");
+    }
+
+    #[test]
+    fn default_stack_shape() {
+        let cfg = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+        assert_eq!(cfg.n_cores, 8);
+        assert!(cfg.gro);
+        assert!(!cfg.split_gro);
+        assert_eq!(cfg.backlog_capacity, 1000);
+        let rps = cfg.rps.unwrap();
+        assert!(!rps.contains(0), "RPS mask avoids the IRQ core");
+    }
+
+    #[test]
+    fn mtu_depends_on_mode() {
+        let host = StackConfig::new(NetMode::Host, KernelVersion::K419, 4);
+        let con = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 4);
+        assert_eq!(host.effective_mtu(), 1500);
+        assert_eq!(con.effective_mtu(), 1450);
+        assert_eq!(host.max_udp_payload(), 1472);
+        assert_eq!(host.mss(), 1460);
+        assert_eq!(con.mss(), 1410);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 cores")]
+    fn tiny_server_rejected() {
+        let _ = StackConfig::new(NetMode::Host, KernelVersion::K419, 1);
+    }
+
+    #[test]
+    fn sim_defaults() {
+        let cfg = SimConfig::new(StackConfig::new(NetMode::Host, KernelVersion::K54, 4));
+        assert_eq!(cfg.link, LinkSpeed::HundredGbit);
+        assert!(cfg.client_rx_delay.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! End-to-end counters and measurement outputs of one simulation run.
+
+use std::collections::HashMap;
+
+use falcon_metrics::Histogram;
+use serde::{Deserialize, Serialize};
+
+/// Per-flow delivery statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Application messages (datagrams / stream messages) sent.
+    pub sent_msgs: u64,
+    /// Payload bytes sent.
+    pub sent_bytes: u64,
+    /// Messages delivered to the server application.
+    pub delivered_msgs: u64,
+    /// Payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Responses (or acks, for TCP) seen back at the client.
+    pub responses: u64,
+}
+
+/// Aggregated counters for one simulation run.
+#[derive(Debug, Default, Clone)]
+pub struct SimCounters {
+    /// Per-flow statistics.
+    pub flows: HashMap<u64, FlowStats>,
+    /// Wire frames the client put on the link.
+    pub frames_sent: u64,
+    /// Frames dropped at the NIC rx ring.
+    pub ring_drops: u64,
+    /// Frames dropped at per-CPU backlogs.
+    pub backlog_drops: u64,
+    /// Frames dropped at VXLAN gro_cells.
+    pub grocell_drops: u64,
+    /// Datagrams that never completed IP reassembly (a fragment was
+    /// dropped).
+    pub reassembly_failures: u64,
+    /// One-way latency: application send → server user-space delivery.
+    pub latency: Histogram,
+    /// Receive-path latency: NIC arrival → server user-space delivery
+    /// (the kernel data-path component, excluding sender-side queueing).
+    pub rx_latency: Histogram,
+    /// Round-trip latency for request/response workloads.
+    pub rtt: Histogram,
+    /// TCP acks the server transmitted.
+    pub acks_sent: u64,
+    /// TCP segments retransmitted by the client transport.
+    pub retransmits: u64,
+    /// Falcon/steering stage-transition decisions that moved a packet
+    /// to a different CPU.
+    pub steered_remote: u64,
+    /// Stage-transition decisions that stayed local.
+    pub steered_local: u64,
+    /// Packets that reached the final stage but matched no socket.
+    pub lookup_failures: u64,
+}
+
+impl SimCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        SimCounters::default()
+    }
+
+    /// Mutable access to a flow's stats, creating on first touch.
+    pub fn flow_mut(&mut self, flow: u64) -> &mut FlowStats {
+        self.flows.entry(flow).or_default()
+    }
+
+    /// Total messages delivered across flows.
+    pub fn total_delivered(&self) -> u64 {
+        self.flows.values().map(|f| f.delivered_msgs).sum()
+    }
+
+    /// Total payload bytes delivered across flows.
+    pub fn total_delivered_bytes(&self) -> u64 {
+        self.flows.values().map(|f| f.delivered_bytes).sum()
+    }
+
+    /// Total messages sent across flows.
+    pub fn total_sent(&self) -> u64 {
+        self.flows.values().map(|f| f.sent_msgs).sum()
+    }
+
+    /// Total drops at any queue.
+    pub fn total_drops(&self) -> u64 {
+        self.ring_drops + self.backlog_drops + self.grocell_drops
+    }
+
+    /// Delivered / sent, in 0–1 (1.0 when nothing was sent).
+    pub fn delivery_ratio(&self) -> f64 {
+        let sent = self.total_sent();
+        if sent == 0 {
+            1.0
+        } else {
+            self.total_delivered() as f64 / sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_flow_accumulation() {
+        let mut c = SimCounters::new();
+        c.flow_mut(1).sent_msgs += 10;
+        c.flow_mut(1).delivered_msgs += 8;
+        c.flow_mut(2).sent_msgs += 5;
+        c.flow_mut(2).delivered_msgs += 5;
+        assert_eq!(c.total_sent(), 15);
+        assert_eq!(c.total_delivered(), 13);
+        assert!((c.delivery_ratio() - 13.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ratio_is_one() {
+        assert_eq!(SimCounters::new().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn drop_totals() {
+        let mut c = SimCounters::new();
+        c.ring_drops = 3;
+        c.backlog_drops = 4;
+        c.grocell_drops = 5;
+        assert_eq!(c.total_drops(), 12);
+    }
+}

@@ -1,0 +1,46 @@
+//! The simulated Linux kernel receive path.
+//!
+//! This crate wires the substrates (`falcon-simcore`, `falcon-cpusim`,
+//! `falcon-netdev`, `falcon-packet`, `falcon-khash`, `falcon-metrics`)
+//! into a faithful event-driven model of the data path the paper
+//! analyzes (Figure 3):
+//!
+//! ```text
+//! wire → NIC(RSS) → hardirq → NAPI poll(mlx5e_napi_poll: skb_alloc +
+//! napi_gro_receive) → netif_receive_skb → RPS(get_rps_cpu) →
+//! per-CPU backlog → process_backlog → ip_rcv → udp_rcv → vxlan_rcv
+//! (decap) → gro_cell → gro_cell_poll → br_handle_frame → veth_xmit →
+//! netif_rx → backlog → process_backlog → inner ip/udp/tcp → socket →
+//! copy_to_user → application
+//! ```
+//!
+//! Each arrow that crosses a queue is a softirq boundary; the vanilla
+//! kernel keeps all of them on one CPU per flow, and the
+//! [`Steering`] hook at each boundary is where
+//! Falcon (implemented in the `falcon` crate) plugs in.
+//!
+//! Key types:
+//! * [`Sim`] — a client machine, a wire, and a fully modelled
+//!   server kernel, plus the [`App`] driving traffic.
+//! * [`StackConfig`] / [`SimConfig`]
+//!   — all the knobs (kernel version, NIC, RPS mask, GRO, splitting).
+//! * [`CostModel`] — calibrated per-function CPU costs.
+
+pub mod config;
+pub mod cost;
+pub mod counters;
+pub mod machine;
+pub mod ordering;
+pub mod rxpath;
+pub mod sim;
+pub mod socket;
+pub mod steering;
+pub mod transport;
+
+pub use config::{NetMode, Pacing, SimConfig, StackConfig};
+pub use cost::{CostModel, KernelVersion};
+pub use counters::SimCounters;
+pub use sim::{App, MsgMeta, Sim, SimApi, SimRunner};
+pub use socket::SockId;
+pub use steering::{rps_cpu, StayLocal, SteerCtx, Steering};
+pub use transport::FlowId;

@@ -1,0 +1,329 @@
+//! The server machine: all kernel state of the receiving host.
+//!
+//! `Machine` aggregates the cores, the device instances of the overlay
+//! data path, the per-core softirq scheduling state (hardirq queues,
+//! NAPI poll lists, task queues), sockets, the steering policy, and the
+//! invariant trackers. The *dispatch logic* that animates this state
+//! lives in [`crate::rxpath`].
+
+use std::collections::{HashMap, VecDeque};
+
+use falcon_cpusim::{Cores, LoadTracker};
+use falcon_khash::FlowKeys;
+use falcon_netdev::{Backlogs, DeviceKind, DeviceTable, Fdb, GroCells, PhysNic};
+use falcon_packet::{Ipv4Addr4, MacAddr, SkBuff};
+use falcon_simcore::SimTime;
+
+use crate::config::{NetMode, StackConfig};
+use crate::ordering::OrderTracker;
+use crate::socket::{SockId, SocketTable};
+use crate::steering::Steering;
+
+/// The server's host-network IP.
+pub const SERVER_HOST_IP: Ipv4Addr4 = Ipv4Addr4::new(192, 168, 0, 2);
+/// The client's host-network IP.
+pub const CLIENT_HOST_IP: Ipv4Addr4 = Ipv4Addr4::new(192, 168, 0, 1);
+/// The VNI of the simulated Docker overlay network.
+pub const OVERLAY_VNI: u32 = 256;
+
+/// Interface indexes of the registered devices.
+#[derive(Debug, Clone)]
+pub struct Ifindexes {
+    /// The physical NIC.
+    pub pnic: u32,
+    /// The synthetic second half of a split pNIC stage (GRO-splitting);
+    /// distinct so the split halves hash to different CPUs.
+    pub pnic_split: u32,
+    /// The VXLAN tunnel device (overlay mode).
+    pub vxlan: u32,
+    /// The bridge (overlay mode).
+    pub bridge: u32,
+}
+
+/// Per-container network attachment.
+#[derive(Debug, Clone)]
+pub struct ContainerNet {
+    /// The container's private IP.
+    pub addr: Ipv4Addr4,
+    /// The container-side MAC.
+    pub mac: MacAddr,
+    /// The veth device's ifindex (the third pipeline stage's identity).
+    pub veth_ifindex: u32,
+}
+
+/// A NAPI instance reference on a core's poll list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NapiRef {
+    /// The physical NIC's queue `q` (driver poll, `mlx5e_napi_poll`).
+    Nic {
+        /// Hardware queue index.
+        queue: usize,
+    },
+    /// This core's VXLAN gro_cell (`gro_cell_poll`).
+    GroCell,
+    /// This core's input packet queue (`process_backlog`).
+    Backlog,
+}
+
+/// Work queued for hardirq context on a core.
+#[derive(Debug, Clone, Copy)]
+pub enum HardIrqWork {
+    /// The NIC raised its receive interrupt for `queue`.
+    NicIrq {
+        /// Hardware queue index.
+        queue: usize,
+    },
+    /// An IPI asking this core to schedule a NAPI instance (remote
+    /// `enqueue_to_backlog` / gro_cell kick).
+    NapiKick {
+        /// The NAPI instance to schedule.
+        napi: NapiRef,
+    },
+}
+
+/// Work queued for task (process) context on a core.
+#[derive(Debug)]
+pub enum TaskWork {
+    /// Deliver a packet to the application that owns `sock`:
+    /// `copy_to_user` + `recvmsg` + app service time.
+    Deliver {
+        /// Destination socket.
+        sock: SockId,
+        /// The packet (metadata carrier at this point).
+        skb: SkBuff,
+    },
+    /// The server application sends a response: `sendmsg` + (overlay)
+    /// encapsulation + driver transmit on the app core.
+    ServerSend {
+        /// Flow the response belongs to.
+        flow: u64,
+        /// Response payload bytes.
+        bytes: usize,
+        /// Correlation id echoed to the client.
+        msg_id: u64,
+        /// Extra application service time charged before the send
+        /// (request handling work beyond the socket's default).
+        service_ns: u64,
+    },
+}
+
+/// Reassembly state for one fragmented datagram.
+#[derive(Debug)]
+pub struct FragAsm {
+    /// Fragments received so far.
+    pub got: u32,
+    /// Fragments needed.
+    pub need: u32,
+    /// Prototype skb (first fragment) carrying the metadata.
+    pub proto: Option<SkBuff>,
+}
+
+/// The receiving host.
+pub struct Machine {
+    /// Stack configuration.
+    pub cfg: StackConfig,
+    /// Core execution and accounting.
+    pub cores: Cores,
+    /// Windowed load (the `/proc/stat` sampler).
+    pub load: LoadTracker,
+    /// Device name/ifindex table.
+    pub devices: DeviceTable,
+    /// Well-known device ifindexes.
+    pub ifx: Ifindexes,
+    /// The physical NIC.
+    pub nic: PhysNic,
+    /// Per-CPU VXLAN gro_cells.
+    pub grocells: GroCells,
+    /// Per-CPU input packet queues.
+    pub backlogs: Backlogs,
+    /// The bridge FDB.
+    pub fdb: Fdb,
+    /// Bound sockets.
+    pub sockets: SocketTable,
+    /// Containers attached to the bridge, looked up by private IP.
+    pub containers: Vec<ContainerNet>,
+    container_by_ip: HashMap<u32, usize>,
+    /// Per-core NET_RX poll lists.
+    pub poll_list: Vec<VecDeque<NapiRef>>,
+    /// Per-core pending hardirqs.
+    pub hardirq_q: Vec<VecDeque<HardIrqWork>>,
+    /// Per-core pending task work.
+    pub task_q: Vec<VecDeque<TaskWork>>,
+    /// Stage-transition CPU selection policy.
+    pub steering: Box<dyn Steering>,
+    /// In-order delivery checker.
+    pub order: OrderTracker,
+    /// IP reassembly table: `(flow, datagram) -> state`.
+    pub defrag: HashMap<(u64, u64), FragAsm>,
+    /// Flow-hash salt.
+    pub hashrnd: u32,
+    /// Next tick at which the load tracker samples.
+    pub next_load_sample: SimTime,
+    /// Consecutive softirq work units per core since the last task or
+    /// hardirq unit — the dispatcher's ksoftirqd-fairness counter.
+    pub softirq_streak: Vec<u32>,
+}
+
+impl Machine {
+    /// Builds a machine: registers devices per the mode and creates all
+    /// per-core structures.
+    pub fn new(cfg: StackConfig, steering: Box<dyn Steering>, hashrnd: u32) -> Self {
+        let n = cfg.n_cores;
+        let mut devices = DeviceTable::new();
+        let pnic = devices.register(DeviceKind::Pnic, "eth0");
+        let pnic_split = devices.register(DeviceKind::SplitStage, "eth0:gro");
+        let (vxlan, bridge) = match cfg.mode {
+            NetMode::Overlay => (
+                devices.register(DeviceKind::Vxlan, "vxlan0"),
+                devices.register(DeviceKind::Bridge, "docker0"),
+            ),
+            // Host mode keeps zeroed ifindexes; the overlay stages
+            // never run.
+            NetMode::Host => (0, 0),
+        };
+        let nic = PhysNic::new(cfg.nic.clone());
+        Machine {
+            cores: Cores::new(n),
+            load: LoadTracker::new(n),
+            ifx: Ifindexes {
+                pnic,
+                pnic_split,
+                vxlan,
+                bridge,
+            },
+            nic,
+            grocells: GroCells::new(n, cfg.gro_cell_capacity),
+            backlogs: Backlogs::new(n, cfg.backlog_capacity),
+            fdb: Fdb::new(),
+            sockets: SocketTable::new(),
+            containers: Vec::new(),
+            container_by_ip: HashMap::new(),
+            poll_list: (0..n).map(|_| VecDeque::new()).collect(),
+            hardirq_q: (0..n).map(|_| VecDeque::new()).collect(),
+            task_q: (0..n).map(|_| VecDeque::new()).collect(),
+            steering,
+            order: OrderTracker::new(),
+            defrag: HashMap::new(),
+            hashrnd,
+            next_load_sample: SimTime::ZERO,
+            softirq_streak: vec![0; n],
+            devices,
+            cfg,
+        }
+    }
+
+    /// Attaches a container with the given private IP to the bridge.
+    ///
+    /// Registers its veth device and pre-populates the FDB (as ARP +
+    /// learning would after the first frame).
+    pub fn add_container(&mut self, addr: Ipv4Addr4) -> usize {
+        let idx = self.containers.len();
+        let veth_ifindex = self
+            .devices
+            .register(DeviceKind::Veth, format!("veth{idx}"));
+        let mac = MacAddr::from_index(0x100 + idx as u64);
+        self.fdb.learn(mac, idx);
+        self.containers.push(ContainerNet {
+            addr,
+            mac,
+            veth_ifindex,
+        });
+        self.container_by_ip.insert(addr.0, idx);
+        idx
+    }
+
+    /// Looks up the container owning a private IP.
+    pub fn container_for_ip(&self, addr: u32) -> Option<&ContainerNet> {
+        self.container_by_ip
+            .get(&addr)
+            .map(|&i| &self.containers[i])
+    }
+
+    /// Computes the flow hash the dissector would store in `skb->hash`.
+    pub fn flow_hash(&self, keys: &FlowKeys) -> u32 {
+        falcon_khash::flow_hash_from_keys(keys, self.hashrnd)
+    }
+
+    /// True when a core has nothing queued in any class.
+    pub fn core_quiescent(&self, core: usize) -> bool {
+        self.hardirq_q[core].is_empty()
+            && self.poll_list[core].is_empty()
+            && self.task_q[core].is_empty()
+    }
+
+    /// True when the whole machine is drained (no queued work anywhere;
+    /// cores may still be finishing their last unit).
+    pub fn quiescent(&self) -> bool {
+        (0..self.cfg.n_cores).all(|c| self.core_quiescent(c))
+            && self.backlogs.all_empty()
+            && self.grocells.all_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetMode;
+    use crate::cost::KernelVersion;
+    use crate::steering::StayLocal;
+
+    fn machine(mode: NetMode) -> Machine {
+        Machine::new(
+            StackConfig::new(mode, KernelVersion::K419, 4),
+            Box::new(StayLocal),
+            7,
+        )
+    }
+
+    #[test]
+    fn overlay_registers_all_devices() {
+        let m = machine(NetMode::Overlay);
+        assert_eq!(m.devices.name(m.ifx.pnic), "eth0");
+        assert_eq!(m.devices.name(m.ifx.vxlan), "vxlan0");
+        assert_eq!(m.devices.name(m.ifx.bridge), "docker0");
+        assert_ne!(m.ifx.pnic, m.ifx.pnic_split);
+    }
+
+    #[test]
+    fn host_mode_has_no_overlay_devices() {
+        let m = machine(NetMode::Host);
+        assert_eq!(m.ifx.vxlan, 0);
+        assert_eq!(m.ifx.bridge, 0);
+    }
+
+    #[test]
+    fn containers_attach_with_distinct_identities() {
+        let mut m = machine(NetMode::Overlay);
+        let a = Ipv4Addr4::new(10, 0, 0, 10);
+        let b = Ipv4Addr4::new(10, 0, 0, 11);
+        m.add_container(a);
+        m.add_container(b);
+        let ca = m.container_for_ip(a.0).unwrap();
+        let cb = m.container_for_ip(b.0).unwrap();
+        assert_ne!(ca.veth_ifindex, cb.veth_ifindex);
+        assert_ne!(ca.mac, cb.mac);
+        assert!(m.container_for_ip(0xDEAD).is_none());
+    }
+
+    #[test]
+    fn flow_hash_is_salted_and_stable() {
+        let m = machine(NetMode::Host);
+        let keys = FlowKeys::udp(1, 2, 3, 4);
+        assert_eq!(m.flow_hash(&keys), m.flow_hash(&keys));
+        let other = Machine::new(
+            StackConfig::new(NetMode::Host, KernelVersion::K419, 4),
+            Box::new(StayLocal),
+            8,
+        );
+        assert_ne!(m.flow_hash(&keys), other.flow_hash(&keys));
+    }
+
+    #[test]
+    fn fresh_machine_is_quiescent() {
+        let m = machine(NetMode::Overlay);
+        assert!(m.quiescent());
+        for c in 0..4 {
+            assert!(m.core_quiescent(c));
+        }
+    }
+}

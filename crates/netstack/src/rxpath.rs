@@ -1,0 +1,996 @@
+//! The server receive-path dispatcher: per-core work selection, stage
+//! plans, and stage-transition application.
+//!
+//! Each server core is a priority server over three work classes
+//! (hardirq > softirq > task), dispatching one *work unit* at a time. A
+//! work unit is one packet's processing at one pipeline stage — a batch
+//! of kernel function invocations charged to the core as a whole, with
+//! per-function attribution in the ledger. Completion applies the
+//! unit's *outcome*: enqueue to another queue (possibly on another CPU,
+//! raising a softirq or an IPI there), wake the application, transmit
+//! an ack or response.
+//!
+//! The overlay receive pipeline and its softirq boundaries follow the
+//! paper's Figure 3/Figure 8 exactly; the vanilla-vs-Falcon difference
+//! is confined to the [`Steering`](crate::steering::Steering) decision
+//! at each boundary.
+
+use falcon_metrics::{Context, IrqKind};
+use falcon_packet::{dissect_flow, vxlan_decapsulate, EthernetHdr, SkBuff};
+use falcon_simcore::{Engine, SimDuration, SimTime};
+
+use crate::config::NetMode;
+use crate::machine::{FragAsm, HardIrqWork, NapiRef, TaskWork};
+use crate::sim::{client_on_ack, client_on_response, with_app, MsgMeta, Sim, SimInner};
+use crate::socket::SockId;
+use crate::steering::{rps_cpu, SteerCtx};
+use crate::transport::FlowId;
+
+/// Checkpoint-id offset for the backlog (stage-B) half of the pNIC
+/// device's processing, so its ordering checks do not collide with the
+/// driver-poll half.
+const STAGE_B_CHECK: u32 = 0x8000_0000;
+/// Checkpoint id of final socket delivery.
+const DELIVERY_CHECK: u32 = 0xFFFF_FFFF;
+
+/// A single function-cost item of a work unit.
+pub type WorkItem = (&'static str, SimDuration);
+
+/// What happens when a work unit completes.
+#[derive(Debug)]
+pub enum NextStep {
+    /// Put a NAPI instance on this core's poll list (hardirq bottom
+    /// half).
+    ScheduleNapi {
+        /// The instance to schedule.
+        napi: NapiRef,
+    },
+    /// Enqueue onto a CPU's input packet queue.
+    EnqueueBacklog {
+        /// Target CPU.
+        cpu: usize,
+        /// The packet.
+        skb: SkBuff,
+    },
+    /// Enqueue onto a CPU's VXLAN gro_cell.
+    EnqueueGroCell {
+        /// Target CPU.
+        cpu: usize,
+        /// The packet.
+        skb: SkBuff,
+    },
+    /// Queue user-space delivery on the socket's application core.
+    SocketTask {
+        /// Destination socket.
+        sock: SockId,
+        /// The packet.
+        skb: SkBuff,
+    },
+    /// The application received the message (task work finished).
+    AppDeliver {
+        /// Destination socket.
+        sock: SockId,
+        /// The packet.
+        skb: SkBuff,
+    },
+    /// Transmit to the client (ack or response).
+    ServerTx(ServerTxMsg),
+}
+
+/// A server-to-client transmission.
+#[derive(Debug)]
+pub struct ServerTxMsg {
+    /// Flow id.
+    pub flow: u64,
+    /// Payload semantics.
+    pub kind: TxKind,
+}
+
+/// What a server transmission carries.
+#[derive(Debug)]
+pub enum TxKind {
+    /// Cumulative TCP ack up to segment `upto` (inclusive).
+    Ack {
+        /// Highest acknowledged segment.
+        upto: u64,
+    },
+    /// An application response.
+    Response {
+        /// Correlation id.
+        msg_id: u64,
+        /// Payload bytes.
+        bytes: usize,
+    },
+}
+
+/// The outcome of the work unit currently running on a core.
+#[derive(Debug)]
+pub struct PendingOutcome {
+    /// Steps to apply at completion.
+    pub steps: Vec<NextStep>,
+}
+
+/// A new frame finished arriving at the server NIC.
+pub fn frame_arrival(sim: &mut Sim, eng: &mut Engine<Sim>, mut skb: SkBuff) {
+    let inner = &mut sim.inner;
+    skb.nic_arrival = eng.now();
+    let Ok(keys) = dissect_flow(&skb.data) else {
+        return; // Undissectable frames are dropped by the NIC filter.
+    };
+    let m = &mut inner.machine;
+    let queue = m.nic.select_queue(&keys);
+    let (accepted, irq) = m.nic.receive(queue, skb);
+    if !accepted {
+        inner.counters.ring_drops += 1;
+        return;
+    }
+    if let Some(core) = irq {
+        m.cores.irqs.count(core, IrqKind::HardIrq);
+        m.hardirq_q[core].push_back(HardIrqWork::NicIrq { queue });
+        kick(inner, eng, core);
+    }
+}
+
+/// Dispatches the next work unit on `core`, if the core is idle and
+/// work is pending. Safe to call redundantly.
+pub fn kick(inner: &mut SimInner, eng: &mut Engine<Sim>, core: usize) {
+    if !inner.machine.cores.is_idle(core) {
+        return;
+    }
+    debug_assert!(
+        inner.running[core].is_none(),
+        "idle core with pending outcome"
+    );
+    let now = eng.now();
+
+    // 1. Hardware interrupts.
+    if let Some(irq) = inner.machine.hardirq_q[core].pop_front() {
+        inner.machine.softirq_streak[core] = 0;
+        let (items, steps) = plan_hardirq(inner, core, irq);
+        begin(inner, eng, core, Context::HardIrq, now, items, steps);
+        return;
+    }
+
+    // ksoftirqd fairness: a long softirq streak with task work pending
+    // yields one task-context unit, as the kernel's softirq budget +
+    // ksoftirqd deferral would.
+    if inner.machine.softirq_streak[core] >= inner.cfg.server.softirq_quantum
+        && !inner.machine.task_q[core].is_empty()
+    {
+        inner.machine.softirq_streak[core] = 0;
+        let task = inner.machine.task_q[core]
+            .pop_front()
+            .expect("checked non-empty");
+        let (items, steps) = plan_task(inner, core, task);
+        begin(inner, eng, core, Context::Task, now, items, steps);
+        return;
+    }
+
+    // 2. NET_RX softirq: walk the poll list, completing drained NAPIs.
+    while let Some(&napi) = inner.machine.poll_list[core].front() {
+        let planned = match napi {
+            NapiRef::Nic { queue } => {
+                if inner.machine.nic.ring_len(queue) == 0 {
+                    inner.machine.nic.napi_complete(queue);
+                    None
+                } else {
+                    Some(plan_nic_poll(inner, core, queue))
+                }
+            }
+            NapiRef::GroCell => {
+                if inner.machine.grocells.len(core) == 0 {
+                    inner.machine.grocells.napi_complete(core);
+                    None
+                } else {
+                    Some(plan_grocell(inner, core))
+                }
+            }
+            NapiRef::Backlog => {
+                if inner.machine.backlogs.len(core) == 0 {
+                    inner.machine.backlogs.napi_complete(core);
+                    None
+                } else {
+                    Some(plan_backlog(inner, core))
+                }
+            }
+        };
+        match planned {
+            None => {
+                inner.machine.poll_list[core].pop_front();
+            }
+            Some((items, steps)) => {
+                // Round-robin: rotate this NAPI to the back.
+                let head = inner.machine.poll_list[core]
+                    .pop_front()
+                    .expect("head vanished");
+                inner.machine.poll_list[core].push_back(head);
+                inner.machine.softirq_streak[core] += 1;
+                begin(inner, eng, core, Context::SoftIrq, now, items, steps);
+                return;
+            }
+        }
+    }
+
+    // 3. Task work.
+    if let Some(task) = inner.machine.task_q[core].pop_front() {
+        inner.machine.softirq_streak[core] = 0;
+        let (items, steps) = plan_task(inner, core, task);
+        begin(inner, eng, core, Context::Task, now, items, steps);
+    }
+}
+
+/// Starts a work unit and schedules its completion.
+fn begin(
+    inner: &mut SimInner,
+    eng: &mut Engine<Sim>,
+    core: usize,
+    ctx: Context,
+    now: SimTime,
+    items: Vec<WorkItem>,
+    steps: Vec<NextStep>,
+) {
+    let until = inner.machine.cores.begin_work(core, ctx, now, &items);
+    inner.running[core] = Some(PendingOutcome { steps });
+    eng.schedule_at(until, move |s: &mut Sim, e: &mut Engine<Sim>| {
+        on_core_done(s, e, core);
+    });
+}
+
+/// Completion of the work unit on `core`: apply its outcome, dispatch
+/// the next unit.
+fn on_core_done(sim: &mut Sim, eng: &mut Engine<Sim>, core: usize) {
+    let now = eng.now();
+    sim.inner.machine.cores.complete(core, now);
+    let outcome = sim.inner.running[core]
+        .take()
+        .expect("completion without outcome");
+    for step in outcome.steps {
+        apply_step(sim, eng, core, step);
+    }
+    kick(&mut sim.inner, eng, core);
+}
+
+/// Applies a single completed-work step.
+fn apply_step(sim: &mut Sim, eng: &mut Engine<Sim>, from_core: usize, step: NextStep) {
+    match step {
+        NextStep::ScheduleNapi { napi } => {
+            let list = &mut sim.inner.machine.poll_list[from_core];
+            debug_assert!(!list.contains(&napi), "NAPI scheduled twice");
+            list.push_back(napi);
+        }
+        NextStep::EnqueueBacklog { cpu, skb } => {
+            let m = &mut sim.inner.machine;
+            let (accepted, need_softirq) = m.backlogs.enqueue(cpu, skb);
+            if !accepted {
+                sim.inner.counters.backlog_drops += 1;
+                return;
+            }
+            if need_softirq {
+                raise_net_rx(sim, eng, from_core, cpu, NapiRef::Backlog);
+            }
+        }
+        NextStep::EnqueueGroCell { cpu, skb } => {
+            let m = &mut sim.inner.machine;
+            let (accepted, need_softirq) = m.grocells.enqueue(cpu, skb);
+            if !accepted {
+                sim.inner.counters.grocell_drops += 1;
+                return;
+            }
+            if need_softirq {
+                raise_net_rx(sim, eng, from_core, cpu, NapiRef::GroCell);
+            }
+        }
+        NextStep::SocketTask { sock, skb } => {
+            let m = &mut sim.inner.machine;
+            let app_core = m.sockets.get(sock).app_core;
+            m.task_q[app_core].push_back(TaskWork::Deliver { sock, skb });
+            if app_core != from_core && m.cores.is_idle(app_core) {
+                // Scheduler wakeup: rescheduling IPI plus wake latency.
+                m.cores.irqs.count(app_core, IrqKind::ResIpi);
+                let wake = m.cfg.wake_latency;
+                eng.schedule_after(wake, move |s: &mut Sim, e: &mut Engine<Sim>| {
+                    kick(&mut s.inner, e, app_core);
+                });
+            }
+        }
+        NextStep::AppDeliver { sock, skb } => {
+            deliver_to_app(sim, eng, sock, skb);
+        }
+        NextStep::ServerTx(msg) => {
+            server_tx(sim, eng, msg);
+        }
+    }
+}
+
+/// Raises NET_RX for `napi` on `cpu`: locally by poll-list insert,
+/// remotely via an IPI after the IPI latency.
+fn raise_net_rx(sim: &mut Sim, eng: &mut Engine<Sim>, from_core: usize, cpu: usize, napi: NapiRef) {
+    let m = &mut sim.inner.machine;
+    m.cores.irqs.count(cpu, IrqKind::NetRx);
+    if cpu == from_core {
+        let list = &mut m.poll_list[cpu];
+        debug_assert!(!list.contains(&napi), "NAPI raised twice locally");
+        list.push_back(napi);
+    } else {
+        m.cores.irqs.count(cpu, IrqKind::BacklogIpi);
+        let latency = SimDuration::from_nanos(m.cfg.costs.ipi_latency_ns);
+        eng.schedule_after(latency, move |s: &mut Sim, e: &mut Engine<Sim>| {
+            s.inner.machine.hardirq_q[cpu].push_back(HardIrqWork::NapiKick { napi });
+            kick(&mut s.inner, e, cpu);
+        });
+    }
+}
+
+/// Final delivery: accounting, ordering check, app callback.
+fn deliver_to_app(sim: &mut Sim, eng: &mut Engine<Sim>, sock: SockId, skb: SkBuff) {
+    let now = eng.now();
+    let inner = &mut sim.inner;
+    let flow = skb.flow_id;
+    inner
+        .machine
+        .order
+        .check(flow, DELIVERY_CHECK, skb.flow_seq, 1);
+    let latency = now.saturating_since(skb.sent_at).as_nanos();
+    let rx_latency = now.saturating_since(skb.nic_arrival).as_nanos();
+    let record = now >= inner.measure_from;
+
+    let socket = inner.machine.sockets.get_mut(sock);
+    socket.delivered_msgs += 1;
+    socket.delivered_bytes += skb.payload_len as u64;
+    if record {
+        socket.latency.record(latency);
+        inner.counters.latency.record(latency);
+        inner.counters.rx_latency.record(rx_latency);
+    }
+    let is_tcp = skb.tcp_seg > 0 || skb.gro_segs > 1 || {
+        inner
+            .client
+            .flows
+            .get(flow as usize)
+            .map(|f| f.keys.ip_proto == 6)
+            .unwrap_or(false)
+    };
+    let stats = inner.counters.flow_mut(flow);
+    stats.delivered_msgs += if is_tcp { skb.gro_segs as u64 } else { 1 };
+    stats.delivered_bytes += skb.payload_len as u64;
+
+    let meta = MsgMeta {
+        flow: FlowId(flow as u32),
+        bytes: skb.payload_len,
+        msg_id: skb.msg_id,
+        sent_at: skb.sent_at,
+        segments: skb.gro_segs,
+    };
+    with_app(sim, eng, |app, api| app.on_server_msg(api, sock, &meta));
+}
+
+/// Transmits an ack or response to the client and schedules its
+/// delivery there.
+fn server_tx(sim: &mut Sim, eng: &mut Engine<Sim>, msg: ServerTxMsg) {
+    let now = eng.now();
+    let inner = &mut sim.inner;
+    let overlay = inner.cfg.server.mode == NetMode::Overlay;
+    let encap_overhead = if overlay {
+        falcon_packet::VXLAN_OVERHEAD
+    } else {
+        0
+    };
+    let flow = FlowId(msg.flow as u32);
+    match msg.kind {
+        TxKind::Ack { upto } => {
+            inner.counters.acks_sent += 1;
+            let wire_bytes = 14 + 20 + 20 + encap_overhead + 24;
+            let arrival = inner
+                .wire
+                .transmit(falcon_netdev::wire::Dir::BtoA, now, wire_bytes);
+            let deliver_at = arrival + inner.cfg.client_rx_delay;
+            eng.schedule_at(deliver_at, move |s: &mut Sim, e: &mut Engine<Sim>| {
+                client_on_ack(s, e, flow, upto);
+            });
+        }
+        TxKind::Response { msg_id, bytes } => {
+            // Segment large responses across MTU-sized frames.
+            let mss = inner.cfg.server.mss();
+            let n_frames = bytes.div_ceil(mss).max(1);
+            let mut last_arrival = now;
+            for i in 0..n_frames {
+                let chunk = if i + 1 == n_frames {
+                    bytes - i * mss
+                } else {
+                    mss
+                };
+                let wire_bytes = 14 + 40 + encap_overhead + chunk + 24;
+                last_arrival = inner
+                    .wire
+                    .transmit(falcon_netdev::wire::Dir::BtoA, now, wire_bytes);
+            }
+            let deliver_at = last_arrival + inner.cfg.client_rx_delay;
+            eng.schedule_at(deliver_at, move |s: &mut Sim, e: &mut Engine<Sim>| {
+                client_on_response(s, e, flow, msg_id, bytes);
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage plans.
+// ---------------------------------------------------------------------
+
+/// Hardirq handlers.
+fn plan_hardirq(
+    inner: &mut SimInner,
+    _core: usize,
+    irq: HardIrqWork,
+) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let costs = &inner.cfg.server.costs;
+    match irq {
+        HardIrqWork::NicIrq { queue } => (
+            vec![("pnic_interrupt", SimDuration::from_nanos(costs.hardirq_ns))],
+            vec![NextStep::ScheduleNapi {
+                napi: NapiRef::Nic { queue },
+            }],
+        ),
+        HardIrqWork::NapiKick { napi } => (
+            vec![("ipi_handler", SimDuration::from_nanos(costs.ipi_cost_ns))],
+            vec![NextStep::ScheduleNapi { napi }],
+        ),
+    }
+}
+
+/// Chooses the next-stage CPU at a stage-transition point, with
+/// out-of-order-flow protection: if the policy's choice differs from
+/// the CPU this (flow, stage) currently runs on and packets are still
+/// in flight there, the switch is deferred (the kernel's
+/// `rps_dev_flow` qtail check does the same for RPS).
+fn steer(inner: &mut SimInner, skb: &SkBuff, ifindex: u32, current: usize) -> usize {
+    let m = &mut inner.machine;
+    let ctx = SteerCtx {
+        rx_hash: skb.rx_hash,
+        ifindex,
+        current_cpu: current,
+        loads: &m.load,
+    };
+    let mut target = match m.steering.select_cpu(&ctx) {
+        Some(cpu) => cpu,
+        None => current,
+    };
+    /// In-flight migrations are rate-limited: at most one per (flow,
+    /// stage) every this many load samples (~ms each), so a stage
+    /// cannot ping-pong between two candidates at the load-smoothing
+    /// period.
+    const MIGRATE_COOLDOWN_SAMPLES: u64 = 25;
+    let samples = m.load.samples();
+    let migrate_ok = {
+        let entry = inner
+            .steer_flows
+            .get(&(skb.flow_id, ifindex))
+            .copied()
+            .unwrap_or(crate::sim::SteerFlowState {
+                cpu: target,
+                inflight: 0,
+                last_migrate_sample: 0,
+            });
+        entry.inflight == 0
+            || entry.cpu == target
+            || (samples >= entry.last_migrate_sample + MIGRATE_COOLDOWN_SAMPLES
+                && m.steering
+                    .allow_inflight_migration(entry.cpu, target, &m.load))
+    };
+    let entry =
+        inner
+            .steer_flows
+            .entry((skb.flow_id, ifindex))
+            .or_insert(crate::sim::SteerFlowState {
+                cpu: target,
+                inflight: 0,
+                last_migrate_sample: 0,
+            });
+    if entry.cpu != target {
+        if migrate_ok {
+            entry.cpu = target;
+            if entry.inflight > 0 {
+                entry.last_migrate_sample = samples;
+            }
+        } else {
+            target = entry.cpu;
+        }
+    }
+    entry.inflight += 1;
+    if target != current {
+        inner.counters.steered_remote += 1;
+    } else {
+        inner.counters.steered_local += 1;
+    }
+    target
+}
+
+/// Marks one packet of (flow, stage-device) as processed at its stage,
+/// releasing the out-of-order-flow protection hold.
+fn steer_arrived(inner: &mut SimInner, flow: u64, ifindex: u32) {
+    if let Some(entry) = inner.steer_flows.get_mut(&(flow, ifindex)) {
+        entry.inflight = entry.inflight.saturating_sub(1);
+    }
+}
+
+/// Whether GRO may engage for this packet's flow.
+fn gro_eligible(inner: &SimInner, skb: &SkBuff) -> bool {
+    if !inner.cfg.server.gro {
+        return false;
+    }
+    inner
+        .client
+        .flows
+        .get(skb.flow_id as usize)
+        .map(|f| f.keys.ip_proto == 6 && f.gro_ok)
+        .unwrap_or(false)
+}
+
+/// Stage A: the driver poll (`mlx5e_napi_poll`) — allocation, GRO,
+/// `netif_receive_skb`, RPS, backlog handoff.
+fn plan_nic_poll(
+    inner: &mut SimInner,
+    core: usize,
+    queue: usize,
+) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let mut skb = inner
+        .machine
+        .nic
+        .pop(queue)
+        .expect("planned empty nic queue");
+    let costs = inner.cfg.server.costs.clone();
+    let pnic = inner.machine.ifx.pnic;
+    let mut items: Vec<WorkItem> = Vec::with_capacity(8);
+
+    // Dissect (hardware already did RSS on these headers; the softirq
+    // computes skb->hash for RPS).
+    let keys = dissect_flow(&skb.data).expect("frame was dissectable at RSS");
+    skb.flow = Some(keys);
+    skb.rx_hash = inner.machine.flow_hash(&keys);
+    skb.dev_ifindex = pnic;
+    inner
+        .machine
+        .order
+        .check(skb.flow_id, pnic, skb.flow_seq, 1);
+
+    let gro_ok = gro_eligible(inner, &skb);
+    let split = inner.cfg.server.split_gro && gro_ok;
+
+    items.push(("skb_allocation", costs.skb_alloc(skb.len())));
+
+    if split {
+        // GRO-splitting: insert netif_rx *before* napi_gro_receive and
+        // move the GRO half-stage to another core (paper Figure 9b).
+        skb.gro_pending = true;
+        let split_if = inner.machine.ifx.pnic_split;
+        let target = steer(inner, &skb, split_if, core);
+        items.push(("netif_rx", SimDuration::from_nanos(costs.netif_rx_ns)));
+        items.push((
+            "enqueue_to_backlog",
+            SimDuration::from_nanos(costs.enqueue_backlog_ns),
+        ));
+        skb.record_hop(pnic, core);
+        return (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }]);
+    }
+
+    // GRO: coalesce consecutive same-flow segments waiting in the ring.
+    if gro_ok {
+        items.push(("napi_gro_receive", costs.gro_receive(true, skb.len())));
+        while !skb.psh && (skb.gro_segs as usize) < inner.cfg.server.gro_batch {
+            let mergeable = inner
+                .machine
+                .nic
+                .peek(queue)
+                .map(|n| n.flow_id == skb.flow_id)
+                .unwrap_or(false);
+            if !mergeable {
+                break;
+            }
+            let nx = inner.machine.nic.pop(queue).expect("peeked frame vanished");
+            inner.machine.order.check(nx.flow_id, pnic, nx.flow_seq, 1);
+            items.push(("skb_allocation", costs.skb_alloc(nx.len())));
+            items.push(("napi_gro_receive", costs.gro_receive(true, nx.len())));
+            skb.gro_segs += 1;
+            skb.gro_extra_bytes += nx.len();
+            skb.payload_len += nx.payload_len;
+            skb.flow_seq = nx.flow_seq; // Monotonic: checked above.
+            skb.tcp_seg = nx.tcp_seg;
+            skb.psh = nx.psh; // A merged-in PSH flushes the batch.
+        }
+    } else {
+        items.push(("napi_gro_receive", costs.gro_receive(false, skb.len())));
+    }
+
+    items.push((
+        "netif_receive_skb",
+        SimDuration::from_nanos(costs.netif_receive_ns),
+    ));
+    let target = match &inner.cfg.server.rps {
+        Some(mask) => {
+            items.push(("get_rps_cpu", SimDuration::from_nanos(costs.get_rps_cpu_ns)));
+            rps_cpu(skb.rx_hash, mask)
+        }
+        None => core,
+    };
+    items.push((
+        "enqueue_to_backlog",
+        SimDuration::from_nanos(costs.enqueue_backlog_ns),
+    ));
+    skb.record_hop(pnic, core);
+    (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }])
+}
+
+/// Stage C: `gro_cell_poll` — the VXLAN device's softirq, which walks
+/// the inner frame through the bridge and veth into the container.
+fn plan_grocell(inner: &mut SimInner, core: usize) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let mut skb = inner
+        .machine
+        .grocells
+        .dequeue(core)
+        .expect("planned empty gro_cell");
+    let costs = inner.cfg.server.costs.clone();
+    let vxlan = inner.machine.ifx.vxlan;
+    steer_arrived(inner, skb.flow_id, vxlan);
+    let mut items: Vec<WorkItem> = Vec::with_capacity(8);
+
+    if skb.last_cpu != Some(core) {
+        items.push((
+            "cache_miss",
+            SimDuration::from_nanos(costs.locality_penalty_ns),
+        ));
+    }
+    inner
+        .machine
+        .order
+        .check(skb.flow_id, vxlan, skb.flow_seq, 1);
+    items.push((
+        "gro_cell_poll",
+        SimDuration::from_nanos(costs.gro_cell_poll_ns),
+    ));
+    items.push((
+        "netif_receive_skb",
+        SimDuration::from_nanos(costs.netif_receive_ns),
+    ));
+
+    // Bridge: FDB lookup on the real inner destination MAC.
+    let eth = EthernetHdr::parse(&skb.data).expect("inner frame has ethernet");
+    let _port = inner.machine.fdb.lookup(eth.dst);
+    items.push(("br_handle_frame", SimDuration::from_nanos(costs.bridge_ns)));
+    items.push(("veth_xmit", SimDuration::from_nanos(costs.veth_xmit_ns)));
+    items.push(("netif_rx", SimDuration::from_nanos(costs.netif_rx_ns)));
+    items.push((
+        "enqueue_to_backlog",
+        SimDuration::from_nanos(costs.enqueue_backlog_ns),
+    ));
+
+    // The veth the packet crosses identifies the third pipeline stage.
+    let inner_keys = skb.flow.expect("flow keys set at decap");
+    let veth_if = inner
+        .machine
+        .container_for_ip(inner_keys.dst_addr)
+        .map(|c| c.veth_ifindex)
+        .unwrap_or(vxlan + 1);
+    skb.record_hop(vxlan, core);
+    skb.dev_ifindex = veth_if;
+    let target = steer(inner, &skb, veth_if, core);
+    (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }])
+}
+
+/// Stages A2, B and D all drain a backlog; which one a packet is in is
+/// determined by its device pointer and GRO state.
+fn plan_backlog(inner: &mut SimInner, core: usize) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let skb = inner
+        .machine
+        .backlogs
+        .dequeue(core)
+        .expect("planned empty backlog");
+    if skb.gro_pending {
+        plan_backlog_gro_half(inner, core, skb)
+    } else if skb.dev_ifindex == inner.machine.ifx.pnic {
+        match inner.cfg.server.mode {
+            NetMode::Overlay => plan_backlog_outer(inner, core, skb),
+            NetMode::Host => plan_backlog_final(inner, core, skb, STAGE_B_CHECK),
+        }
+    } else {
+        // Inner frame behind a veth: the container's stack.
+        plan_backlog_final(inner, core, skb, 0)
+    }
+}
+
+/// Stage A2 (split GRO): the deferred `napi_gro_receive` half-stage.
+fn plan_backlog_gro_half(
+    inner: &mut SimInner,
+    core: usize,
+    mut skb: SkBuff,
+) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let costs = inner.cfg.server.costs.clone();
+    let split_if = inner.machine.ifx.pnic_split;
+    steer_arrived(inner, skb.flow_id, split_if);
+    let mut items: Vec<WorkItem> = Vec::with_capacity(8);
+
+    if skb.last_cpu != Some(core) {
+        items.push((
+            "cache_miss",
+            SimDuration::from_nanos(costs.locality_penalty_ns),
+        ));
+    }
+    items.push((
+        "process_backlog",
+        SimDuration::from_nanos(costs.process_backlog_ns),
+    ));
+    inner
+        .machine
+        .order
+        .check(skb.flow_id, split_if, skb.flow_seq, 1);
+    items.push(("napi_gro_receive", costs.gro_receive(true, skb.len())));
+
+    // Coalesce with queued same-flow pre-GRO segments (PSH flushes).
+    while !skb.psh && (skb.gro_segs as usize) < inner.cfg.server.gro_batch {
+        let mergeable = inner
+            .machine
+            .backlogs
+            .peek(core)
+            .map(|n| n.flow_id == skb.flow_id && n.gro_pending)
+            .unwrap_or(false);
+        if !mergeable {
+            break;
+        }
+        let nx = inner
+            .machine
+            .backlogs
+            .dequeue(core)
+            .expect("peeked skb vanished");
+        steer_arrived(inner, nx.flow_id, split_if);
+        inner
+            .machine
+            .order
+            .check(nx.flow_id, split_if, nx.flow_seq, 1);
+        items.push(("napi_gro_receive", costs.gro_receive(true, nx.len())));
+        skb.gro_segs += 1;
+        skb.gro_extra_bytes += nx.len();
+        skb.payload_len += nx.payload_len;
+        skb.flow_seq = nx.flow_seq;
+        skb.tcp_seg = nx.tcp_seg;
+        skb.psh = nx.psh;
+    }
+    skb.gro_pending = false;
+
+    items.push((
+        "netif_receive_skb",
+        SimDuration::from_nanos(costs.netif_receive_ns),
+    ));
+    let target = match &inner.cfg.server.rps {
+        Some(mask) => {
+            items.push(("get_rps_cpu", SimDuration::from_nanos(costs.get_rps_cpu_ns)));
+            rps_cpu(skb.rx_hash, mask)
+        }
+        None => core,
+    };
+    items.push((
+        "enqueue_to_backlog",
+        SimDuration::from_nanos(costs.enqueue_backlog_ns),
+    ));
+    skb.record_hop(split_if, core);
+    (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }])
+}
+
+/// Stage B (overlay): outer IP/UDP receive and VXLAN decapsulation.
+fn plan_backlog_outer(
+    inner: &mut SimInner,
+    core: usize,
+    mut skb: SkBuff,
+) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let costs = inner.cfg.server.costs.clone();
+    let pnic = inner.machine.ifx.pnic;
+    let vxlan = inner.machine.ifx.vxlan;
+    let mut items: Vec<WorkItem> = Vec::with_capacity(8);
+
+    if skb.last_cpu != Some(core) {
+        items.push((
+            "cache_miss",
+            SimDuration::from_nanos(costs.locality_penalty_ns),
+        ));
+    }
+    inner
+        .machine
+        .order
+        .check(skb.flow_id, pnic | STAGE_B_CHECK, skb.flow_seq, 1);
+    items.push((
+        "process_backlog",
+        SimDuration::from_nanos(costs.process_backlog_ns),
+    ));
+    items.push(("ip_rcv", SimDuration::from_nanos(costs.ip_rcv_ns)));
+    items.push(("udp_rcv", SimDuration::from_nanos(costs.udp_rcv_ns)));
+    items.push(("vxlan_rcv", costs.vxlan_rcv(skb.total_len())));
+
+    // Decapsulate for real: strip the 50-byte envelope and re-dissect.
+    let (inner_frame, _vni) = vxlan_decapsulate(&skb.data).expect("overlay frame decaps");
+    skb.data = inner_frame.to_vec();
+    let inner_keys = dissect_flow(&skb.data).expect("inner frame dissectable");
+    skb.flow = Some(inner_keys);
+    skb.rx_hash = inner.machine.flow_hash(&inner_keys);
+    skb.dev_ifindex = vxlan;
+    skb.record_hop(pnic | STAGE_B_CHECK, core);
+
+    let target = steer(inner, &skb, vxlan, core);
+    items.push(("netif_rx", SimDuration::from_nanos(costs.netif_rx_ns)));
+    (items, vec![NextStep::EnqueueGroCell { cpu: target, skb }])
+}
+
+/// The final stack stage: host stage B, or the container's stage D.
+/// IP (with reassembly), UDP/TCP receive, socket queueing, TCP acks.
+fn plan_backlog_final(
+    inner: &mut SimInner,
+    core: usize,
+    mut skb: SkBuff,
+    check_offset: u32,
+) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let costs = inner.cfg.server.costs.clone();
+    let overlay = inner.cfg.server.mode == NetMode::Overlay;
+    let checkpoint = skb.dev_ifindex | check_offset;
+    if check_offset == 0 {
+        // Stage D was reached through a steered transition keyed by the
+        // veth ifindex.
+        steer_arrived(inner, skb.flow_id, skb.dev_ifindex);
+    }
+    let mut items: Vec<WorkItem> = Vec::with_capacity(8);
+    let mut steps: Vec<NextStep> = Vec::with_capacity(2);
+
+    if skb.last_cpu != Some(core) {
+        items.push((
+            "cache_miss",
+            SimDuration::from_nanos(costs.locality_penalty_ns),
+        ));
+    }
+    inner
+        .machine
+        .order
+        .check(skb.flow_id, checkpoint, skb.flow_seq, 1);
+    items.push((
+        "process_backlog",
+        SimDuration::from_nanos(costs.process_backlog_ns),
+    ));
+    items.push(("ip_rcv", SimDuration::from_nanos(costs.ip_rcv_ns)));
+    skb.record_hop(checkpoint, core);
+
+    // IP reassembly for fragmented datagrams.
+    if let Some(frag) = skb.frag {
+        items.push((
+            "ip_defrag",
+            SimDuration::from_nanos(costs.ip_defrag_frag_ns),
+        ));
+        let key = (skb.flow_id, frag.datagram_id);
+        let entry = inner.machine.defrag.entry(key).or_insert_with(|| FragAsm {
+            got: 0,
+            need: frag.count,
+            proto: None,
+        });
+        entry.got += 1;
+        if entry.proto.is_none() {
+            entry.proto = Some(skb.clone());
+        }
+        if entry.got < entry.need {
+            // Absorbed: wait for the rest.
+            return (items, steps);
+        }
+        let asm = inner
+            .machine
+            .defrag
+            .remove(&key)
+            .expect("assembly vanished");
+        let proto = asm.proto.expect("assembly without prototype");
+        // Continue with the reassembled datagram's metadata (payload_len
+        // already carries the full datagram size); keep the *latest*
+        // flow_seq for monotonicity.
+        let seq = skb.flow_seq.max(proto.flow_seq);
+        skb = proto;
+        skb.flow_seq = seq;
+        skb.frag = None;
+    }
+
+    let keys = skb.flow.expect("flow keys set before final stage");
+    let is_tcp = keys.ip_proto == 6;
+    if is_tcp {
+        items.push(("tcp_v4_rcv", SimDuration::from_nanos(costs.tcp_rcv_ns)));
+        // Accept-forward receiver: dedup what is already delivered,
+        // never stall on holes. `tcp_seg` is the *last* segment the
+        // (possibly GRO-merged) buffer covers.
+        let last_seg = skb.tcp_seg;
+        let expected = inner.tcp_expected.entry(skb.flow_id).or_insert(0);
+        let deliver = last_seg + 1 > *expected;
+        let upto = if deliver {
+            *expected = last_seg + 1;
+            last_seg
+        } else {
+            expected.saturating_sub(1)
+        };
+        items.push((
+            "tcp_send_ack",
+            SimDuration::from_nanos(costs.tcp_send_ack_ns),
+        ));
+        if overlay {
+            items.push(("vxlan_encap_tx", SimDuration::from_nanos(costs.tx_encap_ns)));
+        }
+        items.push((
+            "dev_queue_xmit",
+            SimDuration::from_nanos(costs.tx_driver_ns),
+        ));
+        steps.push(NextStep::ServerTx(ServerTxMsg {
+            flow: skb.flow_id,
+            kind: TxKind::Ack { upto },
+        }));
+        if !deliver {
+            return (items, steps);
+        }
+    } else {
+        items.push(("udp_rcv", SimDuration::from_nanos(costs.udp_rcv_ns)));
+    }
+
+    let Some(sock) = inner
+        .machine
+        .sockets
+        .lookup(keys.ip_proto, keys.dst_addr, keys.dst_port)
+    else {
+        inner.counters.lookup_failures += 1;
+        return (items, steps);
+    };
+    items.push((
+        "sock_queue_rcv_skb",
+        SimDuration::from_nanos(costs.sock_queue_ns),
+    ));
+    steps.push(NextStep::SocketTask { sock, skb });
+    (items, steps)
+}
+
+/// Task-context work: user-space delivery and server transmissions.
+fn plan_task(inner: &mut SimInner, core: usize, task: TaskWork) -> (Vec<WorkItem>, Vec<NextStep>) {
+    let costs = inner.cfg.server.costs.clone();
+    match task {
+        TaskWork::Deliver { sock, mut skb } => {
+            let mut items: Vec<WorkItem> = Vec::with_capacity(4);
+            if skb.last_cpu != Some(core) {
+                items.push((
+                    "cache_miss",
+                    SimDuration::from_nanos(costs.locality_penalty_ns),
+                ));
+            }
+            items.push(("copy_to_user", costs.copy_to_user(skb.payload_len)));
+            items.push((
+                "sock_recvmsg",
+                SimDuration::from_nanos(costs.sock_recvmsg_ns),
+            ));
+            let service = inner.machine.sockets.get(sock).app_service_ns;
+            if service > 0 {
+                items.push(("app_processing", SimDuration::from_nanos(service)));
+            }
+            skb.record_hop(DELIVERY_CHECK, core);
+            (items, vec![NextStep::AppDeliver { sock, skb }])
+        }
+        TaskWork::ServerSend {
+            flow,
+            bytes,
+            msg_id,
+            service_ns,
+        } => {
+            let overlay = inner.cfg.server.mode == NetMode::Overlay;
+            let mut items: Vec<WorkItem> = Vec::with_capacity(4);
+            if service_ns > 0 {
+                items.push(("app_processing", SimDuration::from_nanos(service_ns)));
+            }
+            items.push(("sendmsg", costs.tx_sendmsg(bytes)));
+            if overlay {
+                items.push(("vxlan_encap_tx", SimDuration::from_nanos(costs.tx_encap_ns)));
+            }
+            items.push((
+                "dev_queue_xmit",
+                SimDuration::from_nanos(costs.tx_driver_ns),
+            ));
+            (
+                items,
+                vec![NextStep::ServerTx(ServerTxMsg {
+                    flow,
+                    kind: TxKind::Response { msg_id, bytes },
+                })],
+            )
+        }
+    }
+}

@@ -1,0 +1,820 @@
+//! The simulation world: a traffic-engine client, a wire, and a fully
+//! modelled server kernel, driven by an [`App`].
+//!
+//! [`Sim`] is the event-engine world type. [`SimInner`] holds all
+//! simulation state; the application (workload) is held in a take/put
+//! slot so callbacks can borrow the rest of the world mutably.
+//! [`SimApi`] is the facade workloads use: open flows, send traffic,
+//! bind server sockets, respond to requests, set timers.
+
+use falcon_khash::FlowKeys;
+use falcon_metrics::IrqKind;
+use falcon_packet::{
+    build_tcp_frame, build_udp_frame, vxlan_encapsulate, EncapParams, FragMeta, Ipv4Addr4, MacAddr,
+    PacketId, SkBuff, TcpFlags,
+};
+use falcon_simcore::{Engine, SimDuration, SimRng, SimTime};
+
+use std::collections::HashMap;
+
+use crate::config::{NetMode, Pacing, SimConfig};
+use crate::counters::SimCounters;
+use crate::machine::{Machine, TaskWork, CLIENT_HOST_IP, OVERLAY_VNI, SERVER_HOST_IP};
+use crate::rxpath::{self, PendingOutcome};
+use crate::socket::SockId;
+use crate::steering::Steering;
+use crate::transport::{ClientEngine, ClientFlow, FlowId, FlowKind, StressState, TcpState};
+
+/// Metadata of a delivered message (server side) or response (client
+/// side).
+#[derive(Debug, Clone, Copy)]
+pub struct MsgMeta {
+    /// The flow it belongs to.
+    pub flow: FlowId,
+    /// Application payload bytes.
+    pub bytes: usize,
+    /// Correlation id (0 = none).
+    pub msg_id: u64,
+    /// When the payload entered the sending stack.
+    pub sent_at: SimTime,
+    /// Wire segments the message arrived as (after GRO, >= 1).
+    pub segments: u32,
+}
+
+/// A workload driving the simulation.
+///
+/// All methods have empty defaults; implement what the workload needs.
+#[allow(unused_variables)]
+pub trait App {
+    /// Called once at simulation start: create containers, sockets,
+    /// flows, and kick off traffic.
+    fn on_start(&mut self, api: &mut SimApi<'_>) {}
+
+    /// A message reached the server application (user space).
+    fn on_server_msg(&mut self, api: &mut SimApi<'_>, sock: SockId, meta: &MsgMeta) {}
+
+    /// A server response reached the client application.
+    fn on_client_msg(&mut self, api: &mut SimApi<'_>, flow: FlowId, meta: &MsgMeta) {}
+
+    /// A timer set with [`SimApi::set_timer`] fired.
+    fn on_timer(&mut self, api: &mut SimApi<'_>, token: u64) {}
+}
+
+/// All simulation state except the application.
+pub struct SimInner {
+    /// Configuration.
+    pub cfg: SimConfig,
+    /// The server machine.
+    pub machine: Machine,
+    /// The physical link.
+    pub wire: falcon_netdev::Wire,
+    /// Run counters.
+    pub counters: SimCounters,
+    /// Deterministic RNG.
+    pub rng: SimRng,
+    /// Client traffic engine.
+    pub client: ClientEngine,
+    /// Per-server-core pending work outcome (set while a core is busy).
+    pub running: Vec<Option<PendingOutcome>>,
+    /// Server-side per-flow next expected TCP segment.
+    pub tcp_expected: HashMap<u64, u64>,
+    /// Out-of-order-flow protection (like RPS's `rps_dev_flow` table):
+    /// per (flow, stage-device), the CPU the stage currently runs on
+    /// and how many packets are queued towards it. A steering switch to
+    /// a different CPU is deferred until the old queue drains.
+    pub steer_flows: HashMap<(u64, u32), SteerFlowState>,
+    /// Latency/RTT samples before this instant are discarded (warmup).
+    pub measure_from: SimTime,
+    next_pkt_id: u64,
+    next_client_ip: u32,
+}
+
+/// Per-(flow, stage-device) steering state for out-of-order-flow
+/// protection.
+#[derive(Debug, Clone, Copy)]
+pub struct SteerFlowState {
+    /// CPU the stage currently runs on.
+    pub cpu: usize,
+    /// Packets enqueued towards that CPU and not yet processed there.
+    pub inflight: u32,
+    /// Load-sample index of the last in-flight migration (cooldown
+    /// against ping-ponging between two candidates).
+    pub last_migrate_sample: u64,
+}
+
+/// The event-engine world: simulation state plus the workload.
+pub struct Sim {
+    /// Simulation state.
+    pub inner: SimInner,
+    /// The workload (take/put slot; `None` only during a callback).
+    pub app: Option<Box<dyn App>>,
+}
+
+/// The facade workloads use inside callbacks.
+pub struct SimApi<'a> {
+    /// Simulation state.
+    pub inner: &'a mut SimInner,
+    /// The event engine (for time and scheduling).
+    pub eng: &'a mut Engine<Sim>,
+}
+
+impl SimInner {
+    fn new(cfg: SimConfig, steering: Box<dyn Steering>) -> Self {
+        let machine = Machine::new(cfg.server.clone(), steering, cfg.hashrnd);
+        let wire = falcon_netdev::Wire::new(cfg.link, cfg.propagation);
+        let n = cfg.server.n_cores;
+        SimInner {
+            machine,
+            wire,
+            counters: SimCounters::new(),
+            rng: SimRng::new(cfg.seed),
+            client: ClientEngine::new(),
+            running: (0..n).map(|_| None).collect(),
+            tcp_expected: HashMap::new(),
+            steer_flows: HashMap::new(),
+            measure_from: SimTime::ZERO,
+            next_pkt_id: 0,
+            next_client_ip: 0,
+            cfg,
+        }
+    }
+
+    /// Allocates a packet id.
+    pub fn alloc_pkt_id(&mut self) -> PacketId {
+        self.next_pkt_id += 1;
+        PacketId(self.next_pkt_id)
+    }
+
+    /// Allocates a unique client-side private IP (10.1.x.y).
+    fn alloc_client_ip(&mut self) -> Ipv4Addr4 {
+        let n = self.next_client_ip;
+        self.next_client_ip += 1;
+        Ipv4Addr4::new(10, 1, (n >> 8) as u8, (n & 0xFF) as u8 + 1)
+    }
+
+    /// The server NIC's MAC address.
+    pub fn server_nic_mac(&self) -> MacAddr {
+        MacAddr::from_index(2)
+    }
+
+    /// Builds the wire frame(s) for one UDP datagram of `payload` bytes
+    /// on `flow` and returns them with their metadata set.
+    fn build_udp_frames(
+        &mut self,
+        flow_id: FlowId,
+        payload: usize,
+        msg_id: u64,
+        sent_at: SimTime,
+    ) -> Vec<SkBuff> {
+        let overlay = self.cfg.server.mode == NetMode::Overlay;
+        let max_frag = self.cfg.server.max_udp_payload();
+        let flow = &mut self.client.flows[flow_id.0 as usize];
+        let n_frags = payload.div_ceil(max_frag).max(1);
+        let datagram_id = flow.next_datagram;
+        flow.next_datagram += 1;
+
+        let mut frames = Vec::with_capacity(n_frags);
+        for i in 0..n_frags {
+            let chunk = if i + 1 == n_frags {
+                payload - i * max_frag
+            } else {
+                max_frag
+            };
+            // Simplification: every fragment carries a full UDP header
+            // in its bytes (real IP fragmentation puts L4 headers only
+            // in the first fragment), so per-fragment dissection works
+            // uniformly. The CPU model charges reassembly separately.
+            let inner = build_udp_frame(flow.src_mac, flow.dst_mac, &flow.keys, &vec![0u8; chunk]);
+            let data = if overlay {
+                let inner_hash = falcon_khash::flow_hash_from_keys(&flow.keys, 0x517);
+                vxlan_encapsulate(
+                    &inner,
+                    &EncapParams {
+                        src_mac: MacAddr::from_index(1),
+                        dst_mac: MacAddr::from_index(2),
+                        src_ip: CLIENT_HOST_IP,
+                        dst_ip: SERVER_HOST_IP,
+                        src_port: 49152 + (inner_hash % 16384) as u16,
+                        vni: OVERLAY_VNI,
+                    },
+                )
+            } else {
+                inner
+            };
+            let mut skb = SkBuff::new(PacketId(0), data);
+            skb.flow_id = flow_id.0 as u64;
+            skb.flow_seq = flow.alloc_seq();
+            skb.sent_at = sent_at;
+            skb.payload_len = payload;
+            skb.msg_id = msg_id;
+            if n_frags > 1 {
+                skb.frag = Some(FragMeta {
+                    datagram_id,
+                    index: i as u32,
+                    count: n_frags as u32,
+                });
+            }
+            frames.push(skb);
+        }
+        let stats = self.counters.flow_mut(flow_id.0 as u64);
+        stats.sent_msgs += 1;
+        stats.sent_bytes += payload as u64;
+        for f in &mut frames {
+            f.id = PacketId(0); // placeholder; assigned at transmit
+        }
+        frames
+    }
+
+    /// Builds the wire frame for one TCP segment.
+    #[allow(clippy::too_many_arguments)]
+    fn build_tcp_segment(
+        &mut self,
+        flow_id: FlowId,
+        seg: u64,
+        bytes: usize,
+        msg_id: u64,
+        push: bool,
+        sent_at: SimTime,
+        count_as_sent: bool,
+    ) -> SkBuff {
+        let overlay = self.cfg.server.mode == NetMode::Overlay;
+        let flow = &mut self.client.flows[flow_id.0 as usize];
+        let flags = TcpFlags {
+            ack: true,
+            psh: push,
+            ..Default::default()
+        };
+        let inner = build_tcp_frame(
+            flow.src_mac,
+            flow.dst_mac,
+            &flow.keys,
+            (seg & 0xFFFF_FFFF) as u32,
+            0,
+            flags,
+            65_535,
+            &vec![0u8; bytes],
+        );
+        let data = if overlay {
+            let inner_hash = falcon_khash::flow_hash_from_keys(&flow.keys, 0x517);
+            vxlan_encapsulate(
+                &inner,
+                &EncapParams {
+                    src_mac: MacAddr::from_index(1),
+                    dst_mac: MacAddr::from_index(2),
+                    src_ip: CLIENT_HOST_IP,
+                    dst_ip: SERVER_HOST_IP,
+                    src_port: 49152 + (inner_hash % 16384) as u16,
+                    vni: OVERLAY_VNI,
+                },
+            )
+        } else {
+            inner
+        };
+        let mut skb = SkBuff::new(PacketId(0), data);
+        skb.flow_id = flow_id.0 as u64;
+        skb.flow_seq = flow.alloc_seq();
+        skb.tcp_seg = seg;
+        skb.psh = push;
+        skb.sent_at = sent_at;
+        skb.payload_len = bytes;
+        skb.msg_id = msg_id;
+        if count_as_sent {
+            let stats = self.counters.flow_mut(flow_id.0 as u64);
+            stats.sent_msgs += 1;
+            stats.sent_bytes += bytes as u64;
+        }
+        skb
+    }
+}
+
+/// Runs `f` with the application and an API over the rest of the world.
+pub fn with_app(
+    sim: &mut Sim,
+    eng: &mut Engine<Sim>,
+    f: impl FnOnce(&mut dyn App, &mut SimApi<'_>),
+) {
+    let mut app = sim.app.take().expect("re-entrant app callback");
+    {
+        let mut api = SimApi {
+            inner: &mut sim.inner,
+            eng,
+        };
+        f(app.as_mut(), &mut api);
+    }
+    sim.app = Some(app);
+}
+
+/// Periodic timer tick: samples load, informs the steering policy.
+fn timer_tick(sim: &mut Sim, eng: &mut Engine<Sim>) {
+    let now = eng.now();
+    let m = &mut sim.inner.machine;
+    m.load.sample(now, &m.cores.ledger);
+    m.steering.on_load_sample(&m.load);
+    m.cores.irqs.count(0, IrqKind::Timer);
+    let period = m.cfg.load_sample_every;
+    eng.schedule_after(period, timer_tick);
+}
+
+/// Puts `frames` on the wire from sender `thread`, no earlier than the
+/// thread's availability, charging it `cost` total. Returns the send
+/// instant.
+pub fn client_transmit(
+    sim: &mut SimInner,
+    eng: &mut Engine<Sim>,
+    thread: usize,
+    cost: SimDuration,
+    frames: Vec<SkBuff>,
+) -> SimTime {
+    let now = eng.now();
+    let send_at = sim.client.reserve_thread(thread, now, cost);
+    for mut skb in frames {
+        skb.id = sim.alloc_pkt_id();
+        skb.sent_at = if skb.sent_at == SimTime::ZERO {
+            send_at
+        } else {
+            skb.sent_at
+        };
+        let wire_bytes = skb.wire_bytes();
+        let arrival = sim
+            .wire
+            .transmit(falcon_netdev::wire::Dir::AtoB, send_at, wire_bytes);
+        sim.counters.frames_sent += 1;
+        eng.schedule_at(arrival, move |s: &mut Sim, e: &mut Engine<Sim>| {
+            rxpath::frame_arrival(s, e, skb);
+        });
+    }
+    send_at
+}
+
+/// One open-loop UDP stress send plus rescheduling per its pacing.
+fn udp_stress_tick(sim: &mut Sim, eng: &mut Engine<Sim>, flow_id: FlowId, thread: usize) {
+    let (payload, pacing, active) = {
+        let flow = sim.inner.client.flow(flow_id);
+        match &flow.kind {
+            FlowKind::Udp {
+                payload,
+                stress: Some(s),
+            } => (*payload, s.pacing, s.active),
+            _ => return,
+        }
+    };
+    if !active {
+        return;
+    }
+    let now = eng.now();
+    let msg_id = 0; // Stress datagrams are not RTT-correlated.
+    let frames = sim.inner.build_udp_frames(flow_id, payload, msg_id, now);
+    let n_frags = frames.len() as u64;
+    let cost =
+        sim.inner.cfg.client_tx_cost + SimDuration::from_nanos(300) * n_frags.saturating_sub(1);
+    let sent_at = client_transmit(&mut sim.inner, eng, thread, cost, frames);
+    // Schedule the next send per the pacing discipline.
+    let next = match pacing {
+        Pacing::MaxRate => sim.inner.client.threads[thread],
+        Pacing::FixedPps(pps) => sent_at + SimDuration::from_secs_f64(1.0 / pps),
+        Pacing::PoissonPps(pps) => {
+            let gap = sim.inner.rng.exponential(1.0 / pps);
+            sent_at + SimDuration::from_secs_f64(gap)
+        }
+    };
+    eng.schedule_at(next, move |s: &mut Sim, e: &mut Engine<Sim>| {
+        udp_stress_tick(s, e, flow_id, thread);
+    });
+}
+
+/// Sends as much TCP data as the window allows.
+pub fn tcp_pump(sim: &mut SimInner, eng: &mut Engine<Sim>, flow_id: FlowId) {
+    loop {
+        let flow = &mut sim.client.flows[flow_id.0 as usize];
+        let FlowKind::Tcp(ref mut t) = flow.kind else {
+            return;
+        };
+        if !t.can_send() {
+            break;
+        }
+        let (msg_id, bytes, push) = if let Some((id, b)) = t.pending_msgs.pop_front() {
+            (id, b, true)
+        } else if let Some(msg) = t.stream_msg_size {
+            // Stream mode: endless supply, segmented at the MSS with a
+            // PSH on each message's final segment (GRO flush point).
+            let remaining = msg - t.stream_msg_progress;
+            let bytes = remaining.min(t.mss);
+            t.stream_msg_progress = (t.stream_msg_progress + bytes) % msg;
+            (0, bytes, t.stream_msg_progress == 0)
+        } else {
+            break;
+        };
+        let seg = t.next_seg;
+        t.next_seg += 1;
+        t.inflight += 1;
+        t.seg_msgs.insert(seg, (msg_id, bytes));
+        let thread = flow.thread;
+        let skb = sim.build_tcp_segment(flow_id, seg, bytes, msg_id, push, eng.now(), true);
+        let cost = sim.cfg.client_tx_tcp_seg;
+        client_transmit(sim, eng, thread, cost, vec![skb]);
+    }
+    arm_rto(sim, eng, flow_id);
+}
+
+/// Arms the retransmission timer if data is in flight.
+fn arm_rto(sim: &mut SimInner, eng: &mut Engine<Sim>, flow_id: FlowId) {
+    let flow = &sim.client.flows[flow_id.0 as usize];
+    let FlowKind::Tcp(ref t) = flow.kind else {
+        return;
+    };
+    if t.inflight == 0 {
+        return;
+    }
+    let gen = t.rto_gen;
+    let rto = t.rto;
+    eng.schedule_after(rto, move |s: &mut Sim, e: &mut Engine<Sim>| {
+        rto_fire(s, e, flow_id, gen);
+    });
+}
+
+/// Retransmission timeout: window decrease + go-back-N resend.
+fn rto_fire(sim: &mut Sim, eng: &mut Engine<Sim>, flow_id: FlowId, gen: u64) {
+    let inner = &mut sim.inner;
+    let resend: Vec<(u64, u64, usize)> = {
+        let flow = &mut inner.client.flows[flow_id.0 as usize];
+        let FlowKind::Tcp(ref mut t) = flow.kind else {
+            return;
+        };
+        if t.rto_gen != gen || t.inflight == 0 {
+            return;
+        }
+        let range = t.on_timeout();
+        let mss = t.mss;
+        let stream = t.stream_msg_size;
+        range
+            .map(|seg| {
+                let (msg_id, bytes) = t
+                    .seg_msgs
+                    .get(&seg)
+                    .copied()
+                    .unwrap_or((0, stream.map(|m| m.min(mss)).unwrap_or(mss)));
+                (seg, msg_id, bytes)
+            })
+            .collect()
+    };
+    inner.counters.retransmits += resend.len() as u64;
+    for (seg, msg_id, bytes) in resend {
+        let thread = inner.client.flows[flow_id.0 as usize].thread;
+        let push = msg_id != 0;
+        let skb = inner.build_tcp_segment(flow_id, seg, bytes, msg_id, push, eng.now(), false);
+        let cost = inner.cfg.client_tx_tcp_seg;
+        client_transmit(inner, eng, thread, cost, vec![skb]);
+    }
+    arm_rto(inner, eng, flow_id);
+}
+
+/// Client-side ack processing.
+pub fn client_on_ack(sim: &mut Sim, eng: &mut Engine<Sim>, flow_id: FlowId, upto: u64) {
+    let newly = {
+        let flow = &mut sim.inner.client.flows[flow_id.0 as usize];
+        let FlowKind::Tcp(ref mut t) = flow.kind else {
+            return;
+        };
+        t.on_ack(upto)
+    };
+    let flow_stats = sim.inner.counters.flow_mut(flow_id.0 as u64);
+    flow_stats.responses += newly;
+    if newly > 0 {
+        tcp_pump(&mut sim.inner, eng, flow_id);
+    }
+}
+
+/// Client-side response processing: record RTT and call the app.
+pub fn client_on_response(
+    sim: &mut Sim,
+    eng: &mut Engine<Sim>,
+    flow_id: FlowId,
+    msg_id: u64,
+    bytes: usize,
+) {
+    let now = eng.now();
+    sim.inner.counters.flow_mut(flow_id.0 as u64).responses += 1;
+    let sent_at = sim.inner.client.msg_send_times.remove(&msg_id);
+    if let Some(t0) = sent_at {
+        if now >= sim.inner.measure_from {
+            sim.inner
+                .counters
+                .rtt
+                .record(now.saturating_since(t0).as_nanos());
+        }
+    }
+    let meta = MsgMeta {
+        flow: flow_id,
+        bytes,
+        msg_id,
+        sent_at: sent_at.unwrap_or(SimTime::ZERO),
+        segments: 1,
+    };
+    with_app(sim, eng, |app, api| app.on_client_msg(api, flow_id, &meta));
+}
+
+impl<'a> SimApi<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now()
+    }
+
+    /// The deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.inner.rng
+    }
+
+    /// Attaches a server container with private IP `10.0.a.b`.
+    pub fn add_container(&mut self, a: u8, b: u8) -> usize {
+        self.inner
+            .machine
+            .add_container(Ipv4Addr4::new(10, 0, a, b))
+    }
+
+    /// Binds a server UDP socket. `container = None` means the host
+    /// network namespace.
+    pub fn bind_udp(
+        &mut self,
+        container: Option<usize>,
+        port: u16,
+        app_core: usize,
+        app_service_ns: u64,
+    ) -> SockId {
+        let addr = match container {
+            Some(c) => self.inner.machine.containers[c].addr,
+            None => SERVER_HOST_IP,
+        };
+        self.inner
+            .machine
+            .sockets
+            .bind(17, addr.0, port, app_core, app_service_ns)
+    }
+
+    /// Binds a server TCP socket.
+    pub fn bind_tcp(
+        &mut self,
+        container: Option<usize>,
+        port: u16,
+        app_core: usize,
+        app_service_ns: u64,
+    ) -> SockId {
+        let addr = match container {
+            Some(c) => self.inner.machine.containers[c].addr,
+            None => SERVER_HOST_IP,
+        };
+        self.inner
+            .machine
+            .sockets
+            .bind(6, addr.0, port, app_core, app_service_ns)
+    }
+
+    /// Opens a UDP flow towards a server socket. Returns its id.
+    pub fn udp_flow(
+        &mut self,
+        dst_container: Option<usize>,
+        dst_port: u16,
+        payload: usize,
+    ) -> FlowId {
+        self.open_flow(17, dst_container, dst_port, FlowKindSpec::Udp { payload })
+    }
+
+    /// Opens a TCP flow with the given window (in segments).
+    pub fn tcp_flow(&mut self, dst_container: Option<usize>, dst_port: u16, window: u32) -> FlowId {
+        self.open_flow(6, dst_container, dst_port, FlowKindSpec::Tcp { window })
+    }
+
+    fn open_flow(
+        &mut self,
+        proto: u8,
+        dst_container: Option<usize>,
+        dst_port: u16,
+        spec: FlowKindSpec,
+    ) -> FlowId {
+        let id = FlowId(self.inner.client.flows.len() as u32);
+        let src_ip = match self.inner.cfg.server.mode {
+            NetMode::Overlay => self.inner.alloc_client_ip(),
+            NetMode::Host => CLIENT_HOST_IP,
+        };
+        let (dst_ip, dst_mac) = match dst_container {
+            Some(c) => {
+                let cn = &self.inner.machine.containers[c];
+                (cn.addr, cn.mac)
+            }
+            None => (SERVER_HOST_IP, self.inner.server_nic_mac()),
+        };
+        let src_port = 40_000 + id.0 as u16;
+        let keys = if proto == 17 {
+            FlowKeys::udp(src_ip.0, src_port, dst_ip.0, dst_port)
+        } else {
+            FlowKeys::tcp(src_ip.0, src_port, dst_ip.0, dst_port)
+        };
+        let thread = self.inner.client.new_thread();
+        let mss = self.inner.cfg.server.mss();
+        let (kind, gro_ok) = match spec {
+            FlowKindSpec::Udp { payload } => (
+                FlowKind::Udp {
+                    payload,
+                    stress: None,
+                },
+                false,
+            ),
+            FlowKindSpec::Tcp { window } => (FlowKind::Tcp(TcpState::new(window, mss)), true),
+        };
+        self.inner.client.flows.push(ClientFlow {
+            id,
+            keys,
+            dst_container,
+            dst_mac,
+            src_mac: MacAddr::from_index(0x900 + id.0 as u64),
+            thread,
+            next_flow_seq: 0,
+            next_datagram: 0,
+            gro_ok,
+            kind,
+        });
+        id
+    }
+
+    /// Starts `senders` open-loop sender threads on a UDP flow.
+    pub fn udp_stress(&mut self, flow: FlowId, senders: usize, pacing: Pacing) {
+        let mut threads = vec![self.inner.client.flow(flow).thread];
+        for _ in 1..senders {
+            threads.push(self.inner.client.new_thread());
+        }
+        {
+            let f = self.inner.client.flow_mut(flow);
+            let FlowKind::Udp { ref mut stress, .. } = f.kind else {
+                panic!("udp_stress on a non-UDP flow");
+            };
+            *stress = Some(StressState {
+                pacing,
+                senders: threads.clone(),
+                active: true,
+            });
+        }
+        // Stagger the senders a little so they do not tick in lockstep.
+        for (i, t) in threads.into_iter().enumerate() {
+            let delay = SimDuration::from_nanos(137 * i as u64);
+            self.eng
+                .schedule_after(delay, move |s: &mut Sim, e: &mut Engine<Sim>| {
+                    udp_stress_tick(s, e, flow, t);
+                });
+        }
+    }
+
+    /// Stops a flow's stress senders.
+    pub fn udp_stop(&mut self, flow: FlowId) {
+        if let FlowKind::Udp {
+            stress: Some(ref mut s),
+            ..
+        } = self.inner.client.flow_mut(flow).kind
+        {
+            s.active = false;
+        }
+    }
+
+    /// Changes the pacing of a running stress flow (the adaptability
+    /// test's sudden intensity change).
+    pub fn udp_set_pacing(&mut self, flow: FlowId, pacing: Pacing) {
+        if let FlowKind::Udp {
+            stress: Some(ref mut s),
+            ..
+        } = self.inner.client.flow_mut(flow).kind
+        {
+            s.pacing = pacing;
+        }
+    }
+
+    /// Sends one UDP datagram now; returns the correlation id.
+    pub fn udp_send(&mut self, flow: FlowId, payload: usize) -> u64 {
+        let now = self.eng.now();
+        let msg_id = self.inner.client.new_msg(now);
+        let frames = self.inner.build_udp_frames(flow, payload, msg_id, now);
+        let n = frames.len() as u64;
+        let cost =
+            self.inner.cfg.client_tx_cost + SimDuration::from_nanos(300) * n.saturating_sub(1);
+        let thread = self.inner.client.flow(flow).thread;
+        client_transmit(self.inner, self.eng, thread, cost, frames);
+        msg_id
+    }
+
+    /// Starts a continuous TCP stream of `msg_size`-byte messages.
+    pub fn tcp_stream(&mut self, flow: FlowId, msg_size: usize) {
+        {
+            let f = self.inner.client.flow_mut(flow);
+            let FlowKind::Tcp(ref mut t) = f.kind else {
+                panic!("tcp_stream on a non-TCP flow");
+            };
+            t.stream_msg_size = Some(msg_size);
+        }
+        tcp_pump(self.inner, self.eng, flow);
+    }
+
+    /// Queues a (single-segment) TCP request; returns its id.
+    pub fn tcp_request(&mut self, flow: FlowId, bytes: usize) -> u64 {
+        let now = self.eng.now();
+        let msg_id = self.inner.client.new_msg(now);
+        {
+            let f = self.inner.client.flow_mut(flow);
+            // Requests carry PSH, which flushes GRO: do not coalesce
+            // them (merging would collapse distinct requests into one
+            // delivery and lose their correlation ids).
+            f.gro_ok = false;
+            let FlowKind::Tcp(ref mut t) = f.kind else {
+                panic!("tcp_request on a non-TCP flow");
+            };
+            assert!(bytes <= t.mss, "requests must fit one segment");
+            t.pending_msgs.push_back((msg_id, bytes));
+        }
+        tcp_pump(self.inner, self.eng, flow);
+        msg_id
+    }
+
+    /// Server app: send a response of `bytes` back to the client of
+    /// `meta`'s flow. Charged to the socket's app core.
+    pub fn respond(&mut self, sock: SockId, meta: &MsgMeta, bytes: usize) {
+        self.respond_with_service(sock, meta, bytes, 0);
+    }
+
+    /// Like [`SimApi::respond`], charging `service_ns` of request
+    /// handling work on the app core before the send (per-request work
+    /// that differs across requests, e.g. per-operation page rendering).
+    pub fn respond_with_service(
+        &mut self,
+        sock: SockId,
+        meta: &MsgMeta,
+        bytes: usize,
+        service_ns: u64,
+    ) {
+        let app_core = self.inner.machine.sockets.get(sock).app_core;
+        self.inner.machine.task_q[app_core].push_back(TaskWork::ServerSend {
+            flow: meta.flow.0 as u64,
+            bytes,
+            msg_id: meta.msg_id,
+            service_ns,
+        });
+        rxpath::kick(self.inner, self.eng, app_core);
+    }
+
+    /// Schedules [`App::on_timer`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.eng
+            .schedule_after(delay, move |s: &mut Sim, e: &mut Engine<Sim>| {
+                with_app(s, e, |app, api| app.on_timer(api, token));
+            });
+    }
+}
+
+enum FlowKindSpec {
+    Udp { payload: usize },
+    Tcp { window: u32 },
+}
+
+/// Owns the engine and the world; the harness entry point.
+pub struct SimRunner {
+    /// The event engine.
+    pub engine: Engine<Sim>,
+    /// The world.
+    pub sim: Sim,
+}
+
+impl SimRunner {
+    /// Builds a simulation and schedules its initialization (timer tick
+    /// plus the app's `on_start`).
+    pub fn new(cfg: SimConfig, steering: Box<dyn Steering>, app: Box<dyn App>) -> Self {
+        let inner = SimInner::new(cfg, steering);
+        let sim = Sim {
+            inner,
+            app: Some(app),
+        };
+        let mut engine = Engine::new();
+        engine.schedule_now(|s: &mut Sim, e: &mut Engine<Sim>| {
+            timer_tick(s, e);
+            with_app(s, e, |app, api| app.on_start(api));
+        });
+        SimRunner { engine, sim }
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let deadline = self.engine.now() + d;
+        self.engine.run_until(&mut self.sim, deadline);
+    }
+
+    /// Marks the start of the measurement window: latency and RTT
+    /// samples recorded before this call are already in; subsequent
+    /// analysis should snapshot counters here and diff at the end.
+    pub fn begin_measurement(&mut self) {
+        self.sim.inner.measure_from = self.engine.now();
+    }
+
+    /// The run counters.
+    pub fn counters(&self) -> &SimCounters {
+        &self.sim.inner.counters
+    }
+
+    /// The server machine.
+    pub fn machine(&self) -> &Machine {
+        &self.sim.inner.machine
+    }
+}

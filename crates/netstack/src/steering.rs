@@ -1,0 +1,143 @@
+//! Packet-steering policies: RPS and the stage-transition hook.
+//!
+//! Two distinct steering mechanisms exist in the receive path:
+//!
+//! 1. **RPS** (`get_rps_cpu`) runs once, early, inside
+//!    `netif_receive_skb`: it hashes the *flow* onto the RPS CPU mask.
+//!    All stages of a flow get the same answer, which is why RPS cannot
+//!    parallelize a single flow (paper §3.3). Implemented by
+//!    [`rps_cpu`].
+//! 2. **Stage transitions**: at the end of each device's processing the
+//!    packet is enqueued for its next stage. The vanilla kernel always
+//!    stays on the current CPU; Falcon plugs in here. The
+//!    [`Steering`] trait is that plug; `falcon` (the crate) implements
+//!    it with Algorithm 1, and [`StayLocal`] is the vanilla behaviour.
+
+use falcon_cpusim::{CpuSet, LoadTracker};
+
+/// Everything a stage-transition policy may consult.
+#[derive(Debug)]
+pub struct SteerCtx<'a> {
+    /// The packet's flow hash (`skb->hash`).
+    pub rx_hash: u32,
+    /// `ifindex` of the device whose stage is *about to run* (the
+    /// stage being dispatched to).
+    pub ifindex: u32,
+    /// Core currently executing.
+    pub current_cpu: usize,
+    /// Smoothed per-core loads and the system average.
+    pub loads: &'a LoadTracker,
+}
+
+/// A stage-transition CPU-selection policy.
+pub trait Steering {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the CPU for the next stage. `None` keeps the packet on
+    /// the current CPU (the vanilla behaviour).
+    fn select_cpu(&mut self, ctx: &SteerCtx<'_>) -> Option<usize>;
+
+    /// Called on every load-tracker sample so adaptive policies can
+    /// update internal state. Default: nothing.
+    fn on_load_sample(&mut self, _loads: &LoadTracker) {}
+
+    /// Whether a (flow, stage) whose packets are still in flight on
+    /// `old_cpu` may migrate to a different CPU anyway.
+    ///
+    /// Migrating with packets in flight can transiently reorder the
+    /// flow at that stage, so the default is to wait for the queue to
+    /// drain. Adaptive policies (Falcon's two-choice balancer) override
+    /// this to escape persistently overloaded cores — under a standing
+    /// queue the drain condition never arrives, and staying pinned to a
+    /// hotspot defeats rebalancing (§4.3 of the paper).
+    fn allow_inflight_migration(
+        &self,
+        _old_cpu: usize,
+        _new_cpu: usize,
+        _loads: &LoadTracker,
+    ) -> bool {
+        false
+    }
+}
+
+/// Vanilla kernel behaviour: each stage continues on the CPU that
+/// raised it.
+#[derive(Debug, Default, Clone)]
+pub struct StayLocal;
+
+impl Steering for StayLocal {
+    fn name(&self) -> &'static str {
+        "vanilla"
+    }
+
+    fn select_cpu(&mut self, _ctx: &SteerCtx<'_>) -> Option<usize> {
+        None
+    }
+}
+
+/// `get_rps_cpu`: map a flow hash onto the RPS CPU mask.
+///
+/// Mirrors the kernel: the flow hash modulo the mask size (the real
+/// kernel uses a 256-entry indirection table; for full masks the result
+/// is the same distribution).
+pub fn rps_cpu(rx_hash: u32, mask: &CpuSet) -> usize {
+    mask.pick_by_hash(rx_hash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_khash::{flow_hash_from_keys, FlowKeys};
+
+    #[test]
+    fn stay_local_never_moves() {
+        let mut policy = StayLocal;
+        let loads = LoadTracker::new(4);
+        for ifindex in 1..5u32 {
+            let ctx = SteerCtx {
+                rx_hash: 0xABCD,
+                ifindex,
+                current_cpu: 1,
+                loads: &loads,
+            };
+            assert_eq!(policy.select_cpu(&ctx), None);
+        }
+        assert_eq!(policy.name(), "vanilla");
+    }
+
+    #[test]
+    fn rps_is_flow_stable() {
+        let mask = CpuSet::new(vec![1, 2, 3]);
+        let keys = FlowKeys::udp(0x0A00_0001, 9999, 0x0A00_0002, 5001);
+        let h = flow_hash_from_keys(&keys, 7);
+        let cpu = rps_cpu(h, &mask);
+        assert_eq!(rps_cpu(h, &mask), cpu);
+        assert!(mask.contains(cpu));
+    }
+
+    #[test]
+    fn rps_ignores_device_identity() {
+        // The core observation of paper §4.1: RPS input has no device
+        // information, so every stage of a flow maps identically. Our
+        // rps_cpu signature makes that structural: it *cannot* see a
+        // device. This test pins the flow-hash-only contract.
+        let mask = CpuSet::new(vec![0, 1, 2, 3]);
+        let h = 0xDEAD_BEEF;
+        let first = rps_cpu(h, &mask);
+        for _stage in 0..3 {
+            assert_eq!(rps_cpu(h, &mask), first);
+        }
+    }
+
+    #[test]
+    fn rps_spreads_different_flows() {
+        let mask = CpuSet::new(vec![0, 1, 2, 3]);
+        let mut used = std::collections::HashSet::new();
+        for port in 0..32u16 {
+            let keys = FlowKeys::udp(0x0A00_0001, 1000 + port, 0x0A00_0002, 5001);
+            used.insert(rps_cpu(flow_hash_from_keys(&keys, 7), &mask));
+        }
+        assert!(used.len() >= 3, "RPS used only {} cpus", used.len());
+    }
+}

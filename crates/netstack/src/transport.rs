@@ -1,0 +1,307 @@
+//! The client-side traffic engine: flows, sender threads, and the
+//! simplified transports.
+//!
+//! The paper instruments only the *receiving* host; the sender is a
+//! traffic source (sockperf clients, memcached clients, web users). The
+//! simulation therefore models the client as a traffic engine rather
+//! than a second full kernel:
+//!
+//! * sender *threads* have finite speed (`client_tx_cost` per
+//!   datagram/segment) — this reproduces the paper's note that for 16 B
+//!   UDP a single sender saturates before the server does;
+//! * UDP flows are open-loop (paced or max-rate), with IP fragmentation
+//!   of datagrams larger than the MTU;
+//! * TCP flows are closed-loop: a fixed-size segment window, cumulative
+//!   acks from the server, multiplicative window decrease plus
+//!   go-back-N resend on a coarse retransmission timeout. The receiver
+//!   accepts forward jumps (it never stalls on a hole), which keeps the
+//!   throughput shape of TCP self-clocking without a full
+//!   SACK/congestion-avoidance implementation.
+
+use std::collections::HashMap;
+
+use falcon_khash::FlowKeys;
+use falcon_packet::MacAddr;
+use falcon_simcore::{SimDuration, SimTime};
+
+use crate::config::Pacing;
+
+/// Identifier of a client traffic flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+/// State of one TCP client flow.
+#[derive(Debug)]
+pub struct TcpState {
+    /// Window size in segments.
+    pub window: u32,
+    /// Initial window (restored ceiling after decreases).
+    pub init_window: u32,
+    /// Maximum segment payload size.
+    pub mss: usize,
+    /// Next new segment number to transmit.
+    pub next_seg: u64,
+    /// Segments `0..acked_count` are cumulatively acknowledged.
+    pub acked_count: u64,
+    /// Segments in flight (sent, unacked).
+    pub inflight: u32,
+    /// For stream mode: the app message size (infinite supply).
+    pub stream_msg_size: Option<usize>,
+    /// Bytes of the current stream message already segmented.
+    pub stream_msg_progress: usize,
+    /// Queued request messages: `(msg_id, bytes)`, each at most one
+    /// segment.
+    pub pending_msgs: std::collections::VecDeque<(u64, usize)>,
+    /// Retransmission timeout.
+    pub rto: SimDuration,
+    /// Timer generation (stale RTO events are ignored).
+    pub rto_gen: u64,
+    /// Total retransmitted segments.
+    pub retransmits: u64,
+    /// Map of outstanding segment -> (msg_id, bytes) for request mode
+    /// retransmission.
+    pub seg_msgs: HashMap<u64, (u64, usize)>,
+}
+
+impl TcpState {
+    /// Creates a fresh window-transport state.
+    pub fn new(window: u32, mss: usize) -> Self {
+        TcpState {
+            window,
+            init_window: window,
+            mss,
+            next_seg: 0,
+            acked_count: 0,
+            inflight: 0,
+            stream_msg_size: None,
+            stream_msg_progress: 0,
+            pending_msgs: std::collections::VecDeque::new(),
+            rto: SimDuration::from_millis(10),
+            rto_gen: 0,
+            retransmits: 0,
+            seg_msgs: HashMap::new(),
+        }
+    }
+
+    /// Room left in the window.
+    pub fn can_send(&self) -> bool {
+        self.inflight < self.window
+    }
+
+    /// Registers a cumulative ack up to segment `upto` (inclusive).
+    /// Returns the number of newly acked segments.
+    pub fn on_ack(&mut self, upto: u64) -> u64 {
+        if upto < self.acked_count {
+            return 0;
+        }
+        let newly = upto + 1 - self.acked_count;
+        self.acked_count = upto + 1;
+        self.inflight = self.inflight.saturating_sub(newly as u32);
+        self.rto_gen += 1;
+        // Additive window recovery toward the configured ceiling.
+        if self.window < self.init_window {
+            self.window += 1;
+        }
+        for seg in (self.acked_count - newly)..self.acked_count {
+            self.seg_msgs.remove(&seg);
+        }
+        newly
+    }
+
+    /// Applies a retransmission timeout: halve the window (floor 4) and
+    /// return the segment range `[acked_count, acked_count+inflight)`
+    /// to resend.
+    pub fn on_timeout(&mut self) -> std::ops::Range<u64> {
+        self.window = (self.window / 2).max(4);
+        self.rto_gen += 1;
+        self.retransmits += self.inflight as u64;
+        self.acked_count..(self.acked_count + self.inflight as u64)
+    }
+}
+
+/// Transport-specific flow state.
+#[derive(Debug)]
+pub enum FlowKind {
+    /// UDP: open-loop datagrams of `payload` bytes.
+    Udp {
+        /// Datagram payload size.
+        payload: usize,
+        /// Auto-sender state, when `udp_stress` started one.
+        stress: Option<StressState>,
+    },
+    /// TCP window transport.
+    Tcp(TcpState),
+}
+
+/// Auto-sender (sockperf-style) state.
+#[derive(Debug, Clone)]
+pub struct StressState {
+    /// Pacing discipline.
+    pub pacing: Pacing,
+    /// Sender thread ids driving this flow.
+    pub senders: Vec<usize>,
+    /// Whether the senders keep scheduling further sends.
+    pub active: bool,
+}
+
+/// One client flow.
+#[derive(Debug)]
+pub struct ClientFlow {
+    /// Identifier.
+    pub id: FlowId,
+    /// Inner (application-visible) flow keys, client → server.
+    pub keys: FlowKeys,
+    /// Index of the destination container on the server (overlay mode).
+    pub dst_container: Option<usize>,
+    /// Inner destination MAC (container veth MAC, or the server NIC).
+    pub dst_mac: MacAddr,
+    /// Inner source MAC.
+    pub src_mac: MacAddr,
+    /// Default sender thread.
+    pub thread: usize,
+    /// Next pipeline-order sequence number (monotonic per wire packet).
+    pub next_flow_seq: u64,
+    /// Next datagram id (for fragmentation).
+    pub next_datagram: u64,
+    /// Whether GRO may coalesce this flow's segments (streams yes,
+    /// PSH-flagged request traffic no).
+    pub gro_ok: bool,
+    /// Transport state.
+    pub kind: FlowKind,
+}
+
+impl ClientFlow {
+    /// Allocates the next pipeline sequence number.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_flow_seq;
+        self.next_flow_seq += 1;
+        s
+    }
+}
+
+/// The client machine: sender threads plus per-flow transports.
+#[derive(Debug, Default)]
+pub struct ClientEngine {
+    /// All flows.
+    pub flows: Vec<ClientFlow>,
+    /// Per-thread busy-until times (a thread sends serially).
+    pub threads: Vec<SimTime>,
+    /// Send timestamps of outstanding request messages (msg_id keyed).
+    pub msg_send_times: HashMap<u64, SimTime>,
+    /// Next message id.
+    pub next_msg_id: u64,
+}
+
+impl ClientEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        ClientEngine::default()
+    }
+
+    /// Allocates a sender thread.
+    pub fn new_thread(&mut self) -> usize {
+        self.threads.push(SimTime::ZERO);
+        self.threads.len() - 1
+    }
+
+    /// Allocates a message id and records its send time.
+    pub fn new_msg(&mut self, now: SimTime) -> u64 {
+        let id = self.next_msg_id + 1; // ids start at 1; 0 means "none"
+        self.next_msg_id = id;
+        self.msg_send_times.insert(id, now);
+        id
+    }
+
+    /// Reserves thread `t` from `now` for `cost`; returns the instant
+    /// the send occurs.
+    pub fn reserve_thread(&mut self, t: usize, now: SimTime, cost: SimDuration) -> SimTime {
+        let start = now.max(self.threads[t]);
+        self.threads[t] = start + cost;
+        start
+    }
+
+    /// Returns a flow by id.
+    pub fn flow(&self, id: FlowId) -> &ClientFlow {
+        &self.flows[id.0 as usize]
+    }
+
+    /// Returns a flow mutably.
+    pub fn flow_mut(&mut self, id: FlowId) -> &mut ClientFlow {
+        &mut self.flows[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_window_accounting() {
+        let mut t = TcpState::new(8, 1448);
+        assert!(t.can_send());
+        t.inflight = 8;
+        assert!(!t.can_send());
+        // Ack first 3 segments.
+        let newly = t.on_ack(2);
+        assert_eq!(newly, 3);
+        assert_eq!(t.acked_count, 3);
+        assert_eq!(t.inflight, 5);
+        // Duplicate/old ack does nothing.
+        assert_eq!(t.on_ack(1), 0);
+        assert_eq!(t.inflight, 5);
+    }
+
+    #[test]
+    fn tcp_timeout_halves_window_and_names_range() {
+        let mut t = TcpState::new(16, 1448);
+        t.next_seg = 20;
+        t.acked_count = 10;
+        t.inflight = 10;
+        let range = t.on_timeout();
+        assert_eq!(range, 10..20);
+        assert_eq!(t.window, 8);
+        assert_eq!(t.retransmits, 10);
+        // Window floors at 4.
+        for _ in 0..10 {
+            t.on_timeout();
+        }
+        assert_eq!(t.window, 4);
+    }
+
+    #[test]
+    fn tcp_window_recovers_on_acks() {
+        let mut t = TcpState::new(16, 1448);
+        t.inflight = 4;
+        t.next_seg = 4;
+        t.on_timeout(); // window 8
+        assert_eq!(t.window, 8);
+        for seg in 0..4 {
+            t.inflight = 1;
+            t.on_ack(seg);
+        }
+        assert_eq!(t.window, 12, "additive recovery, one per ack event");
+    }
+
+    #[test]
+    fn thread_reservation_is_serial() {
+        let mut eng = ClientEngine::new();
+        let t = eng.new_thread();
+        let cost = SimDuration::from_micros(2);
+        let s1 = eng.reserve_thread(t, SimTime::ZERO, cost);
+        let s2 = eng.reserve_thread(t, SimTime::ZERO, cost);
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2.as_nanos(), 2_000);
+        // After the thread goes idle, sends start immediately.
+        let s3 = eng.reserve_thread(t, SimTime::from_micros(100), cost);
+        assert_eq!(s3, SimTime::from_micros(100));
+    }
+
+    #[test]
+    fn msg_ids_start_at_one_and_record_times() {
+        let mut eng = ClientEngine::new();
+        let id = eng.new_msg(SimTime::from_nanos(5));
+        assert_eq!(id, 1);
+        assert_eq!(eng.msg_send_times[&id], SimTime::from_nanos(5));
+        assert_eq!(eng.new_msg(SimTime::ZERO), 2);
+    }
+}

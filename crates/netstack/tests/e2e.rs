@@ -1,0 +1,268 @@
+//! End-to-end data-path tests: client → wire → NIC → softirq pipeline →
+//! socket → application, in host and overlay modes.
+
+use falcon_metrics::IrqKind;
+use falcon_netstack::sim::{App, MsgMeta, SimApi, SimRunner};
+use falcon_netstack::{KernelVersion, NetMode, Pacing, SimConfig, SockId, StackConfig, StayLocal};
+use falcon_simcore::SimDuration;
+
+/// Opens one UDP flow into a host- or container-bound socket and
+/// stresses or paces it.
+struct UdpApp {
+    payload: usize,
+    pacing: Pacing,
+    senders: usize,
+    container: bool,
+}
+
+impl App for UdpApp {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let container = if self.container {
+            let c = api.add_container(0, 10);
+            Some(c)
+        } else {
+            None
+        };
+        api.bind_udp(container, 5001, 5, 300);
+        let flow = api.udp_flow(container, 5001, self.payload);
+        api.udp_stress(flow, self.senders, self.pacing);
+    }
+}
+
+fn run_udp(mode: NetMode, payload: usize, pacing: Pacing, millis: u64) -> SimRunner {
+    let server = StackConfig::new(mode, KernelVersion::K419, 8);
+    let cfg = SimConfig::new(server);
+    let app = UdpApp {
+        payload,
+        pacing,
+        senders: 2,
+        container: mode == NetMode::Overlay,
+    };
+    let mut runner = SimRunner::new(cfg, Box::new(StayLocal), Box::new(app));
+    runner.run_for(SimDuration::from_millis(millis));
+    runner
+}
+
+#[test]
+fn host_udp_delivers_packets() {
+    let runner = run_udp(NetMode::Host, 16, Pacing::FixedPps(50_000.0), 20);
+    let c = runner.counters();
+    assert!(c.total_sent() > 500, "sent {}", c.total_sent());
+    assert!(
+        c.total_delivered() > 500,
+        "delivered {}",
+        c.total_delivered()
+    );
+    // Underloaded: nearly everything arrives.
+    assert!(c.delivery_ratio() > 0.95, "ratio {}", c.delivery_ratio());
+    // Latency is in the microseconds, not milliseconds.
+    let p50 = c.latency.percentile(50.0);
+    assert!(p50 > 1_000 && p50 < 100_000, "p50 {p50} ns");
+    assert_eq!(runner.machine().order.violations(), 0);
+    assert_eq!(c.lookup_failures, 0);
+}
+
+#[test]
+fn overlay_udp_delivers_and_costs_more() {
+    let host = run_udp(NetMode::Host, 16, Pacing::FixedPps(50_000.0), 20);
+    let con = run_udp(NetMode::Overlay, 16, Pacing::FixedPps(50_000.0), 20);
+    assert!(con.counters().total_delivered() > 500);
+    assert_eq!(con.machine().order.violations(), 0);
+    // The overlay executes more softirqs for the same traffic.
+    let host_netrx = host.machine().cores.irqs.total(IrqKind::NetRx);
+    let con_netrx = con.machine().cores.irqs.total(IrqKind::NetRx);
+    assert!(
+        con_netrx as f64 > host_netrx as f64 * 1.5,
+        "overlay NET_RX {con_netrx} vs host {host_netrx}"
+    );
+    // And one-way latency is higher.
+    let hp50 = host.counters().latency.percentile(50.0);
+    let cp50 = con.counters().latency.percentile(50.0);
+    assert!(cp50 > hp50, "overlay p50 {cp50} <= host p50 {hp50}");
+}
+
+#[test]
+fn overlay_stress_is_softirq_bottlenecked() {
+    let con = run_udp(NetMode::Overlay, 16, Pacing::MaxRate, 20);
+    let c = con.counters();
+    assert!(c.total_sent() > 2_000);
+    // Max-rate stress overloads the pipeline: some packets drop.
+    assert!(c.total_drops() > 0, "expected queue drops under stress");
+    assert_eq!(con.machine().order.violations(), 0);
+    // Softirq serialization (paper Figure 5): the vanilla overlay
+    // cannot use more than a couple of cores for one flow's softirqs —
+    // everything past packet steering stacks on the single RPS core.
+    let ledger = &con.machine().cores.ledger;
+    let softirq: Vec<u64> = (0..8).map(|core| ledger.core(core).softirq_ns).collect();
+    let top = *softirq.iter().max().unwrap();
+    let busy_cores = softirq.iter().filter(|&&ns| ns > top / 10).count();
+    assert!(
+        busy_cores <= 3,
+        "softirq spread over {busy_cores} cores: {softirq:?}"
+    );
+}
+
+#[test]
+fn fragmented_udp_reassembles() {
+    let runner = run_udp(NetMode::Overlay, 4096, Pacing::FixedPps(5_000.0), 20);
+    let c = runner.counters();
+    // ~100 datagrams, each 3 fragments at 1422-byte max payload.
+    assert!(
+        c.total_delivered() > 50,
+        "delivered {}",
+        c.total_delivered()
+    );
+    assert!(
+        c.frames_sent as f64 > c.total_sent() as f64 * 2.5,
+        "fragmentation happened"
+    );
+    assert_eq!(runner.machine().order.violations(), 0);
+    // Delivered messages carry the full payload size.
+    let bytes = c.total_delivered_bytes();
+    assert_eq!(bytes, c.total_delivered() * 4096);
+}
+
+/// TCP stream app.
+struct TcpApp {
+    msg_size: usize,
+    container: bool,
+}
+
+impl App for TcpApp {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let container = if self.container {
+            Some(api.add_container(0, 10))
+        } else {
+            None
+        };
+        api.bind_tcp(container, 5201, 5, 300);
+        let flow = api.tcp_flow(container, 5201, 64);
+        api.tcp_stream(flow, self.msg_size);
+    }
+}
+
+#[test]
+fn host_tcp_stream_self_clocks() {
+    let server = StackConfig::new(NetMode::Host, KernelVersion::K419, 8);
+    let cfg = SimConfig::new(server);
+    let mut runner = SimRunner::new(
+        cfg,
+        Box::new(StayLocal),
+        Box::new(TcpApp {
+            msg_size: 4096,
+            container: false,
+        }),
+    );
+    runner.run_for(SimDuration::from_millis(20));
+    let c = runner.counters();
+    assert!(
+        c.total_delivered() > 1_000,
+        "delivered {}",
+        c.total_delivered()
+    );
+    assert!(c.acks_sent > 100, "acks {}", c.acks_sent);
+    assert_eq!(runner.machine().order.violations(), 0);
+    // Closed loop: inflight bounded by window, so drops should be rare.
+    assert!(c.delivery_ratio() > 0.9, "ratio {}", c.delivery_ratio());
+}
+
+#[test]
+fn overlay_tcp_stream_works_with_gro() {
+    let server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+    let cfg = SimConfig::new(server);
+    let mut runner = SimRunner::new(
+        cfg,
+        Box::new(StayLocal),
+        Box::new(TcpApp {
+            msg_size: 4096,
+            container: true,
+        }),
+    );
+    runner.run_for(SimDuration::from_millis(20));
+    let c = runner.counters();
+    assert!(
+        c.total_delivered() > 500,
+        "delivered {}",
+        c.total_delivered()
+    );
+    assert_eq!(runner.machine().order.violations(), 0);
+    // GRO engaged: napi_gro_receive shows up in the profile.
+    let gro_ns = runner
+        .machine()
+        .cores
+        .ledger
+        .function_total("napi_gro_receive");
+    assert!(gro_ns > 0);
+}
+
+/// Ping-pong (request/response) app measuring RTT.
+struct PingPongApp {
+    sock: Option<SockId>,
+    outstanding: u64,
+    done: u64,
+    target: u64,
+}
+
+impl App for PingPongApp {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let c = api.add_container(0, 10);
+        self.sock = Some(api.bind_udp(Some(c), 5001, 5, 300));
+        let flow = api.udp_flow(Some(c), 5001, 64);
+        self.outstanding = api.udp_send(flow, 64);
+    }
+
+    fn on_server_msg(&mut self, api: &mut SimApi<'_>, sock: SockId, meta: &MsgMeta) {
+        // Echo server: respond with the same size.
+        api.respond(sock, meta, meta.bytes);
+    }
+
+    fn on_client_msg(
+        &mut self,
+        api: &mut SimApi<'_>,
+        flow: falcon_netstack::FlowId,
+        meta: &MsgMeta,
+    ) {
+        assert_eq!(meta.msg_id, self.outstanding, "responses correlate");
+        self.done += 1;
+        if self.done < self.target {
+            self.outstanding = api.udp_send(flow, 64);
+        }
+    }
+}
+
+#[test]
+fn overlay_ping_pong_round_trips() {
+    let server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+    let cfg = SimConfig::new(server);
+    let mut runner = SimRunner::new(
+        cfg,
+        Box::new(StayLocal),
+        Box::new(PingPongApp {
+            sock: None,
+            outstanding: 0,
+            done: 0,
+            target: 200,
+        }),
+    );
+    runner.run_for(SimDuration::from_millis(100));
+    let c = runner.counters();
+    assert_eq!(c.rtt.count(), 200, "all pings got pongs");
+    let p50 = c.rtt.percentile(50.0);
+    assert!(p50 > 5_000 && p50 < 200_000, "RTT p50 {p50} ns");
+    assert_eq!(runner.machine().order.violations(), 0);
+}
+
+#[test]
+fn determinism_same_seed_same_result() {
+    let a = run_udp(NetMode::Overlay, 16, Pacing::PoissonPps(100_000.0), 10);
+    let b = run_udp(NetMode::Overlay, 16, Pacing::PoissonPps(100_000.0), 10);
+    assert_eq!(a.counters().total_sent(), b.counters().total_sent());
+    assert_eq!(
+        a.counters().total_delivered(),
+        b.counters().total_delivered()
+    );
+    assert_eq!(
+        a.machine().cores.ledger.total_busy(),
+        b.machine().cores.ledger.total_busy()
+    );
+}

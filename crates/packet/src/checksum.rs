@@ -1,0 +1,101 @@
+//! The Internet checksum (RFC 1071).
+//!
+//! Used by the IPv4 header and (in the simulation, optionally) UDP/TCP.
+//! Implemented with 32-bit accumulation and end-around carry folding,
+//! the same structure as the kernel's `ip_compute_csum`.
+
+/// Computes the ones'-complement Internet checksum over `data`.
+///
+/// An odd trailing byte is padded with zero, per RFC 1071.
+///
+/// # Examples
+///
+/// ```
+/// use falcon_packet::checksum::internet_checksum;
+///
+/// // RFC 1071 example sequence.
+/// let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+/// assert_eq!(internet_checksum(&data), !0xddf2u16);
+/// ```
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data, 0))
+}
+
+/// Accumulates 16-bit big-endian words of `data` into `acc` without
+/// final folding, so multi-part checksums (pseudo-header + payload) can
+/// be composed.
+pub fn sum_words(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u16::from_be_bytes([chunk[0], chunk[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += (*last as u32) << 8;
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into 16 bits with end-around carry.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc >> 16 != 0 {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    acc as u16
+}
+
+/// Verifies a buffer that embeds its own checksum: summing everything
+/// (checksum field included) must produce `0xFFFF` before complement,
+/// i.e. a folded sum of `0xFFFF`.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_words(data, 0)) == 0xFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(fold(sum_words(&data, 0)), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xAB]), internet_checksum(&[0xAB, 0x00]));
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+        assert!(!verify(&[]));
+    }
+
+    #[test]
+    fn embedding_checksum_verifies() {
+        // Build a 20-byte pseudo-header, embed the checksum at offset 10
+        // (like IPv4), then verify.
+        let mut buf = [0u8; 20];
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37);
+        }
+        buf[10] = 0;
+        buf[11] = 0;
+        let csum = internet_checksum(&buf);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+        assert!(verify(&buf));
+        // Corrupt a byte: verification must fail.
+        buf[3] ^= 0x40;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn composable_accumulation() {
+        let part1 = [1u8, 2, 3, 4];
+        let part2 = [5u8, 6, 7, 8];
+        let whole = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let split = fold(sum_words(&part2, sum_words(&part1, 0)));
+        assert_eq!(split, fold(sum_words(&whole, 0)));
+    }
+}

@@ -1,0 +1,364 @@
+//! VXLAN encapsulation and decapsulation, plus inner-frame builders.
+//!
+//! The overlay data path wraps a container's Ethernet frame in an outer
+//! Ethernet + IPv4 + UDP(4789) + VXLAN envelope on transmit, and strips
+//! it on receive. [`VXLAN_OVERHEAD`] (50 bytes) is the per-packet byte
+//! tax the paper's Figure 2 throughput tests pay on the wire.
+
+use falcon_khash::FlowKeys;
+use serde::{Deserialize, Serialize};
+
+use crate::ethernet::{EtherType, EthernetHdr, MacAddr, ETHERNET_HDR_LEN};
+use crate::ipv4::{IpProto, Ipv4Addr4, Ipv4Hdr, IPV4_HDR_LEN};
+use crate::tcp::{TcpFlags, TcpHdr, TCP_HDR_LEN};
+use crate::udp::{UdpHdr, UDP_HDR_LEN, VXLAN_PORT};
+use crate::vxlan::{VxlanHdr, VXLAN_HDR_LEN};
+use crate::CodecError;
+
+/// Bytes added by VXLAN encapsulation: outer Ethernet (14) + outer IPv4
+/// (20) + outer UDP (8) + VXLAN (8).
+pub const VXLAN_OVERHEAD: usize = ETHERNET_HDR_LEN + IPV4_HDR_LEN + UDP_HDR_LEN + VXLAN_HDR_LEN;
+
+/// Parameters of the outer (host-network) envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncapParams {
+    /// Source (local host) MAC.
+    pub src_mac: MacAddr,
+    /// Destination (peer host) MAC.
+    pub dst_mac: MacAddr,
+    /// Source (local host) IP.
+    pub src_ip: Ipv4Addr4,
+    /// Destination (peer host) IP.
+    pub dst_ip: Ipv4Addr4,
+    /// Outer UDP source port. Real VXLAN derives it from the inner flow
+    /// hash so that RSS can still spread *different* overlay flows.
+    pub src_port: u16,
+    /// The VXLAN network identifier.
+    pub vni: u32,
+}
+
+/// Encapsulates an inner Ethernet frame in a VXLAN envelope.
+///
+/// # Examples
+///
+/// ```
+/// use falcon_packet::encap::{vxlan_encapsulate, vxlan_decapsulate, EncapParams};
+/// use falcon_packet::{Ipv4Addr4, MacAddr, VXLAN_OVERHEAD};
+///
+/// let inner = vec![0xAA; 100];
+/// let params = EncapParams {
+///     src_mac: MacAddr::from_index(1),
+///     dst_mac: MacAddr::from_index(2),
+///     src_ip: Ipv4Addr4::new(192, 168, 0, 1),
+///     dst_ip: Ipv4Addr4::new(192, 168, 0, 2),
+///     src_port: 49152,
+///     vni: 42,
+/// };
+/// let outer = vxlan_encapsulate(&inner, &params);
+/// assert_eq!(outer.len(), inner.len() + VXLAN_OVERHEAD);
+/// let (decap, vni) = vxlan_decapsulate(&outer).unwrap();
+/// assert_eq!(decap, &inner[..]);
+/// assert_eq!(vni, 42);
+/// ```
+pub fn vxlan_encapsulate(inner_frame: &[u8], params: &EncapParams) -> Vec<u8> {
+    let total = inner_frame.len() + VXLAN_OVERHEAD;
+    let mut out = Vec::with_capacity(total);
+    EthernetHdr {
+        dst: params.dst_mac,
+        src: params.src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .push_onto(&mut out);
+    Ipv4Hdr {
+        total_len: (total - ETHERNET_HDR_LEN) as u16,
+        ident: 0,
+        ttl: 64,
+        proto: IpProto::Udp,
+        src: params.src_ip,
+        dst: params.dst_ip,
+    }
+    .push_onto(&mut out);
+    UdpHdr {
+        src_port: params.src_port,
+        dst_port: VXLAN_PORT,
+        len: (UDP_HDR_LEN + VXLAN_HDR_LEN + inner_frame.len()) as u16,
+        checksum: 0,
+    }
+    .push_onto(&mut out);
+    VxlanHdr::new(params.vni).push_onto(&mut out);
+    out.extend_from_slice(inner_frame);
+    out
+}
+
+/// Strips a VXLAN envelope, returning the inner frame bytes and the VNI.
+///
+/// Fails if the outer headers do not parse as Ethernet/IPv4/UDP-to-4789/
+/// VXLAN.
+pub fn vxlan_decapsulate(outer_frame: &[u8]) -> Result<(&[u8], u32), CodecError> {
+    let eth = EthernetHdr::parse(outer_frame)?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return Err(CodecError::Malformed {
+            what: "vxlan-outer",
+            why: "not IPv4",
+        });
+    }
+    let ip_off = ETHERNET_HDR_LEN;
+    let ip = Ipv4Hdr::parse(&outer_frame[ip_off..])?;
+    if ip.proto != IpProto::Udp {
+        return Err(CodecError::Malformed {
+            what: "vxlan-outer",
+            why: "not UDP",
+        });
+    }
+    let udp_off = ip_off + IPV4_HDR_LEN;
+    let udp = UdpHdr::parse(&outer_frame[udp_off..])?;
+    if udp.dst_port != VXLAN_PORT {
+        return Err(CodecError::Malformed {
+            what: "vxlan-outer",
+            why: "not port 4789",
+        });
+    }
+    let vxlan_off = udp_off + UDP_HDR_LEN;
+    let vxlan = VxlanHdr::parse(&outer_frame[vxlan_off..])?;
+    Ok((&outer_frame[vxlan_off + VXLAN_HDR_LEN..], vxlan.vni))
+}
+
+/// Builds a UDP datagram frame: Ethernet + IPv4 + UDP + payload.
+pub fn build_udp_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    keys: &FlowKeys,
+    payload: &[u8],
+) -> Vec<u8> {
+    let total_ip = IPV4_HDR_LEN + UDP_HDR_LEN + payload.len();
+    let mut out = Vec::with_capacity(ETHERNET_HDR_LEN + total_ip);
+    EthernetHdr {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .push_onto(&mut out);
+    Ipv4Hdr {
+        total_len: total_ip as u16,
+        ident: 0,
+        ttl: 64,
+        proto: IpProto::Udp,
+        src: Ipv4Addr4(keys.src_addr),
+        dst: Ipv4Addr4(keys.dst_addr),
+    }
+    .push_onto(&mut out);
+    UdpHdr {
+        src_port: keys.src_port,
+        dst_port: keys.dst_port,
+        len: (UDP_HDR_LEN + payload.len()) as u16,
+        checksum: 0,
+    }
+    .push_onto(&mut out);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Builds a TCP segment frame: Ethernet + IPv4 + TCP + payload.
+#[allow(clippy::too_many_arguments)]
+pub fn build_tcp_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    keys: &FlowKeys,
+    seq: u32,
+    ack: u32,
+    flags: TcpFlags,
+    window: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let total_ip = IPV4_HDR_LEN + TCP_HDR_LEN + payload.len();
+    let mut out = Vec::with_capacity(ETHERNET_HDR_LEN + total_ip);
+    EthernetHdr {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: EtherType::Ipv4,
+    }
+    .push_onto(&mut out);
+    Ipv4Hdr {
+        total_len: total_ip as u16,
+        ident: 0,
+        ttl: 64,
+        proto: IpProto::Tcp,
+        src: Ipv4Addr4(keys.src_addr),
+        dst: Ipv4Addr4(keys.dst_addr),
+    }
+    .push_onto(&mut out);
+    TcpHdr {
+        src_port: keys.src_port,
+        dst_port: keys.dst_port,
+        seq,
+        ack,
+        flags,
+        window,
+    }
+    .push_onto(&mut out);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Dissects the flow keys from an (inner or host) frame starting at its
+/// Ethernet header — the simulation's flow dissector.
+pub fn dissect_flow(frame: &[u8]) -> Result<FlowKeys, CodecError> {
+    let eth = EthernetHdr::parse(frame)?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return Err(CodecError::Malformed {
+            what: "dissect",
+            why: "not IPv4",
+        });
+    }
+    let ip = Ipv4Hdr::parse(&frame[ETHERNET_HDR_LEN..])?;
+    let l4 = &frame[ETHERNET_HDR_LEN + IPV4_HDR_LEN..];
+    match ip.proto {
+        IpProto::Udp => {
+            let udp = UdpHdr::parse(l4)?;
+            Ok(FlowKeys {
+                src_addr: ip.src.0,
+                dst_addr: ip.dst.0,
+                src_port: udp.src_port,
+                dst_port: udp.dst_port,
+                ip_proto: 17,
+            })
+        }
+        IpProto::Tcp => {
+            let tcp = TcpHdr::parse(l4)?;
+            Ok(FlowKeys {
+                src_addr: ip.src.0,
+                dst_addr: ip.dst.0,
+                src_port: tcp.src_port,
+                dst_port: tcp.dst_port,
+                ip_proto: 6,
+            })
+        }
+        IpProto::Other(_) => Err(CodecError::Malformed {
+            what: "dissect",
+            why: "unsupported L4 protocol",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EncapParams {
+        EncapParams {
+            src_mac: MacAddr::from_index(1),
+            dst_mac: MacAddr::from_index(2),
+            src_ip: Ipv4Addr4::new(192, 168, 0, 1),
+            dst_ip: Ipv4Addr4::new(192, 168, 0, 2),
+            src_port: 55555,
+            vni: 7,
+        }
+    }
+
+    fn inner_udp() -> Vec<u8> {
+        let keys = FlowKeys::udp(
+            Ipv4Addr4::new(10, 0, 0, 1).0,
+            5001,
+            Ipv4Addr4::new(10, 0, 0, 2).0,
+            8080,
+        );
+        build_udp_frame(
+            MacAddr::from_index(10),
+            MacAddr::from_index(11),
+            &keys,
+            &[9u8; 32],
+        )
+    }
+
+    #[test]
+    fn encap_decap_round_trip() {
+        let inner = inner_udp();
+        let outer = vxlan_encapsulate(&inner, &params());
+        assert_eq!(outer.len(), inner.len() + VXLAN_OVERHEAD);
+        let (decap, vni) = vxlan_decapsulate(&outer).unwrap();
+        assert_eq!(decap, &inner[..]);
+        assert_eq!(vni, 7);
+    }
+
+    #[test]
+    fn outer_flow_differs_from_inner_flow() {
+        // The whole point of encapsulation: the host network sees the
+        // outer (host IP, port-4789) flow, not the container flow.
+        let inner = inner_udp();
+        let outer = vxlan_encapsulate(&inner, &params());
+        let inner_keys = dissect_flow(&inner).unwrap();
+        let outer_keys = dissect_flow(&outer).unwrap();
+        assert_ne!(inner_keys, outer_keys);
+        assert_eq!(outer_keys.dst_port, VXLAN_PORT);
+        assert_eq!(outer_keys.src_addr, Ipv4Addr4::new(192, 168, 0, 1).0);
+    }
+
+    #[test]
+    fn decap_rejects_plain_udp() {
+        // A frame whose UDP port is not 4789 is not VXLAN.
+        let frame = inner_udp();
+        assert!(matches!(
+            vxlan_decapsulate(&frame),
+            Err(CodecError::Malformed {
+                why: "not port 4789",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn decap_rejects_tcp_outer() {
+        let keys = FlowKeys::tcp(1, 2, 3, 4);
+        let frame = build_tcp_frame(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            &keys,
+            0,
+            0,
+            TcpFlags::data(),
+            100,
+            &[],
+        );
+        assert!(matches!(
+            vxlan_decapsulate(&frame),
+            Err(CodecError::Malformed { why: "not UDP", .. })
+        ));
+    }
+
+    #[test]
+    fn dissect_udp_and_tcp() {
+        let ukeys = FlowKeys::udp(100, 1, 200, 2);
+        let uframe = build_udp_frame(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            &ukeys,
+            &[0; 8],
+        );
+        assert_eq!(dissect_flow(&uframe).unwrap(), ukeys);
+
+        let tkeys = FlowKeys::tcp(100, 1, 200, 2);
+        let tframe = build_tcp_frame(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            &tkeys,
+            5,
+            6,
+            TcpFlags::data(),
+            100,
+            &[0; 8],
+        );
+        assert_eq!(dissect_flow(&tframe).unwrap(), tkeys);
+    }
+
+    #[test]
+    fn nested_encapsulation_parses() {
+        // VXLAN-in-VXLAN should still round-trip (the stack never does
+        // this, but the codec must not care).
+        let inner = inner_udp();
+        let mid = vxlan_encapsulate(&inner, &params());
+        let outer = vxlan_encapsulate(&mid, &params());
+        let (once, _) = vxlan_decapsulate(&outer).unwrap();
+        let (twice, _) = vxlan_decapsulate(once).unwrap();
+        assert_eq!(twice, &inner[..]);
+    }
+}

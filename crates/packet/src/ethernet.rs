@@ -1,0 +1,179 @@
+//! Ethernet II framing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CodecError;
+
+/// Length of an Ethernet II header (no VLAN tag).
+pub const ETHERNET_HDR_LEN: usize = 14;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Builds a locally administered unicast MAC from a small integer,
+    /// handy for giving every simulated device a unique address.
+    pub fn from_index(idx: u64) -> Self {
+        let b = idx.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Returns `true` for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+}
+
+impl core::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let m = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// EtherType values the simulation understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Returns the wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// An Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetHdr {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload EtherType.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHdr {
+    /// Serializes the header into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`ETHERNET_HDR_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..6].copy_from_slice(&self.dst.0);
+        buf[6..12].copy_from_slice(&self.src.0);
+        buf[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+    }
+
+    /// Appends the header to a byte vector.
+    pub fn push_onto(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + ETHERNET_HDR_LEN, 0);
+        self.write(&mut out[start..]);
+    }
+
+    /// Parses a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<EthernetHdr, CodecError> {
+        if buf.len() < ETHERNET_HDR_LEN {
+            return Err(CodecError::Truncated {
+                what: "ethernet",
+                need: ETHERNET_HDR_LEN,
+                have: buf.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EthernetHdr {
+            dst: MacAddr(dst),
+            src: MacAddr(src),
+            ethertype: EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]])),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hdr = EthernetHdr {
+            dst: MacAddr::from_index(7),
+            src: MacAddr::from_index(9),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        assert_eq!(buf.len(), ETHERNET_HDR_LEN);
+        assert_eq!(EthernetHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let err = EthernetHdr::parse(&[0u8; 13]).unwrap_err();
+        assert!(matches!(
+            err,
+            CodecError::Truncated {
+                what: "ethernet",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mac_from_index_unique_and_local() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert_eq!(a.0[0] & 0x02, 0x02, "locally administered bit");
+        assert_eq!(a.0[0] & 0x01, 0, "unicast bit");
+    }
+
+    #[test]
+    fn broadcast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(!MacAddr::from_index(3).is_broadcast());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(
+            MacAddr([0, 0x1b, 0x44, 0x11, 0x3a, 0xb7]).to_string(),
+            "00:1b:44:11:3a:b7"
+        );
+    }
+
+    #[test]
+    fn unknown_ethertype_preserved() {
+        let e = EtherType::from_u16(0x86DD);
+        assert_eq!(e, EtherType::Other(0x86DD));
+        assert_eq!(e.to_u16(), 0x86DD);
+    }
+}

@@ -1,0 +1,241 @@
+//! IPv4 header codec (20-byte header, no options).
+
+use serde::{Deserialize, Serialize};
+
+use crate::checksum::{internet_checksum, verify};
+use crate::CodecError;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HDR_LEN: usize = 20;
+
+/// An IPv4 address stored in host byte order, with dotted-quad helpers.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Ipv4Addr4(pub u32);
+
+impl Ipv4Addr4 {
+    /// Builds an address from dotted-quad octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr4(u32::from_be_bytes([a, b, c, d]))
+    }
+
+    /// Returns the four octets.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl core::fmt::Display for Ipv4Addr4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// IP protocol numbers the simulation understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpProto {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Returns the wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+
+    /// Parses a wire value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// An IPv4 header (IHL fixed at 5, i.e. no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Hdr {
+    /// Total length: header plus payload, in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Source address.
+    pub src: Ipv4Addr4,
+    /// Destination address.
+    pub dst: Ipv4Addr4,
+}
+
+impl Ipv4Hdr {
+    /// Serializes the header (with a freshly computed checksum) into
+    /// `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`IPV4_HDR_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0] = 0x45; // Version 4, IHL 5.
+        buf[1] = 0; // DSCP/ECN.
+        buf[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        buf[6..8].copy_from_slice(&0x4000u16.to_be_bytes()); // DF set.
+        buf[8] = self.ttl;
+        buf[9] = self.proto.to_u8();
+        buf[10] = 0;
+        buf[11] = 0;
+        buf[12..16].copy_from_slice(&self.src.0.to_be_bytes());
+        buf[16..20].copy_from_slice(&self.dst.0.to_be_bytes());
+        let csum = internet_checksum(&buf[..IPV4_HDR_LEN]);
+        buf[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Appends the header to a byte vector.
+    pub fn push_onto(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + IPV4_HDR_LEN, 0);
+        self.write(&mut out[start..]);
+    }
+
+    /// Parses and checksum-verifies a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Ipv4Hdr, CodecError> {
+        if buf.len() < IPV4_HDR_LEN {
+            return Err(CodecError::Truncated {
+                what: "ipv4",
+                need: IPV4_HDR_LEN,
+                have: buf.len(),
+            });
+        }
+        if buf[0] >> 4 != 4 {
+            return Err(CodecError::Malformed {
+                what: "ipv4",
+                why: "version is not 4",
+            });
+        }
+        let ihl = (buf[0] & 0x0F) as usize * 4;
+        if ihl != IPV4_HDR_LEN {
+            return Err(CodecError::Malformed {
+                what: "ipv4",
+                why: "options not supported",
+            });
+        }
+        if !verify(&buf[..IPV4_HDR_LEN]) {
+            return Err(CodecError::BadChecksum { what: "ipv4" });
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if (total_len as usize) < IPV4_HDR_LEN {
+            return Err(CodecError::Malformed {
+                what: "ipv4",
+                why: "total_len < header",
+            });
+        }
+        Ok(Ipv4Hdr {
+            total_len,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            proto: IpProto::from_u8(buf[9]),
+            src: Ipv4Addr4(u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]])),
+            dst: Ipv4Addr4(u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]])),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Hdr {
+        Ipv4Hdr {
+            total_len: 1500,
+            ident: 0x1234,
+            ttl: 64,
+            proto: IpProto::Udp,
+            src: Ipv4Addr4::new(10, 0, 0, 1),
+            dst: Ipv4Addr4::new(10, 0, 0, 2),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        assert_eq!(buf.len(), IPV4_HDR_LEN);
+        assert_eq!(Ipv4Hdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let mut buf = Vec::new();
+        sample().write({
+            buf.resize(IPV4_HDR_LEN, 0);
+            &mut buf[..]
+        });
+        buf[15] ^= 0x01; // Flip a source-address bit.
+        assert_eq!(
+            Ipv4Hdr::parse(&buf).unwrap_err(),
+            CodecError::BadChecksum { what: "ipv4" }
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = vec![0u8; IPV4_HDR_LEN];
+        sample().write(&mut buf);
+        buf[0] = 0x65; // Version 6.
+        assert!(matches!(
+            Ipv4Hdr::parse(&buf),
+            Err(CodecError::Malformed { what: "ipv4", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut buf = vec![0u8; IPV4_HDR_LEN];
+        sample().write(&mut buf);
+        buf[0] = 0x46; // IHL 6.
+        assert!(matches!(
+            Ipv4Hdr::parse(&buf),
+            Err(CodecError::Malformed {
+                what: "ipv4",
+                why: "options not supported"
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            Ipv4Hdr::parse(&[0u8; 10]),
+            Err(CodecError::Truncated { what: "ipv4", .. })
+        ));
+    }
+
+    #[test]
+    fn addr_display_and_octets() {
+        let a = Ipv4Addr4::new(192, 168, 1, 42);
+        assert_eq!(a.to_string(), "192.168.1.42");
+        assert_eq!(a.octets(), [192, 168, 1, 42]);
+    }
+
+    #[test]
+    fn proto_round_trip() {
+        for v in [0u8, 6, 17, 89, 255] {
+            assert_eq!(IpProto::from_u8(v).to_u8(), v);
+        }
+    }
+}

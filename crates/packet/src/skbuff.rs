@@ -1,0 +1,203 @@
+//! The simulated `sk_buff`: packet bytes plus kernel metadata.
+//!
+//! Mirrors the fields of `struct sk_buff` the paper's mechanisms read or
+//! write: the current device (`skb->dev`, updated at each hop, whose
+//! `ifindex` Falcon mixes into its hash), the flow hash (`skb->hash`,
+//! computed once by the flow dissector), and GRO coalescing state. On
+//! top of that the simulation carries bookkeeping a real kernel does not
+//! need: timestamps for latency measurement, per-flow sequence numbers
+//! for the in-order-delivery invariant, and a hop trace used by tests
+//! and the anatomy example.
+
+use falcon_khash::FlowKeys;
+use falcon_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique packet identifier within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+/// One hop of a packet's journey, recorded for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceHop {
+    /// `ifindex` of the device whose processing stage ran.
+    pub ifindex: u32,
+    /// CPU core the stage executed on.
+    pub cpu: usize,
+}
+
+/// IP fragmentation metadata for a wire frame that carries one fragment
+/// of a larger datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragMeta {
+    /// Identifier of the original datagram (unique per flow).
+    pub datagram_id: u64,
+    /// Zero-based fragment index.
+    pub index: u32,
+    /// Total fragments in the datagram.
+    pub count: u32,
+}
+
+/// A packet travelling through the simulated kernel.
+#[derive(Debug, Clone)]
+pub struct SkBuff {
+    /// Unique id of this packet.
+    pub id: PacketId,
+    /// Full frame bytes, starting at the (outer) Ethernet header.
+    pub data: Vec<u8>,
+    /// `skb->dev->ifindex`: the device currently processing the packet.
+    /// Updated at every device hop; Falcon's CPU selection hashes it.
+    pub dev_ifindex: u32,
+    /// `skb->hash`: flow hash computed by the dissector (0 = unset).
+    pub rx_hash: u32,
+    /// Dissected flow keys of the *current* (outer-most remaining) headers.
+    pub flow: Option<FlowKeys>,
+    /// Simulation-level flow identifier (stable across encap/decap).
+    pub flow_id: u64,
+    /// Per-flow sequence number, assigned at the sender, used to assert
+    /// in-order delivery per (flow, device).
+    pub flow_seq: u64,
+    /// When the application handed the payload to the stack.
+    pub sent_at: SimTime,
+    /// When the frame finished arriving at the receiving NIC.
+    pub nic_arrival: SimTime,
+    /// Number of wire segments GRO coalesced into this buffer (>= 1).
+    pub gro_segs: u32,
+    /// Payload bytes GRO appended beyond `data` (coalesced segments are
+    /// accounted, not byte-copied, in the simulation).
+    pub gro_extra_bytes: usize,
+    /// Set when softirq splitting deferred `napi_gro_receive`: the
+    /// packet sits in a backlog still needing its GRO half-stage.
+    pub gro_pending: bool,
+    /// Application payload bytes carried (after reassembly/coalescing
+    /// this is the original message size).
+    pub payload_len: usize,
+    /// Fragmentation metadata, when this frame is one IP fragment.
+    pub frag: Option<FragMeta>,
+    /// Request/response correlation id assigned by the sending
+    /// application (echoed in responses for RTT measurement).
+    pub msg_id: u64,
+    /// TCP segment number (transport sequence). Distinct from
+    /// `flow_seq`: a retransmission reuses its `tcp_seg` but gets a
+    /// fresh `flow_seq`, because the pipeline-ordering invariant is
+    /// about processing order of wire packets, not byte-stream offsets.
+    pub tcp_seg: u64,
+    /// TCP PSH flag: set on the last segment of an application message.
+    /// GRO flushes at PSH, so coalescing never spans message
+    /// boundaries.
+    pub psh: bool,
+    /// Core that executed the previous pipeline stage, if any — drives
+    /// the cache-locality penalty model.
+    pub last_cpu: Option<usize>,
+    /// Devices and cores this packet has visited.
+    pub trace: Vec<TraceHop>,
+}
+
+impl SkBuff {
+    /// Wraps raw frame bytes in a fresh buffer with empty metadata.
+    pub fn new(id: PacketId, data: Vec<u8>) -> Self {
+        SkBuff {
+            id,
+            data,
+            dev_ifindex: 0,
+            rx_hash: 0,
+            flow: None,
+            flow_id: 0,
+            flow_seq: 0,
+            sent_at: SimTime::ZERO,
+            nic_arrival: SimTime::ZERO,
+            gro_segs: 1,
+            gro_extra_bytes: 0,
+            gro_pending: false,
+            payload_len: 0,
+            frag: None,
+            msg_id: 0,
+            tcp_seg: 0,
+            psh: false,
+            last_cpu: None,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Effective frame length including GRO-coalesced bytes.
+    pub fn total_len(&self) -> usize {
+        self.data.len() + self.gro_extra_bytes
+    }
+
+    /// Returns the frame length in bytes (L2 header included).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the time the frame occupies on a wire of the given speed,
+    /// including Ethernet framing overhead (preamble, FCS, inter-frame
+    /// gap: 24 bytes).
+    pub fn wire_bytes(&self) -> usize {
+        self.data.len() + 24
+    }
+
+    /// Records a processing hop.
+    pub fn record_hop(&mut self, ifindex: u32, cpu: usize) {
+        self.trace.push(TraceHop { ifindex, cpu });
+        self.last_cpu = Some(cpu);
+    }
+
+    /// Returns the set of distinct CPUs that processed this packet.
+    pub fn distinct_cpus(&self) -> Vec<usize> {
+        let mut cpus: Vec<usize> = self.trace.iter().map(|h| h.cpu).collect();
+        cpus.sort_unstable();
+        cpus.dedup();
+        cpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_buffer_defaults() {
+        let skb = SkBuff::new(PacketId(1), vec![0u8; 64]);
+        assert_eq!(skb.len(), 64);
+        assert!(!skb.is_empty());
+        assert_eq!(skb.gro_segs, 1);
+        assert_eq!(skb.rx_hash, 0);
+        assert!(skb.flow.is_none());
+        assert!(skb.trace.is_empty());
+        assert!(skb.last_cpu.is_none());
+        assert_eq!(skb.total_len(), 64);
+        assert!(!skb.gro_pending);
+        assert!(skb.frag.is_none());
+    }
+
+    #[test]
+    fn total_len_includes_gro_extra() {
+        let mut skb = SkBuff::new(PacketId(3), vec![0u8; 100]);
+        skb.gro_extra_bytes = 2896;
+        skb.gro_segs = 3;
+        assert_eq!(skb.total_len(), 2996);
+    }
+
+    #[test]
+    fn wire_bytes_includes_framing() {
+        let skb = SkBuff::new(PacketId(1), vec![0u8; 60]);
+        assert_eq!(skb.wire_bytes(), 84);
+    }
+
+    #[test]
+    fn hop_recording() {
+        let mut skb = SkBuff::new(PacketId(2), vec![]);
+        skb.record_hop(2, 0);
+        skb.record_hop(3, 1);
+        skb.record_hop(4, 1);
+        assert_eq!(skb.last_cpu, Some(1));
+        assert_eq!(skb.distinct_cpus(), vec![0, 1]);
+        assert_eq!(skb.trace.len(), 3);
+        assert_eq!(skb.trace[0], TraceHop { ifindex: 2, cpu: 0 });
+    }
+}

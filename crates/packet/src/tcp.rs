@@ -1,0 +1,190 @@
+//! TCP header codec (20-byte header, no options).
+
+use serde::{Deserialize, Serialize};
+
+use crate::CodecError;
+
+/// Length of a TCP header without options.
+pub const TCP_HDR_LEN: usize = 20;
+
+/// TCP control flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TcpFlags {
+    /// SYN: connection setup.
+    pub syn: bool,
+    /// ACK: acknowledgement number valid.
+    pub ack: bool,
+    /// FIN: sender is done.
+    pub fin: bool,
+    /// PSH: push buffered data to the application.
+    pub psh: bool,
+    /// RST: reset the connection.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// Returns the wire bit pattern (low byte of the flags field).
+    pub fn to_bits(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+    }
+
+    /// Parses the wire bit pattern.
+    pub fn from_bits(bits: u8) -> Self {
+        TcpFlags {
+            fin: bits & 0x01 != 0,
+            syn: bits & 0x02 != 0,
+            rst: bits & 0x04 != 0,
+            psh: bits & 0x08 != 0,
+            ack: bits & 0x10 != 0,
+        }
+    }
+
+    /// A plain data segment (ACK set, as on an established connection).
+    pub fn data() -> Self {
+        TcpFlags {
+            ack: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// A TCP header (data offset fixed at 5, i.e. no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpHdr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Acknowledgement number (next byte expected).
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u16,
+}
+
+impl TcpHdr {
+    /// Serializes the header into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`TCP_HDR_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        buf[12] = 5 << 4; // Data offset 5 words.
+        buf[13] = self.flags.to_bits();
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16] = 0; // Checksum: modelled as CPU cost, not bytes.
+        buf[17] = 0;
+        buf[18] = 0; // Urgent pointer.
+        buf[19] = 0;
+    }
+
+    /// Appends the header to a byte vector.
+    pub fn push_onto(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + TCP_HDR_LEN, 0);
+        self.write(&mut out[start..]);
+    }
+
+    /// Parses a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<TcpHdr, CodecError> {
+        if buf.len() < TCP_HDR_LEN {
+            return Err(CodecError::Truncated {
+                what: "tcp",
+                need: TCP_HDR_LEN,
+                have: buf.len(),
+            });
+        }
+        let data_offset = (buf[12] >> 4) as usize * 4;
+        if data_offset != TCP_HDR_LEN {
+            return Err(CodecError::Malformed {
+                what: "tcp",
+                why: "options not supported",
+            });
+        }
+        Ok(TcpHdr {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: TcpFlags::from_bits(buf[13]),
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hdr = TcpHdr {
+            src_port: 43210,
+            dst_port: 80,
+            seq: 0xDEAD_BEEF,
+            ack: 0x0102_0304,
+            flags: TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            },
+            window: 65535,
+        };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        assert_eq!(buf.len(), TCP_HDR_LEN);
+        assert_eq!(TcpHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn flags_round_trip_all_combinations() {
+        for bits in 0u8..32 {
+            let f = TcpFlags::from_bits(bits);
+            assert_eq!(f.to_bits(), bits & 0x1F);
+        }
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            TcpHdr::parse(&[0u8; 19]),
+            Err(CodecError::Truncated { what: "tcp", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut buf = vec![0u8; TCP_HDR_LEN];
+        TcpHdr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::data(),
+            window: 100,
+        }
+        .write(&mut buf);
+        buf[12] = 8 << 4;
+        assert!(matches!(
+            TcpHdr::parse(&buf),
+            Err(CodecError::Malformed { what: "tcp", .. })
+        ));
+    }
+
+    #[test]
+    fn data_flags() {
+        let f = TcpFlags::data();
+        assert!(f.ack && !f.syn && !f.fin && !f.rst && !f.psh);
+    }
+}

@@ -1,0 +1,117 @@
+//! UDP header codec.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CodecError;
+
+/// Length of a UDP header.
+pub const UDP_HDR_LEN: usize = 8;
+
+/// The IANA-assigned VXLAN destination port (RFC 7348).
+pub const VXLAN_PORT: u16 = 4789;
+
+/// A UDP header.
+///
+/// The checksum is carried but not enforced: VXLAN senders commonly
+/// transmit with a zero UDP checksum over IPv4 (RFC 7348 §4.1), and the
+/// simulation models checksum *cost* in the CPU model rather than in the
+/// codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpHdr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload, in bytes.
+    pub len: u16,
+    /// Checksum (0 = not computed).
+    pub checksum: u16,
+}
+
+impl UdpHdr {
+    /// Serializes the header into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`UDP_HDR_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.len.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+    }
+
+    /// Appends the header to a byte vector.
+    pub fn push_onto(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + UDP_HDR_LEN, 0);
+        self.write(&mut out[start..]);
+    }
+
+    /// Parses a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<UdpHdr, CodecError> {
+        if buf.len() < UDP_HDR_LEN {
+            return Err(CodecError::Truncated {
+                what: "udp",
+                need: UDP_HDR_LEN,
+                have: buf.len(),
+            });
+        }
+        let len = u16::from_be_bytes([buf[4], buf[5]]);
+        if (len as usize) < UDP_HDR_LEN {
+            return Err(CodecError::Malformed {
+                what: "udp",
+                why: "len < header",
+            });
+        }
+        Ok(UdpHdr {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len,
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hdr = UdpHdr {
+            src_port: 5001,
+            dst_port: VXLAN_PORT,
+            len: 108,
+            checksum: 0,
+        };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        assert_eq!(buf.len(), UDP_HDR_LEN);
+        assert_eq!(UdpHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            UdpHdr::parse(&[0u8; 7]),
+            Err(CodecError::Truncated { what: "udp", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_impossible_length() {
+        let hdr = UdpHdr {
+            src_port: 1,
+            dst_port: 2,
+            len: 4,
+            checksum: 0,
+        };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        assert!(matches!(
+            UdpHdr::parse(&buf),
+            Err(CodecError::Malformed { what: "udp", .. })
+        ));
+    }
+}

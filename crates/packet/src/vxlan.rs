@@ -1,0 +1,122 @@
+//! VXLAN header codec (RFC 7348).
+
+use serde::{Deserialize, Serialize};
+
+use crate::CodecError;
+
+/// Length of a VXLAN header.
+pub const VXLAN_HDR_LEN: usize = 8;
+
+/// The "VNI valid" flag bit (the only flag RFC 7348 defines).
+const FLAG_VNI_VALID: u8 = 0x08;
+
+/// A VXLAN header: an 8-byte shim carrying a 24-bit VXLAN Network
+/// Identifier (VNI) that names the overlay network segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VxlanHdr {
+    /// The 24-bit VXLAN Network Identifier.
+    pub vni: u32,
+}
+
+impl VxlanHdr {
+    /// Creates a header for the given VNI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vni` does not fit in 24 bits.
+    pub fn new(vni: u32) -> Self {
+        assert!(vni < 1 << 24, "VNI must fit in 24 bits");
+        VxlanHdr { vni }
+    }
+
+    /// Serializes the header into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`VXLAN_HDR_LEN`].
+    pub fn write(&self, buf: &mut [u8]) {
+        buf[0] = FLAG_VNI_VALID;
+        buf[1] = 0;
+        buf[2] = 0;
+        buf[3] = 0;
+        let vni = self.vni.to_be_bytes();
+        buf[4] = vni[1];
+        buf[5] = vni[2];
+        buf[6] = vni[3];
+        buf[7] = 0;
+    }
+
+    /// Appends the header to a byte vector.
+    pub fn push_onto(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.resize(start + VXLAN_HDR_LEN, 0);
+        self.write(&mut out[start..]);
+    }
+
+    /// Parses a header from the front of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<VxlanHdr, CodecError> {
+        if buf.len() < VXLAN_HDR_LEN {
+            return Err(CodecError::Truncated {
+                what: "vxlan",
+                need: VXLAN_HDR_LEN,
+                have: buf.len(),
+            });
+        }
+        if buf[0] & FLAG_VNI_VALID == 0 {
+            return Err(CodecError::Malformed {
+                what: "vxlan",
+                why: "VNI-valid flag clear",
+            });
+        }
+        Ok(VxlanHdr {
+            vni: u32::from_be_bytes([0, buf[4], buf[5], buf[6]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hdr = VxlanHdr::new(0x00AB_CDEF);
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        assert_eq!(buf.len(), VXLAN_HDR_LEN);
+        assert_eq!(VxlanHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    #[should_panic(expected = "24 bits")]
+    fn rejects_oversized_vni() {
+        let _ = VxlanHdr::new(1 << 24);
+    }
+
+    #[test]
+    fn rejects_missing_flag() {
+        let mut buf = vec![0u8; VXLAN_HDR_LEN];
+        VxlanHdr::new(42).write(&mut buf);
+        buf[0] = 0;
+        assert!(matches!(
+            VxlanHdr::parse(&buf),
+            Err(CodecError::Malformed { what: "vxlan", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(
+            VxlanHdr::parse(&[0u8; 4]),
+            Err(CodecError::Truncated { what: "vxlan", .. })
+        ));
+    }
+
+    #[test]
+    fn vni_zero_is_valid() {
+        let hdr = VxlanHdr::new(0);
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        assert_eq!(VxlanHdr::parse(&buf).unwrap().vni, 0);
+    }
+}

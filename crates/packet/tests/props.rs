@@ -1,0 +1,166 @@
+//! Property-based tests of the packet codecs: every header round-trips
+//! through bytes; encapsulation always inverts.
+
+use falcon_khash::FlowKeys;
+use falcon_packet::{
+    build_tcp_frame, build_udp_frame, dissect_flow, vxlan_decapsulate, vxlan_encapsulate,
+    EncapParams, EtherType, EthernetHdr, IpProto, Ipv4Addr4, Ipv4Hdr, MacAddr, TcpFlags, TcpHdr,
+    UdpHdr, VxlanHdr,
+};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+proptest! {
+    #[test]
+    fn ethernet_round_trip(dst in arb_mac(), src in arb_mac(), ethertype in any::<u16>()) {
+        let hdr = EthernetHdr { dst, src, ethertype: EtherType::from_u16(ethertype) };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        prop_assert_eq!(EthernetHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn ipv4_round_trip(
+        total_len in 20u16..=u16::MAX,
+        ident in any::<u16>(),
+        ttl in any::<u8>(),
+        proto in any::<u8>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+    ) {
+        let hdr = Ipv4Hdr {
+            total_len,
+            ident,
+            ttl,
+            proto: IpProto::from_u8(proto),
+            src: Ipv4Addr4(src),
+            dst: Ipv4Addr4(dst),
+        };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        prop_assert_eq!(Ipv4Hdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn ipv4_detects_any_single_bit_flip(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        byte in 0usize..20,
+        bit in 0u8..8,
+    ) {
+        let hdr = Ipv4Hdr {
+            total_len: 100,
+            ident: 7,
+            ttl: 64,
+            proto: IpProto::Udp,
+            src: Ipv4Addr4(src),
+            dst: Ipv4Addr4(dst),
+        };
+        let mut buf = vec![0u8; 20];
+        hdr.write(&mut buf);
+        buf[byte] ^= 1 << bit;
+        // Either the checksum rejects it, or (if the flip hit version/
+        // IHL) the structural checks do. It must never parse as the
+        // original header.
+        if let Ok(parsed) = Ipv4Hdr::parse(&buf) { prop_assert_ne!(parsed, hdr) }
+    }
+
+    #[test]
+    fn udp_round_trip(sport in any::<u16>(), dport in any::<u16>(), len in 8u16..=u16::MAX, csum in any::<u16>()) {
+        let hdr = UdpHdr { src_port: sport, dst_port: dport, len, checksum: csum };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        prop_assert_eq!(UdpHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn tcp_round_trip(
+        sport in any::<u16>(), dport in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        flags in 0u8..32, window in any::<u16>(),
+    ) {
+        let hdr = TcpHdr {
+            src_port: sport,
+            dst_port: dport,
+            seq,
+            ack,
+            flags: TcpFlags::from_bits(flags),
+            window,
+        };
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        prop_assert_eq!(TcpHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn vxlan_round_trip(vni in 0u32..(1 << 24)) {
+        let hdr = VxlanHdr::new(vni);
+        let mut buf = Vec::new();
+        hdr.push_onto(&mut buf);
+        prop_assert_eq!(VxlanHdr::parse(&buf).unwrap(), hdr);
+    }
+
+    /// Encapsulation always inverts, for any payload and flow.
+    #[test]
+    fn encap_decap_inverts(
+        payload in prop::collection::vec(any::<u8>(), 0..2000),
+        src in any::<u32>(), dst in any::<u32>(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        outer_sport in any::<u16>(),
+        vni in 0u32..(1 << 24),
+    ) {
+        let keys = FlowKeys::udp(src, sport, dst, dport);
+        let inner = build_udp_frame(MacAddr::from_index(1), MacAddr::from_index(2), &keys, &payload);
+        let params = EncapParams {
+            src_mac: MacAddr::from_index(3),
+            dst_mac: MacAddr::from_index(4),
+            src_ip: Ipv4Addr4::new(192, 168, 0, 1),
+            dst_ip: Ipv4Addr4::new(192, 168, 0, 2),
+            src_port: outer_sport,
+            vni,
+        };
+        let outer = vxlan_encapsulate(&inner, &params);
+        let (decapped, got_vni) = vxlan_decapsulate(&outer).unwrap();
+        prop_assert_eq!(decapped, &inner[..]);
+        prop_assert_eq!(got_vni, vni);
+        // The inner flow keys survive the round trip.
+        prop_assert_eq!(dissect_flow(decapped).unwrap(), keys);
+    }
+
+    /// Dissection agrees with construction for TCP frames too.
+    #[test]
+    fn tcp_frame_dissects(
+        src in any::<u32>(), dst in any::<u32>(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        seq in any::<u32>(),
+        payload_len in 0usize..1500,
+    ) {
+        let keys = FlowKeys::tcp(src, sport, dst, dport);
+        let frame = build_tcp_frame(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            &keys,
+            seq,
+            0,
+            TcpFlags::data(),
+            1024,
+            &vec![0u8; payload_len],
+        );
+        prop_assert_eq!(dissect_flow(&frame).unwrap(), keys);
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn dissect_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = dissect_flow(&bytes);
+        let _ = vxlan_decapsulate(&bytes);
+        let _ = EthernetHdr::parse(&bytes);
+        let _ = Ipv4Hdr::parse(&bytes);
+        let _ = UdpHdr::parse(&bytes);
+        let _ = TcpHdr::parse(&bytes);
+        let _ = VxlanHdr::parse(&bytes);
+    }
+}

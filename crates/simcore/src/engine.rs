@@ -1,0 +1,337 @@
+//! The discrete-event engine.
+//!
+//! [`Engine<W>`] owns a priority queue of timestamped events. Each event
+//! is a boxed `FnOnce(&mut W, &mut Engine<W>)` — it mutates the world and
+//! may schedule further events. Ties at the same instant are broken by
+//! scheduling order (a monotonically increasing sequence number), which
+//! makes runs fully deterministic.
+//!
+//! Cancellation uses the *stale-token* pattern: [`Engine::schedule_after`]
+//! returns an [`EventToken`]; calling [`Engine::cancel`] marks the token so
+//! the event body is dropped unexecuted when it reaches the head of the
+//! queue. This avoids a heap-rebuild on every cancel — cancelled events
+//! are lazily discarded.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventToken(u64);
+
+type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Scheduled<W> {}
+
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation loop over a world type `W`.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Returns the number of events currently queued (including lazily
+    /// cancelled ones not yet discarded).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` to run at absolute time `at`.
+    ///
+    /// Events scheduled in the past run "now": they are clamped to the
+    /// current time and ordered after already-queued events at that time.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        event: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventToken {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(event),
+        });
+        EventToken(seq)
+    }
+
+    /// Schedules `event` to run `delay` after the current time.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        event: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventToken {
+        self.schedule_at(self.now + delay, event)
+    }
+
+    /// Schedules `event` to run at the current time, after all events
+    /// already queued for this instant.
+    pub fn schedule_now(
+        &mut self,
+        event: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventToken {
+        self.schedule_at(self.now, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancelling an event that already ran (or was already cancelled) is
+    /// a no-op.
+    pub fn cancel(&mut self, token: EventToken) {
+        self.cancelled.insert(token.0);
+    }
+
+    /// Pops and runs a single event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(ev) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "event queue time went backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.run)(world, self);
+            return true;
+        }
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run_to_completion(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Runs events up to and including time `deadline`, then stops.
+    ///
+    /// After this returns, `now()` equals `deadline` (unless the queue
+    /// drained earlier, in which case it is the time of the last event).
+    /// Events scheduled exactly at `deadline` do run.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        loop {
+            // Peek (skipping stale cancels) to see whether the next event
+            // falls within the deadline.
+            let next_at = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(ev) if self.cancelled.contains(&ev.seq) => {
+                        let ev = self.queue.pop().expect("peeked event vanished");
+                        self.cancelled.remove(&ev.seq);
+                    }
+                    Some(ev) => break Some(ev.at),
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs until `stop` returns `true` (checked after each event) or the
+    /// queue drains.
+    pub fn run_while(&mut self, world: &mut W, mut keep_going: impl FnMut(&W) -> bool) {
+        while keep_going(world) && self.step(world) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log {
+        entries: Vec<(u64, u32)>,
+    }
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng: Engine<Log> = Engine::new();
+        let mut log = Log::default();
+        eng.schedule_at(SimTime::from_nanos(30), |w: &mut Log, e| {
+            w.entries.push((e.now().as_nanos(), 3));
+        });
+        eng.schedule_at(SimTime::from_nanos(10), |w: &mut Log, e| {
+            w.entries.push((e.now().as_nanos(), 1));
+        });
+        eng.schedule_at(SimTime::from_nanos(20), |w: &mut Log, e| {
+            w.entries.push((e.now().as_nanos(), 2));
+        });
+        eng.run_to_completion(&mut log);
+        assert_eq!(log.entries, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut eng: Engine<Log> = Engine::new();
+        let mut log = Log::default();
+        for i in 0..5u32 {
+            eng.schedule_at(SimTime::from_nanos(100), move |w: &mut Log, _| {
+                w.entries.push((100, i));
+            });
+        }
+        eng.run_to_completion(&mut log);
+        let order: Vec<u32> = log.entries.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut count = 0u32;
+        fn tick(w: &mut u32, e: &mut Engine<u32>) {
+            *w += 1;
+            if *w < 10 {
+                e.schedule_after(SimDuration::from_nanos(7), tick);
+            }
+        }
+        eng.schedule_now(tick);
+        eng.run_to_completion(&mut count);
+        assert_eq!(count, 10);
+        assert_eq!(eng.now().as_nanos(), 9 * 7);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut hits = 0u32;
+        let t = eng.schedule_after(SimDuration::from_nanos(5), |w: &mut u32, _| *w += 1);
+        eng.schedule_after(SimDuration::from_nanos(6), |w: &mut u32, _| *w += 10);
+        eng.cancel(t);
+        eng.run_to_completion(&mut hits);
+        assert_eq!(hits, 10);
+        // Double-cancel is harmless.
+        eng.cancel(t);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut seen = Vec::new();
+        for t in [5u64, 10, 15, 20] {
+            eng.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        eng.run_until(&mut seen, SimTime::from_nanos(10));
+        assert_eq!(seen, vec![5, 10]);
+        assert_eq!(eng.now().as_nanos(), 10);
+        eng.run_until(&mut seen, SimTime::from_nanos(100));
+        assert_eq!(seen, vec![5, 10, 15, 20]);
+        assert_eq!(eng.now().as_nanos(), 100);
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut w = 0u32;
+        let t = eng.schedule_at(SimTime::from_nanos(5), |w: &mut u32, _| *w += 1);
+        eng.cancel(t);
+        eng.run_until(&mut w, SimTime::from_nanos(50));
+        assert_eq!(w, 0);
+        assert_eq!(eng.queue_len(), 0);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut seen = Vec::new();
+        eng.schedule_at(SimTime::from_nanos(10), |w: &mut Vec<u64>, e| {
+            // Scheduling "at time 3" from time 10 runs at time 10.
+            e.schedule_at(SimTime::from_nanos(3), |w: &mut Vec<u64>, e| {
+                w.push(e.now().as_nanos());
+            });
+            w.push(e.now().as_nanos());
+        });
+        eng.run_to_completion(&mut seen);
+        assert_eq!(seen, vec![10, 10]);
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut count = 0u32;
+        for i in 0..100u64 {
+            eng.schedule_at(SimTime::from_nanos(i), |w: &mut u32, _| *w += 1);
+        }
+        eng.run_while(&mut count, |w| *w < 10);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn executed_counter() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut w = 0u32;
+        for i in 0..4u64 {
+            eng.schedule_at(SimTime::from_nanos(i), |w: &mut u32, _| *w += 1);
+        }
+        eng.run_to_completion(&mut w);
+        assert_eq!(eng.events_executed(), 4);
+    }
+}

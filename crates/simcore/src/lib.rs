@@ -1,0 +1,46 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the foundation of the Falcon reproduction. Every other
+//! crate in the workspace builds on three primitives defined here:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time.
+//! * [`Engine`] — a priority-queue event loop with deterministic
+//!   tie-breaking (events scheduled for the same instant run in the order
+//!   they were scheduled).
+//! * [`rng::SimRng`] — a seedable, splittable pseudo-random number
+//!   generator with the distributions the workloads need (uniform,
+//!   exponential, Zipf, Poisson, normal).
+//!
+//! Determinism is a design requirement: a simulation run is a pure
+//! function of its configuration and seed, so every experiment in the
+//! paper reproduction can be re-run bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use falcon_simcore::{Engine, SimDuration};
+//!
+//! struct World {
+//!     ticks: u32,
+//! }
+//!
+//! let mut engine = Engine::new();
+//! let mut world = World { ticks: 0 };
+//! engine.schedule_after(SimDuration::from_micros(5), |w: &mut World, e| {
+//!     w.ticks += 1;
+//!     e.schedule_after(SimDuration::from_micros(5), |w: &mut World, _| {
+//!         w.ticks += 1;
+//!     });
+//! });
+//! engine.run_to_completion(&mut world);
+//! assert_eq!(world.ticks, 2);
+//! assert_eq!(engine.now().as_nanos(), 10_000);
+//! ```
+
+pub mod engine;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Engine, EventToken};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,382 @@
+//! Seedable pseudo-random numbers and the distributions the workloads use.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64, the standard
+//! construction recommended by the xoshiro authors. It is implemented
+//! locally (rather than pulling in the `rand` crate) so that the entire
+//! simulation has a single, auditable source of randomness and stays
+//! deterministic across platforms and dependency upgrades.
+
+/// A deterministic pseudo-random number generator (xoshiro256**).
+///
+/// # Examples
+///
+/// ```
+/// use falcon_simcore::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+    /// Cached second normal variate from the Box-Muller transform.
+    spare_normal: Option<f64>,
+}
+
+/// SplitMix64 step, used for seeding.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Each simulated component (a NIC queue, a traffic source, ...) gets
+    /// its own stream so that adding a component does not perturb the
+    /// random sequence seen by the others.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        // Mix the stream id into a fresh seed drawn from this generator.
+        let mut sm = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method to avoid modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire's method on the full 64-bit range via 128-bit multiply.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (u64::MAX - bound + 1) % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_range(bound as u64) as usize
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// Used for Poisson-process packet inter-arrival times.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        // Inverse transform; 1 - U avoids ln(0).
+        -mean * (1.0 - self.gen_f64()).ln()
+    }
+
+    /// Samples a standard normal via the Box-Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1 = (1.0 - self.gen_f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.gen_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Samples a normal distribution with the given mean and standard
+    /// deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Samples a Poisson distribution with rate `lambda` (Knuth's
+    /// algorithm for small rates, normal approximation above 64).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 64.0 {
+            let x = self.normal(lambda, lambda.sqrt());
+            return x.max(0.0).round() as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.gen_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over `{0, 1, ..., n-1}`.
+///
+/// Rank 0 is the most popular item. The distribution is the standard
+/// discrete Zipf with exponent `s`: `P(k) ∝ 1 / (k+1)^s`. Memcached-style
+/// key popularity in the data-caching workload uses this sampler.
+///
+/// Sampling uses the rejection-inversion method of Hörmann and
+/// Derflinger, which is O(1) per sample and needs no per-item table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    dense_threshold: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf sampler over `n` items with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite and positive.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let n_f = n as f64;
+        let h = |x: f64, s: f64| -> f64 {
+            // H(x) = integral of 1/x^s.
+            if (s - 1.0).abs() < 1e-9 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        let h_x1 = h(1.5, s) - 1.0;
+        let h_n = h(n_f + 0.5, s);
+        Zipf {
+            n: n_f,
+            s,
+            h_x1,
+            h_n,
+            dense_threshold: h(2.5, s) - 2f64.powf(-s),
+        }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - self.s) - 1.0) / (1.0 - self.s)
+        }
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        if (self.s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            (1.0 + x * (1.0 - self.s)).powf(1.0 / (1.0 - self.s))
+        }
+    }
+
+    /// Draws a rank in `[0, n)`; rank 0 is the hottest item.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        loop {
+            let u = self.h_x1 + rng.gen_f64() * (self.h_n - self.h_x1);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if k - x <= self.dense_threshold || u >= self.h(k + 0.5) - (-(k.ln() * self.s)).exp() {
+                return k as usize - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut root = SimRng::new(9);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn gen_range_respects_bound() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..10_000 {
+            assert!(rng.gen_range(17) < 17);
+        }
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(1), 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SimRng::new(4);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::new(6);
+        let mean = 250.0;
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() < mean * 0.02,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut rng = SimRng::new(8);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut rng = SimRng::new(10);
+        for &lambda in &[0.5, 4.0, 200.0] {
+            let n = 50_000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.05,
+                "poisson({lambda}) sample mean {mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let mut rng = SimRng::new(11);
+        let zipf = Zipf::new(1000, 0.99);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999]);
+        // Roughly Zipfian head mass: rank 0 should take several percent.
+        assert!(counts[0] as f64 / 100_000.0 > 0.05);
+    }
+
+    #[test]
+    fn zipf_single_item() {
+        let mut rng = SimRng::new(12);
+        let zipf = Zipf::new(1, 1.0);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the engine and RNG.
+
+use falcon_simcore::{Engine, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always execute in (time, scheduling-order) order, no
+    /// matter how they were scheduled.
+    #[test]
+    fn events_execute_in_order(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut eng: Engine<Vec<(u64, usize)>> = Engine::new();
+        let mut log: Vec<(u64, usize)> = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<(u64, usize)>, e| {
+                w.push((e.now().as_nanos(), i));
+            });
+        }
+        eng.run_to_completion(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+        // Times are non-decreasing; ties resolve by scheduling index.
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1);
+            }
+        }
+    }
+
+    /// run_until never executes an event past the deadline and always
+    /// advances `now` exactly to the deadline.
+    #[test]
+    fn run_until_respects_deadline(
+        times in prop::collection::vec(0u64..1_000_000, 1..100),
+        deadline in 0u64..1_000_000,
+    ) {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut seen: Vec<u64> = Vec::new();
+        for &t in &times {
+            eng.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        eng.run_until(&mut seen, SimTime::from_nanos(deadline));
+        for &t in &seen {
+            prop_assert!(t <= deadline);
+        }
+        let expected = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(seen.len(), expected);
+        prop_assert_eq!(eng.now().as_nanos(), deadline);
+    }
+
+    /// Cancelled events never run; everything else does.
+    #[test]
+    fn cancellation_is_exact(
+        times in prop::collection::vec(0u64..100_000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut eng: Engine<Vec<usize>> = Engine::new();
+        let mut ran: Vec<usize> = Vec::new();
+        let mut tokens = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let tok = eng.schedule_at(SimTime::from_nanos(t), move |w: &mut Vec<usize>, _| {
+                w.push(i);
+            });
+            tokens.push(tok);
+        }
+        let mut cancelled = Vec::new();
+        for (i, tok) in tokens.into_iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                eng.cancel(tok);
+                cancelled.push(i);
+            }
+        }
+        eng.run_to_completion(&mut ran);
+        for i in &cancelled {
+            prop_assert!(!ran.contains(i), "cancelled event {i} ran");
+        }
+        prop_assert_eq!(ran.len() + cancelled.len(), times.len());
+    }
+
+    /// gen_range output is always within bounds.
+    #[test]
+    fn gen_range_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    /// Forked streams from equal parents are equal; sibling streams are
+    /// (overwhelmingly) distinct.
+    #[test]
+    fn fork_determinism(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        let mut fa = a.fork(stream);
+        let mut fb = b.fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    /// Duration arithmetic is consistent with integer arithmetic.
+    #[test]
+    fn duration_arithmetic(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+        let da = SimDuration::from_nanos(a);
+        let db = SimDuration::from_nanos(b);
+        prop_assert_eq!((da + db).as_nanos(), a + b);
+        prop_assert_eq!(da.saturating_sub(db).as_nanos(), a.saturating_sub(b));
+        let t = SimTime::from_nanos(a) + db;
+        prop_assert_eq!(t.as_nanos(), a + b);
+    }
+}

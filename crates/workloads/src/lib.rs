@@ -1,0 +1,27 @@
+//! Workload applications for the Falcon reproduction.
+//!
+//! Implementations of [`falcon_netstack::App`] matching the traffic the
+//! paper evaluates with:
+//!
+//! * [`sockperf`] — the micro-benchmarks: open-loop UDP stress
+//!   (single- and multi-flow), UDP/TCP ping-pong latency probes, and
+//!   windowed TCP streams (Figures 2, 10–16, 19).
+//! * [`memcached`] — CloudSuite *data caching*: closed-loop GET/SET
+//!   clients over per-connection flows, Zipf-popular keys, 550-byte
+//!   objects (Figure 18).
+//! * [`webserving`] — CloudSuite *web serving*: an Elgg-style operation
+//!   mix against an nginx container backed by cache and database
+//!   service times (Figure 17).
+//!
+//! All workloads communicate results through the simulation's counters
+//! (`SimCounters`, socket stats) plus — where the paper reports per-
+//! operation numbers — shared [`std::rc::Rc`] stats handles returned at
+//! construction.
+
+pub mod memcached;
+pub mod sockperf;
+pub mod webserving;
+
+pub use memcached::{DataCaching, DataCachingConfig};
+pub use sockperf::{TcpStreams, TcpStreamsConfig, UdpPingPong, UdpStressApp, UdpStressConfig};
+pub use webserving::{WebServing, WebServingConfig, WebStats};

@@ -1,0 +1,225 @@
+//! CloudSuite-style data caching (memcached).
+//!
+//! The paper's Figure 18 workload: a memcached server container, a
+//! client with 1–10 threads spreading requests over many connections,
+//! 550-byte objects, and the Twitter dataset's skewed key popularity
+//! (modelled as Zipf). Clients are closed-loop with a small think time;
+//! the metric is request round-trip latency (average and 99th
+//! percentile).
+
+use falcon_netstack::sim::{App, SimApi};
+use falcon_netstack::{FlowId, MsgMeta, NetMode, SockId};
+use falcon_simcore::rng::Zipf;
+use falcon_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the data-caching workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataCachingConfig {
+    /// Client threads (the paper sweeps 1 → 10).
+    pub client_threads: usize,
+    /// Connections per client thread (the paper uses 100 connections
+    /// total over 10 threads).
+    pub connections_per_thread: usize,
+    /// Requests a thread keeps outstanding across its connections.
+    pub pipeline_depth: usize,
+    /// Object (value) size, bytes.
+    pub object_size: usize,
+    /// GET fraction (rest are SETs).
+    pub get_ratio: f64,
+    /// Number of distinct keys.
+    pub key_space: usize,
+    /// Zipf exponent of key popularity.
+    pub zipf_s: f64,
+    /// Server application core(s).
+    pub app_cores: Vec<usize>,
+    /// memcached service time per request, ns.
+    pub service_ns: u64,
+    /// Client think time between a response and the next request.
+    pub think: SimDuration,
+    /// Open-loop mode: each connection issues Poisson requests at this
+    /// rate (requests/s), regardless of responses — the CloudSuite
+    /// client's fixed target load. `None` = closed loop.
+    pub open_loop_rate_per_conn: Option<f64>,
+    /// Fraction of connections using TCP (memcached speaks both; the
+    /// paper highlights the "mixture of TCP and UDP packets").
+    pub tcp_fraction: f64,
+}
+
+impl DataCachingConfig {
+    /// Figure 18's setup scaled to the simulation: `threads` client
+    /// threads, 10 connections each, 550-byte objects.
+    pub fn new(threads: usize) -> Self {
+        DataCachingConfig {
+            client_threads: threads,
+            connections_per_thread: 10,
+            pipeline_depth: 6,
+            object_size: 550,
+            get_ratio: 0.9,
+            key_space: 10_000,
+            zipf_s: 0.99,
+            app_cores: vec![5, 6, 7, 8],
+            service_ns: 600,
+            think: SimDuration::from_micros(2),
+            open_loop_rate_per_conn: None,
+            tcp_fraction: 0.0,
+        }
+    }
+
+    /// Open-loop variant: `threads` client threads, each connection
+    /// firing Poisson requests at `rate_per_conn` per second.
+    pub fn open_loop(threads: usize, rate_per_conn: f64) -> Self {
+        DataCachingConfig {
+            open_loop_rate_per_conn: Some(rate_per_conn),
+            ..Self::new(threads)
+        }
+    }
+}
+
+/// The data-caching application (client and server sides).
+pub struct DataCaching {
+    config: DataCachingConfig,
+    zipf: Zipf,
+    flows: Vec<FlowId>,
+    /// Requests issued.
+    pub requests: u64,
+    /// Responses received.
+    pub responses: u64,
+}
+
+/// GET request wire size: command + key.
+const GET_REQUEST_BYTES: usize = 40;
+/// SET request wire size: command + key + value.
+fn set_request_bytes(object: usize) -> usize {
+    48 + object
+}
+
+impl DataCaching {
+    /// Creates the app.
+    pub fn new(config: DataCachingConfig) -> Self {
+        let zipf = Zipf::new(config.key_space, config.zipf_s);
+        DataCaching {
+            config,
+            zipf,
+            flows: Vec::new(),
+            requests: 0,
+            responses: 0,
+        }
+    }
+
+    fn issue_request(&mut self, api: &mut SimApi<'_>, flow: FlowId) {
+        // Key choice only affects sizes here (all keys hit the same
+        // simulated cache), but keeps the generated stream faithful.
+        let _key = self.zipf.sample(api.rng());
+        let is_get = api.rng().gen_bool(self.config.get_ratio);
+        let bytes = if is_get {
+            GET_REQUEST_BYTES
+        } else {
+            set_request_bytes(self.config.object_size)
+        };
+        let is_tcp = api.inner.client.flow(flow).keys.ip_proto == 6;
+        if is_tcp {
+            // TCP requests must fit one segment; clamp large SETs.
+            let mss = api.inner.cfg.server.mss();
+            api.tcp_request(flow, bytes.min(mss));
+        } else {
+            api.udp_send(flow, bytes);
+        }
+        self.requests += 1;
+    }
+}
+
+impl App for DataCaching {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let overlay = api.inner.cfg.server.mode == NetMode::Overlay;
+        let container = if overlay {
+            Some(api.add_container(0, 10))
+        } else {
+            None
+        };
+        // memcached: one UDP port per connection (the UDP protocol path
+        // of memcached; the paper notes the mix of TCP and UDP).
+        let n_conns = self.config.client_threads * self.config.connections_per_thread;
+        let n_tcp = (n_conns as f64 * self.config.tcp_fraction).round() as usize;
+        for i in 0..n_conns {
+            let port = 11211 + i as u16;
+            let app_core = self.config.app_cores[i % self.config.app_cores.len()];
+            let flow = if i < n_tcp {
+                api.bind_tcp(container, port, app_core, self.config.service_ns);
+                api.tcp_flow(container, port, 32)
+            } else {
+                api.bind_udp(container, port, app_core, self.config.service_ns);
+                api.udp_flow(container, port, GET_REQUEST_BYTES)
+            };
+            self.flows.push(flow);
+        }
+        let flows: Vec<FlowId> = self.flows.clone();
+        if let Some(rate) = self.config.open_loop_rate_per_conn {
+            // Open loop: every connection fires at its own Poisson rate.
+            for flow in flows {
+                let gap = api.rng().exponential(1.0 / rate);
+                api.set_timer(SimDuration::from_secs_f64(gap), flow.0 as u64);
+            }
+        } else {
+            // Closed loop: each thread keeps `pipeline_depth` requests
+            // outstanding, spread over its connections.
+            let per_thread = self.config.connections_per_thread;
+            for t in 0..self.config.client_threads {
+                for d in 0..self.config.pipeline_depth {
+                    let flow = flows[t * per_thread + d % per_thread];
+                    self.issue_request(api, flow);
+                }
+            }
+        }
+    }
+
+    fn on_server_msg(&mut self, api: &mut SimApi<'_>, sock: SockId, meta: &MsgMeta) {
+        // GETs return the object; SETs return a small STORED line.
+        let response = if meta.bytes <= GET_REQUEST_BYTES {
+            self.config.object_size + 24
+        } else {
+            8
+        };
+        api.respond(sock, meta, response);
+    }
+
+    fn on_client_msg(&mut self, api: &mut SimApi<'_>, flow: FlowId, _meta: &MsgMeta) {
+        self.responses += 1;
+        if self.config.open_loop_rate_per_conn.is_none() {
+            // Closed loop: next request on this connection after the
+            // think time. Timer tokens encode the flow id.
+            let think = self.config.think;
+            api.set_timer(think, flow.0 as u64);
+        }
+    }
+
+    fn on_timer(&mut self, api: &mut SimApi<'_>, token: u64) {
+        let flow = FlowId(token as u32);
+        self.issue_request(api, flow);
+        if let Some(rate) = self.config.open_loop_rate_per_conn {
+            let gap = api.rng().exponential(1.0 / rate);
+            api.set_timer(SimDuration::from_secs_f64(gap), token);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_scaling() {
+        let c1 = DataCachingConfig::new(1);
+        let c10 = DataCachingConfig::new(10);
+        assert_eq!(c1.client_threads, 1);
+        assert_eq!(c10.client_threads, 10);
+        assert_eq!(c10.object_size, 550);
+        assert!(c10.get_ratio > 0.5);
+    }
+
+    #[test]
+    fn request_sizes() {
+        assert!(set_request_bytes(550) > GET_REQUEST_BYTES);
+        assert_eq!(set_request_bytes(550), 598);
+    }
+}

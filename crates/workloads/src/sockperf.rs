@@ -1,0 +1,244 @@
+//! sockperf-style micro-benchmarks.
+//!
+//! The paper's micro evaluation drives the server with sockperf (the paper's reference 23):
+//! UDP throughput stress (multiple clients against one server socket),
+//! fixed-rate latency probes, and TCP streams. These apps reproduce
+//! those traffic shapes over the simulated stack.
+
+use falcon_netstack::sim::{App, SimApi};
+use falcon_netstack::{NetMode, Pacing};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a UDP stress run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UdpStressConfig {
+    /// Number of flows (server sockets/containers; one flow each).
+    pub n_flows: usize,
+    /// Datagram payload bytes.
+    pub payload: usize,
+    /// Sender threads per flow (the paper uses 3 clients to overload a
+    /// single UDP flow).
+    pub senders_per_flow: usize,
+    /// Pacing per flow.
+    pub pacing: Pacing,
+    /// Cores the application threads may run on (assigned round-robin
+    /// per flow).
+    pub app_cores: Vec<usize>,
+    /// Per-message application service time, ns.
+    pub app_service_ns: u64,
+    /// One container per flow (overlay) or all flows on the host
+    /// socket address space (host mode uses distinct ports).
+    pub per_flow_containers: bool,
+}
+
+impl UdpStressConfig {
+    /// The paper's single-flow stress: one flow, three senders, max
+    /// rate.
+    pub fn single_flow(payload: usize) -> Self {
+        UdpStressConfig {
+            n_flows: 1,
+            payload,
+            senders_per_flow: 3,
+            pacing: Pacing::MaxRate,
+            app_cores: vec![5],
+            app_service_ns: 300,
+            per_flow_containers: true,
+        }
+    }
+
+    /// A multi-flow test with one sender per flow (paper §6.1
+    /// multi-flow throughput).
+    pub fn multi_flow(n_flows: usize, payload: usize) -> Self {
+        UdpStressConfig {
+            n_flows,
+            payload,
+            senders_per_flow: 1,
+            pacing: Pacing::MaxRate,
+            app_cores: vec![5, 6, 7],
+            app_service_ns: 300,
+            per_flow_containers: true,
+        }
+    }
+}
+
+/// Open-loop UDP stress traffic (sockperf throughput mode).
+#[derive(Debug)]
+pub struct UdpStressApp {
+    /// Configuration.
+    pub config: UdpStressConfig,
+}
+
+impl UdpStressApp {
+    /// Creates the app.
+    pub fn new(config: UdpStressConfig) -> Self {
+        UdpStressApp { config }
+    }
+}
+
+impl App for UdpStressApp {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let overlay = api.inner.cfg.server.mode == NetMode::Overlay;
+        for i in 0..self.config.n_flows {
+            let container = if overlay && self.config.per_flow_containers {
+                Some(api.add_container((i / 200) as u8, (i % 200) as u8 + 10))
+            } else {
+                None
+            };
+            let port = 5001 + i as u16;
+            let app_core = self.config.app_cores[i % self.config.app_cores.len()];
+            api.bind_udp(container, port, app_core, self.config.app_service_ns);
+            let flow = api.udp_flow(container, port, self.config.payload);
+            api.udp_stress(flow, self.config.senders_per_flow, self.config.pacing);
+        }
+    }
+}
+
+/// Closed-loop UDP ping-pong (sockperf latency mode): one message in
+/// flight per flow; the server echoes; RTT lands in `counters.rtt`.
+#[derive(Debug)]
+pub struct UdpPingPong {
+    /// Number of concurrent ping-pong flows.
+    pub n_flows: usize,
+    /// Payload bytes.
+    pub payload: usize,
+    /// Application cores (round-robin).
+    pub app_cores: Vec<usize>,
+    /// Echo service time, ns.
+    pub app_service_ns: u64,
+}
+
+impl UdpPingPong {
+    /// One flow of `payload`-byte pings.
+    pub fn new(payload: usize) -> Self {
+        UdpPingPong {
+            n_flows: 1,
+            payload,
+            app_cores: vec![5],
+            app_service_ns: 300,
+        }
+    }
+}
+
+impl App for UdpPingPong {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let overlay = api.inner.cfg.server.mode == NetMode::Overlay;
+        for i in 0..self.n_flows {
+            let container = if overlay {
+                Some(api.add_container(0, i as u8 + 10))
+            } else {
+                None
+            };
+            let port = 5001 + i as u16;
+            let app_core = self.app_cores[i % self.app_cores.len()];
+            api.bind_udp(container, port, app_core, self.app_service_ns);
+            let flow = api.udp_flow(container, port, self.payload);
+            api.udp_send(flow, self.payload);
+        }
+    }
+
+    fn on_server_msg(
+        &mut self,
+        api: &mut SimApi<'_>,
+        sock: falcon_netstack::SockId,
+        meta: &falcon_netstack::MsgMeta,
+    ) {
+        api.respond(sock, meta, meta.bytes);
+    }
+
+    fn on_client_msg(
+        &mut self,
+        api: &mut SimApi<'_>,
+        flow: falcon_netstack::FlowId,
+        _meta: &falcon_netstack::MsgMeta,
+    ) {
+        api.udp_send(flow, self.payload);
+    }
+}
+
+/// Configuration of TCP stream traffic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcpStreamsConfig {
+    /// Number of connections (one container each in overlay mode).
+    pub n_flows: usize,
+    /// Application message size (segmented at the MSS).
+    pub msg_size: usize,
+    /// Sender window, segments.
+    pub window: u32,
+    /// Application cores (round-robin).
+    pub app_cores: Vec<usize>,
+    /// Per-message service time, ns.
+    pub app_service_ns: u64,
+}
+
+impl TcpStreamsConfig {
+    /// A single 4 KB-message stream (the paper's heavy GRO case).
+    pub fn single(msg_size: usize) -> Self {
+        TcpStreamsConfig {
+            n_flows: 1,
+            msg_size,
+            window: 128,
+            app_cores: vec![5],
+            app_service_ns: 300,
+        }
+    }
+}
+
+/// Continuous windowed TCP streams (sockperf/iperf throughput mode).
+#[derive(Debug)]
+pub struct TcpStreams {
+    /// Configuration.
+    pub config: TcpStreamsConfig,
+}
+
+impl TcpStreams {
+    /// Creates the app.
+    pub fn new(config: TcpStreamsConfig) -> Self {
+        TcpStreams { config }
+    }
+}
+
+impl App for TcpStreams {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let overlay = api.inner.cfg.server.mode == NetMode::Overlay;
+        for i in 0..self.config.n_flows {
+            let container = if overlay {
+                Some(api.add_container((i / 200) as u8, (i % 200) as u8 + 10))
+            } else {
+                None
+            };
+            let port = 5201 + i as u16;
+            let app_core = self.config.app_cores[i % self.config.app_cores.len()];
+            api.bind_tcp(container, port, app_core, self.config.app_service_ns);
+            let flow = api.tcp_flow(container, port, self.config.window);
+            api.tcp_stream(flow, self.config.msg_size);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_flow_config() {
+        let cfg = UdpStressConfig::single_flow(16);
+        assert_eq!(cfg.n_flows, 1);
+        assert_eq!(cfg.senders_per_flow, 3);
+        assert!(matches!(cfg.pacing, Pacing::MaxRate));
+    }
+
+    #[test]
+    fn multi_flow_config() {
+        let cfg = UdpStressConfig::multi_flow(5, 4096);
+        assert_eq!(cfg.n_flows, 5);
+        assert_eq!(cfg.senders_per_flow, 1);
+        assert_eq!(cfg.payload, 4096);
+    }
+
+    #[test]
+    fn tcp_single_config() {
+        let cfg = TcpStreamsConfig::single(4096);
+        assert_eq!(cfg.n_flows, 1);
+        assert_eq!(cfg.window, 128);
+    }
+}

@@ -1,0 +1,373 @@
+//! CloudSuite-style web serving (Elgg social network).
+//!
+//! Figure 17's workload: `users` concurrent sessions issue a mix of
+//! social-network operations against an nginx container on a schedule
+//! (the benchmark driver's cycle times — hence the paper's "delay
+//! time": the gap between the target completion and the actual one).
+//! Each operation charges per-operation rendering work (nginx + PHP)
+//! on the web tier's application cores, which share the machine with
+//! the receive path's softirqs — the contention Falcon's dynamic
+//! balancing resolves by steering softirqs to less-loaded cores.
+//!
+//! Reported per operation, as the paper does: success rate
+//! (operations completing within the target), average response time,
+//! and average delay time (actual − target, clamped at zero).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use falcon_netstack::sim::{App, SimApi};
+use falcon_netstack::{FlowId, MsgMeta, NetMode, SockId};
+use falcon_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One Elgg operation type.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OpSpec {
+    /// Operation name (matches the figure's x-axis).
+    pub name: &'static str,
+    /// Relative weight in the mix.
+    pub weight: u32,
+    /// Request size, bytes.
+    pub request: usize,
+    /// Response (page) size, bytes.
+    pub response: usize,
+    /// Packets per operation: the page plus its assets and the
+    /// inter-tier (cache/database) traffic that also crosses the
+    /// overlay — each sub-request traverses the full softirq path.
+    pub sub_requests: u32,
+    /// Server-side service time (nginx + cache + database), ns.
+    pub service_ns: u64,
+    /// Target completion time (the benchmark's per-op deadline).
+    pub target: SimDuration,
+}
+
+/// The Elgg operation mix (shapes from the CloudSuite benchmark; sizes
+/// and service times are calibration constants).
+pub const ELGG_OPS: [OpSpec; 8] = [
+    OpSpec {
+        name: "BrowsetoElgg",
+        weight: 25,
+        request: 300,
+        response: 24_000,
+        sub_requests: 8,
+        service_ns: 8_000,
+        target: SimDuration::from_micros(400),
+    },
+    OpSpec {
+        name: "CheckActivity",
+        weight: 20,
+        request: 350,
+        response: 16_000,
+        sub_requests: 6,
+        service_ns: 10_000,
+        target: SimDuration::from_micros(400),
+    },
+    OpSpec {
+        name: "Login",
+        weight: 10,
+        request: 500,
+        response: 9_000,
+        sub_requests: 5,
+        service_ns: 16_000,
+        target: SimDuration::from_micros(500),
+    },
+    OpSpec {
+        name: "PostSelfWall",
+        weight: 10,
+        request: 800,
+        response: 6_000,
+        sub_requests: 6,
+        service_ns: 15_000,
+        target: SimDuration::from_micros(500),
+    },
+    OpSpec {
+        name: "SendChatMessage",
+        weight: 15,
+        request: 600,
+        response: 4_000,
+        sub_requests: 4,
+        service_ns: 12_000,
+        target: SimDuration::from_micros(400),
+    },
+    OpSpec {
+        name: "AddFriend",
+        weight: 8,
+        request: 450,
+        response: 5_000,
+        sub_requests: 5,
+        service_ns: 13_000,
+        target: SimDuration::from_micros(400),
+    },
+    OpSpec {
+        name: "Register",
+        weight: 5,
+        request: 900,
+        response: 8_000,
+        sub_requests: 7,
+        service_ns: 15_000,
+        target: SimDuration::from_micros(600),
+    },
+    OpSpec {
+        name: "Logout",
+        weight: 7,
+        request: 250,
+        response: 3_000,
+        sub_requests: 3,
+        service_ns: 10_000,
+        target: SimDuration::from_micros(300),
+    },
+];
+
+/// Configuration of the web-serving workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WebServingConfig {
+    /// Concurrent users (each a TCP connection; the paper loads 200).
+    pub users: usize,
+    /// Cycle time of each user: a new operation is issued on this
+    /// period regardless of completion (the Faban driver's schedule;
+    /// compressed from the benchmark's seconds to keep simulated
+    /// minutes short — documented in EXPERIMENTS.md).
+    pub cycle: SimDuration,
+    /// Web-server application cores (shared with the receive path, as
+    /// on a busy web server).
+    pub app_cores: Vec<usize>,
+}
+
+impl WebServingConfig {
+    /// A `users`-user load.
+    pub fn new(users: usize) -> Self {
+        WebServingConfig {
+            users,
+            cycle: SimDuration::from_micros(2_800),
+            app_cores: vec![1, 2, 3, 4, 5, 6],
+        }
+    }
+}
+
+/// Per-operation accumulated results.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Operations completed.
+    pub completed: u64,
+    /// Operations completed within their target ("success").
+    pub successes: u64,
+    /// Sum of response times, ns.
+    pub response_ns_sum: u128,
+    /// Sum of delay times (actual − target, clamped at 0), ns.
+    pub delay_ns_sum: u128,
+}
+
+impl OpStats {
+    /// Mean response time in microseconds.
+    pub fn avg_response_us(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.response_ns_sum as f64 / self.completed as f64 / 1e3
+        }
+    }
+
+    /// Mean delay time in microseconds.
+    pub fn avg_delay_us(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.delay_ns_sum as f64 / self.completed as f64 / 1e3
+        }
+    }
+}
+
+/// Shared results handle: per-op stats by name.
+pub type WebStats = Rc<RefCell<HashMap<&'static str, OpStats>>>;
+
+/// An in-flight operation instance.
+#[derive(Debug, Clone, Copy)]
+struct OpInstance {
+    op_idx: usize,
+    issued: SimTime,
+    remaining: u32,
+}
+
+/// The web-serving application.
+pub struct WebServing {
+    config: WebServingConfig,
+    stats: WebStats,
+    /// Sub-request message id → operation instance id.
+    outstanding: HashMap<u64, u64>,
+    /// In-flight operations by instance id.
+    ops: HashMap<u64, OpInstance>,
+    next_op_instance: u64,
+    total_weight: u32,
+}
+
+impl WebServing {
+    /// Creates the app and its shared stats handle.
+    pub fn new(config: WebServingConfig) -> (Self, WebStats) {
+        let stats: WebStats = Rc::new(RefCell::new(HashMap::new()));
+        let total_weight = ELGG_OPS.iter().map(|op| op.weight).sum();
+        (
+            WebServing {
+                config,
+                stats: stats.clone(),
+                outstanding: HashMap::new(),
+                ops: HashMap::new(),
+                next_op_instance: 0,
+                total_weight,
+            },
+            stats,
+        )
+    }
+
+    fn pick_op(&self, api: &mut SimApi<'_>) -> usize {
+        let mut roll = api.rng().gen_range(self.total_weight as u64) as u32;
+        for (i, op) in ELGG_OPS.iter().enumerate() {
+            if roll < op.weight {
+                return i;
+            }
+            roll -= op.weight;
+        }
+        ELGG_OPS.len() - 1
+    }
+
+    fn issue(&mut self, api: &mut SimApi<'_>, flow: FlowId) {
+        let op_idx = self.pick_op(api);
+        let op = &ELGG_OPS[op_idx];
+        let instance = self.next_op_instance;
+        self.next_op_instance += 1;
+        self.ops.insert(
+            instance,
+            OpInstance {
+                op_idx,
+                issued: api.now(),
+                remaining: op.sub_requests,
+            },
+        );
+        // The page and its assets/inter-tier requests, pipelined on the
+        // user's connection.
+        for _ in 0..op.sub_requests {
+            let msg_id = api.tcp_request(flow, op.request / op.sub_requests as usize + 40);
+            self.outstanding.insert(msg_id, instance);
+        }
+    }
+}
+
+impl App for WebServing {
+    fn on_start(&mut self, api: &mut SimApi<'_>) {
+        let overlay = api.inner.cfg.server.mode == NetMode::Overlay;
+        let container = if overlay {
+            Some(api.add_container(0, 10))
+        } else {
+            None
+        };
+        // nginx worker pool: one listening socket per worker core;
+        // users are assigned round-robin (pm.max_children-style
+        // parallelism). Per-op work is charged via the response path.
+        let mut socks = Vec::new();
+        for (w, &core) in self.config.app_cores.iter().enumerate() {
+            socks.push((
+                api.bind_tcp(container, 80 + w as u16 * 1000, core, 0),
+                80 + w as u16 * 1000,
+            ));
+        }
+        for u in 0..self.config.users {
+            let (_, port) = socks[u % socks.len()];
+            let flow = api.tcp_flow(container, port, 16);
+            // Stagger users across one cycle to avoid a thundering herd.
+            let offset = self
+                .config
+                .cycle
+                .mul_f64(u as f64 / self.config.users as f64);
+            api.eng.schedule_after(offset, {
+                move |s: &mut falcon_netstack::Sim,
+                      e: &mut falcon_simcore::Engine<falcon_netstack::Sim>| {
+                    falcon_netstack::sim::with_app(s, e, |app, api| {
+                        app.on_timer(api, flow.0 as u64)
+                    });
+                }
+            });
+        }
+    }
+
+    fn on_server_msg(&mut self, api: &mut SimApi<'_>, sock: SockId, meta: &MsgMeta) {
+        // Render and respond: each sub-request's share of the op's
+        // nginx+PHP+cache+database work runs on the worker's core
+        // before its fragment of the page goes out.
+        let op = self
+            .outstanding
+            .get(&meta.msg_id)
+            .and_then(|inst| self.ops.get(inst))
+            .map(|o| ELGG_OPS[o.op_idx])
+            .unwrap_or(ELGG_OPS[0]);
+        api.respond_with_service(
+            sock,
+            meta,
+            op.response / op.sub_requests as usize,
+            op.service_ns,
+        );
+    }
+
+    fn on_timer(&mut self, api: &mut SimApi<'_>, token: u64) {
+        // A user's cycle fired: issue the next operation and stay on
+        // schedule regardless of whether earlier ones completed.
+        let flow = FlowId(token as u32);
+        self.issue(api, flow);
+        let cycle = self.config.cycle;
+        api.set_timer(cycle, token);
+    }
+
+    fn on_client_msg(&mut self, api: &mut SimApi<'_>, _flow: FlowId, meta: &MsgMeta) {
+        let Some(instance) = self.outstanding.remove(&meta.msg_id) else {
+            return;
+        };
+        let Some(op_state) = self.ops.get_mut(&instance) else {
+            return;
+        };
+        op_state.remaining -= 1;
+        if op_state.remaining > 0 {
+            return;
+        }
+        let op_state = self.ops.remove(&instance).expect("checked present");
+        let op = &ELGG_OPS[op_state.op_idx];
+        let elapsed = api.now().saturating_since(op_state.issued);
+        let mut stats = self.stats.borrow_mut();
+        let entry = stats.entry(op.name).or_default();
+        entry.completed += 1;
+        if elapsed <= op.target {
+            entry.successes += 1;
+        }
+        entry.response_ns_sum += elapsed.as_nanos() as u128;
+        entry.delay_ns_sum += elapsed.saturating_sub(op.target).as_nanos() as u128;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_mix_is_normalized() {
+        let total: u32 = ELGG_OPS.iter().map(|o| o.weight).sum();
+        assert_eq!(total, 100, "weights sum to 100 for readability");
+        for op in &ELGG_OPS {
+            assert!(
+                op.response > op.request,
+                "{} pages exceed requests",
+                op.name
+            );
+            assert!(op.service_ns > 0);
+        }
+    }
+
+    #[test]
+    fn op_stats_means() {
+        let mut s = OpStats::default();
+        assert_eq!(s.avg_response_us(), 0.0);
+        s.completed = 2;
+        s.response_ns_sum = 4_000;
+        s.delay_ns_sum = 2_000;
+        assert_eq!(s.avg_response_us(), 2.0);
+        assert_eq!(s.avg_delay_us(), 1.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end workload tests: the application benchmarks run over the
+//! simulated overlay, with and without Falcon.
+
+use falcon::{enable_falcon, FalconConfig};
+use falcon_cpusim::CpuSet;
+use falcon_netstack::sim::SimRunner;
+use falcon_netstack::{KernelVersion, NetMode, SimConfig, StackConfig, StayLocal, Steering};
+use falcon_simcore::SimDuration;
+use falcon_workloads::{
+    DataCaching, DataCachingConfig, TcpStreams, TcpStreamsConfig, UdpPingPong, UdpStressApp,
+    UdpStressConfig, WebServing, WebServingConfig,
+};
+
+fn overlay_stack(falcon_on: bool) -> (StackConfig, Box<dyn Steering>) {
+    let mut server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 8);
+    let policy: Box<dyn Steering> = if falcon_on {
+        enable_falcon(&mut server, FalconConfig::new(CpuSet::range(1, 5)))
+    } else {
+        Box::new(StayLocal)
+    };
+    (server, policy)
+}
+
+#[test]
+fn udp_stress_app_multi_flow() {
+    let (server, policy) = overlay_stack(false);
+    let app = UdpStressApp::new(UdpStressConfig::multi_flow(4, 1024));
+    let mut runner = SimRunner::new(SimConfig::new(server), policy, Box::new(app));
+    runner.run_for(SimDuration::from_millis(15));
+    let c = runner.counters();
+    assert_eq!(c.flows.len(), 4, "four flows opened");
+    for (flow, stats) in &c.flows {
+        assert!(
+            stats.delivered_msgs > 100,
+            "flow {flow} delivered {}",
+            stats.delivered_msgs
+        );
+    }
+    assert_eq!(runner.machine().order.violations(), 0);
+}
+
+#[test]
+fn udp_ping_pong_measures_rtt() {
+    let (server, policy) = overlay_stack(false);
+    let mut runner = SimRunner::new(
+        SimConfig::new(server),
+        policy,
+        Box::new(UdpPingPong::new(64)),
+    );
+    runner.run_for(SimDuration::from_millis(50));
+    let c = runner.counters();
+    assert!(c.rtt.count() > 100, "rtt samples {}", c.rtt.count());
+    assert!(
+        c.rtt.percentile(50.0) < 500_000,
+        "RTT should be sub-millisecond"
+    );
+}
+
+#[test]
+fn tcp_streams_app_delivers() {
+    let (server, policy) = overlay_stack(true);
+    let app = TcpStreams::new(TcpStreamsConfig::single(4096));
+    let mut runner = SimRunner::new(SimConfig::new(server), policy, Box::new(app));
+    runner.run_for(SimDuration::from_millis(15));
+    assert!(runner.counters().total_delivered() > 300);
+    assert_eq!(runner.machine().order.violations(), 0);
+}
+
+fn run_memcached(falcon_on: bool, threads: usize, millis: u64) -> SimRunner {
+    let mut server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 10);
+    let policy: Box<dyn Steering> = if falcon_on {
+        enable_falcon(&mut server, FalconConfig::new(CpuSet::range(1, 5)))
+    } else {
+        Box::new(StayLocal)
+    };
+    let app = DataCaching::new(DataCachingConfig::new(threads));
+    let mut runner = SimRunner::new(SimConfig::new(server), policy, Box::new(app));
+    runner.run_for(SimDuration::from_millis(millis));
+    runner
+}
+
+#[test]
+fn memcached_closed_loop_sustains() {
+    let runner = run_memcached(false, 2, 30);
+    let c = runner.counters();
+    assert!(c.rtt.count() > 500, "responses {}", c.rtt.count());
+    assert_eq!(runner.machine().order.violations(), 0);
+    assert_eq!(c.lookup_failures, 0);
+}
+
+fn run_memcached_open(falcon_on: bool, threads: usize, millis: u64) -> SimRunner {
+    // Figure 18's layout: vanilla spreads RPS over six rx cores; Falcon
+    // keeps RPS on the four IRQ cores and dedicates cores 4-7 to the
+    // pipelined stages (the paper's dedicated FALCON_CPUS).
+    let mut server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 14);
+    server.nic = falcon_netdev::NicConfig::multi_queue(4, 1024, 4);
+    server.rps = Some(if falcon_on {
+        CpuSet::range(0, 4)
+    } else {
+        CpuSet::range(0, 6)
+    });
+    let policy: Box<dyn Steering> = if falcon_on {
+        enable_falcon(&mut server, FalconConfig::new(CpuSet::range(4, 8)))
+    } else {
+        Box::new(StayLocal)
+    };
+    let mut dc = DataCachingConfig::open_loop(threads, 13_500.0);
+    dc.app_cores = vec![8, 9, 10, 11, 12, 13];
+    let app = DataCaching::new(dc);
+    let mut runner = SimRunner::new(SimConfig::new(server), policy, Box::new(app));
+    runner.run_for(SimDuration::from_millis(millis));
+    runner
+}
+
+#[test]
+fn memcached_latency_improves_with_falcon_at_high_load() {
+    // Figure 18's 10-client point: fixed offered load near the rx
+    // path's capacity, where vanilla's hash-imbalanced hot cores queue.
+    // Measure after a warmup so both systems are in steady state (the
+    // cumulative histogram would otherwise mix start-up transients in).
+    let measure = |falcon_on: bool| {
+        let mut runner = run_memcached_open(falcon_on, 10, 10);
+        runner.begin_measurement();
+        runner.run_for(SimDuration::from_millis(25));
+        (
+            runner.counters().rtt.mean(),
+            runner.counters().rtt.percentile(99.0),
+        )
+    };
+    let (vm, v99) = measure(false);
+    let (fm, f99) = measure(true);
+    assert!(
+        (f99 as f64) < v99 as f64 * 0.7,
+        "falcon p99 {f99}ns should be well under vanilla {v99}ns at 10 client threads"
+    );
+    assert!(fm < vm * 0.7, "falcon mean {fm}ns vs vanilla {vm}ns");
+}
+
+#[test]
+fn memcached_single_client_is_roughly_neutral() {
+    // Figure 18's 1-client point: modest tail improvement, no collapse.
+    let vanilla = run_memcached_open(false, 1, 20);
+    let falcon = run_memcached_open(true, 1, 20);
+    let v99 = vanilla.counters().rtt.percentile(99.0) as f64;
+    let f99 = falcon.counters().rtt.percentile(99.0) as f64;
+    assert!(f99 < v99 * 1.15, "falcon p99 {f99} vs vanilla {v99}");
+}
+
+#[test]
+fn web_serving_completes_operations() {
+    let (server, policy) = overlay_stack(false);
+    let (app, stats) = WebServing::new(WebServingConfig::new(50));
+    let mut runner = SimRunner::new(SimConfig::new(server), policy, Box::new(app));
+    runner.run_for(SimDuration::from_millis(50));
+    let stats = stats.borrow();
+    let total: u64 = stats.values().map(|s| s.completed).sum();
+    assert!(total > 500, "completed ops {total}");
+    assert!(
+        stats.contains_key("BrowsetoElgg"),
+        "common ops appear: {:?}",
+        stats.keys()
+    );
+    for (name, s) in stats.iter() {
+        assert!(s.successes <= s.completed, "{name}");
+        assert!(s.avg_response_us() > 0.0, "{name}");
+    }
+    assert_eq!(runner.machine().order.violations(), 0);
+}
+
+#[test]
+fn web_serving_falcon_beats_vanilla() {
+    // Figure 17's setup: web workers and the RPS mask share six cores;
+    // Falcon may additionally use the idle cores.
+    let run = |falcon_on: bool| {
+        let mut server = StackConfig::new(NetMode::Overlay, KernelVersion::K419, 12);
+        server.rps = Some(CpuSet::range(1, 7));
+        let policy: Box<dyn Steering> = if falcon_on {
+            enable_falcon(&mut server, FalconConfig::new(CpuSet::range(1, 11)))
+        } else {
+            Box::new(StayLocal)
+        };
+        let (app, stats) = WebServing::new(WebServingConfig::new(200));
+        let mut runner = SimRunner::new(SimConfig::new(server), policy, Box::new(app));
+        runner.run_for(SimDuration::from_millis(60));
+        let st = stats.borrow();
+        let total: u64 = st.values().map(|s| s.completed).sum();
+        let resp: u128 = st.values().map(|s| s.response_ns_sum).sum();
+        let avg_resp = resp as f64 / total.max(1) as f64;
+        (runner, total, avg_resp)
+    };
+    let (_v_run, v_ops, v_resp) = run(false);
+    let (f_run, f_ops, f_resp) = run(true);
+    assert!(
+        f_ops as f64 > v_ops as f64 * 1.05,
+        "falcon ops {f_ops} vs vanilla {v_ops}"
+    );
+    assert!(
+        f_resp < v_resp * 0.6,
+        "falcon resp {f_resp}ns vs vanilla {v_resp}ns"
+    );
+    assert_eq!(f_run.machine().order.violations(), 0);
+}

@@ -1,0 +1,26 @@
+//! Adaptive balancing: a sudden traffic hotspot, handled by Falcon's
+//! two-random-choice balancer vs the static first-choice-only variant —
+//! the paper's Figure 16 experiment, runnable standalone.
+//!
+//! ```text
+//! cargo run --release -p falcon-examples --bin adaptive_balancing [--full]
+//! ```
+
+use falcon_experiments::figs::fig16;
+use falcon_experiments::measure::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("Adaptability test: sudden hotspot, dynamic vs static balancing");
+    println!("(six paced flows; one flow's intensity jumps 8x mid-run)\n");
+    let result = fig16::run(scale);
+    print!("{result}");
+    println!();
+    println!("The two-choice algorithm steers softirqs away from the overloaded core");
+    println!("but commits to its second choice, avoiding load-chasing fluctuations —");
+    println!("hence the higher mean with a similarly small coefficient of variation.");
+}

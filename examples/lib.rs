@@ -1,0 +1,7 @@
+//! Shared nothing: this package exists to host the runnable examples.
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p falcon-examples --bin quickstart
+//! ```

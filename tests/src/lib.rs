@@ -1,0 +1,25 @@
+//! Shared helpers for the cross-crate integration tests in `tests/`.
+
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use falcon_experiments::scenario::{Mode, Scenario, SF_APP_CORE};
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::sim::SimRunner;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+/// Builds a small single-flow UDP scenario for invariant testing.
+pub fn small_udp_runner(mode: Mode, rate: f64, payload: usize, seed: u64) -> SimRunner {
+    let scenario =
+        Scenario::single_flow(mode, KernelVersion::K419, LinkSpeed::HundredGbit).with_seed(seed);
+    let mut cfg = UdpStressConfig::single_flow(payload);
+    cfg.senders_per_flow = 2;
+    cfg.pacing = Pacing::PoissonPps(rate / 2.0);
+    cfg.app_cores = vec![SF_APP_CORE];
+    scenario.build(Box::new(UdpStressApp::new(cfg)))
+}
+
+/// The default Falcon mode for the single-flow shape.
+pub fn falcon_mode() -> Mode {
+    Mode::Falcon(FalconConfig::new(CpuSet::range(1, 5)))
+}

@@ -1,0 +1,134 @@
+//! The paper's headline claims, checked end to end through the
+//! experiment harness at miniature scale. Each test names the paper
+//! section or figure it guards.
+
+use falcon_experiments::measure::{run_measured, Scale};
+use falcon_experiments::ratesearch::max_sustainable;
+use falcon_experiments::scenario::{Mode, Scenario, SF_APP_CORE};
+use falcon_integration_tests::{falcon_mode, small_udp_runner};
+use falcon_metrics::IrqKind;
+use falcon_netdev::LinkSpeed;
+use falcon_netstack::{KernelVersion, Pacing};
+use falcon_simcore::SimDuration;
+use falcon_workloads::{UdpStressApp, UdpStressConfig};
+
+fn plateau(mode: Mode) -> f64 {
+    let build = move |rate: f64| {
+        let scenario =
+            Scenario::single_flow(mode.clone(), KernelVersion::K419, LinkSpeed::HundredGbit);
+        let mut cfg = UdpStressConfig::single_flow(16);
+        cfg.senders_per_flow = 4;
+        cfg.pacing = Pacing::FixedPps(rate / 4.0);
+        cfg.app_cores = vec![SF_APP_CORE];
+        scenario.build(Box::new(UdpStressApp::new(cfg)))
+    };
+    max_sustainable(&build, 60_000.0, Scale::Quick).delivered_pps
+}
+
+/// §2.2 / Figure 2: the overlay loses most of the host's single-flow
+/// packet rate on the fast link.
+#[test]
+fn overlay_loses_badly_on_fast_links() {
+    let host = plateau(Mode::Host);
+    let con = plateau(Mode::Vanilla);
+    assert!(
+        con < host * 0.5,
+        "overlay {con:.0} pps should be under half of host {host:.0} pps"
+    );
+}
+
+/// §6.1 / Figure 10: Falcon brings the single-flow UDP rate to a large
+/// fraction of the host's (the paper reports up to 87%).
+#[test]
+fn falcon_recovers_most_of_the_loss() {
+    let host = plateau(Mode::Host);
+    let falcon = plateau(falcon_mode());
+    let ratio = falcon / host;
+    assert!(
+        (0.7..=1.05).contains(&ratio),
+        "falcon/host ratio {ratio:.2} out of the expected band"
+    );
+}
+
+/// §3.2 / Figure 4: the overlay triggers a multiple of the host's
+/// NET_RX softirqs for the same traffic.
+#[test]
+fn overlay_multiplies_net_rx() {
+    let count = |mode: Mode| {
+        let mut runner = small_udp_runner(mode, 150_000.0, 16, 7);
+        let stats = run_measured(&mut runner, Scale::Quick);
+        stats.irq(IrqKind::NetRx)
+    };
+    let host = count(Mode::Host);
+    let con = count(Mode::Vanilla);
+    assert!(
+        con as f64 > host as f64 * 1.8,
+        "overlay NET_RX {con} vs host {host}"
+    );
+}
+
+/// §3.2 / Figure 5: the vanilla overlay serializes a flow's softirqs on
+/// few cores; Falcon uses more.
+#[test]
+fn falcon_parallelizes_the_pipeline() {
+    let busy_softirq_cores = |mode: Mode| {
+        let mut runner = small_udp_runner(mode, 330_000.0, 16, 7);
+        runner.run_for(SimDuration::from_millis(15));
+        let ledger = &runner.machine().cores.ledger;
+        (0..8)
+            .filter(|&c| ledger.core(c).softirq_ns > 1_000_000)
+            .count()
+    };
+    let con = busy_softirq_cores(Mode::Vanilla);
+    let falcon = busy_softirq_cores(falcon_mode());
+    assert!(
+        falcon > con,
+        "falcon softirq cores {falcon} vs vanilla {con}"
+    );
+}
+
+/// §6.3 / Figure 19: at the same fixed rate Falcon costs bounded extra
+/// CPU while raising more softirqs.
+#[test]
+fn falcon_overhead_is_bounded() {
+    let measure = |mode: Mode| {
+        let mut runner = small_udp_runner(mode, 250_000.0, 16, 7);
+        run_measured(&mut runner, Scale::Quick)
+    };
+    let con = measure(Mode::Vanilla);
+    let falcon = measure(falcon_mode());
+    let delivered_ratio = falcon.delivered as f64 / con.delivered.max(1) as f64;
+    assert!(
+        (0.99..=1.01).contains(&delivered_ratio),
+        "same delivered load: {} vs {}",
+        falcon.delivered,
+        con.delivered
+    );
+    let cpu_ratio = falcon.total_busy_cores() / con.total_busy_cores();
+    assert!(
+        cpu_ratio < 1.20,
+        "falcon CPU {:.2} vs con {:.2} (ratio {cpu_ratio:.2})",
+        falcon.total_busy_cores(),
+        con.total_busy_cores()
+    );
+    assert!(
+        falcon.irq(IrqKind::NetRx) > con.irq(IrqKind::NetRx),
+        "falcon raises more softirqs"
+    );
+}
+
+/// §4.3 / Figure 14: when the system is saturated, Falcon gates itself
+/// off rather than degrading throughput.
+#[test]
+fn falcon_never_collapses_when_saturated() {
+    let measure = |mode: Mode| {
+        let mut runner = small_udp_runner(mode, 360_000.0, 16, 7);
+        run_measured(&mut runner, Scale::Quick).pps()
+    };
+    let con = measure(Mode::Vanilla);
+    let falcon = measure(falcon_mode());
+    assert!(
+        falcon > con * 0.9,
+        "falcon {falcon:.0} pps must not collapse below vanilla {con:.0} pps"
+    );
+}
