@@ -95,6 +95,36 @@ impl Cores {
         until
     }
 
+    /// [`Cores::begin_work`] that also emits one
+    /// [`falcon_trace::EventKind::Exec`] tracepoint per item, with
+    /// each item's start offset walked forward from `now`, so the
+    /// trace timeline shows the unit's internal function sequence.
+    pub fn begin_work_traced(
+        &mut self,
+        core: usize,
+        ctx: Context,
+        now: SimTime,
+        items: &[(&'static str, SimDuration)],
+        tracer: &mut falcon_trace::Tracer,
+    ) -> SimTime {
+        if tracer.is_enabled() {
+            let mut at = now;
+            for &(func, cost) in items {
+                tracer.emit(
+                    at.as_nanos(),
+                    falcon_trace::EventKind::Exec {
+                        core,
+                        ctx,
+                        func,
+                        dur_ns: cost.as_nanos(),
+                    },
+                );
+                at += cost;
+            }
+        }
+        self.begin_work(core, ctx, now, items)
+    }
+
     /// Marks a busy core idle at its completion time.
     ///
     /// # Panics
@@ -175,6 +205,45 @@ mod tests {
     fn empty_work_panics() {
         let mut cores = Cores::new(1);
         cores.begin_work(0, Context::Task, SimTime::ZERO, &[]);
+    }
+
+    #[test]
+    fn traced_work_emits_per_item_exec() {
+        let mut cores = Cores::new(1);
+        let mut tracer = falcon_trace::Tracer::new(16);
+        let until = cores.begin_work_traced(
+            0,
+            Context::SoftIrq,
+            SimTime::from_nanos(100),
+            &[
+                ("ip_rcv", SimDuration::from_nanos(200)),
+                ("udp_rcv", SimDuration::from_nanos(300)),
+            ],
+            &mut tracer,
+        );
+        assert_eq!(until.as_nanos(), 600);
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at_ns, 100);
+        assert_eq!(events[1].at_ns, 300, "second item starts after first");
+        match events[1].kind {
+            falcon_trace::EventKind::Exec { func, dur_ns, .. } => {
+                assert_eq!(func, "udp_rcv");
+                assert_eq!(dur_ns, 300);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Disabled tracer: same accounting, zero events.
+        cores.complete(0, until);
+        let mut off = falcon_trace::Tracer::disabled();
+        cores.begin_work_traced(
+            0,
+            Context::SoftIrq,
+            until,
+            &[("f", SimDuration::from_nanos(10))],
+            &mut off,
+        );
+        assert!(off.is_empty());
     }
 
     #[test]

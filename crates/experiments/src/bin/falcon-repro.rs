@@ -1,20 +1,24 @@
 //! `falcon-repro`: regenerate the paper's figures from the simulation.
 //!
 //! ```text
-//! falcon-repro --list             # available figure ids
-//! falcon-repro all                # run everything at full scale
-//! falcon-repro --quick fig10      # quick (test-scale) run of one figure
-//! falcon-repro --json fig18       # machine-readable output
+//! falcon-repro --list                  # available figure ids
+//! falcon-repro all                     # run everything at full scale
+//! falcon-repro --quick fig10           # quick (test-scale) run of one figure
+//! falcon-repro --json fig18            # machine-readable output
+//! falcon-repro fig11 --trace out.json  # also write a Perfetto timeline
+//! falcon-repro --stage-latency         # per-stage latency decomposition
 //! ```
 
 use std::process::ExitCode;
 
 use falcon_experiments::figs;
 use falcon_experiments::measure::Scale;
+use falcon_experiments::tracedrun;
 
 fn usage() {
     eprintln!(
-        "usage: falcon-repro [--quick] [--json] [--list] <fig-id>... | all\n\
+        "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
+         [--stage-latency] <fig-id>... | all\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -27,12 +31,24 @@ fn usage() {
 fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut json = false;
+    let mut trace_out: Option<String> = None;
+    let mut stage_latency = false;
     let mut wanted: Vec<String> = Vec::new();
 
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => scale = Scale::Quick,
             "--json" => json = true,
+            "--trace" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace requires an output path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--stage-latency" => stage_latency = true,
             "--list" | "-l" => {
                 for (id, _) in figs::all() {
                     println!("{id}");
@@ -52,7 +68,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if wanted.is_empty() {
+    if wanted.is_empty() && trace_out.is_none() && !stage_latency {
         usage();
         return ExitCode::FAILURE;
     }
@@ -86,5 +102,24 @@ fn main() -> ExitCode {
             println!("{result}");
         }
     }
+
+    if let Some(path) = trace_out {
+        eprintln!("tracing a single-flow Falcon run ({:?} scale)...", scale);
+        let trace_json = tracedrun::chrome_trace(scale);
+        if let Err(e) = std::fs::write(&path, trace_json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (load it at https://ui.perfetto.dev)");
+    }
+
+    if stage_latency {
+        eprintln!(
+            "stage-latency decomposition, Con vs Falcon ({:?} scale)...",
+            scale
+        );
+        print!("{}", tracedrun::stage_latency_report(scale));
+    }
+
     ExitCode::SUCCESS
 }

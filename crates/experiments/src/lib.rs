@@ -11,6 +11,9 @@
 //! * [`table`] — plain-text result tables (what `falcon-repro` prints).
 //! * [`figs`] — one module per figure of the paper (2, 4, 5, 6, 9a,
 //!   10–19), each returning a [`table::FigResult`].
+//! * [`tracedrun`] — representative traced runs backing
+//!   `falcon-repro --trace` (Chrome/Perfetto timeline JSON) and
+//!   `--stage-latency` (per-stage queueing/service decomposition).
 //!
 //! Run everything with the `falcon-repro` binary:
 //!
@@ -25,6 +28,7 @@ pub mod measure;
 pub mod ratesearch;
 pub mod scenario;
 pub mod table;
+pub mod tracedrun;
 
 pub use measure::{RunStats, Scale};
 pub use ratesearch::{max_sustainable, RatePoint};

@@ -178,6 +178,27 @@ mod tests {
     }
 
     #[test]
+    fn fig_result_json_round_trips() {
+        // The `--json` output must be machine-parseable: serialize a
+        // result and read it back through the JSON parser.
+        let mut fig = FigResult::new("fig10", "UDP stress packet rates");
+        let mut t = Table::new(&["mode", "kpps"]);
+        t.row(vec!["Host".into(), "1234.5".into()]);
+        t.row(vec!["Falcon".into(), "1074.0".into()]);
+        fig.panel("100G / 4.19", t);
+        fig.note("Falcon reaches 87% of host");
+        let json = serde_json::to_string_pretty(&fig).expect("serializable");
+        let parsed = serde_json::from_str(&json).expect("parses back");
+        let serde::Value::Object(fields) = parsed else {
+            panic!("root must be an object");
+        };
+        let id = fields.iter().find(|(k, _)| k == "id").expect("id key");
+        assert_eq!(id.1, serde::Value::Str("fig10".into()));
+        assert!(json.contains("1074.0"));
+        assert!(json.contains("87% of host"));
+    }
+
+    #[test]
     fn formatters() {
         assert_eq!(kpps(1_234_500.0), "1234.5");
         assert_eq!(us(12_345), "12.3");

@@ -36,6 +36,39 @@ pub struct FalconSteering {
     /// return-to-local migration below).
     inactive_samples: u32,
     stats: FalconStats,
+    /// Whether decisions are recorded into `pending`.
+    tracing: bool,
+    /// Decision events buffered until the receive path drains them
+    /// (the policy has no access to the tracer or the clock).
+    pending: Vec<falcon_trace::EventKind>,
+}
+
+/// Pure Algorithm 1, lines 17–27, exposing both hash choices: returns
+/// `(first_choice, chosen_cpu, used_second_choice)`.
+pub fn falcon_choices(
+    config: &FalconConfig,
+    rx_hash: u32,
+    ifindex: u32,
+    loads: &LoadTracker,
+) -> (usize, usize, bool) {
+    // First choice based on the device hash (line 19–20). With
+    // device_aware off (ablation), the hash degenerates to flow-only —
+    // every stage of a flow collapses onto one core, like RPS.
+    let input = if config.device_aware {
+        rx_hash.wrapping_add(ifindex)
+    } else {
+        rx_hash
+    };
+    let hash = hash_32(input, 32);
+    let first = config.falcon_cpus.pick_by_hash(hash);
+    if !config.two_choice || loads.core_load(first) < config.load_threshold {
+        return (first, first, false);
+    }
+    // Second choice if the first one is overloaded (line 25–26):
+    // re-hash and commit, busy or not, to avoid load-chasing
+    // fluctuations.
+    let second = config.falcon_cpus.pick_by_hash(hash_32(hash, 32));
+    (first, second, true)
 }
 
 /// Pure Algorithm 1, lines 17–27: pick the CPU for a softirq given the
@@ -48,24 +81,8 @@ pub fn get_falcon_cpu(
     ifindex: u32,
     loads: &LoadTracker,
 ) -> (usize, bool) {
-    // First choice based on the device hash (line 19–20). With
-    // device_aware off (ablation), the hash degenerates to flow-only —
-    // every stage of a flow collapses onto one core, like RPS.
-    let input = if config.device_aware {
-        rx_hash.wrapping_add(ifindex)
-    } else {
-        rx_hash
-    };
-    let hash = hash_32(input, 32);
-    let first = config.falcon_cpus.pick_by_hash(hash);
-    if !config.two_choice || loads.core_load(first) < config.load_threshold {
-        return (first, false);
-    }
-    // Second choice if the first one is overloaded (line 25–26):
-    // re-hash and commit, busy or not, to avoid load-chasing
-    // fluctuations.
-    let second = config.falcon_cpus.pick_by_hash(hash_32(hash, 32));
-    (second, true)
+    let (_, chosen, second) = falcon_choices(config, rx_hash, ifindex, loads);
+    (chosen, second)
 }
 
 impl FalconSteering {
@@ -77,6 +94,8 @@ impl FalconSteering {
             active: true,
             inactive_samples: 0,
             stats: FalconStats::default(),
+            tracing: false,
+            pending: Vec::new(),
         }
     }
 
@@ -111,12 +130,28 @@ impl Steering for FalconSteering {
         // (Algorithm 1, lines 6–13).
         if !self.is_active() {
             self.stats.gated_off += 1;
+            if self.tracing {
+                self.pending.push(falcon_trace::EventKind::FalconGated {
+                    ifindex: ctx.ifindex,
+                    cpu: ctx.current_cpu,
+                });
+            }
             return None;
         }
-        let (cpu, second) = get_falcon_cpu(&self.config, ctx.rx_hash, ctx.ifindex, ctx.loads);
+        let (first, cpu, second) =
+            falcon_choices(&self.config, ctx.rx_hash, ctx.ifindex, ctx.loads);
         self.stats.decisions += 1;
         if second {
             self.stats.second_choices += 1;
+        }
+        if self.tracing {
+            self.pending.push(falcon_trace::EventKind::FalconChoice {
+                ifindex: ctx.ifindex,
+                hash: ctx.rx_hash,
+                first,
+                chosen: cpu,
+                second,
+            });
         }
         Some(cpu)
     }
@@ -132,6 +167,7 @@ impl Steering for FalconSteering {
         } else {
             sum / cpus.len() as f64
         };
+        let was_active = self.active;
         if self.active {
             if self.l_avg >= self.config.load_threshold {
                 self.active = false;
@@ -141,6 +177,12 @@ impl Steering for FalconSteering {
             self.active = true;
         } else {
             self.inactive_samples = self.inactive_samples.saturating_add(1);
+        }
+        if self.tracing && self.active != was_active {
+            self.pending.push(falcon_trace::EventKind::LoadGate {
+                active: self.is_active(),
+                l_avg_milli: (self.l_avg * 1000.0) as u32,
+            });
         }
     }
 
@@ -170,6 +212,17 @@ impl Steering for FalconSteering {
         // reordering window is bounded by the old queue's depth.
         loads.core_load(old_cpu) >= self.config.load_threshold
             && loads.core_load(new_cpu) < self.config.load_threshold * 0.6
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.pending.clear();
+        }
+    }
+
+    fn take_trace(&mut self) -> Vec<falcon_trace::EventKind> {
+        std::mem::take(&mut self.pending)
     }
 }
 
@@ -326,6 +379,77 @@ mod tests {
             loads: &all_hot,
         };
         assert!(steering.select_cpu(&ctx).is_some());
+    }
+
+    #[test]
+    fn tracing_buffers_choice_and_gate_events() {
+        use falcon_trace::EventKind;
+
+        let mut steering = FalconSteering::new(FalconConfig::new(CpuSet::range(0, 4)));
+        let loads = idle_loads(4);
+        let ctx = SteerCtx {
+            rx_hash: 0xABCD,
+            ifindex: 2,
+            current_cpu: 0,
+            loads: &loads,
+        };
+        // Tracing off: decisions happen but nothing is buffered.
+        steering.select_cpu(&ctx);
+        assert!(steering.take_trace().is_empty());
+
+        steering.set_tracing(true);
+        let chosen = steering.select_cpu(&ctx).expect("active policy decides");
+        let events = steering.take_trace();
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            EventKind::FalconChoice {
+                ifindex,
+                hash,
+                first,
+                chosen: c,
+                second,
+            } => {
+                assert_eq!(ifindex, 2);
+                assert_eq!(hash, 0xABCD);
+                assert_eq!(c, chosen);
+                assert!(!second, "idle cores: first choice fits");
+                assert_eq!(first, chosen);
+            }
+            ref other => panic!("expected FalconChoice, got {other:?}"),
+        }
+        assert!(steering.take_trace().is_empty(), "drained");
+
+        // Overload every core: the gate flips off (LoadGate event) and
+        // subsequent decisions report FalconGated.
+        let mut ledger = CpuLedger::new(4);
+        let mut all_hot = LoadTracker::new(4);
+        for tick in 1..=10u64 {
+            for c in 0..4 {
+                ledger.charge(c, Context::SoftIrq, "f", SimDuration::from_millis(1));
+            }
+            all_hot.sample(SimTime::from_millis(tick), &ledger);
+        }
+        steering.on_load_sample(&all_hot);
+        let events = steering.take_trace();
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(events[0], EventKind::LoadGate { active: false, .. }),
+            "{:?}",
+            events[0]
+        );
+        let hot_ctx = SteerCtx {
+            rx_hash: 1,
+            ifindex: 2,
+            current_cpu: 3,
+            loads: &all_hot,
+        };
+        assert_eq!(steering.select_cpu(&hot_ctx), None);
+        let events = steering.take_trace();
+        assert!(
+            matches!(events[0], EventKind::FalconGated { ifindex: 2, cpu: 3 }),
+            "{:?}",
+            events[0]
+        );
     }
 
     #[test]

@@ -81,8 +81,8 @@ impl CoreUsage {
 #[derive(Debug, Clone)]
 pub struct CpuLedger {
     cores: Vec<CoreUsage>,
-    /// Per-(core, function) attribution in nanoseconds.
-    functions: HashMap<(usize, &'static str), u64>,
+    /// Per-(core, context, function) attribution in nanoseconds.
+    functions: HashMap<(usize, Context, &'static str), u64>,
     /// When accounting started (for utilization denominators).
     epoch: SimTime,
 }
@@ -109,7 +109,7 @@ impl CpuLedger {
     /// Panics if `core` is out of range.
     pub fn charge(&mut self, core: usize, ctx: Context, func: &'static str, dur: SimDuration) {
         *self.cores[core].slot(ctx) += dur.as_nanos();
-        *self.functions.entry((core, func)).or_insert(0) += dur.as_nanos();
+        *self.functions.entry((core, ctx, func)).or_insert(0) += dur.as_nanos();
     }
 
     /// Returns the usage of one core.
@@ -146,7 +146,7 @@ impl CpuLedger {
     pub fn function_total(&self, func: &str) -> u64 {
         self.functions
             .iter()
-            .filter(|((_, f), _)| *f == func)
+            .filter(|((_, _, f), _)| *f == func)
             .map(|(_, &ns)| ns)
             .sum()
     }
@@ -155,16 +155,16 @@ impl CpuLedger {
     pub fn function_on_core(&self, core: usize, func: &str) -> u64 {
         self.functions
             .iter()
-            .filter(|((c, f), _)| *c == core && *f == func)
+            .filter(|((c, _, f), _)| *c == core && *f == func)
             .map(|(_, &ns)| ns)
             .sum()
     }
 
     /// Returns all `(function, total_ns)` pairs, sorted by descending
-    /// time.
+    /// time, aggregated over cores and contexts.
     pub fn functions_by_time(&self) -> Vec<(&'static str, u64)> {
         let mut totals: HashMap<&'static str, u64> = HashMap::new();
-        for ((_, f), ns) in &self.functions {
+        for ((_, _, f), ns) in &self.functions {
             *totals.entry(f).or_insert(0) += ns;
         }
         let mut v: Vec<_> = totals.into_iter().collect();
@@ -172,11 +172,43 @@ impl CpuLedger {
         v
     }
 
-    /// Iterates over the raw `((core, function), ns)` attribution.
+    /// Returns `(context, function, total_ns)` triples, sorted by
+    /// descending time, aggregated over cores. This is the input for
+    /// context-split flamegraphs (`root;context;func`).
+    pub fn functions_by_context(&self) -> Vec<(Context, &'static str, u64)> {
+        let mut totals: HashMap<(Context, &'static str), u64> = HashMap::new();
+        for ((_, ctx, f), ns) in &self.functions {
+            *totals.entry((*ctx, f)).or_insert(0) += ns;
+        }
+        let mut v: Vec<_> = totals
+            .into_iter()
+            .map(|((ctx, f), ns)| (ctx, f, ns))
+            .collect();
+        v.sort_by(|a, b| {
+            b.2.cmp(&a.2)
+                .then(a.0.label().cmp(b.0.label()))
+                .then(a.1.cmp(b.1))
+        });
+        v
+    }
+
+    /// Iterates over `(core, function, ns)` attribution, aggregated
+    /// per call site's context split (a `(core, function)` pair charged
+    /// in two contexts yields two items).
     pub fn iter_attribution(&self) -> impl Iterator<Item = (usize, &'static str, u64)> + '_ {
         self.functions
             .iter()
-            .map(|(&(core, func), &ns)| (core, func, ns))
+            .map(|(&(core, _, func), &ns)| (core, func, ns))
+    }
+
+    /// Iterates over the full `(core, context, function, ns)`
+    /// attribution.
+    pub fn iter_attribution_by_context(
+        &self,
+    ) -> impl Iterator<Item = (usize, Context, &'static str, u64)> + '_ {
+        self.functions
+            .iter()
+            .map(|(&(core, ctx, func), &ns)| (core, ctx, func, ns))
     }
 }
 

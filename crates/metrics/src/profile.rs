@@ -49,6 +49,29 @@ impl Profile {
         Profile { entries, total_ns }
     }
 
+    /// Builds a context-split profile: each entry is a
+    /// `context;function` frame pair, so [`Profile::to_folded`]
+    /// produces three-frame stacks (`root;context;func`) that group a
+    /// flamegraph by execution context the way `perf` call stacks pass
+    /// through `__do_softirq` / `ret_from_intr`.
+    pub fn from_ledger_by_context(ledger: &CpuLedger) -> Self {
+        let by_ctx = ledger.functions_by_context();
+        let total_ns: u64 = by_ctx.iter().map(|&(_, _, ns)| ns).sum();
+        let entries = by_ctx
+            .into_iter()
+            .map(|(ctx, func, ns)| ProfileEntry {
+                func: format!("{};{}", ctx.label(), func),
+                ns,
+                share: if total_ns == 0 {
+                    0.0
+                } else {
+                    ns as f64 / total_ns as f64
+                },
+            })
+            .collect();
+        Profile { entries, total_ns }
+    }
+
     /// Total busy nanoseconds in the profile.
     pub fn total_ns(&self) -> u64 {
         self.total_ns
@@ -150,6 +173,29 @@ mod tests {
         assert!(folded.contains("sockperf;gro_cell_poll 500"));
         assert!(folded.contains("sockperf;process_backlog 200"));
         assert_eq!(folded.lines().count(), 3);
+    }
+
+    #[test]
+    fn folded_by_context_has_three_frames() {
+        let mut l = ledger();
+        // The same function charged from two contexts must split.
+        l.charge(
+            1,
+            Context::Task,
+            "gro_cell_poll",
+            SimDuration::from_micros(100),
+        );
+        let p = Profile::from_ledger_by_context(&l);
+        let folded = p.to_folded("sockperf");
+        assert!(folded.contains("sockperf;softirq;gro_cell_poll 500"));
+        assert!(folded.contains("sockperf;task;gro_cell_poll 100"));
+        assert!(folded.contains("sockperf;softirq;process_backlog 200"));
+        assert_eq!(folded.lines().count(), 4);
+        // The flat profile keeps aggregating across contexts.
+        let flat = Profile::from_ledger(&l);
+        assert!(flat
+            .to_folded("sockperf")
+            .contains("sockperf;gro_cell_poll 600"));
     }
 
     #[test]

@@ -129,6 +129,54 @@ impl PhysNic {
         }
     }
 
+    /// [`PhysNic::receive`] with tracepoints: emits `RingEnqueue` plus
+    /// either `HardIrqRaise` or `IrqCoalesced` on accept, or a
+    /// ring-overflow `QueueDrop` on reject (attributed to the queue's
+    /// IRQ core, where the missing poll would have run).
+    pub fn receive_traced(
+        &mut self,
+        queue: usize,
+        skb: SkBuff,
+        now_ns: u64,
+        tracer: &mut falcon_trace::Tracer,
+    ) -> (bool, Option<usize>) {
+        if !tracer.is_enabled() {
+            return self.receive(queue, skb);
+        }
+        let pkt = skb.id.0;
+        let flow = skb.flow_id;
+        let (accepted, irq) = self.receive(queue, skb);
+        if !accepted {
+            tracer.emit(
+                now_ns,
+                falcon_trace::EventKind::QueueDrop {
+                    reason: falcon_trace::DropReason::Ring,
+                    cpu: self.irq_core(queue),
+                    pkt,
+                    flow,
+                },
+            );
+            return (accepted, irq);
+        }
+        tracer.emit(
+            now_ns,
+            falcon_trace::EventKind::RingEnqueue {
+                queue,
+                pkt,
+                flow,
+                qlen: self.ring_len(queue),
+            },
+        );
+        match irq {
+            Some(core) => tracer.emit(
+                now_ns,
+                falcon_trace::EventKind::HardIrqRaise { queue, core },
+            ),
+            None => tracer.emit(now_ns, falcon_trace::EventKind::IrqCoalesced { queue, pkt }),
+        }
+        (accepted, irq)
+    }
+
     /// Takes one frame from `queue`'s ring.
     pub fn pop(&mut self, queue: usize) -> Option<SkBuff> {
         self.queues[queue].ring.pop()
@@ -231,6 +279,42 @@ mod tests {
         nic.napi_complete(0);
         let (_, irq) = nic.receive(0, skb(2));
         assert_eq!(irq, Some(0), "after napi_complete IRQs fire again");
+    }
+
+    #[test]
+    fn traced_receive_reports_irq_coalescing_and_drops() {
+        let mut nic = PhysNic::new(NicConfig::single_queue(2));
+        let mut tracer = falcon_trace::Tracer::new(16);
+        nic.receive_traced(0, skb(0), 10, &mut tracer);
+        nic.receive_traced(0, skb(1), 20, &mut tracer);
+        nic.receive_traced(0, skb(2), 30, &mut tracer); // overflow
+        let kinds: Vec<_> = tracer.events().iter().map(|e| e.kind).collect();
+        assert!(matches!(
+            kinds[0],
+            falcon_trace::EventKind::RingEnqueue {
+                queue: 0,
+                pkt: 0,
+                qlen: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            kinds[1],
+            falcon_trace::EventKind::HardIrqRaise { queue: 0, core: 0 }
+        ));
+        assert!(matches!(
+            kinds[3],
+            falcon_trace::EventKind::IrqCoalesced { queue: 0, pkt: 1 }
+        ));
+        assert!(matches!(
+            kinds[4],
+            falcon_trace::EventKind::QueueDrop {
+                reason: falcon_trace::DropReason::Ring,
+                pkt: 2,
+                ..
+            }
+        ));
+        assert_eq!(nic.total_dropped(), 1);
     }
 
     #[test]

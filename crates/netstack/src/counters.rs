@@ -3,7 +3,55 @@
 use std::collections::HashMap;
 
 use falcon_metrics::Histogram;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+pub use falcon_trace::DropReason;
+
+/// Unified per-reason packet-drop counters.
+///
+/// Every bounded queue in the receive path reports its rejections here
+/// keyed by [`DropReason`], replacing the old quartet of ad-hoc
+/// fields. The same reasons flow into the trace stream as
+/// `QueueDrop` events, so counter totals and trace totals can be
+/// cross-checked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropCounters {
+    counts: [u64; DropReason::ALL.len()],
+}
+
+impl DropCounters {
+    /// Records one drop.
+    pub fn bump(&mut self, reason: DropReason) {
+        self.counts[reason.index()] += 1;
+    }
+
+    /// Drops recorded for one reason.
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Drops across all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(reason, count)` in [`DropReason::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::ALL.into_iter().map(|r| (r, self.get(r)))
+    }
+}
+
+impl Serialize for DropCounters {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(r, n)| (r.label().to_string(), Value::Int(n as i128)))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for DropCounters {}
 
 /// Per-flow delivery statistics.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -21,21 +69,14 @@ pub struct FlowStats {
 }
 
 /// Aggregated counters for one simulation run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, Serialize)]
 pub struct SimCounters {
     /// Per-flow statistics.
     pub flows: HashMap<u64, FlowStats>,
     /// Wire frames the client put on the link.
     pub frames_sent: u64,
-    /// Frames dropped at the NIC rx ring.
-    pub ring_drops: u64,
-    /// Frames dropped at per-CPU backlogs.
-    pub backlog_drops: u64,
-    /// Frames dropped at VXLAN gro_cells.
-    pub grocell_drops: u64,
-    /// Datagrams that never completed IP reassembly (a fragment was
-    /// dropped).
-    pub reassembly_failures: u64,
+    /// Packet drops, keyed by [`DropReason`].
+    pub drops: DropCounters,
     /// One-way latency: application send → server user-space delivery.
     pub latency: Histogram,
     /// Receive-path latency: NIC arrival → server user-space delivery
@@ -82,9 +123,9 @@ impl SimCounters {
         self.flows.values().map(|f| f.sent_msgs).sum()
     }
 
-    /// Total drops at any queue.
+    /// Total drops across all reasons.
     pub fn total_drops(&self) -> u64 {
-        self.ring_drops + self.backlog_drops + self.grocell_drops
+        self.drops.total()
     }
 
     /// Delivered / sent, in 0–1 (1.0 when nothing was sent).
@@ -122,9 +163,30 @@ mod tests {
     #[test]
     fn drop_totals() {
         let mut c = SimCounters::new();
-        c.ring_drops = 3;
-        c.backlog_drops = 4;
-        c.grocell_drops = 5;
+        for _ in 0..3 {
+            c.drops.bump(DropReason::Ring);
+        }
+        for _ in 0..4 {
+            c.drops.bump(DropReason::Backlog);
+        }
+        for _ in 0..5 {
+            c.drops.bump(DropReason::GroCell);
+        }
         assert_eq!(c.total_drops(), 12);
+        assert_eq!(c.drops.get(DropReason::Ring), 3);
+        assert_eq!(c.drops.get(DropReason::Reassembly), 0);
+    }
+
+    #[test]
+    fn drop_counters_serialize_per_reason() {
+        let mut d = DropCounters::default();
+        d.bump(DropReason::Backlog);
+        d.bump(DropReason::Backlog);
+        let json = serde_json::to_string(&d.to_value()).expect("serializes");
+        assert!(json.contains("\"backlog\":2"), "{json}");
+        assert!(json.contains("\"ring\":0"), "{json}");
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[1], (DropReason::Backlog, 2));
     }
 }

@@ -39,7 +39,7 @@ pub mod transport;
 
 pub use config::{NetMode, Pacing, SimConfig, StackConfig};
 pub use cost::{CostModel, KernelVersion};
-pub use counters::SimCounters;
+pub use counters::{DropCounters, DropReason, SimCounters};
 pub use sim::{App, MsgMeta, Sim, SimApi, SimRunner};
 pub use socket::SockId;
 pub use steering::{rps_cpu, StayLocal, SteerCtx, Steering};

@@ -18,6 +18,7 @@
 use falcon_metrics::{Context, IrqKind};
 use falcon_packet::{dissect_flow, vxlan_decapsulate, EthernetHdr, SkBuff};
 use falcon_simcore::{Engine, SimDuration, SimTime};
+use falcon_trace::{DropReason, EventKind};
 
 use crate::config::NetMode;
 use crate::machine::{FragAsm, HardIrqWork, NapiRef, TaskWork};
@@ -26,12 +27,9 @@ use crate::socket::SockId;
 use crate::steering::{rps_cpu, SteerCtx};
 use crate::transport::FlowId;
 
-/// Checkpoint-id offset for the backlog (stage-B) half of the pNIC
-/// device's processing, so its ordering checks do not collide with the
-/// driver-poll half.
-const STAGE_B_CHECK: u32 = 0x8000_0000;
-/// Checkpoint id of final socket delivery.
-const DELIVERY_CHECK: u32 = 0xFFFF_FFFF;
+// Checkpoint ids are `ifindex | flags`; the flag constants are shared
+// with the trace layer so trace consumers can decode them.
+pub use falcon_trace::{DELIVERY_CHECK, STAGE_B_CHECK};
 
 /// A single function-cost item of a work unit.
 pub type WorkItem = (&'static str, SimDuration);
@@ -113,15 +111,19 @@ pub struct PendingOutcome {
 /// A new frame finished arriving at the server NIC.
 pub fn frame_arrival(sim: &mut Sim, eng: &mut Engine<Sim>, mut skb: SkBuff) {
     let inner = &mut sim.inner;
-    skb.nic_arrival = eng.now();
+    let now = eng.now();
+    skb.nic_arrival = now;
+    skb.queued_at = now;
     let Ok(keys) = dissect_flow(&skb.data) else {
         return; // Undissectable frames are dropped by the NIC filter.
     };
     let m = &mut inner.machine;
     let queue = m.nic.select_queue(&keys);
-    let (accepted, irq) = m.nic.receive(queue, skb);
+    let (accepted, irq) = m
+        .nic
+        .receive_traced(queue, skb, now.as_nanos(), &mut inner.tracer);
     if !accepted {
-        inner.counters.ring_drops += 1;
+        inner.counters.drops.bump(DropReason::Ring);
         return;
     }
     if let Some(core) = irq {
@@ -161,7 +163,7 @@ pub fn kick(inner: &mut SimInner, eng: &mut Engine<Sim>, core: usize) {
         let task = inner.machine.task_q[core]
             .pop_front()
             .expect("checked non-empty");
-        let (items, steps) = plan_task(inner, core, task);
+        let (items, steps) = plan_task(inner, now, core, task);
         begin(inner, eng, core, Context::Task, now, items, steps);
         return;
     }
@@ -174,7 +176,7 @@ pub fn kick(inner: &mut SimInner, eng: &mut Engine<Sim>, core: usize) {
                     inner.machine.nic.napi_complete(queue);
                     None
                 } else {
-                    Some(plan_nic_poll(inner, core, queue))
+                    Some(plan_nic_poll(inner, now, core, queue))
                 }
             }
             NapiRef::GroCell => {
@@ -182,7 +184,7 @@ pub fn kick(inner: &mut SimInner, eng: &mut Engine<Sim>, core: usize) {
                     inner.machine.grocells.napi_complete(core);
                     None
                 } else {
-                    Some(plan_grocell(inner, core))
+                    Some(plan_grocell(inner, now, core))
                 }
             }
             NapiRef::Backlog => {
@@ -190,7 +192,7 @@ pub fn kick(inner: &mut SimInner, eng: &mut Engine<Sim>, core: usize) {
                     inner.machine.backlogs.napi_complete(core);
                     None
                 } else {
-                    Some(plan_backlog(inner, core))
+                    Some(plan_backlog(inner, now, core))
                 }
             }
         };
@@ -214,9 +216,44 @@ pub fn kick(inner: &mut SimInner, eng: &mut Engine<Sim>, core: usize) {
     // 3. Task work.
     if let Some(task) = inner.machine.task_q[core].pop_front() {
         inner.machine.softirq_streak[core] = 0;
-        let (items, steps) = plan_task(inner, core, task);
+        let (items, steps) = plan_task(inner, now, core, task);
         begin(inner, eng, core, Context::Task, now, items, steps);
     }
+}
+
+/// Emits a [`EventKind::StageExec`] tracepoint for one pipeline stage,
+/// decomposing the packet's time at this stage into queueing
+/// (`queued_at` → dispatch) and service (the work unit's total cost).
+#[allow(clippy::too_many_arguments)]
+fn emit_stage(
+    inner: &mut SimInner,
+    now: SimTime,
+    checkpoint: u32,
+    cpu: usize,
+    ctx: Context,
+    pkt: u64,
+    flow: u64,
+    seq: u64,
+    queued_ns: u64,
+    items: &[WorkItem],
+) {
+    if !inner.tracer.is_enabled() {
+        return;
+    }
+    let service_ns: u64 = items.iter().map(|&(_, d)| d.as_nanos()).sum();
+    inner.tracer.emit(
+        now.as_nanos(),
+        EventKind::StageExec {
+            checkpoint,
+            cpu,
+            ctx,
+            pkt,
+            flow,
+            seq,
+            queued_ns,
+            service_ns,
+        },
+    );
 }
 
 /// Starts a work unit and schedules its completion.
@@ -229,7 +266,10 @@ fn begin(
     items: Vec<WorkItem>,
     steps: Vec<NextStep>,
 ) {
-    let until = inner.machine.cores.begin_work(core, ctx, now, &items);
+    let until = inner
+        .machine
+        .cores
+        .begin_work_traced(core, ctx, now, &items, &mut inner.tracer);
     inner.running[core] = Some(PendingOutcome { steps });
     eng.schedule_at(until, move |s: &mut Sim, e: &mut Engine<Sim>| {
         on_core_done(s, e, core);
@@ -258,36 +298,90 @@ fn apply_step(sim: &mut Sim, eng: &mut Engine<Sim>, from_core: usize, step: Next
             debug_assert!(!list.contains(&napi), "NAPI scheduled twice");
             list.push_back(napi);
         }
-        NextStep::EnqueueBacklog { cpu, skb } => {
+        NextStep::EnqueueBacklog { cpu, mut skb } => {
+            let now_ns = eng.now().as_nanos();
+            skb.queued_at = eng.now();
+            let pkt = skb.id.0;
+            let flow = skb.flow_id;
             let m = &mut sim.inner.machine;
             let (accepted, need_softirq) = m.backlogs.enqueue(cpu, skb);
             if !accepted {
-                sim.inner.counters.backlog_drops += 1;
+                sim.inner.counters.drops.bump(DropReason::Backlog);
+                sim.inner.tracer.emit(
+                    now_ns,
+                    EventKind::QueueDrop {
+                        reason: DropReason::Backlog,
+                        cpu,
+                        pkt,
+                        flow,
+                    },
+                );
                 return;
             }
+            let qlen = m.backlogs.len(cpu);
+            sim.inner.tracer.emit(
+                now_ns,
+                EventKind::BacklogEnqueue {
+                    cpu,
+                    pkt,
+                    flow,
+                    qlen,
+                },
+            );
             if need_softirq {
                 raise_net_rx(sim, eng, from_core, cpu, NapiRef::Backlog);
             }
         }
-        NextStep::EnqueueGroCell { cpu, skb } => {
+        NextStep::EnqueueGroCell { cpu, mut skb } => {
+            let now_ns = eng.now().as_nanos();
+            skb.queued_at = eng.now();
+            let pkt = skb.id.0;
+            let flow = skb.flow_id;
             let m = &mut sim.inner.machine;
             let (accepted, need_softirq) = m.grocells.enqueue(cpu, skb);
             if !accepted {
-                sim.inner.counters.grocell_drops += 1;
+                sim.inner.counters.drops.bump(DropReason::GroCell);
+                sim.inner.tracer.emit(
+                    now_ns,
+                    EventKind::QueueDrop {
+                        reason: DropReason::GroCell,
+                        cpu,
+                        pkt,
+                        flow,
+                    },
+                );
                 return;
             }
+            let qlen = m.grocells.len(cpu);
+            sim.inner.tracer.emit(
+                now_ns,
+                EventKind::GroCellEnqueue {
+                    cpu,
+                    pkt,
+                    flow,
+                    qlen,
+                },
+            );
             if need_softirq {
                 raise_net_rx(sim, eng, from_core, cpu, NapiRef::GroCell);
             }
         }
-        NextStep::SocketTask { sock, skb } => {
+        NextStep::SocketTask { sock, mut skb } => {
+            skb.queued_at = eng.now();
             let m = &mut sim.inner.machine;
             let app_core = m.sockets.get(sock).app_core;
             m.task_q[app_core].push_back(TaskWork::Deliver { sock, skb });
             if app_core != from_core && m.cores.is_idle(app_core) {
                 // Scheduler wakeup: rescheduling IPI plus wake latency.
                 m.cores.irqs.count(app_core, IrqKind::ResIpi);
-                let wake = m.cfg.wake_latency;
+                sim.inner.tracer.emit(
+                    eng.now().as_nanos(),
+                    EventKind::Wakeup {
+                        src: from_core,
+                        dst: app_core,
+                    },
+                );
+                let wake = sim.inner.machine.cfg.wake_latency;
                 eng.schedule_after(wake, move |s: &mut Sim, e: &mut Engine<Sim>| {
                     kick(&mut s.inner, e, app_core);
                 });
@@ -305,6 +399,14 @@ fn apply_step(sim: &mut Sim, eng: &mut Engine<Sim>, from_core: usize, step: Next
 /// Raises NET_RX for `napi` on `cpu`: locally by poll-list insert,
 /// remotely via an IPI after the IPI latency.
 fn raise_net_rx(sim: &mut Sim, eng: &mut Engine<Sim>, from_core: usize, cpu: usize, napi: NapiRef) {
+    sim.inner.tracer.emit(
+        eng.now().as_nanos(),
+        EventKind::SoftirqRaise {
+            src: from_core,
+            dst: cpu,
+            ipi: cpu != from_core,
+        },
+    );
     let m = &mut sim.inner.machine;
     m.cores.irqs.count(cpu, IrqKind::NetRx);
     if cpu == from_core {
@@ -333,6 +435,20 @@ fn deliver_to_app(sim: &mut Sim, eng: &mut Engine<Sim>, sock: SockId, skb: SkBuf
     let latency = now.saturating_since(skb.sent_at).as_nanos();
     let rx_latency = now.saturating_since(skb.nic_arrival).as_nanos();
     let record = now >= inner.measure_from;
+    if inner.tracer.is_enabled() {
+        let digest = falcon_trace::hop_hash(skb.trace.iter().map(|h| (h.ifindex, h.cpu)));
+        inner.tracer.emit(
+            now.as_nanos(),
+            EventKind::Deliver {
+                cpu: skb.last_cpu.unwrap_or(0),
+                pkt: skb.id.0,
+                flow,
+                latency_ns: latency,
+                hops: skb.trace.len() as u32,
+                hop_hash: digest,
+            },
+        );
+    }
 
     let socket = inner.machine.sockets.get_mut(sock);
     socket.delivered_msgs += 1;
@@ -442,7 +558,7 @@ fn plan_hardirq(
 /// the CPU this (flow, stage) currently runs on and packets are still
 /// in flight there, the switch is deferred (the kernel's
 /// `rps_dev_flow` qtail check does the same for RPS).
-fn steer(inner: &mut SimInner, skb: &SkBuff, ifindex: u32, current: usize) -> usize {
+fn steer(inner: &mut SimInner, now: SimTime, skb: &SkBuff, ifindex: u32, current: usize) -> usize {
     let m = &mut inner.machine;
     let ctx = SteerCtx {
         rx_hash: skb.rx_hash,
@@ -454,6 +570,11 @@ fn steer(inner: &mut SimInner, skb: &SkBuff, ifindex: u32, current: usize) -> us
         Some(cpu) => cpu,
         None => current,
     };
+    if inner.tracer.is_enabled() {
+        for kind in m.steering.take_trace() {
+            inner.tracer.emit(now.as_nanos(), kind);
+        }
+    }
     /// In-flight migrations are rate-limited: at most one per (flow,
     /// stage) every this many load samples (~ms each), so a stage
     /// cannot ping-pong between two candidates at the load-smoothing
@@ -487,10 +608,20 @@ fn steer(inner: &mut SimInner, skb: &SkBuff, ifindex: u32, current: usize) -> us
             });
     if entry.cpu != target {
         if migrate_ok {
+            let from = entry.cpu;
             entry.cpu = target;
             if entry.inflight > 0 {
                 entry.last_migrate_sample = samples;
             }
+            inner.tracer.emit(
+                now.as_nanos(),
+                EventKind::FlowMigration {
+                    flow: skb.flow_id,
+                    ifindex,
+                    from,
+                    to: target,
+                },
+            );
         } else {
             target = entry.cpu;
         }
@@ -529,6 +660,7 @@ fn gro_eligible(inner: &SimInner, skb: &SkBuff) -> bool {
 /// `netif_receive_skb`, RPS, backlog handoff.
 fn plan_nic_poll(
     inner: &mut SimInner,
+    now: SimTime,
     core: usize,
     queue: usize,
 ) -> (Vec<WorkItem>, Vec<NextStep>) {
@@ -539,6 +671,7 @@ fn plan_nic_poll(
         .expect("planned empty nic queue");
     let costs = inner.cfg.server.costs.clone();
     let pnic = inner.machine.ifx.pnic;
+    let queued_ns = now.saturating_since(skb.queued_at).as_nanos();
     let mut items: Vec<WorkItem> = Vec::with_capacity(8);
 
     // Dissect (hardware already did RSS on these headers; the softirq
@@ -551,6 +684,7 @@ fn plan_nic_poll(
         .machine
         .order
         .check(skb.flow_id, pnic, skb.flow_seq, 1);
+    let seq0 = skb.flow_seq;
 
     let gro_ok = gro_eligible(inner, &skb);
     let split = inner.cfg.server.split_gro && gro_ok;
@@ -562,13 +696,25 @@ fn plan_nic_poll(
         // move the GRO half-stage to another core (paper Figure 9b).
         skb.gro_pending = true;
         let split_if = inner.machine.ifx.pnic_split;
-        let target = steer(inner, &skb, split_if, core);
+        let target = steer(inner, now, &skb, split_if, core);
         items.push(("netif_rx", SimDuration::from_nanos(costs.netif_rx_ns)));
         items.push((
             "enqueue_to_backlog",
             SimDuration::from_nanos(costs.enqueue_backlog_ns),
         ));
         skb.record_hop(pnic, core);
+        emit_stage(
+            inner,
+            now,
+            pnic,
+            core,
+            Context::SoftIrq,
+            skb.id.0,
+            skb.flow_id,
+            seq0,
+            queued_ns,
+            &items,
+        );
         return (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }]);
     }
 
@@ -587,6 +733,16 @@ fn plan_nic_poll(
             }
             let nx = inner.machine.nic.pop(queue).expect("peeked frame vanished");
             inner.machine.order.check(nx.flow_id, pnic, nx.flow_seq, 1);
+            inner.tracer.emit(
+                now.as_nanos(),
+                EventKind::GroMerge {
+                    checkpoint: pnic,
+                    cpu: core,
+                    absorbed: nx.id.0,
+                    into: skb.id.0,
+                    flow: skb.flow_id,
+                },
+            );
             items.push(("skb_allocation", costs.skb_alloc(nx.len())));
             items.push(("napi_gro_receive", costs.gro_receive(true, nx.len())));
             skb.gro_segs += 1;
@@ -616,12 +772,24 @@ fn plan_nic_poll(
         SimDuration::from_nanos(costs.enqueue_backlog_ns),
     ));
     skb.record_hop(pnic, core);
+    emit_stage(
+        inner,
+        now,
+        pnic,
+        core,
+        Context::SoftIrq,
+        skb.id.0,
+        skb.flow_id,
+        seq0,
+        queued_ns,
+        &items,
+    );
     (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }])
 }
 
 /// Stage C: `gro_cell_poll` — the VXLAN device's softirq, which walks
 /// the inner frame through the bridge and veth into the container.
-fn plan_grocell(inner: &mut SimInner, core: usize) -> (Vec<WorkItem>, Vec<NextStep>) {
+fn plan_grocell(inner: &mut SimInner, now: SimTime, core: usize) -> (Vec<WorkItem>, Vec<NextStep>) {
     let mut skb = inner
         .machine
         .grocells
@@ -629,6 +797,7 @@ fn plan_grocell(inner: &mut SimInner, core: usize) -> (Vec<WorkItem>, Vec<NextSt
         .expect("planned empty gro_cell");
     let costs = inner.cfg.server.costs.clone();
     let vxlan = inner.machine.ifx.vxlan;
+    let queued_ns = now.saturating_since(skb.queued_at).as_nanos();
     steer_arrived(inner, skb.flow_id, vxlan);
     let mut items: Vec<WorkItem> = Vec::with_capacity(8);
 
@@ -671,39 +840,53 @@ fn plan_grocell(inner: &mut SimInner, core: usize) -> (Vec<WorkItem>, Vec<NextSt
         .unwrap_or(vxlan + 1);
     skb.record_hop(vxlan, core);
     skb.dev_ifindex = veth_if;
-    let target = steer(inner, &skb, veth_if, core);
+    let target = steer(inner, now, &skb, veth_if, core);
+    emit_stage(
+        inner,
+        now,
+        vxlan,
+        core,
+        Context::SoftIrq,
+        skb.id.0,
+        skb.flow_id,
+        skb.flow_seq,
+        queued_ns,
+        &items,
+    );
     (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }])
 }
 
 /// Stages A2, B and D all drain a backlog; which one a packet is in is
 /// determined by its device pointer and GRO state.
-fn plan_backlog(inner: &mut SimInner, core: usize) -> (Vec<WorkItem>, Vec<NextStep>) {
+fn plan_backlog(inner: &mut SimInner, now: SimTime, core: usize) -> (Vec<WorkItem>, Vec<NextStep>) {
     let skb = inner
         .machine
         .backlogs
         .dequeue(core)
         .expect("planned empty backlog");
     if skb.gro_pending {
-        plan_backlog_gro_half(inner, core, skb)
+        plan_backlog_gro_half(inner, now, core, skb)
     } else if skb.dev_ifindex == inner.machine.ifx.pnic {
         match inner.cfg.server.mode {
-            NetMode::Overlay => plan_backlog_outer(inner, core, skb),
-            NetMode::Host => plan_backlog_final(inner, core, skb, STAGE_B_CHECK),
+            NetMode::Overlay => plan_backlog_outer(inner, now, core, skb),
+            NetMode::Host => plan_backlog_final(inner, now, core, skb, STAGE_B_CHECK),
         }
     } else {
         // Inner frame behind a veth: the container's stack.
-        plan_backlog_final(inner, core, skb, 0)
+        plan_backlog_final(inner, now, core, skb, 0)
     }
 }
 
 /// Stage A2 (split GRO): the deferred `napi_gro_receive` half-stage.
 fn plan_backlog_gro_half(
     inner: &mut SimInner,
+    now: SimTime,
     core: usize,
     mut skb: SkBuff,
 ) -> (Vec<WorkItem>, Vec<NextStep>) {
     let costs = inner.cfg.server.costs.clone();
     let split_if = inner.machine.ifx.pnic_split;
+    let queued_ns = now.saturating_since(skb.queued_at).as_nanos();
     steer_arrived(inner, skb.flow_id, split_if);
     let mut items: Vec<WorkItem> = Vec::with_capacity(8);
 
@@ -721,6 +904,7 @@ fn plan_backlog_gro_half(
         .machine
         .order
         .check(skb.flow_id, split_if, skb.flow_seq, 1);
+    let seq0 = skb.flow_seq;
     items.push(("napi_gro_receive", costs.gro_receive(true, skb.len())));
 
     // Coalesce with queued same-flow pre-GRO segments (PSH flushes).
@@ -744,6 +928,16 @@ fn plan_backlog_gro_half(
             .machine
             .order
             .check(nx.flow_id, split_if, nx.flow_seq, 1);
+        inner.tracer.emit(
+            now.as_nanos(),
+            EventKind::GroMerge {
+                checkpoint: split_if,
+                cpu: core,
+                absorbed: nx.id.0,
+                into: skb.id.0,
+                flow: skb.flow_id,
+            },
+        );
         items.push(("napi_gro_receive", costs.gro_receive(true, nx.len())));
         skb.gro_segs += 1;
         skb.gro_extra_bytes += nx.len();
@@ -770,18 +964,32 @@ fn plan_backlog_gro_half(
         SimDuration::from_nanos(costs.enqueue_backlog_ns),
     ));
     skb.record_hop(split_if, core);
+    emit_stage(
+        inner,
+        now,
+        split_if,
+        core,
+        Context::SoftIrq,
+        skb.id.0,
+        skb.flow_id,
+        seq0,
+        queued_ns,
+        &items,
+    );
     (items, vec![NextStep::EnqueueBacklog { cpu: target, skb }])
 }
 
 /// Stage B (overlay): outer IP/UDP receive and VXLAN decapsulation.
 fn plan_backlog_outer(
     inner: &mut SimInner,
+    now: SimTime,
     core: usize,
     mut skb: SkBuff,
 ) -> (Vec<WorkItem>, Vec<NextStep>) {
     let costs = inner.cfg.server.costs.clone();
     let pnic = inner.machine.ifx.pnic;
     let vxlan = inner.machine.ifx.vxlan;
+    let queued_ns = now.saturating_since(skb.queued_at).as_nanos();
     let mut items: Vec<WorkItem> = Vec::with_capacity(8);
 
     if skb.last_cpu != Some(core) {
@@ -811,8 +1019,20 @@ fn plan_backlog_outer(
     skb.dev_ifindex = vxlan;
     skb.record_hop(pnic | STAGE_B_CHECK, core);
 
-    let target = steer(inner, &skb, vxlan, core);
+    let target = steer(inner, now, &skb, vxlan, core);
     items.push(("netif_rx", SimDuration::from_nanos(costs.netif_rx_ns)));
+    emit_stage(
+        inner,
+        now,
+        pnic | STAGE_B_CHECK,
+        core,
+        Context::SoftIrq,
+        skb.id.0,
+        skb.flow_id,
+        skb.flow_seq,
+        queued_ns,
+        &items,
+    );
     (items, vec![NextStep::EnqueueGroCell { cpu: target, skb }])
 }
 
@@ -820,6 +1040,7 @@ fn plan_backlog_outer(
 /// IP (with reassembly), UDP/TCP receive, socket queueing, TCP acks.
 fn plan_backlog_final(
     inner: &mut SimInner,
+    now: SimTime,
     core: usize,
     mut skb: SkBuff,
     check_offset: u32,
@@ -827,6 +1048,13 @@ fn plan_backlog_final(
     let costs = inner.cfg.server.costs.clone();
     let overlay = inner.cfg.server.mode == NetMode::Overlay;
     let checkpoint = skb.dev_ifindex | check_offset;
+    // Captured before reassembly may swap in the prototype fragment's
+    // buffer: the stage tracepoint must name the packet that actually
+    // occupied the backlog slot.
+    let pkt0 = skb.id.0;
+    let flow0 = skb.flow_id;
+    let seq0 = skb.flow_seq;
+    let queued_ns = now.saturating_since(skb.queued_at).as_nanos();
     if check_offset == 0 {
         // Stage D was reached through a steered transition keyed by the
         // veth ifindex.
@@ -870,6 +1098,26 @@ fn plan_backlog_final(
         }
         if entry.got < entry.need {
             // Absorbed: wait for the rest.
+            emit_stage(
+                inner,
+                now,
+                checkpoint,
+                core,
+                Context::SoftIrq,
+                pkt0,
+                flow0,
+                seq0,
+                queued_ns,
+                &items,
+            );
+            inner.tracer.emit(
+                now.as_nanos(),
+                EventKind::FragAbsorbed {
+                    cpu: core,
+                    pkt: pkt0,
+                    flow: flow0,
+                },
+            );
             return (items, steps);
         }
         let asm = inner
@@ -919,6 +1167,18 @@ fn plan_backlog_final(
             kind: TxKind::Ack { upto },
         }));
         if !deliver {
+            emit_stage(
+                inner,
+                now,
+                checkpoint,
+                core,
+                Context::SoftIrq,
+                pkt0,
+                flow0,
+                seq0,
+                queued_ns,
+                &items,
+            );
             return (items, steps);
         }
     } else {
@@ -931,6 +1191,18 @@ fn plan_backlog_final(
         .lookup(keys.ip_proto, keys.dst_addr, keys.dst_port)
     else {
         inner.counters.lookup_failures += 1;
+        emit_stage(
+            inner,
+            now,
+            checkpoint,
+            core,
+            Context::SoftIrq,
+            pkt0,
+            flow0,
+            seq0,
+            queued_ns,
+            &items,
+        );
         return (items, steps);
     };
     items.push((
@@ -938,14 +1210,32 @@ fn plan_backlog_final(
         SimDuration::from_nanos(costs.sock_queue_ns),
     ));
     steps.push(NextStep::SocketTask { sock, skb });
+    emit_stage(
+        inner,
+        now,
+        checkpoint,
+        core,
+        Context::SoftIrq,
+        pkt0,
+        flow0,
+        seq0,
+        queued_ns,
+        &items,
+    );
     (items, steps)
 }
 
 /// Task-context work: user-space delivery and server transmissions.
-fn plan_task(inner: &mut SimInner, core: usize, task: TaskWork) -> (Vec<WorkItem>, Vec<NextStep>) {
+fn plan_task(
+    inner: &mut SimInner,
+    now: SimTime,
+    core: usize,
+    task: TaskWork,
+) -> (Vec<WorkItem>, Vec<NextStep>) {
     let costs = inner.cfg.server.costs.clone();
     match task {
         TaskWork::Deliver { sock, mut skb } => {
+            let queued_ns = now.saturating_since(skb.queued_at).as_nanos();
             let mut items: Vec<WorkItem> = Vec::with_capacity(4);
             if skb.last_cpu != Some(core) {
                 items.push((
@@ -963,6 +1253,18 @@ fn plan_task(inner: &mut SimInner, core: usize, task: TaskWork) -> (Vec<WorkItem
                 items.push(("app_processing", SimDuration::from_nanos(service)));
             }
             skb.record_hop(DELIVERY_CHECK, core);
+            emit_stage(
+                inner,
+                now,
+                DELIVERY_CHECK,
+                core,
+                Context::Task,
+                skb.id.0,
+                skb.flow_id,
+                skb.flow_seq,
+                queued_ns,
+                &items,
+            );
             (items, vec![NextStep::AppDeliver { sock, skb }])
         }
         TaskWork::ServerSend {

@@ -85,6 +85,9 @@ pub struct SimInner {
     pub steer_flows: HashMap<(u64, u32), SteerFlowState>,
     /// Latency/RTT samples before this instant are discarded (warmup).
     pub measure_from: SimTime,
+    /// Tracepoint sink. Inert ([`falcon_trace::Tracer::disabled`])
+    /// unless [`SimRunner::enable_tracing`] was called.
+    pub tracer: falcon_trace::Tracer,
     next_pkt_id: u64,
     next_client_ip: u32,
 }
@@ -133,6 +136,7 @@ impl SimInner {
             tcp_expected: HashMap::new(),
             steer_flows: HashMap::new(),
             measure_from: SimTime::ZERO,
+            tracer: falcon_trace::Tracer::disabled(),
             next_pkt_id: 0,
             next_client_ip: 0,
             cfg,
@@ -311,7 +315,13 @@ fn timer_tick(sim: &mut Sim, eng: &mut Engine<Sim>) {
     m.load.sample(now, &m.cores.ledger);
     m.steering.on_load_sample(&m.load);
     m.cores.irqs.count(0, IrqKind::Timer);
-    let period = m.cfg.load_sample_every;
+    if sim.inner.tracer.is_enabled() {
+        let events = sim.inner.machine.steering.take_trace();
+        for kind in events {
+            sim.inner.tracer.emit(now.as_nanos(), kind);
+        }
+    }
+    let period = sim.inner.machine.cfg.load_sample_every;
     eng.schedule_after(period, timer_tick);
 }
 
@@ -816,5 +826,33 @@ impl SimRunner {
     /// The server machine.
     pub fn machine(&self) -> &Machine {
         &self.sim.inner.machine
+    }
+
+    /// Arms the tracepoint layer with a bounded ring of `capacity`
+    /// events and tells the steering policy to record its decisions.
+    /// Call before [`SimRunner::run_for`]; tracing adds one branch per
+    /// tracepoint when armed and nothing otherwise.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.sim.inner.tracer = falcon_trace::Tracer::new(capacity);
+        self.sim.inner.machine.steering.set_tracing(true);
+    }
+
+    /// The tracepoint sink (inert unless
+    /// [`SimRunner::enable_tracing`] was called).
+    pub fn tracer(&self) -> &falcon_trace::Tracer {
+        &self.sim.inner.tracer
+    }
+
+    /// Device-name and core-count context for trace exporters.
+    pub fn trace_meta(&self) -> falcon_trace::TraceMeta {
+        let m = self.machine();
+        falcon_trace::TraceMeta {
+            n_cores: m.cores.n(),
+            devices: m
+                .devices
+                .iter()
+                .map(|d| (d.ifindex, d.name.clone()))
+                .collect(),
+        }
     }
 }

@@ -59,6 +59,19 @@ pub trait Steering {
     ) -> bool {
         false
     }
+
+    /// Turns decision tracing on or off. Policies that emit trace
+    /// events buffer them internally (they have no tracer access) and
+    /// hand them over via [`Steering::take_trace`]. Default: ignored.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Drains any trace events buffered since the last call. The
+    /// receive path calls this after each steering decision and each
+    /// load sample, timestamping the events on the tracer's clock.
+    /// Default: none.
+    fn take_trace(&mut self) -> Vec<falcon_trace::EventKind> {
+        Vec::new()
+    }
 }
 
 /// Vanilla kernel behaviour: each stage continues on the CPU that

@@ -89,6 +89,9 @@ pub struct SkBuff {
     /// Core that executed the previous pipeline stage, if any — drives
     /// the cache-locality penalty model.
     pub last_cpu: Option<usize>,
+    /// When this buffer entered its current queue — lets tracing split
+    /// per-stage latency into queueing vs service time.
+    pub queued_at: SimTime,
     /// Devices and cores this packet has visited.
     pub trace: Vec<TraceHop>,
 }
@@ -115,6 +118,7 @@ impl SkBuff {
             tcp_seg: 0,
             psh: false,
             last_cpu: None,
+            queued_at: SimTime::ZERO,
             trace: Vec::new(),
         }
     }

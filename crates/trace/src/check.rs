@@ -1,0 +1,274 @@
+//! Trace-stream invariants.
+//!
+//! A correct trace must *conserve packets*: every queue enqueue is
+//! eventually matched by exactly one consume (a stage execution or a
+//! GRO absorption), drops are enqueue-rejections that never produce an
+//! enqueue event, and at any instant a packet sits in at most one
+//! queue. Additionally, per-(flow, checkpoint) stage executions must
+//! observe strictly increasing sequence numbers, and the per-packet
+//! (checkpoint, cpu) hop digest reconstructed from `StageExec` events
+//! must equal the digest the netstack computed from the skb's own hop
+//! log at delivery. The property tests drive [`check_stream`] across
+//! steering policies and seeds.
+
+use crate::{hop_hash, Event, EventKind, DELIVERY_CHECK};
+use std::collections::BTreeMap;
+
+/// Outcome of validating an event stream.
+#[derive(Debug, Clone, Default)]
+pub struct ConservationReport {
+    /// Total queue-enqueue events (ring + backlog + gro_cell).
+    pub enqueues: u64,
+    /// Total queue-consume events (non-delivery stage execs + GRO and
+    /// fragment absorptions).
+    pub consumes: u64,
+    /// Total drop events.
+    pub drops: u64,
+    /// Total delivery events.
+    pub delivered: u64,
+    /// Packets whose enqueue/consume balance is not 0 or 1 at stream
+    /// end (0 = fully consumed, 1 = still sitting in one queue).
+    pub unmatched: Vec<u64>,
+    /// Delivered packets whose reconstructed hop digest disagrees with
+    /// the skb hop log digest embedded in the `Deliver` event.
+    pub hop_mismatches: Vec<u64>,
+    /// (flow, checkpoint) pairs that saw a non-increasing sequence.
+    pub order_violations: Vec<(u64, u32)>,
+}
+
+impl ConservationReport {
+    /// Whether every invariant held.
+    pub fn ok(&self) -> bool {
+        self.unmatched.is_empty()
+            && self.hop_mismatches.is_empty()
+            && self.order_violations.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct PktState {
+    enq: i64,
+    cons: i64,
+    /// (checkpoint, cpu) hops seen via StageExec, in stream order.
+    hops: Vec<(u32, usize)>,
+}
+
+/// Validates conservation, ordering, and hop-digest agreement over a
+/// chronological event stream. The stream must be complete (no ring
+/// overflow) for the verdict to be meaningful.
+pub fn check_stream(events: &[Event]) -> ConservationReport {
+    let mut report = ConservationReport::default();
+    let mut pkts: BTreeMap<u64, PktState> = BTreeMap::new();
+    // (flow, checkpoint) → last sequence seen.
+    let mut last_seq: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+    // (pkt, declared digest, declared hop count) at delivery.
+    let mut deliveries: Vec<(u64, u64, u32)> = Vec::new();
+
+    for ev in events {
+        match ev.kind {
+            EventKind::RingEnqueue { pkt, .. }
+            | EventKind::BacklogEnqueue { pkt, .. }
+            | EventKind::GroCellEnqueue { pkt, .. } => {
+                report.enqueues += 1;
+                pkts.entry(pkt).or_default().enq += 1;
+            }
+            EventKind::QueueDrop { .. } => {
+                report.drops += 1;
+            }
+            EventKind::StageExec {
+                checkpoint,
+                cpu,
+                pkt,
+                flow,
+                seq,
+                ..
+            } => {
+                let st = pkts.entry(pkt).or_default();
+                st.hops.push((checkpoint, cpu));
+                if checkpoint != DELIVERY_CHECK {
+                    report.consumes += 1;
+                    st.cons += 1;
+                }
+                let key = (flow, checkpoint);
+                if let Some(&prev) = last_seq.get(&key) {
+                    if seq <= prev && !report.order_violations.contains(&key) {
+                        report.order_violations.push(key);
+                    }
+                }
+                last_seq.insert(key, seq);
+            }
+            EventKind::GroMerge { absorbed, .. } => {
+                report.consumes += 1;
+                pkts.entry(absorbed).or_default().cons += 1;
+            }
+            EventKind::FragAbsorbed { .. } => {
+                // The absorbing stage-D StageExec already consumed the
+                // fragment's backlog slot; this only marks that the
+                // packet id ends here.
+            }
+            EventKind::Deliver {
+                pkt,
+                hops,
+                hop_hash: declared,
+                ..
+            } => {
+                report.delivered += 1;
+                deliveries.push((pkt, declared, hops));
+            }
+            _ => {}
+        }
+    }
+
+    for (pkt, st) in &pkts {
+        let balance = st.enq - st.cons;
+        if balance != 0 && balance != 1 {
+            report.unmatched.push(*pkt);
+        }
+    }
+
+    for (pkt, declared, hops) in deliveries {
+        let st = pkts.get(&pkt);
+        let observed = st.map(|s| s.hops.as_slice()).unwrap_or(&[]);
+        if observed.len() as u32 != hops || hop_hash(observed.iter().copied()) != declared {
+            report.hop_mismatches.push(pkt);
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Context, DropReason};
+
+    fn enq(at: u64, pkt: u64) -> Event {
+        Event {
+            at_ns: at,
+            kind: EventKind::BacklogEnqueue {
+                cpu: 0,
+                pkt,
+                flow: 1,
+                qlen: 1,
+            },
+        }
+    }
+
+    fn stage(at: u64, cp: u32, cpu: usize, pkt: u64, seq: u64) -> Event {
+        Event {
+            at_ns: at,
+            kind: EventKind::StageExec {
+                checkpoint: cp,
+                cpu,
+                ctx: Context::SoftIrq,
+                pkt,
+                flow: 1,
+                seq,
+                queued_ns: 0,
+                service_ns: 10,
+            },
+        }
+    }
+
+    fn deliver(at: u64, pkt: u64, hops: &[(u32, usize)]) -> Event {
+        Event {
+            at_ns: at,
+            kind: EventKind::Deliver {
+                cpu: 5,
+                pkt,
+                flow: 1,
+                latency_ns: at,
+                hops: hops.len() as u32,
+                hop_hash: hop_hash(hops.iter().copied()),
+            },
+        }
+    }
+
+    #[test]
+    fn balanced_stream_passes() {
+        let hops = [(1u32, 0usize), (DELIVERY_CHECK, 5)];
+        let events = vec![
+            enq(0, 7),
+            stage(10, 1, 0, 7, 1),
+            stage(20, DELIVERY_CHECK, 5, 7, 1),
+            deliver(25, 7, &hops),
+        ];
+        let r = check_stream(&events);
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.enqueues, 1);
+        assert_eq!(r.consumes, 1);
+        assert_eq!(r.delivered, 1);
+    }
+
+    #[test]
+    fn packet_waiting_in_queue_is_fine() {
+        let r = check_stream(&[enq(0, 7)]);
+        assert!(r.ok(), "in-flight packets are balance 1");
+    }
+
+    #[test]
+    fn double_consume_is_flagged() {
+        let events = vec![enq(0, 7), stage(10, 1, 0, 7, 1), stage(20, 1, 0, 7, 2)];
+        let r = check_stream(&events);
+        assert_eq!(r.unmatched, vec![7]);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn gro_merge_consumes_absorbed() {
+        let events = vec![
+            enq(0, 7),
+            enq(1, 8),
+            Event {
+                at_ns: 5,
+                kind: EventKind::GroMerge {
+                    checkpoint: 1,
+                    cpu: 0,
+                    absorbed: 8,
+                    into: 7,
+                    flow: 1,
+                },
+            },
+            stage(10, 1, 0, 7, 2),
+        ];
+        let r = check_stream(&events);
+        assert!(r.ok(), "{r:?}");
+        assert_eq!(r.consumes, 2);
+    }
+
+    #[test]
+    fn drops_do_not_unbalance() {
+        let events = vec![Event {
+            at_ns: 0,
+            kind: EventKind::QueueDrop {
+                reason: DropReason::Ring,
+                cpu: 0,
+                pkt: 9,
+                flow: 1,
+            },
+        }];
+        let r = check_stream(&events);
+        assert!(r.ok());
+        assert_eq!(r.drops, 1);
+    }
+
+    #[test]
+    fn seq_regression_is_flagged() {
+        let events = vec![
+            enq(0, 7),
+            enq(1, 8),
+            stage(10, 1, 0, 7, 5),
+            stage(20, 1, 0, 8, 4),
+        ];
+        let r = check_stream(&events);
+        assert_eq!(r.order_violations, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn hop_digest_mismatch_is_flagged() {
+        let wrong = [(2u32, 3usize)];
+        let events = vec![enq(0, 7), stage(10, 1, 0, 7, 1), deliver(25, 7, &wrong)];
+        let r = check_stream(&events);
+        assert_eq!(r.hop_mismatches, vec![7]);
+    }
+}

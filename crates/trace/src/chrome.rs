@@ -1,0 +1,443 @@
+//! Chrome trace-event (Perfetto) exporter.
+//!
+//! Renders an event stream as the JSON object format understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: one *process* per
+//! core, one *thread* per execution context (hardirq / softirq / task),
+//! so the timeline shows exactly how work interleaves on each CPU.
+//! Queue, steering, and drop events appear as instant markers with
+//! their payloads in `args`.
+
+use crate::{Context, Event, EventKind, TraceMeta};
+use serde::Value;
+
+/// Pseudo-pid used for the NIC hardware track (per-queue tids).
+const NIC_PID: usize = 900;
+/// Pseudo-pid used for the Falcon steering-policy track.
+const FALCON_PID: usize = 901;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(v as i128)
+}
+
+fn usz(v: usize) -> Value {
+    Value::Int(v as i128)
+}
+
+/// Microsecond timestamp: the trace-event format's `ts` unit.
+fn us(ns: u64) -> Value {
+    Value::Float(ns as f64 / 1000.0)
+}
+
+fn ctx_tid(ctx: Context) -> usize {
+    match ctx {
+        Context::HardIrq => 0,
+        Context::SoftIrq => 1,
+        Context::Task => 2,
+    }
+}
+
+/// One metadata record naming a process or thread.
+fn meta_event(name: &str, pid: usize, tid: Option<usize>, value: &str) -> Value {
+    let mut fields = vec![
+        ("name", s(name)),
+        ("ph", s("M")),
+        ("pid", usz(pid)),
+        ("args", obj(vec![("name", s(value))])),
+    ];
+    if let Some(tid) = tid {
+        fields.insert(3, ("tid", usz(tid)));
+    }
+    obj(fields)
+}
+
+/// A complete-duration ("X") slice.
+fn slice(name: &str, pid: usize, tid: usize, at_ns: u64, dur_ns: u64) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("X")),
+        ("pid", usz(pid)),
+        ("tid", usz(tid)),
+        ("ts", us(at_ns)),
+        ("dur", us(dur_ns)),
+    ])
+}
+
+/// An instant ("i") marker with payload args.
+fn instant(
+    name: &str,
+    cat: &str,
+    pid: usize,
+    tid: usize,
+    at_ns: u64,
+    args: Vec<(&str, Value)>,
+) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("cat", s(cat)),
+        ("ph", s("i")),
+        ("s", s("t")),
+        ("pid", usz(pid)),
+        ("tid", usz(tid)),
+        ("ts", us(at_ns)),
+        ("args", obj(args)),
+    ])
+}
+
+/// Converts an event stream into a Chrome trace-event JSON string.
+pub fn export(events: &[Event], meta: &TraceMeta) -> String {
+    let mut out: Vec<Value> = Vec::new();
+
+    for core in 0..meta.n_cores {
+        out.push(meta_event(
+            "process_name",
+            core,
+            None,
+            &format!("cpu{core}"),
+        ));
+        for ctx in Context::ALL {
+            out.push(meta_event(
+                "thread_name",
+                core,
+                Some(ctx_tid(ctx)),
+                ctx.label(),
+            ));
+        }
+    }
+    out.push(meta_event("process_name", NIC_PID, None, "nic"));
+    out.push(meta_event("process_name", FALCON_PID, None, "falcon"));
+
+    for ev in events {
+        let at = ev.at_ns;
+        match ev.kind {
+            EventKind::Exec {
+                core,
+                ctx,
+                func,
+                dur_ns,
+            } => out.push(slice(func, core, ctx_tid(ctx), at, dur_ns)),
+
+            EventKind::RingEnqueue {
+                queue,
+                pkt,
+                flow,
+                qlen,
+            } => out.push(instant(
+                "ring_enqueue",
+                "nic",
+                NIC_PID,
+                queue,
+                at,
+                vec![("pkt", int(pkt)), ("flow", int(flow)), ("qlen", usz(qlen))],
+            )),
+            EventKind::HardIrqRaise { queue, core } => out.push(instant(
+                "hardirq_raise",
+                "nic",
+                NIC_PID,
+                queue,
+                at,
+                vec![("core", usz(core))],
+            )),
+            EventKind::IrqCoalesced { queue, pkt } => out.push(instant(
+                "irq_coalesced",
+                "nic",
+                NIC_PID,
+                queue,
+                at,
+                vec![("pkt", int(pkt))],
+            )),
+
+            EventKind::SoftirqRaise { src, dst, ipi } => out.push(instant(
+                if ipi {
+                    "softirq_raise_ipi"
+                } else {
+                    "softirq_raise"
+                },
+                "softirq",
+                dst,
+                ctx_tid(Context::SoftIrq),
+                at,
+                vec![("src", usz(src)), ("ipi", Value::Bool(ipi))],
+            )),
+            EventKind::BacklogEnqueue {
+                cpu,
+                pkt,
+                flow,
+                qlen,
+            } => out.push(instant(
+                "backlog_enqueue",
+                "queue",
+                cpu,
+                ctx_tid(Context::SoftIrq),
+                at,
+                vec![("pkt", int(pkt)), ("flow", int(flow)), ("qlen", usz(qlen))],
+            )),
+            EventKind::GroCellEnqueue {
+                cpu,
+                pkt,
+                flow,
+                qlen,
+            } => out.push(instant(
+                "grocell_enqueue",
+                "queue",
+                cpu,
+                ctx_tid(Context::SoftIrq),
+                at,
+                vec![("pkt", int(pkt)), ("flow", int(flow)), ("qlen", usz(qlen))],
+            )),
+            EventKind::QueueDrop {
+                reason,
+                cpu,
+                pkt,
+                flow,
+            } => out.push(instant(
+                "drop",
+                "drop",
+                cpu,
+                ctx_tid(Context::SoftIrq),
+                at,
+                vec![
+                    ("reason", s(reason.label())),
+                    ("pkt", int(pkt)),
+                    ("flow", int(flow)),
+                ],
+            )),
+            EventKind::StageExec {
+                checkpoint,
+                cpu,
+                ctx,
+                pkt,
+                flow,
+                seq,
+                queued_ns,
+                service_ns,
+            } => out.push(instant(
+                &format!("stage:{}", meta.checkpoint_label(checkpoint)),
+                "stage",
+                cpu,
+                ctx_tid(ctx),
+                at,
+                vec![
+                    ("pkt", int(pkt)),
+                    ("flow", int(flow)),
+                    ("seq", int(seq)),
+                    ("queued_ns", int(queued_ns)),
+                    ("service_ns", int(service_ns)),
+                ],
+            )),
+            EventKind::GroMerge {
+                checkpoint,
+                cpu,
+                absorbed,
+                into,
+                flow,
+            } => out.push(instant(
+                "gro_merge",
+                "gro",
+                cpu,
+                ctx_tid(Context::SoftIrq),
+                at,
+                vec![
+                    ("at", s(&meta.checkpoint_label(checkpoint))),
+                    ("absorbed", int(absorbed)),
+                    ("into", int(into)),
+                    ("flow", int(flow)),
+                ],
+            )),
+            EventKind::FragAbsorbed { cpu, pkt, flow } => out.push(instant(
+                "frag_absorbed",
+                "gro",
+                cpu,
+                ctx_tid(Context::SoftIrq),
+                at,
+                vec![("pkt", int(pkt)), ("flow", int(flow))],
+            )),
+            EventKind::Deliver {
+                cpu,
+                pkt,
+                flow,
+                latency_ns,
+                hops,
+                hop_hash,
+            } => out.push(instant(
+                "deliver",
+                "deliver",
+                cpu,
+                ctx_tid(Context::Task),
+                at,
+                vec![
+                    ("pkt", int(pkt)),
+                    ("flow", int(flow)),
+                    ("latency_ns", int(latency_ns)),
+                    ("hops", int(hops as u64)),
+                    ("hop_hash", s(&format!("{hop_hash:016x}"))),
+                ],
+            )),
+            EventKind::Wakeup { src, dst } => out.push(instant(
+                "wakeup",
+                "sched",
+                dst,
+                ctx_tid(Context::Task),
+                at,
+                vec![("src", usz(src))],
+            )),
+
+            EventKind::FalconChoice {
+                ifindex,
+                hash,
+                first,
+                chosen,
+                second,
+            } => out.push(instant(
+                "falcon_choice",
+                "falcon",
+                FALCON_PID,
+                0,
+                at,
+                vec![
+                    ("dev", s(&meta.checkpoint_label(ifindex))),
+                    ("hash", int(hash as u64)),
+                    ("first", usz(first)),
+                    ("chosen", usz(chosen)),
+                    ("second_choice", Value::Bool(second)),
+                ],
+            )),
+            EventKind::FalconGated { ifindex, cpu } => out.push(instant(
+                "falcon_gated",
+                "falcon",
+                FALCON_PID,
+                0,
+                at,
+                vec![
+                    ("dev", s(&meta.checkpoint_label(ifindex))),
+                    ("cpu", usz(cpu)),
+                ],
+            )),
+            EventKind::LoadGate {
+                active,
+                l_avg_milli,
+            } => out.push(instant(
+                if active {
+                    "load_gate_on"
+                } else {
+                    "load_gate_off"
+                },
+                "falcon",
+                FALCON_PID,
+                0,
+                at,
+                vec![
+                    ("active", Value::Bool(active)),
+                    ("l_avg_milli", int(l_avg_milli as u64)),
+                ],
+            )),
+            EventKind::FlowMigration {
+                flow,
+                ifindex,
+                from,
+                to,
+            } => out.push(instant(
+                "flow_migration",
+                "falcon",
+                FALCON_PID,
+                0,
+                at,
+                vec![
+                    ("flow", int(flow)),
+                    ("dev", s(&meta.checkpoint_label(ifindex))),
+                    ("from", usz(from)),
+                    ("to", usz(to)),
+                ],
+            )),
+        }
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Array(out)),
+        ("displayTimeUnit", s("ns")),
+    ]);
+    serde_json::to_string(&root).expect("trace Value tree always serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DropReason;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            n_cores: 2,
+            devices: vec![(1, "eth0".into())],
+        }
+    }
+
+    #[test]
+    fn export_is_valid_json_with_tracks() {
+        let events = vec![
+            Event {
+                at_ns: 1000,
+                kind: EventKind::Exec {
+                    core: 0,
+                    ctx: Context::SoftIrq,
+                    func: "net_rx_action",
+                    dur_ns: 500,
+                },
+            },
+            Event {
+                at_ns: 1200,
+                kind: EventKind::QueueDrop {
+                    reason: DropReason::Backlog,
+                    cpu: 1,
+                    pkt: 7,
+                    flow: 3,
+                },
+            },
+        ];
+        let json = export(&events, &meta());
+        let parsed = serde_json::from_str(&json).expect("valid JSON");
+        let Value::Object(fields) = parsed else {
+            panic!("root must be an object");
+        };
+        let (_, Value::Array(evs)) = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .expect("traceEvents key")
+            .clone()
+        else {
+            panic!("traceEvents must be an array");
+        };
+        // 2 cores × (1 process + 3 threads) + nic + falcon + 2 events.
+        assert_eq!(evs.len(), 2 * 4 + 2 + 2);
+        assert!(json.contains("\"ph\":\"X\""), "has duration slices");
+        assert!(json.contains("net_rx_action"));
+        assert!(json.contains("\"reason\":\"backlog\""));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let events = vec![Event {
+            at_ns: 1500,
+            kind: EventKind::Exec {
+                core: 0,
+                ctx: Context::Task,
+                func: "copy_to_user",
+                dur_ns: 250,
+            },
+        }];
+        let json = export(&events, &meta());
+        assert!(json.contains("\"ts\":1.5"), "{json}");
+        assert!(json.contains("\"dur\":0.25"), "{json}");
+    }
+}

@@ -1,0 +1,536 @@
+//! `falcon-trace`: a tracepoint + timeline subsystem for the simulated
+//! kernel, modeled on Linux ftrace.
+//!
+//! Every layer of the simulation — the CPU model, the NIC, the network
+//! stack, and the Falcon steering policy — can emit typed [`Event`]s
+//! into a single bounded [`Tracer`] ring. Like the kernel's trace ring
+//! buffer, the sink never reallocates in the hot path: when full it
+//! overwrites the oldest events and counts the overflow. When tracing
+//! is disabled (the default) every tracepoint reduces to one branch on
+//! a bool, so the instrumented fast path stays effectively free.
+//!
+//! On top of the raw stream three consumers are provided:
+//!
+//! * [`chrome`] — exports the Chrome trace-event (Perfetto) JSON
+//!   format, one track per (core, context), so a run can be opened in
+//!   `ui.perfetto.dev` or `chrome://tracing`;
+//! * [`stages`] — the per-packet *stage-latency decomposition*: splits
+//!   one-way latency into per-device queueing vs service time, which is
+//!   exactly the lens that shows vanilla's stage-2/3 queueing collapse
+//!   onto one core while Falcon spreads it;
+//! * [`check`] — stream invariants: packet conservation (every enqueue
+//!   has a matching dequeue or drop) and per-(flow, device) ordering,
+//!   used by the property tests.
+
+pub mod check;
+pub mod chrome;
+pub mod stages;
+
+pub use check::{check_stream, ConservationReport};
+pub use falcon_metrics::Context;
+pub use stages::{StageLatency, StageStat};
+
+/// Checkpoint-id offset marking the backlog (stage-B) half of the
+/// physical NIC's processing. Mirrors the ordering-tracker convention
+/// of the netstack: checkpoint ids are `ifindex | flags`.
+pub const STAGE_B_CHECK: u32 = 0x8000_0000;
+/// Checkpoint id of final user-space delivery.
+pub const DELIVERY_CHECK: u32 = 0xFFFF_FFFF;
+
+/// Why a packet was dropped at a queue.
+///
+/// This is the single source of truth for drop classification: the
+/// netstack's counters key per-reason totals on it, and every drop also
+/// surfaces in the trace stream as a [`EventKind::QueueDrop`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DropReason {
+    /// NIC rx ring overflow.
+    Ring,
+    /// Per-CPU backlog (`netdev_max_backlog`) overflow.
+    Backlog,
+    /// VXLAN gro_cell overflow.
+    GroCell,
+    /// A datagram never completed IP reassembly (a fragment was lost).
+    Reassembly,
+}
+
+impl DropReason {
+    /// All reasons, in display order.
+    pub const ALL: [DropReason; 4] = [
+        DropReason::Ring,
+        DropReason::Backlog,
+        DropReason::GroCell,
+        DropReason::Reassembly,
+    ];
+
+    /// Stable index into per-reason counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::Ring => 0,
+            DropReason::Backlog => 1,
+            DropReason::GroCell => 2,
+            DropReason::Reassembly => 3,
+        }
+    }
+
+    /// Short label used in reports and JSON keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::Ring => "ring",
+            DropReason::Backlog => "backlog",
+            DropReason::GroCell => "grocell",
+            DropReason::Reassembly => "reassembly",
+        }
+    }
+}
+
+/// A typed tracepoint payload. Variants are grouped by the layer that
+/// emits them; all payload fields are `Copy` so recording never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    // ----- cpusim: execution timeline -------------------------------
+    /// One kernel-function invocation charged to a core. Emitted per
+    /// work-unit item with its own start offset, so the stream renders
+    /// as contiguous duration slices on the (core, context) track.
+    /// Hardirq entry/exit, softirq entry/exit, and context switches are
+    /// all visible as the boundaries of these slices.
+    Exec {
+        /// Core the work ran on.
+        core: usize,
+        /// Execution context charged.
+        ctx: Context,
+        /// Kernel function name.
+        func: &'static str,
+        /// Duration of this item.
+        dur_ns: u64,
+    },
+
+    // ----- netdev: NIC and rings ------------------------------------
+    /// A frame was accepted into a NIC rx ring.
+    RingEnqueue {
+        /// Hardware queue index.
+        queue: usize,
+        /// Packet id.
+        pkt: u64,
+        /// Flow id.
+        flow: u64,
+        /// Ring occupancy after the enqueue.
+        qlen: usize,
+    },
+    /// The NIC raised a hardirq for a queue (NAPI was idle).
+    HardIrqRaise {
+        /// Hardware queue index.
+        queue: usize,
+        /// IRQ affinity core.
+        core: usize,
+    },
+    /// Interrupt mitigation: a frame arrived while the queue's poll
+    /// loop was already running, so no new hardirq was raised.
+    IrqCoalesced {
+        /// Hardware queue index.
+        queue: usize,
+        /// Packet id absorbed silently.
+        pkt: u64,
+    },
+
+    // ----- netstack: softirq pipeline -------------------------------
+    /// NET_RX was raised on a CPU (locally via the poll list, or
+    /// remotely via an IPI).
+    SoftirqRaise {
+        /// Core that raised it.
+        src: usize,
+        /// Core it was raised on.
+        dst: usize,
+        /// Whether a cross-core IPI was needed.
+        ipi: bool,
+    },
+    /// A packet entered a per-CPU backlog.
+    BacklogEnqueue {
+        /// Target CPU.
+        cpu: usize,
+        /// Packet id.
+        pkt: u64,
+        /// Flow id.
+        flow: u64,
+        /// Backlog occupancy after the enqueue.
+        qlen: usize,
+    },
+    /// A packet entered a VXLAN gro_cell.
+    GroCellEnqueue {
+        /// Target CPU.
+        cpu: usize,
+        /// Packet id.
+        pkt: u64,
+        /// Flow id.
+        flow: u64,
+        /// Cell occupancy after the enqueue.
+        qlen: usize,
+    },
+    /// A packet was dropped at a bounded queue.
+    QueueDrop {
+        /// Which queue rejected it.
+        reason: DropReason,
+        /// CPU (or IRQ core, for ring drops) involved.
+        cpu: usize,
+        /// Packet id.
+        pkt: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// One pipeline stage processed a packet: the central event of the
+    /// stage-latency decomposition. `queued_ns` is the time the packet
+    /// waited in the stage's input queue; `service_ns` is the CPU time
+    /// the stage's work unit charges.
+    StageExec {
+        /// Checkpoint id (`ifindex | flags`, matching the skb hop log).
+        checkpoint: u32,
+        /// Core the stage ran on.
+        cpu: usize,
+        /// Execution context.
+        ctx: Context,
+        /// Packet id.
+        pkt: u64,
+        /// Flow id.
+        flow: u64,
+        /// Per-flow sequence number at this stage.
+        seq: u64,
+        /// Input-queue waiting time.
+        queued_ns: u64,
+        /// Service (CPU) time of the stage's work unit.
+        service_ns: u64,
+    },
+    /// GRO coalesced a waiting same-flow segment into another buffer.
+    /// The absorbed packet leaves the pipeline here.
+    GroMerge {
+        /// Checkpoint of the merging stage.
+        checkpoint: u32,
+        /// Core performing the merge.
+        cpu: usize,
+        /// Packet id of the absorbed segment.
+        absorbed: u64,
+        /// Packet id of the retained (growing) buffer.
+        into: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// An IP fragment was absorbed into a pending reassembly; the
+    /// datagram continues under the prototype fragment's packet id.
+    FragAbsorbed {
+        /// Core processing the fragment.
+        cpu: usize,
+        /// Packet id of the absorbed fragment.
+        pkt: u64,
+        /// Flow id.
+        flow: u64,
+    },
+    /// Final user-space delivery. `hop_hash` digests the packet's
+    /// (checkpoint, cpu) hop log so checkers can cross-validate the
+    /// event stream against the skb's own trace.
+    Deliver {
+        /// Application core.
+        cpu: usize,
+        /// Packet id.
+        pkt: u64,
+        /// Flow id.
+        flow: u64,
+        /// One-way latency (send → delivery).
+        latency_ns: u64,
+        /// Number of hops in the skb trace.
+        hops: u32,
+        /// FNV digest of the skb hop log (see [`hop_hash`]).
+        hop_hash: u64,
+    },
+    /// A task wakeup crossed cores (rescheduling IPI).
+    Wakeup {
+        /// Core that queued the task work.
+        src: usize,
+        /// Application core woken.
+        dst: usize,
+    },
+
+    // ----- falcon: steering decisions -------------------------------
+    /// Falcon picked a CPU for a stage transition (Algorithm 1).
+    FalconChoice {
+        /// Device ifindex mixed into the hash.
+        ifindex: u32,
+        /// The packet's flow hash.
+        hash: u32,
+        /// First-choice core from the device-aware hash.
+        first: usize,
+        /// Core actually chosen.
+        chosen: usize,
+        /// Whether the two-choice rehash was used.
+        second: bool,
+    },
+    /// Falcon was gated off by the load threshold for one decision.
+    FalconGated {
+        /// Device ifindex of the transition.
+        ifindex: u32,
+        /// CPU the packet stayed on.
+        cpu: usize,
+    },
+    /// The load gate changed state (on_load_sample hysteresis).
+    LoadGate {
+        /// Whether Falcon is now active.
+        active: bool,
+        /// `L_avg` over FALCON_CPUS, in milli-units (0–1000).
+        l_avg_milli: u32,
+    },
+    /// A (flow, stage) migrated to a different CPU.
+    FlowMigration {
+        /// Flow id.
+        flow: u64,
+        /// Stage-device ifindex.
+        ifindex: u32,
+        /// Previous CPU.
+        from: usize,
+        /// New CPU.
+        to: usize,
+    },
+}
+
+/// One recorded tracepoint hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation timestamp, nanoseconds.
+    pub at_ns: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// The bounded trace ring buffer.
+///
+/// Preallocates its full capacity on enable and never grows: recording
+/// is a bounds-checked write plus an index increment. When the ring is
+/// full the oldest event is overwritten and `overflow` counts it —
+/// matching the kernel ring buffer's default overwrite mode.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    cap: usize,
+    buf: Vec<Event>,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    wrapped: bool,
+    overflow: u64,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl Tracer {
+    /// The inert tracer: every [`Tracer::emit`] is a single branch.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            cap: 0,
+            buf: Vec::new(),
+            head: 0,
+            wrapped: false,
+            overflow: 0,
+        }
+    }
+
+    /// An enabled tracer holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        Tracer {
+            enabled: true,
+            cap: capacity,
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            wrapped: false,
+            overflow: 0,
+        }
+    }
+
+    /// Whether tracepoints are live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event. No-op (one branch) when disabled; never
+    /// reallocates once the ring is at capacity.
+    #[inline]
+    pub fn emit(&mut self, at_ns: u64, kind: EventKind) {
+        if !self.enabled {
+            return;
+        }
+        self.push(Event { at_ns, kind });
+    }
+
+    fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+            self.wrapped = true;
+            self.overflow += 1;
+        }
+    }
+
+    /// Events recorded and retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Returns the retained events in chronological order.
+    pub fn events(&self) -> Vec<Event> {
+        if !self.wrapped {
+            return self.buf.clone();
+        }
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+/// FNV-1a digest over a packet's (checkpoint, cpu) hop log. The
+/// netstack computes this over `skb.trace` at delivery and embeds it in
+/// [`EventKind::Deliver`]; [`check`] recomputes it from the `StageExec`
+/// stream — agreement proves the trace observed every hop in order.
+pub fn hop_hash<I: IntoIterator<Item = (u32, usize)>>(hops: I) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (checkpoint, cpu) in hops {
+        for byte in checkpoint
+            .to_le_bytes()
+            .into_iter()
+            .chain((cpu as u64).to_le_bytes())
+        {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Device-name context carried alongside an event stream so exporters
+/// can label checkpoints and size per-core tracks.
+#[derive(Debug, Clone, Default)]
+pub struct TraceMeta {
+    /// Number of cores in the machine.
+    pub n_cores: usize,
+    /// `(ifindex, name)` of every registered device.
+    pub devices: Vec<(u32, String)>,
+}
+
+impl TraceMeta {
+    /// Human-readable label of a checkpoint id.
+    pub fn checkpoint_label(&self, checkpoint: u32) -> String {
+        if checkpoint == DELIVERY_CHECK {
+            return "delivery".to_string();
+        }
+        let (ifindex, stage_b) = if checkpoint & STAGE_B_CHECK != 0 {
+            (checkpoint & !STAGE_B_CHECK, true)
+        } else {
+            (checkpoint, false)
+        };
+        let name = self
+            .devices
+            .iter()
+            .find(|(i, _)| *i == ifindex)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("if{ifindex}"));
+        if stage_b {
+            format!("{name}:b")
+        } else {
+            name
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(5, EventKind::Wakeup { src: 0, dst: 1 });
+        assert!(t.is_empty());
+        assert_eq!(t.overflow(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.emit(
+                i,
+                EventKind::Wakeup {
+                    src: i as usize,
+                    dst: 0,
+                },
+            );
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.overflow(), 2);
+        let ev = t.events();
+        let times: Vec<u64> = ev.iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![2, 3, 4], "oldest overwritten, order kept");
+    }
+
+    #[test]
+    fn events_in_order_without_wrap() {
+        let mut t = Tracer::new(10);
+        for i in 0..4u64 {
+            t.emit(i * 10, EventKind::Wakeup { src: 0, dst: 1 });
+        }
+        let times: Vec<u64> = t.events().iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![0, 10, 20, 30]);
+        assert_eq!(t.overflow(), 0);
+    }
+
+    #[test]
+    fn hop_hash_is_order_sensitive() {
+        let a = hop_hash([(1, 0), (2, 1)]);
+        let b = hop_hash([(2, 1), (1, 0)]);
+        let c = hop_hash([(1, 0), (2, 1)]);
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_ne!(a, hop_hash([]));
+    }
+
+    #[test]
+    fn drop_reason_indices_are_stable() {
+        for (i, r) in DropReason::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(DropReason::Backlog.label(), "backlog");
+    }
+
+    #[test]
+    fn checkpoint_labels() {
+        let meta = TraceMeta {
+            n_cores: 2,
+            devices: vec![(1, "eth0".into()), (3, "vxlan0".into())],
+        };
+        assert_eq!(meta.checkpoint_label(1), "eth0");
+        assert_eq!(meta.checkpoint_label(1 | STAGE_B_CHECK), "eth0:b");
+        assert_eq!(meta.checkpoint_label(3), "vxlan0");
+        assert_eq!(meta.checkpoint_label(9), "if9");
+        assert_eq!(meta.checkpoint_label(DELIVERY_CHECK), "delivery");
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-packet stage-latency decomposition.
+//!
+//! Aggregates [`EventKind::StageExec`] events into per-(checkpoint,
+//! cpu) queueing and service totals, splitting one-way latency into
+//! *where packets waited* vs *where CPUs worked*. This is the lens the
+//! paper uses to show the serialization bottleneck: under vanilla RPS
+//! the stage-2/3 queueing collapses onto a single core, while Falcon
+//! spreads the same stages across the softirq cores.
+
+use crate::{Event, EventKind, TraceMeta};
+use std::collections::BTreeMap;
+
+/// Accumulated totals for one (checkpoint, cpu) cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStat {
+    /// Packets processed.
+    pub count: u64,
+    /// Total input-queue waiting time, ns.
+    pub queued_ns: u64,
+    /// Total service (CPU) time, ns.
+    pub service_ns: u64,
+}
+
+impl StageStat {
+    /// Mean queueing delay per packet, ns.
+    pub fn mean_queued_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.queued_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Mean service time per packet, ns.
+    pub fn mean_service_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.service_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// The decomposition: a dense map from (checkpoint, cpu) to totals.
+#[derive(Debug, Clone, Default)]
+pub struct StageLatency {
+    cells: BTreeMap<(u32, usize), StageStat>,
+}
+
+impl StageLatency {
+    /// Builds the decomposition from an event stream.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut cells: BTreeMap<(u32, usize), StageStat> = BTreeMap::new();
+        for ev in events {
+            if let EventKind::StageExec {
+                checkpoint,
+                cpu,
+                queued_ns,
+                service_ns,
+                ..
+            } = ev.kind
+            {
+                let cell = cells.entry((checkpoint, cpu)).or_default();
+                cell.count += 1;
+                cell.queued_ns += queued_ns;
+                cell.service_ns += service_ns;
+            }
+        }
+        StageLatency { cells }
+    }
+
+    /// All (checkpoint, cpu) cells in checkpoint-then-cpu order.
+    pub fn cells(&self) -> impl Iterator<Item = (&(u32, usize), &StageStat)> {
+        self.cells.iter()
+    }
+
+    /// Totals per checkpoint, summed over cpus, in checkpoint order.
+    pub fn per_stage(&self) -> Vec<(u32, StageStat)> {
+        let mut out: BTreeMap<u32, StageStat> = BTreeMap::new();
+        for (&(cp, _), st) in &self.cells {
+            let agg = out.entry(cp).or_default();
+            agg.count += st.count;
+            agg.queued_ns += st.queued_ns;
+            agg.service_ns += st.service_ns;
+        }
+        out.into_iter().collect()
+    }
+
+    /// The distinct cpus that ran a given checkpoint.
+    pub fn cores_for_stage(&self, checkpoint: u32) -> Vec<usize> {
+        self.cells
+            .keys()
+            .filter(|(cp, _)| *cp == checkpoint)
+            .map(|&(_, cpu)| cpu)
+            .collect()
+    }
+
+    /// Fraction of a stage's service time done by its busiest core
+    /// (1.0 = fully serialized on one core, → 1/n = evenly spread).
+    pub fn dominant_core_share(&self, checkpoint: u32) -> f64 {
+        let mut max = 0u64;
+        let mut total = 0u64;
+        for (&(cp, _), st) in &self.cells {
+            if cp == checkpoint {
+                max = max.max(st.service_ns);
+                total += st.service_ns;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            max as f64 / total as f64
+        }
+    }
+
+    /// Whether any stage was observed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Text report: one row per (stage, cpu) with counts and mean
+    /// queueing/service times, plus a per-stage summary line giving
+    /// the core spread and the dominant-core share.
+    pub fn render(&self, meta: &TraceMeta) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>4} {:>8} {:>12} {:>12}\n",
+            "stage", "cpu", "pkts", "queue(ns)", "service(ns)"
+        ));
+        for (&(cp, cpu), st) in &self.cells {
+            out.push_str(&format!(
+                "{:<14} {:>4} {:>8} {:>12.0} {:>12.0}\n",
+                meta.checkpoint_label(cp),
+                cpu,
+                st.count,
+                st.mean_queued_ns(),
+                st.mean_service_ns()
+            ));
+        }
+        out.push('\n');
+        for (cp, agg) in self.per_stage() {
+            let cores = self.cores_for_stage(cp);
+            out.push_str(&format!(
+                "{:<14} cores={:<2} dominant_share={:.2} total_queue={}us total_service={}us\n",
+                meta.checkpoint_label(cp),
+                cores.len(),
+                self.dominant_core_share(cp),
+                agg.queued_ns / 1000,
+                agg.service_ns / 1000
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Context;
+
+    fn stage(at: u64, cp: u32, cpu: usize, queued: u64, service: u64) -> Event {
+        Event {
+            at_ns: at,
+            kind: EventKind::StageExec {
+                checkpoint: cp,
+                cpu,
+                ctx: Context::SoftIrq,
+                pkt: at,
+                flow: 1,
+                seq: at,
+                queued_ns: queued,
+                service_ns: service,
+            },
+        }
+    }
+
+    #[test]
+    fn aggregates_per_cell() {
+        let events = vec![
+            stage(1, 1, 2, 100, 50),
+            stage(2, 1, 2, 300, 50),
+            stage(3, 1, 3, 100, 70),
+            stage(4, 9, 2, 10, 20),
+        ];
+        let sl = StageLatency::from_events(&events);
+        let per = sl.per_stage();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].0, 1);
+        assert_eq!(per[0].1.count, 3);
+        assert_eq!(per[0].1.queued_ns, 500);
+        assert_eq!(sl.cores_for_stage(1), vec![2, 3]);
+        assert_eq!(sl.cores_for_stage(9), vec![2]);
+    }
+
+    #[test]
+    fn dominant_share_detects_serialization() {
+        // Stage 1 fully on cpu 2; stage 5 split evenly across 2/3.
+        let events = vec![
+            stage(1, 1, 2, 0, 100),
+            stage(2, 1, 2, 0, 100),
+            stage(3, 5, 2, 0, 100),
+            stage(4, 5, 3, 0, 100),
+        ];
+        let sl = StageLatency::from_events(&events);
+        assert!((sl.dominant_core_share(1) - 1.0).abs() < 1e-9);
+        assert!((sl.dominant_core_share(5) - 0.5).abs() < 1e-9);
+        assert_eq!(sl.dominant_core_share(42), 0.0);
+    }
+
+    #[test]
+    fn render_has_rows_and_summary() {
+        let meta = TraceMeta {
+            n_cores: 4,
+            devices: vec![(1, "eth0".into())],
+        };
+        let sl = StageLatency::from_events(&[stage(1, 1, 2, 100, 50)]);
+        let text = sl.render(&meta);
+        assert!(text.contains("eth0"));
+        assert!(text.contains("dominant_share=1.00"));
+    }
+}

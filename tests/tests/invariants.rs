@@ -34,7 +34,7 @@ proptest! {
         // Every non-delivered datagram must be explained by a drop or
         // by bytes still queued somewhere in the pipeline.
         let unexplained = sent - delivered;
-        let drops = c.total_drops() + c.reassembly_failures;
+        let drops = c.total_drops();
         let in_flight_possible = !m.quiescent()
             || m.nic.ring_len(0) > 0
             || !m.defrag.is_empty();

@@ -1,0 +1,73 @@
+//! Property tests over the trace event stream: the tracepoints must
+//! tell a story consistent with the packets' actual journey, across
+//! steering policies, payload sizes (including fragmentation), rates
+//! and seeds.
+//!
+//! Invariants checked by [`falcon_trace::check_stream`]:
+//!
+//! * **Conservation** — every ring/backlog/gro_cell enqueue is matched
+//!   by exactly one consume (stage execution or GRO absorption), or the
+//!   packet is still sitting in exactly one queue at stream end.
+//! * **Hop agreement** — the per-packet (checkpoint, cpu) sequence
+//!   reconstructed from `StageExec` events hashes to the same digest
+//!   the netstack computed from the skb's own hop log at delivery.
+//! * **Order** — per-(flow, checkpoint) sequence numbers are strictly
+//!   increasing. Guaranteed for the vanilla overlay; Falcon may break
+//!   it transiently on hotspot-escape migrations, so it is asserted
+//!   only for vanilla.
+
+use falcon_experiments::scenario::Mode;
+use falcon_integration_tests::{falcon_mode, small_udp_runner};
+use falcon_simcore::SimDuration;
+use falcon_trace::check_stream;
+use proptest::prelude::*;
+
+/// Large enough that no tested (rate, window) combination wraps the
+/// ring — `check_stream` needs the complete history.
+const RING_CAPACITY: usize = 1 << 19;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn trace_stream_conserves_packets(
+        rate in 50_000.0f64..400_000.0,
+        payload in prop::sample::select(vec![16usize, 256, 1024, 4000]),
+        seed in 0u64..1000,
+        falcon_on in any::<bool>(),
+    ) {
+        let mode = if falcon_on { falcon_mode() } else { Mode::Vanilla };
+        let mut runner = small_udp_runner(mode, rate, payload, seed);
+        runner.enable_tracing(RING_CAPACITY);
+        runner.run_for(SimDuration::from_millis(6));
+
+        let tracer = runner.tracer();
+        prop_assert_eq!(tracer.overflow(), 0, "ring wrapped; stream incomplete");
+        let events = tracer.events();
+        let report = check_stream(&events);
+
+        prop_assert!(report.enqueues > 0, "trace saw no traffic");
+        prop_assert!(report.delivered > 0, "trace saw no deliveries");
+        prop_assert!(
+            report.unmatched.is_empty(),
+            "unbalanced packets (first 5): {:?}",
+            &report.unmatched[..report.unmatched.len().min(5)]
+        );
+        prop_assert!(
+            report.hop_mismatches.is_empty(),
+            "hop-digest mismatches (first 5): {:?}",
+            &report.hop_mismatches[..report.hop_mismatches.len().min(5)]
+        );
+        if !falcon_on {
+            prop_assert!(
+                report.order_violations.is_empty(),
+                "vanilla must keep per-(flow, stage) order: {:?}",
+                report.order_violations
+            );
+        }
+
+        // The unified drop counters and the trace must agree: every
+        // counted drop produced exactly one QueueDrop event.
+        prop_assert_eq!(report.drops, runner.counters().total_drops());
+    }
+}

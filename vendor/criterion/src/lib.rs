@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API surface the `falcon-bench` suite uses. Each
+//! bench runs a short warm-up followed by a bounded measurement loop
+//! and prints one line with the mean iteration time (and throughput
+//! when configured). The heavyweight statistics, plotting, and CLI of
+//! the real crate are intentionally absent; the goal is that `cargo
+//! bench` runs the same closures and reports comparable mean timings.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on measured iterations per bench, so simulation-heavy
+/// benches stay quick even when `measurement_time` is generous.
+const MAX_ITERS: u64 = 200;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_millis(200),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// A named group of benches sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        // Cap so full-simulation benches stay fast in this environment.
+        self.warm_up = t.min(Duration::from_millis(100));
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t.min(Duration::from_millis(300));
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.warm_up,
+            max_iters: 3,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        bencher.budget = self.measurement;
+        bencher.max_iters = MAX_ITERS;
+        bencher.iters = 0;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        let mean_ns = if bencher.iters > 0 {
+            bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+        } else {
+            0.0
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+                let mbps = bytes as f64 / mean_ns * 1e3;
+                format!("  {mbps:.1} MB/s")
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let eps = n as f64 / mean_ns * 1e9;
+                format!("  {eps:.0} elem/s")
+            }
+            _ => String::new(),
+        };
+        println!(
+            "  {name}: {mean_ns:.1} ns/iter ({} iters){rate}",
+            bencher.iters
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= self.max_iters || start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group-runner function over bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $f(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` over group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! [`Serialize`] converts a value into an in-memory [`Value`] tree;
+//! the companion `serde_json` stand-in renders that tree as JSON.
+//! [`Deserialize`] is a marker trait only — nothing in this workspace
+//! deserializes into typed structs at runtime (tests parse JSON back
+//! into [`Value`]).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialized value.
+///
+/// Object keys keep insertion order so emitted JSON is stable and
+/// matches field declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All integers, signed or not; `i128` covers every integer type
+    /// used in the workspace (including `u64` counters and `u128`
+    /// nanosecond sums).
+    Int(i128),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialization into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait; derived for config types for API parity with the real
+/// crate, but never used at runtime here.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // i128 covers every realistic counter value; saturate on the
+        // (unreachable) overflow rather than panic.
+        Value::Int(i128::try_from(*self).unwrap_or(i128::MAX))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+/// Map keys must render as JSON object keys (strings).
+pub trait SerializeKey {
+    fn to_key(&self) -> String;
+}
+
+macro_rules! impl_ser_key {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+        }
+    )*};
+}
+
+impl_ser_key!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SerializeKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for &str {
+    fn to_key(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl<K, V> Serialize for std::collections::HashMap<K, V>
+where
+    K: SerializeKey + Ord + std::hash::Hash,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.to_key(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: SerializeKey,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+    }
+}
