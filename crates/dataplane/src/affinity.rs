@@ -1,0 +1,87 @@
+//! Thread-to-core pinning and worker-count clamping.
+//!
+//! Pinning goes through `sched_setaffinity(2)` declared directly
+//! against libc (std already links it on Linux targets), so the crate
+//! stays dependency-free. On non-Linux targets pinning is a no-op that
+//! reports failure; the executor records whether pinning actually took
+//! effect so benchmark output never silently claims isolation it did
+//! not have.
+
+/// Logical CPUs available to this process (1 if undetectable).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Clamps a requested worker count to the host: never more workers
+/// than available logical cores, never zero. CI runners with 2 cores
+/// get 2 workers no matter what the scenario asks for.
+pub fn clamp_workers(requested: usize) -> usize {
+    requested.max(1).min(available_cores())
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    // Raw cpu_set_t: 1024 bits, as glibc defines it.
+    const SETSIZE_BYTES: usize = 128;
+
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u8) -> i32;
+    }
+
+    pub fn pin_current_thread(core: usize) -> bool {
+        if core >= SETSIZE_BYTES * 8 {
+            return false;
+        }
+        let mut mask = [0u8; SETSIZE_BYTES];
+        mask[core / 8] |= 1 << (core % 8);
+        // pid 0 = the calling thread.
+        unsafe { sched_setaffinity(0, SETSIZE_BYTES, mask.as_ptr()) == 0 }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    pub fn pin_current_thread(_core: usize) -> bool {
+        false
+    }
+}
+
+/// Pins the calling thread to `core`. Returns whether the kernel
+/// accepted the mask.
+pub fn pin_current_thread(core: usize) -> bool {
+    sys::pin_current_thread(core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_respects_host_and_floor() {
+        let avail = available_cores();
+        assert!(avail >= 1);
+        assert_eq!(clamp_workers(0), 1);
+        assert_eq!(clamp_workers(1), 1);
+        assert!(clamp_workers(1024) <= avail);
+        assert_eq!(clamp_workers(avail), avail);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_to_core_zero_succeeds() {
+        // Core 0 always exists; pin from a scratch thread so the test
+        // runner's own affinity is untouched.
+        let ok = std::thread::spawn(|| pin_current_thread(0))
+            .join()
+            .expect("pin thread");
+        assert!(ok, "sched_setaffinity(core 0) failed");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pinning_out_of_range_fails_cleanly() {
+        assert!(!pin_current_thread(100_000));
+    }
+}

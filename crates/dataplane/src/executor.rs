@@ -1,0 +1,752 @@
+//! The threaded pipeline executor: the modeled overlay receive path on
+//! real OS threads.
+//!
+//! The simulation (`netstack::rxpath`) models the four-stage container
+//! receive path as discrete events; this module *runs* it. Each worker
+//! is one pinned OS thread standing in for a CPU's NET_RX softirq. The
+//! stages and their CPU costs come from the same
+//! [`CostModel`](falcon_netstack::CostModel) the simulation uses
+//! (`overlay_udp_stage_ns`), turned into real core occupancy by
+//! deadline busy-spinning:
+//!
+//! ```text
+//! injector ─▸ [A pnic_poll] ─▸ [B outer_stack] ─▸ [C gro_cell] ─▸ [D container_stack] ─▸ deliver
+//!              RSS worker        same worker        steered          steered
+//! ```
+//!
+//! A→B is always local (driver poll feeds the same CPU's backlog, as in
+//! the kernel); B→C and C→D are the two steering points the paper's
+//! softirq pipelining exploits, keyed by the vxlan and veth ifindexes.
+//! Workers exchange packets over the SPSC ring mesh; every stage hop
+//! goes through the global [`FlowTable`] so a (flow, device) pair never
+//! migrates with packets in flight — the reordering guard.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use falcon_khash::hash_32;
+use falcon_netstack::CostModel;
+use falcon_packet::PktDesc;
+use falcon_trace::{
+    Context, DropReason, Event, EventKind, TraceMeta, Tracer, DELIVERY_CHECK, STAGE_B_CHECK,
+};
+
+use crate::affinity::{available_cores, clamp_workers, pin_current_thread};
+use crate::spin::{spin_for_ns, Epoch};
+use crate::spsc::{ring, Consumer, Producer};
+use crate::steer::{release, DepthGauge, FlowTable, Policy, PolicyKind};
+
+/// Ifindex of the physical NIC (stage A, and B via the stage-B flag).
+pub const PNIC_IF: u32 = 1;
+/// Ifindex of the vxlan device (stage C's input queue — the gro_cell).
+pub const VXLAN_IF: u32 = 2;
+/// Ifindex of the container-side veth (stage D's input backlog).
+pub const VETH_IF: u32 = 3;
+
+/// Number of pipeline stages.
+pub const STAGES: usize = 4;
+
+/// One run's worth of configuration.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Steering policy under test.
+    pub policy: PolicyKind,
+    /// Requested worker count (clamped to the host's logical cores).
+    pub workers: usize,
+    /// Packets to inject.
+    pub packets: u64,
+    /// Distinct flows, round-robin across packets.
+    pub flows: u64,
+    /// UDP payload bytes (drives the modeled stage costs).
+    pub payload: usize,
+    /// Capacity of each inter-worker SPSC ring.
+    pub ring_capacity: usize,
+    /// NAPI-style batch budget per inbound ring per sweep.
+    pub napi_budget: usize,
+    /// Stage-cost scale in milli-units (1000 = model costs as-is;
+    /// tests use small values to run fast).
+    pub work_scale_milli: u64,
+    /// Pacing gap between injected packets, ns (0 = open loop: inject
+    /// as fast as backpressure allows).
+    pub inject_gap_ns: u64,
+    /// Pin workers to cores.
+    pub pin: bool,
+    /// Per-worker trace ring capacity (0 = tracing off).
+    pub trace_capacity: usize,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            policy: PolicyKind::Falcon,
+            workers: 4,
+            packets: 80_000,
+            flows: 1,
+            payload: 64,
+            ring_capacity: 512,
+            napi_budget: 64,
+            work_scale_milli: 1000,
+            inject_gap_ns: 0,
+            pin: true,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl Scenario {
+    /// The scenario with a different policy, all else equal.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Device table for trace export.
+    pub fn trace_meta(&self, workers: usize) -> TraceMeta {
+        TraceMeta {
+            n_cores: workers,
+            devices: vec![
+                (PNIC_IF, "pnic".to_string()),
+                (VXLAN_IF, "vxlan0".to_string()),
+                (VETH_IF, "veth0".to_string()),
+            ],
+        }
+    }
+}
+
+/// A per-(flow, checkpoint, seq) observation for the post-run ordering
+/// audit: (completion timestamp, flow, checkpoint, seq).
+type OrderRec = (u64, u64, u32, u64);
+
+/// A packet in flight through the threaded pipeline.
+struct DpPkt {
+    desc: PktDesc,
+    /// Stage to execute on arrival (0=A … 3=D).
+    stage: u8,
+    /// Epoch timestamp of injection (for one-way latency).
+    injected_ns: u64,
+    /// Epoch timestamp of the last enqueue (for queueing time).
+    enqueued_ns: u64,
+    /// Worker that ran the previous stage (`usize::MAX` = none).
+    last_worker: usize,
+    /// In-flight guard of the current (flow, device) routing, released
+    /// after the stage executes.
+    guard: Option<std::sync::Arc<std::sync::atomic::AtomicU32>>,
+}
+
+/// What one worker brings home after the run.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Stages executed, by stage index.
+    pub processed: [u64; STAGES],
+    /// Packets delivered to the (modeled) socket.
+    pub delivered: u64,
+    /// Drops by [`DropReason`] index.
+    pub drops: [u64; 4],
+    /// Real ns this worker spent busy-spinning stage work.
+    pub busy_ns: u64,
+    /// Steering decisions taken (B→C and C→D hops).
+    pub decisions: u64,
+    /// Decisions that used the two-choice rehash.
+    pub second_choices: u64,
+    /// (flow, device) migrations performed.
+    pub migrations: u64,
+    /// Whether the pin syscall succeeded.
+    pub pinned: bool,
+    /// This worker's trace events.
+    pub events: Vec<Event>,
+    /// Ordering observations.
+    pub order_log: Vec<OrderRec>,
+    /// One-way delivery latencies, ns.
+    pub latencies: Vec<u64>,
+}
+
+/// Everything a run produces: per-worker stats plus run-level facts.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// The scenario as actually run (workers clamped).
+    pub policy: PolicyKind,
+    /// Workers actually spawned.
+    pub workers: usize,
+    /// Logical cores on the host.
+    pub host_cores: usize,
+    /// Packets handed to the injector.
+    pub injected: u64,
+    /// Ring-full drops at injection.
+    pub inject_drops: u64,
+    /// Wall-clock ns from start barrier to pipeline quiescence.
+    pub wall_ns: u64,
+    /// Modeled per-stage service ns (post-scaling).
+    pub stage_ns: [u64; STAGES],
+    /// (flow, device) pairs the flow table ended up tracking.
+    pub flow_pairs: usize,
+    /// Per-worker results.
+    pub workers_stats: Vec<WorkerStats>,
+    /// Device table for trace export.
+    pub meta: TraceMeta,
+}
+
+impl RunOutput {
+    /// Total packets delivered.
+    pub fn delivered(&self) -> u64 {
+        self.workers_stats.iter().map(|w| w.delivered).sum()
+    }
+
+    /// Total drops (in-pipeline plus injection).
+    pub fn dropped(&self) -> u64 {
+        self.inject_drops
+            + self
+                .workers_stats
+                .iter()
+                .map(|w| w.drops.iter().sum::<u64>())
+                .sum::<u64>()
+    }
+
+    /// Drops by reason, including the injector's ring drops.
+    pub fn drops_by_reason(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        out[DropReason::Ring.index()] = self.inject_drops;
+        for w in &self.workers_stats {
+            for (acc, d) in out.iter_mut().zip(w.drops.iter()) {
+                *acc += d;
+            }
+        }
+        out
+    }
+
+    /// All trace events merged chronologically.
+    pub fn merged_events(&self) -> Vec<Event> {
+        falcon_trace::merge_streams(self.workers_stats.iter().map(|w| w.events.clone()))
+    }
+
+    /// Replays every worker's ordering log through the netstack's
+    /// [`OrderTracker`](falcon_netstack::ordering::OrderTracker) and returns
+    /// (checks, violations). Entries are sorted by completion timestamp
+    /// (seq as tiebreak for same-ns completions on different cores),
+    /// which is the real-time order the stages finished in.
+    pub fn order_audit(&self) -> (u64, u64) {
+        let mut log: Vec<OrderRec> = self
+            .workers_stats
+            .iter()
+            .flat_map(|w| w.order_log.iter().copied())
+            .collect();
+        log.sort_by_key(|&(ts, _, _, seq)| (ts, seq));
+        let mut tracker = falcon_netstack::ordering::OrderTracker::new();
+        for (_, flow, checkpoint, seq) in log {
+            tracker.check(flow, checkpoint, seq, 1);
+        }
+        (tracker.checks(), tracker.violations())
+    }
+}
+
+/// Stage checkpoint ids, by stage index.
+fn checkpoint(stage: u8) -> u32 {
+    match stage {
+        0 => PNIC_IF,
+        1 => PNIC_IF | STAGE_B_CHECK,
+        2 => VXLAN_IF,
+        3 => VETH_IF,
+        _ => unreachable!("no stage {stage}"),
+    }
+}
+
+/// What feeds each stage (for drop classification on a full ring).
+fn drop_reason_into(stage: u8) -> DropReason {
+    match stage {
+        0 => DropReason::Ring,
+        2 => DropReason::GroCell,
+        _ => DropReason::Backlog,
+    }
+}
+
+struct WorkerCtx {
+    me: usize,
+    stage_ns: [u64; STAGES],
+    locality_penalty_ns: u64,
+    napi_budget: usize,
+    epoch: Epoch,
+    policy: Arc<Policy>,
+    flows: Arc<FlowTable>,
+    depths: Arc<DepthGauge>,
+    delivered: Arc<AtomicU64>,
+    dropped: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+    inbound: Vec<Consumer<DpPkt>>,
+    outbound: Vec<Producer<DpPkt>>,
+    tracer: Tracer,
+    stats: WorkerStats,
+}
+
+impl WorkerCtx {
+    fn run(mut self, barrier: Arc<Barrier>, pin: bool) -> WorkerStats {
+        if pin {
+            self.stats.pinned = pin_current_thread(self.me);
+        }
+        barrier.wait();
+        loop {
+            let mut did_work = false;
+            for src in 0..self.inbound.len() {
+                for _ in 0..self.napi_budget {
+                    let Some(pkt) = self.inbound[src].pop() else {
+                        break;
+                    };
+                    self.depths.dec(self.me);
+                    did_work = true;
+                    self.run_packet(pkt);
+                }
+            }
+            if !did_work {
+                if self.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        self.stats.events = self.tracer.events();
+        self.stats
+    }
+
+    /// Executes the packet's current stage, then advances it through
+    /// the pipeline — inline while hops stay local, over a ring when
+    /// they leave this worker.
+    fn run_packet(&mut self, mut pkt: DpPkt) {
+        loop {
+            let stage = pkt.stage;
+            let cp = checkpoint(stage);
+            let start = self.epoch.now_ns();
+            let queued_ns = start.saturating_sub(pkt.enqueued_ns);
+            let mut service_ns = self.stage_ns[stage as usize];
+            if pkt.last_worker != usize::MAX && pkt.last_worker != self.me {
+                service_ns += self.locality_penalty_ns;
+            }
+            let spun = spin_for_ns(service_ns);
+            let done = self.epoch.now_ns();
+            self.stats.processed[stage as usize] += 1;
+            self.stats.busy_ns += spun;
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    start,
+                    EventKind::Exec {
+                        core: self.me,
+                        ctx: Context::SoftIrq,
+                        func: CostModel::overlay_udp_stage_labels()[stage as usize],
+                        dur_ns: spun,
+                    },
+                );
+                self.tracer.emit(
+                    done,
+                    EventKind::StageExec {
+                        checkpoint: cp,
+                        cpu: self.me,
+                        ctx: Context::SoftIrq,
+                        pkt: pkt.desc.id.0,
+                        flow: pkt.desc.flow,
+                        seq: pkt.desc.seq,
+                        queued_ns,
+                        service_ns: spun,
+                    },
+                );
+            }
+            self.stats
+                .order_log
+                .push((done, pkt.desc.flow, cp, pkt.desc.seq));
+            if let Some(guard) = pkt.guard.take() {
+                release(&guard);
+            }
+
+            if stage == 3 {
+                let latency = done.saturating_sub(pkt.injected_ns);
+                self.stats.delivered += 1;
+                self.stats.latencies.push(latency);
+                self.stats
+                    .order_log
+                    .push((done, pkt.desc.flow, DELIVERY_CHECK, pkt.desc.seq));
+                self.tracer.emit(
+                    done,
+                    EventKind::Deliver {
+                        cpu: self.me,
+                        pkt: pkt.desc.id.0,
+                        flow: pkt.desc.flow,
+                        latency_ns: latency,
+                        hops: STAGES as u32,
+                        hop_hash: 0,
+                    },
+                );
+                self.delivered.fetch_add(1, Ordering::Release);
+                return;
+            }
+
+            pkt.last_worker = self.me;
+            pkt.stage += 1;
+            pkt.enqueued_ns = done;
+
+            // A→B is local: the driver poll feeds its own CPU's
+            // backlog, no steering point exists there.
+            if pkt.stage == 1 {
+                pkt.guard = None;
+                continue;
+            }
+
+            // B→C and C→D: the steering points. Resolve the policy's
+            // preference, then the flow table's order-safe verdict.
+            let ifindex = if pkt.stage == 2 { VXLAN_IF } else { VETH_IF };
+            let choice = self.policy.choose(pkt.desc.rx_hash, ifindex, &self.depths);
+            self.stats.decisions += 1;
+            if choice.second {
+                self.stats.second_choices += 1;
+            }
+            let route = self.flows.route(pkt.desc.flow, ifindex, choice.worker);
+            if self.tracer.is_enabled() {
+                self.tracer.emit(
+                    done,
+                    EventKind::FalconChoice {
+                        ifindex,
+                        hash: pkt.desc.rx_hash,
+                        first: choice.first,
+                        chosen: route.worker,
+                        second: choice.second,
+                    },
+                );
+                if route.migrated {
+                    self.tracer.emit(
+                        done,
+                        EventKind::FlowMigration {
+                            flow: pkt.desc.flow,
+                            ifindex,
+                            from: self.me,
+                            to: route.worker,
+                        },
+                    );
+                }
+            }
+            if route.migrated {
+                self.stats.migrations += 1;
+            }
+            pkt.guard = Some(route.guard);
+            if route.worker == self.me {
+                continue;
+            }
+            let dst = route.worker;
+            let stage_in = pkt.stage;
+            let (pkt_id, flow) = (pkt.desc.id.0, pkt.desc.flow);
+            match self.outbound[dst].try_push(pkt) {
+                Ok(()) => {
+                    self.depths.inc(dst);
+                    if self.tracer.is_enabled() {
+                        let qlen = self.depths.depth(dst);
+                        let kind = if stage_in == 2 {
+                            EventKind::GroCellEnqueue {
+                                cpu: dst,
+                                pkt: pkt_id,
+                                flow,
+                                qlen,
+                            }
+                        } else {
+                            EventKind::BacklogEnqueue {
+                                cpu: dst,
+                                pkt: pkt_id,
+                                flow,
+                                qlen,
+                            }
+                        };
+                        self.tracer.emit(done, kind);
+                    }
+                }
+                Err(lost) => {
+                    // Tail drop, kernel style: the stage's input queue
+                    // is full and nobody retries.
+                    if let Some(guard) = lost.guard.as_deref() {
+                        release(guard);
+                    }
+                    let reason = drop_reason_into(stage_in);
+                    self.stats.drops[reason.index()] += 1;
+                    self.tracer.emit(
+                        done,
+                        EventKind::QueueDrop {
+                            reason,
+                            cpu: dst,
+                            pkt: pkt_id,
+                            flow,
+                        },
+                    );
+                    self.dropped.fetch_add(1, Ordering::Release);
+                }
+            }
+            return;
+        }
+    }
+}
+
+/// How long the injector yields against a full stage-A ring before
+/// giving up and tail-dropping. Open-loop injection wants backpressure,
+/// not loss, so this is generous; it only trips if workers stall.
+const INJECT_MAX_YIELDS: u32 = 1_000_000;
+
+/// Runs one scenario to completion and returns the full output.
+///
+/// Spawns `scenario.workers` (clamped to the host) worker threads plus
+/// an injector, waits for every injected packet to be delivered or
+/// dropped, then joins everything and hands back per-worker stats.
+pub fn run_scenario(scenario: &Scenario) -> RunOutput {
+    let n = clamp_workers(scenario.workers);
+    let cost = CostModel::kernel_5_4();
+    let mut stage_ns = cost.overlay_udp_stage_ns(scenario.payload);
+    for s in stage_ns.iter_mut() {
+        *s = *s * scenario.work_scale_milli / 1000;
+    }
+    let locality_penalty_ns = cost.locality_penalty_ns * scenario.work_scale_milli / 1000;
+
+    let policy = Arc::new(Policy::new(scenario.policy, n));
+    let flows = Arc::new(FlowTable::new(n * 4));
+    let depths = Arc::new(DepthGauge::new(n, scenario.napi_budget.max(1)));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let dropped = Arc::new(AtomicU64::new(0));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // Workers + injector + the orchestrating thread.
+    let barrier = Arc::new(Barrier::new(n + 2));
+    let epoch = Epoch::start();
+
+    // Ring mesh: producer side indexed [src][dst], consumer side
+    // [dst][src]. Sources 0..n are workers; source n is the injector.
+    let mut producers: Vec<Vec<Option<Producer<DpPkt>>>> =
+        (0..=n).map(|_| (0..n).map(|_| None).collect()).collect();
+    let mut consumers: Vec<Vec<Option<Consumer<DpPkt>>>> =
+        (0..n).map(|_| (0..=n).map(|_| None).collect()).collect();
+    for (src, row) in producers.iter_mut().enumerate() {
+        for (dst, slot) in row.iter_mut().enumerate() {
+            let (tx, rx) = ring::<DpPkt>(scenario.ring_capacity);
+            *slot = Some(tx);
+            consumers[dst][src] = Some(rx);
+        }
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (me, inbound_row) in consumers.into_iter().enumerate() {
+        let ctx = WorkerCtx {
+            me,
+            stage_ns,
+            locality_penalty_ns,
+            napi_budget: scenario.napi_budget.max(1),
+            epoch,
+            policy: Arc::clone(&policy),
+            flows: Arc::clone(&flows),
+            depths: Arc::clone(&depths),
+            delivered: Arc::clone(&delivered),
+            dropped: Arc::clone(&dropped),
+            shutdown: Arc::clone(&shutdown),
+            inbound: inbound_row.into_iter().flatten().collect(),
+            outbound: producers[me]
+                .iter_mut()
+                .map(|p| p.take().expect("worker producer"))
+                .collect(),
+            tracer: if scenario.trace_capacity > 0 {
+                Tracer::new(scenario.trace_capacity)
+            } else {
+                Tracer::disabled()
+            },
+            stats: WorkerStats::default(),
+        };
+        let barrier = Arc::clone(&barrier);
+        let pin = scenario.pin;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("dp-worker-{me}"))
+                .spawn(move || ctx.run(barrier, pin))
+                .expect("spawn worker"),
+        );
+    }
+
+    // Injector: source index n.
+    let injector = {
+        let mut to_workers: Vec<Producer<DpPkt>> = producers[n]
+            .iter_mut()
+            .map(|p| p.take().expect("injector producer"))
+            .collect();
+        let policy = Arc::clone(&policy);
+        let flows_table = Arc::clone(&flows);
+        let depths = Arc::clone(&depths);
+        let dropped = Arc::clone(&dropped);
+        let barrier = Arc::clone(&barrier);
+        let scenario = scenario.clone();
+        std::thread::Builder::new()
+            .name("dp-injector".to_string())
+            .spawn(move || {
+                barrier.wait();
+                let mut inject_drops = 0u64;
+                let mut seqs = vec![0u64; scenario.flows.max(1) as usize];
+                for i in 0..scenario.packets {
+                    let flow = i % scenario.flows.max(1);
+                    let seq = seqs[flow as usize];
+                    seqs[flow as usize] += 1;
+                    // A stable per-flow RSS hash, like the NIC's
+                    // Toeplitz over the 5-tuple.
+                    let rx_hash = hash_32(0x517c_c1b7u32.wrapping_add(flow as u32), 32);
+                    let desc = PktDesc::new(i, flow, seq, rx_hash, scenario.payload as u32);
+                    let want = policy.rss_worker(rx_hash);
+                    let route = flows_table.route(flow, PNIC_IF, want);
+                    let now = epoch.now_ns();
+                    let mut pkt = DpPkt {
+                        desc,
+                        stage: 0,
+                        injected_ns: now,
+                        enqueued_ns: now,
+                        last_worker: usize::MAX,
+                        guard: Some(route.guard),
+                    };
+                    let dst = route.worker;
+                    let mut yields = 0u32;
+                    loop {
+                        match to_workers[dst].try_push(pkt) {
+                            Ok(()) => {
+                                depths.inc(dst);
+                                break;
+                            }
+                            Err(back) => {
+                                yields += 1;
+                                if yields >= INJECT_MAX_YIELDS {
+                                    if let Some(guard) = back.guard.as_deref() {
+                                        release(guard);
+                                    }
+                                    inject_drops += 1;
+                                    dropped.fetch_add(1, Ordering::Release);
+                                    break;
+                                }
+                                pkt = back;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    if scenario.inject_gap_ns > 0 {
+                        spin_for_ns(scenario.inject_gap_ns);
+                    }
+                }
+                inject_drops
+            })
+            .expect("spawn injector")
+    };
+    drop(producers);
+
+    barrier.wait();
+    let t0 = epoch.now_ns();
+    let inject_drops = injector.join().expect("injector thread");
+
+    // Quiescence: every injected packet is accounted for as a delivery
+    // or a drop. The deadline only trips if the pipeline wedges.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire) < scenario.packets {
+        if std::time::Instant::now() >= deadline {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let wall_ns = epoch.now_ns() - t0;
+    shutdown.store(true, Ordering::Release);
+
+    let workers_stats: Vec<WorkerStats> = handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread"))
+        .collect();
+
+    RunOutput {
+        policy: scenario.policy,
+        workers: n,
+        host_cores: available_cores(),
+        injected: scenario.packets,
+        inject_drops,
+        wall_ns,
+        stage_ns,
+        flow_pairs: flows.pairs(),
+        workers_stats,
+        meta: scenario.trace_meta(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fast scenario for unit tests: tiny work units, modest packet
+    /// count, no pinning (CI runners may share cores).
+    fn quick(policy: PolicyKind, workers: usize) -> Scenario {
+        Scenario {
+            policy,
+            workers,
+            packets: 2_000,
+            flows: 3,
+            payload: 64,
+            ring_capacity: 256,
+            napi_budget: 32,
+            work_scale_milli: 20,
+            inject_gap_ns: 0,
+            pin: false,
+            trace_capacity: 0,
+        }
+    }
+
+    #[test]
+    fn vanilla_conserves_and_orders() {
+        let out = run_scenario(&quick(PolicyKind::Vanilla, 2));
+        assert_eq!(out.delivered() + out.dropped(), out.injected);
+        let (checks, violations) = out.order_audit();
+        assert!(checks > 0);
+        assert_eq!(violations, 0, "vanilla must never reorder");
+    }
+
+    #[test]
+    fn falcon_conserves_and_orders() {
+        let out = run_scenario(&quick(PolicyKind::Falcon, 2));
+        assert_eq!(out.delivered() + out.dropped(), out.injected);
+        let (checks, violations) = out.order_audit();
+        assert!(checks > 0);
+        assert_eq!(violations, 0, "falcon must never reorder");
+    }
+
+    #[test]
+    fn every_stage_runs_once_per_delivered_packet() {
+        let out = run_scenario(&quick(PolicyKind::Falcon, 2));
+        let delivered = out.delivered();
+        let mut per_stage = [0u64; STAGES];
+        for w in &out.workers_stats {
+            for (acc, p) in per_stage.iter_mut().zip(w.processed.iter()) {
+                *acc += p;
+            }
+        }
+        // Stage A ran for everything that entered; stage D exactly for
+        // deliveries; drops in between explain any difference.
+        assert_eq!(per_stage[3], delivered);
+        assert!(per_stage[0] >= per_stage[1]);
+        assert!(per_stage[1] >= per_stage[2]);
+        assert!(per_stage[2] >= per_stage[3]);
+        assert_eq!(per_stage[0], out.injected - out.inject_drops);
+    }
+
+    #[test]
+    fn tracing_captures_the_pipeline() {
+        let mut s = quick(PolicyKind::Falcon, 2);
+        s.packets = 200;
+        s.trace_capacity = 8_192;
+        let out = run_scenario(&s);
+        let events = out.merged_events();
+        let execs = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Exec { .. }))
+            .count();
+        let delivers = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Deliver { .. }))
+            .count();
+        assert_eq!(delivers as u64, out.delivered());
+        assert!(execs as u64 >= out.delivered() * STAGES as u64);
+        // Chronological after merge.
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_serial() {
+        let out = run_scenario(&quick(PolicyKind::Falcon, 1));
+        assert_eq!(out.workers, 1);
+        assert_eq!(out.delivered() + out.dropped(), out.injected);
+        let (_, violations) = out.order_audit();
+        assert_eq!(violations, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! `falcon-dataplane`: the modeled overlay receive path on real cores.
+//!
+//! Everything else in this workspace *simulates* the paper's container
+//! receive pipeline — deterministic virtual time, one thread. This
+//! crate closes the loop: it runs the same four modeled stages
+//! (pNIC poll → outer stack + VXLAN decap → gro_cell/bridge/veth →
+//! container stack) on actual OS threads pinned to actual cores, with
+//! the same stage costs ([`CostModel::overlay_udp_stage_ns`]
+//! busy-spun into real CPU occupancy), the same steering math
+//! ([`falcon::balance::falcon_choices_by`] over live queue depths), and
+//! the same ordering invariant (checked post-run with the netstack's
+//! `OrderTracker`). The wall clock — not virtual time — is the
+//! measurement: Falcon's softirq pipelining must beat the serialized
+//! vanilla path with real threads or not at all.
+//!
+//! [`CostModel::overlay_udp_stage_ns`]: falcon_netstack::CostModel::overlay_udp_stage_ns
+//!
+//! The moving parts:
+//!
+//! * [`spsc`] — a hand-rolled bounded SPSC ring (cache-padded Lamport
+//!   queue), the per-worker backlog;
+//! * [`affinity`] — `sched_setaffinity` pinning and worker clamping;
+//! * [`spin`] — deadline busy-spinning and the shared timestamp epoch;
+//! * [`steer`] — the Vanilla/Falcon policies, live depth gauges, and
+//!   the in-flight-guarded flow table that forbids order-breaking
+//!   migration;
+//! * [`executor`] — the worker pool, injector, and run orchestration;
+//! * [`report`] — serializable run reports and the vanilla-vs-Falcon
+//!   comparison written to `BENCH_dataplane.json`.
+
+pub mod affinity;
+pub mod executor;
+pub mod report;
+pub mod spin;
+pub mod spsc;
+pub mod steer;
+
+pub use affinity::{available_cores, clamp_workers, pin_current_thread};
+pub use executor::{run_scenario, RunOutput, Scenario, WorkerStats, STAGES};
+pub use report::{DataplaneComparison, DataplaneReport, LatencySummary};
+pub use spin::{spin_for_ns, Epoch};
+pub use spsc::{ring, Consumer, Producer};
+pub use steer::{DepthGauge, FlowTable, Policy, PolicyKind};

@@ -1,0 +1,270 @@
+//! Machine-readable run reports: what `BENCH_dataplane.json` contains.
+//!
+//! A [`DataplaneReport`] condenses one [`RunOutput`] into the numbers
+//! the paper's evaluation cares about — throughput, one-way latency
+//! distribution, per-stage/per-worker occupancy, steering behavior, and
+//! the ordering audit. [`DataplaneComparison`] pairs a vanilla and a
+//! Falcon run of the same scenario, which is the headline artifact: the
+//! wall-clock speedup of pipelining the same modeled work across cores.
+
+use std::collections::BTreeMap;
+
+use falcon_netstack::CostModel;
+use serde::Serialize;
+
+use crate::executor::{RunOutput, Scenario, STAGES};
+
+/// Summary statistics over one-way delivery latencies.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencySummary {
+    /// Arithmetic mean, ns.
+    pub mean_ns: u64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Worst observed, ns.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Computes the summary; all zeros when nothing was delivered.
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary {
+                mean_ns: 0,
+                p50_ns: 0,
+                p99_ns: 0,
+                max_ns: 0,
+            };
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&v| v as u128).sum();
+        LatencySummary {
+            mean_ns: (sum / samples.len() as u128) as u64,
+            p50_ns: percentile(samples, 50.0),
+            p99_ns: percentile(samples, 99.0),
+            max_ns: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One run, condensed for JSON output.
+#[derive(Debug, Clone, Serialize)]
+pub struct DataplaneReport {
+    /// Steering policy ("vanilla" or "falcon").
+    pub policy: String,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Logical cores on the host.
+    pub host_cores: usize,
+    /// Whether every worker's core pin succeeded.
+    pub pinned: bool,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered end-to-end.
+    pub delivered: u64,
+    /// Packets dropped anywhere.
+    pub dropped: u64,
+    /// Drops keyed by reason label.
+    pub drops_by_reason: BTreeMap<String, u64>,
+    /// Wall-clock duration of the run, ns.
+    pub wall_ns: u64,
+    /// Delivered packets per second of wall time.
+    pub throughput_pps: f64,
+    /// One-way latency distribution.
+    pub latency: LatencySummary,
+    /// Modeled per-stage service cost, ns, keyed by stage label.
+    pub stage_service_ns: BTreeMap<String, u64>,
+    /// Stage executions keyed by stage label.
+    pub processed_per_stage: BTreeMap<String, u64>,
+    /// Total stage executions per worker (the load-spread picture).
+    pub per_worker_processed: Vec<u64>,
+    /// Busy-spun ns per worker.
+    pub per_worker_busy_ns: Vec<u64>,
+    /// Steering decisions taken at the B→C and C→D hops.
+    pub steer_decisions: u64,
+    /// Decisions that engaged the two-choice rehash.
+    pub second_choices: u64,
+    /// (flow, device) migrations the flow table allowed.
+    pub migrations: u64,
+    /// (flow, device) pairs tracked.
+    pub flow_pairs: usize,
+    /// Ordering-audit checks performed.
+    pub order_checks: u64,
+    /// Ordering-audit violations (must be 0).
+    pub reorder_violations: u64,
+}
+
+impl DataplaneReport {
+    /// Condenses a finished run.
+    pub fn from_run(out: &RunOutput) -> Self {
+        let labels = CostModel::overlay_udp_stage_labels();
+        let delivered = out.delivered();
+        let dropped = out.dropped();
+        let mut latencies: Vec<u64> = out
+            .workers_stats
+            .iter()
+            .flat_map(|w| w.latencies.iter().copied())
+            .collect();
+        let mut per_stage = [0u64; STAGES];
+        for w in &out.workers_stats {
+            for (acc, p) in per_stage.iter_mut().zip(w.processed.iter()) {
+                *acc += p;
+            }
+        }
+        let (order_checks, reorder_violations) = out.order_audit();
+        let throughput_pps = if out.wall_ns > 0 {
+            delivered as f64 * 1e9 / out.wall_ns as f64
+        } else {
+            0.0
+        };
+        DataplaneReport {
+            policy: out.policy.label().to_string(),
+            workers: out.workers,
+            host_cores: out.host_cores,
+            pinned: !out.workers_stats.is_empty() && out.workers_stats.iter().all(|w| w.pinned),
+            injected: out.injected,
+            delivered,
+            dropped,
+            drops_by_reason: falcon_trace::DropReason::ALL
+                .iter()
+                .zip(out.drops_by_reason().iter())
+                .map(|(r, &n)| (r.label().to_string(), n))
+                .collect(),
+            wall_ns: out.wall_ns,
+            throughput_pps,
+            latency: LatencySummary::from_samples(&mut latencies),
+            stage_service_ns: labels
+                .iter()
+                .zip(out.stage_ns.iter())
+                .map(|(l, &ns)| (l.to_string(), ns))
+                .collect(),
+            processed_per_stage: labels
+                .iter()
+                .zip(per_stage.iter())
+                .map(|(l, &n)| (l.to_string(), n))
+                .collect(),
+            per_worker_processed: out
+                .workers_stats
+                .iter()
+                .map(|w| w.processed.iter().sum())
+                .collect(),
+            per_worker_busy_ns: out.workers_stats.iter().map(|w| w.busy_ns).collect(),
+            steer_decisions: out.workers_stats.iter().map(|w| w.decisions).sum(),
+            second_choices: out.workers_stats.iter().map(|w| w.second_choices).sum(),
+            migrations: out.workers_stats.iter().map(|w| w.migrations).sum(),
+            flow_pairs: out.flow_pairs,
+            order_checks,
+            reorder_violations,
+        }
+    }
+}
+
+/// The headline artifact: vanilla vs Falcon on the same scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct DataplaneComparison {
+    /// Logical cores on the host (speedups on <4 cores are not
+    /// meaningful; consumers should gate on this).
+    pub host_cores: usize,
+    /// Workers used by both runs.
+    pub workers: usize,
+    /// Packets injected per run.
+    pub packets: u64,
+    /// Flows per run.
+    pub flows: u64,
+    /// UDP payload bytes.
+    pub payload: usize,
+    /// The serialized baseline.
+    pub vanilla: DataplaneReport,
+    /// The pipelined contender.
+    pub falcon: DataplaneReport,
+    /// `falcon.throughput_pps / vanilla.throughput_pps`.
+    pub speedup: f64,
+}
+
+impl DataplaneComparison {
+    /// Pairs two condensed runs of `scenario` (one per policy).
+    pub fn new(scenario: &Scenario, vanilla: DataplaneReport, falcon: DataplaneReport) -> Self {
+        let speedup = if vanilla.throughput_pps > 0.0 {
+            falcon.throughput_pps / vanilla.throughput_pps
+        } else {
+            0.0
+        };
+        DataplaneComparison {
+            host_cores: crate::affinity::available_cores(),
+            workers: falcon.workers,
+            packets: scenario.packets,
+            flows: scenario.flows,
+            payload: scenario.payload,
+            vanilla,
+            falcon,
+            speedup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::run_scenario;
+    use crate::steer::PolicyKind;
+
+    fn tiny(policy: PolicyKind) -> Scenario {
+        Scenario {
+            policy,
+            workers: 2,
+            packets: 500,
+            flows: 2,
+            work_scale_milli: 20,
+            pin: false,
+            ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut v: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_samples(&mut v);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50);
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(LatencySummary::from_samples(&mut empty).max_ns, 0);
+    }
+
+    #[test]
+    fn report_is_consistent_and_serializes() {
+        let out = run_scenario(&tiny(PolicyKind::Falcon));
+        let report = DataplaneReport::from_run(&out);
+        assert_eq!(report.delivered + report.dropped, report.injected);
+        assert_eq!(report.reorder_violations, 0);
+        assert_eq!(report.per_worker_processed.len(), report.workers);
+        let total_drops: u64 = report.drops_by_reason.values().sum();
+        assert_eq!(total_drops, report.dropped);
+        let json = serde_json::to_string_pretty(&report).expect("serializes");
+        assert!(json.contains("\"throughput_pps\""));
+        assert!(json.contains("\"falcon\""));
+    }
+
+    #[test]
+    fn comparison_computes_speedup() {
+        let scenario = tiny(PolicyKind::Vanilla);
+        let v = DataplaneReport::from_run(&run_scenario(&scenario));
+        let f = DataplaneReport::from_run(&run_scenario(
+            &scenario.clone().with_policy(PolicyKind::Falcon),
+        ));
+        let cmp = DataplaneComparison::new(&scenario, v, f);
+        assert!(cmp.speedup > 0.0, "both runs delivered packets");
+        let json = serde_json::to_string(&cmp).expect("serializes");
+        assert!(json.contains("\"speedup\""));
+    }
+}

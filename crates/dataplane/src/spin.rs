@@ -1,0 +1,89 @@
+//! Deadline busy-spinning: turning modeled nanosecond costs into real
+//! CPU occupancy.
+//!
+//! Each pipeline stage's cost model says "this stage costs N ns of CPU"
+//! — the worker must actually *occupy its core* for that long, or the
+//! wall-clock comparison between serialized (vanilla) and pipelined
+//! (Falcon) execution would measure nothing. Spinning against a
+//! monotonic-clock deadline (rather than a calibrated iteration count)
+//! is robust to frequency scaling and preemption: a worker that gets
+//! descheduled mid-stage simply finishes its stage later, exactly like
+//! a real softirq losing its core.
+
+use std::time::{Duration, Instant};
+
+/// A shared epoch for cross-thread timestamps. `Instant` is a monotonic
+/// clock, so nanosecond offsets from one copied epoch are comparable
+/// across worker threads — the property the post-run ordering merge
+/// relies on.
+#[derive(Debug, Clone, Copy)]
+pub struct Epoch(Instant);
+
+impl Epoch {
+    /// Starts the clock.
+    pub fn start() -> Self {
+        Epoch(Instant::now())
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.0.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Epoch {
+    fn default() -> Self {
+        Epoch::start()
+    }
+}
+
+/// Busy-spins the calling thread for `ns` nanoseconds of wall time and
+/// returns the actually-elapsed duration (≥ `ns`; more if preempted).
+#[inline]
+pub fn spin_for_ns(ns: u64) -> u64 {
+    if ns == 0 {
+        return 0;
+    }
+    let start = Instant::now();
+    let target = Duration::from_nanos(ns);
+    loop {
+        let elapsed = start.elapsed();
+        if elapsed >= target {
+            return elapsed.as_nanos() as u64;
+        }
+        // A few pause hints between clock reads keep the loop polite to
+        // SMT siblings without losing deadline precision.
+        for _ in 0..8 {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_meets_its_deadline() {
+        let spent = spin_for_ns(200_000);
+        assert!(spent >= 200_000, "returned early: {spent}ns");
+        // Not absurdly late either (schedulers permitting); allow 50x
+        // slack for loaded CI machines.
+        assert!(spent < 10_000_000, "suspiciously long spin: {spent}ns");
+    }
+
+    #[test]
+    fn zero_is_free() {
+        assert_eq!(spin_for_ns(0), 0);
+    }
+
+    #[test]
+    fn epoch_is_monotonic() {
+        let e = Epoch::start();
+        let a = e.now_ns();
+        spin_for_ns(10_000);
+        let b = e.now_ns();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,383 @@
+//! Steering policies for the threaded executor, and the global
+//! flow-steering table that makes them order-safe.
+//!
+//! The policies are the paper's two contenders, turned into real
+//! scheduling decisions:
+//!
+//! * [`Policy::Vanilla`] — every stage of a flow runs on the flow-hash
+//!   core, fully serialized: the overlay status quo the paper's §3
+//!   measures.
+//! * [`Policy::Falcon`] — per-(flow, device) placement via the same
+//!   `get_falcon_cpu` hash the simulation uses
+//!   ([`falcon::balance::falcon_choices_by`]), with the two-choice load
+//!   balancer reading *live* per-worker queue depths instead of a
+//!   smoothed load sample.
+//!
+//! Because the balancer reads volatile depths, its preferred target for
+//! a (flow, device) pair can change between packets — exactly the
+//! hazard "Why Does Flow Director Cause Packet Reordering?" describes.
+//! The [`FlowTable`] closes it the way the kernel's `rps_dev_flow`
+//! qtail check does: a (flow, device) pair may only migrate to a new
+//! worker when it has zero packets in flight at that stage. The
+//! in-flight count is a shared atomic each packet carries a handle to;
+//! the consumer releases it after the stage executes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use falcon::balance::falcon_choices_by;
+use falcon::FalconConfig;
+use falcon_cpusim::CpuSet;
+use serde::{Deserialize, Serialize};
+
+/// Which steering policy a dataplane run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// All stages on the flow-hash core (serialized RSS behavior).
+    Vanilla,
+    /// Device-aware hashing + two-choice balancing (the paper).
+    Falcon,
+}
+
+impl PolicyKind {
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Vanilla => "vanilla",
+            PolicyKind::Falcon => "falcon",
+        }
+    }
+}
+
+/// Aligns each worker's depth counter to its own cache line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCounter(AtomicUsize);
+
+/// Live per-worker inbound queue depths — the dataplane's substitute
+/// for the simulation's smoothed [`LoadTracker`](falcon_cpusim::LoadTracker).
+///
+/// Producers increment the target's gauge on a successful push;
+/// consumers decrement on pop. `load()` normalizes depth against
+/// `busy_depth` (≈ one NAPI budget): a worker with a full batch already
+/// queued reads as load 1.0, which is when the two-choice balancer
+/// starts looking elsewhere.
+#[derive(Debug)]
+pub struct DepthGauge {
+    depths: Vec<PaddedCounter>,
+    busy_depth: usize,
+}
+
+impl DepthGauge {
+    /// Creates gauges for `workers` workers.
+    pub fn new(workers: usize, busy_depth: usize) -> Self {
+        DepthGauge {
+            depths: (0..workers).map(|_| PaddedCounter::default()).collect(),
+            busy_depth: busy_depth.max(1),
+        }
+    }
+
+    /// Records one packet queued toward `worker`.
+    #[inline]
+    pub fn inc(&self, worker: usize) {
+        self.depths[worker].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one packet dequeued by `worker`.
+    #[inline]
+    pub fn dec(&self, worker: usize) {
+        self.depths[worker].0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current queued-packet count for `worker`.
+    #[inline]
+    pub fn depth(&self, worker: usize) -> usize {
+        self.depths[worker].0.load(Ordering::Relaxed)
+    }
+
+    /// Depth normalized to `0..=1` against the busy threshold.
+    #[inline]
+    pub fn load(&self, worker: usize) -> f64 {
+        (self.depth(worker) as f64 / self.busy_depth as f64).min(1.0)
+    }
+
+    /// Number of workers tracked.
+    pub fn workers(&self) -> usize {
+        self.depths.len()
+    }
+}
+
+/// A steering decision: the preferred worker and whether the two-choice
+/// rehash was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// First-choice worker from the device-aware hash.
+    pub first: usize,
+    /// Preferred worker for the stage (== `first` unless rehashed).
+    pub worker: usize,
+    /// Whether the first choice was over threshold and the second
+    /// random choice was used.
+    pub second: bool,
+}
+
+/// A steering policy instance, shared read-only across workers.
+#[derive(Debug)]
+pub enum Policy {
+    /// Serialized: flow-hash placement for every stage.
+    Vanilla {
+        /// The worker set hashed over.
+        workers: CpuSet,
+    },
+    /// The paper's Algorithm 1 over live queue depths.
+    Falcon {
+        /// Falcon knobs; `falcon_cpus` is the worker set.
+        config: FalconConfig,
+    },
+}
+
+impl Policy {
+    /// Builds the policy for `kind` over workers `0..n`.
+    pub fn new(kind: PolicyKind, n_workers: usize) -> Self {
+        match kind {
+            PolicyKind::Vanilla => Policy::Vanilla {
+                workers: CpuSet::first_n(n_workers),
+            },
+            PolicyKind::Falcon => Policy::Falcon {
+                config: FalconConfig::new(CpuSet::first_n(n_workers)).with_always_on(true),
+            },
+        }
+    }
+
+    /// Builds a Falcon policy with explicit knobs (threshold, ablations).
+    pub fn falcon(config: FalconConfig) -> Self {
+        Policy::Falcon { config }
+    }
+
+    /// The policy's report label.
+    pub fn kind(&self) -> PolicyKind {
+        match self {
+            Policy::Vanilla { .. } => PolicyKind::Vanilla,
+            Policy::Falcon { .. } => PolicyKind::Falcon,
+        }
+    }
+
+    /// The core a flow's packets arrive on (RSS): both policies pin
+    /// stage A to the flow-hash worker, like the NIC's indirection
+    /// table does.
+    pub fn rss_worker(&self, rx_hash: u32) -> usize {
+        match self {
+            Policy::Vanilla { workers } => workers.pick_by_hash(rx_hash),
+            Policy::Falcon { config } => config.falcon_cpus.pick_by_hash(rx_hash),
+        }
+    }
+
+    /// Picks the worker for the stage behind device `ifindex`.
+    pub fn choose(&self, rx_hash: u32, ifindex: u32, depths: &DepthGauge) -> Choice {
+        match self {
+            Policy::Vanilla { workers } => {
+                let worker = workers.pick_by_hash(rx_hash);
+                Choice {
+                    first: worker,
+                    worker,
+                    second: false,
+                }
+            }
+            Policy::Falcon { config } => {
+                let (first, worker, second) =
+                    falcon_choices_by(config, rx_hash, ifindex, |c| depths.load(c));
+                Choice {
+                    first,
+                    worker,
+                    second,
+                }
+            }
+        }
+    }
+}
+
+/// One resolved route: where the packet actually goes, and the
+/// in-flight guard the consumer must release after the stage runs.
+#[derive(Debug)]
+pub struct Route {
+    /// Worker the packet must be enqueued to.
+    pub worker: usize,
+    /// In-flight count for this (flow, device); already incremented.
+    pub guard: Arc<AtomicU32>,
+    /// Whether this packet moved the pair to a new worker.
+    pub migrated: bool,
+}
+
+/// Releases one in-flight registration (call after the stage executed,
+/// or when the enqueue was dropped).
+#[inline]
+pub fn release(guard: &AtomicU32) {
+    guard.fetch_sub(1, Ordering::Release);
+}
+
+#[derive(Debug)]
+struct FlowEntry {
+    worker: usize,
+    inflight: Arc<AtomicU32>,
+}
+
+/// The global sticky (flow, device) → worker table with in-flight
+/// migration protection. Sharded mutexes: one short critical section
+/// per stage transition, like the kernel's per-table RPS flow state.
+#[derive(Debug)]
+pub struct FlowTable {
+    shards: Vec<Mutex<HashMap<(u64, u32), FlowEntry>>>,
+}
+
+impl FlowTable {
+    /// Creates a table with `shards` lock shards (rounded up to a power
+    /// of two).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        FlowTable {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, flow: u64, ifindex: u32) -> &Mutex<HashMap<(u64, u32), FlowEntry>> {
+        let mixed = (flow ^ ((ifindex as u64) << 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let idx = (mixed >> 48) as usize & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Resolves where a (flow, device) packet runs, given the policy's
+    /// preferred worker. The preference is honored immediately for new
+    /// pairs; an established pair follows its current worker until it
+    /// has zero packets in flight, then migrates. The returned route
+    /// has one in-flight registration the consumer must [`release`].
+    pub fn route(&self, flow: u64, ifindex: u32, want: usize) -> Route {
+        let mut map = self.shard(flow, ifindex).lock().expect("unpoisoned shard");
+        let entry = map.entry((flow, ifindex)).or_insert_with(|| FlowEntry {
+            worker: want,
+            inflight: Arc::new(AtomicU32::new(0)),
+        });
+        let mut migrated = false;
+        if entry.worker != want && entry.inflight.load(Ordering::Acquire) == 0 {
+            entry.worker = want;
+            migrated = true;
+        }
+        entry.inflight.fetch_add(1, Ordering::AcqRel);
+        Route {
+            worker: entry.worker,
+            guard: Arc::clone(&entry.inflight),
+            migrated,
+        }
+    }
+
+    /// Total (flow, device) pairs tracked.
+    pub fn pairs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("unpoisoned shard").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_serializes_all_stages() {
+        let p = Policy::new(PolicyKind::Vanilla, 4);
+        let depths = DepthGauge::new(4, 64);
+        let h = 0xBEEF_CAFE;
+        let a = p.rss_worker(h);
+        let b = p.choose(h, 2, &depths);
+        let c = p.choose(h, 3, &depths);
+        assert_eq!(a, b.worker);
+        assert_eq!(b.worker, c.worker, "vanilla never leaves the flow core");
+        assert!(!b.second && !c.second);
+    }
+
+    #[test]
+    fn falcon_spreads_stages_of_one_flow() {
+        let p = Policy::new(PolicyKind::Falcon, 8);
+        let depths = DepthGauge::new(8, 64);
+        let mut spread = 0;
+        for f in 0..200u32 {
+            let h = 0x9E37_0000u32.wrapping_add(f.wrapping_mul(2_654_435_761));
+            let b = p.choose(h, 2, &depths).worker;
+            let c = p.choose(h, 3, &depths).worker;
+            if b != c {
+                spread += 1;
+            }
+        }
+        assert!(spread > 120, "only {spread}/200 flows had distinct stages");
+    }
+
+    #[test]
+    fn falcon_second_choice_reads_live_depths() {
+        let p = Policy::new(PolicyKind::Falcon, 4);
+        let depths = DepthGauge::new(4, 8);
+        // Find a (hash, dev) whose first choice is worker 2.
+        let (h, dev) = (0..10_000u32)
+            .flat_map(|h| [(h, 2u32), (h, 3u32)])
+            .find(|&(h, d)| p.choose(h, d, &depths).worker == 2)
+            .expect("some input maps to worker 2");
+        // Saturate worker 2's queue: the rehash engages.
+        for _ in 0..8 {
+            depths.inc(2);
+        }
+        let choice = p.choose(h, dev, &depths);
+        assert!(choice.second, "depth-saturated first choice must rehash");
+        // Draining the queue restores the first choice.
+        for _ in 0..8 {
+            depths.dec(2);
+        }
+        let calm = p.choose(h, dev, &depths);
+        assert_eq!(calm.worker, 2);
+        assert!(!calm.second);
+    }
+
+    #[test]
+    fn flow_table_blocks_inflight_migration() {
+        let t = FlowTable::new(8);
+        let r1 = t.route(7, 2, 0);
+        assert_eq!(r1.worker, 0);
+        assert!(!r1.migrated);
+        // One packet in flight: a different preference must not move
+        // the pair.
+        let r2 = t.route(7, 2, 3);
+        assert_eq!(r2.worker, 0, "migration with packets in flight");
+        assert!(!r2.migrated);
+        // Drain both packets, then the pair may move.
+        release(&r1.guard);
+        release(&r2.guard);
+        let r3 = t.route(7, 2, 3);
+        assert_eq!(r3.worker, 3);
+        assert!(r3.migrated);
+        release(&r3.guard);
+        assert_eq!(t.pairs(), 1);
+    }
+
+    #[test]
+    fn flow_table_pairs_are_independent() {
+        let t = FlowTable::new(4);
+        let a = t.route(1, 2, 0);
+        let b = t.route(1, 3, 1);
+        let c = t.route(2, 2, 2);
+        assert_eq!((a.worker, b.worker, c.worker), (0, 1, 2));
+        assert_eq!(t.pairs(), 3);
+    }
+
+    #[test]
+    fn depth_gauge_normalizes() {
+        let g = DepthGauge::new(2, 10);
+        assert_eq!(g.load(0), 0.0);
+        for _ in 0..5 {
+            g.inc(0);
+        }
+        assert!((g.load(0) - 0.5).abs() < 1e-9);
+        for _ in 0..20 {
+            g.inc(0);
+        }
+        assert_eq!(g.load(0), 1.0, "saturates at 1.0");
+        assert_eq!(g.depth(1), 0);
+    }
+}

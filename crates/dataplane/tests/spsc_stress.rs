@@ -1,0 +1,171 @@
+//! SPSC ring stress tests: millions of cross-thread operations under
+//! `--release`, boundary behavior at full/empty, and drop accounting.
+//!
+//! Debug builds use a reduced operation count so `cargo test` stays
+//! fast; the CI dataplane job runs this file with `--release` at the
+//! full multi-million-op count.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use falcon_dataplane::spsc::ring;
+
+/// Ops per stress run: millions in release, thousands in debug.
+fn stress_ops() -> u64 {
+    if cfg!(debug_assertions) {
+        200_000
+    } else {
+        3_000_000
+    }
+}
+
+#[test]
+fn fifo_over_millions_of_ops() {
+    let n = stress_ops();
+    let (mut tx, mut rx) = ring::<u64>(1024);
+    let producer = std::thread::spawn(move || {
+        for i in 0..n {
+            loop {
+                match tx.try_push(i) {
+                    Ok(()) => break,
+                    // Yield, not spin: single-core hosts must actually
+                    // switch to the consumer to make progress.
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        }
+    });
+    let mut expected = 0u64;
+    while expected < n {
+        match rx.pop() {
+            Some(v) => {
+                assert_eq!(v, expected, "FIFO violated at item {expected}");
+                expected += 1;
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    producer.join().expect("producer");
+    assert!(rx.pop().is_none(), "ring must be empty after the run");
+}
+
+#[test]
+fn tiny_ring_maximum_contention() {
+    // Capacity 2: every push/pop races on the full/empty boundary, the
+    // worst case for the cached-index fast path.
+    let n = stress_ops() / 4;
+    let (mut tx, mut rx) = ring::<u64>(2);
+    let producer = std::thread::spawn(move || {
+        for i in 0..n {
+            while tx.try_push(i).is_err() {
+                std::thread::yield_now();
+            }
+        }
+    });
+    let mut expected = 0u64;
+    while expected < n {
+        match rx.pop() {
+            Some(v) => {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+            None => std::thread::yield_now(),
+        }
+    }
+    producer.join().expect("producer");
+}
+
+#[test]
+fn drop_on_full_accounting_under_load() {
+    // Consumer is deliberately slower than the producer, so the
+    // producer must tail-drop; at the end, accepted + dropped must
+    // exactly equal the attempts and every accepted item must arrive
+    // in order.
+    let n = stress_ops() / 4;
+    let (mut tx, mut rx) = ring::<u64>(64);
+    let done = Arc::new(AtomicBool::new(false));
+    let done_rx = Arc::clone(&done);
+    let consumer = std::thread::spawn(move || {
+        let mut received = 0u64;
+        let mut last: Option<u64> = None;
+        loop {
+            match rx.pop() {
+                Some(v) => {
+                    if let Some(prev) = last {
+                        assert!(v > prev, "order violated: {v} after {prev}");
+                    }
+                    last = Some(v);
+                    received += 1;
+                    // Slow consumer: extra work per item.
+                    std::hint::black_box((0..32).sum::<u64>());
+                }
+                None => {
+                    if done_rx.load(Ordering::Acquire) && rx.is_empty() {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        received
+    });
+    let mut accepted = 0u64;
+    for i in 0..n {
+        if tx.push_or_drop(i) {
+            accepted += 1;
+        }
+    }
+    let dropped = tx.dropped();
+    done.store(true, Ordering::Release);
+    let received = consumer.join().expect("consumer");
+    assert_eq!(accepted + dropped, n, "every attempt accounted for");
+    assert_eq!(received, accepted, "every accepted item consumed");
+    assert!(
+        dropped > 0,
+        "a 64-slot ring against a slow consumer must drop"
+    );
+}
+
+#[test]
+fn full_empty_boundaries_are_exact() {
+    let (mut tx, mut rx) = ring::<u32>(8);
+    // Drive the indices around the wrap point several times so the
+    // monotonic counters exercise masked wrapping.
+    for round in 0..100u32 {
+        for i in 0..8 {
+            assert!(tx.try_push(round * 8 + i).is_ok(), "slot {i} must fit");
+        }
+        assert!(tx.try_push(u32::MAX).is_err(), "9th push must fail");
+        assert_eq!(rx.len(), 8);
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(round * 8 + i));
+        }
+        assert!(rx.pop().is_none(), "empty ring must yield None");
+        assert!(rx.is_empty());
+    }
+}
+
+#[test]
+fn concurrent_occupancy_is_bounded_by_capacity() {
+    // len() from either side must never exceed capacity, no matter how
+    // the loads interleave.
+    let n = stress_ops() / 8;
+    let (mut tx, mut rx) = ring::<u64>(16);
+    let producer = std::thread::spawn(move || {
+        for i in 0..n {
+            while tx.try_push(i).is_err() {
+                std::thread::yield_now();
+            }
+            assert!(tx.len() <= tx.capacity());
+        }
+    });
+    let mut popped = 0u64;
+    while popped < n {
+        assert!(rx.len() <= rx.capacity());
+        match rx.pop() {
+            Some(_) => popped += 1,
+            None => std::thread::yield_now(),
+        }
+    }
+    producer.join().expect("producer");
+}

@@ -7,10 +7,12 @@
 //! falcon-repro --json fig18            # machine-readable output
 //! falcon-repro fig11 --trace out.json  # also write a Perfetto timeline
 //! falcon-repro --stage-latency         # per-stage latency decomposition
+//! falcon-repro --dataplane             # real threads: vanilla vs Falcon wall-clock
 //! ```
 
 use std::process::ExitCode;
 
+use falcon_experiments::dataplane;
 use falcon_experiments::figs;
 use falcon_experiments::measure::Scale;
 use falcon_experiments::tracedrun;
@@ -18,7 +20,11 @@ use falcon_experiments::tracedrun;
 fn usage() {
     eprintln!(
         "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
-         [--stage-latency] <fig-id>... | all\n\
+         [--stage-latency] [--dataplane] [--workers <n>] [--flows <n>] \
+         [--dataplane-out <path>] [--dataplane-trace <out.json>] <fig-id>... | all\n\
+         --dataplane runs the modeled rx path on real pinned threads and \
+         writes a vanilla-vs-falcon comparison to --dataplane-out \
+         (default BENCH_dataplane.json)\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -33,6 +39,11 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut trace_out: Option<String> = None;
     let mut stage_latency = false;
+    let mut run_dataplane = false;
+    let mut workers: usize = 4;
+    let mut flows: u64 = 1;
+    let mut dataplane_out = "BENCH_dataplane.json".to_string();
+    let mut dataplane_trace: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -49,6 +60,39 @@ fn main() -> ExitCode {
                 }
             },
             "--stage-latency" => stage_latency = true,
+            "--dataplane" => run_dataplane = true,
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => workers = n,
+                _ => {
+                    eprintln!("--workers requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--flows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => flows = n,
+                _ => {
+                    eprintln!("--flows requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dataplane-out" => match args.next() {
+                Some(path) => dataplane_out = path,
+                None => {
+                    eprintln!("--dataplane-out requires a path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--dataplane-trace" => match args.next() {
+                Some(path) => dataplane_trace = Some(path),
+                None => {
+                    eprintln!("--dataplane-trace requires an output path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" | "-l" => {
                 for (id, _) in figs::all() {
                     println!("{id}");
@@ -68,7 +112,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if wanted.is_empty() && trace_out.is_none() && !stage_latency {
+    if wanted.is_empty() && trace_out.is_none() && !stage_latency && !run_dataplane {
         usage();
         return ExitCode::FAILURE;
     }
@@ -119,6 +163,38 @@ fn main() -> ExitCode {
             scale
         );
         print!("{}", tracedrun::stage_latency_report(scale));
+    }
+
+    if run_dataplane {
+        eprintln!(
+            "dataplane: real-thread vanilla vs falcon, {workers} worker(s) \
+             requested ({:?} scale)...",
+            scale
+        );
+        let cmp = dataplane::run_comparison(scale, workers, flows);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&cmp).expect("serializable")
+            );
+        } else {
+            print!("{}", dataplane::render(&cmp));
+        }
+        let bench_json = serde_json::to_string_pretty(&cmp).expect("serializable");
+        if let Err(e) = std::fs::write(&dataplane_out, bench_json) {
+            eprintln!("cannot write {dataplane_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {dataplane_out}");
+        if let Some(path) = dataplane_trace {
+            eprintln!("tracing a falcon dataplane run...");
+            let trace_json = dataplane::chrome_trace(scale, workers, flows);
+            if let Err(e) = std::fs::write(&path, trace_json) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} (load it at https://ui.perfetto.dev)");
+        }
     }
 
     ExitCode::SUCCESS

@@ -1,0 +1,160 @@
+//! The real-thread dataplane experiment: vanilla vs Falcon on actual
+//! cores.
+//!
+//! Everything else in this crate measures the *simulation* (virtual
+//! time, one thread). This module drives
+//! [`falcon_dataplane::run_scenario`], where the same modeled stage
+//! costs are busy-spun on real pinned threads and the clock on the wall
+//! is the result. It provides the scenario presets for the two scales,
+//! the back-to-back vanilla/Falcon comparison that becomes
+//! `BENCH_dataplane.json`, a human-readable rendering, and a Perfetto
+//! export of a traced Falcon run so the thread-level pipelining is
+//! visible.
+
+use falcon_dataplane::{run_scenario, DataplaneComparison, DataplaneReport, PolicyKind, Scenario};
+use falcon_trace::chrome;
+
+use crate::measure::Scale;
+
+/// The dataplane scenario at a given scale.
+///
+/// `Quick` shrinks the packet count and scales the stage costs down so
+/// a smoke run finishes in tens of milliseconds even on a loaded 2-core
+/// CI runner; `Full` runs the model costs as-is for a measurement worth
+/// quoting.
+pub fn scenario_for(scale: Scale, workers: usize, flows: u64) -> Scenario {
+    let base = Scenario::default();
+    match scale {
+        Scale::Quick => Scenario {
+            workers,
+            flows,
+            packets: 6_000,
+            work_scale_milli: 250,
+            ..base
+        },
+        Scale::Full => Scenario {
+            workers,
+            flows,
+            packets: 80_000,
+            work_scale_milli: 1000,
+            ..base
+        },
+    }
+}
+
+/// Runs the same scenario under both policies and pairs the reports.
+pub fn run_comparison(scale: Scale, workers: usize, flows: u64) -> DataplaneComparison {
+    let scenario = scenario_for(scale, workers, flows);
+    let vanilla = DataplaneReport::from_run(&run_scenario(
+        &scenario.clone().with_policy(PolicyKind::Vanilla),
+    ));
+    let falcon = DataplaneReport::from_run(&run_scenario(
+        &scenario.clone().with_policy(PolicyKind::Falcon),
+    ));
+    DataplaneComparison::new(&scenario, vanilla, falcon)
+}
+
+/// Renders one report as an indented block.
+fn render_report(r: &DataplaneReport, out: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "  {:<8}  {:>10.0} pps  wall {:>7.1} ms  delivered {}/{} (drops {})",
+        r.policy,
+        r.throughput_pps,
+        r.wall_ns as f64 / 1e6,
+        r.delivered,
+        r.injected,
+        r.dropped,
+    );
+    let _ = writeln!(
+        out,
+        "            latency mean {:.1} us  p50 {:.1} us  p99 {:.1} us  max {:.1} us",
+        r.latency.mean_ns as f64 / 1e3,
+        r.latency.p50_ns as f64 / 1e3,
+        r.latency.p99_ns as f64 / 1e3,
+        r.latency.max_ns as f64 / 1e3,
+    );
+    let _ = writeln!(
+        out,
+        "            per-worker stage execs {:?}  second-choices {}  migrations {}",
+        r.per_worker_processed, r.second_choices, r.migrations,
+    );
+    let _ = writeln!(
+        out,
+        "            ordering: {} checks, {} violations",
+        r.order_checks, r.reorder_violations,
+    );
+}
+
+/// Human-readable comparison summary.
+pub fn render(cmp: &DataplaneComparison) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dataplane: {} packets, {} flow(s), payload {} B, {} worker(s) on {} host core(s)",
+        cmp.packets, cmp.flows, cmp.payload, cmp.workers, cmp.host_cores,
+    );
+    render_report(&cmp.vanilla, &mut out);
+    render_report(&cmp.falcon, &mut out);
+    let _ = writeln!(
+        out,
+        "  speedup   {:.2}x (falcon/vanilla throughput)",
+        cmp.speedup
+    );
+    if cmp.host_cores < 4 {
+        let _ = writeln!(
+            out,
+            "  note: only {} logical core(s) visible; pipelining cannot beat \
+             serialization without cores to pipeline across (the paper's claim \
+             is for >=4 cores)",
+            cmp.host_cores,
+        );
+    }
+    out
+}
+
+/// Runs a traced Falcon dataplane pass and returns Perfetto JSON.
+///
+/// Uses a reduced packet count so the trace stays loadable; the point
+/// of the artifact is *seeing* four stages of one flow overlap on
+/// different worker tracks, not volume.
+pub fn chrome_trace(scale: Scale, workers: usize, flows: u64) -> String {
+    let mut scenario = scenario_for(scale, workers, flows).with_policy(PolicyKind::Falcon);
+    scenario.packets = scenario.packets.min(3_000);
+    scenario.trace_capacity = 64 * 1024;
+    let out = run_scenario(&scenario);
+    chrome::export(&out.merged_events(), &out.meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_comparison_is_sound() {
+        let cmp = run_comparison(Scale::Quick, 2, 1);
+        assert_eq!(
+            cmp.vanilla.delivered + cmp.vanilla.dropped,
+            cmp.vanilla.injected
+        );
+        assert_eq!(
+            cmp.falcon.delivered + cmp.falcon.dropped,
+            cmp.falcon.injected
+        );
+        assert_eq!(cmp.vanilla.reorder_violations, 0);
+        assert_eq!(cmp.falcon.reorder_violations, 0);
+        let text = render(&cmp);
+        assert!(text.contains("speedup"));
+        let json = serde_json::to_string(&cmp).expect("serializes");
+        assert!(json.contains("\"falcon\""));
+    }
+
+    #[test]
+    fn dataplane_trace_exports_perfetto_json() {
+        let json = chrome_trace(Scale::Quick, 2, 1);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("pnic_poll"), "stage slices present");
+    }
+}

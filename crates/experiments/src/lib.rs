@@ -14,6 +14,9 @@
 //! * [`tracedrun`] — representative traced runs backing
 //!   `falcon-repro --trace` (Chrome/Perfetto timeline JSON) and
 //!   `--stage-latency` (per-stage queueing/service decomposition).
+//! * [`dataplane`] — the real-thread executor experiment backing
+//!   `falcon-repro --dataplane`: the modeled rx path busy-spun on
+//!   pinned OS threads, vanilla vs Falcon, measured on the wall clock.
 //!
 //! Run everything with the `falcon-repro` binary:
 //!
@@ -23,6 +26,7 @@
 //! falcon-repro --list
 //! ```
 
+pub mod dataplane;
 pub mod figs;
 pub mod measure;
 pub mod ratesearch;

@@ -43,13 +43,16 @@ pub struct FalconSteering {
     pending: Vec<falcon_trace::EventKind>,
 }
 
-/// Pure Algorithm 1, lines 17–27, exposing both hash choices: returns
+/// Pure Algorithm 1, lines 17–27, generic over the load source:
+/// `load(cpu)` returns that core's current load in `0..=1`. The
+/// simulation passes the smoothed [`LoadTracker`]; the real-thread
+/// dataplane passes live per-worker queue depths. Returns
 /// `(first_choice, chosen_cpu, used_second_choice)`.
-pub fn falcon_choices(
+pub fn falcon_choices_by(
     config: &FalconConfig,
     rx_hash: u32,
     ifindex: u32,
-    loads: &LoadTracker,
+    load: impl Fn(usize) -> f64,
 ) -> (usize, usize, bool) {
     // First choice based on the device hash (line 19–20). With
     // device_aware off (ablation), the hash degenerates to flow-only —
@@ -61,7 +64,7 @@ pub fn falcon_choices(
     };
     let hash = hash_32(input, 32);
     let first = config.falcon_cpus.pick_by_hash(hash);
-    if !config.two_choice || loads.core_load(first) < config.load_threshold {
+    if !config.two_choice || load(first) < config.load_threshold {
         return (first, first, false);
     }
     // Second choice if the first one is overloaded (line 25–26):
@@ -69,6 +72,17 @@ pub fn falcon_choices(
     // fluctuations.
     let second = config.falcon_cpus.pick_by_hash(hash_32(hash, 32));
     (first, second, true)
+}
+
+/// Pure Algorithm 1, lines 17–27, exposing both hash choices: returns
+/// `(first_choice, chosen_cpu, used_second_choice)`.
+pub fn falcon_choices(
+    config: &FalconConfig,
+    rx_hash: u32,
+    ifindex: u32,
+    loads: &LoadTracker,
+) -> (usize, usize, bool) {
+    falcon_choices_by(config, rx_hash, ifindex, |cpu| loads.core_load(cpu))
 }
 
 /// Pure Algorithm 1, lines 17–27: pick the CPU for a softirq given the
@@ -315,6 +329,31 @@ mod tests {
         // The second choice is a re-hash; with 8 CPUs it almost surely
         // differs, and for this particular input it must be stable.
         assert_eq!(get_falcon_cpu(&cfg, hash, ifx, &hot).0, cpu);
+    }
+
+    #[test]
+    fn choices_by_accepts_queue_depth_loads() {
+        // The dataplane's load source is a closure over live queue
+        // depths; it must agree with the LoadTracker-based entry point.
+        let cfg = FalconConfig::new(CpuSet::range(0, 8));
+        let loads = idle_loads(8);
+        let (hash, ifx) = (0..10_000u32)
+            .flat_map(|h| [(h, 1u32), (h, 3u32)])
+            .find(|&(h, i)| get_falcon_cpu(&cfg, h, i, &loads).0 == 5)
+            .expect("some input maps to core 5");
+        // Idle closure: identical to the tracker-based decision.
+        let (first, chosen, second) = falcon_choices_by(&cfg, hash, ifx, |_| 0.0);
+        assert_eq!(
+            (first, chosen, second),
+            falcon_choices(&cfg, hash, ifx, &loads)
+        );
+        // Saturate core 5 through the closure: second choice engages.
+        let (first, chosen, second) =
+            falcon_choices_by(&cfg, hash, ifx, |c| if c == 5 { 1.0 } else { 0.0 });
+        assert_eq!(first, 5);
+        assert!(second, "depth-saturated first choice triggers rehash");
+        let again = falcon_choices_by(&cfg, hash, ifx, |c| if c == 5 { 1.0 } else { 0.0 });
+        assert_eq!(again.1, chosen, "second choice is deterministic");
     }
 
     #[test]

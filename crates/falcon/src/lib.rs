@@ -36,7 +36,7 @@
 pub mod balance;
 pub mod config;
 
-pub use balance::{get_falcon_cpu, FalconSteering};
+pub use balance::{falcon_choices, falcon_choices_by, get_falcon_cpu, FalconSteering};
 pub use config::FalconConfig;
 
 /// Builds a Falcon-enabled steering policy and applies the

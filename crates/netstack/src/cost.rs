@@ -207,6 +207,58 @@ impl CostModel {
     pub fn tx_sendmsg(&self, bytes: usize) -> SimDuration {
         Self::with_bytes(self.tx_sendmsg_ns, self.tx_per_byte, bytes)
     }
+
+    /// Service-time decomposition of the overlay UDP receive path into
+    /// its four softirq stages, for a UDP payload of `payload` bytes.
+    ///
+    /// This is the stage extraction the real-thread dataplane executes:
+    /// each entry is the summed cost of the kernel functions one stage
+    /// runs, exactly as [`rxpath`](crate::rxpath) plans them for a
+    /// non-GRO overlay packet:
+    ///
+    /// 0. pNIC driver poll (`mlx5e_napi_poll`): allocation, GRO
+    ///    fast-exit, `netif_receive_skb`, backlog handoff;
+    /// 1. outer stack (`process_backlog` on the pNIC backlog): IP/UDP
+    ///    receive and VXLAN decapsulation, `netif_rx` into the cell;
+    /// 2. VXLAN `gro_cell_poll`: bridge forward, veth crossing, backlog
+    ///    handoff;
+    /// 3. container stack: `process_backlog`, inner IP/UDP receive,
+    ///    socket queueing.
+    ///
+    /// The cache-miss penalty a stage pays when it runs on a different
+    /// core than its predecessor is *not* included — it is a property
+    /// of the placement, not the stage; callers add
+    /// [`locality_penalty_ns`](Self::locality_penalty_ns) per remote
+    /// transition.
+    pub fn overlay_udp_stage_ns(&self, payload: usize) -> [u64; 4] {
+        // Outer frame: Ethernet(14) + IP(20) + UDP(8) + payload, inside
+        // a 50-byte VXLAN envelope.
+        let inner_frame = 14 + 20 + 8 + payload;
+        let wire_frame = inner_frame + falcon_packet::VXLAN_OVERHEAD;
+        let a = self.skb_alloc(wire_frame).as_nanos()
+            + self.gro_receive(false, wire_frame).as_nanos()
+            + self.netif_receive_ns
+            + self.enqueue_backlog_ns;
+        let b = self.process_backlog_ns
+            + self.ip_rcv_ns
+            + self.udp_rcv_ns
+            + self.vxlan_rcv(wire_frame).as_nanos()
+            + self.netif_rx_ns;
+        let c = self.gro_cell_poll_ns
+            + self.netif_receive_ns
+            + self.bridge_ns
+            + self.veth_xmit_ns
+            + self.netif_rx_ns
+            + self.enqueue_backlog_ns;
+        let d = self.process_backlog_ns + self.ip_rcv_ns + self.udp_rcv_ns + self.sock_queue_ns;
+        [a, b, c, d]
+    }
+
+    /// Labels for the four stages of
+    /// [`overlay_udp_stage_ns`](Self::overlay_udp_stage_ns).
+    pub fn overlay_udp_stage_labels() -> [&'static str; 4] {
+        ["pnic_poll", "outer_stack", "gro_cell", "container_stack"]
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +311,35 @@ mod tests {
         let gro = m.gro_receive(true, 1448).as_nanos() as f64;
         let ratio = gro / alloc;
         assert!((0.7..1.5).contains(&ratio), "alloc vs GRO balance: {ratio}");
+    }
+
+    #[test]
+    fn overlay_stage_extraction_matches_path_shape() {
+        let m = CostModel::kernel_4_19();
+        let stages = m.overlay_udp_stage_ns(64);
+        // Every stage costs something, and the serialized total is the
+        // ~3 µs the paper measures for one overlay packet (§3.2).
+        for (label, ns) in CostModel::overlay_udp_stage_labels().iter().zip(stages) {
+            assert!(ns > 0, "stage {label} has zero cost");
+        }
+        let total: u64 = stages.iter().sum();
+        assert!(
+            (2_000..6_000).contains(&total),
+            "overlay per-packet cost {total}ns out of calibration range"
+        );
+        // The pipeline bottleneck must be well under the serialized
+        // total, or running stages on different cores buys nothing.
+        let max = *stages.iter().max().expect("non-empty");
+        assert!(
+            (max as f64) < 0.5 * total as f64,
+            "bottleneck {max}ns vs total {total}ns leaves no parallelism"
+        );
+        // Larger payloads only grow byte-dependent stages.
+        let big = m.overlay_udp_stage_ns(1400);
+        assert!(big[0] > stages[0]);
+        assert!(big[1] > stages[1]);
+        assert_eq!(big[2], stages[2]);
+        assert_eq!(big[3], stages[3]);
     }
 
     #[test]

@@ -12,8 +12,11 @@
 //!   travels through the simulated kernel (device pointer, rx hash,
 //!   timestamps, GRO segment count, per-flow sequence numbers).
 //! * [`encap`] — VXLAN encapsulation/decapsulation.
+//! * [`desc`] — the compact [`PktDesc`] descriptor the real-thread
+//!   dataplane (`falcon-dataplane`) moves through its lock-free rings.
 
 pub mod checksum;
+pub mod desc;
 pub mod encap;
 pub mod ethernet;
 pub mod ipv4;
@@ -22,6 +25,7 @@ pub mod tcp;
 pub mod udp;
 pub mod vxlan;
 
+pub use desc::PktDesc;
 pub use encap::{
     build_tcp_frame, build_udp_frame, dissect_flow, vxlan_decapsulate, vxlan_encapsulate,
     EncapParams, VXLAN_OVERHEAD,

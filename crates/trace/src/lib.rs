@@ -406,6 +406,19 @@ impl Tracer {
     }
 }
 
+/// Merges per-thread event streams into one chronological stream.
+///
+/// The real-thread dataplane gives every worker its own [`Tracer`] (the
+/// ring is single-writer by design, like the kernel's per-CPU trace
+/// buffers); after the workers join, their streams are interleaved by
+/// timestamp here before export. The sort is stable, so events a single
+/// worker recorded at the same nanosecond keep their program order.
+pub fn merge_streams(streams: impl IntoIterator<Item = Vec<Event>>) -> Vec<Event> {
+    let mut out: Vec<Event> = streams.into_iter().flatten().collect();
+    out.sort_by_key(|e| e.at_ns);
+    out
+}
+
 /// FNV-1a digest over a packet's (checkpoint, cpu) hop log. The
 /// netstack computes this over `skb.trace` at delivery and embeds it in
 /// [`EventKind::Deliver`]; [`check`] recomputes it from the `StageExec`
@@ -501,6 +514,22 @@ mod tests {
         let times: Vec<u64> = t.events().iter().map(|e| e.at_ns).collect();
         assert_eq!(times, vec![0, 10, 20, 30]);
         assert_eq!(t.overflow(), 0);
+    }
+
+    #[test]
+    fn merge_streams_interleaves_by_timestamp() {
+        let wake = |at, src| Event {
+            at_ns: at,
+            kind: EventKind::Wakeup { src, dst: 0 },
+        };
+        let a = vec![wake(10, 1), wake(30, 1), wake(30, 11)];
+        let b = vec![wake(5, 2), wake(20, 2)];
+        let merged = merge_streams([a, b]);
+        let times: Vec<u64> = merged.iter().map(|e| e.at_ns).collect();
+        assert_eq!(times, vec![5, 10, 20, 30, 30]);
+        // Stable: same-timestamp events keep their per-stream order.
+        assert!(matches!(merged[3].kind, EventKind::Wakeup { src: 1, .. }));
+        assert!(matches!(merged[4].kind, EventKind::Wakeup { src: 11, .. }));
     }
 
     #[test]

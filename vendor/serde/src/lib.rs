@@ -190,7 +190,11 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 
@@ -245,6 +249,10 @@ where
     V: Serialize,
 {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
     }
 }

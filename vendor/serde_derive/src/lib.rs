@@ -183,10 +183,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     )
                 })
                 .collect();
-            format!(
-                "::serde::Value::Object(::std::vec![{}])",
-                pairs.join(", ")
-            )
+            format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
         }
         ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         ItemKind::TupleStruct(n) => {

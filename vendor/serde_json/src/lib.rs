@@ -4,8 +4,8 @@
 
 use std::fmt;
 
-pub use serde::Value;
 use serde::Serialize;
+pub use serde::Value;
 
 /// Serialization / parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -342,7 +342,10 @@ mod tests {
     fn round_trip() {
         let v = Value::Object(vec![
             ("a".into(), Value::Int(3)),
-            ("b".into(), Value::Array(vec![Value::Bool(true), Value::Null])),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Bool(true), Value::Null]),
+            ),
             ("c".into(), Value::Str("x\"y\n".into())),
             ("d".into(), Value::Float(1.5)),
         ]);
