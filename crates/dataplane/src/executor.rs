@@ -17,9 +17,20 @@
 //! A→B is always local (driver poll feeds the same CPU's backlog, as in
 //! the kernel); B→C and C→D are the two steering points the paper's
 //! softirq pipelining exploits, keyed by the vxlan and veth ifindexes.
-//! Workers exchange packets over the SPSC ring mesh; every stage hop
-//! goes through the global [`FlowTable`] so a (flow, device) pair never
-//! migrates with packets in flight — the reordering guard.
+//! Workers exchange packets over the SPSC ring mesh; every steered hop
+//! registers with the global [`FlowTable`], and the registration stays
+//! held until the packet has executed the *following* stage (not just
+//! the routed one). That extra hold is the reordering guard: because
+//! the ring mesh is per-(src, dst), two same-flow packets that reach
+//! one stage's worker from *different* upstream workers travel on
+//! different rings and the fixed-order inbound sweep could pop them
+//! inverted. Holding the previous hop's registration through the next
+//! stage means a (flow, device) pair can only migrate when no packet of
+//! that flow sits anywhere between that stage's routing decision and
+//! the next stage's completion — so all in-flight same-flow packets for
+//! a stage always share one upstream worker, hence one FIFO ring.
+//! (The kernel's `rps_dev_flow` qtail check gets this for free from the
+//! single per-CPU backlog; the ring mesh has to buy it explicitly.)
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -74,6 +85,22 @@ pub struct Scenario {
     pub pin: bool,
     /// Per-worker trace ring capacity (0 = tracing off).
     pub trace_capacity: usize,
+    /// Test-only chaos knob: when nonzero, every steered hop overrides
+    /// the policy's preference with a worker that rotates every
+    /// `chaos_steer_period` packets, forcing constant (flow, device)
+    /// migration pressure on the flow table's in-flight guard. Also
+    /// lifts the host-core clamp on `workers`, so the churn runs
+    /// genuinely multi-worker (oversubscribed) even on small CI hosts
+    /// (0 = off; real runs leave it off).
+    pub chaos_steer_period: u64,
+    /// Test-only chaos knob: busy-spin this many ns between inbound
+    /// ring polls in every worker's sweep. A stalled destination sweep
+    /// is what turns a cross-ring enqueue inversion into an execution
+    /// inversion — the consumer resumes mid-sweep past the ring that
+    /// holds the earlier packet — so this widens the reorder-race
+    /// window from scheduler-preemption-rare to near-certain
+    /// (0 = off; real runs leave it off).
+    pub chaos_sweep_stall_ns: u64,
 }
 
 impl Default for Scenario {
@@ -90,6 +117,8 @@ impl Default for Scenario {
             inject_gap_ns: 0,
             pin: true,
             trace_capacity: 0,
+            chaos_steer_period: 0,
+            chaos_sweep_stall_ns: 0,
         }
     }
 }
@@ -115,7 +144,10 @@ impl Scenario {
 }
 
 /// A per-(flow, checkpoint, seq) observation for the post-run ordering
-/// audit: (completion timestamp, flow, checkpoint, seq).
+/// audit: (completion ticket, flow, checkpoint, seq). The ticket is
+/// drawn from one run-global counter at the instant the stage finished,
+/// giving the audit a total order that can't conflate same-nanosecond
+/// completions on different workers.
 type OrderRec = (u64, u64, u32, u64);
 
 /// A packet in flight through the threaded pipeline.
@@ -129,9 +161,16 @@ struct DpPkt {
     enqueued_ns: u64,
     /// Worker that ran the previous stage (`usize::MAX` = none).
     last_worker: usize,
-    /// In-flight guard of the current (flow, device) routing, released
-    /// after the stage executes.
+    /// In-flight guard of the most recent (flow, device) routing. Held
+    /// until the packet executes the *next* stage (see `prev_guard`),
+    /// or until delivery/drop.
     guard: Option<std::sync::Arc<std::sync::atomic::AtomicU32>>,
+    /// The guard from the routing *before* `guard`, released once the
+    /// current stage has executed. Holding it across the hop is what
+    /// keeps all in-flight same-flow packets for a stage on one
+    /// upstream ring: the pair can't migrate while any packet sits
+    /// between its routing decision and the next stage's completion.
+    prev_guard: Option<std::sync::Arc<std::sync::atomic::AtomicU32>>,
 }
 
 /// What one worker brings home after the run.
@@ -221,16 +260,21 @@ impl RunOutput {
 
     /// Replays every worker's ordering log through the netstack's
     /// [`OrderTracker`](falcon_netstack::ordering::OrderTracker) and returns
-    /// (checks, violations). Entries are sorted by completion timestamp
-    /// (seq as tiebreak for same-ns completions on different cores),
-    /// which is the real-time order the stages finished in.
+    /// (checks, violations). Entries are sorted by the run-global
+    /// completion ticket each worker drew as the stage finished. The
+    /// ticket counter's modification order is a total order consistent
+    /// with the run's happens-before, so two completions the clock
+    /// can't separate still sort in their true order — unlike a
+    /// (timestamp, seq) key, whose seq tiebreak would sort genuinely
+    /// inverted same-nanosecond completions into "correct" order and
+    /// bias the oracle toward passing.
     pub fn order_audit(&self) -> (u64, u64) {
         let mut log: Vec<OrderRec> = self
             .workers_stats
             .iter()
             .flat_map(|w| w.order_log.iter().copied())
             .collect();
-        log.sort_by_key(|&(ts, _, _, seq)| (ts, seq));
+        log.sort_unstable_by_key(|&(ticket, _, _, _)| ticket);
         let mut tracker = falcon_netstack::ordering::OrderTracker::new();
         for (_, flow, checkpoint, seq) in log {
             tracker.check(flow, checkpoint, seq, 1);
@@ -264,7 +308,11 @@ struct WorkerCtx {
     stage_ns: [u64; STAGES],
     locality_penalty_ns: u64,
     napi_budget: usize,
+    chaos_steer_period: u64,
+    chaos_sweep_stall_ns: u64,
     epoch: Epoch,
+    /// Run-global completion ticket counter for the ordering audit.
+    ticket: Arc<AtomicU64>,
     policy: Arc<Policy>,
     flows: Arc<FlowTable>,
     depths: Arc<DepthGauge>,
@@ -286,6 +334,13 @@ impl WorkerCtx {
         loop {
             let mut did_work = false;
             for src in 0..self.inbound.len() {
+                if self.chaos_sweep_stall_ns > 0 {
+                    // Chaos stall (tests only): freeze mid-sweep so
+                    // packets can pile into rings the sweep already
+                    // passed — the inversion shape the guard must
+                    // defeat.
+                    spin_for_ns(self.chaos_sweep_stall_ns);
+                }
                 for _ in 0..self.napi_budget {
                     let Some(pkt) = self.inbound[src].pop() else {
                         break;
@@ -347,20 +402,35 @@ impl WorkerCtx {
                     },
                 );
             }
-            self.stats
-                .order_log
-                .push((done, pkt.desc.flow, cp, pkt.desc.seq));
-            if let Some(guard) = pkt.guard.take() {
-                release(&guard);
+            // Relaxed suffices for the audit ticket: consecutive
+            // executions at one (flow, checkpoint) are linked by
+            // happens-before (same-thread program order, or the ring's
+            // release/acquire across a hop), and RMW coherence on a
+            // single counter then forces their tickets into that order.
+            self.stats.order_log.push((
+                self.ticket.fetch_add(1, Ordering::Relaxed),
+                pkt.desc.flow,
+                cp,
+                pkt.desc.seq,
+            ));
+            // The stage has executed: the packet has retired from the
+            // *previous* routing, so that registration can drop. The
+            // current routing's guard stays held until the next stage
+            // runs (or the packet delivers/drops).
+            if let Some(prev) = pkt.prev_guard.take() {
+                release(&prev);
             }
 
             if stage == 3 {
                 let latency = done.saturating_sub(pkt.injected_ns);
                 self.stats.delivered += 1;
                 self.stats.latencies.push(latency);
-                self.stats
-                    .order_log
-                    .push((done, pkt.desc.flow, DELIVERY_CHECK, pkt.desc.seq));
+                self.stats.order_log.push((
+                    self.ticket.fetch_add(1, Ordering::Relaxed),
+                    pkt.desc.flow,
+                    DELIVERY_CHECK,
+                    pkt.desc.seq,
+                ));
                 self.tracer.emit(
                     done,
                     EventKind::Deliver {
@@ -372,6 +442,9 @@ impl WorkerCtx {
                         hop_hash: 0,
                     },
                 );
+                if let Some(guard) = pkt.guard.take() {
+                    release(&guard);
+                }
                 self.delivered.fetch_add(1, Ordering::Release);
                 return;
             }
@@ -381,16 +454,25 @@ impl WorkerCtx {
             pkt.enqueued_ns = done;
 
             // A→B is local: the driver poll feeds its own CPU's
-            // backlog, no steering point exists there.
+            // backlog, no steering point exists there. The stage-A
+            // routing's guard rides along until stage C has run.
             if pkt.stage == 1 {
-                pkt.guard = None;
                 continue;
             }
 
             // B→C and C→D: the steering points. Resolve the policy's
             // preference, then the flow table's order-safe verdict.
             let ifindex = if pkt.stage == 2 { VXLAN_IF } else { VETH_IF };
-            let choice = self.policy.choose(pkt.desc.rx_hash, ifindex, &self.depths);
+            let mut choice = self.policy.choose(pkt.desc.rx_hash, ifindex, &self.depths);
+            // Chaos steering (tests only, None when the period is 0):
+            // rotate the preferred worker so nearly every packet asks
+            // the flow table for a migration, hammering the in-flight
+            // guard.
+            if let Some(rot) = pkt.desc.seq.checked_div(self.chaos_steer_period) {
+                let n = self.outbound.len();
+                choice.worker = (rot as usize + pkt.stage as usize) % n;
+                choice.second = false;
+            }
             self.stats.decisions += 1;
             if choice.second {
                 self.stats.second_choices += 1;
@@ -422,6 +504,10 @@ impl WorkerCtx {
             if route.migrated {
                 self.stats.migrations += 1;
             }
+            // Hand-over-hand: the old routing's guard becomes the
+            // previous-hop hold, released only after the new stage
+            // executes.
+            pkt.prev_guard = pkt.guard.take();
             pkt.guard = Some(route.guard);
             if route.worker == self.me {
                 continue;
@@ -429,9 +515,12 @@ impl WorkerCtx {
             let dst = route.worker;
             let stage_in = pkt.stage;
             let (pkt_id, flow) = (pkt.desc.id.0, pkt.desc.flow);
+            // Gauge before push: the consumer decrements after pop, so
+            // incrementing after a successful push could race the
+            // matching decrement and underflow the counter.
+            self.depths.inc(dst);
             match self.outbound[dst].try_push(pkt) {
                 Ok(()) => {
-                    self.depths.inc(dst);
                     if self.tracer.is_enabled() {
                         let qlen = self.depths.depth(dst);
                         let kind = if stage_in == 2 {
@@ -455,8 +544,12 @@ impl WorkerCtx {
                 Err(lost) => {
                     // Tail drop, kernel style: the stage's input queue
                     // is full and nobody retries.
+                    self.depths.dec(dst);
                     if let Some(guard) = lost.guard.as_deref() {
                         release(guard);
+                    }
+                    if let Some(prev) = lost.prev_guard.as_deref() {
+                        release(prev);
                     }
                     let reason = drop_reason_into(stage_in);
                     self.stats.drops[reason.index()] += 1;
@@ -488,7 +581,14 @@ const INJECT_MAX_YIELDS: u32 = 1_000_000;
 /// an injector, waits for every injected packet to be delivered or
 /// dropped, then joins everything and hands back per-worker stats.
 pub fn run_scenario(scenario: &Scenario) -> RunOutput {
-    let n = clamp_workers(scenario.workers);
+    // Chaos runs deliberately oversubscribe: the churn needs real
+    // multi-worker ring crossings even on a 1-core CI host, and a
+    // correctness stress doesn't care about perf-clean pinning.
+    let n = if scenario.chaos_steer_period > 0 {
+        scenario.workers.max(1)
+    } else {
+        clamp_workers(scenario.workers)
+    };
     let cost = CostModel::kernel_5_4();
     let mut stage_ns = cost.overlay_udp_stage_ns(scenario.payload);
     for s in stage_ns.iter_mut() {
@@ -502,6 +602,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
     let delivered = Arc::new(AtomicU64::new(0));
     let dropped = Arc::new(AtomicU64::new(0));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let ticket = Arc::new(AtomicU64::new(0));
     // Workers + injector + the orchestrating thread.
     let barrier = Arc::new(Barrier::new(n + 2));
     let epoch = Epoch::start();
@@ -527,7 +628,10 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
             stage_ns,
             locality_penalty_ns,
             napi_budget: scenario.napi_budget.max(1),
+            chaos_steer_period: scenario.chaos_steer_period,
+            chaos_sweep_stall_ns: scenario.chaos_sweep_stall_ns,
             epoch,
+            ticket: Arc::clone(&ticket),
             policy: Arc::clone(&policy),
             flows: Arc::clone(&flows),
             depths: Arc::clone(&depths),
@@ -592,16 +696,18 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
                         enqueued_ns: now,
                         last_worker: usize::MAX,
                         guard: Some(route.guard),
+                        prev_guard: None,
                     };
                     let dst = route.worker;
                     let mut yields = 0u32;
                     loop {
+                        // Gauge before push, undone on failure — same
+                        // underflow hazard as the worker's enqueue.
+                        depths.inc(dst);
                         match to_workers[dst].try_push(pkt) {
-                            Ok(()) => {
-                                depths.inc(dst);
-                                break;
-                            }
+                            Ok(()) => break,
                             Err(back) => {
+                                depths.dec(dst);
                                 yields += 1;
                                 if yields >= INJECT_MAX_YIELDS {
                                     if let Some(guard) = back.guard.as_deref() {
@@ -680,6 +786,8 @@ mod tests {
             inject_gap_ns: 0,
             pin: false,
             trace_capacity: 0,
+            chaos_steer_period: 0,
+            chaos_sweep_stall_ns: 0,
         }
     }
 
@@ -739,6 +847,62 @@ mod tests {
         assert!(execs as u64 >= out.delivered() * STAGES as u64);
         // Chronological after merge.
         assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    /// The C-stage migration race: releasing a stage's guard before the
+    /// packet lands at the next stage let a legal migration put two
+    /// same-flow packets in flight to one stage-D worker over
+    /// *different* source rings, where the fixed-order inbound sweep
+    /// can pop them inverted. The reproducing shape needs all three
+    /// chaos ingredients: per-packet steering rotation (so migrations
+    /// are constantly requested), an injection gap that lands the next
+    /// packet between its predecessor's C-execution and D-execution (so
+    /// the migration is legal under the broken early release), and a
+    /// stalled destination sweep (so the cross-ring enqueue inversion
+    /// becomes an execution inversion). Under the early-release guard
+    /// these configurations produce hundreds of violations per 3k
+    /// packets even on a 1-core host; the hand-over-hand guard
+    /// (previous hop held until the next stage executes) must hold the
+    /// audit at zero.
+    #[test]
+    fn forced_migration_churn_never_reorders() {
+        for (gap, stall) in [(4_000u64, 1_000u64), (4_000, 2_000), (8_000, 1_000)] {
+            let mut s = quick(PolicyKind::Falcon, 4);
+            s.packets = 3_000;
+            s.flows = 1;
+            s.work_scale_milli = 5;
+            s.chaos_steer_period = 1;
+            s.inject_gap_ns = gap;
+            s.chaos_sweep_stall_ns = stall;
+            let out = run_scenario(&s);
+            assert_eq!(out.workers, 4, "chaos lifts the core clamp");
+            assert_eq!(out.delivered() + out.dropped(), out.injected);
+            let (checks, violations) = out.order_audit();
+            assert!(checks > 0);
+            assert_eq!(
+                violations, 0,
+                "reordered under migration churn (gap={gap} stall={stall})"
+            );
+        }
+    }
+
+    /// Paced companion to the churn test: with an injection gap longer
+    /// than the whole pipeline, every packet finds its flow quiescent,
+    /// so each chaos rotation actually migrates — proving the churn
+    /// configuration exercises migration itself, not just refusals.
+    #[test]
+    fn paced_migration_churn_migrates_and_orders() {
+        let mut s = quick(PolicyKind::Falcon, 4);
+        s.packets = 300;
+        s.flows = 1;
+        s.work_scale_milli = 5;
+        s.chaos_steer_period = 1;
+        s.inject_gap_ns = 50_000;
+        let out = run_scenario(&s);
+        let (_, violations) = out.order_audit();
+        assert_eq!(violations, 0);
+        let migrations: u64 = out.workers_stats.iter().map(|w| w.migrations).sum();
+        assert!(migrations > 0, "paced chaos steering must migrate");
     }
 
     #[test]

@@ -19,8 +19,13 @@
 //! The [`FlowTable`] closes it the way the kernel's `rps_dev_flow`
 //! qtail check does: a (flow, device) pair may only migrate to a new
 //! worker when it has zero packets in flight at that stage. The
-//! in-flight count is a shared atomic each packet carries a handle to;
-//! the consumer releases it after the stage executes.
+//! in-flight count is a shared atomic each packet carries a handle to.
+//! Unlike the kernel — where one backlog per CPU makes "drained" safe
+//! on its own — the executor's per-(src, dst) ring mesh means packets
+//! arriving from different upstream workers travel on different FIFOs,
+//! so the executor holds each registration until the packet has
+//! executed the *next* stage (hand-over-hand), not merely the routed
+//! one. See `executor::DpPkt::prev_guard` for the full argument.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -58,8 +63,13 @@ struct PaddedCounter(AtomicUsize);
 /// Live per-worker inbound queue depths — the dataplane's substitute
 /// for the simulation's smoothed [`LoadTracker`](falcon_cpusim::LoadTracker).
 ///
-/// Producers increment the target's gauge on a successful push;
-/// consumers decrement on pop. `load()` normalizes depth against
+/// Producers increment the target's gauge *before* pushing and undo the
+/// increment if the push fails; consumers decrement after pop. The
+/// order matters: incrementing after a successful push races the
+/// consumer's decrement (pop can land between push and increment) and
+/// underflows the counter to `usize::MAX`, which would read as load 1.0
+/// and trigger spurious two-choice rehashes until the increment lands.
+/// `load()` normalizes depth against
 /// `busy_depth` (≈ one NAPI budget): a worker with a full batch already
 /// queued reads as load 1.0, which is when the two-choice balancer
 /// starts looking elsewhere.
@@ -208,8 +218,10 @@ pub struct Route {
     pub migrated: bool,
 }
 
-/// Releases one in-flight registration (call after the stage executed,
-/// or when the enqueue was dropped).
+/// Releases one in-flight registration. The executor calls this once
+/// the packet can no longer be overtaken on its way out of the routed
+/// stage: after the *following* stage has executed, or on delivery, or
+/// when the packet was dropped.
 #[inline]
 pub fn release(guard: &AtomicU32) {
     guard.fetch_sub(1, Ordering::Release);

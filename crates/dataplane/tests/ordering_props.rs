@@ -31,6 +31,8 @@ fn scenario(
         inject_gap_ns: 0,
         pin: false,
         trace_capacity: 0,
+        chaos_steer_period: 0,
+        chaos_sweep_stall_ns: 0,
     }
 }
 
@@ -79,6 +81,25 @@ proptest! {
         packets in 400u64..=1000,
     ) {
         check_run(&scenario(PolicyKind::Falcon, workers, flows, packets, 4))?;
+    }
+
+    /// Chaos steering rotates the preferred worker every few packets,
+    /// asking the flow table for a migration at nearly every steered
+    /// hop — the exact shape of the C-stage race, where a migration
+    /// puts same-flow packets on different source rings into one
+    /// destination worker. The hand-over-hand guard must hold.
+    #[test]
+    fn forced_migrations_preserve_flow_device_order(
+        workers in 2usize..=4,
+        flows in 1u64..=2,
+        packets in 500u64..=2000,
+        period in 1u64..=3,
+        stall_ns in 0u64..=1500,
+    ) {
+        let mut s = scenario(PolicyKind::Falcon, workers, flows, packets, 256);
+        s.chaos_steer_period = period;
+        s.chaos_sweep_stall_ns = stall_ns;
+        check_run(&s)?;
     }
 }
 
