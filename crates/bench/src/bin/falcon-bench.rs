@@ -94,7 +94,7 @@ fn simulation_report(rate: f64, payload: usize) -> SimBenchReport {
 fn usage() {
     eprintln!(
         "usage: falcon-bench [--json] [--quick] [--out <path>] [--dataplane] \
-         [--dataplane-out <path>] [--workers <n>]\n\
+         [--split-gro] [--dataplane-out <path>] [--workers <n>]\n\
          default prints a text summary of the simulation benches; --json \
          prints JSON; --dataplane additionally runs the real-thread executor \
          comparison and writes it to --dataplane-out (default \
@@ -107,6 +107,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut out: Option<String> = None;
     let mut run_dataplane = false;
+    let mut split_gro = false;
     let mut dataplane_out = "BENCH_dataplane.json".to_string();
     let mut workers: usize = 4;
 
@@ -124,6 +125,7 @@ fn main() -> ExitCode {
                 }
             },
             "--dataplane" => run_dataplane = true,
+            "--split-gro" => split_gro = true,
             "--dataplane-out" => match args.next() {
                 Some(path) => dataplane_out = path,
                 None => {
@@ -181,7 +183,7 @@ fn main() -> ExitCode {
         eprintln!(
             "dataplane bench: real-thread vanilla vs falcon ({workers} worker(s) requested)..."
         );
-        let cmp = dataplane::run_comparison(scale, workers, 1);
+        let cmp = dataplane::run_comparison(scale, workers, 1, split_gro);
         print!("{}", dataplane::render(&cmp));
         let cmp_json = serde_json::to_string_pretty(&cmp).expect("serializable");
         if let Err(e) = std::fs::write(&dataplane_out, cmp_json) {

@@ -6,8 +6,8 @@
 //! is one pinned OS thread standing in for a CPU's NET_RX softirq. The
 //! stages and their CPU costs come from the same
 //! [`CostModel`](falcon_netstack::CostModel) the simulation uses
-//! (`overlay_udp_stage_ns`), turned into real core occupancy by
-//! deadline busy-spinning:
+//! (`overlay_udp_stage_ns` and friends), turned into real core
+//! occupancy by deadline busy-spinning:
 //!
 //! ```text
 //! injector ─▸ [A pnic_poll] ─▸ [B outer_stack] ─▸ [C gro_cell] ─▸ [D container_stack] ─▸ deliver
@@ -17,6 +17,22 @@
 //! A→B is always local (driver poll feeds the same CPU's backlog, as in
 //! the kernel); B→C and C→D are the two steering points the paper's
 //! softirq pipelining exploits, keyed by the vxlan and veth ifindexes.
+//!
+//! With [`Scenario::split_gro`] on, the pNIC stage itself splits into
+//! its `skb_allocation` and `napi_gro_receive` halves (paper §4.2, the
+//! Figure 13 "Host+" mechanism) and the pipeline grows a fifth hop:
+//!
+//! ```text
+//! injector ─▸ [A1 alloc] ─▸ [A2 gro] ─▸ [B] ─▸ [C] ─▸ [D] ─▸ deliver
+//!              RSS worker    steered    local  steered steered
+//! ```
+//!
+//! The A1→A2 hop is a steering point keyed by a synthetic device,
+//! [`PNIC_SPLIT_IF`]: Falcon's `(flow, device)` hash then places the
+//! GRO half on its own core, exactly how the paper peels the two ~45 %
+//! halves of the TCP-4KB bottleneck stage apart. A2→B stays local (GRO
+//! completion flows straight into the stack dispatch on the same CPU).
+//!
 //! Workers exchange packets over the SPSC ring mesh; every steered hop
 //! registers with the global [`FlowTable`], and the registration stays
 //! held until the packet has executed the *following* stage (not just
@@ -40,7 +56,8 @@ use falcon_khash::hash_32;
 use falcon_netstack::CostModel;
 use falcon_packet::PktDesc;
 use falcon_trace::{
-    Context, DropReason, Event, EventKind, TraceMeta, Tracer, DELIVERY_CHECK, STAGE_B_CHECK,
+    hop_hash_extend, Context, DropReason, Event, EventKind, TraceMeta, Tracer, DELIVERY_CHECK,
+    HOP_HASH_INIT, STAGE_B_CHECK,
 };
 
 use crate::affinity::{available_cores, clamp_workers, pin_current_thread};
@@ -54,9 +71,42 @@ pub const PNIC_IF: u32 = 1;
 pub const VXLAN_IF: u32 = 2;
 /// Ifindex of the container-side veth (stage D's input backlog).
 pub const VETH_IF: u32 = 3;
+/// Synthetic ifindex of the split-off `napi_gro_receive` half-stage
+/// (the simulator's "eth0:gro" device). Giving the half its own device
+/// id is what lets Falcon's `(flow, device)` hash steer it to a core
+/// distinct from the allocation half.
+pub const PNIC_SPLIT_IF: u32 = 4;
 
-/// Number of pipeline stages.
+/// Number of pipeline stages in the unsplit path.
 pub const STAGES: usize = 4;
+/// Number of pipeline stages with GRO splitting on.
+pub const SPLIT_STAGES: usize = 5;
+
+/// What kind of traffic the injected descriptors stand for — it picks
+/// which `CostModel` stage extraction prices the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficShape {
+    /// Non-coalescable UDP datagrams of `payload` bytes each.
+    Udp,
+    /// One GRO-coalesced TCP message of `payload` bytes per injected
+    /// descriptor, segmented at `mss` bytes on the wire — the
+    /// Figure-13 TCP-4KB shape where the pNIC stage pays per-segment
+    /// allocation + GRO and becomes the bottleneck splitting relieves.
+    TcpGro {
+        /// Wire segment payload size (1448 for standard Ethernet MSS).
+        mss: usize,
+    },
+}
+
+impl TrafficShape {
+    /// Short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            TrafficShape::Udp => "udp".to_string(),
+            TrafficShape::TcpGro { mss } => format!("tcp-gro(mss={mss})"),
+        }
+    }
+}
 
 /// One run's worth of configuration.
 #[derive(Debug, Clone)]
@@ -69,8 +119,14 @@ pub struct Scenario {
     pub packets: u64,
     /// Distinct flows, round-robin across packets.
     pub flows: u64,
-    /// UDP payload bytes (drives the modeled stage costs).
+    /// Payload bytes per injected unit (drives the modeled stage
+    /// costs; a whole coalesced message under [`TrafficShape::TcpGro`]).
     pub payload: usize,
+    /// Traffic shape pricing the stages.
+    pub shape: TrafficShape,
+    /// Run the pNIC stage as two half-stages on the five-hop pipeline
+    /// (paper §4.2 GRO splitting; the Figure 13 "Host+" mechanism).
+    pub split_gro: bool,
     /// Capacity of each inter-worker SPSC ring.
     pub ring_capacity: usize,
     /// NAPI-style batch budget per inbound ring per sweep.
@@ -85,6 +141,11 @@ pub struct Scenario {
     pub pin: bool,
     /// Per-worker trace ring capacity (0 = tracing off).
     pub trace_capacity: usize,
+    /// Test-only knob: lift the host-core clamp on `workers`, so a
+    /// multi-worker pipeline runs (oversubscribed) even on small CI
+    /// hosts. Correctness suites need genuine ring crossings; perf
+    /// runs leave this off and accept the clamp.
+    pub oversubscribe: bool,
     /// Test-only chaos knob: when nonzero, every steered hop overrides
     /// the policy's preference with a worker that rotates every
     /// `chaos_steer_period` packets, forcing constant (flow, device)
@@ -111,12 +172,15 @@ impl Default for Scenario {
             packets: 80_000,
             flows: 1,
             payload: 64,
+            shape: TrafficShape::Udp,
+            split_gro: false,
             ring_capacity: 512,
             napi_budget: 64,
             work_scale_milli: 1000,
             inject_gap_ns: 0,
             pin: true,
             trace_capacity: 0,
+            oversubscribe: false,
             chaos_steer_period: 0,
             chaos_sweep_stall_ns: 0,
         }
@@ -130,16 +194,66 @@ impl Scenario {
         self
     }
 
+    /// The scenario with GRO splitting toggled, all else equal.
+    pub fn with_split_gro(mut self, on: bool) -> Self {
+        self.split_gro = on;
+        self
+    }
+
+    /// How many stages this scenario's pipeline runs.
+    pub fn n_stages(&self) -> usize {
+        if self.split_gro {
+            SPLIT_STAGES
+        } else {
+            STAGES
+        }
+    }
+
+    /// The modeled per-stage service costs for this scenario, before
+    /// `work_scale_milli` scaling.
+    pub fn stage_service_ns(&self, cost: &CostModel) -> Vec<u64> {
+        match (self.shape, self.split_gro) {
+            (TrafficShape::Udp, false) => cost.overlay_udp_stage_ns(self.payload).to_vec(),
+            (TrafficShape::Udp, true) => cost.overlay_udp_stage_ns_split(self.payload).to_vec(),
+            (TrafficShape::TcpGro { mss }, false) => {
+                cost.overlay_tcp_stage_ns(self.payload, mss).to_vec()
+            }
+            (TrafficShape::TcpGro { mss }, true) => {
+                cost.overlay_tcp_stage_ns_split(self.payload, mss).to_vec()
+            }
+        }
+    }
+
+    /// Stage labels matching [`stage_service_ns`](Self::stage_service_ns).
+    pub fn stage_labels(&self) -> &'static [&'static str] {
+        stage_labels(self.split_gro)
+    }
+
     /// Device table for trace export.
     pub fn trace_meta(&self, workers: usize) -> TraceMeta {
+        let mut devices = vec![
+            (PNIC_IF, "pnic".to_string()),
+            (VXLAN_IF, "vxlan0".to_string()),
+            (VETH_IF, "veth0".to_string()),
+        ];
+        if self.split_gro {
+            devices.push((PNIC_SPLIT_IF, "pnic:gro".to_string()));
+        }
         TraceMeta {
             n_cores: workers,
-            devices: vec![
-                (PNIC_IF, "pnic".to_string()),
-                (VXLAN_IF, "vxlan0".to_string()),
-                (VETH_IF, "veth0".to_string()),
-            ],
+            devices,
         }
+    }
+}
+
+/// Stage labels for the unsplit / split pipelines.
+pub fn stage_labels(split: bool) -> &'static [&'static str] {
+    const FOUR: &[&str] = &CostModel::OVERLAY_STAGE_LABELS;
+    const FIVE: &[&str] = &CostModel::OVERLAY_STAGE_LABELS_SPLIT;
+    if split {
+        FIVE
+    } else {
+        FOUR
     }
 }
 
@@ -153,7 +267,7 @@ type OrderRec = (u64, u64, u32, u64);
 /// A packet in flight through the threaded pipeline.
 struct DpPkt {
     desc: PktDesc,
-    /// Stage to execute on arrival (0=A … 3=D).
+    /// Stage to execute on arrival (0=first … `n_stages-1`=last).
     stage: u8,
     /// Epoch timestamp of injection (for one-way latency).
     injected_ns: u64,
@@ -161,6 +275,13 @@ struct DpPkt {
     enqueued_ns: u64,
     /// Worker that ran the previous stage (`usize::MAX` = none).
     last_worker: usize,
+    /// Running FNV-1a digest over the (checkpoint, cpu) hops executed
+    /// so far (the ring-crossing equivalent of the simulator's
+    /// `skb.trace` log), emitted verbatim at delivery so the
+    /// conservation checker can prove it saw every hop in order.
+    hop_digest: u64,
+    /// Hops folded into `hop_digest`.
+    hops: u32,
     /// In-flight guard of the most recent (flow, device) routing. Held
     /// until the packet executes the *next* stage (see `prev_guard`),
     /// or until delivery/drop.
@@ -176,15 +297,15 @@ struct DpPkt {
 /// What one worker brings home after the run.
 #[derive(Debug, Default)]
 pub struct WorkerStats {
-    /// Stages executed, by stage index.
-    pub processed: [u64; STAGES],
+    /// Stages executed, by stage index (4 or 5 entries).
+    pub processed: Vec<u64>,
     /// Packets delivered to the (modeled) socket.
     pub delivered: u64,
     /// Drops by [`DropReason`] index.
     pub drops: [u64; 4],
     /// Real ns this worker spent busy-spinning stage work.
     pub busy_ns: u64,
-    /// Steering decisions taken (B→C and C→D hops).
+    /// Steering decisions taken (the A1→A2, B→C and C→D hops).
     pub decisions: u64,
     /// Decisions that used the two-choice rehash.
     pub second_choices: u64,
@@ -194,6 +315,8 @@ pub struct WorkerStats {
     pub pinned: bool,
     /// This worker's trace events.
     pub events: Vec<Event>,
+    /// Events the trace ring overwrote (0 = the stream is complete).
+    pub trace_overflow: u64,
     /// Ordering observations.
     pub order_log: Vec<OrderRec>,
     /// One-way delivery latencies, ns.
@@ -209,23 +332,39 @@ pub struct RunOutput {
     pub workers: usize,
     /// Logical cores on the host.
     pub host_cores: usize,
+    /// Whether the pipeline ran the five-stage split shape.
+    pub split_gro: bool,
     /// Packets handed to the injector.
     pub injected: u64,
     /// Ring-full drops at injection.
     pub inject_drops: u64,
     /// Wall-clock ns from start barrier to pipeline quiescence.
     pub wall_ns: u64,
-    /// Modeled per-stage service ns (post-scaling).
-    pub stage_ns: [u64; STAGES],
+    /// Modeled per-stage service ns (post-scaling; 4 or 5 entries).
+    pub stage_ns: Vec<u64>,
     /// (flow, device) pairs the flow table ended up tracking.
     pub flow_pairs: usize,
     /// Per-worker results.
     pub workers_stats: Vec<WorkerStats>,
+    /// The injector's trace events (ring enqueues and inject drops).
+    pub injector_events: Vec<Event>,
+    /// Events the injector's trace ring overwrote.
+    pub injector_overflow: u64,
     /// Device table for trace export.
     pub meta: TraceMeta,
 }
 
 impl RunOutput {
+    /// Number of pipeline stages this run executed.
+    pub fn stages(&self) -> usize {
+        self.stage_ns.len()
+    }
+
+    /// Stage labels matching [`stage_ns`](Self::stage_ns).
+    pub fn stage_labels(&self) -> &'static [&'static str] {
+        stage_labels(self.split_gro)
+    }
+
     /// Total packets delivered.
     pub fn delivered(&self) -> u64 {
         self.workers_stats.iter().map(|w| w.delivered).sum()
@@ -253,9 +392,37 @@ impl RunOutput {
         out
     }
 
-    /// All trace events merged chronologically.
+    /// Stage executions summed across workers, by stage index.
+    pub fn processed_per_stage(&self) -> Vec<u64> {
+        let mut per_stage = vec![0u64; self.stages()];
+        for w in &self.workers_stats {
+            for (acc, p) in per_stage.iter_mut().zip(w.processed.iter()) {
+                *acc += p;
+            }
+        }
+        per_stage
+    }
+
+    /// Events the trace rings overwrote anywhere (workers + injector);
+    /// nonzero means the merged stream is incomplete and conservation
+    /// checks over it are not meaningful.
+    pub fn trace_overflow(&self) -> u64 {
+        self.injector_overflow
+            + self
+                .workers_stats
+                .iter()
+                .map(|w| w.trace_overflow)
+                .sum::<u64>()
+    }
+
+    /// All trace events (workers + injector) merged chronologically.
     pub fn merged_events(&self) -> Vec<Event> {
-        falcon_trace::merge_streams(self.workers_stats.iter().map(|w| w.events.clone()))
+        falcon_trace::merge_streams(
+            self.workers_stats
+                .iter()
+                .map(|w| w.events.clone())
+                .chain(std::iter::once(self.injector_events.clone())),
+        )
     }
 
     /// Replays every worker's ordering log through the netstack's
@@ -283,29 +450,64 @@ impl RunOutput {
     }
 }
 
-/// Stage checkpoint ids, by stage index.
-fn checkpoint(stage: u8) -> u32 {
-    match stage {
-        0 => PNIC_IF,
-        1 => PNIC_IF | STAGE_B_CHECK,
-        2 => VXLAN_IF,
-        3 => VETH_IF,
-        _ => unreachable!("no stage {stage}"),
+/// Stage checkpoint ids, by stage index. The split pipeline gives the
+/// GRO half-stage the synthetic split device's checkpoint.
+fn checkpoint(split: bool, stage: u8) -> u32 {
+    if split {
+        match stage {
+            0 => PNIC_IF,
+            1 => PNIC_SPLIT_IF,
+            2 => PNIC_IF | STAGE_B_CHECK,
+            3 => VXLAN_IF,
+            4 => VETH_IF,
+            _ => unreachable!("no split stage {stage}"),
+        }
+    } else {
+        match stage {
+            0 => PNIC_IF,
+            1 => PNIC_IF | STAGE_B_CHECK,
+            2 => VXLAN_IF,
+            3 => VETH_IF,
+            _ => unreachable!("no stage {stage}"),
+        }
+    }
+}
+
+/// The steering device for the hop *into* `stage`, or `None` when the
+/// hop is backlog-local (the driver poll — or the GRO half — feeding
+/// its own CPU's backlog, where no steering point exists).
+fn steer_ifindex(split: bool, stage: u8) -> Option<u32> {
+    if split {
+        match stage {
+            1 => Some(PNIC_SPLIT_IF),
+            3 => Some(VXLAN_IF),
+            4 => Some(VETH_IF),
+            _ => None,
+        }
+    } else {
+        match stage {
+            2 => Some(VXLAN_IF),
+            3 => Some(VETH_IF),
+            _ => None,
+        }
     }
 }
 
 /// What feeds each stage (for drop classification on a full ring).
-fn drop_reason_into(stage: u8) -> DropReason {
+fn drop_reason_into(split: bool, stage: u8) -> DropReason {
+    let gro_cell_stage = if split { 3 } else { 2 };
     match stage {
         0 => DropReason::Ring,
-        2 => DropReason::GroCell,
+        s if s == gro_cell_stage => DropReason::GroCell,
         _ => DropReason::Backlog,
     }
 }
 
 struct WorkerCtx {
     me: usize,
-    stage_ns: [u64; STAGES],
+    stage_ns: Vec<u64>,
+    split: bool,
+    labels: &'static [&'static str],
     locality_penalty_ns: u64,
     napi_budget: usize,
     chaos_steer_period: u64,
@@ -357,6 +559,7 @@ impl WorkerCtx {
                 std::thread::yield_now();
             }
         }
+        self.stats.trace_overflow = self.tracer.overflow();
         self.stats.events = self.tracer.events();
         self.stats
     }
@@ -365,9 +568,10 @@ impl WorkerCtx {
     /// the pipeline — inline while hops stay local, over a ring when
     /// they leave this worker.
     fn run_packet(&mut self, mut pkt: DpPkt) {
+        let last_stage = (self.stage_ns.len() - 1) as u8;
         loop {
             let stage = pkt.stage;
-            let cp = checkpoint(stage);
+            let cp = checkpoint(self.split, stage);
             let start = self.epoch.now_ns();
             let queued_ns = start.saturating_sub(pkt.enqueued_ns);
             let mut service_ns = self.stage_ns[stage as usize];
@@ -378,13 +582,15 @@ impl WorkerCtx {
             let done = self.epoch.now_ns();
             self.stats.processed[stage as usize] += 1;
             self.stats.busy_ns += spun;
+            pkt.hop_digest = hop_hash_extend(pkt.hop_digest, cp, self.me);
+            pkt.hops += 1;
             if self.tracer.is_enabled() {
                 self.tracer.emit(
                     start,
                     EventKind::Exec {
                         core: self.me,
                         ctx: Context::SoftIrq,
-                        func: CostModel::overlay_udp_stage_labels()[stage as usize],
+                        func: self.labels[stage as usize],
                         dur_ns: spun,
                     },
                 );
@@ -421,7 +627,7 @@ impl WorkerCtx {
                 release(&prev);
             }
 
-            if stage == 3 {
+            if stage == last_stage {
                 let latency = done.saturating_sub(pkt.injected_ns);
                 self.stats.delivered += 1;
                 self.stats.latencies.push(latency);
@@ -431,6 +637,26 @@ impl WorkerCtx {
                     DELIVERY_CHECK,
                     pkt.desc.seq,
                 ));
+                // Delivery is itself a checkpoint, as in the
+                // simulator's skb hop log; folding it in keeps the
+                // digest comparable across the two executors.
+                pkt.hop_digest = hop_hash_extend(pkt.hop_digest, DELIVERY_CHECK, self.me);
+                pkt.hops += 1;
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        done,
+                        EventKind::StageExec {
+                            checkpoint: DELIVERY_CHECK,
+                            cpu: self.me,
+                            ctx: Context::SoftIrq,
+                            pkt: pkt.desc.id.0,
+                            flow: pkt.desc.flow,
+                            seq: pkt.desc.seq,
+                            queued_ns: 0,
+                            service_ns: 0,
+                        },
+                    );
+                }
                 self.tracer.emit(
                     done,
                     EventKind::Deliver {
@@ -438,8 +664,8 @@ impl WorkerCtx {
                         pkt: pkt.desc.id.0,
                         flow: pkt.desc.flow,
                         latency_ns: latency,
-                        hops: STAGES as u32,
-                        hop_hash: 0,
+                        hops: pkt.hops,
+                        hop_hash: pkt.hop_digest,
                     },
                 );
                 if let Some(guard) = pkt.guard.take() {
@@ -453,16 +679,28 @@ impl WorkerCtx {
             pkt.stage += 1;
             pkt.enqueued_ns = done;
 
-            // A→B is local: the driver poll feeds its own CPU's
-            // backlog, no steering point exists there. The stage-A
-            // routing's guard rides along until stage C has run.
-            if pkt.stage == 1 {
+            let Some(ifindex) = steer_ifindex(self.split, pkt.stage) else {
+                // A backlog-local hop (A→B unsplit, A2→B split): the
+                // poll loop feeds its own CPU's backlog, no steering
+                // point exists there. The upstream routing's guard
+                // rides along until the stage after next has run.
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(
+                        done,
+                        EventKind::BacklogEnqueue {
+                            cpu: self.me,
+                            pkt: pkt.desc.id.0,
+                            flow: pkt.desc.flow,
+                            qlen: self.depths.depth(self.me),
+                        },
+                    );
+                }
                 continue;
-            }
+            };
 
-            // B→C and C→D: the steering points. Resolve the policy's
-            // preference, then the flow table's order-safe verdict.
-            let ifindex = if pkt.stage == 2 { VXLAN_IF } else { VETH_IF };
+            // A steering point (A1→A2 when split, B→C, C→D). Resolve
+            // the policy's preference, then the flow table's
+            // order-safe verdict.
             let mut choice = self.policy.choose(pkt.desc.rx_hash, ifindex, &self.depths);
             // Chaos steering (tests only, None when the period is 0):
             // rotate the preferred worker so nearly every packet asks
@@ -509,11 +747,33 @@ impl WorkerCtx {
             // executes.
             pkt.prev_guard = pkt.guard.take();
             pkt.guard = Some(route.guard);
+            let stage_in = pkt.stage;
+            let gro_cell_stage: u8 = if self.split { 3 } else { 2 };
             if route.worker == self.me {
+                // Steered to ourselves: still a queue insert
+                // conceptually, just with no ring crossing.
+                if self.tracer.is_enabled() {
+                    let qlen = self.depths.depth(self.me);
+                    let kind = if stage_in == gro_cell_stage {
+                        EventKind::GroCellEnqueue {
+                            cpu: self.me,
+                            pkt: pkt.desc.id.0,
+                            flow: pkt.desc.flow,
+                            qlen,
+                        }
+                    } else {
+                        EventKind::BacklogEnqueue {
+                            cpu: self.me,
+                            pkt: pkt.desc.id.0,
+                            flow: pkt.desc.flow,
+                            qlen,
+                        }
+                    };
+                    self.tracer.emit(done, kind);
+                }
                 continue;
             }
             let dst = route.worker;
-            let stage_in = pkt.stage;
             let (pkt_id, flow) = (pkt.desc.id.0, pkt.desc.flow);
             // Gauge before push: the consumer decrements after pop, so
             // incrementing after a successful push could race the
@@ -523,7 +783,7 @@ impl WorkerCtx {
                 Ok(()) => {
                     if self.tracer.is_enabled() {
                         let qlen = self.depths.depth(dst);
-                        let kind = if stage_in == 2 {
+                        let kind = if stage_in == gro_cell_stage {
                             EventKind::GroCellEnqueue {
                                 cpu: dst,
                                 pkt: pkt_id,
@@ -551,7 +811,7 @@ impl WorkerCtx {
                     if let Some(prev) = lost.prev_guard.as_deref() {
                         release(prev);
                     }
-                    let reason = drop_reason_into(stage_in);
+                    let reason = drop_reason_into(self.split, stage_in);
                     self.stats.drops[reason.index()] += 1;
                     self.tracer.emit(
                         done,
@@ -581,20 +841,21 @@ const INJECT_MAX_YIELDS: u32 = 1_000_000;
 /// an injector, waits for every injected packet to be delivered or
 /// dropped, then joins everything and hands back per-worker stats.
 pub fn run_scenario(scenario: &Scenario) -> RunOutput {
-    // Chaos runs deliberately oversubscribe: the churn needs real
-    // multi-worker ring crossings even on a 1-core CI host, and a
-    // correctness stress doesn't care about perf-clean pinning.
-    let n = if scenario.chaos_steer_period > 0 {
+    // Chaos and oversubscribed runs deliberately skip the clamp: the
+    // correctness stress needs real multi-worker ring crossings even
+    // on a 1-core CI host, and doesn't care about perf-clean pinning.
+    let n = if scenario.chaos_steer_period > 0 || scenario.oversubscribe {
         scenario.workers.max(1)
     } else {
         clamp_workers(scenario.workers)
     };
     let cost = CostModel::kernel_5_4();
-    let mut stage_ns = cost.overlay_udp_stage_ns(scenario.payload);
+    let mut stage_ns = scenario.stage_service_ns(&cost);
     for s in stage_ns.iter_mut() {
         *s = *s * scenario.work_scale_milli / 1000;
     }
     let locality_penalty_ns = cost.locality_penalty_ns * scenario.work_scale_milli / 1000;
+    let n_stages = stage_ns.len();
 
     let policy = Arc::new(Policy::new(scenario.policy, n));
     let flows = Arc::new(FlowTable::new(n * 4));
@@ -625,7 +886,9 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
     for (me, inbound_row) in consumers.into_iter().enumerate() {
         let ctx = WorkerCtx {
             me,
-            stage_ns,
+            stage_ns: stage_ns.clone(),
+            split: scenario.split_gro,
+            labels: stage_labels(scenario.split_gro),
             locality_penalty_ns,
             napi_budget: scenario.napi_budget.max(1),
             chaos_steer_period: scenario.chaos_steer_period,
@@ -648,7 +911,10 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
             } else {
                 Tracer::disabled()
             },
-            stats: WorkerStats::default(),
+            stats: WorkerStats {
+                processed: vec![0; n_stages],
+                ..WorkerStats::default()
+            },
         };
         let barrier = Arc::clone(&barrier);
         let pin = scenario.pin;
@@ -675,6 +941,11 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
         std::thread::Builder::new()
             .name("dp-injector".to_string())
             .spawn(move || {
+                let mut tracer = if scenario.trace_capacity > 0 {
+                    Tracer::new(scenario.trace_capacity)
+                } else {
+                    Tracer::disabled()
+                };
                 barrier.wait();
                 let mut inject_drops = 0u64;
                 let mut seqs = vec![0u64; scenario.flows.max(1) as usize];
@@ -695,6 +966,8 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
                         injected_ns: now,
                         enqueued_ns: now,
                         last_worker: usize::MAX,
+                        hop_digest: HOP_HASH_INIT,
+                        hops: 0,
                         guard: Some(route.guard),
                         prev_guard: None,
                     };
@@ -705,7 +978,20 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
                         // underflow hazard as the worker's enqueue.
                         depths.inc(dst);
                         match to_workers[dst].try_push(pkt) {
-                            Ok(()) => break,
+                            Ok(()) => {
+                                if tracer.is_enabled() {
+                                    tracer.emit(
+                                        epoch.now_ns(),
+                                        EventKind::RingEnqueue {
+                                            queue: dst,
+                                            pkt: i,
+                                            flow,
+                                            qlen: depths.depth(dst),
+                                        },
+                                    );
+                                }
+                                break;
+                            }
                             Err(back) => {
                                 depths.dec(dst);
                                 yields += 1;
@@ -714,6 +1000,15 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
                                         release(guard);
                                     }
                                     inject_drops += 1;
+                                    tracer.emit(
+                                        epoch.now_ns(),
+                                        EventKind::QueueDrop {
+                                            reason: DropReason::Ring,
+                                            cpu: dst,
+                                            pkt: i,
+                                            flow,
+                                        },
+                                    );
                                     dropped.fetch_add(1, Ordering::Release);
                                     break;
                                 }
@@ -726,7 +1021,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
                         spin_for_ns(scenario.inject_gap_ns);
                     }
                 }
-                inject_drops
+                (inject_drops, tracer.overflow(), tracer.events())
             })
             .expect("spawn injector")
     };
@@ -734,7 +1029,8 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
 
     barrier.wait();
     let t0 = epoch.now_ns();
-    let inject_drops = injector.join().expect("injector thread");
+    let (inject_drops, injector_overflow, injector_events) =
+        injector.join().expect("injector thread");
 
     // Quiescence: every injected packet is accounted for as a delivery
     // or a drop. The deadline only trips if the pipeline wedges.
@@ -757,12 +1053,15 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
         policy: scenario.policy,
         workers: n,
         host_cores: available_cores(),
+        split_gro: scenario.split_gro,
         injected: scenario.packets,
         inject_drops,
         wall_ns,
         stage_ns,
         flow_pairs: flows.pairs(),
         workers_stats,
+        injector_events,
+        injector_overflow,
         meta: scenario.trace_meta(n),
     }
 }
@@ -786,8 +1085,7 @@ mod tests {
             inject_gap_ns: 0,
             pin: false,
             trace_capacity: 0,
-            chaos_steer_period: 0,
-            chaos_sweep_stall_ns: 0,
+            ..Scenario::default()
         }
     }
 
@@ -813,27 +1111,97 @@ mod tests {
     fn every_stage_runs_once_per_delivered_packet() {
         let out = run_scenario(&quick(PolicyKind::Falcon, 2));
         let delivered = out.delivered();
-        let mut per_stage = [0u64; STAGES];
-        for w in &out.workers_stats {
-            for (acc, p) in per_stage.iter_mut().zip(w.processed.iter()) {
-                *acc += p;
+        let per_stage = out.processed_per_stage();
+        assert_eq!(per_stage.len(), STAGES);
+        // Stage A ran for everything that entered; the last stage
+        // exactly for deliveries; drops in between explain any
+        // difference.
+        assert_eq!(per_stage[STAGES - 1], delivered);
+        assert!(per_stage.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(per_stage[0], out.injected - out.inject_drops);
+    }
+
+    #[test]
+    fn split_gro_runs_five_stages() {
+        let mut s = quick(PolicyKind::Falcon, 2);
+        s.split_gro = true;
+        s.shape = TrafficShape::TcpGro { mss: 1448 };
+        s.payload = 4096;
+        let out = run_scenario(&s);
+        assert_eq!(out.stages(), SPLIT_STAGES);
+        assert_eq!(out.stage_labels()[1], "pnic_gro");
+        assert_eq!(out.delivered() + out.dropped(), out.injected);
+        let per_stage = out.processed_per_stage();
+        assert_eq!(per_stage.len(), SPLIT_STAGES);
+        assert_eq!(per_stage[SPLIT_STAGES - 1], out.delivered());
+        assert!(per_stage.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(per_stage[0], out.injected - out.inject_drops);
+        let (checks, violations) = out.order_audit();
+        assert!(checks > 0);
+        assert_eq!(violations, 0, "split pipeline must never reorder");
+    }
+
+    /// The split half must be a real steering point: under Falcon the
+    /// GRO half-stage keys the `(flow, device)` hash with its own
+    /// synthetic ifindex, [`PNIC_SPLIT_IF`], so it lands on a core
+    /// chosen independently of the allocation half's RSS placement.
+    #[test]
+    fn split_gro_steers_halves_to_distinct_workers() {
+        let workers = 4;
+        let mut s = quick(PolicyKind::Falcon, workers);
+        s.oversubscribe = true; // genuine multi-worker even on 1-core CI
+        s.split_gro = true;
+        s.shape = TrafficShape::TcpGro { mss: 1448 };
+        s.payload = 4096;
+        s.packets = 1_200;
+        s.flows = 8;
+        s.work_scale_milli = 50;
+        s.trace_capacity = 65_536;
+        let out = run_scenario(&s);
+        assert_eq!(out.workers, workers);
+        assert_eq!(out.trace_overflow(), 0, "trace ring too small for test");
+        // From the trace: per flow, which workers ran the alloc half
+        // (checkpoint PNIC_IF) vs the GRO half (PNIC_SPLIT_IF)?
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut alloc_cpus: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        let mut gro_cpus: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        for e in out.merged_events() {
+            if let EventKind::StageExec {
+                checkpoint,
+                cpu,
+                flow,
+                ..
+            } = e.kind
+            {
+                if checkpoint == PNIC_IF {
+                    alloc_cpus.entry(flow).or_default().insert(cpu);
+                } else if checkpoint == PNIC_SPLIT_IF {
+                    gro_cpus.entry(flow).or_default().insert(cpu);
+                }
             }
         }
-        // Stage A ran for everything that entered; stage D exactly for
-        // deliveries; drops in between explain any difference.
-        assert_eq!(per_stage[3], delivered);
-        assert!(per_stage[0] >= per_stage[1]);
-        assert!(per_stage[1] >= per_stage[2]);
-        assert!(per_stage[2] >= per_stage[3]);
-        assert_eq!(per_stage[0], out.injected - out.inject_drops);
+        // Every flow's GRO half ran, and for at least one flow it ran
+        // on a worker its alloc half never used: the halves are
+        // genuinely steered apart, not riding the RSS placement.
+        assert_eq!(gro_cpus.len() as u64, s.flows);
+        let split_apart = gro_cpus.iter().any(|(flow, gro)| {
+            let alloc = alloc_cpus.get(flow).expect("alloc half traced");
+            gro.iter().any(|cpu| !alloc.contains(cpu))
+        });
+        assert!(
+            split_apart,
+            "no flow's GRO half ever left its alloc worker: alloc={alloc_cpus:?} gro={gro_cpus:?}"
+        );
     }
 
     #[test]
     fn tracing_captures_the_pipeline() {
         let mut s = quick(PolicyKind::Falcon, 2);
         s.packets = 200;
-        s.trace_capacity = 8_192;
+        s.work_scale_milli = 200;
+        s.trace_capacity = 16_384;
         let out = run_scenario(&s);
+        assert_eq!(out.trace_overflow(), 0, "trace ring too small for test");
         let events = out.merged_events();
         let execs = events
             .iter()
@@ -847,6 +1215,44 @@ mod tests {
         assert!(execs as u64 >= out.delivered() * STAGES as u64);
         // Chronological after merge.
         assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        // And the stream is a valid conservation story: every enqueue
+        // matched, hop digests agree, per-(flow, checkpoint) sequences
+        // monotone.
+        let report = falcon_trace::check_stream(&events);
+        assert!(report.ok(), "conservation report failed: {report:?}");
+        assert_eq!(report.delivered, out.delivered());
+    }
+
+    #[test]
+    fn split_trace_stream_passes_conservation() {
+        let mut s = quick(PolicyKind::Falcon, 3);
+        s.oversubscribe = true;
+        s.split_gro = true;
+        s.shape = TrafficShape::TcpGro { mss: 1448 };
+        s.payload = 4096;
+        s.packets = 300;
+        s.work_scale_milli = 200;
+        s.trace_capacity = 32_768;
+        let out = run_scenario(&s);
+        assert_eq!(out.trace_overflow(), 0, "trace ring too small for test");
+        let events = out.merged_events();
+        let report = falcon_trace::check_stream(&events);
+        assert!(report.ok(), "conservation report failed: {report:?}");
+        // Five softirq checkpoints per delivered packet (the Deliver
+        // event's hop count also includes the delivery checkpoint).
+        for e in &events {
+            if let EventKind::Deliver { hops, .. } = e.kind {
+                assert_eq!(hops as usize, SPLIT_STAGES + 1);
+            }
+        }
+        // The split device shows up as its own checkpoint.
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::StageExec {
+                checkpoint: PNIC_SPLIT_IF,
+                ..
+            }
+        )));
     }
 
     /// The C-stage migration race: releasing a stage's guard before the

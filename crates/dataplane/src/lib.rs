@@ -2,10 +2,12 @@
 //!
 //! Everything else in this workspace *simulates* the paper's container
 //! receive pipeline — deterministic virtual time, one thread. This
-//! crate closes the loop: it runs the same four modeled stages
+//! crate closes the loop: it runs the same modeled stages
 //! (pNIC poll → outer stack + VXLAN decap → gro_cell/bridge/veth →
-//! container stack) on actual OS threads pinned to actual cores, with
-//! the same stage costs ([`CostModel::overlay_udp_stage_ns`]
+//! container stack, with the pNIC poll optionally split into its
+//! alloc/GRO halves per the paper's §4.2 GRO splitting) on actual OS
+//! threads pinned to actual cores, with the same stage costs
+//! ([`CostModel::overlay_udp_stage_ns`] and its `_split`/TCP variants
 //! busy-spun into real CPU occupancy), the same steering math
 //! ([`falcon::balance::falcon_choices_by`] over live queue depths), and
 //! the same ordering invariant (checked post-run with the netstack's
@@ -36,7 +38,10 @@ pub mod spsc;
 pub mod steer;
 
 pub use affinity::{available_cores, clamp_workers, pin_current_thread};
-pub use executor::{run_scenario, RunOutput, Scenario, WorkerStats, STAGES};
+pub use executor::{
+    run_scenario, stage_labels, RunOutput, Scenario, TrafficShape, WorkerStats, PNIC_SPLIT_IF,
+    SPLIT_STAGES, STAGES,
+};
 pub use report::{DataplaneComparison, DataplaneReport, LatencySummary};
 pub use spin::{spin_for_ns, Epoch};
 pub use spsc::{ring, Consumer, Producer};

@@ -9,10 +9,9 @@
 
 use std::collections::BTreeMap;
 
-use falcon_netstack::CostModel;
 use serde::Serialize;
 
-use crate::executor::{RunOutput, Scenario, STAGES};
+use crate::executor::{RunOutput, Scenario};
 
 /// Summary statistics over one-way delivery latencies.
 #[derive(Debug, Clone, Serialize)]
@@ -61,6 +60,12 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 pub struct DataplaneReport {
     /// Steering policy ("vanilla" or "falcon").
     pub policy: String,
+    /// Pipeline stages this run executed (4, or 5 with `split_gro`).
+    /// Conservation checkers must use this — never a hardcoded 4 — to
+    /// assert `executions == packets × stages` on fully-delivered runs.
+    pub stages: usize,
+    /// Whether the pNIC stage ran split into its alloc/GRO halves.
+    pub split_gro: bool,
     /// Worker threads actually used.
     pub workers: usize,
     /// Logical cores on the host.
@@ -85,6 +90,10 @@ pub struct DataplaneReport {
     pub stage_service_ns: BTreeMap<String, u64>,
     /// Stage executions keyed by stage label.
     pub processed_per_stage: BTreeMap<String, u64>,
+    /// Stage executions per worker per stage (`[worker][stage]`) — the
+    /// placement picture that shows the split halves landing on
+    /// distinct cores.
+    pub per_worker_stage_processed: Vec<Vec<u64>>,
     /// Total stage executions per worker (the load-spread picture).
     pub per_worker_processed: Vec<u64>,
     /// Busy-spun ns per worker.
@@ -106,7 +115,7 @@ pub struct DataplaneReport {
 impl DataplaneReport {
     /// Condenses a finished run.
     pub fn from_run(out: &RunOutput) -> Self {
-        let labels = CostModel::overlay_udp_stage_labels();
+        let labels = out.stage_labels();
         let delivered = out.delivered();
         let dropped = out.dropped();
         let mut latencies: Vec<u64> = out
@@ -114,12 +123,7 @@ impl DataplaneReport {
             .iter()
             .flat_map(|w| w.latencies.iter().copied())
             .collect();
-        let mut per_stage = [0u64; STAGES];
-        for w in &out.workers_stats {
-            for (acc, p) in per_stage.iter_mut().zip(w.processed.iter()) {
-                *acc += p;
-            }
-        }
+        let per_stage = out.processed_per_stage();
         let (order_checks, reorder_violations) = out.order_audit();
         let throughput_pps = if out.wall_ns > 0 {
             delivered as f64 * 1e9 / out.wall_ns as f64
@@ -128,6 +132,8 @@ impl DataplaneReport {
         };
         DataplaneReport {
             policy: out.policy.label().to_string(),
+            stages: out.stages(),
+            split_gro: out.split_gro,
             workers: out.workers,
             host_cores: out.host_cores,
             pinned: !out.workers_stats.is_empty() && out.workers_stats.iter().all(|w| w.pinned),
@@ -151,6 +157,11 @@ impl DataplaneReport {
                 .iter()
                 .zip(per_stage.iter())
                 .map(|(l, &n)| (l.to_string(), n))
+                .collect(),
+            per_worker_stage_processed: out
+                .workers_stats
+                .iter()
+                .map(|w| w.processed.clone())
                 .collect(),
             per_worker_processed: out
                 .workers_stats
@@ -180,8 +191,12 @@ pub struct DataplaneComparison {
     pub packets: u64,
     /// Flows per run.
     pub flows: u64,
-    /// UDP payload bytes.
+    /// Payload bytes per injected unit.
     pub payload: usize,
+    /// Traffic shape label ("udp" or "tcp-gro(mss=…)").
+    pub shape: String,
+    /// Whether both runs split the pNIC stage (five-hop pipeline).
+    pub split_gro: bool,
     /// The serialized baseline.
     pub vanilla: DataplaneReport,
     /// The pipelined contender.
@@ -204,6 +219,8 @@ impl DataplaneComparison {
             packets: scenario.packets,
             flows: scenario.flows,
             payload: scenario.payload,
+            shape: scenario.shape.label(),
+            split_gro: scenario.split_gro,
             vanilla,
             falcon,
             speedup,
@@ -245,6 +262,7 @@ mod tests {
     fn report_is_consistent_and_serializes() {
         let out = run_scenario(&tiny(PolicyKind::Falcon));
         let report = DataplaneReport::from_run(&out);
+        assert_eq!(report.stages, 4);
         assert_eq!(report.delivered + report.dropped, report.injected);
         assert_eq!(report.reorder_violations, 0);
         assert_eq!(report.per_worker_processed.len(), report.workers);
@@ -253,6 +271,38 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).expect("serializes");
         assert!(json.contains("\"throughput_pps\""));
         assert!(json.contains("\"falcon\""));
+    }
+
+    #[test]
+    fn split_report_records_five_stages() {
+        let mut s = tiny(PolicyKind::Falcon);
+        s.split_gro = true;
+        s.shape = crate::executor::TrafficShape::TcpGro { mss: 1448 };
+        s.payload = 4096;
+        let out = run_scenario(&s);
+        let report = DataplaneReport::from_run(&out);
+        assert_eq!(report.stages, 5);
+        assert!(report.split_gro);
+        assert_eq!(report.stage_service_ns.len(), 5);
+        assert_eq!(report.processed_per_stage.len(), 5);
+        assert!(report.stage_service_ns.contains_key("pnic_alloc"));
+        assert!(report.stage_service_ns.contains_key("pnic_gro"));
+        // The matrix agrees with the per-stage totals — the
+        // stages-aware conservation identity: on a drop-free run every
+        // stage executes exactly `packets` times, so total executions
+        // equal `packets × stages`.
+        for (w, row) in report.per_worker_stage_processed.iter().enumerate() {
+            assert_eq!(row.len(), report.stages);
+            assert_eq!(
+                row.iter().sum::<u64>(),
+                report.per_worker_processed[w],
+                "worker {w} matrix disagrees with its total"
+            );
+        }
+        if report.dropped == 0 {
+            let execs: u64 = report.processed_per_stage.values().sum();
+            assert_eq!(execs, report.injected * report.stages as u64);
+        }
     }
 
     #[test]

@@ -323,6 +323,27 @@ mod tests {
         assert!(spread > 120, "only {spread}/200 flows had distinct stages");
     }
 
+    /// GRO splitting rides on the same mechanism: the split half's
+    /// synthetic device id (`executor::PNIC_SPLIT_IF`) must hash a
+    /// flow's GRO half away from its alloc half's RSS placement for
+    /// most flows, or the fifth stage would just serialize behind the
+    /// first.
+    #[test]
+    fn split_device_places_gro_half_off_the_rss_worker() {
+        let p = Policy::new(PolicyKind::Falcon, 8);
+        let depths = DepthGauge::new(8, 64);
+        let mut apart = 0;
+        for f in 0..200u32 {
+            let h = 0x9E37_0000u32.wrapping_add(f.wrapping_mul(2_654_435_761));
+            let alloc = p.rss_worker(h);
+            let gro = p.choose(h, crate::executor::PNIC_SPLIT_IF, &depths).worker;
+            if alloc != gro {
+                apart += 1;
+            }
+        }
+        assert!(apart > 120, "only {apart}/200 flows split off the RSS core");
+    }
+
     #[test]
     fn falcon_second_choice_reads_live_depths() {
         let p = Policy::new(PolicyKind::Falcon, 4);

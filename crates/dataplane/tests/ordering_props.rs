@@ -7,7 +7,7 @@
 //! both steering policies — including configurations with tiny rings
 //! where drops (which legally create sequence gaps) are frequent.
 
-use falcon_dataplane::{run_scenario, PolicyKind, Scenario};
+use falcon_dataplane::{run_scenario, PolicyKind, Scenario, TrafficShape, SPLIT_STAGES};
 use proptest::prelude::*;
 
 /// A fast scenario: scaled-down stage costs, no pinning (the property
@@ -31,9 +31,25 @@ fn scenario(
         inject_gap_ns: 0,
         pin: false,
         trace_capacity: 0,
-        chaos_steer_period: 0,
-        chaos_sweep_stall_ns: 0,
+        ..Scenario::default()
     }
+}
+
+/// The five-stage variant: GRO splitting on, priced as the TCP-4KB
+/// shape whose pNIC bottleneck the split exists to relieve.
+fn split_scenario(
+    policy: PolicyKind,
+    workers: usize,
+    flows: u64,
+    packets: u64,
+    ring_capacity: usize,
+) -> Scenario {
+    let mut s = scenario(policy, workers, flows, packets, ring_capacity);
+    s.split_gro = true;
+    s.shape = TrafficShape::TcpGro { mss: 1448 };
+    s.payload = 4096;
+    s.work_scale_milli = 5;
+    s
 }
 
 fn check_run(scenario: &Scenario) -> Result<(), TestCaseError> {
@@ -101,6 +117,39 @@ proptest! {
         s.chaos_sweep_stall_ns = stall_ns;
         check_run(&s)?;
     }
+
+    /// Five-stage variant of the ordering property: the split pipeline
+    /// adds a steered hop (A1→A2 on the synthetic split device), which
+    /// widens the surface the in-flight guard must cover. Ordering and
+    /// conservation must hold exactly as in the four-stage pipeline.
+    #[test]
+    fn split_gro_preserves_flow_device_order(
+        workers in 1usize..=4,
+        flows in 1u64..=6,
+        packets in 200u64..=1000,
+    ) {
+        check_run(&split_scenario(PolicyKind::Falcon, workers, flows, packets, 256))?;
+    }
+
+    /// Five-stage chaos: steering rotation plus stalled sweeps with the
+    /// fifth stage enabled. Every steered hop — including the new split
+    /// hop — asks the flow table for a migration almost every packet,
+    /// and stalled destination sweeps turn any cross-ring enqueue
+    /// inversion into an execution inversion. Zero order violations
+    /// and exact conservation are required.
+    #[test]
+    fn split_gro_chaos_preserves_order_and_conserves(
+        workers in 2usize..=4,
+        flows in 1u64..=2,
+        packets in 500u64..=1500,
+        period in 1u64..=3,
+        stall_ns in 0u64..=1500,
+    ) {
+        let mut s = split_scenario(PolicyKind::Falcon, workers, flows, packets, 256);
+        s.chaos_steer_period = period;
+        s.chaos_sweep_stall_ns = stall_ns;
+        check_run(&s)?;
+    }
 }
 
 /// Deterministic companion: a saturating run on a 2-slot ring mesh must
@@ -115,4 +164,31 @@ fn saturated_tiny_rings_conserve_packets() {
     // Per-reason totals must match the grand total.
     let by_reason: u64 = out.drops_by_reason().iter().sum();
     assert_eq!(by_reason, out.dropped());
+}
+
+/// Five-stage companion: the saturated split pipeline must conserve
+/// too, and its stage accounting must close — each stage executes once
+/// per packet that entered it, so consecutive per-stage totals differ
+/// exactly by the drops at the hop between them.
+#[test]
+fn saturated_split_rings_conserve_packets() {
+    let s = split_scenario(PolicyKind::Falcon, 2, 2, 5_000, 2);
+    let out = run_scenario(&s);
+    assert_eq!(out.stages(), SPLIT_STAGES);
+    assert_eq!(out.delivered() + out.dropped(), out.injected);
+    let (_, violations) = out.order_audit();
+    assert_eq!(violations, 0);
+    let by_reason: u64 = out.drops_by_reason().iter().sum();
+    assert_eq!(by_reason, out.dropped());
+    let per_stage = out.processed_per_stage();
+    assert_eq!(per_stage[0], out.injected - out.inject_drops);
+    assert_eq!(per_stage[SPLIT_STAGES - 1], out.delivered());
+    assert!(per_stage.windows(2).all(|w| w[0] >= w[1]));
+    let in_pipeline_drops: u64 = out
+        .workers_stats
+        .iter()
+        .map(|w| w.drops.iter().sum::<u64>())
+        .sum();
+    let stage_deficit: u64 = per_stage.windows(2).map(|w| w[0] - w[1]).sum();
+    assert_eq!(stage_deficit, in_pipeline_drops);
 }

@@ -20,11 +20,13 @@ use falcon_experiments::tracedrun;
 fn usage() {
     eprintln!(
         "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
-         [--stage-latency] [--dataplane] [--workers <n>] [--flows <n>] \
+         [--stage-latency] [--dataplane] [--split-gro] [--workers <n>] [--flows <n>] \
          [--dataplane-out <path>] [--dataplane-trace <out.json>] <fig-id>... | all\n\
          --dataplane runs the modeled rx path on real pinned threads and \
          writes a vanilla-vs-falcon comparison to --dataplane-out \
-         (default BENCH_dataplane.json)\n\
+         (default BENCH_dataplane.json); --split-gro runs the five-hop \
+         pipeline (pNIC stage split into alloc/GRO halves) on the \
+         Figure-13 TCP-4KB shape\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -40,6 +42,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut stage_latency = false;
     let mut run_dataplane = false;
+    let mut split_gro = false;
     let mut workers: usize = 4;
     let mut flows: u64 = 1;
     let mut dataplane_out = "BENCH_dataplane.json".to_string();
@@ -61,6 +64,7 @@ fn main() -> ExitCode {
             },
             "--stage-latency" => stage_latency = true,
             "--dataplane" => run_dataplane = true,
+            "--split-gro" => split_gro = true,
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => workers = n,
                 _ => {
@@ -168,10 +172,11 @@ fn main() -> ExitCode {
     if run_dataplane {
         eprintln!(
             "dataplane: real-thread vanilla vs falcon, {workers} worker(s) \
-             requested ({:?} scale)...",
-            scale
+             requested ({:?} scale){}...",
+            scale,
+            if split_gro { ", split-gro 5-stage" } else { "" }
         );
-        let cmp = dataplane::run_comparison(scale, workers, flows);
+        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro);
         if json {
             println!(
                 "{}",
@@ -188,7 +193,7 @@ fn main() -> ExitCode {
         eprintln!("wrote {dataplane_out}");
         if let Some(path) = dataplane_trace {
             eprintln!("tracing a falcon dataplane run...");
-            let trace_json = dataplane::chrome_trace(scale, workers, flows);
+            let trace_json = dataplane::chrome_trace(scale, workers, flows, split_gro);
             if let Err(e) = std::fs::write(&path, trace_json) {
                 eprintln!("cannot write {path}: {e}");
                 return ExitCode::FAILURE;

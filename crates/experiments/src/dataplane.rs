@@ -10,8 +10,17 @@
 //! `BENCH_dataplane.json`, a human-readable rendering, and a Perfetto
 //! export of a traced Falcon run so the thread-level pipelining is
 //! visible.
+//!
+//! With `split_gro` the preset switches to the Figure-13 TCP-4KB shape
+//! (one GRO-coalesced 4096-byte message per injected unit, MSS 1448)
+//! and runs the five-hop pipeline: that is the traffic whose pNIC
+//! stage carries the ~45 %/~45 % alloc/GRO halves splitting exists to
+//! peel apart. On UDP the pNIC stage is never the bottleneck, so a
+//! split run there would measure nothing.
 
-use falcon_dataplane::{run_scenario, DataplaneComparison, DataplaneReport, PolicyKind, Scenario};
+use falcon_dataplane::{
+    run_scenario, DataplaneComparison, DataplaneReport, PolicyKind, Scenario, TrafficShape,
+};
 use falcon_trace::chrome;
 
 use crate::measure::Scale;
@@ -21,9 +30,15 @@ use crate::measure::Scale;
 /// `Quick` shrinks the packet count and scales the stage costs down so
 /// a smoke run finishes in tens of milliseconds even on a loaded 2-core
 /// CI runner; `Full` runs the model costs as-is for a measurement worth
-/// quoting.
-pub fn scenario_for(scale: Scale, workers: usize, flows: u64) -> Scenario {
-    let base = Scenario::default();
+/// quoting. With `split_gro`, the scenario injects the TCP-4KB shape
+/// and the pipeline grows the fifth (GRO-half) hop.
+pub fn scenario_for(scale: Scale, workers: usize, flows: u64, split_gro: bool) -> Scenario {
+    let mut base = Scenario::default();
+    if split_gro {
+        base.split_gro = true;
+        base.shape = TrafficShape::TcpGro { mss: 1448 };
+        base.payload = 4096;
+    }
     match scale {
         Scale::Quick => Scenario {
             workers,
@@ -35,7 +50,7 @@ pub fn scenario_for(scale: Scale, workers: usize, flows: u64) -> Scenario {
         Scale::Full => Scenario {
             workers,
             flows,
-            packets: 80_000,
+            packets: if split_gro { 40_000 } else { 80_000 },
             work_scale_milli: 1000,
             ..base
         },
@@ -43,8 +58,13 @@ pub fn scenario_for(scale: Scale, workers: usize, flows: u64) -> Scenario {
 }
 
 /// Runs the same scenario under both policies and pairs the reports.
-pub fn run_comparison(scale: Scale, workers: usize, flows: u64) -> DataplaneComparison {
-    let scenario = scenario_for(scale, workers, flows);
+pub fn run_comparison(
+    scale: Scale,
+    workers: usize,
+    flows: u64,
+    split_gro: bool,
+) -> DataplaneComparison {
+    let scenario = scenario_for(scale, workers, flows, split_gro);
     let vanilla = DataplaneReport::from_run(&run_scenario(
         &scenario.clone().with_policy(PolicyKind::Vanilla),
     ));
@@ -80,6 +100,24 @@ fn render_report(r: &DataplaneReport, out: &mut String) {
         "            per-worker stage execs {:?}  second-choices {}  migrations {}",
         r.per_worker_processed, r.second_choices, r.migrations,
     );
+    // The placement picture: which worker carried the bulk of each
+    // stage. For a split run this is where the alloc and GRO halves
+    // visibly land on distinct cores.
+    if r.stages > 0 && !r.per_worker_stage_processed.is_empty() {
+        let labels = falcon_dataplane::stage_labels(r.split_gro);
+        let mut line = String::new();
+        for (s, label) in labels.iter().enumerate().take(r.stages) {
+            let (best_w, _) = r
+                .per_worker_stage_processed
+                .iter()
+                .enumerate()
+                .map(|(w, row)| (w, row.get(s).copied().unwrap_or(0)))
+                .max_by_key(|&(_, n)| n)
+                .unwrap_or((0, 0));
+            let _ = write!(line, " {label}->w{best_w}");
+        }
+        let _ = writeln!(out, "            stage placement (busiest worker):{line}");
+    }
     let _ = writeln!(
         out,
         "            ordering: {} checks, {} violations",
@@ -93,8 +131,18 @@ pub fn render(cmp: &DataplaneComparison) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "dataplane: {} packets, {} flow(s), payload {} B, {} worker(s) on {} host core(s)",
-        cmp.packets, cmp.flows, cmp.payload, cmp.workers, cmp.host_cores,
+        "dataplane: {} packets, {} flow(s), payload {} B ({}{}), {} worker(s) on {} host core(s)",
+        cmp.packets,
+        cmp.flows,
+        cmp.payload,
+        cmp.shape,
+        if cmp.split_gro {
+            ", split-gro: 5 stages"
+        } else {
+            ""
+        },
+        cmp.workers,
+        cmp.host_cores,
     );
     render_report(&cmp.vanilla, &mut out);
     render_report(&cmp.falcon, &mut out);
@@ -108,8 +156,13 @@ pub fn render(cmp: &DataplaneComparison) -> String {
             out,
             "  note: only {} logical core(s) visible; pipelining cannot beat \
              serialization without cores to pipeline across (the paper's claim \
-             is for >=4 cores)",
+             is for >=4 cores{})",
             cmp.host_cores,
+            if cmp.split_gro {
+                ", and the 5-stage split wants a 5th"
+            } else {
+                ""
+            },
         );
     }
     out
@@ -118,10 +171,11 @@ pub fn render(cmp: &DataplaneComparison) -> String {
 /// Runs a traced Falcon dataplane pass and returns Perfetto JSON.
 ///
 /// Uses a reduced packet count so the trace stays loadable; the point
-/// of the artifact is *seeing* four stages of one flow overlap on
+/// of the artifact is *seeing* the stages of one flow overlap on
 /// different worker tracks, not volume.
-pub fn chrome_trace(scale: Scale, workers: usize, flows: u64) -> String {
-    let mut scenario = scenario_for(scale, workers, flows).with_policy(PolicyKind::Falcon);
+pub fn chrome_trace(scale: Scale, workers: usize, flows: u64, split_gro: bool) -> String {
+    let mut scenario =
+        scenario_for(scale, workers, flows, split_gro).with_policy(PolicyKind::Falcon);
     scenario.packets = scenario.packets.min(3_000);
     scenario.trace_capacity = 64 * 1024;
     let out = run_scenario(&scenario);
@@ -134,7 +188,7 @@ mod tests {
 
     #[test]
     fn quick_comparison_is_sound() {
-        let cmp = run_comparison(Scale::Quick, 2, 1);
+        let cmp = run_comparison(Scale::Quick, 2, 1, false);
         assert_eq!(
             cmp.vanilla.delivered + cmp.vanilla.dropped,
             cmp.vanilla.injected
@@ -152,9 +206,34 @@ mod tests {
     }
 
     #[test]
+    fn quick_split_comparison_runs_five_stages() {
+        let cmp = run_comparison(Scale::Quick, 2, 1, true);
+        assert!(cmp.split_gro);
+        assert_eq!(cmp.vanilla.stages, 5);
+        assert_eq!(cmp.falcon.stages, 5);
+        assert_eq!(
+            cmp.falcon.delivered + cmp.falcon.dropped,
+            cmp.falcon.injected
+        );
+        assert_eq!(cmp.falcon.reorder_violations, 0);
+        let text = render(&cmp);
+        assert!(text.contains("split-gro: 5 stages"));
+        assert!(text.contains("pnic_gro"), "placement line names the half");
+        let json = serde_json::to_string(&cmp).expect("serializes");
+        assert!(json.contains("\"pnic_gro\""));
+    }
+
+    #[test]
     fn dataplane_trace_exports_perfetto_json() {
-        let json = chrome_trace(Scale::Quick, 2, 1);
+        let json = chrome_trace(Scale::Quick, 2, 1, false);
         assert!(json.contains("\"traceEvents\""));
         assert!(json.contains("pnic_poll"), "stage slices present");
+    }
+
+    #[test]
+    fn split_trace_exports_the_gro_half() {
+        let json = chrome_trace(Scale::Quick, 2, 1, true);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("pnic_gro"), "gro half slices present");
     }
 }

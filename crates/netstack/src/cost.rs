@@ -256,8 +256,111 @@ impl CostModel {
 
     /// Labels for the four stages of
     /// [`overlay_udp_stage_ns`](Self::overlay_udp_stage_ns).
+    pub const OVERLAY_STAGE_LABELS: [&'static str; 4] =
+        ["pnic_poll", "outer_stack", "gro_cell", "container_stack"];
+
+    /// Labels for the five stages of the `_split` shapes.
+    pub const OVERLAY_STAGE_LABELS_SPLIT: [&'static str; 5] = [
+        "pnic_alloc",
+        "pnic_gro",
+        "outer_stack",
+        "gro_cell",
+        "container_stack",
+    ];
+
+    /// Labels for the four stages of
+    /// [`overlay_udp_stage_ns`](Self::overlay_udp_stage_ns).
     pub fn overlay_udp_stage_labels() -> [&'static str; 4] {
-        ["pnic_poll", "outer_stack", "gro_cell", "container_stack"]
+        Self::OVERLAY_STAGE_LABELS
+    }
+
+    /// The split shape of [`overlay_udp_stage_ns`](Self::overlay_udp_stage_ns):
+    /// the pNIC stage decomposed into its `skb_allocation` and
+    /// `napi_gro_receive` halves (paper §4.2, the Figure 9a split).
+    ///
+    /// The partition is exact — `split[0] + split[1]` equals the
+    /// unsplit stage 0 cost, and the later stages are unchanged. The
+    /// alloc half keeps `enqueue_to_backlog` (it ends by handing the
+    /// skb to the GRO half's backlog); the GRO half keeps
+    /// `netif_receive_skb` (GRO completion flows straight into stack
+    /// dispatch). Splitting itself is free at the cost-model level: the
+    /// price of the extra hop is the placement's
+    /// [`locality_penalty_ns`](Self::locality_penalty_ns), charged by
+    /// the executor like any other remote transition.
+    pub fn overlay_udp_stage_ns_split(&self, payload: usize) -> [u64; 5] {
+        let [a, b, c, d] = self.overlay_udp_stage_ns(payload);
+        let wire_frame = 14 + 20 + 8 + payload + falcon_packet::VXLAN_OVERHEAD;
+        let a1 = self.skb_alloc(wire_frame).as_nanos() + self.enqueue_backlog_ns;
+        let a2 = a - a1;
+        [a1, a2, b, c, d]
+    }
+
+    /// Per-segment `skb_allocation` and `napi_gro_receive` totals for a
+    /// GRO-coalesced TCP message of `msg` bytes arriving as wire
+    /// segments of at most `mss` payload bytes each.
+    fn tcp_pnic_halves(&self, msg: usize, mss: usize) -> (u64, u64) {
+        let msg = msg.max(1);
+        let mss = mss.max(1);
+        let mut alloc = 0u64;
+        let mut gro = 0u64;
+        let mut off = 0usize;
+        while off < msg {
+            let chunk = (msg - off).min(mss);
+            // Ethernet(14) + IP(20) + TCP(20) per wire segment, inside
+            // the VXLAN envelope.
+            let wire_seg = 14 + 20 + 20 + chunk + falcon_packet::VXLAN_OVERHEAD;
+            alloc += self.skb_alloc(wire_seg).as_nanos();
+            gro += self.gro_receive(true, wire_seg).as_nanos();
+            off += chunk;
+        }
+        (alloc, gro)
+    }
+
+    /// Service-time decomposition of the overlay receive path for one
+    /// GRO-coalesced TCP message of `msg` bytes segmented at `mss` on
+    /// the wire — the Figure-13 TCP-4KB shape.
+    ///
+    /// Unlike UDP, the pNIC stage pays allocation and GRO **per wire
+    /// segment** (`ceil(msg / mss)` of them) before the merged
+    /// super-skb traverses the rest of the path once. That is what
+    /// makes the first stage the bottleneck (~45 % alloc / ~45 % GRO,
+    /// paper Figure 9a) and GRO splitting worth a core.
+    pub fn overlay_tcp_stage_ns(&self, msg: usize, mss: usize) -> [u64; 4] {
+        let (alloc, gro) = self.tcp_pnic_halves(msg, mss);
+        let a = alloc + gro + self.netif_receive_ns + self.enqueue_backlog_ns;
+        // The merged skb: one set of inner headers over the full
+        // message. The outer stack still parses IP/UDP/VXLAN (the
+        // envelope is UDP regardless of the inner protocol).
+        let wire_total = 14 + 20 + 20 + msg.max(1) + falcon_packet::VXLAN_OVERHEAD;
+        let b = self.process_backlog_ns
+            + self.ip_rcv_ns
+            + self.udp_rcv_ns
+            + self.vxlan_rcv(wire_total).as_nanos()
+            + self.netif_rx_ns;
+        let c = self.gro_cell_poll_ns
+            + self.netif_receive_ns
+            + self.bridge_ns
+            + self.veth_xmit_ns
+            + self.netif_rx_ns
+            + self.enqueue_backlog_ns;
+        let d = self.process_backlog_ns + self.ip_rcv_ns + self.tcp_rcv_ns + self.sock_queue_ns;
+        [a, b, c, d]
+    }
+
+    /// The split shape of [`overlay_tcp_stage_ns`](Self::overlay_tcp_stage_ns),
+    /// same exact-partition rule as
+    /// [`overlay_udp_stage_ns_split`](Self::overlay_udp_stage_ns_split).
+    pub fn overlay_tcp_stage_ns_split(&self, msg: usize, mss: usize) -> [u64; 5] {
+        let [a, b, c, d] = self.overlay_tcp_stage_ns(msg, mss);
+        let (alloc, _) = self.tcp_pnic_halves(msg, mss);
+        let a1 = alloc + self.enqueue_backlog_ns;
+        let a2 = a - a1;
+        [a1, a2, b, c, d]
+    }
+
+    /// Labels for the five stages of the split shapes.
+    pub fn overlay_stage_labels_split() -> [&'static str; 5] {
+        Self::OVERLAY_STAGE_LABELS_SPLIT
     }
 }
 
@@ -346,5 +449,60 @@ mod tests {
     fn kernel_labels() {
         assert_eq!(KernelVersion::K419.label(), "4.19");
         assert_eq!(KernelVersion::K54.label(), "5.4");
+    }
+
+    #[test]
+    fn split_shape_partitions_the_pnic_stage_exactly() {
+        for m in [CostModel::kernel_4_19(), CostModel::kernel_5_4()] {
+            for payload in [0usize, 64, 1400, 4096, 65_000] {
+                let four = m.overlay_udp_stage_ns(payload);
+                let five = m.overlay_udp_stage_ns_split(payload);
+                assert_eq!(five[0] + five[1], four[0], "payload {payload}");
+                assert_eq!(&five[2..], &four[1..]);
+            }
+            let four = m.overlay_tcp_stage_ns(4096, 1448);
+            let five = m.overlay_tcp_stage_ns_split(4096, 1448);
+            assert_eq!(five[0] + five[1], four[0]);
+            assert_eq!(&five[2..], &four[1..]);
+        }
+    }
+
+    #[test]
+    fn tcp_4k_pnic_stage_splits_near_forty_five_forty_five() {
+        // Figure 9a: at TCP 4KB, skb_allocation and napi_gro_receive
+        // each carry ~45 % of the pNIC stage.
+        let m = CostModel::kernel_4_19();
+        let [a, ..] = m.overlay_tcp_stage_ns(4096, 1448);
+        let [a1, a2, ..] = m.overlay_tcp_stage_ns_split(4096, 1448);
+        let alloc_share = a1 as f64 / a as f64;
+        let gro_share = a2 as f64 / a as f64;
+        assert!(
+            (0.35..0.55).contains(&alloc_share),
+            "alloc share {alloc_share}"
+        );
+        assert!((0.35..0.55).contains(&gro_share), "gro share {gro_share}");
+    }
+
+    #[test]
+    fn tcp_4k_bottleneck_moves_under_split() {
+        // Unsplit, the per-segment pNIC stage dominates the TCP-4KB
+        // path; the split must knock the bottleneck down far enough
+        // that a fifth core can buy throughput.
+        let m = CostModel::kernel_5_4();
+        let four = m.overlay_tcp_stage_ns(4096, 1448);
+        let five = m.overlay_tcp_stage_ns_split(4096, 1448);
+        let unsplit_max = *four.iter().max().expect("non-empty");
+        let split_max = *five.iter().max().expect("non-empty");
+        assert_eq!(unsplit_max, four[0], "pNIC stage is the TCP bottleneck");
+        assert!(
+            (split_max as f64) < 0.75 * unsplit_max as f64,
+            "split bottleneck {split_max}ns vs unsplit {unsplit_max}ns"
+        );
+        // Still one message's worth of work overall.
+        assert_eq!(
+            five.iter().sum::<u64>(),
+            four.iter().sum::<u64>(),
+            "splitting adds no modeled work"
+        );
     }
 }

@@ -1,0 +1,80 @@
+//! Property tests of the cost model's GRO-split stage decomposition.
+//!
+//! The split shapes (`overlay_udp_stage_ns_split`,
+//! `overlay_tcp_stage_ns_split`) promise an *exact partition*: the two
+//! pNIC half-stages always sum to the unsplit pNIC stage cost, the
+//! later stages are untouched, and no stage ever costs zero (a
+//! zero-cost stage would let the dataplane's busy-spin degenerate to a
+//! pure queue hop and silently break the wall-clock comparison).
+
+use falcon_netstack::{CostModel, KernelVersion};
+use proptest::prelude::*;
+
+fn kernels() -> impl Strategy<Value = KernelVersion> {
+    any::<bool>().prop_map(|new| {
+        if new {
+            KernelVersion::K54
+        } else {
+            KernelVersion::K419
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// UDP: split halves sum exactly to the unsplit pNIC stage for all
+    /// payload sizes, later stages match, every stage is nonzero.
+    #[test]
+    fn udp_split_halves_partition_exactly(
+        kernel in kernels(),
+        payload in 0usize..=65_507,
+    ) {
+        let m = CostModel::for_kernel(kernel);
+        let four = m.overlay_udp_stage_ns(payload);
+        let five = m.overlay_udp_stage_ns_split(payload);
+        prop_assert_eq!(five[0] + five[1], four[0], "halves must sum to stage A");
+        prop_assert_eq!(&five[2..], &four[1..], "later stages must be untouched");
+        for (label, ns) in CostModel::OVERLAY_STAGE_LABELS_SPLIT.iter().zip(five) {
+            prop_assert!(ns > 0, "stage {} has zero cost at payload {}", label, payload);
+        }
+        for (label, ns) in CostModel::OVERLAY_STAGE_LABELS.iter().zip(four) {
+            prop_assert!(ns > 0, "stage {} has zero cost at payload {}", label, payload);
+        }
+    }
+
+    /// TCP-GRO: the same partition holds across message and MSS sizes,
+    /// including messages smaller than one segment.
+    #[test]
+    fn tcp_split_halves_partition_exactly(
+        kernel in kernels(),
+        msg in 1usize..=65_507,
+        mss in 536usize..=9_000,
+    ) {
+        let m = CostModel::for_kernel(kernel);
+        let four = m.overlay_tcp_stage_ns(msg, mss);
+        let five = m.overlay_tcp_stage_ns_split(msg, mss);
+        prop_assert_eq!(five[0] + five[1], four[0], "halves must sum to stage A");
+        prop_assert_eq!(&five[2..], &four[1..], "later stages must be untouched");
+        for (label, ns) in CostModel::OVERLAY_STAGE_LABELS_SPLIT.iter().zip(five) {
+            prop_assert!(ns > 0, "stage {} has zero cost at msg {} mss {}", label, msg, mss);
+        }
+        // Splitting adds no modeled work: serialized totals agree.
+        prop_assert_eq!(five.iter().sum::<u64>(), four.iter().sum::<u64>());
+    }
+
+    /// The TCP pNIC stage is per-segment: more segments (smaller MSS)
+    /// never makes the first stage cheaper, and both halves grow with
+    /// the message.
+    #[test]
+    fn tcp_pnic_cost_is_monotone_in_segments(
+        kernel in kernels(),
+        msg in 1449usize..=32_768,
+    ) {
+        let m = CostModel::for_kernel(kernel);
+        let coarse = m.overlay_tcp_stage_ns_split(msg, 9_000);
+        let fine = m.overlay_tcp_stage_ns_split(msg, 1_448);
+        prop_assert!(fine[0] >= coarse[0], "alloc half must grow with segment count");
+        prop_assert!(fine[1] >= coarse[1], "gro half must grow with segment count");
+    }
+}

@@ -419,21 +419,37 @@ pub fn merge_streams(streams: impl IntoIterator<Item = Vec<Event>>) -> Vec<Event
     out
 }
 
+/// The FNV-1a offset basis [`hop_hash`] starts from; a digest built
+/// incrementally with [`hop_hash_extend`] must start here too.
+pub const HOP_HASH_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one (checkpoint, cpu) hop into a running FNV-1a digest.
+///
+/// The real-thread dataplane can't batch its hop log the way the
+/// simulator's `skb.trace` does — the packet struct crossing SPSC rings
+/// carries a fixed-size running digest instead, extended at each stage
+/// execution and emitted verbatim in the final `Deliver`.
+#[inline]
+pub fn hop_hash_extend(mut h: u64, checkpoint: u32, cpu: usize) -> u64 {
+    for byte in checkpoint
+        .to_le_bytes()
+        .into_iter()
+        .chain((cpu as u64).to_le_bytes())
+    {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
 /// FNV-1a digest over a packet's (checkpoint, cpu) hop log. The
 /// netstack computes this over `skb.trace` at delivery and embeds it in
 /// [`EventKind::Deliver`]; [`check`] recomputes it from the `StageExec`
 /// stream — agreement proves the trace observed every hop in order.
 pub fn hop_hash<I: IntoIterator<Item = (u32, usize)>>(hops: I) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = HOP_HASH_INIT;
     for (checkpoint, cpu) in hops {
-        for byte in checkpoint
-            .to_le_bytes()
-            .into_iter()
-            .chain((cpu as u64).to_le_bytes())
-        {
-            h ^= byte as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
+        h = hop_hash_extend(h, checkpoint, cpu);
     }
     h
 }
@@ -540,6 +556,17 @@ mod tests {
         assert_eq!(a, c);
         assert_ne!(a, b);
         assert_ne!(a, hop_hash([]));
+    }
+
+    #[test]
+    fn incremental_hop_hash_matches_batch() {
+        let hops = [(1u32, 0usize), (2, 1), (0x8000_0001, 3), (3, 2)];
+        let mut h = HOP_HASH_INIT;
+        for &(cp, cpu) in &hops {
+            h = hop_hash_extend(h, cp, cpu);
+        }
+        assert_eq!(h, hop_hash(hops));
+        assert_eq!(HOP_HASH_INIT, hop_hash([]));
     }
 
     #[test]
