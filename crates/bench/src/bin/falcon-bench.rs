@@ -94,11 +94,15 @@ fn simulation_report(rate: f64, payload: usize) -> SimBenchReport {
 fn usage() {
     eprintln!(
         "usage: falcon-bench [--json] [--quick] [--out <path>] [--dataplane] \
-         [--split-gro] [--dataplane-out <path>] [--workers <n>]\n\
+         [--split-gro] [--dataplane-out <path>] [--workers <n>] [--flows <n>] \
+         [--sweep] [--sweep-out <path>]\n\
          default prints a text summary of the simulation benches; --json \
          prints JSON; --dataplane additionally runs the real-thread executor \
          comparison and writes it to --dataplane-out (default \
-         BENCH_dataplane.json)"
+         BENCH_dataplane.json); --sweep runs the real-thread scaling grid \
+         (1..=--flows x 1..=--workers, both policies per point) and writes \
+         it to --sweep-out (default BENCH_sweep.json), failing if the order \
+         audit flags any point"
     );
 }
 
@@ -110,6 +114,9 @@ fn main() -> ExitCode {
     let mut split_gro = false;
     let mut dataplane_out = "BENCH_dataplane.json".to_string();
     let mut workers: usize = 4;
+    let mut flows: u64 = 1;
+    let mut run_sweep = false;
+    let mut sweep_out = "BENCH_sweep.json".to_string();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -138,6 +145,23 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => workers = n,
                 _ => {
                     eprintln!("--workers requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--flows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => flows = n,
+                _ => {
+                    eprintln!("--flows requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--sweep" => run_sweep = true,
+            "--sweep-out" => match args.next() {
+                Some(path) => sweep_out = path,
+                None => {
+                    eprintln!("--sweep-out requires a path");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -183,7 +207,7 @@ fn main() -> ExitCode {
         eprintln!(
             "dataplane bench: real-thread vanilla vs falcon ({workers} worker(s) requested)..."
         );
-        let cmp = dataplane::run_comparison(scale, workers, 1, split_gro);
+        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro);
         print!("{}", dataplane::render(&cmp));
         let cmp_json = serde_json::to_string_pretty(&cmp).expect("serializable");
         if let Err(e) = std::fs::write(&dataplane_out, cmp_json) {
@@ -191,6 +215,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {dataplane_out}");
+    }
+
+    if run_sweep {
+        eprintln!("dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s)...");
+        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0);
+        print!("{}", dataplane::render_sweep(&sweep));
+        let sweep_json = serde_json::to_string_pretty(&sweep).expect("serializable");
+        if let Err(e) = std::fs::write(&sweep_out, sweep_json) {
+            eprintln!("cannot write {sweep_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {sweep_out}");
+        let violations = sweep.total_reorder_violations();
+        if violations > 0 {
+            eprintln!("FAIL: {violations} reorder violation(s) across the sweep grid");
+            return ExitCode::FAILURE;
+        }
     }
 
     ExitCode::SUCCESS

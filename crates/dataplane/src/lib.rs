@@ -39,10 +39,10 @@ pub mod steer;
 
 pub use affinity::{available_cores, clamp_workers, pin_current_thread};
 pub use executor::{
-    run_scenario, stage_labels, RunOutput, Scenario, TrafficShape, WorkerStats, PNIC_SPLIT_IF,
-    SPLIT_STAGES, STAGES,
+    run_scenario, stage_labels, sweep_order, RunOutput, Scenario, TrafficShape, WorkerStats,
+    PNIC_SPLIT_IF, SPLIT_STAGES, STAGES,
 };
-pub use report::{DataplaneComparison, DataplaneReport, LatencySummary};
-pub use spin::{spin_for_ns, Epoch};
+pub use report::{DataplaneComparison, DataplaneReport, LatencySummary, SweepPoint, SweepReport};
+pub use spin::{spin_for_ns, Backoff, Epoch, IdleTier};
 pub use spsc::{ring, Consumer, Producer};
-pub use steer::{DepthGauge, FlowTable, Policy, PolicyKind};
+pub use steer::{DepthGauge, FlowTable, InflightGuard, Policy, PolicyKind};

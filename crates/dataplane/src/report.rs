@@ -228,6 +228,54 @@ impl DataplaneComparison {
     }
 }
 
+/// One grid point of the multi-flow scaling sweep: the full
+/// vanilla-vs-Falcon comparison at a given (flows, workers) setting.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Distinct flows injected at this point.
+    pub flows: u64,
+    /// Worker threads used at this point.
+    pub workers: usize,
+    /// The per-point headline comparison.
+    pub comparison: DataplaneComparison,
+}
+
+/// What `BENCH_sweep.json` contains: one [`SweepPoint`] per cell of the
+/// (1..=flows × 1..=workers) grid, the paper's Figure-12 aggregate
+/// scaling story measured on this host. Consumers should gate scaling
+/// conclusions on `host_cores` the same way they do for
+/// [`DataplaneComparison`].
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Logical cores on the host.
+    pub host_cores: usize,
+    /// Whether every point ran the five-hop split pipeline.
+    pub split_gro: bool,
+    /// Traffic shape label shared by every point.
+    pub shape: String,
+    /// Packets injected per run (each point runs both policies).
+    pub packets_per_point: u64,
+    /// Largest flow count in the grid.
+    pub max_flows: u64,
+    /// Largest worker count in the grid.
+    pub max_workers: usize,
+    /// The grid, flows-major then workers.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Total ordering-audit violations across every point and both
+    /// policies — the sweep's pass/fail line; must be zero.
+    pub fn total_reorder_violations(&self) -> u64 {
+        self.points
+            .iter()
+            .map(|p| {
+                p.comparison.vanilla.reorder_violations + p.comparison.falcon.reorder_violations
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

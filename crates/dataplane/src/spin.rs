@@ -60,6 +60,82 @@ pub fn spin_for_ns(ns: u64) -> u64 {
     }
 }
 
+/// Which tier an idle step landed in. Ordered by escalation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IdleTier {
+    /// Busy spin-hint: cheapest, keeps the core hot for an imminent
+    /// arrival.
+    Spin,
+    /// `yield_now`: gives the scheduler a chance (essential when
+    /// producers share this core).
+    Yield,
+    /// Short timed park: stops burning the core entirely when the ring
+    /// mesh has been dry for a while.
+    Park,
+}
+
+/// Tiered idle backoff for the worker sweep loop: a run of spin-hints,
+/// then a run of yields, then short timed parks until work reappears.
+///
+/// A bare `yield_now` loop (the previous idle strategy) is the worst of
+/// both worlds: on a dedicated core it burns full power making syscalls
+/// for nothing, and on a shared core it thrashes the run queue. The
+/// tiers mirror what real busy-poll NAPI drivers do — stay hot while an
+/// arrival is plausibly imminent, get politer as the idle stretch
+/// grows. `reset()` on any work snaps straight back to the hot tier.
+#[derive(Debug)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// Idle steps spent in the spin-hint tier before yielding.
+    const SPIN_STEPS: u32 = 64;
+    /// Further idle steps spent yielding before parking.
+    const YIELD_STEPS: u32 = 64;
+    /// Park duration once fully backed off. Short enough that a
+    /// post-park sweep catches new arrivals well inside the injector's
+    /// patience, long enough to actually rest the core.
+    const PARK: Duration = Duration::from_micros(50);
+
+    /// A fresh backoff, starting at the hot tier.
+    pub fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// Work was found: snap back to the hot tier.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// One idle step: waits according to the current tier, escalates,
+    /// and reports which tier this step used.
+    #[inline]
+    pub fn idle(&mut self) -> IdleTier {
+        let tier = if self.step < Self::SPIN_STEPS {
+            for _ in 0..32 {
+                std::hint::spin_loop();
+            }
+            IdleTier::Spin
+        } else if self.step < Self::SPIN_STEPS + Self::YIELD_STEPS {
+            std::thread::yield_now();
+            IdleTier::Yield
+        } else {
+            std::thread::park_timeout(Self::PARK);
+            IdleTier::Park
+        };
+        self.step = self.step.saturating_add(1);
+        tier
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Self {
+        Backoff::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +152,23 @@ mod tests {
     #[test]
     fn zero_is_free() {
         assert_eq!(spin_for_ns(0), 0);
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let mut b = Backoff::new();
+        assert_eq!(b.idle(), IdleTier::Spin);
+        for _ in 0..Backoff::SPIN_STEPS {
+            b.idle();
+        }
+        assert_eq!(b.idle(), IdleTier::Yield);
+        for _ in 0..Backoff::YIELD_STEPS {
+            b.idle();
+        }
+        assert_eq!(b.idle(), IdleTier::Park);
+        assert_eq!(b.idle(), IdleTier::Park, "stays parked while idle");
+        b.reset();
+        assert_eq!(b.idle(), IdleTier::Spin, "work snaps back to hot tier");
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! one. See `executor::DpPkt::prev_guard` for the full argument.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use falcon::balance::falcon_choices_by;
@@ -73,6 +73,22 @@ struct PaddedCounter(AtomicUsize);
 /// `busy_depth` (≈ one NAPI budget): a worker with a full batch already
 /// queued reads as load 1.0, which is when the two-choice balancer
 /// starts looking elsewhere.
+///
+/// **Staleness bound under batching.** The batched executor touches
+/// each counter once per (sweep, ring) instead of once per packet:
+/// consumers `sub` a whole pop batch up front, producers `add` a whole
+/// staged batch at flush. The depth another worker reads can therefore
+/// be off by at most one NAPI budget in either direction: under-read
+/// by an upstream worker's unflushed outbound staging buffer
+/// (≤ `napi_budget`, flushed at the end of processing every inbound
+/// batch), or by the consumer's up-front `sub` of a batch it is still
+/// working through (which moves those packets from "queued" to
+/// "in service" a batch early). The local worker's own staged packets
+/// are folded back in via [`load_plus`](Self::load_plus), so a
+/// steering decision is never stale with respect to the decisions the
+/// same worker just made — the feedback loop that matters for
+/// two-choice stability. Cross-worker error stays bounded by one NAPI
+/// budget and self-corrects every sweep.
 #[derive(Debug)]
 pub struct DepthGauge {
     depths: Vec<PaddedCounter>,
@@ -100,6 +116,25 @@ impl DepthGauge {
         self.depths[worker].0.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Records `n` packets queued toward `worker` in one RMW — the
+    /// batched flush path's single shared-cache-line touch per
+    /// (sweep, destination) instead of one per packet.
+    #[inline]
+    pub fn add(&self, worker: usize, n: usize) {
+        if n > 0 {
+            self.depths[worker].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `n` packets dequeued by `worker` in one RMW (the batched
+    /// consumer-side companion to [`add`](Self::add)).
+    #[inline]
+    pub fn sub(&self, worker: usize, n: usize) {
+        if n > 0 {
+            self.depths[worker].0.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
     /// Current queued-packet count for `worker`.
     #[inline]
     pub fn depth(&self, worker: usize) -> usize {
@@ -110,6 +145,18 @@ impl DepthGauge {
     #[inline]
     pub fn load(&self, worker: usize) -> f64 {
         (self.depth(worker) as f64 / self.busy_depth as f64).min(1.0)
+    }
+
+    /// Like [`load`](Self::load), with `extra` locally-staged packets
+    /// folded in. The batched executor publishes its outbound packets
+    /// to the gauge once per flush, not per packet; folding the
+    /// not-yet-flushed staging count back in keeps *this* worker's
+    /// steering decisions exactly as fresh as the per-packet gauge gave
+    /// them. (Other workers' staged packets stay invisible until their
+    /// flush — see the staleness-bound note on [`DepthGauge`].)
+    #[inline]
+    pub fn load_plus(&self, worker: usize, extra: usize) -> f64 {
+        ((self.depth(worker) + extra) as f64 / self.busy_depth as f64).min(1.0)
     }
 
     /// Number of workers tracked.
@@ -149,12 +196,22 @@ pub enum Policy {
 impl Policy {
     /// Builds the policy for `kind` over workers `0..n`.
     pub fn new(kind: PolicyKind, n_workers: usize) -> Self {
+        Policy::with_two_choice(kind, n_workers, true)
+    }
+
+    /// Like [`Policy::new`], with the Falcon policy's depth-triggered
+    /// two-choice rehash switched on or off (off = always the
+    /// (flow, device) hash's first choice, load ignored). Vanilla
+    /// hashes unconditionally and ignores the flag.
+    pub fn with_two_choice(kind: PolicyKind, n_workers: usize, two_choice: bool) -> Self {
         match kind {
             PolicyKind::Vanilla => Policy::Vanilla {
                 workers: CpuSet::first_n(n_workers),
             },
             PolicyKind::Falcon => Policy::Falcon {
-                config: FalconConfig::new(CpuSet::first_n(n_workers)).with_always_on(true),
+                config: FalconConfig::new(CpuSet::first_n(n_workers))
+                    .with_always_on(true)
+                    .with_two_choice(two_choice),
             },
         }
     }
@@ -184,6 +241,14 @@ impl Policy {
 
     /// Picks the worker for the stage behind device `ifindex`.
     pub fn choose(&self, rx_hash: u32, ifindex: u32, depths: &DepthGauge) -> Choice {
+        self.choose_by(rx_hash, ifindex, |c| depths.load(c))
+    }
+
+    /// Picks the worker for the stage behind device `ifindex`, reading
+    /// per-worker load through `load`. The batched executor uses this
+    /// to fold its locally-staged (not yet flushed) packets into the
+    /// gauge reading — see [`DepthGauge::load_plus`].
+    pub fn choose_by(&self, rx_hash: u32, ifindex: u32, load: impl Fn(usize) -> f64) -> Choice {
         match self {
             Policy::Vanilla { workers } => {
                 let worker = workers.pick_by_hash(rx_hash);
@@ -194,8 +259,7 @@ impl Policy {
                 }
             }
             Policy::Falcon { config } => {
-                let (first, worker, second) =
-                    falcon_choices_by(config, rx_hash, ifindex, |c| depths.load(c));
+                let (first, worker, second) = falcon_choices_by(config, rx_hash, ifindex, load);
                 Choice {
                     first,
                     worker,
@@ -206,31 +270,76 @@ impl Policy {
     }
 }
 
+/// The shared in-flight state of one (flow, device) registration: the
+/// packet count that blocks migration, plus a Lamport-clock high-water
+/// mark that threads the ordering audit's happens-before chain through
+/// migrations.
+///
+/// The clock is what lets the audit ticket be *per-worker* instead of
+/// a run-global RMW (the old design's hottest shared cache line: two
+/// `fetch_add`s on one counter per stage execution, from every worker
+/// at once). Each worker stamps its order records with a local Lamport
+/// counter; packets carry the clock across rings (the ring's
+/// release/acquire publishes it); and this field carries it across the
+/// one remaining cross-worker edge — a migration, where packet B may
+/// execute a checkpoint on a different worker than packet A did,
+/// linked only by "A's guard drained before B routed". The releaser
+/// folds its clock in *before* the `Release` decrement of `count`; a
+/// router that observes `count == 0` with `Acquire` therefore also
+/// observes the clock, and hands it to the routed packet. Every
+/// happens-before path between two executions at one (flow,
+/// checkpoint) — same-thread program order, ring handoff, or guard
+/// drain — thus forces strictly increasing ticket values, so sorting
+/// the merged logs by (clock, worker) reconstructs the true order
+/// without any run-global synchronization.
+#[derive(Debug, Default)]
+pub struct InflightGuard {
+    /// Packets currently in flight under this registration.
+    count: AtomicU32,
+    /// Lamport-clock high-water mark of completed releases.
+    release_lc: AtomicU64,
+}
+
+impl InflightGuard {
+    /// Current in-flight count (tests and diagnostics).
+    pub fn in_flight(&self) -> u32 {
+        self.count.load(Ordering::Acquire)
+    }
+}
+
 /// One resolved route: where the packet actually goes, and the
 /// in-flight guard the consumer must release after the stage runs.
 #[derive(Debug)]
 pub struct Route {
     /// Worker the packet must be enqueued to.
     pub worker: usize,
-    /// In-flight count for this (flow, device); already incremented.
-    pub guard: Arc<AtomicU32>,
+    /// In-flight guard for this (flow, device); already incremented.
+    pub guard: Arc<InflightGuard>,
     /// Whether this packet moved the pair to a new worker.
     pub migrated: bool,
+    /// Lamport clock observed at routing; the packet must fold this
+    /// into its own clock so executions after a migration tick later
+    /// than everything the drained guard completed.
+    pub lc: u64,
 }
 
-/// Releases one in-flight registration. The executor calls this once
-/// the packet can no longer be overtaken on its way out of the routed
-/// stage: after the *following* stage has executed, or on delivery, or
-/// when the packet was dropped.
+/// Releases one in-flight registration, recording the releasing
+/// packet's Lamport clock. The executor calls this once the packet can
+/// no longer be overtaken on its way out of the routed stage: after
+/// the *following* stage has executed, or on delivery, or when the
+/// packet was dropped. The clock fold-in precedes the `Release`
+/// decrement, so any router that sees the count hit zero also sees the
+/// clock (see [`InflightGuard`]).
 #[inline]
-pub fn release(guard: &AtomicU32) {
-    guard.fetch_sub(1, Ordering::Release);
+pub fn release(guard: &InflightGuard, lc: u64) {
+    guard.release_lc.fetch_max(lc, Ordering::Relaxed);
+    guard.count.fetch_sub(1, Ordering::Release);
 }
 
 #[derive(Debug)]
 struct FlowEntry {
     worker: usize,
-    inflight: Arc<AtomicU32>,
+    inflight: Arc<InflightGuard>,
 }
 
 /// The global sticky (flow, device) → worker table with in-flight
@@ -266,18 +375,28 @@ impl FlowTable {
         let mut map = self.shard(flow, ifindex).lock().expect("unpoisoned shard");
         let entry = map.entry((flow, ifindex)).or_insert_with(|| FlowEntry {
             worker: want,
-            inflight: Arc::new(AtomicU32::new(0)),
+            inflight: Arc::new(InflightGuard::default()),
         });
         let mut migrated = false;
-        if entry.worker != want && entry.inflight.load(Ordering::Acquire) == 0 {
+        if entry.worker != want && entry.inflight.count.load(Ordering::Acquire) == 0 {
             entry.worker = want;
             migrated = true;
         }
-        entry.inflight.fetch_add(1, Ordering::AcqRel);
+        entry.inflight.count.fetch_add(1, Ordering::AcqRel);
+        // Reading the release clock after the count check means: if the
+        // count read 0, this read is ordered after every prior
+        // release's fold-in (Acquire on count syncs with the Release
+        // decrement), so a migrated packet inherits a clock later than
+        // everything that drained. When the count was nonzero the pair
+        // could not migrate and same-worker program order carries the
+        // happens-before instead; the (possibly stale) clock read is
+        // then merely a harmless extra lower bound.
+        let lc = entry.inflight.release_lc.load(Ordering::Relaxed);
         Route {
             worker: entry.worker,
             guard: Arc::clone(&entry.inflight),
             migrated,
+            lc,
         }
     }
 
@@ -380,12 +499,16 @@ mod tests {
         assert_eq!(r2.worker, 0, "migration with packets in flight");
         assert!(!r2.migrated);
         // Drain both packets, then the pair may move.
-        release(&r1.guard);
-        release(&r2.guard);
+        release(&r1.guard, 10);
+        release(&r2.guard, 20);
         let r3 = t.route(7, 2, 3);
         assert_eq!(r3.worker, 3);
         assert!(r3.migrated);
-        release(&r3.guard);
+        assert!(
+            r3.lc >= 20,
+            "a migrated route must inherit the drained releases' clock"
+        );
+        release(&r3.guard, 30);
         assert_eq!(t.pairs(), 1);
     }
 

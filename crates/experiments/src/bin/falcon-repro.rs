@@ -21,12 +21,16 @@ fn usage() {
     eprintln!(
         "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
          [--stage-latency] [--dataplane] [--split-gro] [--workers <n>] [--flows <n>] \
-         [--dataplane-out <path>] [--dataplane-trace <out.json>] <fig-id>... | all\n\
+         [--dataplane-out <path>] [--dataplane-trace <out.json>] \
+         [--sweep] [--sweep-out <path>] <fig-id>... | all\n\
          --dataplane runs the modeled rx path on real pinned threads and \
          writes a vanilla-vs-falcon comparison to --dataplane-out \
          (default BENCH_dataplane.json); --split-gro runs the five-hop \
          pipeline (pNIC stage split into alloc/GRO halves) on the \
-         Figure-13 TCP-4KB shape\n\
+         Figure-13 TCP-4KB shape; --sweep runs the real-thread scaling \
+         grid (1..=--flows x 1..=--workers, both policies per point) and \
+         writes it to --sweep-out (default BENCH_sweep.json), failing if \
+         the order audit flags any point\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -47,6 +51,8 @@ fn main() -> ExitCode {
     let mut flows: u64 = 1;
     let mut dataplane_out = "BENCH_dataplane.json".to_string();
     let mut dataplane_trace: Option<String> = None;
+    let mut run_sweep = false;
+    let mut sweep_out = "BENCH_sweep.json".to_string();
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -97,6 +103,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--sweep" => run_sweep = true,
+            "--sweep-out" => match args.next() {
+                Some(path) => sweep_out = path,
+                None => {
+                    eprintln!("--sweep-out requires a path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" | "-l" => {
                 for (id, _) in figs::all() {
                     println!("{id}");
@@ -116,7 +131,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if wanted.is_empty() && trace_out.is_none() && !stage_latency && !run_dataplane {
+    if wanted.is_empty() && trace_out.is_none() && !stage_latency && !run_dataplane && !run_sweep {
         usage();
         return ExitCode::FAILURE;
     }
@@ -199,6 +214,35 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             eprintln!("wrote {path} (load it at https://ui.perfetto.dev)");
+        }
+    }
+
+    if run_sweep {
+        eprintln!(
+            "dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s), \
+             both policies per point ({:?} scale){}...",
+            scale,
+            if split_gro { ", split-gro 5-stage" } else { "" }
+        );
+        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0);
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&sweep).expect("serializable")
+            );
+        } else {
+            print!("{}", dataplane::render_sweep(&sweep));
+        }
+        let sweep_json = serde_json::to_string_pretty(&sweep).expect("serializable");
+        if let Err(e) = std::fs::write(&sweep_out, sweep_json) {
+            eprintln!("cannot write {sweep_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {sweep_out}");
+        let violations = sweep.total_reorder_violations();
+        if violations > 0 {
+            eprintln!("FAIL: {violations} reorder violation(s) across the sweep grid");
+            return ExitCode::FAILURE;
         }
     }
 

@@ -19,7 +19,8 @@
 //! split run there would measure nothing.
 
 use falcon_dataplane::{
-    run_scenario, DataplaneComparison, DataplaneReport, PolicyKind, Scenario, TrafficShape,
+    run_scenario, DataplaneComparison, DataplaneReport, PolicyKind, Scenario, SweepPoint,
+    SweepReport, TrafficShape,
 };
 use falcon_trace::chrome;
 
@@ -168,6 +169,114 @@ pub fn render(cmp: &DataplaneComparison) -> String {
     out
 }
 
+/// Runs the (1..=max_flows × 1..=max_workers) scaling grid, both
+/// policies per point — the paper's Figure-12 aggregate-scaling story
+/// on real threads.
+///
+/// Each point is a full [`run_comparison`]-equivalent pass at the given
+/// scale, with the packet budget per point capped so a whole grid stays
+/// tractable; worker counts above the host's cores are clamped by the
+/// executor exactly as single runs are (the grid then repeats the
+/// clamped column, which the JSON records honestly via each point's
+/// `workers` field). `chaos_steer_period` is a test hook: nonzero runs
+/// every point under forced-migration churn (and lifts the core clamp)
+/// so the conformance suite can prove the order audit holds at every
+/// grid cell under adversarial steering.
+pub fn run_sweep(
+    scale: Scale,
+    max_flows: u64,
+    max_workers: usize,
+    split_gro: bool,
+    chaos_steer_period: u64,
+) -> SweepReport {
+    let max_flows = max_flows.max(1);
+    let max_workers = max_workers.max(1);
+    let mut points = Vec::new();
+    let mut packets_per_point = 0;
+    let mut shape = String::new();
+    for flows in 1..=max_flows {
+        for workers in 1..=max_workers {
+            let mut scenario = scenario_for(scale, workers, flows, split_gro);
+            // A grid multiplies run count by flows × workers; cap the
+            // per-point budget so a full sweep finishes in minutes.
+            scenario.packets = scenario.packets.min(match scale {
+                Scale::Quick => 3_000,
+                Scale::Full => 20_000,
+            });
+            scenario.chaos_steer_period = chaos_steer_period;
+            // The workers axis is the whole point of the sweep: keep it
+            // honest on small hosts by oversubscribing instead of letting
+            // the executor clamp every point down to the core count.
+            scenario.oversubscribe = true;
+            packets_per_point = scenario.packets;
+            shape = scenario.shape.label();
+            let vanilla = DataplaneReport::from_run(&run_scenario(
+                &scenario.clone().with_policy(PolicyKind::Vanilla),
+            ));
+            let falcon = DataplaneReport::from_run(&run_scenario(
+                &scenario.clone().with_policy(PolicyKind::Falcon),
+            ));
+            let comparison = DataplaneComparison::new(&scenario, vanilla, falcon);
+            points.push(SweepPoint {
+                flows,
+                workers: comparison.workers,
+                comparison,
+            });
+        }
+    }
+    SweepReport {
+        host_cores: falcon_dataplane::available_cores(),
+        split_gro,
+        shape,
+        packets_per_point,
+        max_flows,
+        max_workers,
+        points,
+    }
+}
+
+/// Human-readable sweep table: one line per grid point.
+pub fn render_sweep(sweep: &SweepReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dataplane sweep: {} packets/point, shape {}{}, grid {}x{} (flows x workers) on {} host core(s)",
+        sweep.packets_per_point,
+        sweep.shape,
+        if sweep.split_gro { " split-gro" } else { "" },
+        sweep.max_flows,
+        sweep.max_workers,
+        sweep.host_cores,
+    );
+    let _ = writeln!(
+        out,
+        "  {:>5} {:>7} | {:>12} {:>12} {:>8} | {:>10} {:>10} | {:>6}",
+        "flows", "workers", "van pps", "fal pps", "speedup", "van p99us", "fal p99us", "viol"
+    );
+    for p in &sweep.points {
+        let c = &p.comparison;
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>7} | {:>12.0} {:>12.0} {:>7.2}x | {:>10.1} {:>10.1} | {:>6}",
+            p.flows,
+            p.workers,
+            c.vanilla.throughput_pps,
+            c.falcon.throughput_pps,
+            c.speedup,
+            c.vanilla.latency.p99_ns as f64 / 1e3,
+            c.falcon.latency.p99_ns as f64 / 1e3,
+            c.vanilla.reorder_violations + c.falcon.reorder_violations,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  total reorder violations: {}",
+        sweep.total_reorder_violations()
+    );
+    out
+}
+
 /// Runs a traced Falcon dataplane pass and returns Perfetto JSON.
 ///
 /// Uses a reduced packet count so the trace stays loadable; the point
@@ -221,6 +330,25 @@ mod tests {
         assert!(text.contains("pnic_gro"), "placement line names the half");
         let json = serde_json::to_string(&cmp).expect("serializes");
         assert!(json.contains("\"pnic_gro\""));
+    }
+
+    #[test]
+    fn tiny_sweep_covers_the_grid() {
+        let sweep = run_sweep(Scale::Quick, 2, 1, false, 0);
+        assert_eq!(sweep.points.len(), 2, "2 flows x 1 worker");
+        assert_eq!(sweep.total_reorder_violations(), 0);
+        for p in &sweep.points {
+            assert_eq!(
+                p.comparison.falcon.delivered + p.comparison.falcon.dropped,
+                p.comparison.falcon.injected
+            );
+            assert_eq!(p.workers, p.comparison.workers);
+        }
+        let text = render_sweep(&sweep);
+        assert!(text.contains("speedup"));
+        assert!(text.contains("total reorder violations: 0"));
+        let json = serde_json::to_string(&sweep).expect("serializes");
+        assert!(json.contains("\"points\""));
     }
 
     #[test]

@@ -167,6 +167,71 @@ fn five_stage_chaos_conformance_holds() {
     assert_uniform_depth(&out);
 }
 
+/// The sweep grid, differentially: every (flows × workers) cell of a
+/// small grid runs the batched executor under the full conformance set
+/// — conservation, per-packet stage counts via the hop digest, the
+/// order audit, and the trace-stream ledger — on both pipeline shapes.
+/// Batching (ring batches, outbox staging, deferred counter flushes)
+/// must be invisible to every one of these invariants at every cell.
+#[test]
+fn sweep_grid_conforms_at_every_point() {
+    for split in [false, true] {
+        for flows in 1..=2u64 {
+            for workers in 1..=2usize {
+                let out = run_scenario(&dp_scenario(split, workers, flows, 1_200));
+                assert_eq!(
+                    out.stages(),
+                    if split { SPLIT_STAGES } else { STAGES },
+                    "grid cell ({flows}, {workers}) ran the wrong shape"
+                );
+                assert_dataplane_conforms(&out);
+                assert_uniform_depth(&out);
+            }
+        }
+    }
+}
+
+/// The sweep grid under the chaos knobs: forced steering rotation plus
+/// stalled destination sweeps at every multi-worker cell. This is the
+/// adversarial half of the acceptance gate — the batched hot path must
+/// hold the order audit at zero while migrations are being hammered at
+/// every grid point.
+#[test]
+fn sweep_grid_chaos_conformance_holds() {
+    for flows in 1..=2u64 {
+        for workers in 2..=3usize {
+            let mut s = dp_scenario(true, workers, flows, 1_000);
+            s.chaos_steer_period = 2;
+            s.chaos_sweep_stall_ns = 500;
+            let out = run_scenario(&s);
+            assert_dataplane_conforms(&out);
+            assert_uniform_depth(&out);
+        }
+    }
+}
+
+/// The `--sweep` artifact path end-to-end: the experiments crate's grid
+/// runner (the same code behind `falcon-repro --dataplane --sweep`)
+/// must produce one comparison per cell with conservation intact and
+/// zero reorder violations — here with chaos steering layered on top of
+/// every point, so the JSON consumers' pass/fail line
+/// (`total_reorder_violations`) is demonstrably adversarial, not idle.
+#[test]
+fn sweep_report_audits_zero_violations_under_chaos() {
+    use falcon_experiments::dataplane::run_sweep;
+    use falcon_experiments::measure::Scale;
+    let sweep = run_sweep(Scale::Quick, 2, 2, true, 3);
+    assert_eq!(sweep.points.len(), 4, "2 flows x 2 workers");
+    assert_eq!(sweep.total_reorder_violations(), 0);
+    for p in &sweep.points {
+        let c = &p.comparison;
+        assert_eq!(c.vanilla.delivered + c.vanilla.dropped, c.vanilla.injected);
+        assert_eq!(c.falcon.delivered + c.falcon.dropped, c.falcon.injected);
+        assert!(c.vanilla.order_checks > 0);
+        assert!(c.falcon.order_checks > 0);
+    }
+}
+
 /// Drop accounting under pressure: tiny rings force mid-pipeline drops
 /// in the dataplane, a hot sender forces ring drops in the sim, and on
 /// both engines the trace's `QueueDrop` events must equal the engine's
