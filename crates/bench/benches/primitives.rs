@@ -6,8 +6,8 @@ use falcon_khash::{
 };
 use falcon_metrics::Histogram;
 use falcon_packet::{
-    build_udp_frame, dissect_flow, vxlan_decapsulate, vxlan_encapsulate, EncapParams, Ipv4Addr4,
-    MacAddr,
+    build_udp_frame, decap_bounds, dissect_flow, vxlan_decapsulate, vxlan_encapsulate, EncapParams,
+    Ipv4Addr4, MacAddr,
 };
 use falcon_simcore::{Engine, SimDuration, SimRng};
 
@@ -68,6 +68,9 @@ fn bench_codecs(c: &mut Criterion) {
     });
     g.bench_function("vxlan_decapsulate_1400B", |b| {
         b.iter(|| vxlan_decapsulate(black_box(&outer)).unwrap())
+    });
+    g.bench_function("decap_bounds_1400B", |b| {
+        b.iter(|| decap_bounds(black_box(&outer)).unwrap())
     });
     g.bench_function("dissect_flow", |b| {
         b.iter(|| dissect_flow(black_box(&inner)).unwrap())

@@ -94,12 +94,15 @@ fn simulation_report(rate: f64, payload: usize) -> SimBenchReport {
 fn usage() {
     eprintln!(
         "usage: falcon-bench [--json] [--quick] [--out <path>] [--dataplane] \
-         [--split-gro] [--dataplane-out <path>] [--workers <n>] [--flows <n>] \
-         [--sweep] [--sweep-out <path>]\n\
+         [--wire] [--split-gro] [--dataplane-out <path>] [--workers <n>] \
+         [--flows <n>] [--sweep] [--sweep-out <path>]\n\
          default prints a text summary of the simulation benches; --json \
          prints JSON; --dataplane additionally runs the real-thread executor \
          comparison and writes it to --dataplane-out (default \
-         BENCH_dataplane.json); --sweep runs the real-thread scaling grid \
+         BENCH_dataplane.json); --wire carries real VXLAN-encapsulated \
+         bytes through the stages and switches the default comparison \
+         output to BENCH_wire.json (bytes in/out and goodput appear in \
+         the report); --sweep runs the real-thread scaling grid \
          (1..=--flows x 1..=--workers, both policies per point) and writes \
          it to --sweep-out (default BENCH_sweep.json), failing if the order \
          audit flags any point"
@@ -111,8 +114,9 @@ fn main() -> ExitCode {
     let mut scale = Scale::Full;
     let mut out: Option<String> = None;
     let mut run_dataplane = false;
+    let mut wire = false;
     let mut split_gro = false;
-    let mut dataplane_out = "BENCH_dataplane.json".to_string();
+    let mut dataplane_out: Option<String> = None;
     let mut workers: usize = 4;
     let mut flows: u64 = 1;
     let mut run_sweep = false;
@@ -132,9 +136,10 @@ fn main() -> ExitCode {
                 }
             },
             "--dataplane" => run_dataplane = true,
+            "--wire" => wire = true,
             "--split-gro" => split_gro = true,
             "--dataplane-out" => match args.next() {
-                Some(path) => dataplane_out = path,
+                Some(path) => dataplane_out = Some(path),
                 None => {
                     eprintln!("--dataplane-out requires a path");
                     usage();
@@ -205,21 +210,31 @@ fn main() -> ExitCode {
 
     if run_dataplane {
         eprintln!(
-            "dataplane bench: real-thread vanilla vs falcon ({workers} worker(s) requested)..."
+            "dataplane bench: real-thread vanilla vs falcon ({workers} worker(s) requested){}...",
+            if wire { ", wire bytes" } else { "" }
         );
-        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro);
+        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro, wire);
         print!("{}", dataplane::render(&cmp));
+        // Keep BENCH_dataplane.json for the modeled-cost run; the
+        // byte-carrying variant defaults to its own artifact.
+        let out_path = dataplane_out.unwrap_or_else(|| {
+            if wire {
+                "BENCH_wire.json".to_string()
+            } else {
+                "BENCH_dataplane.json".to_string()
+            }
+        });
         let cmp_json = serde_json::to_string_pretty(&cmp).expect("serializable");
-        if let Err(e) = std::fs::write(&dataplane_out, cmp_json) {
-            eprintln!("cannot write {dataplane_out}: {e}");
+        if let Err(e) = std::fs::write(&out_path, cmp_json) {
+            eprintln!("cannot write {out_path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {dataplane_out}");
+        eprintln!("wrote {out_path}");
     }
 
     if run_sweep {
         eprintln!("dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s)...");
-        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0);
+        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire);
         print!("{}", dataplane::render_sweep(&sweep));
         let sweep_json = serde_json::to_string_pretty(&sweep).expect("serializable");
         if let Err(e) = std::fs::write(&sweep_out, sweep_json) {

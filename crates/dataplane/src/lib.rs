@@ -22,6 +22,8 @@
 //! * [`spsc`] — a hand-rolled bounded SPSC ring (cache-padded Lamport
 //!   queue), the per-worker backlog;
 //! * [`affinity`] — `sched_setaffinity` pinning and worker clamping;
+//! * [`topology`] — sysfs CPU-topology parsing and the NUMA/SMT-aware
+//!   pin plan (adjacent workers share a node while one has cores);
 //! * [`spin`] — deadline busy-spinning and the shared timestamp epoch;
 //! * [`steer`] — the Vanilla/Falcon policies, live depth gauges, and
 //!   the in-flight-guarded flow table that forbids order-breaking
@@ -36,6 +38,7 @@ pub mod report;
 pub mod spin;
 pub mod spsc;
 pub mod steer;
+pub mod topology;
 
 pub use affinity::{available_cores, clamp_workers, pin_current_thread};
 pub use executor::{
@@ -46,3 +49,4 @@ pub use report::{DataplaneComparison, DataplaneReport, LatencySummary, SweepPoin
 pub use spin::{spin_for_ns, Backoff, Epoch, IdleTier};
 pub use spsc::{ring, Consumer, Producer};
 pub use steer::{DepthGauge, FlowTable, InflightGuard, Policy, PolicyKind};
+pub use topology::{core_plan, CpuTopology};

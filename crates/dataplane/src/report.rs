@@ -110,6 +110,20 @@ pub struct DataplaneReport {
     pub order_checks: u64,
     /// Ordering-audit violations (must be 0).
     pub reorder_violations: u64,
+    /// Whether the run carried real bytes through the stages.
+    pub wire: bool,
+    /// Wire mode: wire bytes the injector enqueued (headers +
+    /// envelopes + payload; 0 outside wire mode).
+    pub bytes_in: u64,
+    /// Wire mode: application payload bytes delivered to containers.
+    pub bytes_out: u64,
+    /// Wire mode: delivered-payload goodput, Gbit/s of wall time.
+    pub goodput_gbps: f64,
+    /// Wire mode: segments the chaos corruptor bit-flipped.
+    pub corrupted_segments: u64,
+    /// Wire mode: malformed-frame drops keyed by the label of the
+    /// stage whose verification caught them.
+    pub malformed_per_stage: BTreeMap<String, u64>,
 }
 
 impl DataplaneReport {
@@ -127,6 +141,12 @@ impl DataplaneReport {
         let (order_checks, reorder_violations) = out.order_audit();
         let throughput_pps = if out.wall_ns > 0 {
             delivered as f64 * 1e9 / out.wall_ns as f64
+        } else {
+            0.0
+        };
+        let bytes_out = out.bytes_delivered();
+        let goodput_gbps = if out.wall_ns > 0 {
+            bytes_out as f64 * 8.0 / out.wall_ns as f64
         } else {
             0.0
         };
@@ -175,6 +195,16 @@ impl DataplaneReport {
             flow_pairs: out.flow_pairs,
             order_checks,
             reorder_violations,
+            wire: out.wire,
+            bytes_in: out.bytes_injected,
+            bytes_out,
+            goodput_gbps,
+            corrupted_segments: out.corrupted_segments,
+            malformed_per_stage: labels
+                .iter()
+                .zip(out.malformed_per_stage().iter())
+                .map(|(l, &n)| (l.to_string(), n))
+                .collect(),
         }
     }
 }

@@ -1,0 +1,324 @@
+//! NUMA/SMT-aware core selection for worker pinning.
+//!
+//! `affinity` used to pin workers to logical cores `0..n-1` blindly.
+//! On multi-socket hosts that is the worst possible plan: Linux often
+//! enumerates CPUs round-robin across packages (cpu0 on node 0, cpu1
+//! on node 1, …), so "adjacent" workers — which exchange every packet
+//! over an SPSC ring — land on different sockets and every handoff
+//! crosses the interconnect. This module parses the sysfs topology
+//! tree and builds a pin plan that keeps adjacent workers on one node
+//! for as long as the node has cores, and spreads across physical
+//! cores before doubling up on SMT siblings.
+//!
+//! Reading sysfs goes through the [`Sysfs`] trait so tests can feed a
+//! fake tree; any parse failure degrades to the old identity plan
+//! (`0..n-1`), never to a panic — pinning is an optimization, not a
+//! correctness requirement.
+
+use std::collections::BTreeMap;
+
+/// The filesystem surface the topology parser needs — abstracted so
+/// tests can supply a fake `/sys`.
+pub trait Sysfs {
+    /// Reads a file to a string, `None` on any error.
+    fn read_to_string(&self, path: &str) -> Option<String>;
+}
+
+/// The real `/sys`.
+pub struct HostSysfs;
+
+impl Sysfs for HostSysfs {
+    fn read_to_string(&self, path: &str) -> Option<String> {
+        std::fs::read_to_string(path).ok()
+    }
+}
+
+/// One logical CPU's place in the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CpuSlot {
+    /// Logical CPU number (the `sched_setaffinity` target).
+    cpu: usize,
+    /// Physical package (socket / NUMA node surrogate).
+    package: u32,
+    /// Physical core within the package; logical CPUs sharing it are
+    /// SMT siblings.
+    core: u32,
+}
+
+/// The parsed CPU topology: every online logical CPU located by
+/// (package, physical core).
+#[derive(Debug, Clone)]
+pub struct CpuTopology {
+    slots: Vec<CpuSlot>,
+}
+
+/// Parses a sysfs CPU list ("0-3,5,8-9") into CPU numbers.
+fn parse_cpu_list(list: &str) -> Option<Vec<usize>> {
+    let mut cpus = Vec::new();
+    for part in list.trim().split(',') {
+        if part.is_empty() {
+            continue;
+        }
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().ok()?;
+                let hi: usize = hi.trim().parse().ok()?;
+                if lo > hi || hi - lo > 4096 {
+                    return None;
+                }
+                cpus.extend(lo..=hi);
+            }
+            None => cpus.push(part.trim().parse().ok()?),
+        }
+    }
+    if cpus.is_empty() {
+        None
+    } else {
+        Some(cpus)
+    }
+}
+
+impl CpuTopology {
+    /// Parses the topology from a sysfs tree. `None` when the tree is
+    /// missing or any per-CPU file fails to parse — callers fall back
+    /// to the identity plan.
+    pub fn from_sysfs(fs: &dyn Sysfs) -> Option<CpuTopology> {
+        let online = fs.read_to_string("/sys/devices/system/cpu/online")?;
+        let cpus = parse_cpu_list(&online)?;
+        let mut slots = Vec::with_capacity(cpus.len());
+        for cpu in cpus {
+            let base = format!("/sys/devices/system/cpu/cpu{cpu}/topology");
+            let package: u32 = fs
+                .read_to_string(&format!("{base}/physical_package_id"))?
+                .trim()
+                .parse()
+                .ok()?;
+            let core: u32 = fs
+                .read_to_string(&format!("{base}/core_id"))?
+                .trim()
+                .parse()
+                .ok()?;
+            slots.push(CpuSlot { cpu, package, core });
+        }
+        Some(CpuTopology { slots })
+    }
+
+    /// Parses the host's real topology.
+    pub fn detect() -> Option<CpuTopology> {
+        Self::from_sysfs(&HostSysfs)
+    }
+
+    /// Number of online logical CPUs the topology covers.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no CPU was parsed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of distinct physical packages (sockets).
+    pub fn packages(&self) -> usize {
+        let mut pkgs: Vec<u32> = self.slots.iter().map(|s| s.package).collect();
+        pkgs.sort_unstable();
+        pkgs.dedup();
+        pkgs.len()
+    }
+
+    /// The pin plan for `n` workers: worker `i` pins to `plan[i]`.
+    ///
+    /// Adjacent workers are adjacent pipeline stages' hot partners, so
+    /// the plan is node-major — a node's cores are exhausted before the
+    /// next node opens — and within a node one logical CPU per physical
+    /// core comes first (SMT siblings only after every physical core
+    /// has a worker). Asking for more workers than logical CPUs wraps
+    /// the plan (the oversubscribed-chaos case, where pinning is moot).
+    pub fn plan(&self, n: usize) -> Vec<usize> {
+        // (package, seen-count-of-core) sorts primaries of node 0
+        // first, then node 0's siblings, then node 1, …
+        let mut per_core_rank: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        let mut keyed: Vec<(u32, u32, usize, usize)> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let rank = per_core_rank.entry((s.package, s.core)).or_insert(0);
+                let k = (s.package, *rank, s.cpu);
+                *rank += 1;
+                (k.0, k.1, k.2, s.cpu)
+            })
+            .collect();
+        keyed.sort_unstable();
+        let ordered: Vec<usize> = keyed.into_iter().map(|(_, _, _, cpu)| cpu).collect();
+        if ordered.is_empty() {
+            return (0..n).collect();
+        }
+        (0..n).map(|i| ordered[i % ordered.len()]).collect()
+    }
+}
+
+/// The pin plan for `n` workers on this host: the topology-aware plan
+/// when sysfs parses, the identity plan `0..n-1` otherwise (non-Linux,
+/// containers with masked sysfs, or malformed trees).
+pub fn core_plan(n: usize) -> Vec<usize> {
+    match CpuTopology::detect() {
+        Some(topo) if !topo.is_empty() => topo.plan(n),
+        _ => (0..n).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fake `/sys` built from (path, contents) pairs.
+    struct FakeSysfs(BTreeMap<String, String>);
+
+    impl FakeSysfs {
+        fn new(files: &[(&str, &str)]) -> FakeSysfs {
+            FakeSysfs(
+                files
+                    .iter()
+                    .map(|(p, c)| (p.to_string(), c.to_string()))
+                    .collect(),
+            )
+        }
+    }
+
+    impl Sysfs for FakeSysfs {
+        fn read_to_string(&self, path: &str) -> Option<String> {
+            self.0.get(path).cloned()
+        }
+    }
+
+    fn cpu_files(cpu: usize, package: u32, core: u32) -> Vec<(String, String)> {
+        let base = format!("/sys/devices/system/cpu/cpu{cpu}/topology");
+        vec![
+            (
+                format!("{base}/physical_package_id"),
+                format!("{package}\n"),
+            ),
+            (format!("{base}/core_id"), format!("{core}\n")),
+        ]
+    }
+
+    fn fake_host(online: &str, cpus: &[(usize, u32, u32)]) -> FakeSysfs {
+        let mut files = vec![(
+            "/sys/devices/system/cpu/online".to_string(),
+            format!("{online}\n"),
+        )];
+        for &(cpu, pkg, core) in cpus {
+            files.extend(cpu_files(cpu, pkg, core));
+        }
+        FakeSysfs(files.into_iter().collect())
+    }
+
+    #[test]
+    fn parses_cpu_lists() {
+        assert_eq!(parse_cpu_list("0-3"), Some(vec![0, 1, 2, 3]));
+        assert_eq!(parse_cpu_list("0,2-3,7\n"), Some(vec![0, 2, 3, 7]));
+        assert_eq!(parse_cpu_list("5"), Some(vec![5]));
+        assert_eq!(parse_cpu_list(""), None);
+        assert_eq!(parse_cpu_list("3-1"), None);
+        assert_eq!(parse_cpu_list("a-b"), None);
+    }
+
+    /// The Linux-typical interleaved enumeration: even CPUs on socket
+    /// 0, odd CPUs on socket 1. The blind identity plan alternates
+    /// sockets between adjacent workers; the topology plan must fill
+    /// socket 0 first.
+    #[test]
+    fn two_socket_interleaved_fills_one_node_first() {
+        let cpus: Vec<(usize, u32, u32)> = (0..8)
+            .map(|i| (i, (i % 2) as u32, (i / 2) as u32))
+            .collect();
+        let fs = fake_host("0-7", &cpus);
+        let topo = CpuTopology::from_sysfs(&fs).expect("parses");
+        assert_eq!(topo.len(), 8);
+        assert_eq!(topo.packages(), 2);
+        assert_eq!(topo.plan(4), vec![0, 2, 4, 6], "all of socket 0 first");
+        assert_eq!(topo.plan(8), vec![0, 2, 4, 6, 1, 3, 5, 7]);
+        // Wrapping beyond the host reuses the same order.
+        assert_eq!(topo.plan(10), vec![0, 2, 4, 6, 1, 3, 5, 7, 0, 2]);
+    }
+
+    /// SMT host: logical CPUs 0..4 where cpu2/cpu3 are the hyperthread
+    /// siblings of cpu0/cpu1. Two workers must get two distinct
+    /// physical cores, not one core's two threads.
+    #[test]
+    fn smt_siblings_come_after_physical_primaries() {
+        let fs = fake_host("0-3", &[(0, 0, 0), (1, 0, 1), (2, 0, 0), (3, 0, 1)]);
+        let topo = CpuTopology::from_sysfs(&fs).expect("parses");
+        assert_eq!(topo.packages(), 1);
+        assert_eq!(topo.plan(2), vec![0, 1], "distinct physical cores");
+        assert_eq!(topo.plan(4), vec![0, 1, 2, 3]);
+    }
+
+    /// Two sockets *and* SMT: node-major wins over primaries-first —
+    /// a node's siblings are still preferred over the other node's
+    /// primaries, because the ring handoff crossing the interconnect
+    /// costs more than sharing a physical core.
+    #[test]
+    fn node_major_beats_smt_spread() {
+        let fs = fake_host(
+            "0-7",
+            &[
+                (0, 0, 0),
+                (1, 0, 1),
+                (2, 1, 0),
+                (3, 1, 1),
+                (4, 0, 0),
+                (5, 0, 1),
+                (6, 1, 0),
+                (7, 1, 1),
+            ],
+        );
+        let topo = CpuTopology::from_sysfs(&fs).expect("parses");
+        assert_eq!(topo.plan(8), vec![0, 1, 4, 5, 2, 3, 6, 7]);
+    }
+
+    #[test]
+    fn missing_or_partial_sysfs_yields_none() {
+        // No tree at all.
+        assert!(CpuTopology::from_sysfs(&FakeSysfs::new(&[])).is_none());
+        // Online list but a CPU's files missing.
+        let fs = fake_host("0-1", &[(0, 0, 0)]);
+        assert!(CpuTopology::from_sysfs(&fs).is_none());
+        // Garbage package id.
+        let mut files = vec![(
+            "/sys/devices/system/cpu/online".to_string(),
+            "0".to_string(),
+        )];
+        files.push((
+            "/sys/devices/system/cpu/cpu0/topology/physical_package_id".to_string(),
+            "banana".to_string(),
+        ));
+        files.push((
+            "/sys/devices/system/cpu/cpu0/topology/core_id".to_string(),
+            "0".to_string(),
+        ));
+        let fs = FakeSysfs(files.into_iter().collect());
+        assert!(CpuTopology::from_sysfs(&fs).is_none());
+    }
+
+    /// `core_plan` never panics and always hands back exactly `n`
+    /// targets, whatever the host looks like.
+    #[test]
+    fn core_plan_is_total() {
+        for n in [0usize, 1, 2, 7, 64] {
+            assert_eq!(core_plan(n).len(), n);
+        }
+    }
+
+    /// On the real host (when sysfs is readable), the plan pins within
+    /// the online CPU set.
+    #[test]
+    fn detected_plan_targets_online_cpus() {
+        if let Some(topo) = CpuTopology::detect() {
+            let cpus: Vec<usize> = topo.slots.iter().map(|s| s.cpu).collect();
+            for target in topo.plan(topo.len()) {
+                assert!(cpus.contains(&target));
+            }
+        }
+    }
+}

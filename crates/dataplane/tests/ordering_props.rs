@@ -62,6 +62,25 @@ fn check_run(scenario: &Scenario) -> Result<(), TestCaseError> {
     let (checks, violations) = out.order_audit();
     prop_assert!(checks > 0, "audit must observe stage executions");
     prop_assert_eq!(violations, 0, "per-(flow, device) order violated");
+    // Wire runs additionally promise bit-exact payloads: whatever the
+    // rings, migrations, and corruptor did, a delivered digest must be
+    // the generated one, and malformed drops must account per stage.
+    if out.wire {
+        for (flow, seq, digest) in out.deliveries() {
+            prop_assert_eq!(
+                digest,
+                falcon_wire::FrameFactory::expected_digest(flow, seq, scenario.payload),
+                "payload digest mismatch at flow {} seq {}",
+                flow,
+                seq
+            );
+        }
+        prop_assert_eq!(
+            out.malformed_per_stage().iter().sum::<u64>(),
+            out.drops_by_reason()[falcon_trace::DropReason::Malformed.index()],
+            "per-stage malformed counts must sum to the reason total"
+        );
+    }
     Ok(())
 }
 
@@ -148,6 +167,50 @@ proptest! {
         let mut s = split_scenario(PolicyKind::Falcon, workers, flows, packets, 256);
         s.chaos_steer_period = period;
         s.chaos_sweep_stall_ns = stall_ns;
+        check_run(&s)?;
+    }
+
+    /// Wire mode under chaos steering and bit-flip corruption: packets
+    /// carry real frame bytes across the rings while migrations are
+    /// forced at nearly every hop and the corruptor kills a random
+    /// subset mid-stage. Ordering, conservation, the per-stage
+    /// malformed books, and the digest oracle must all hold at once —
+    /// through the same `check_run` audit as the modeled-cost runs.
+    #[test]
+    fn wire_chaos_corruption_preserves_order_and_digests(
+        workers in 2usize..=4,
+        flows in 1u64..=3,
+        packets in 400u64..=1200,
+        period in 1u64..=3,
+        corrupt_ppm in 0u32..=250_000,
+        seed in 1u64..=1_000,
+    ) {
+        let mut s = scenario(PolicyKind::Falcon, workers, flows, packets, 256);
+        s.wire = true;
+        s.payload = 512;
+        s.chaos_steer_period = period;
+        s.corrupt_per_million = corrupt_ppm;
+        s.wire_seed = seed;
+        check_run(&s)?;
+    }
+
+    /// Five-stage wire chaos: the GRO half-stage coalesces real MSS
+    /// segments while corruption breaks a subset of the coalesces and
+    /// chaos steering hammers the in-flight guard on the extra hop.
+    #[test]
+    fn wire_split_gro_chaos_corruption_preserves_order(
+        workers in 2usize..=4,
+        flows in 1u64..=2,
+        packets in 300u64..=800,
+        period in 1u64..=3,
+        corrupt_ppm in 0u32..=200_000,
+        seed in 1u64..=1_000,
+    ) {
+        let mut s = split_scenario(PolicyKind::Falcon, workers, flows, packets, 256);
+        s.wire = true;
+        s.chaos_steer_period = period;
+        s.corrupt_per_million = corrupt_ppm;
+        s.wire_seed = seed;
         check_run(&s)?;
     }
 }

@@ -20,17 +20,20 @@ use falcon_experiments::tracedrun;
 fn usage() {
     eprintln!(
         "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
-         [--stage-latency] [--dataplane] [--split-gro] [--workers <n>] [--flows <n>] \
-         [--dataplane-out <path>] [--dataplane-trace <out.json>] \
+         [--stage-latency] [--dataplane] [--wire] [--split-gro] [--workers <n>] \
+         [--flows <n>] [--dataplane-out <path>] [--dataplane-trace <out.json>] \
          [--sweep] [--sweep-out <path>] <fig-id>... | all\n\
          --dataplane runs the modeled rx path on real pinned threads and \
          writes a vanilla-vs-falcon comparison to --dataplane-out \
-         (default BENCH_dataplane.json); --split-gro runs the five-hop \
-         pipeline (pNIC stage split into alloc/GRO halves) on the \
-         Figure-13 TCP-4KB shape; --sweep runs the real-thread scaling \
-         grid (1..=--flows x 1..=--workers, both policies per point) and \
-         writes it to --sweep-out (default BENCH_sweep.json), failing if \
-         the order audit flags any point\n\
+         (default BENCH_dataplane.json); --wire makes every injected unit \
+         carry real VXLAN-encapsulated bytes through the stages and \
+         switches the default comparison output to BENCH_wire.json \
+         (bytes in/out and goodput appear in the report); --split-gro \
+         runs the five-hop pipeline (pNIC stage split into alloc/GRO \
+         halves) on the Figure-13 TCP-4KB shape; --sweep runs the \
+         real-thread scaling grid (1..=--flows x 1..=--workers, both \
+         policies per point) and writes it to --sweep-out (default \
+         BENCH_sweep.json), failing if the order audit flags any point\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -46,10 +49,11 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut stage_latency = false;
     let mut run_dataplane = false;
+    let mut wire = false;
     let mut split_gro = false;
     let mut workers: usize = 4;
     let mut flows: u64 = 1;
-    let mut dataplane_out = "BENCH_dataplane.json".to_string();
+    let mut dataplane_out: Option<String> = None;
     let mut dataplane_trace: Option<String> = None;
     let mut run_sweep = false;
     let mut sweep_out = "BENCH_sweep.json".to_string();
@@ -70,6 +74,7 @@ fn main() -> ExitCode {
             },
             "--stage-latency" => stage_latency = true,
             "--dataplane" => run_dataplane = true,
+            "--wire" => wire = true,
             "--split-gro" => split_gro = true,
             "--workers" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => workers = n,
@@ -88,7 +93,7 @@ fn main() -> ExitCode {
                 }
             },
             "--dataplane-out" => match args.next() {
-                Some(path) => dataplane_out = path,
+                Some(path) => dataplane_out = Some(path),
                 None => {
                     eprintln!("--dataplane-out requires a path");
                     usage();
@@ -187,11 +192,12 @@ fn main() -> ExitCode {
     if run_dataplane {
         eprintln!(
             "dataplane: real-thread vanilla vs falcon, {workers} worker(s) \
-             requested ({:?} scale){}...",
+             requested ({:?} scale){}{}...",
             scale,
+            if wire { ", wire bytes" } else { "" },
             if split_gro { ", split-gro 5-stage" } else { "" }
         );
-        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro);
+        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro, wire);
         if json {
             println!(
                 "{}",
@@ -200,12 +206,22 @@ fn main() -> ExitCode {
         } else {
             print!("{}", dataplane::render(&cmp));
         }
+        // A wire run is its own artifact: unless the caller picked a
+        // path, keep BENCH_dataplane.json for the modeled-cost run and
+        // write the byte-carrying one to BENCH_wire.json.
+        let out_path = dataplane_out.clone().unwrap_or_else(|| {
+            if wire {
+                "BENCH_wire.json".to_string()
+            } else {
+                "BENCH_dataplane.json".to_string()
+            }
+        });
         let bench_json = serde_json::to_string_pretty(&cmp).expect("serializable");
-        if let Err(e) = std::fs::write(&dataplane_out, bench_json) {
-            eprintln!("cannot write {dataplane_out}: {e}");
+        if let Err(e) = std::fs::write(&out_path, bench_json) {
+            eprintln!("cannot write {out_path}: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote {dataplane_out}");
+        eprintln!("wrote {out_path}");
         if let Some(path) = dataplane_trace {
             eprintln!("tracing a falcon dataplane run...");
             let trace_json = dataplane::chrome_trace(scale, workers, flows, split_gro);
@@ -220,11 +236,12 @@ fn main() -> ExitCode {
     if run_sweep {
         eprintln!(
             "dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s), \
-             both policies per point ({:?} scale){}...",
+             both policies per point ({:?} scale){}{}...",
             scale,
+            if wire { ", wire bytes" } else { "" },
             if split_gro { ", split-gro 5-stage" } else { "" }
         );
-        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0);
+        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire);
         if json {
             println!(
                 "{}",

@@ -32,9 +32,20 @@ use crate::measure::Scale;
 /// a smoke run finishes in tens of milliseconds even on a loaded 2-core
 /// CI runner; `Full` runs the model costs as-is for a measurement worth
 /// quoting. With `split_gro`, the scenario injects the TCP-4KB shape
-/// and the pipeline grows the fifth (GRO-half) hop.
-pub fn scenario_for(scale: Scale, workers: usize, flows: u64, split_gro: bool) -> Scenario {
-    let mut base = Scenario::default();
+/// and the pipeline grows the fifth (GRO-half) hop. With `wire`, every
+/// injected unit carries real VXLAN-encapsulated bytes and each stage
+/// does its byte-level slice of work inside the modeled budget.
+pub fn scenario_for(
+    scale: Scale,
+    workers: usize,
+    flows: u64,
+    split_gro: bool,
+    wire: bool,
+) -> Scenario {
+    let mut base = Scenario {
+        wire,
+        ..Scenario::default()
+    };
     if split_gro {
         base.split_gro = true;
         base.shape = TrafficShape::TcpGro { mss: 1448 };
@@ -64,8 +75,9 @@ pub fn run_comparison(
     workers: usize,
     flows: u64,
     split_gro: bool,
+    wire: bool,
 ) -> DataplaneComparison {
-    let scenario = scenario_for(scale, workers, flows, split_gro);
+    let scenario = scenario_for(scale, workers, flows, split_gro, wire);
     let vanilla = DataplaneReport::from_run(&run_scenario(
         &scenario.clone().with_policy(PolicyKind::Vanilla),
     ));
@@ -101,6 +113,18 @@ fn render_report(r: &DataplaneReport, out: &mut String) {
         "            per-worker stage execs {:?}  second-choices {}  migrations {}",
         r.per_worker_processed, r.second_choices, r.migrations,
     );
+    if r.wire {
+        let malformed: u64 = r.malformed_per_stage.values().sum();
+        let _ = writeln!(
+            out,
+            "            wire: {:.2} MiB in, {:.2} MiB out, goodput {:.3} Gbit/s, malformed {} ({} segs corrupted)",
+            r.bytes_in as f64 / (1024.0 * 1024.0),
+            r.bytes_out as f64 / (1024.0 * 1024.0),
+            r.goodput_gbps,
+            malformed,
+            r.corrupted_segments,
+        );
+    }
     // The placement picture: which worker carried the bulk of each
     // stage. For a split run this is where the alloc and GRO halves
     // visibly land on distinct cores.
@@ -188,6 +212,7 @@ pub fn run_sweep(
     max_workers: usize,
     split_gro: bool,
     chaos_steer_period: u64,
+    wire: bool,
 ) -> SweepReport {
     let max_flows = max_flows.max(1);
     let max_workers = max_workers.max(1);
@@ -196,7 +221,7 @@ pub fn run_sweep(
     let mut shape = String::new();
     for flows in 1..=max_flows {
         for workers in 1..=max_workers {
-            let mut scenario = scenario_for(scale, workers, flows, split_gro);
+            let mut scenario = scenario_for(scale, workers, flows, split_gro, wire);
             // A grid multiplies run count by flows × workers; cap the
             // per-point budget so a full sweep finishes in minutes.
             scenario.packets = scenario.packets.min(match scale {
@@ -284,7 +309,7 @@ pub fn render_sweep(sweep: &SweepReport) -> String {
 /// different worker tracks, not volume.
 pub fn chrome_trace(scale: Scale, workers: usize, flows: u64, split_gro: bool) -> String {
     let mut scenario =
-        scenario_for(scale, workers, flows, split_gro).with_policy(PolicyKind::Falcon);
+        scenario_for(scale, workers, flows, split_gro, false).with_policy(PolicyKind::Falcon);
     scenario.packets = scenario.packets.min(3_000);
     scenario.trace_capacity = 64 * 1024;
     let out = run_scenario(&scenario);
@@ -297,7 +322,7 @@ mod tests {
 
     #[test]
     fn quick_comparison_is_sound() {
-        let cmp = run_comparison(Scale::Quick, 2, 1, false);
+        let cmp = run_comparison(Scale::Quick, 2, 1, false, false);
         assert_eq!(
             cmp.vanilla.delivered + cmp.vanilla.dropped,
             cmp.vanilla.injected
@@ -315,8 +340,27 @@ mod tests {
     }
 
     #[test]
+    fn quick_wire_comparison_carries_bytes() {
+        let cmp = run_comparison(Scale::Quick, 2, 2, false, true);
+        for r in [&cmp.vanilla, &cmp.falcon] {
+            assert!(r.wire);
+            assert_eq!(r.delivered + r.dropped, r.injected);
+            assert!(r.bytes_in > 0, "wire bytes were injected");
+            assert_eq!(r.bytes_out, r.delivered * 64, "64 B payload per packet");
+            assert!(r.goodput_gbps > 0.0);
+            assert_eq!(r.corrupted_segments, 0);
+            assert_eq!(r.malformed_per_stage.values().sum::<u64>(), 0);
+            assert_eq!(r.reorder_violations, 0);
+        }
+        let text = render(&cmp);
+        assert!(text.contains("goodput"), "wire line rendered: {text}");
+        let json = serde_json::to_string(&cmp).expect("serializes");
+        assert!(json.contains("\"goodput_gbps\""));
+    }
+
+    #[test]
     fn quick_split_comparison_runs_five_stages() {
-        let cmp = run_comparison(Scale::Quick, 2, 1, true);
+        let cmp = run_comparison(Scale::Quick, 2, 1, true, false);
         assert!(cmp.split_gro);
         assert_eq!(cmp.vanilla.stages, 5);
         assert_eq!(cmp.falcon.stages, 5);
@@ -334,7 +378,7 @@ mod tests {
 
     #[test]
     fn tiny_sweep_covers_the_grid() {
-        let sweep = run_sweep(Scale::Quick, 2, 1, false, 0);
+        let sweep = run_sweep(Scale::Quick, 2, 1, false, 0, false);
         assert_eq!(sweep.points.len(), 2, "2 flows x 1 worker");
         assert_eq!(sweep.total_reorder_violations(), 0);
         for p in &sweep.points {

@@ -186,7 +186,7 @@ mod tests {
         assert!(json.contains("\"backlog\":2"), "{json}");
         assert!(json.contains("\"ring\":0"), "{json}");
         let pairs: Vec<_> = d.iter().collect();
-        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs.len(), DropReason::ALL.len());
         assert_eq!(pairs[1], (DropReason::Backlog, 2));
     }
 }

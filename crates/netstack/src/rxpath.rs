@@ -16,7 +16,7 @@
 //! at each boundary.
 
 use falcon_metrics::{Context, IrqKind};
-use falcon_packet::{dissect_flow, vxlan_decapsulate, EthernetHdr, SkBuff};
+use falcon_packet::{decap_bounds, dissect_flow, EthernetHdr, SkBuff};
 use falcon_simcore::{Engine, SimDuration, SimTime};
 use falcon_trace::{DropReason, EventKind};
 
@@ -1010,9 +1010,12 @@ fn plan_backlog_outer(
     items.push(("udp_rcv", SimDuration::from_nanos(costs.udp_rcv_ns)));
     items.push(("vxlan_rcv", costs.vxlan_rcv(skb.total_len())));
 
-    // Decapsulate for real: strip the 50-byte envelope and re-dissect.
-    let (inner_frame, _vni) = vxlan_decapsulate(&skb.data).expect("overlay frame decaps");
-    skb.data = inner_frame.to_vec();
+    // Decapsulate for real: strip the 50-byte envelope in place (the
+    // offset-based decap never borrows, so no copy of the inner frame)
+    // and re-dissect.
+    let bounds = decap_bounds(&skb.data).expect("overlay frame decaps");
+    skb.data.truncate(bounds.inner.end);
+    skb.data.drain(..bounds.inner.start);
     let inner_keys = dissect_flow(&skb.data).expect("inner frame dissectable");
     skb.flow = Some(inner_keys);
     skb.rx_hash = inner.machine.flow_hash(&inner_keys);

@@ -35,6 +35,29 @@ pub fn sum_words(data: &[u8], mut acc: u32) -> u32 {
     acc
 }
 
+/// Accumulates the IPv4 pseudo-header for a UDP or TCP checksum
+/// (RFC 768 / RFC 9293 §3.1): source address, destination address,
+/// zero-padded protocol number, and L4 length (header plus payload).
+///
+/// Compose with [`sum_words`] over the L4 bytes and [`fold`] the result:
+///
+/// ```
+/// use falcon_packet::checksum::{fold, pseudo_header_sum, sum_words};
+///
+/// let l4 = [0u8; 8]; // a zeroed UDP header
+/// let acc = pseudo_header_sum(0x0A00_0001, 0x0A00_0002, 17, 8);
+/// let csum = !fold(sum_words(&l4, acc));
+/// assert_ne!(csum, 0);
+/// ```
+pub fn pseudo_header_sum(src_addr: u32, dst_addr: u32, proto: u8, l4_len: u16) -> u32 {
+    (src_addr >> 16)
+        + (src_addr & 0xFFFF)
+        + (dst_addr >> 16)
+        + (dst_addr & 0xFFFF)
+        + proto as u32
+        + l4_len as u32
+}
+
 /// Folds a 32-bit accumulator into 16 bits with end-around carry.
 pub fn fold(mut acc: u32) -> u16 {
     while acc >> 16 != 0 {
@@ -88,6 +111,34 @@ mod tests {
         // Corrupt a byte: verification must fail.
         buf[3] ^= 0x40;
         assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn odd_length_is_order_sensitive_high_byte() {
+        // RFC 1071: the odd trailing byte occupies the HIGH half of its
+        // padded word, so [0xAB] sums like [0xAB, 0x00], not [0x00, 0xAB].
+        assert_eq!(fold(sum_words(&[0xAB], 0)), 0xAB00);
+        assert_ne!(internet_checksum(&[0xAB]), internet_checksum(&[0x00, 0xAB]));
+    }
+
+    #[test]
+    fn pseudo_header_matches_manual_words() {
+        // The pseudo-header is 12 bytes: src(4) dst(4) zero(1) proto(1)
+        // len(2). Accumulating it wordwise must equal pseudo_header_sum.
+        let src = 0xC0A8_0001u32;
+        let dst = 0x0A00_002Au32;
+        let proto = 17u8;
+        let l4_len = 1501u16;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&src.to_be_bytes());
+        bytes.extend_from_slice(&dst.to_be_bytes());
+        bytes.push(0);
+        bytes.push(proto);
+        bytes.extend_from_slice(&l4_len.to_be_bytes());
+        assert_eq!(
+            fold(sum_words(&bytes, 0)),
+            fold(pseudo_header_sum(src, dst, proto, l4_len))
+        );
     }
 
     #[test]

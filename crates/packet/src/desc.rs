@@ -1,5 +1,5 @@
-//! [`PktDesc`]: the compact, `Copy` packet descriptor the real-thread
-//! dataplane moves through its rings.
+//! [`PktDesc`]: the compact packet descriptor the real-thread dataplane
+//! moves through its rings.
 //!
 //! The deterministic simulation carries full frame bytes in an
 //! [`SkBuff`](crate::SkBuff) because it re-parses headers at every
@@ -7,12 +7,61 @@
 //! stage costs, steering, and ordering are what is being exercised — so
 //! its queues move a 40-byte descriptor instead of an allocation per
 //! packet, the way a real driver passes descriptors while the payload
-//! stays put in DMA memory.
+//! stays put in DMA memory. In wire mode the descriptor additionally
+//! owns a [`WireBuf`] of real frame bytes behind one pointer-sized
+//! `Option<Box<_>>` field, so the ring slot stays small and modeled-mode
+//! runs pay nothing.
+
+use core::ops::Range;
 
 use crate::PacketId;
 
+/// Owned wire bytes travelling with a descriptor in wire mode.
+///
+/// One `WireBuf` holds the VXLAN-encapsulated outer frame(s) of one
+/// logical packet. A UDP packet is a single segment; a TCP message
+/// arrives as several MSS-sized segments which the GRO stage coalesces
+/// back into one. After the VXLAN stage decapsulates, `inner` records
+/// where the inner Ethernet frame sits inside `segs[0]` — offsets, not
+/// a copy, mirroring how the kernel advances `skb->data`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireBuf {
+    /// Outer (encapsulated) frames, oldest first. GRO replaces multiple
+    /// segments with a single coalesced frame.
+    pub segs: Vec<Vec<u8>>,
+    /// Byte range of the decapsulated inner frame within `segs[0]`,
+    /// set by the VXLAN device stage.
+    pub inner: Option<Range<usize>>,
+}
+
+impl WireBuf {
+    /// Wraps a single outer frame.
+    pub fn single(frame: Vec<u8>) -> Box<WireBuf> {
+        Box::new(WireBuf {
+            segs: vec![frame],
+            inner: None,
+        })
+    }
+
+    /// Wraps a multi-segment (pre-GRO) packet.
+    pub fn segments(segs: Vec<Vec<u8>>) -> Box<WireBuf> {
+        Box::new(WireBuf { segs, inner: None })
+    }
+
+    /// Total bytes currently held — the on-wire size of the packet.
+    pub fn wire_bytes(&self) -> u64 {
+        self.segs.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// The decapsulated inner frame, if the VXLAN stage has run.
+    pub fn inner_frame(&self) -> Option<&[u8]> {
+        let r = self.inner.clone()?;
+        self.segs.first()?.get(r)
+    }
+}
+
 /// Immutable identity of one packet travelling the threaded dataplane.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PktDesc {
     /// Unique id of this packet within one run.
     pub id: PacketId,
@@ -26,10 +75,13 @@ pub struct PktDesc {
     /// UDP payload bytes this packet represents (drives the
     /// byte-dependent components of the stage cost model).
     pub payload_len: u32,
+    /// Real frame bytes, present only in wire mode. `None` keeps the
+    /// modeled-mode descriptor a plain few-word value.
+    pub wire: Option<Box<WireBuf>>,
 }
 
 impl PktDesc {
-    /// Builds a descriptor.
+    /// Builds a descriptor with no wire bytes (modeled mode).
     pub fn new(id: u64, flow: u64, seq: u64, rx_hash: u32, payload_len: u32) -> Self {
         PktDesc {
             id: PacketId(id),
@@ -37,7 +89,14 @@ impl PktDesc {
             seq,
             rx_hash,
             payload_len,
+            wire: None,
         }
+    }
+
+    /// Attaches owned wire bytes to the descriptor.
+    pub fn with_wire(mut self, wire: Box<WireBuf>) -> Self {
+        self.wire = Some(wire);
+        self
     }
 }
 
@@ -46,13 +105,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn descriptor_is_small_and_copy() {
-        // The whole point: a ring slot is a few words, not an skb.
+    fn descriptor_is_small() {
+        // The whole point: a ring slot is a few words, not an skb. The
+        // optional wire buffer hides behind one niche-optimized pointer.
         assert!(std::mem::size_of::<PktDesc>() <= 40);
         let d = PktDesc::new(7, 3, 11, 0xDEAD_BEEF, 64);
-        let d2 = d; // Copy, not move.
+        let d2 = d.clone();
         assert_eq!(d, d2);
         assert_eq!(d.id, PacketId(7));
         assert_eq!(d.payload_len, 64);
+        assert!(d.wire.is_none());
+    }
+
+    #[test]
+    fn wire_buf_accessors() {
+        let seg0 = vec![0u8; 100];
+        let seg1 = vec![1u8; 60];
+        let mut buf = *WireBuf::segments(vec![seg0, seg1]);
+        assert_eq!(buf.wire_bytes(), 160);
+        assert_eq!(buf.inner_frame(), None);
+        buf.inner = Some(50..100);
+        assert_eq!(buf.inner_frame().unwrap().len(), 50);
+        // Out-of-range bounds are reported as absent, not a panic.
+        buf.inner = Some(50..101);
+        assert_eq!(buf.inner_frame(), None);
+
+        let d = PktDesc::new(1, 2, 3, 4, 5).with_wire(WireBuf::single(vec![9u8; 10]));
+        assert_eq!(d.wire.as_ref().unwrap().wire_bytes(), 10);
     }
 }

@@ -25,10 +25,11 @@ pub mod tcp;
 pub mod udp;
 pub mod vxlan;
 
-pub use desc::PktDesc;
+pub use desc::{PktDesc, WireBuf};
 pub use encap::{
-    build_tcp_frame, build_udp_frame, dissect_flow, vxlan_decapsulate, vxlan_encapsulate,
-    EncapParams, VXLAN_OVERHEAD,
+    build_tcp_frame, build_udp_frame, decap_bounds, dissect_flow, fill_l4_checksum,
+    verify_l4_checksum, vxlan_decapsulate, vxlan_encapsulate, DecapBounds, EncapParams,
+    VXLAN_OVERHEAD,
 };
 pub use ethernet::{EtherType, EthernetHdr, MacAddr, ETHERNET_HDR_LEN};
 pub use ipv4::{IpProto, Ipv4Addr4, Ipv4Hdr, IPV4_HDR_LEN};

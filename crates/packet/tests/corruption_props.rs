@@ -1,0 +1,191 @@
+//! Property: single-bit corruption of a checksummed VXLAN frame.
+//!
+//! The receive path verifies every byte it can: the outer dst MAC is the
+//! host NIC's filter, the outer IPv4 header carries its own checksum,
+//! the outer UDP length fields must agree with the buffer, the VNI must
+//! match the overlay, the inner MACs must match the bridge's FDB, and
+//! the inner L4 checksum (over the IPv4 pseudo-header) covers the inner
+//! headers and payload. What it *cannot* verify is exactly the
+//! unchecksummed outer-UDP envelope: the outer source MAC (no Ethernet
+//! FCS in the model), the outer UDP source port and absent checksum
+//! (RFC 7348 transmits zero over IPv4), and the VXLAN reserved bits
+//! (RFC 7348 says "ignored on receipt"). This property pins that
+//! boundary: flipping any single bit is either detected, or the flip
+//! landed in that enumerated blind spot — in which case the delivered
+//! payload is still byte-identical to what was sent.
+
+use falcon_khash::FlowKeys;
+use falcon_packet::encap::{
+    build_tcp_frame, build_udp_frame, decap_bounds, dissect_flow, fill_l4_checksum,
+    verify_l4_checksum, vxlan_encapsulate, EncapParams,
+};
+use falcon_packet::{
+    EtherType, EthernetHdr, Ipv4Addr4, MacAddr, TcpFlags, ETHERNET_HDR_LEN, IPV4_HDR_LEN,
+    TCP_HDR_LEN, UDP_HDR_LEN, VXLAN_OVERHEAD,
+};
+use proptest::prelude::*;
+
+/// Everything the receiver knows out-of-band: its own MAC, the overlay
+/// VNI, the bridge FDB, and the expected flow.
+struct Oracle {
+    outer_dst: MacAddr,
+    inner_src: MacAddr,
+    inner_dst: MacAddr,
+    vni: u32,
+    keys: FlowKeys,
+}
+
+/// The full receive-side verification chain: pNIC (outer parse + MAC
+/// filter + checksum verify), VXLAN device (bounds decap + VNI), bridge
+/// (FDB over dissected keys), veth (inner checksum verify + payload
+/// extraction). Any error means the corruption was detected.
+fn receive(outer: &[u8], o: &Oracle) -> Result<Vec<u8>, String> {
+    let eth = EthernetHdr::parse(outer).map_err(|e| e.to_string())?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return Err("outer not IPv4".into());
+    }
+    if eth.dst != o.outer_dst {
+        return Err("outer dst MAC not ours".into());
+    }
+    verify_l4_checksum(outer).map_err(|e| e.to_string())?;
+    let b = decap_bounds(outer).map_err(|e| e.to_string())?;
+    if b.vni != o.vni {
+        return Err("wrong VNI".into());
+    }
+    let inner = &outer[b.inner];
+    let ieth = EthernetHdr::parse(inner).map_err(|e| e.to_string())?;
+    if ieth.dst != o.inner_dst || ieth.src != o.inner_src {
+        return Err("inner MAC not in FDB".into());
+    }
+    let keys = dissect_flow(inner).map_err(|e| e.to_string())?;
+    if keys != o.keys {
+        return Err("flow keys mismatch".into());
+    }
+    verify_l4_checksum(inner).map_err(|e| e.to_string())?;
+    let l4_hdr = if keys.ip_proto == 6 {
+        TCP_HDR_LEN
+    } else {
+        UDP_HDR_LEN
+    };
+    Ok(inner[ETHERNET_HDR_LEN + IPV4_HDR_LEN + l4_hdr..].to_vec())
+}
+
+/// Is `(byte, bit)` in the enumerated unchecksummed outer-UDP blind
+/// spot? `frame` is the post-flip buffer (needed for the one RFC 768
+/// wrinkle: flipping the filled inner-UDP checksum to on-wire zero
+/// silently disables that checksum).
+fn in_blind_spot(frame: &[u8], byte: usize, bit: u32, inner_is_udp: bool) -> bool {
+    let eth = ETHERNET_HDR_LEN; // 14
+    let udp_off = eth + IPV4_HDR_LEN; // 34
+    let vxlan_off = udp_off + UDP_HDR_LEN; // 42
+                                           // Outer source MAC: no FCS in the model, nothing checks it.
+    if (6..12).contains(&byte) {
+        return true;
+    }
+    // Outer UDP source port (entropy field) and checksum (zero = absent
+    // per RFC 7348 §4.1; a flip lands in the field nothing covers).
+    if (udp_off..udp_off + 2).contains(&byte) || (udp_off + 6..udp_off + 8).contains(&byte) {
+        return true;
+    }
+    // VXLAN flags: only the VNI-valid bit (0x08, i.e. bit 3) is
+    // checked; the rest are reserved, ignored on receipt.
+    if byte == vxlan_off && bit != 3 {
+        return true;
+    }
+    // VXLAN reserved bytes.
+    if (vxlan_off + 1..vxlan_off + 4).contains(&byte) || byte == vxlan_off + 7 {
+        return true;
+    }
+    // RFC 768 wrinkle: if the flip turned the *inner UDP* checksum
+    // field into on-wire zero, the receiver must treat it as "no
+    // checksum" and the payload (untouched) still delivers intact.
+    if inner_is_udp {
+        let csum = VXLAN_OVERHEAD + eth + IPV4_HDR_LEN + 6;
+        if (csum..csum + 2).contains(&byte) && frame[csum] == 0 && frame[csum + 1] == 0 {
+            return true;
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn single_bit_flip_detected_or_in_outer_blind_spot(
+        use_tcp in any::<bool>(),
+        payload_len in 0usize..=1200,
+        flow_nibble in 0u32..=15,
+        flip_seed in any::<u64>(),
+    ) {
+        let keys = if use_tcp {
+            FlowKeys::tcp(
+                Ipv4Addr4::new(10, 0, 0, 1 + flow_nibble as u8).0,
+                40000 + flow_nibble as u16,
+                Ipv4Addr4::new(10, 0, 1, 1).0,
+                5201,
+            )
+        } else {
+            FlowKeys::udp(
+                Ipv4Addr4::new(10, 0, 0, 1 + flow_nibble as u8).0,
+                40000 + flow_nibble as u16,
+                Ipv4Addr4::new(10, 0, 1, 1).0,
+                8080,
+            )
+        };
+        let inner_src = MacAddr::from_index(0x100 + flow_nibble as u64);
+        let inner_dst = MacAddr::from_index(0x200 + flow_nibble as u64);
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i as u8).wrapping_mul(31)).collect();
+        let mut inner = if use_tcp {
+            build_tcp_frame(
+                inner_src, inner_dst, &keys, 7000, 0, TcpFlags::data(), 0xFFFF, &payload,
+            )
+        } else {
+            build_udp_frame(inner_src, inner_dst, &keys, &payload)
+        };
+        fill_l4_checksum(&mut inner).unwrap();
+        let params = EncapParams {
+            src_mac: MacAddr::from_index(0x10),
+            dst_mac: MacAddr::from_index(0x20),
+            src_ip: Ipv4Addr4::new(192, 168, 0, 1),
+            dst_ip: Ipv4Addr4::new(192, 168, 0, 2),
+            src_port: 49152 + flow_nibble as u16,
+            vni: 42,
+        };
+        let pristine = vxlan_encapsulate(&inner, &params);
+        let oracle = Oracle {
+            outer_dst: params.dst_mac,
+            inner_src,
+            inner_dst,
+            vni: params.vni,
+            keys,
+        };
+
+        // Sanity: the uncorrupted frame delivers the exact payload.
+        prop_assert_eq!(receive(&pristine, &oracle).unwrap(), payload.clone());
+
+        // Flip exactly one bit, anywhere.
+        let bit_index = flip_seed % (pristine.len() as u64 * 8);
+        let (byte, bit) = ((bit_index / 8) as usize, (bit_index % 8) as u32);
+        let mut corrupt = pristine.clone();
+        corrupt[byte] ^= 1 << bit;
+
+        match receive(&corrupt, &oracle) {
+            Err(_) => {} // Detected: the common case.
+            Ok(delivered) => {
+                prop_assert!(
+                    in_blind_spot(&corrupt, byte, bit, !use_tcp),
+                    "undetected flip at byte {} bit {} is outside the \
+                     unchecksummed outer-UDP envelope",
+                    byte,
+                    bit
+                );
+                prop_assert_eq!(
+                    delivered,
+                    payload,
+                    "blind-spot flip must not touch the delivered payload"
+                );
+            }
+        }
+    }
+}

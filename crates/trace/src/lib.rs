@@ -52,15 +52,21 @@ pub enum DropReason {
     GroCell,
     /// A datagram never completed IP reassembly (a fragment was lost).
     Reassembly,
+    /// The packet's bytes failed verification at a stage: a header did
+    /// not parse, a checksum did not verify, or a lookup (MAC filter,
+    /// FDB, VNI) rejected it. Only produced by wire-mode dataplane
+    /// runs, where stages process real frames.
+    Malformed,
 }
 
 impl DropReason {
     /// All reasons, in display order.
-    pub const ALL: [DropReason; 4] = [
+    pub const ALL: [DropReason; 5] = [
         DropReason::Ring,
         DropReason::Backlog,
         DropReason::GroCell,
         DropReason::Reassembly,
+        DropReason::Malformed,
     ];
 
     /// Stable index into per-reason counter arrays.
@@ -70,6 +76,7 @@ impl DropReason {
             DropReason::Backlog => 1,
             DropReason::GroCell => 2,
             DropReason::Reassembly => 3,
+            DropReason::Malformed => 4,
         }
     }
 
@@ -80,6 +87,7 @@ impl DropReason {
             DropReason::Backlog => "backlog",
             DropReason::GroCell => "grocell",
             DropReason::Reassembly => "reassembly",
+            DropReason::Malformed => "malformed",
         }
     }
 }

@@ -1,0 +1,96 @@
+//! [`Corruptor`]: the deterministic bit-flip chaos knob.
+//!
+//! Wire mode's drop accounting is only exact if corruption is exact:
+//! the corruptor is a seeded xorshift64* stream, so a given
+//! `(seed, rate)` flips the same bits of the same segments in every
+//! run, and a conformance test can assert per-stage drop counts instead
+//! of ranges. No wall clock, no global RNG.
+
+/// Flips one random bit per "corrupted" segment at a configured rate.
+#[derive(Debug, Clone)]
+pub struct Corruptor {
+    state: u64,
+    per_million: u32,
+    /// Segments corrupted so far.
+    pub flipped: u64,
+}
+
+impl Corruptor {
+    /// A corruptor flipping a bit in roughly `per_million` out of every
+    /// million segments. Rate 0 never corrupts.
+    pub fn new(seed: u64, per_million: u32) -> Self {
+        Corruptor {
+            // xorshift64* must not start at zero.
+            state: seed | 1,
+            per_million,
+            flipped: 0,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Possibly flips one bit of `seg`. Returns whether it did.
+    pub fn maybe_corrupt(&mut self, seg: &mut [u8]) -> bool {
+        if self.per_million == 0 || seg.is_empty() {
+            return false;
+        }
+        if self.next() % 1_000_000 >= self.per_million as u64 {
+            return false;
+        }
+        let bit = self.next() % (seg.len() as u64 * 8);
+        seg[(bit / 8) as usize] ^= 1 << (bit % 8);
+        self.flipped += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut c = Corruptor::new(seed, 500_000);
+            let mut segs: Vec<Vec<u8>> = (0..64).map(|i| vec![i as u8; 32]).collect();
+            for s in &mut segs {
+                c.maybe_corrupt(s);
+            }
+            (segs, c.flipped)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).0, run(8).0);
+    }
+
+    #[test]
+    fn rate_zero_never_flips_rate_million_always_flips() {
+        let mut never = Corruptor::new(1, 0);
+        let mut always = Corruptor::new(1, 1_000_000);
+        let mut buf = [0u8; 16];
+        for _ in 0..100 {
+            assert!(!never.maybe_corrupt(&mut buf));
+        }
+        assert_eq!(buf, [0u8; 16]);
+        for _ in 0..100 {
+            assert!(always.maybe_corrupt(&mut buf));
+        }
+        assert_eq!(always.flipped, 100);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn flips_exactly_one_bit() {
+        let mut c = Corruptor::new(99, 1_000_000);
+        let mut buf = [0u8; 64];
+        c.maybe_corrupt(&mut buf);
+        let ones: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! [`FrameFactory`]: deterministic generation of real overlay frames.
+//!
+//! Every frame the wire-mode dataplane injects is a pure function of
+//! `(flow, seq)`, so a conformance checker can regenerate the exact
+//! bytes — and therefore the exact delivery digest — without any side
+//! channel from the injector to the verifier. That is what makes the
+//! differential check "every delivered payload equals its generated
+//! inner frame" possible across threads, steering policies, and chaos.
+
+use falcon_khash::FlowKeys;
+use falcon_packet::encap::{
+    build_tcp_frame, build_udp_frame, fill_l4_checksum, vxlan_encapsulate, EncapParams,
+};
+use falcon_packet::{Ipv4Addr4, MacAddr, TcpFlags};
+
+use crate::payload_digest;
+
+/// Builds deterministic inner frames and their VXLAN envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameFactory {
+    /// The overlay segment every generated packet belongs to.
+    pub vni: u32,
+}
+
+impl Default for FrameFactory {
+    fn default() -> Self {
+        FrameFactory { vni: 42 }
+    }
+}
+
+impl FrameFactory {
+    /// A factory for the given VNI.
+    pub fn new(vni: u32) -> Self {
+        FrameFactory { vni }
+    }
+
+    /// The receiving host NIC's MAC: the pNIC stage drops outer frames
+    /// not addressed to it.
+    pub fn host_mac() -> MacAddr {
+        MacAddr::from_index(0xFA1C)
+    }
+
+    /// Outer (host-network) envelope parameters for a flow. The source
+    /// port carries per-flow entropy the way real VXLAN senders derive
+    /// it from the inner flow hash.
+    pub fn encap_params(&self, flow: u64) -> EncapParams {
+        EncapParams {
+            src_mac: MacAddr::from_index(0x5000 + (flow & 0xFFFF)),
+            dst_mac: Self::host_mac(),
+            src_ip: Ipv4Addr4::new(192, 168, (flow >> 8) as u8, flow as u8),
+            dst_ip: Ipv4Addr4::new(192, 168, 255, 1),
+            src_port: 49152 + (flow % 16384) as u16,
+            vni: self.vni,
+        }
+    }
+
+    /// Inner (container) source and destination MACs for a flow — the
+    /// addresses the bridge's FDB must know.
+    pub fn inner_macs(&self, flow: u64) -> (MacAddr, MacAddr) {
+        (
+            MacAddr::from_index(0x1_0000 + 2 * (flow & 0x7FFF)),
+            MacAddr::from_index(0x1_0001 + 2 * (flow & 0x7FFF)),
+        )
+    }
+
+    /// Inner flow keys (the container-to-container 5-tuple).
+    pub fn inner_keys(&self, flow: u64, tcp: bool) -> FlowKeys {
+        let src = Ipv4Addr4::new(10, 1, (flow >> 8) as u8, flow as u8).0;
+        let dst = Ipv4Addr4::new(10, 2, 0, 1).0;
+        let src_port = 40000 + (flow % 20000) as u16;
+        if tcp {
+            FlowKeys::tcp(src, src_port, dst, 5201)
+        } else {
+            FlowKeys::udp(src, src_port, dst, 8080)
+        }
+    }
+
+    /// The deterministic payload of message `(flow, seq)`.
+    pub fn payload(flow: u64, seq: u64, len: usize) -> Vec<u8> {
+        let mut state = (flow << 32) ^ seq ^ 0x9E37_79B9_7F4A_7C15;
+        (0..len)
+            .map(|_| {
+                // xorshift64*: cheap, deterministic, byte-position mixed.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    /// The TCP sequence number of the first byte of message `seq`.
+    fn tcp_seq0(seq: u64, msg_len: usize) -> u32 {
+        (seq.wrapping_mul(msg_len as u64)) as u32
+    }
+
+    /// The canonical inner frame of message `(flow, seq)`: what the
+    /// veth end must hand to the container, byte for byte. For TCP
+    /// this is the *coalesced* frame — one header over the whole
+    /// message payload — which GRO must reconstruct exactly.
+    pub fn inner_frame(&self, tcp: bool, flow: u64, seq: u64, payload_len: usize) -> Vec<u8> {
+        let (src_mac, dst_mac) = self.inner_macs(flow);
+        let keys = self.inner_keys(flow, tcp);
+        let payload = Self::payload(flow, seq, payload_len);
+        let mut frame = if tcp {
+            build_tcp_frame(
+                src_mac,
+                dst_mac,
+                &keys,
+                Self::tcp_seq0(seq, payload_len),
+                0,
+                TcpFlags::data(),
+                0xFFFF,
+                &payload,
+            )
+        } else {
+            build_udp_frame(src_mac, dst_mac, &keys, &payload)
+        };
+        fill_l4_checksum(&mut frame).expect("generated frame has a valid L4 layout");
+        frame
+    }
+
+    /// Wire segments of a UDP message: one encapsulated frame.
+    pub fn udp_wire(&self, flow: u64, seq: u64, payload_len: usize) -> Vec<Vec<u8>> {
+        let inner = self.inner_frame(false, flow, seq, payload_len);
+        vec![vxlan_encapsulate(&inner, &self.encap_params(flow))]
+    }
+
+    /// Wire segments of a TCP message: the payload cut into MSS-sized
+    /// segments, each with its own headers and envelope, exactly as a
+    /// sender's TSO would emit them. The GRO stage coalesces them back
+    /// into [`FrameFactory::inner_frame`].
+    pub fn tcp_wire(&self, flow: u64, seq: u64, msg_len: usize, mss: usize) -> Vec<Vec<u8>> {
+        assert!(mss > 0, "mss must be positive");
+        let (src_mac, dst_mac) = self.inner_macs(flow);
+        let keys = self.inner_keys(flow, true);
+        let params = self.encap_params(flow);
+        let payload = Self::payload(flow, seq, msg_len);
+        let seq0 = Self::tcp_seq0(seq, msg_len);
+        let mut segs = Vec::new();
+        let mut off = 0usize;
+        while off < msg_len || (msg_len == 0 && segs.is_empty()) {
+            let take = mss.min(msg_len - off);
+            let mut inner = build_tcp_frame(
+                src_mac,
+                dst_mac,
+                &keys,
+                seq0.wrapping_add(off as u32),
+                0,
+                TcpFlags::data(),
+                0xFFFF,
+                &payload[off..off + take],
+            );
+            fill_l4_checksum(&mut inner).expect("generated segment has a valid L4 layout");
+            segs.push(vxlan_encapsulate(&inner, &params));
+            off += take;
+            if take == 0 {
+                break;
+            }
+        }
+        segs
+    }
+
+    /// Digest of the payload the container must receive for message
+    /// `(flow, seq)` — the conformance oracle.
+    pub fn expected_digest(flow: u64, seq: u64, payload_len: usize) -> u64 {
+        payload_digest(&Self::payload(flow, seq, payload_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falcon_packet::encap::{decap_bounds, dissect_flow, verify_l4_checksum};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let f = FrameFactory::new(7);
+        assert_eq!(f.udp_wire(3, 9, 256), f.udp_wire(3, 9, 256));
+        assert_eq!(f.tcp_wire(3, 9, 4096, 1448), f.tcp_wire(3, 9, 4096, 1448));
+        assert_ne!(f.udp_wire(3, 9, 256), f.udp_wire(3, 10, 256));
+        assert_ne!(
+            FrameFactory::payload(1, 2, 64),
+            FrameFactory::payload(2, 1, 64)
+        );
+    }
+
+    #[test]
+    fn udp_wire_decaps_to_canonical_inner() {
+        let f = FrameFactory::default();
+        let segs = f.udp_wire(5, 17, 300);
+        assert_eq!(segs.len(), 1);
+        let b = decap_bounds(&segs[0]).unwrap();
+        assert_eq!(b.vni, f.vni);
+        let inner = &segs[0][b.inner];
+        assert_eq!(inner, &f.inner_frame(false, 5, 17, 300)[..]);
+        verify_l4_checksum(inner).unwrap();
+        assert_eq!(dissect_flow(inner).unwrap(), f.inner_keys(5, false));
+    }
+
+    #[test]
+    fn tcp_wire_segments_cover_message_contiguously() {
+        let f = FrameFactory::default();
+        let (msg, mss) = (4096usize, 1448usize);
+        let segs = f.tcp_wire(2, 3, msg, mss);
+        assert_eq!(segs.len(), msg.div_ceil(mss));
+        let mut reassembled = Vec::new();
+        let mut expect_seq = FrameFactory::tcp_seq0(3, msg);
+        for seg in &segs {
+            let b = decap_bounds(seg).unwrap();
+            let inner = &seg[b.inner];
+            verify_l4_checksum(inner).unwrap();
+            let tcp = falcon_packet::TcpHdr::parse(&inner[34..]).unwrap();
+            assert_eq!(tcp.seq, expect_seq);
+            let payload = &inner[54..];
+            expect_seq = expect_seq.wrapping_add(payload.len() as u32);
+            reassembled.extend_from_slice(payload);
+        }
+        assert_eq!(reassembled, FrameFactory::payload(2, 3, msg));
+    }
+
+    #[test]
+    fn expected_digest_matches_inner_frame_payload() {
+        let f = FrameFactory::default();
+        let inner = f.inner_frame(true, 4, 11, 2000);
+        // TCP inner: payload starts after eth(14)+ipv4(20)+tcp(20).
+        assert_eq!(
+            crate::payload_digest(&inner[54..]),
+            FrameFactory::expected_digest(4, 11, 2000)
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! The bridge's forwarding database.
+//!
+//! A Linux bridge forwards by destination MAC; on a static overlay the
+//! daemon (e.g. flannel/Cilium's agent) programs the FDB instead of
+//! flooding unknown unicast. This FDB is strict the same way: both the
+//! source and destination MAC of an inner frame must be known, so a
+//! corrupted inner Ethernet header — the one region no checksum covers —
+//! is still caught at the bridge stage instead of delivering garbage.
+
+use std::collections::BTreeMap;
+
+use falcon_packet::MacAddr;
+
+use crate::FrameFactory;
+
+/// MAC → bridge port, plus the strict membership check.
+#[derive(Debug, Clone, Default)]
+pub struct Fdb {
+    ports: BTreeMap<[u8; 6], u16>,
+}
+
+impl Fdb {
+    /// An FDB pre-programmed with both endpoint MACs of flows
+    /// `0..flows`, as [`FrameFactory::inner_macs`] assigns them. The
+    /// source side lands on port `2*flow`, the destination (veth) side
+    /// on `2*flow + 1`.
+    pub fn for_flows(factory: &FrameFactory, flows: u64) -> Fdb {
+        let mut ports = BTreeMap::new();
+        for flow in 0..flows {
+            let (src, dst) = factory.inner_macs(flow);
+            ports.insert(src.0, (2 * (flow as u16)) & 0x7FFF);
+            ports.insert(dst.0, (2 * (flow as u16) + 1) & 0x7FFF);
+        }
+        Fdb { ports }
+    }
+
+    /// Looks up a MAC, returning its bridge port.
+    pub fn lookup(&self, mac: MacAddr) -> Option<u16> {
+        self.ports.get(&mac.0).copied()
+    }
+
+    /// Number of programmed entries.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether the FDB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knows_both_ends_of_each_flow() {
+        let f = FrameFactory::default();
+        let fdb = Fdb::for_flows(&f, 4);
+        assert_eq!(fdb.len(), 8);
+        for flow in 0..4 {
+            let (src, dst) = f.inner_macs(flow);
+            assert!(fdb.lookup(src).is_some());
+            assert!(fdb.lookup(dst).is_some());
+            assert_ne!(fdb.lookup(src), fdb.lookup(dst));
+        }
+        assert_eq!(fdb.lookup(MacAddr::from_index(0xDEAD)), None);
+    }
+}

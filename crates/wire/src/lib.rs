@@ -1,0 +1,49 @@
+//! falcon-wire: real byte-level packets for the threaded dataplane.
+//!
+//! The executor's pipeline stages model the paper's receive path as
+//! calibrated busy-spin costs. This crate supplies the *bytes*: a
+//! [`FrameFactory`] that builds deterministic inner UDP/TCP frames and
+//! VXLAN-encapsulates them, the per-stage verification work each
+//! pipeline hop performs on those bytes ([`stage`]), the strict bridge
+//! [`Fdb`], and a seeded [`Corruptor`] that flips bits at a configured
+//! rate so malformed-frame handling can be tested with exact per-stage
+//! drop accounting.
+//!
+//! The split of responsibilities with `falcon-dataplane`: this crate
+//! knows frames and nothing about threads, rings, or steering; the
+//! executor calls [`stage`] functions inside its stage budget and maps
+//! [`stage::WireError`] to `DropReason::Malformed`.
+
+pub mod corrupt;
+pub mod factory;
+pub mod fdb;
+pub mod stage;
+
+pub use corrupt::Corruptor;
+pub use factory::FrameFactory;
+pub use fdb::Fdb;
+pub use stage::{bridge_lookup, deliver_verify, gro_coalesce, pnic_verify, vxlan_decap};
+pub use stage::{Delivery, WireError};
+
+/// FNV-1a over bytes: the delivery digest. Matches nothing else in the
+/// tree on purpose — it digests application payload, not trace hops.
+pub fn payload_digest(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_distinguishes_payloads() {
+        assert_eq!(payload_digest(b"abc"), payload_digest(b"abc"));
+        assert_ne!(payload_digest(b"abc"), payload_digest(b"abd"));
+        assert_ne!(payload_digest(b""), payload_digest(b"\0"));
+    }
+}

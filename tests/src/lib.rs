@@ -19,7 +19,8 @@ use falcon_experiments::scenario::{Mode, Scenario, MF_APP_CORES, SF_APP_CORE};
 use falcon_netdev::LinkSpeed;
 use falcon_netstack::sim::SimRunner;
 use falcon_netstack::{KernelVersion, Pacing};
-use falcon_trace::{check_stream, ConservationReport, EventKind};
+use falcon_trace::{check_stream, ConservationReport, DropReason, EventKind};
+use falcon_wire::FrameFactory;
 use falcon_workloads::{TcpStreams, TcpStreamsConfig, UdpStressApp, UdpStressConfig};
 
 /// Builds a small single-flow UDP scenario for invariant testing.
@@ -167,6 +168,124 @@ pub fn assert_dataplane_conforms(out: &RunOutput) -> ConservationReport {
         report.drops,
         out.dropped(),
         "dataplane trace drops disagree with run counters"
+    );
+    report
+}
+
+/// Asserts the wire-mode conformance invariants on a run and returns
+/// the stream report (empty if the run was untraced).
+///
+/// This is the malformed-aware sibling of [`assert_dataplane_conforms`]:
+/// corrupted frames legally drop *mid-stage* (before the stage's
+/// `processed` bump), so the strict `per_stage[0] == injected -
+/// inject_drops` book no longer holds — each stage's execution count is
+/// instead down by exactly the frames it rejected as malformed. On top
+/// of the relaxed stage books this adds the wire oracle: every
+/// delivered `(flow, seq)` payload digest must equal what
+/// [`FrameFactory`] generated for it, bit for bit, and byte counters
+/// must close against the delivery count. With corruption off the
+/// malformed counts are all zero and this helper is exactly as strict
+/// as the plain one.
+pub fn assert_wire_conforms(out: &RunOutput, payload: usize) -> ConservationReport {
+    assert!(out.wire, "assert_wire_conforms needs a wire-mode run");
+    assert_eq!(
+        out.delivered() + out.dropped(),
+        out.injected,
+        "wire conservation: every packet delivered or dropped"
+    );
+    let (checks, violations) = out.order_audit();
+    assert!(checks > 0, "wire order audit observed nothing");
+    assert_eq!(violations, 0, "wire per-(flow, device) order violated");
+    let by_reason = out.drops_by_reason();
+    assert_eq!(
+        by_reason.iter().sum::<u64>(),
+        out.dropped(),
+        "drop-reason totals must close"
+    );
+
+    // The differential oracle: the executor never saw the generator,
+    // only bytes, yet every delivered payload must hash to exactly what
+    // the factory built for that (flow, seq). Corruption cannot forge a
+    // delivery — a flipped frame either dies as Malformed or (when the
+    // flip lands in a field no stage checks) still carries the original
+    // payload untouched.
+    let deliveries = out.deliveries();
+    assert_eq!(deliveries.len() as u64, out.delivered());
+    for &(flow, seq, digest) in &deliveries {
+        assert_eq!(
+            digest,
+            FrameFactory::expected_digest(flow, seq, payload),
+            "payload digest mismatch at flow {flow} seq {seq}"
+        );
+    }
+    assert_eq!(
+        out.bytes_delivered(),
+        out.delivered() * payload as u64,
+        "delivered bytes must equal deliveries x payload"
+    );
+    assert!(
+        out.bytes_injected >= out.bytes_delivered(),
+        "cannot deliver more application bytes than were injected"
+    );
+
+    // Malformed accounting: the per-stage counts close against the
+    // reason total, and the stage books hold with the malformed deficit
+    // folded in.
+    let malformed = out.malformed_per_stage();
+    let stages = out.stages();
+    let per_stage = out.processed_per_stage();
+    assert_eq!(per_stage.len(), stages);
+    assert_eq!(malformed.len(), stages);
+    assert_eq!(
+        malformed.iter().sum::<u64>(),
+        by_reason[DropReason::Malformed.index()],
+        "per-stage malformed counts must sum to the reason total"
+    );
+    assert_eq!(per_stage[0], out.injected - out.inject_drops - malformed[0]);
+    assert_eq!(per_stage[stages - 1], out.delivered());
+    for s in 1..stages {
+        assert!(
+            per_stage[s] + malformed[s] <= per_stage[s - 1],
+            "stage {s} executed more packets than its predecessor passed on"
+        );
+    }
+    let in_pipeline_drops: u64 = out
+        .workers_stats
+        .iter()
+        .map(|w| w.drops.iter().sum::<u64>())
+        .sum();
+    assert_eq!(
+        (out.injected - out.inject_drops) - out.delivered(),
+        in_pipeline_drops,
+        "everything past the injector ring is delivered or drop-counted"
+    );
+
+    if out.merged_events().is_empty() {
+        return ConservationReport::default();
+    }
+    assert_eq!(out.trace_overflow(), 0, "wire trace ring wrapped");
+    let report = check_stream(&out.merged_events());
+    assert!(report.delivered > 0, "wire trace saw no deliveries");
+    assert!(
+        report.unmatched.is_empty(),
+        "wire enqueue/consume imbalance (first 5): {:?}",
+        &report.unmatched[..report.unmatched.len().min(5)]
+    );
+    assert!(
+        report.hop_mismatches.is_empty(),
+        "wire hop-digest mismatches (first 5): {:?}",
+        &report.hop_mismatches[..report.hop_mismatches.len().min(5)]
+    );
+    assert!(
+        report.order_violations.is_empty(),
+        "wire trace order violations: {:?}",
+        report.order_violations
+    );
+    assert_eq!(report.delivered, out.delivered());
+    assert_eq!(
+        report.drops,
+        out.dropped(),
+        "wire trace drops disagree with run counters"
     );
     report
 }
