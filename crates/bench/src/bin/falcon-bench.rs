@@ -95,7 +95,9 @@ fn usage() {
     eprintln!(
         "usage: falcon-bench [--json] [--quick] [--out <path>] [--dataplane] \
          [--wire] [--split-gro] [--dataplane-out <path>] [--workers <n>] \
-         [--flows <n>] [--sweep] [--sweep-out <path>]\n\
+         [--flows <n>] [--sweep] [--sweep-out <path>] [--telemetry] \
+         [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
+         [--prom-addr <ip:port>]\n\
          default prints a text summary of the simulation benches; --json \
          prints JSON; --dataplane additionally runs the real-thread executor \
          comparison and writes it to --dataplane-out (default \
@@ -105,7 +107,11 @@ fn usage() {
          the report); --sweep runs the real-thread scaling grid \
          (1..=--flows x 1..=--workers, both policies per point) and writes \
          it to --sweep-out (default BENCH_sweep.json), failing if the order \
-         audit flags any point"
+         audit flags any point; --telemetry attaches the live sampler to \
+         the --dataplane falcon run, streams per-interval deltas to \
+         --telemetry-out (default BENCH_telemetry.jsonl), serves Prometheus \
+         text on --prom-addr if given, and records telemetry-on vs -off \
+         goodput in the comparison's telemetry_overhead field"
     );
 }
 
@@ -121,6 +127,10 @@ fn main() -> ExitCode {
     let mut flows: u64 = 1;
     let mut run_sweep = false;
     let mut sweep_out = "BENCH_sweep.json".to_string();
+    let mut telemetry = false;
+    let mut telemetry_interval_ms: u64 = 0;
+    let mut telemetry_out = "BENCH_telemetry.jsonl".to_string();
+    let mut prom_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -158,6 +168,40 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => flows = n,
                 _ => {
                     eprintln!("--flows requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--telemetry" => telemetry = true,
+            "--telemetry-interval-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => {
+                    telemetry = true;
+                    telemetry_interval_ms = n;
+                }
+                _ => {
+                    eprintln!("--telemetry-interval-ms requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--telemetry-out" => match args.next() {
+                Some(path) => {
+                    telemetry = true;
+                    telemetry_out = path;
+                }
+                None => {
+                    eprintln!("--telemetry-out requires a path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--prom-addr" => match args.next() {
+                Some(addr) => {
+                    telemetry = true;
+                    prom_addr = Some(addr);
+                }
+                None => {
+                    eprintln!("--prom-addr requires an ip:port");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -213,7 +257,12 @@ fn main() -> ExitCode {
             "dataplane bench: real-thread vanilla vs falcon ({workers} worker(s) requested){}...",
             if wire { ", wire bytes" } else { "" }
         );
-        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro, wire);
+        let spec = telemetry.then(|| falcon_dataplane::TelemetrySpec {
+            interval_ms: telemetry_interval_ms,
+            jsonl_path: Some(telemetry_out.clone()),
+            prom_addr: prom_addr.clone(),
+        });
+        let cmp = dataplane::run_comparison_with(scale, workers, flows, split_gro, wire, spec);
         print!("{}", dataplane::render(&cmp));
         // Keep BENCH_dataplane.json for the modeled-cost run; the
         // byte-carrying variant defaults to its own artifact.
@@ -230,6 +279,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {out_path}");
+        if telemetry {
+            eprintln!("wrote {telemetry_out} (per-interval telemetry deltas)");
+        }
     }
 
     if run_sweep {

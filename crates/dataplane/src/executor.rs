@@ -55,6 +55,10 @@ use std::time::Duration;
 use falcon_khash::hash_32;
 use falcon_netstack::CostModel;
 use falcon_packet::{MacAddr, PktDesc, WireBuf};
+use falcon_telemetry::{
+    Hub, RunMeta, Sampler, SamplerConfig, ShardWriter, StallBreakdown, TelemetryRun,
+    DEFAULT_INTERVAL_MS,
+};
 use falcon_trace::{
     hop_hash_extend, Context, DropReason, Event, EventKind, TraceMeta, Tracer, DELIVERY_CHECK,
     HOP_HASH_INIT, STAGE_B_CHECK,
@@ -190,6 +194,23 @@ pub struct Scenario {
     /// Seed of the wire-mode corruptor stream; a fixed `(seed, rate)`
     /// corrupts the same segments every run.
     pub wire_seed: u64,
+    /// Live telemetry: when set, every worker publishes its shard each
+    /// sweep and a sampler thread snapshots the shards on the
+    /// configured interval, streaming JSONL / Prometheus / Perfetto
+    /// counter tracks as configured (`None` = telemetry off, zero
+    /// hot-path cost beyond a branch).
+    pub telemetry: Option<TelemetrySpec>,
+}
+
+/// What the telemetry sampler should do with its snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySpec {
+    /// Sampling interval in ms (0 = [`DEFAULT_INTERVAL_MS`]).
+    pub interval_ms: u64,
+    /// Stream per-interval worker deltas as JSON lines to this path.
+    pub jsonl_path: Option<String>,
+    /// Serve Prometheus text exposition from this `addr:port`.
+    pub prom_addr: Option<String>,
 }
 
 impl Default for Scenario {
@@ -215,6 +236,7 @@ impl Default for Scenario {
             wire: false,
             corrupt_per_million: 0,
             wire_seed: 1,
+            telemetry: None,
         }
     }
 }
@@ -387,6 +409,18 @@ pub struct WorkerStats {
     /// Wire mode: malformed-frame drops by the stage that caught them
     /// (4 or 5 entries).
     pub malformed_per_stage: Vec<u64>,
+    /// Wire mode: bytes each stage touched (on-wire size until decap,
+    /// inner-frame size after; 4 or 5 entries).
+    pub bytes_per_stage: Vec<u64>,
+    /// Where this worker's wall-clock went: every ns between the start
+    /// barrier and thread exit lands in exactly one of the five
+    /// attribution buckets (busy work, stalled pushing into a full
+    /// downstream ring, popping upstream rings, guard/steering
+    /// bookkeeping, idle backoff) — the buckets sum to `stall.wall_ns`
+    /// by construction. Unlike `busy_ns` (pure stage-spin time, kept
+    /// for goodput math), `stall.busy_ns` also absorbs the per-packet
+    /// bookkeeping that surrounds the spin.
+    pub stall: StallBreakdown,
 }
 
 /// Everything a run produces: per-worker stats plus run-level facts.
@@ -425,6 +459,9 @@ pub struct RunOutput {
     pub corrupted_segments: u64,
     /// Device table for trace export.
     pub meta: TraceMeta,
+    /// Live-telemetry output (samples taken, exporter outcomes), when
+    /// [`Scenario::telemetry`] was set.
+    pub telemetry: Option<TelemetryRun>,
 }
 
 impl RunOutput {
@@ -486,6 +523,17 @@ impl RunOutput {
         for w in &self.workers_stats {
             for (acc, m) in per_stage.iter_mut().zip(w.malformed_per_stage.iter()) {
                 *acc += m;
+            }
+        }
+        per_stage
+    }
+
+    /// Wire mode: bytes touched per stage summed across workers.
+    pub fn bytes_per_stage(&self) -> Vec<u64> {
+        let mut per_stage = vec![0u64; self.stages()];
+        for w in &self.workers_stats {
+            for (acc, b) in per_stage.iter_mut().zip(w.bytes_per_stage.iter()) {
+                *acc += b;
             }
         }
         per_stage
@@ -708,6 +756,14 @@ struct WorkerCtx {
     dropped_delta: u64,
     tracer: Tracer,
     stats: WorkerStats,
+    /// Live-telemetry shard writer (`None` = telemetry off; the hot
+    /// path pays one branch).
+    telemetry: Option<ShardWriter>,
+    /// Per-stage service samples accumulated since the last shard
+    /// publish: `(stage, service_ns)`. Drained into the shard's
+    /// histograms inside the seqlock write so the recording cost stays
+    /// out of the per-packet path.
+    hist_scratch: Vec<(u8, u64)>,
 }
 
 impl WorkerCtx {
@@ -718,6 +774,14 @@ impl WorkerCtx {
         barrier.wait();
         let mut backoff = Backoff::new();
         let nsrc = self.inbound.len();
+        // Stall attribution runs on a chained timestamp: `t` is the
+        // epoch time up to which this worker's wall-clock has been
+        // attributed. Every boundary reads the epoch once, charges the
+        // elapsed span to exactly one bucket, and advances `t` — so the
+        // buckets sum to `t - wall_start` identically, and unattributed
+        // gaps are impossible by construction.
+        let wall_start = self.epoch.now_ns();
+        let mut t = wall_start;
         loop {
             let mut did_work = false;
             for src in sweep_order(self.stats.sweeps, nsrc) {
@@ -729,6 +793,12 @@ impl WorkerCtx {
                     spin_for_ns(self.chaos_sweep_stall_ns);
                 }
                 let got = self.inbound[src].pop_batch(&mut self.batch, self.napi_budget);
+                // Ring-poll boundary: the poll itself (and any chaos
+                // stall riding ahead of it) is time spent hunting
+                // upstream rings for input.
+                let now = self.epoch.now_ns();
+                self.stats.stall.stall_pop_ns += now - t;
+                t = now;
                 if got == 0 {
                     continue;
                 }
@@ -736,10 +806,11 @@ impl WorkerCtx {
                 // packets are folded back into the steering signal via
                 // `load_plus`, so self-visible depth stays exact.
                 self.depths.sub(self.me, got);
+                self.depths.note_staleness(self.me, got);
                 did_work = true;
                 let mut batch = std::mem::take(&mut self.batch);
                 for pkt in batch.drain(..) {
-                    self.run_packet(pkt);
+                    self.run_packet(pkt, &mut t);
                 }
                 self.batch = batch;
                 // Flush this batch's steered packets before polling the
@@ -747,16 +818,29 @@ impl WorkerCtx {
                 // which keeps the depth signal other workers see stale
                 // by at most one NAPI budget.
                 self.flush_outbound();
+                // Push boundary: everything since the last packet's
+                // final boundary was downstream publishing (ring
+                // publish, gauge updates, tail-drop accounting).
+                let now = self.epoch.now_ns();
+                self.stats.stall.stall_push_ns += now - t;
+                t = now;
             }
             self.stats.sweeps += 1;
             // Publish delivery/drop progress before any idle wait, or
             // the orchestrator's quiescence poll would stall against
             // counters parked in this worker's locals.
             self.flush_counters();
+            self.stats.stall.wall_ns = t - wall_start;
+            if did_work || self.stats.sweeps.is_multiple_of(64) {
+                self.publish_telemetry();
+            }
             if did_work {
                 backoff.reset();
             } else {
                 if self.shutdown.load(Ordering::Acquire) {
+                    let now = self.epoch.now_ns();
+                    self.stats.stall.idle_ns += now - t;
+                    t = now;
                     break;
                 }
                 match backoff.idle() {
@@ -764,8 +848,16 @@ impl WorkerCtx {
                     IdleTier::Yield => self.stats.idle_yields += 1,
                     IdleTier::Park => self.stats.idle_parks += 1,
                 }
+                // Idle boundary: the backoff step (plus the shutdown
+                // check and telemetry publish that preceded it) is
+                // time with no work available.
+                let now = self.epoch.now_ns();
+                self.stats.stall.idle_ns += now - t;
+                t = now;
             }
         }
+        self.stats.stall.wall_ns = t - wall_start;
+        self.publish_telemetry();
         self.stats.trace_overflow = self.tracer.overflow();
         self.stats.events = self.tracer.events();
         self.stats
@@ -784,6 +876,7 @@ impl WorkerCtx {
             let mut staged = std::mem::take(&mut self.outbox[dst]);
             let m = staged.len();
             self.depths.add(dst, m);
+            self.depths.note_staleness(dst, m);
             let now = self.epoch.now_ns();
             // Consumers may pop these the instant the publish lands, so
             // anything needed for tracing the accepted prefix must be
@@ -864,10 +957,55 @@ impl WorkerCtx {
         }
     }
 
+    /// One seqlock write session: copies the worker's cumulative
+    /// counters and stall buckets into its telemetry shard and drains
+    /// the service-time scratch into the per-stage histograms. No-op
+    /// (beyond clearing the scratch) when telemetry is off.
+    fn publish_telemetry(&mut self) {
+        let Some(writer) = self.telemetry.as_mut() else {
+            self.hist_scratch.clear();
+            return;
+        };
+        let depth = self.depths.depth(self.me) as u64;
+        let staleness = self.depths.staleness(self.me) as u64;
+        let stats = &self.stats;
+        let scratch = &mut self.hist_scratch;
+        writer.write(|s| {
+            s.counters.sweeps = stats.sweeps;
+            s.counters
+                .processed_per_stage
+                .copy_from_slice(&stats.processed);
+            s.counters.delivered = stats.delivered;
+            s.counters.bytes_delivered = stats.bytes_delivered;
+            s.counters.drops.copy_from_slice(&stats.drops);
+            s.counters
+                .malformed_per_stage
+                .copy_from_slice(&stats.malformed_per_stage);
+            s.counters
+                .bytes_per_stage
+                .copy_from_slice(&stats.bytes_per_stage);
+            s.counters.decisions = stats.decisions;
+            s.counters.second_choices = stats.second_choices;
+            s.counters.migrations = stats.migrations;
+            s.stall = stats.stall.clone();
+            s.ring_depth = depth;
+            s.depth_staleness = staleness;
+            for &(stage, ns) in scratch.iter() {
+                s.stage_service_ns[stage as usize].record(ns);
+            }
+        });
+        scratch.clear();
+    }
+
     /// Executes the packet's current stage, then advances it through
     /// the pipeline — inline while hops stay local, over a ring when
     /// they leave this worker.
-    fn run_packet(&mut self, mut pkt: DpPkt) {
+    ///
+    /// `t` is the caller's chained attribution timestamp (see `run`):
+    /// stage completion charges `busy`, the steering block charges
+    /// `guard`, and whatever trails the last boundary rides into the
+    /// caller's next one.
+    fn run_packet(&mut self, mut pkt: DpPkt, t: &mut u64) {
         let last_stage = (self.stage_ns.len() - 1) as u8;
         loop {
             let stage = pkt.stage;
@@ -889,16 +1027,25 @@ impl WorkerCtx {
                     .wire
                     .as_deref_mut()
                     .ok_or(WireError::NoBuffer)
-                    .and_then(|buf| wire_stage_work(wire, self.split, stage, buf));
+                    .and_then(|buf| {
+                        wire_stage_work(wire, self.split, stage, buf)
+                            .map(|d| (d, falcon_wire::stage_touched_bytes(buf)))
+                    });
                 match outcome {
-                    Ok(d) => delivery = d,
+                    Ok((d, touched)) => {
+                        delivery = d;
+                        self.stats.bytes_per_stage[stage as usize] += touched;
+                    }
                     Err(_malformed) => {
                         // The frame failed this stage's verification:
                         // drop it here, kernel style (no budget spin —
                         // a drop frees the core early). Both held
                         // routings release so the flow can migrate.
-                        let wire_ns = self.epoch.now_ns().saturating_sub(start);
+                        let now = self.epoch.now_ns();
+                        let wire_ns = now.saturating_sub(start);
                         self.stats.busy_ns += wire_ns;
+                        self.stats.stall.busy_ns += now - *t;
+                        *t = now;
                         let lc = self.lc.max(pkt.lc);
                         if let Some(guard) = pkt.guard.take() {
                             release(&guard, lc);
@@ -929,8 +1076,15 @@ impl WorkerCtx {
                 spin_for_ns(service_ns)
             };
             let done = self.epoch.now_ns();
+            // Busy boundary: the stage spin plus all per-packet
+            // bookkeeping since the previous boundary.
+            self.stats.stall.busy_ns += done - *t;
+            *t = done;
             self.stats.processed[stage as usize] += 1;
             self.stats.busy_ns += spun;
+            if self.telemetry.is_some() {
+                self.hist_scratch.push((stage, spun));
+            }
             pkt.hop_digest = hop_hash_extend(pkt.hop_digest, cp, self.me);
             pkt.hops += 1;
             if self.tracer.is_enabled() {
@@ -1117,6 +1271,11 @@ impl WorkerCtx {
             // migration, the drained predecessor's tickets now
             // happen-before everything this packet stamps next.
             pkt.lc = pkt.lc.max(route.lc);
+            // Guard boundary: the policy choice, flow-table routing and
+            // hand-over-hand guard exchange since the busy boundary.
+            let now = self.epoch.now_ns();
+            self.stats.stall.guard_wait_ns += now - *t;
+            *t = now;
             let stage_in = pkt.stage;
             let gro_cell_stage: u8 = if self.split { 3 } else { 2 };
             if route.worker == self.me {
@@ -1159,6 +1318,21 @@ impl WorkerCtx {
 /// giving up and tail-dropping. Open-loop injection wants backpressure,
 /// not loss, so this is generous; it only trips if workers stall.
 const INJECT_MAX_YIELDS: u32 = 1_000_000;
+
+/// The provenance header stamped on every BENCH artifact: schema
+/// version, git sha, hostname, and this host's core/package summary
+/// from the sysfs topology (identity fallback when unreadable).
+pub fn run_meta(artifact: &str) -> RunMeta {
+    let cores = available_cores();
+    let (packages, summary) = match crate::topology::CpuTopology::detect() {
+        Some(topo) => (
+            topo.packages(),
+            format!("{} logical cpus / {} packages", topo.len(), topo.packages()),
+        ),
+        None => (1, format!("{cores} logical cpus (topology unreadable)")),
+    };
+    RunMeta::collect(artifact, cores, packages, &summary)
+}
 
 /// Runs one scenario to completion and returns the full output.
 ///
@@ -1232,6 +1406,39 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
     // Growing these mid-run reallocates inside the hot path and shows
     // up as latency outliers.
     let order_log_cap = (scenario.packets as usize).saturating_mul(n_stages + 1);
+
+    // Live telemetry: one shard per worker, writers handed out by
+    // worker index; the sampler thread starts before the workers pass
+    // the barrier so the run's first interval is covered.
+    let mut telemetry_setup = scenario.telemetry.as_ref().map(|spec| {
+        let labels = stage_labels(scenario.split_gro)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (hub, writers) = Hub::new(n, labels, DropReason::ALL.len());
+        let interval_ms = if spec.interval_ms == 0 {
+            DEFAULT_INTERVAL_MS
+        } else {
+            spec.interval_ms
+        };
+        let sampler = Sampler::spawn(
+            hub,
+            move || epoch.now_ns(),
+            SamplerConfig {
+                interval_ms,
+                jsonl_path: spec.jsonl_path.clone(),
+                prom_addr: spec.prom_addr.clone(),
+                meta: run_meta("telemetry"),
+            },
+        )
+        .expect("telemetry sampler: bad --prom-addr or unwritable path");
+        (sampler, writers)
+    });
+    let mut telem_writers: Vec<Option<ShardWriter>> = match telemetry_setup.as_mut() {
+        Some((_, writers)) => std::mem::take(writers).into_iter().map(Some).collect(),
+        None => (0..n).map(|_| None).collect(),
+    };
+
     let mut handles = Vec::with_capacity(n);
     for (me, inbound_row) in consumers.into_iter().enumerate() {
         let ctx = WorkerCtx {
@@ -1276,8 +1483,11 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
                 order_log: Vec::with_capacity(order_log_cap),
                 latencies: Vec::with_capacity(scenario.packets as usize),
                 malformed_per_stage: vec![0; n_stages],
+                bytes_per_stage: vec![0; n_stages],
                 ..WorkerStats::default()
             },
+            telemetry: telem_writers[me].take(),
+            hist_scratch: Vec::with_capacity(napi_budget.saturating_mul(n_stages + 1)),
         };
         let barrier = Arc::clone(&barrier);
         let pin = scenario.pin;
@@ -1443,6 +1653,11 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
         .map(|h| h.join().expect("worker thread"))
         .collect();
 
+    // Stop the sampler only after the workers have joined: its final
+    // snapshot then sees every worker's last publish, so the interval
+    // deltas telescope exactly to the final stats.
+    let telemetry = telemetry_setup.map(|(sampler, _)| sampler.finish());
+
     RunOutput {
         policy: scenario.policy,
         workers: n,
@@ -1460,6 +1675,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
         bytes_injected,
         corrupted_segments,
         meta: scenario.trace_meta(n),
+        telemetry,
     }
 }
 
@@ -1483,6 +1699,52 @@ mod tests {
             pin: false,
             trace_capacity: 0,
             ..Scenario::default()
+        }
+    }
+
+    #[test]
+    fn telemetry_shards_match_final_stats_and_stall_closes() {
+        let mut s = quick(PolicyKind::Falcon, 2);
+        s.telemetry = Some(TelemetrySpec {
+            interval_ms: 1,
+            ..TelemetrySpec::default()
+        });
+        let out = run_scenario(&s);
+        let run = out.telemetry.as_ref().expect("telemetry run");
+        assert!(!run.samples.is_empty());
+        let last = run.samples.last().expect("final snapshot");
+        assert_eq!(last.workers.len(), out.workers);
+        for (w, stats) in out.workers_stats.iter().enumerate() {
+            let shard = &last.workers[w];
+            // The sampler's final snapshot runs after the workers have
+            // joined, so the cumulative shard equals the final stats.
+            assert_eq!(shard.counters.delivered, stats.delivered);
+            assert_eq!(shard.counters.sweeps, stats.sweeps);
+            assert_eq!(shard.counters.processed_per_stage, stats.processed);
+            assert_eq!(shard.counters.drops.as_slice(), &stats.drops[..]);
+            assert_eq!(shard.counters.decisions, stats.decisions);
+            assert_eq!(shard.counters.migrations, stats.migrations);
+            assert_eq!(shard.stall, stats.stall);
+            // Chained attribution: the five buckets sum to wall-clock
+            // exactly, not just ≥ 95 %.
+            assert_eq!(
+                stats.stall.attributed_ns(),
+                stats.stall.wall_ns,
+                "worker {w} stall buckets must close"
+            );
+            assert!(stats.stall.wall_ns > 0);
+            // The depth gauge's documented staleness bound, measured:
+            // no batched update ever exceeded one NAPI budget.
+            assert!(
+                shard.depth_staleness <= s.napi_budget as u64,
+                "worker {w} staleness {} > NAPI budget {}",
+                shard.depth_staleness,
+                s.napi_budget
+            );
+            // Every stage execution landed one service-time sample.
+            let hist_count: u64 = shard.stage_service_ns.iter().map(|h| h.count()).sum();
+            let processed: u64 = stats.processed.iter().sum();
+            assert_eq!(hist_count, processed, "worker {w} histogram coverage");
         }
     }
 

@@ -42,10 +42,13 @@ pub mod topology;
 
 pub use affinity::{available_cores, clamp_workers, pin_current_thread};
 pub use executor::{
-    run_scenario, stage_labels, sweep_order, RunOutput, Scenario, TrafficShape, WorkerStats,
-    PNIC_SPLIT_IF, SPLIT_STAGES, STAGES,
+    run_meta, run_scenario, stage_labels, sweep_order, RunOutput, Scenario, TelemetrySpec,
+    TrafficShape, WorkerStats, PNIC_SPLIT_IF, SPLIT_STAGES, STAGES,
 };
-pub use report::{DataplaneComparison, DataplaneReport, LatencySummary, SweepPoint, SweepReport};
+pub use report::{
+    DataplaneComparison, DataplaneReport, LatencySummary, SweepPoint, SweepReport,
+    TelemetryOverhead, TelemetrySummary,
+};
 pub use spin::{spin_for_ns, Backoff, Epoch, IdleTier};
 pub use spsc::{ring, Consumer, Producer};
 pub use steer::{DepthGauge, FlowTable, InflightGuard, Policy, PolicyKind};

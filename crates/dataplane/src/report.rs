@@ -9,9 +9,10 @@
 
 use std::collections::BTreeMap;
 
+use falcon_telemetry::{RunMeta, StallBreakdown};
 use serde::Serialize;
 
-use crate::executor::{RunOutput, Scenario};
+use crate::executor::{run_meta, RunOutput, Scenario};
 
 /// Summary statistics over one-way delivery latencies.
 #[derive(Debug, Clone, Serialize)]
@@ -124,6 +125,82 @@ pub struct DataplaneReport {
     /// Wire mode: malformed-frame drops keyed by the label of the
     /// stage whose verification caught them.
     pub malformed_per_stage: BTreeMap<String, u64>,
+    /// Wire mode: bytes each stage touched, keyed by stage label
+    /// (on-wire size until decap, inner-frame size after).
+    pub bytes_per_stage: BTreeMap<String, u64>,
+    /// Per-worker stall attribution: where each worker's wall-clock
+    /// went (busy / push-stalled / pop-sweeping / guard-steering /
+    /// idle), summing to that worker's `wall_ns` by construction.
+    pub per_worker_stall: Vec<StallBreakdown>,
+    /// Smallest per-worker stall coverage (attributed / wall); the
+    /// conformance bar is ≥ 0.95, the construction gives 1.0.
+    pub stall_coverage_min: f64,
+    /// Live-telemetry summary, when the run sampled shards.
+    pub telemetry: Option<TelemetrySummary>,
+}
+
+/// What the telemetry sampler did during one run, condensed for the
+/// artifact (the full time series streams to `BENCH_telemetry.jsonl`).
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetrySummary {
+    /// Sampling interval actually used, ms.
+    pub interval_ms: u64,
+    /// Snapshots taken (the last one post-quiescence).
+    pub samples: u64,
+    /// JSONL artifact path, if streaming was on.
+    pub jsonl_path: Option<String>,
+    /// Data lines written to the JSONL artifact.
+    pub jsonl_lines: u64,
+    /// First JSONL I/O error, if any.
+    pub jsonl_error: Option<String>,
+    /// Bound Prometheus exposition address, if serving was on.
+    pub prom_addr: Option<String>,
+    /// Scrapes the exposition listener answered.
+    pub scrapes: u64,
+    /// Largest depth-gauge staleness any worker observed (bounded by
+    /// one NAPI budget; see `DepthGauge`).
+    pub max_depth_staleness: u64,
+}
+
+/// The telemetry-overhead experiment recorded side-by-side in
+/// `BENCH_wire.json`: the same Falcon wire scenario run with the
+/// sampler off and on, so the artifact proves what observability
+/// costs. The acceptance bar is `ratio ≥ 0.98` (≤ 2 % goodput loss at
+/// the default interval).
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetryOverhead {
+    /// Sampling interval of the telemetry-on run, ms.
+    pub interval_ms: u64,
+    /// Goodput with telemetry off, Gbit/s.
+    pub goodput_off_gbps: f64,
+    /// Goodput with telemetry on, Gbit/s.
+    pub goodput_on_gbps: f64,
+    /// Throughput with telemetry off, pps.
+    pub throughput_off_pps: f64,
+    /// Throughput with telemetry on, pps.
+    pub throughput_on_pps: f64,
+    /// `on / off` goodput ratio (pps ratio outside wire mode);
+    /// 1.0 when the baseline is degenerate.
+    pub ratio: f64,
+}
+
+impl TelemetryOverhead {
+    /// Pairs a telemetry-off baseline with the telemetry-on run.
+    pub fn new(off: &DataplaneReport, on: &DataplaneReport, interval_ms: u64) -> Self {
+        let (num, den) = if off.wire && off.goodput_gbps > 0.0 {
+            (on.goodput_gbps, off.goodput_gbps)
+        } else {
+            (on.throughput_pps, off.throughput_pps)
+        };
+        TelemetryOverhead {
+            interval_ms,
+            goodput_off_gbps: off.goodput_gbps,
+            goodput_on_gbps: on.goodput_gbps,
+            throughput_off_pps: off.throughput_pps,
+            throughput_on_pps: on.throughput_pps,
+            ratio: if den > 0.0 { num / den } else { 1.0 },
+        }
+    }
 }
 
 impl DataplaneReport {
@@ -205,6 +282,37 @@ impl DataplaneReport {
                 .zip(out.malformed_per_stage().iter())
                 .map(|(l, &n)| (l.to_string(), n))
                 .collect(),
+            bytes_per_stage: labels
+                .iter()
+                .zip(out.bytes_per_stage().iter())
+                .map(|(l, &n)| (l.to_string(), n))
+                .collect(),
+            per_worker_stall: out.workers_stats.iter().map(|w| w.stall.clone()).collect(),
+            stall_coverage_min: out
+                .workers_stats
+                .iter()
+                .map(|w| w.stall.coverage())
+                .fold(1.0f64, f64::min),
+            telemetry: out.telemetry.as_ref().map(|run| TelemetrySummary {
+                interval_ms: run.interval_ms,
+                samples: run.samples.len() as u64,
+                jsonl_path: run.jsonl_path.clone(),
+                jsonl_lines: run.jsonl_lines,
+                jsonl_error: run.jsonl_error.clone(),
+                prom_addr: run.prom_addr.clone(),
+                scrapes: run.scrapes,
+                max_depth_staleness: run
+                    .samples
+                    .last()
+                    .map(|s| {
+                        s.workers
+                            .iter()
+                            .map(|w| w.depth_staleness)
+                            .max()
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0),
+            }),
         }
     }
 }
@@ -212,6 +320,8 @@ impl DataplaneReport {
 /// The headline artifact: vanilla vs Falcon on the same scenario.
 #[derive(Debug, Clone, Serialize)]
 pub struct DataplaneComparison {
+    /// Provenance header shared by every BENCH artifact.
+    pub meta: RunMeta,
     /// Logical cores on the host (speedups on <4 cores are not
     /// meaningful; consumers should gate on this).
     pub host_cores: usize,
@@ -233,6 +343,9 @@ pub struct DataplaneComparison {
     pub falcon: DataplaneReport,
     /// `falcon.throughput_pps / vanilla.throughput_pps`.
     pub speedup: f64,
+    /// The sampler-on vs sampler-off cost record, when the comparison
+    /// ran the overhead experiment (wire + telemetry runs).
+    pub telemetry_overhead: Option<TelemetryOverhead>,
 }
 
 impl DataplaneComparison {
@@ -243,7 +356,9 @@ impl DataplaneComparison {
         } else {
             0.0
         };
+        let artifact = if falcon.wire { "wire" } else { "dataplane" };
         DataplaneComparison {
+            meta: run_meta(artifact),
             host_cores: crate::affinity::available_cores(),
             workers: falcon.workers,
             packets: scenario.packets,
@@ -254,6 +369,7 @@ impl DataplaneComparison {
             vanilla,
             falcon,
             speedup,
+            telemetry_overhead: None,
         }
     }
 }
@@ -277,6 +393,8 @@ pub struct SweepPoint {
 /// [`DataplaneComparison`].
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepReport {
+    /// Provenance header shared by every BENCH artifact.
+    pub meta: RunMeta,
     /// Logical cores on the host.
     pub host_cores: usize,
     /// Whether every point ran the five-hop split pipeline.

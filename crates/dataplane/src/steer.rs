@@ -89,9 +89,18 @@ struct PaddedCounter(AtomicUsize);
 /// same worker just made — the feedback loop that matters for
 /// two-choice stability. Cross-worker error stays bounded by one NAPI
 /// budget and self-corrects every sweep.
+///
+/// That bound is not just documentation: every batched update reports
+/// its size through [`note_staleness`](Self::note_staleness), and the
+/// per-worker maximum is exported as the sampled `depth_staleness`
+/// metric — so telemetry (and the conformance tests) can verify the
+/// gauge never went staler than one NAPI budget.
 #[derive(Debug)]
 pub struct DepthGauge {
     depths: Vec<PaddedCounter>,
+    /// Largest single batched adjustment observed per worker — the
+    /// realized staleness bound of that worker's depth signal.
+    staleness: Vec<PaddedCounter>,
     busy_depth: usize,
 }
 
@@ -100,6 +109,7 @@ impl DepthGauge {
     pub fn new(workers: usize, busy_depth: usize) -> Self {
         DepthGauge {
             depths: (0..workers).map(|_| PaddedCounter::default()).collect(),
+            staleness: (0..workers).map(|_| PaddedCounter::default()).collect(),
             busy_depth: busy_depth.max(1),
         }
     }
@@ -157,6 +167,26 @@ impl DepthGauge {
     #[inline]
     pub fn load_plus(&self, worker: usize, extra: usize) -> f64 {
         ((self.depth(worker) + extra) as f64 / self.busy_depth as f64).min(1.0)
+    }
+
+    /// Records that `worker`'s depth signal was stale by `n` packets
+    /// for one batched update: a consumer's up-front `sub` of a batch
+    /// it is still serving, or a producer's staged-but-unflushed
+    /// outbound buffer published in one `add`. Keeps the per-worker
+    /// maximum; the executor calls this at every batched gauge touch,
+    /// so the exported metric is the *realized* staleness bound.
+    #[inline]
+    pub fn note_staleness(&self, worker: usize, n: usize) {
+        if n > 0 {
+            self.staleness[worker].0.fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Largest batched-update staleness observed for `worker` so far.
+    /// The documented bound is one NAPI budget (`busy_depth`).
+    #[inline]
+    pub fn staleness(&self, worker: usize) -> usize {
+        self.staleness[worker].0.load(Ordering::Relaxed)
     }
 
     /// Number of workers tracked.
@@ -412,6 +442,20 @@ impl FlowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn depth_gauge_staleness_tracks_max_batched_update() {
+        let g = DepthGauge::new(2, 64);
+        assert_eq!(g.staleness(0), 0);
+        g.note_staleness(0, 5);
+        g.note_staleness(0, 3);
+        assert_eq!(g.staleness(0), 5, "keeps the maximum");
+        g.note_staleness(0, 64);
+        assert_eq!(g.staleness(0), 64);
+        g.note_staleness(1, 0);
+        assert_eq!(g.staleness(1), 0, "zero-sized updates don't count");
+        assert_eq!(g.staleness(0), 64);
+    }
 
     #[test]
     fn vanilla_serializes_all_stages() {

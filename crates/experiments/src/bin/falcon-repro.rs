@@ -22,7 +22,9 @@ fn usage() {
         "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
          [--stage-latency] [--dataplane] [--wire] [--split-gro] [--workers <n>] \
          [--flows <n>] [--dataplane-out <path>] [--dataplane-trace <out.json>] \
-         [--sweep] [--sweep-out <path>] <fig-id>... | all\n\
+         [--sweep] [--sweep-out <path>] [--telemetry] \
+         [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
+         [--prom-addr <ip:port>] <fig-id>... | all\n\
          --dataplane runs the modeled rx path on real pinned threads and \
          writes a vanilla-vs-falcon comparison to --dataplane-out \
          (default BENCH_dataplane.json); --wire makes every injected unit \
@@ -33,7 +35,14 @@ fn usage() {
          halves) on the Figure-13 TCP-4KB shape; --sweep runs the \
          real-thread scaling grid (1..=--flows x 1..=--workers, both \
          policies per point) and writes it to --sweep-out (default \
-         BENCH_sweep.json), failing if the order audit flags any point\n\
+         BENCH_sweep.json), failing if the order audit flags any point; \
+         --telemetry attaches the live sampler to the --dataplane falcon \
+         run (per-worker stall attribution, stage service-time \
+         histograms, ring-depth gauges), streams per-interval deltas to \
+         --telemetry-out (default BENCH_telemetry.jsonl), serves \
+         Prometheus text exposition on --prom-addr if given, and records \
+         the instrumentation's goodput cost (telemetry on vs off) in the \
+         comparison's telemetry_overhead field\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -57,6 +66,10 @@ fn main() -> ExitCode {
     let mut dataplane_trace: Option<String> = None;
     let mut run_sweep = false;
     let mut sweep_out = "BENCH_sweep.json".to_string();
+    let mut telemetry = false;
+    let mut telemetry_interval_ms: u64 = 0;
+    let mut telemetry_out = "BENCH_telemetry.jsonl".to_string();
+    let mut prom_addr: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -104,6 +117,40 @@ fn main() -> ExitCode {
                 Some(path) => dataplane_trace = Some(path),
                 None => {
                     eprintln!("--dataplane-trace requires an output path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--telemetry" => telemetry = true,
+            "--telemetry-interval-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => {
+                    telemetry = true;
+                    telemetry_interval_ms = n;
+                }
+                _ => {
+                    eprintln!("--telemetry-interval-ms requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--telemetry-out" => match args.next() {
+                Some(path) => {
+                    telemetry = true;
+                    telemetry_out = path;
+                }
+                None => {
+                    eprintln!("--telemetry-out requires a path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--prom-addr" => match args.next() {
+                Some(addr) => {
+                    telemetry = true;
+                    prom_addr = Some(addr);
+                }
+                None => {
+                    eprintln!("--prom-addr requires an ip:port");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -197,7 +244,12 @@ fn main() -> ExitCode {
             if wire { ", wire bytes" } else { "" },
             if split_gro { ", split-gro 5-stage" } else { "" }
         );
-        let cmp = dataplane::run_comparison(scale, workers, flows, split_gro, wire);
+        let spec = telemetry.then(|| falcon_dataplane::TelemetrySpec {
+            interval_ms: telemetry_interval_ms,
+            jsonl_path: Some(telemetry_out.clone()),
+            prom_addr: prom_addr.clone(),
+        });
+        let cmp = dataplane::run_comparison_with(scale, workers, flows, split_gro, wire, spec);
         if json {
             println!(
                 "{}",
@@ -222,6 +274,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {out_path}");
+        if telemetry {
+            eprintln!("wrote {telemetry_out} (per-interval telemetry deltas)");
+        }
         if let Some(path) = dataplane_trace {
             eprintln!("tracing a falcon dataplane run...");
             let trace_json = dataplane::chrome_trace(scale, workers, flows, split_gro);

@@ -20,7 +20,7 @@
 
 use falcon_dataplane::{
     run_scenario, DataplaneComparison, DataplaneReport, PolicyKind, Scenario, SweepPoint,
-    SweepReport, TrafficShape,
+    SweepReport, TelemetryOverhead, TelemetrySpec, TrafficShape,
 };
 use falcon_trace::chrome;
 
@@ -77,14 +77,85 @@ pub fn run_comparison(
     split_gro: bool,
     wire: bool,
 ) -> DataplaneComparison {
+    run_comparison_with(scale, workers, flows, split_gro, wire, None)
+}
+
+/// [`run_comparison`] with live telemetry on the Falcon run.
+///
+/// When `telemetry` is set, the Falcon leg runs with the sampler (and
+/// its exporters) attached, and a *third* pass — Falcon with telemetry
+/// off — measures what the instrumentation costs: the pair lands in
+/// `telemetry_overhead` so `BENCH_wire.json` records the on/off goodput
+/// side by side. The vanilla leg always runs bare; the comparison's
+/// headline numbers stay an apples-to-apples policy contest.
+pub fn run_comparison_with(
+    scale: Scale,
+    workers: usize,
+    flows: u64,
+    split_gro: bool,
+    wire: bool,
+    telemetry: Option<TelemetrySpec>,
+) -> DataplaneComparison {
     let scenario = scenario_for(scale, workers, flows, split_gro, wire);
     let vanilla = DataplaneReport::from_run(&run_scenario(
         &scenario.clone().with_policy(PolicyKind::Vanilla),
     ));
-    let falcon = DataplaneReport::from_run(&run_scenario(
-        &scenario.clone().with_policy(PolicyKind::Falcon),
-    ));
-    DataplaneComparison::new(&scenario, vanilla, falcon)
+    let mut falcon_scenario = scenario.clone().with_policy(PolicyKind::Falcon);
+    falcon_scenario.telemetry = telemetry.clone();
+    let falcon = DataplaneReport::from_run(&run_scenario(&falcon_scenario));
+    let mut cmp = DataplaneComparison::new(&scenario, vanilla, falcon);
+    if let Some(spec) = telemetry {
+        let interval_ms = if spec.interval_ms == 0 {
+            falcon_telemetry::DEFAULT_INTERVAL_MS
+        } else {
+            spec.interval_ms
+        };
+        // Scheduler noise on a shared host is one-sided (preemption
+        // only slows a run down), so each side of the overhead pair is
+        // best-of-3: the max goodput per configuration estimates its
+        // unpreempted capacity, and the systematic telemetry cost
+        // survives the ratio while the noise doesn't. The primary
+        // Falcon leg counts as one of the telemetry-on runs; its
+        // exporters already wrote the artifacts, so the extra on-runs
+        // keep them quiet.
+        let key = |r: &DataplaneReport| {
+            if r.wire {
+                r.goodput_gbps
+            } else {
+                r.throughput_pps
+            }
+        };
+        let pick = |best: DataplaneReport, next: DataplaneReport| {
+            if key(&next) > key(&best) {
+                next
+            } else {
+                best
+            }
+        };
+        let mut best_on = cmp.falcon.clone();
+        for _ in 0..2 {
+            let mut on = scenario.clone().with_policy(PolicyKind::Falcon);
+            on.telemetry = Some(TelemetrySpec {
+                interval_ms: spec.interval_ms,
+                jsonl_path: None,
+                prom_addr: None,
+            });
+            best_on = pick(best_on, DataplaneReport::from_run(&run_scenario(&on)));
+        }
+        let mut best_off: Option<DataplaneReport> = None;
+        for _ in 0..3 {
+            let off = DataplaneReport::from_run(&run_scenario(
+                &scenario.clone().with_policy(PolicyKind::Falcon),
+            ));
+            best_off = Some(match best_off {
+                Some(best) => pick(best, off),
+                None => off,
+            });
+        }
+        let best_off = best_off.expect("three off-runs");
+        cmp.telemetry_overhead = Some(TelemetryOverhead::new(&best_off, &best_on, interval_ms));
+    }
+    cmp
 }
 
 /// Renders one report as an indented block.
@@ -148,6 +219,30 @@ fn render_report(r: &DataplaneReport, out: &mut String) {
         "            ordering: {} checks, {} violations",
         r.order_checks, r.reorder_violations,
     );
+    // Where the cycles went, summed over workers: this is the line that
+    // explains a goodput gap (a falcon run is "fast" because its idle
+    // and pop-stall shares shrink, not because busy work got cheaper).
+    let wall: u64 = r.per_worker_stall.iter().map(|s| s.wall_ns).sum();
+    if wall > 0 {
+        let share = |n: u64| n as f64 / wall as f64 * 100.0;
+        let _ = writeln!(
+            out,
+            "            stall attribution: busy {:.1}%  push {:.1}%  pop {:.1}%  guard {:.1}%  idle {:.1}%  (coverage min {:.4})",
+            share(r.per_worker_stall.iter().map(|s| s.busy_ns).sum()),
+            share(r.per_worker_stall.iter().map(|s| s.stall_push_ns).sum()),
+            share(r.per_worker_stall.iter().map(|s| s.stall_pop_ns).sum()),
+            share(r.per_worker_stall.iter().map(|s| s.guard_wait_ns).sum()),
+            share(r.per_worker_stall.iter().map(|s| s.idle_ns).sum()),
+            r.stall_coverage_min,
+        );
+    }
+    if let Some(t) = &r.telemetry {
+        let _ = writeln!(
+            out,
+            "            telemetry: {} samples @ {} ms  jsonl {} line(s)  scrapes {}  max depth staleness {}",
+            t.samples, t.interval_ms, t.jsonl_lines, t.scrapes, t.max_depth_staleness,
+        );
+    }
 }
 
 /// Human-readable comparison summary.
@@ -176,6 +271,13 @@ pub fn render(cmp: &DataplaneComparison) -> String {
         "  speedup   {:.2}x (falcon/vanilla throughput)",
         cmp.speedup
     );
+    if let Some(o) = &cmp.telemetry_overhead {
+        let _ = writeln!(
+            out,
+            "  telemetry overhead: on/off ratio {:.4} at {} ms interval ({:.3} vs {:.3} Gbit/s)",
+            o.ratio, o.interval_ms, o.goodput_on_gbps, o.goodput_off_gbps,
+        );
+    }
     if cmp.host_cores < 4 {
         let _ = writeln!(
             out,
@@ -250,6 +352,7 @@ pub fn run_sweep(
         }
     }
     SweepReport {
+        meta: falcon_dataplane::run_meta("sweep"),
         host_cores: falcon_dataplane::available_cores(),
         split_gro,
         shape,
@@ -312,8 +415,22 @@ pub fn chrome_trace(scale: Scale, workers: usize, flows: u64, split_gro: bool) -
         scenario_for(scale, workers, flows, split_gro, false).with_policy(PolicyKind::Falcon);
     scenario.packets = scenario.packets.min(3_000);
     scenario.trace_capacity = 64 * 1024;
+    // A traced run also carries telemetry: the sampler's snapshots
+    // become Perfetto counter tracks (ring depth, stall shares) drawn
+    // above the per-worker slice tracks. A short interval keeps the
+    // counters dense enough to see on a run this brief.
+    scenario.telemetry = Some(TelemetrySpec {
+        interval_ms: 5,
+        jsonl_path: None,
+        prom_addr: None,
+    });
     let out = run_scenario(&scenario);
-    chrome::export(&out.merged_events(), &out.meta)
+    let tracks = out
+        .telemetry
+        .as_ref()
+        .map(|run| falcon_telemetry::counter_tracks(&run.samples))
+        .unwrap_or_default();
+    chrome::export_with_counters(&out.merged_events(), &out.meta, &tracks)
 }
 
 #[cfg(test)]
@@ -374,6 +491,44 @@ mod tests {
         assert!(text.contains("pnic_gro"), "placement line names the half");
         let json = serde_json::to_string(&cmp).expect("serializes");
         assert!(json.contains("\"pnic_gro\""));
+    }
+
+    #[test]
+    fn quick_telemetry_comparison_records_overhead_and_meta() {
+        let cmp = run_comparison_with(
+            Scale::Quick,
+            2,
+            1,
+            false,
+            true,
+            Some(TelemetrySpec {
+                interval_ms: 2,
+                jsonl_path: None,
+                prom_addr: None,
+            }),
+        );
+        // Provenance stamp rides on every comparison artifact.
+        assert_eq!(cmp.meta.schema_version, 1);
+        assert_eq!(cmp.meta.artifact, "wire");
+        assert!(!cmp.meta.created_utc.is_empty());
+        // The falcon leg carried the sampler; vanilla stayed bare.
+        let t = cmp.falcon.telemetry.as_ref().expect("telemetry summary");
+        assert!(t.samples >= 1);
+        assert_eq!(t.interval_ms, 2);
+        assert!(cmp.vanilla.telemetry.is_none());
+        // The third (telemetry-off) pass produced the overhead record.
+        let o = cmp.telemetry_overhead.as_ref().expect("overhead measured");
+        assert_eq!(o.interval_ms, 2);
+        assert!(o.ratio > 0.0 && o.ratio.is_finite());
+        assert!(o.goodput_on_gbps > 0.0);
+        assert!(o.goodput_off_gbps > 0.0);
+        let text = render(&cmp);
+        assert!(text.contains("telemetry overhead"), "{text}");
+        assert!(text.contains("stall attribution"), "{text}");
+        let json = serde_json::to_string(&cmp).expect("serializes");
+        assert!(json.contains("\"telemetry_overhead\""));
+        assert!(json.contains("\"schema_version\""));
+        assert!(json.contains("\"stall_coverage_min\""));
     }
 
     #[test]

@@ -163,6 +163,35 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Returns the histogram of the samples recorded into `self` after
+    /// the snapshot `earlier` was taken, by bucket-wise subtraction.
+    ///
+    /// This is what makes per-worker histogram *shards* snapshotable:
+    /// a sampler can keep the previous cumulative snapshot and compute
+    /// the interval histogram without coordinating with the writer.
+    /// `earlier` must be a prior snapshot of the same recording stream
+    /// (every bucket of `earlier` ≤ the matching bucket of `self`);
+    /// mismatched snapshots saturate to zero rather than underflow.
+    ///
+    /// The delta's `min`/`max` are bucket-resolution approximations:
+    /// the exact extremes of the interval are not recoverable from two
+    /// cumulative snapshots.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (&cur, &old)) in self.counts.iter().zip(earlier.counts.iter()).enumerate() {
+            let d = cur.saturating_sub(old);
+            if d > 0 {
+                let rep = bucket_value(i);
+                out.counts[i] = d;
+                out.count += d;
+                out.min = out.min.min(rep);
+                out.max = out.max.max(rep);
+            }
+        }
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+
     /// Iterates over `(representative_value, count)` for non-empty
     /// buckets, in increasing value order.
     pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -301,6 +330,24 @@ mod tests {
         assert_eq!(a.max(), 200);
         let p50 = a.percentile(50.0);
         assert!((98..=103).contains(&p50), "merged p50 {p50}");
+    }
+
+    #[test]
+    fn delta_since_recovers_interval() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = h.clone();
+        for v in 1_000..1_050u64 {
+            h.record(v);
+        }
+        let d = h.delta_since(&snap);
+        assert_eq!(d.count(), 50);
+        assert!(d.min() >= 999, "delta min {} in interval", d.min());
+        assert!(d.percentile(100.0) >= 1_049);
+        // Snapshot of an unchanged stream is empty.
+        assert_eq!(h.delta_since(&h.clone()).count(), 0);
     }
 
     #[test]

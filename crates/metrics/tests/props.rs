@@ -71,6 +71,63 @@ proptest! {
         }
     }
 
+    /// Merging per-worker shards is equivalent to recording the whole
+    /// stream into one histogram — the property the telemetry sampler
+    /// relies on when it folds worker shards into a run-level view.
+    #[test]
+    fn sharded_recording_merges_to_single(
+        values in prop::collection::vec(1u64..10_000_000, 1..400),
+        shards in 1usize..6,
+    ) {
+        let mut single = Histogram::new();
+        let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = Histogram::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.count(), single.count());
+        prop_assert_eq!(merged.min(), single.min());
+        prop_assert_eq!(merged.max(), single.max());
+        prop_assert!((merged.mean() - single.mean()).abs() < 1e-6);
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), single.percentile(p));
+        }
+    }
+
+    /// An interval view (`delta_since` a snapshot) has bucket-exact
+    /// counts and sum: it matches a histogram that recorded only the
+    /// suffix, up to the bucketing's relative error on percentiles
+    /// (the delta's min/max are bucket representatives, which shifts
+    /// the max clamp by at most one bucket width).
+    #[test]
+    fn delta_since_equals_suffix(
+        prefix in prop::collection::vec(1u64..10_000_000, 0..200),
+        suffix in prop::collection::vec(1u64..10_000_000, 1..200),
+    ) {
+        let mut cumulative = Histogram::new();
+        for &v in &prefix {
+            cumulative.record(v);
+        }
+        let snapshot = cumulative.clone();
+        let mut expect = Histogram::new();
+        for &v in &suffix {
+            cumulative.record(v);
+            expect.record(v);
+        }
+        let delta = cumulative.delta_since(&snapshot);
+        prop_assert_eq!(delta.count(), expect.count());
+        prop_assert!((delta.mean() - expect.mean()).abs() < 1e-6);
+        for p in [50.0, 99.0, 100.0] {
+            let (d, e) = (delta.percentile(p), expect.percentile(p));
+            let err = (d as f64 - e as f64).abs() / e.max(1) as f64;
+            prop_assert!(err < 1.0 / 64.0 + 1e-9, "p{p}: delta {d} vs suffix {e}");
+        }
+    }
+
     /// Percentiles are monotone in p.
     #[test]
     fn percentiles_monotone(values in prop::collection::vec(0u64..1_000_000, 1..300)) {

@@ -1,0 +1,107 @@
+//! Builds Perfetto counter tracks from the sampler's time series, so
+//! queue depths and stall fractions render as stacked charts under the
+//! existing slice timeline (`falcon-repro --dataplane-trace`).
+
+use falcon_trace::{CounterPoint, CounterTrack};
+
+use crate::sample::TelemetrySample;
+
+/// Converts sampler output into per-worker counter tracks:
+///
+/// * `telemetry:qdepth` — the worker's inbound depth-gauge reading
+///   (plus the max staleness bound observed), one point per tick;
+/// * `telemetry:stall` — the five stall-attribution buckets as
+///   fractions of each interval's wall time, stacked to ~1.0.
+///
+/// Track pids are worker indices, matching the dataplane trace's
+/// one-process-per-core convention (worker *w* runs on core pid *w*
+/// in unpinned runs; the counters sit on the same timeline either
+/// way).
+pub fn counter_tracks(samples: &[TelemetrySample]) -> Vec<CounterTrack> {
+    let workers = samples.first().map_or(0, |s| s.workers.len());
+    let mut out = Vec::with_capacity(workers * 2);
+    for w in 0..workers {
+        let mut depth = CounterTrack {
+            name: format!("telemetry:qdepth w{w}"),
+            pid: w,
+            points: Vec::with_capacity(samples.len()),
+        };
+        for s in samples {
+            depth.points.push(CounterPoint {
+                at_ns: s.t_ns,
+                values: vec![
+                    ("depth".to_string(), s.workers[w].ring_depth as f64),
+                    (
+                        "staleness_max".to_string(),
+                        s.workers[w].depth_staleness as f64,
+                    ),
+                ],
+            });
+        }
+        let mut stall = CounterTrack {
+            name: format!("telemetry:stall w{w}"),
+            pid: w,
+            points: Vec::with_capacity(samples.len().saturating_sub(1)),
+        };
+        for pair in samples.windows(2) {
+            let d = pair[1].workers[w]
+                .stall
+                .delta_since(&pair[0].workers[w].stall);
+            if d.wall_ns == 0 {
+                continue;
+            }
+            let f = |ns: u64| ns as f64 / d.wall_ns as f64;
+            stall.points.push(CounterPoint {
+                at_ns: pair[1].t_ns,
+                values: vec![
+                    ("busy".to_string(), f(d.busy_ns)),
+                    ("push".to_string(), f(d.stall_push_ns)),
+                    ("pop".to_string(), f(d.stall_pop_ns)),
+                    ("guard".to_string(), f(d.guard_wait_ns)),
+                    ("idle".to_string(), f(d.idle_ns)),
+                ],
+            });
+        }
+        out.push(depth);
+        out.push(stall);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::WorkerSample;
+
+    #[test]
+    fn tracks_cover_depth_and_stall_fractions() {
+        let mut w0_a = WorkerSample::zeroed(2, 5);
+        w0_a.ring_depth = 4;
+        let mut w0_b = w0_a.clone();
+        w0_b.ring_depth = 2;
+        w0_b.stall.busy_ns = 60;
+        w0_b.stall.stall_pop_ns = 20;
+        w0_b.stall.idle_ns = 20;
+        w0_b.stall.wall_ns = 100;
+        let samples = vec![
+            TelemetrySample {
+                t_ns: 1_000,
+                workers: vec![w0_a],
+            },
+            TelemetrySample {
+                t_ns: 2_000,
+                workers: vec![w0_b],
+            },
+        ];
+        let tracks = counter_tracks(&samples);
+        assert_eq!(tracks.len(), 2);
+        let depth = &tracks[0];
+        assert_eq!(depth.points.len(), 2);
+        assert_eq!(depth.points[1].values[0].1, 2.0);
+        let stall = &tracks[1];
+        assert_eq!(stall.points.len(), 1);
+        let total: f64 = stall.points[0].values.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions stack to 1.0");
+        assert_eq!(counter_tracks(&[]).len(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! JSONL time-series exporter: one header line of [`RunMeta`], then
+//! one line per (sampling interval, worker) holding the *delta* of
+//! every monotonic counter plus instantaneous gauges and interval
+//! service-time summaries. Append-only and line-oriented so a run can
+//! be tailed while in flight and the artifact survives a crash
+//! mid-run.
+
+use falcon_metrics::Histogram;
+use falcon_trace::DropReason;
+use serde::{Serialize, Value};
+
+use crate::meta::RunMeta;
+use crate::shard::WorkerSample;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(v as i128)
+}
+
+/// Interval summary of a service-time histogram (the full bucket array
+/// stays out of the artifact on purpose — 3 712 buckets per stage per
+/// interval would dwarf the data).
+fn hist_summary(stage: &str, h: &Histogram) -> Value {
+    obj(vec![
+        ("stage", s(stage)),
+        ("count", int(h.count())),
+        ("mean_ns", Value::Float(h.mean())),
+        ("p50_ns", int(h.percentile(50.0))),
+        ("p99_ns", int(h.percentile(99.0))),
+        ("max_ns", int(h.max())),
+    ])
+}
+
+/// The artifact's first line: schema + provenance + run shape.
+pub fn header_line(meta: &RunMeta, interval_ms: u64, workers: usize, stages: &[String]) -> String {
+    let v = obj(vec![
+        ("kind", s("header")),
+        ("meta", meta.to_value()),
+        ("interval_ms", int(interval_ms)),
+        ("workers", int(workers as u64)),
+        (
+            "stages",
+            Value::Array(stages.iter().map(|l| s(l)).collect()),
+        ),
+    ]);
+    serde_json::to_string(&v).expect("telemetry header always serializes")
+}
+
+/// One line per worker for a sampling tick: counter deltas vs the
+/// previous snapshot, gauges as-is, and per-stage interval histograms.
+pub fn sample_lines(
+    t_ns: u64,
+    cur: &[WorkerSample],
+    prev: &[WorkerSample],
+    stages: &[String],
+) -> Vec<String> {
+    cur.iter()
+        .zip(prev.iter())
+        .enumerate()
+        .map(|(w, (c, p))| {
+            let d = c.counters.delta_since(&p.counters);
+            let stall = c.stall.delta_since(&p.stall);
+            let drops = obj(DropReason::ALL
+                .iter()
+                .map(|r| (r.label(), int(*d.drops.get(r.index()).unwrap_or(&0))))
+                .collect());
+            let service = Value::Array(
+                c.stage_service_ns
+                    .iter()
+                    .zip(p.stage_service_ns.iter())
+                    .enumerate()
+                    .map(|(i, (ch, ph))| {
+                        let label = stages.get(i).map(String::as_str).unwrap_or("?");
+                        hist_summary(label, &ch.delta_since(ph))
+                    })
+                    .collect(),
+            );
+            let v = obj(vec![
+                ("kind", s("sample")),
+                ("t_ns", int(t_ns)),
+                ("worker", int(w as u64)),
+                ("sweeps", int(d.sweeps)),
+                (
+                    "processed_per_stage",
+                    Value::Array(d.processed_per_stage.iter().map(|&n| int(n)).collect()),
+                ),
+                ("delivered", int(d.delivered)),
+                ("bytes_delivered", int(d.bytes_delivered)),
+                ("drops", drops),
+                (
+                    "malformed_per_stage",
+                    Value::Array(d.malformed_per_stage.iter().map(|&n| int(n)).collect()),
+                ),
+                (
+                    "bytes_per_stage",
+                    Value::Array(d.bytes_per_stage.iter().map(|&n| int(n)).collect()),
+                ),
+                ("decisions", int(d.decisions)),
+                ("second_choices", int(d.second_choices)),
+                ("migrations", int(d.migrations)),
+                ("stall", stall.to_value()),
+                ("ring_depth", int(c.ring_depth)),
+                ("depth_staleness", int(c.depth_staleness)),
+                ("stage_service_ns", service),
+            ]);
+            serde_json::to_string(&v).expect("telemetry sample always serializes")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_samples_are_valid_jsonl() {
+        let meta = RunMeta::collect("telemetry", 4, 1, "4 cores / 1 package");
+        let stages: Vec<String> = ["pnic_poll", "outer_stack"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let head = header_line(&meta, 50, 2, &stages);
+        let parsed = serde_json::from_str(&head).expect("header parses");
+        assert_eq!(parsed.get("kind").and_then(Value::as_str), Some("header"));
+        assert!(parsed.get("meta").is_some());
+
+        let prev = vec![WorkerSample::zeroed(2, 5); 2];
+        let mut cur = prev.clone();
+        cur[1].counters.sweeps = 4;
+        cur[1].counters.delivered = 3;
+        cur[1].counters.drops[4] = 1;
+        cur[1].stall.busy_ns = 500;
+        cur[1].stall.wall_ns = 700;
+        cur[1].stage_service_ns[0].record(250);
+        let lines = sample_lines(12_345, &cur, &prev, &stages);
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(!line.contains('\n'));
+            serde_json::from_str(line).expect("sample line parses");
+        }
+        let w1 = serde_json::from_str(&lines[1]).unwrap();
+        assert_eq!(w1.get("delivered").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            w1.get("drops")
+                .and_then(|d| d.get("malformed"))
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        let stall = w1.get("stall").expect("stall object");
+        assert_eq!(stall.get("busy_ns").and_then(Value::as_u64), Some(500));
+    }
+}

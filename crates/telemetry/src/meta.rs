@@ -1,0 +1,142 @@
+//! `RunMeta`: the shared provenance header every BENCH artifact
+//! carries, so the bench trajectory is comparable across PRs — which
+//! commit produced a number, on what host, with what core layout, and
+//! when.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::Serialize;
+
+/// Provenance stamped into every BENCH artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunMeta {
+    /// Version of the artifact schema (bump on breaking layout change).
+    pub schema_version: u32,
+    /// Artifact family, e.g. `"dataplane"`, `"wire"`, `"telemetry"`.
+    pub artifact: String,
+    /// `git rev-parse HEAD` of the producing tree, or `"unknown"`.
+    pub git_sha: String,
+    /// Producing host's name, or `"unknown"`.
+    pub hostname: String,
+    /// Online cores the run could use.
+    pub host_cores: usize,
+    /// Physical packages / NUMA domains detected.
+    pub numa_packages: usize,
+    /// One-line core/NUMA summary from `topology` (human-readable).
+    pub topology: String,
+    /// UTC wall-clock time the artifact was produced, RFC 3339.
+    pub created_utc: String,
+}
+
+impl RunMeta {
+    /// Current artifact schema version.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Collects provenance for `artifact`. The topology triple comes
+    /// from the caller (the `topology` module lives in the dataplane
+    /// crate, which depends on this one).
+    pub fn collect(
+        artifact: &str,
+        host_cores: usize,
+        numa_packages: usize,
+        topology: impl Into<String>,
+    ) -> RunMeta {
+        RunMeta {
+            schema_version: Self::SCHEMA_VERSION,
+            artifact: artifact.to_string(),
+            git_sha: git_sha(),
+            hostname: hostname(),
+            host_cores,
+            numa_packages,
+            topology: topology.into(),
+            created_utc: utc_now_rfc3339(),
+        }
+    }
+}
+
+/// Best-effort `git rev-parse HEAD`, falling back to the `GIT_SHA`
+/// environment variable and then `"unknown"` (artifact generation must
+/// never fail on provenance).
+pub fn git_sha() -> String {
+    let from_git = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty());
+    from_git
+        .or_else(|| std::env::var("GIT_SHA").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Best-effort hostname: `/proc/sys/kernel/hostname`, then `HOSTNAME`.
+pub fn hostname() -> String {
+    std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SSZ` (RFC 3339), computed
+/// directly from the Unix epoch (no date-time dependency available).
+pub fn utc_now_rfc3339() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format_epoch_secs(secs)
+}
+
+/// Formats Unix seconds as RFC 3339 UTC, using Howard Hinnant's
+/// civil-from-days algorithm for the date part.
+pub fn format_epoch_secs(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let tod = secs % 86_400;
+    let (h, m, s) = (tod / 3_600, (tod / 60) % 60, tod % 60);
+    let (y, mo, d) = civil_from_days(days);
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+/// Days-since-epoch → (year, month, day), proleptic Gregorian.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (y + i64::from(m <= 2), m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_formatting_known_values() {
+        assert_eq!(format_epoch_secs(0), "1970-01-01T00:00:00Z");
+        // 2021-04-26 00:00:00 UTC (EuroSys '21 week).
+        assert_eq!(format_epoch_secs(1_619_395_200), "2021-04-26T00:00:00Z");
+        // Leap-year day: 2024-02-29 12:34:56 UTC.
+        assert_eq!(format_epoch_secs(1_709_210_096), "2024-02-29T12:34:56Z");
+    }
+
+    #[test]
+    fn collect_is_total() {
+        let m = RunMeta::collect("test", 8, 1, "8 cores / 1 package");
+        assert_eq!(m.schema_version, RunMeta::SCHEMA_VERSION);
+        assert_eq!(m.artifact, "test");
+        assert!(!m.git_sha.is_empty());
+        assert!(!m.hostname.is_empty());
+        assert_eq!(m.host_cores, 8);
+        assert!(m.created_utc.ends_with('Z'));
+        assert_eq!(m.created_utc.len(), 20);
+    }
+}

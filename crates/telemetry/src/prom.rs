@@ -1,0 +1,473 @@
+//! Prometheus text exposition (format 0.0.4) over a tiny blocking TCP
+//! listener, plus a curl-less scrape client and exposition parser so
+//! CI can verify a live scrape without external tooling.
+//!
+//! The listener is deliberately minimal: accept, read the request
+//! head, write the latest pre-rendered exposition, close. It runs on
+//! its own thread with a non-blocking accept loop so shutdown never
+//! hangs on a missing final connection.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use falcon_trace::DropReason;
+
+use crate::shard::WorkerSample;
+
+/// Renders the cumulative state of all workers as one exposition body.
+pub fn render(t_ns: u64, workers: &[WorkerSample], stages: &[String]) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut counter = |name: &str, help: &str, lines: &[(String, String)]| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+        for (labels, value) in lines {
+            out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    };
+
+    let per_worker = |f: &dyn Fn(usize, &WorkerSample) -> u64| -> Vec<(String, String)> {
+        workers
+            .iter()
+            .enumerate()
+            .map(|(w, s)| (format!("worker=\"{w}\""), f(w, s).to_string()))
+            .collect()
+    };
+    counter(
+        "falcon_worker_sweeps_total",
+        "Worker loop iterations that found work.",
+        &per_worker(&|_, s| s.counters.sweeps),
+    );
+    counter(
+        "falcon_worker_delivered_total",
+        "Packets delivered to the app endpoint.",
+        &per_worker(&|_, s| s.counters.delivered),
+    );
+    counter(
+        "falcon_worker_bytes_delivered_total",
+        "Application payload bytes delivered (wire mode).",
+        &per_worker(&|_, s| s.counters.bytes_delivered),
+    );
+    counter(
+        "falcon_worker_steer_decisions_total",
+        "Steering decisions taken.",
+        &per_worker(&|_, s| s.counters.decisions),
+    );
+    counter(
+        "falcon_worker_steer_second_choices_total",
+        "Two-choice rehash wins.",
+        &per_worker(&|_, s| s.counters.second_choices),
+    );
+    counter(
+        "falcon_worker_migrations_total",
+        "(flow, stage) migrations caused by this worker's decisions.",
+        &per_worker(&|_, s| s.counters.migrations),
+    );
+
+    let mut drop_lines = Vec::new();
+    for (w, s) in workers.iter().enumerate() {
+        for r in DropReason::ALL {
+            drop_lines.push((
+                format!("worker=\"{w}\",reason=\"{}\"", r.label()),
+                s.counters
+                    .drops
+                    .get(r.index())
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+            ));
+        }
+    }
+    counter(
+        "falcon_worker_drops_total",
+        "Packets dropped, by reason.",
+        &drop_lines,
+    );
+
+    let per_stage = |pick: &dyn Fn(&WorkerSample) -> &[u64]| -> Vec<(String, String)> {
+        let mut lines = Vec::new();
+        for (w, s) in workers.iter().enumerate() {
+            for (i, v) in pick(s).iter().enumerate() {
+                let stage = stages.get(i).map(String::as_str).unwrap_or("?");
+                lines.push((format!("worker=\"{w}\",stage=\"{stage}\""), v.to_string()));
+            }
+        }
+        lines
+    };
+    counter(
+        "falcon_worker_processed_total",
+        "Stage executions, per pipeline stage.",
+        &per_stage(&|s| &s.counters.processed_per_stage),
+    );
+    counter(
+        "falcon_worker_malformed_total",
+        "Frames rejected by byte-level verification, per stage.",
+        &per_stage(&|s| &s.counters.malformed_per_stage),
+    );
+    counter(
+        "falcon_worker_stage_bytes_total",
+        "Wire bytes touched per stage (wire mode).",
+        &per_stage(&|s| &s.counters.bytes_per_stage),
+    );
+
+    let mut stall_lines = Vec::new();
+    for (w, s) in workers.iter().enumerate() {
+        for (bucket, v) in [
+            ("busy", s.stall.busy_ns),
+            ("push", s.stall.stall_push_ns),
+            ("pop", s.stall.stall_pop_ns),
+            ("guard", s.stall.guard_wait_ns),
+            ("idle", s.stall.idle_ns),
+        ] {
+            stall_lines.push((format!("worker=\"{w}\",bucket=\"{bucket}\""), v.to_string()));
+        }
+    }
+    counter(
+        "falcon_worker_stall_ns_total",
+        "Stall attribution: where each worker's wall-clock went.",
+        &stall_lines,
+    );
+    counter(
+        "falcon_worker_wall_ns_total",
+        "Total measured wall-clock of the worker loop.",
+        &per_worker(&|_, s| s.stall.wall_ns),
+    );
+
+    let mut gauge = |name: &str, help: &str, lines: &[(String, String)]| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n"));
+        for (labels, value) in lines {
+            out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+        }
+    };
+    gauge(
+        "falcon_worker_ring_depth",
+        "Depth-gauge reading at the last publish.",
+        &workers
+            .iter()
+            .enumerate()
+            .map(|(w, s)| (format!("worker=\"{w}\""), s.ring_depth.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    gauge(
+        "falcon_worker_depth_staleness",
+        "Largest depth-gauge staleness observed (bound: one NAPI budget).",
+        &workers
+            .iter()
+            .enumerate()
+            .map(|(w, s)| (format!("worker=\"{w}\""), s.depth_staleness.to_string()))
+            .collect::<Vec<_>>(),
+    );
+    gauge(
+        "falcon_telemetry_sample_timestamp_ns",
+        "Run-relative timestamp of this snapshot.",
+        &[(String::from("source=\"sampler\""), t_ns.to_string())],
+    );
+
+    out.push_str(
+        "# HELP falcon_stage_service_ns Per-stage service time summary.\n# TYPE falcon_stage_service_ns summary\n",
+    );
+    for (w, s) in workers.iter().enumerate() {
+        for (i, h) in s.stage_service_ns.iter().enumerate() {
+            let stage = stages.get(i).map(String::as_str).unwrap_or("?");
+            for q in [50.0, 90.0, 99.0] {
+                out.push_str(&format!(
+                    "falcon_stage_service_ns{{worker=\"{w}\",stage=\"{stage}\",quantile=\"{}\"}} {}\n",
+                    q / 100.0,
+                    h.percentile(q)
+                ));
+            }
+            out.push_str(&format!(
+                "falcon_stage_service_ns_sum{{worker=\"{w}\",stage=\"{stage}\"}} {}\n",
+                h.mean() * h.count() as f64
+            ));
+            out.push_str(&format!(
+                "falcon_stage_service_ns_count{{worker=\"{w}\",stage=\"{stage}\"}} {}\n",
+                h.count()
+            ));
+        }
+    }
+    out
+}
+
+/// One parsed exposition sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromMetric {
+    /// Metric name (before the label braces).
+    pub name: String,
+    /// Label key/value pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl PromMetric {
+    /// Looks up one label's value.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parses text exposition format 0.0.4 (the subset [`render`] emits):
+/// `name{k="v",...} value` lines, skipping comments and blanks.
+pub fn parse_exposition(text: &str) -> Vec<PromMetric> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => continue,
+        };
+        let value: f64 = match value.parse() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let (name, labels) = match head.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').unwrap_or(rest);
+                let labels = body
+                    .split(',')
+                    .filter_map(|pair| {
+                        let (k, v) = pair.split_once('=')?;
+                        Some((k.trim().to_string(), v.trim().trim_matches('"').to_string()))
+                    })
+                    .collect();
+                (name.to_string(), labels)
+            }
+            None => (head.to_string(), Vec::new()),
+        };
+        out.push(PromMetric {
+            name,
+            labels,
+            value,
+        });
+    }
+    out
+}
+
+/// The blocking exposition listener. Serves whatever body was last
+/// [`PromServer::publish`]ed to every connection.
+pub struct PromServer {
+    addr: SocketAddr,
+    latest: Arc<Mutex<String>>,
+    scrapes: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl PromServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`, or port 0 for ephemeral)
+    /// and starts the accept loop.
+    pub fn bind(addr: &str) -> std::io::Result<PromServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let latest = Arc::new(Mutex::new(String::from(
+            "# falcon telemetry: no sample published yet\n",
+        )));
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let latest = Arc::clone(&latest);
+            let scrapes = Arc::clone(&scrapes);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("falcon-prom".into())
+                .spawn(move || loop {
+                    match listener.accept() {
+                        Ok((mut stream, _)) => {
+                            let body = latest.lock().map(|g| g.clone()).unwrap_or_default();
+                            if serve_one(&mut stream, &body).is_ok() {
+                                scrapes.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => {
+                            if stop.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                    }
+                })?
+        };
+        Ok(PromServer {
+            addr: local,
+            latest,
+            scrapes,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the exposition body served to the next scrape.
+    pub fn publish(&self, body: String) {
+        if let Ok(mut g) = self.latest.lock() {
+            *g = body;
+        }
+    }
+
+    /// Scrapes served so far.
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and returns the total scrape count.
+    pub fn shutdown(mut self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.scrapes.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for PromServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(stream: &mut TcpStream, body: &str) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Drain the request head; we serve the same body for any path.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Curl-less scrape client: fetches one exposition body from `addr`.
+pub fn scrape(addr: &SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: falcon\r\nConnection: close\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response had no header/body separator",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::WorkerSample;
+
+    fn sample() -> Vec<WorkerSample> {
+        let mut w0 = WorkerSample::zeroed(2, 5);
+        w0.counters.sweeps = 11;
+        w0.counters.delivered = 7;
+        w0.counters.drops[4] = 2;
+        w0.stall.busy_ns = 900;
+        w0.stall.wall_ns = 1_000;
+        w0.ring_depth = 3;
+        w0.depth_staleness = 8;
+        w0.stage_service_ns[0].record_n(250, 10);
+        vec![w0, WorkerSample::zeroed(2, 5)]
+    }
+
+    fn labels() -> Vec<String> {
+        vec!["pnic_poll".into(), "outer_stack".into()]
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let body = render(42, &sample(), &labels());
+        let metrics = parse_exposition(&body);
+        let get = |name: &str, worker: &str| -> Vec<&PromMetric> {
+            metrics
+                .iter()
+                .filter(|m| m.name == name && m.label("worker") == Some(worker))
+                .collect()
+        };
+        assert_eq!(get("falcon_worker_delivered_total", "0")[0].value, 7.0);
+        assert_eq!(get("falcon_worker_delivered_total", "1")[0].value, 0.0);
+        let malformed = metrics
+            .iter()
+            .find(|m| {
+                m.name == "falcon_worker_drops_total"
+                    && m.label("worker") == Some("0")
+                    && m.label("reason") == Some("malformed")
+            })
+            .expect("malformed drop counter");
+        assert_eq!(malformed.value, 2.0);
+        let busy = metrics
+            .iter()
+            .find(|m| {
+                m.name == "falcon_worker_stall_ns_total"
+                    && m.label("worker") == Some("0")
+                    && m.label("bucket") == Some("busy")
+            })
+            .expect("busy stall counter");
+        assert_eq!(busy.value, 900.0);
+        let q50 = metrics
+            .iter()
+            .find(|m| {
+                m.name == "falcon_stage_service_ns"
+                    && m.label("worker") == Some("0")
+                    && m.label("stage") == Some("pnic_poll")
+                    && m.label("quantile") == Some("0.5")
+            })
+            .expect("service summary");
+        assert!(q50.value >= 250.0);
+        assert_eq!(get("falcon_worker_depth_staleness", "0")[0].value, 8.0);
+    }
+
+    #[test]
+    fn listener_serves_published_body() {
+        let server = PromServer::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.local_addr();
+        server.publish(render(1, &sample(), &labels()));
+        let body = scrape(&addr).expect("scrape");
+        assert!(body.contains("falcon_worker_delivered_total{worker=\"0\"} 7"));
+        let parsed = parse_exposition(&body);
+        assert!(!parsed.is_empty());
+        assert_eq!(server.scrapes(), 1);
+        assert_eq!(server.shutdown(), 1);
+    }
+}

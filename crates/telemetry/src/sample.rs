@@ -1,0 +1,363 @@
+//! The sampler: a background thread that snapshots every worker shard
+//! on a fixed interval while the run is in flight, and drives the
+//! exporters (JSONL artifact, Prometheus listener, in-memory series
+//! for the Perfetto counter tracks and the conservation tests).
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::jsonl;
+use crate::meta::RunMeta;
+use crate::prom::{self, PromServer};
+use crate::shard::{shard_pair, Shard, ShardWriter, WorkerSample};
+
+/// Default sampling interval when `--telemetry` is given bare.
+pub const DEFAULT_INTERVAL_MS: u64 = 100;
+
+/// All worker shards of one run, plus the stage labels needed to
+/// render exports.
+pub struct Hub {
+    shards: Vec<Arc<Shard>>,
+    stage_labels: Vec<String>,
+    n_reasons: usize,
+}
+
+impl Hub {
+    /// Allocates one shard per worker shaped for the pipeline, and
+    /// hands back the per-worker writer handles (index = worker id).
+    pub fn new(
+        workers: usize,
+        stage_labels: Vec<String>,
+        n_reasons: usize,
+    ) -> (Arc<Hub>, Vec<ShardWriter>) {
+        let n_stages = stage_labels.len();
+        let (shards, writers): (Vec<_>, Vec<_>) = (0..workers)
+            .map(|_| shard_pair(WorkerSample::zeroed(n_stages, n_reasons)))
+            .unzip();
+        (
+            Arc::new(Hub {
+                shards,
+                stage_labels,
+                n_reasons,
+            }),
+            writers,
+        )
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Pipeline stage labels, in stage order.
+    pub fn stage_labels(&self) -> &[String] {
+        &self.stage_labels
+    }
+
+    /// Consistent snapshot of every shard (not cross-shard atomic:
+    /// each worker's view is internally consistent, which is all the
+    /// per-worker accounting needs).
+    pub fn snapshot(&self) -> Vec<WorkerSample> {
+        self.shards.iter().map(|s| s.read()).collect()
+    }
+
+    /// Zero-shaped baseline matching this hub's shards.
+    pub fn zeroed(&self) -> Vec<WorkerSample> {
+        self.shards
+            .iter()
+            .map(|_| WorkerSample::zeroed(self.stage_labels.len(), self.n_reasons))
+            .collect()
+    }
+}
+
+/// One sampling tick: run-relative timestamp + all worker snapshots.
+#[derive(Debug, Clone)]
+pub struct TelemetrySample {
+    /// Run-relative nanoseconds (same epoch as the trace stream).
+    pub t_ns: u64,
+    /// Cumulative per-worker snapshots (index = worker id).
+    pub workers: Vec<WorkerSample>,
+}
+
+/// Sampler configuration.
+#[derive(Debug, Clone)]
+pub struct SamplerConfig {
+    /// Snapshot interval in milliseconds (clamped to ≥ 1).
+    pub interval_ms: u64,
+    /// Stream per-interval deltas to this JSONL path.
+    pub jsonl_path: Option<String>,
+    /// Serve Prometheus exposition on this address (e.g. `127.0.0.1:0`).
+    pub prom_addr: Option<String>,
+    /// Provenance stamped into the JSONL header.
+    pub meta: RunMeta,
+}
+
+/// Everything the sampler produced, returned by [`Sampler::finish`].
+#[derive(Debug, Clone)]
+pub struct TelemetryRun {
+    /// Interval the run actually used.
+    pub interval_ms: u64,
+    /// Every snapshot taken, in order; the last one is taken *after*
+    /// the workers exited, so its counters equal the final stats.
+    pub samples: Vec<TelemetrySample>,
+    /// JSONL artifact path, if streaming was enabled.
+    pub jsonl_path: Option<String>,
+    /// Data lines written to the JSONL artifact (excludes header).
+    pub jsonl_lines: u64,
+    /// First JSONL I/O error, if any (the run itself never fails).
+    pub jsonl_error: Option<String>,
+    /// Bound exposition address, if the listener was enabled.
+    pub prom_addr: Option<String>,
+    /// Scrapes the listener served.
+    pub scrapes: u64,
+}
+
+/// Handle to the running sampler thread.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<TelemetryRun>,
+    prom_addr: Option<std::net::SocketAddr>,
+}
+
+impl Sampler {
+    /// Spawns the sampler over `hub`, snapshotting every
+    /// `cfg.interval_ms` using `now_ns` for run-relative timestamps
+    /// (pass the dataplane epoch so counter tracks line up with the
+    /// trace). Binding `cfg.prom_addr` happens here, so a bad address
+    /// fails fast instead of inside the thread.
+    pub fn spawn<F>(hub: Arc<Hub>, now_ns: F, cfg: SamplerConfig) -> std::io::Result<Sampler>
+    where
+        F: Fn() -> u64 + Send + 'static,
+    {
+        let prom = match &cfg.prom_addr {
+            Some(addr) => Some(PromServer::bind(addr)?),
+            None => None,
+        };
+        let prom_addr = prom.as_ref().map(|p| p.local_addr());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("falcon-sampler".into())
+            .spawn(move || sampler_loop(hub, now_ns, cfg, prom, thread_stop))?;
+        Ok(Sampler {
+            stop,
+            handle,
+            prom_addr,
+        })
+    }
+
+    /// The bound exposition address (useful with port 0).
+    pub fn prom_addr(&self) -> Option<std::net::SocketAddr> {
+        self.prom_addr
+    }
+
+    /// Stops the sampler. The thread takes one final snapshot after
+    /// observing the stop flag, so everything the workers published
+    /// before this call is captured; call it after joining the
+    /// workers and the deltas telescope exactly to the final stats.
+    pub fn finish(self) -> TelemetryRun {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("sampler thread never panics")
+    }
+}
+
+fn sampler_loop<F: Fn() -> u64>(
+    hub: Arc<Hub>,
+    now_ns: F,
+    cfg: SamplerConfig,
+    prom: Option<PromServer>,
+    stop: Arc<AtomicBool>,
+) -> TelemetryRun {
+    let interval_ms = cfg.interval_ms.max(1);
+    let mut out = TelemetryRun {
+        interval_ms,
+        samples: Vec::new(),
+        jsonl_path: cfg.jsonl_path.clone(),
+        jsonl_lines: 0,
+        jsonl_error: None,
+        prom_addr: prom.as_ref().map(|p| p.local_addr().to_string()),
+        scrapes: 0,
+    };
+    let stages: Vec<String> = hub.stage_labels().to_vec();
+    let mut writer = match &cfg.jsonl_path {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => {
+                let mut w = std::io::BufWriter::new(f);
+                let head = jsonl::header_line(&cfg.meta, interval_ms, hub.workers(), &stages);
+                if let Err(e) = writeln!(w, "{head}") {
+                    out.jsonl_error = Some(e.to_string());
+                }
+                Some(w)
+            }
+            Err(e) => {
+                out.jsonl_error = Some(e.to_string());
+                None
+            }
+        },
+        None => None,
+    };
+
+    let mut prev = hub.zeroed();
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+        let t = now_ns();
+        let cur = hub.snapshot();
+        if let Some(w) = writer.as_mut() {
+            for line in jsonl::sample_lines(t, &cur, &prev, &stages) {
+                match writeln!(w, "{line}") {
+                    Ok(()) => out.jsonl_lines += 1,
+                    Err(e) => {
+                        if out.jsonl_error.is_none() {
+                            out.jsonl_error = Some(e.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(p) = prom.as_ref() {
+            p.publish(prom::render(t, &cur, &stages));
+        }
+        out.samples.push(TelemetrySample {
+            t_ns: t,
+            workers: cur.clone(),
+        });
+        prev = cur;
+        if stopping {
+            break;
+        }
+        sleep_interruptible(Duration::from_millis(interval_ms), &stop);
+    }
+    if let Some(mut w) = writer.take() {
+        if let Err(e) = w.flush() {
+            if out.jsonl_error.is_none() {
+                out.jsonl_error = Some(e.to_string());
+            }
+        }
+    }
+    if let Some(p) = prom {
+        out.scrapes = p.shutdown();
+    }
+    out
+}
+
+/// Sleeps up to `total`, returning early once `stop` is raised so a
+/// long interval never delays shutdown.
+fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
+    let chunk = Duration::from_millis(2);
+    let mut slept = Duration::ZERO;
+    while slept < total {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let step = chunk.min(total - slept);
+        std::thread::sleep(step);
+        slept += step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn test_meta() -> RunMeta {
+        RunMeta::collect("telemetry-test", 2, 1, "test")
+    }
+
+    #[test]
+    fn sampler_captures_final_state_and_deltas_telescope() {
+        let (hub, mut writers) = Hub::new(2, vec!["a".into(), "b".into()], 5);
+        let start = Instant::now();
+        let sampler = Sampler::spawn(
+            Arc::clone(&hub),
+            move || start.elapsed().as_nanos() as u64,
+            SamplerConfig {
+                interval_ms: 1,
+                jsonl_path: None,
+                prom_addr: None,
+                meta: test_meta(),
+            },
+        )
+        .expect("spawn");
+        // Simulate two workers publishing for a few milliseconds.
+        for round in 1..=50u64 {
+            for (w, writer) in writers.iter_mut().enumerate() {
+                writer.write(|d| {
+                    d.counters.sweeps = round;
+                    d.counters.delivered = round * (w as u64 + 1);
+                    d.stall.busy_ns = round * 100;
+                    d.stall.wall_ns = round * 120;
+                    d.stage_service_ns[0].record(250);
+                });
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let run = sampler.finish();
+        assert!(run.samples.len() >= 2, "expected multiple ticks");
+        let last = run.samples.last().unwrap();
+        assert_eq!(last.workers[0].counters.delivered, 50);
+        assert_eq!(last.workers[1].counters.delivered, 100);
+        assert_eq!(last.workers[0].stage_service_ns[0].count(), 50);
+        // Telescoping: summing interval deltas reproduces the final
+        // cumulative counters exactly.
+        for w in 0..2 {
+            let mut total = crate::shard::ShardCounters::zeroed(2, 5);
+            let mut prev = WorkerSample::zeroed(2, 5);
+            for s in &run.samples {
+                total.accumulate(&s.workers[w].counters.delta_since(&prev.counters));
+                prev = s.workers[w].clone();
+            }
+            assert_eq!(total, last.workers[w].counters, "worker {w}");
+        }
+        // Timestamps are monotonic.
+        for pair in run.samples.windows(2) {
+            assert!(pair[0].t_ns <= pair[1].t_ns);
+        }
+    }
+
+    #[test]
+    fn sampler_streams_jsonl_and_serves_prometheus() {
+        let dir = std::env::temp_dir().join("falcon-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sampler-{}.jsonl", std::process::id()));
+        let (hub, mut writers) = Hub::new(1, vec!["a".into()], 5);
+        let start = Instant::now();
+        let sampler = Sampler::spawn(
+            Arc::clone(&hub),
+            move || start.elapsed().as_nanos() as u64,
+            SamplerConfig {
+                interval_ms: 1,
+                jsonl_path: Some(path.to_string_lossy().into_owned()),
+                prom_addr: Some("127.0.0.1:0".into()),
+                meta: test_meta(),
+            },
+        )
+        .expect("spawn");
+        writers[0].write(|d| {
+            d.counters.delivered = 9;
+            d.counters.sweeps = 9;
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let addr = sampler.prom_addr().expect("prom bound");
+        let body = crate::prom::scrape(&addr).expect("scrape");
+        assert!(body.contains("falcon_worker_delivered_total{worker=\"0\"} 9"));
+        let run = sampler.finish();
+        assert_eq!(run.scrapes, 1);
+        assert!(run.jsonl_error.is_none(), "{:?}", run.jsonl_error);
+        assert!(run.jsonl_lines >= 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        let head = serde_json::from_str(lines.next().unwrap()).expect("header parses");
+        assert_eq!(
+            head.get("kind").and_then(serde::Value::as_str),
+            Some("header")
+        );
+        for line in lines {
+            serde_json::from_str(line).expect("sample line parses");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

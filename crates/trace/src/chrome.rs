@@ -96,8 +96,61 @@ fn instant(
     ])
 }
 
+/// One sample of a counter track: a timestamp plus the values of each
+/// series on the track at that instant.
+#[derive(Debug, Clone)]
+pub struct CounterPoint {
+    /// Run-relative timestamp, nanoseconds.
+    pub at_ns: u64,
+    /// `(series, value)` pairs; every point of a track should carry
+    /// the same series set so the stacked chart renders cleanly.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A Chrome `ph:"C"` counter track: named per-process time series that
+/// render as stacked area charts under the slice timeline. Telemetry
+/// merges queue-depth and stall-fraction tracks into the trace export
+/// through these.
+#[derive(Debug, Clone)]
+pub struct CounterTrack {
+    /// Track name (shared by all its events; Chrome keys the track on
+    /// `(pid, name)`).
+    pub name: String,
+    /// Process id to attach the track to (a core/worker pid).
+    pub pid: usize,
+    /// Chronological samples.
+    pub points: Vec<CounterPoint>,
+}
+
+fn counter_event(track: &CounterTrack, point: &CounterPoint) -> Value {
+    obj(vec![
+        ("name", s(&track.name)),
+        ("ph", s("C")),
+        ("pid", usz(track.pid)),
+        ("tid", usz(0)),
+        ("ts", us(point.at_ns)),
+        (
+            "args",
+            obj(point
+                .values
+                .iter()
+                .map(|(k, v)| (k.as_str(), Value::Float(*v)))
+                .collect()),
+        ),
+    ])
+}
+
 /// Converts an event stream into a Chrome trace-event JSON string.
 pub fn export(events: &[Event], meta: &TraceMeta) -> String {
+    export_with_counters(events, meta, &[])
+}
+
+/// [`export`], with counter tracks merged into the same timeline.
+pub fn export_with_counters(
+    events: &[Event],
+    meta: &TraceMeta,
+    counters: &[CounterTrack],
+) -> String {
     let mut out: Vec<Value> = Vec::new();
 
     for core in 0..meta.n_cores {
@@ -364,6 +417,12 @@ pub fn export(events: &[Event], meta: &TraceMeta) -> String {
         }
     }
 
+    for track in counters {
+        for point in &track.points {
+            out.push(counter_event(track, point));
+        }
+    }
+
     let root = obj(vec![
         ("traceEvents", Value::Array(out)),
         ("displayTimeUnit", s("ns")),
@@ -423,6 +482,31 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""), "has duration slices");
         assert!(json.contains("net_rx_action"));
         assert!(json.contains("\"reason\":\"backlog\""));
+    }
+
+    #[test]
+    fn counter_tracks_render_as_c_events() {
+        let track = CounterTrack {
+            name: "qdepth".into(),
+            pid: 1,
+            points: vec![
+                CounterPoint {
+                    at_ns: 1_000,
+                    values: vec![("depth".into(), 3.0)],
+                },
+                CounterPoint {
+                    at_ns: 2_000,
+                    values: vec![("depth".into(), 5.0)],
+                },
+            ],
+        };
+        let json = export_with_counters(&[], &meta(), &[track]);
+        serde_json::from_str(&json).expect("valid JSON");
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(json.contains("\"name\":\"qdepth\""));
+        assert!(json.contains("\"depth\":5"));
+        // Plain export stays counter-free.
+        assert!(!export(&[], &meta()).contains("\"ph\":\"C\""));
     }
 
     #[test]

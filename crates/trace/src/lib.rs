@@ -27,6 +27,7 @@ pub mod chrome;
 pub mod stages;
 
 pub use check::{check_stream, ConservationReport};
+pub use chrome::{CounterPoint, CounterTrack};
 pub use falcon_metrics::Context;
 pub use stages::{StageLatency, StageStat};
 

@@ -25,6 +25,17 @@ pub use fdb::Fdb;
 pub use stage::{bridge_lookup, deliver_verify, gro_coalesce, pnic_verify, vxlan_decap};
 pub use stage::{Delivery, WireError};
 
+/// Bytes a pipeline stage just touched when it ran over `buf`: the
+/// full on-wire length while the packet is still encapsulated, the
+/// decapsulated inner frame after the VXLAN stage has run. Telemetry's
+/// per-stage byte counters are fed from this, so the exported
+/// byte-per-stage series shrinks at decap exactly like the real
+/// receive path's `skb->len` does.
+pub fn stage_touched_bytes(buf: &falcon_packet::WireBuf) -> u64 {
+    buf.inner_frame()
+        .map_or_else(|| buf.wire_bytes(), |f| f.len() as u64)
+}
+
 /// FNV-1a over bytes: the delivery digest. Matches nothing else in the
 /// tree on purpose — it digests application payload, not trace hops.
 pub fn payload_digest(bytes: &[u8]) -> u64 {
@@ -39,6 +50,14 @@ pub fn payload_digest(bytes: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_bytes_shrink_at_decap() {
+        let mut buf = falcon_packet::WireBuf::single(vec![0u8; 120]);
+        assert_eq!(stage_touched_bytes(&buf), 120);
+        buf.inner = Some(50..120);
+        assert_eq!(stage_touched_bytes(&buf), 70);
+    }
 
     #[test]
     fn digest_distinguishes_payloads() {
