@@ -17,6 +17,7 @@ use std::process::ExitCode;
 
 use falcon_bench::measure_single_flow_udp;
 use falcon_experiments::dataplane;
+use falcon_experiments::ingest;
 use falcon_experiments::measure::{RunStats, Scale};
 use falcon_experiments::scenario::{Mode, Scenario};
 use serde::Serialize;
@@ -97,7 +98,8 @@ fn usage() {
          [--wire] [--split-gro] [--dataplane-out <path>] [--workers <n>] \
          [--flows <n>] [--sweep] [--sweep-out <path>] [--telemetry] \
          [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
-         [--prom-addr <ip:port>]\n\
+         [--prom-addr <ip:port>] [--ingest] [--ingest-out <path>] \
+         [--rx-batch <n>]\n\
          default prints a text summary of the simulation benches; --json \
          prints JSON; --dataplane additionally runs the real-thread executor \
          comparison and writes it to --dataplane-out (default \
@@ -111,7 +113,14 @@ fn usage() {
          the --dataplane falcon run, streams per-interval deltas to \
          --telemetry-out (default BENCH_telemetry.jsonl), serves Prometheus \
          text on --prom-addr if given, and records telemetry-on vs -off \
-         goodput in the comparison's telemetry_overhead field"
+         goodput in the comparison's telemetry_overhead field; \
+         --prom-addr with port 0 binds ephemerally and prints the bound \
+         address when the listener is up; --ingest sends real VXLAN \
+         datagrams over a loopback UDP socket into the pipeline \
+         (batched recvmmsg rx thread, differential oracle with explicit \
+         loss accounting) and writes the vanilla-vs-falcon comparison \
+         to --ingest-out (default BENCH_ingest.json); --rx-batch sets \
+         its datagrams per batched read"
     );
 }
 
@@ -131,6 +140,9 @@ fn main() -> ExitCode {
     let mut telemetry_interval_ms: u64 = 0;
     let mut telemetry_out = "BENCH_telemetry.jsonl".to_string();
     let mut prom_addr: Option<String> = None;
+    let mut run_ingest = false;
+    let mut ingest_out = "BENCH_ingest.json".to_string();
+    let mut rx_batch: usize = 32;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -215,6 +227,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--ingest" => run_ingest = true,
+            "--ingest-out" => match args.next() {
+                Some(path) => {
+                    run_ingest = true;
+                    ingest_out = path;
+                }
+                None => {
+                    eprintln!("--ingest-out requires a path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rx-batch" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => rx_batch = n,
+                _ => {
+                    eprintln!("--rx-batch requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -226,6 +258,15 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Surfaces the Prometheus listener's bound address the moment it is
+    // up — the only way to learn the port when --prom-addr ends in :0.
+    let (prom_addr_tx, prom_addr_rx) = std::sync::mpsc::channel::<std::net::SocketAddr>();
+    let prom_printer = std::thread::spawn(move || {
+        while let Ok(addr) = prom_addr_rx.recv() {
+            eprintln!("prometheus exposition listening on http://{addr}/metrics");
+        }
+    });
 
     let rate = match scale {
         Scale::Quick => 50_000.0,
@@ -261,6 +302,7 @@ fn main() -> ExitCode {
             interval_ms: telemetry_interval_ms,
             jsonl_path: Some(telemetry_out.clone()),
             prom_addr: prom_addr.clone(),
+            prom_addr_tx: Some(prom_addr_tx.clone()),
         });
         let cmp = dataplane::run_comparison_with(scale, workers, flows, split_gro, wire, spec);
         print!("{}", dataplane::render(&cmp));
@@ -284,6 +326,40 @@ fn main() -> ExitCode {
         }
     }
 
+    if run_ingest {
+        eprintln!(
+            "ingest bench: live loopback VXLAN datagrams, vanilla vs falcon, \
+             {workers} worker(s), {flows} flow(s), rx batch {rx_batch}..."
+        );
+        let spec = (telemetry && !run_dataplane).then(|| falcon_dataplane::TelemetrySpec {
+            interval_ms: telemetry_interval_ms,
+            jsonl_path: Some(telemetry_out.clone()),
+            prom_addr: prom_addr.clone(),
+            prom_addr_tx: Some(prom_addr_tx.clone()),
+        });
+        let cmp = match ingest::run_comparison_with(scale, workers, flows, rx_batch, spec) {
+            Ok(cmp) => cmp,
+            Err(e) => {
+                eprintln!("ingest run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", ingest::render(&cmp));
+        let cmp_json = serde_json::to_string_pretty(&cmp).expect("serializable");
+        if let Err(e) = std::fs::write(&ingest_out, cmp_json) {
+            eprintln!("cannot write {ingest_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {ingest_out}");
+        if !cmp.vanilla.oracle_ok || !cmp.falcon.oracle_ok {
+            eprintln!(
+                "FAIL: differential oracle rejected the run: {:?} {:?}",
+                cmp.vanilla.oracle_errors, cmp.falcon.oracle_errors
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
     if run_sweep {
         eprintln!("dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s)...");
         let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire);
@@ -300,6 +376,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // All senders gone → the printer drains and exits.
+    drop(prom_addr_tx);
+    let _ = prom_printer.join();
 
     ExitCode::SUCCESS
 }

@@ -209,8 +209,15 @@ pub struct TelemetrySpec {
     pub interval_ms: u64,
     /// Stream per-interval worker deltas as JSON lines to this path.
     pub jsonl_path: Option<String>,
-    /// Serve Prometheus text exposition from this `addr:port`.
+    /// Serve Prometheus text exposition from this `addr:port`. Port 0
+    /// binds ephemerally; the bound address is reported through
+    /// [`TelemetryRun::prom_addr`] and, live, via `prom_addr_tx`.
     pub prom_addr: Option<String>,
+    /// Receives the bound exposition address as soon as the listener
+    /// is up — the only way to learn an ephemeral (port 0) address
+    /// while the run is still in flight. The send is best-effort: a
+    /// dropped receiver never stalls the run.
+    pub prom_addr_tx: Option<std::sync::mpsc::Sender<std::net::SocketAddr>>,
 }
 
 impl Default for Scenario {
@@ -1334,12 +1341,216 @@ pub fn run_meta(artifact: &str) -> RunMeta {
     RunMeta::collect(artifact, cores, packages, &summary)
 }
 
+/// A stable per-flow RSS hash, like the NIC's Toeplitz over the
+/// 5-tuple. Shared by the synthetic injector and the live-socket
+/// ingestion frontend so both steer a given flow identically.
+pub fn rss_hash_for_flow(flow: u64) -> u32 {
+    hash_32(0x517c_c1b7u32.wrapping_add(flow as u32), 32)
+}
+
+/// The handle a packet source drives to push descriptors into a
+/// running pipeline. It owns the injector slot of the ring mesh
+/// (source index `n`) and replicates exactly what the synthetic
+/// injector does per packet: route through the [`FlowTable`], charge
+/// the depth gauge, and spin-then-drop on a full ring — so an external
+/// source (e.g. the live-socket rx thread) feeds the same stages,
+/// steering policies, and in-flight guard as every other run.
+pub struct Injector {
+    to_workers: Vec<Producer<DpPkt>>,
+    policy: Arc<Policy>,
+    flows: Arc<FlowTable>,
+    depths: Arc<DepthGauge>,
+    dropped: Arc<AtomicU64>,
+    epoch: Epoch,
+    tracer: Tracer,
+    rx_counters: Arc<falcon_telemetry::RxCounters>,
+    telem_hub: Option<Arc<Hub>>,
+    injected: u64,
+    inject_drops: u64,
+    bytes_injected: u64,
+}
+
+impl Injector {
+    /// Run-relative nanoseconds on the pipeline's epoch.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.now_ns()
+    }
+
+    /// Packets handed to [`inject`](Self::inject) so far (delivered or
+    /// dropped, every one is accounted for by quiescence).
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Packets tail-dropped at the injector because a worker ring
+    /// stayed full past the yield budget.
+    pub fn inject_drops(&self) -> u64 {
+        self.inject_drops
+    }
+
+    /// Rx-thread telemetry counters. Always present and free to
+    /// increment; call [`enable_rx_telemetry`](Self::enable_rx_telemetry)
+    /// once to also surface them through the live sampler.
+    pub fn rx_counters(&self) -> &Arc<falcon_telemetry::RxCounters> {
+        &self.rx_counters
+    }
+
+    /// Attaches the rx counters to the run's telemetry hub (if the
+    /// scenario has telemetry on), so they stream as `"kind":"rx"`
+    /// JSONL lines and `falcon_rx_*` Prometheus series. Synthetic runs
+    /// never call this, which keeps their exports byte-compatible.
+    /// Returns the counters for convenience.
+    pub fn enable_rx_telemetry(&mut self) -> Arc<falcon_telemetry::RxCounters> {
+        if let Some(hub) = &self.telem_hub {
+            hub.attach_rx(Arc::clone(&self.rx_counters));
+        }
+        Arc::clone(&self.rx_counters)
+    }
+
+    /// Routes one descriptor and pushes it at the chosen worker's
+    /// ring, yielding while the ring is full and tail-dropping (guard
+    /// released, drop counted) after the yield budget. Returns whether
+    /// the packet entered the pipeline; either way it is counted, so
+    /// the orchestrator's quiescence poll stays exact.
+    pub fn inject(&mut self, desc: PktDesc) -> bool {
+        self.injected += 1;
+        let pkt_bytes = desc.wire.as_ref().map_or(0, |w| w.wire_bytes());
+        let id = desc.id.0;
+        let flow = desc.flow;
+        let want = self.policy.rss_worker(desc.rx_hash);
+        let route = self.flows.route(flow, PNIC_IF, want);
+        let now = self.epoch.now_ns();
+        let mut pkt = DpPkt {
+            desc,
+            stage: 0,
+            injected_ns: now,
+            enqueued_ns: now,
+            last_worker: usize::MAX,
+            hop_digest: HOP_HASH_INIT,
+            hops: 0,
+            guard: Some(route.guard),
+            prev_guard: None,
+            // Seed the audit clock from the guard: after an RSS
+            // migration the receiving worker must stamp past the
+            // drained predecessor's records.
+            lc: route.lc,
+        };
+        let dst = route.worker;
+        let mut yields = 0u32;
+        loop {
+            // Gauge before push, undone on failure — same underflow
+            // hazard as the worker's enqueue.
+            self.depths.inc(dst);
+            match self.to_workers[dst].try_push(pkt) {
+                Ok(()) => {
+                    self.bytes_injected += pkt_bytes;
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(
+                            self.epoch.now_ns(),
+                            EventKind::RingEnqueue {
+                                queue: dst,
+                                pkt: id,
+                                flow,
+                                qlen: self.depths.depth(dst),
+                            },
+                        );
+                    }
+                    return true;
+                }
+                Err(back) => {
+                    self.depths.dec(dst);
+                    yields += 1;
+                    if yields >= INJECT_MAX_YIELDS {
+                        if let Some(guard) = back.guard.as_deref() {
+                            release(guard, back.lc);
+                        }
+                        self.inject_drops += 1;
+                        self.tracer.emit(
+                            self.epoch.now_ns(),
+                            EventKind::QueueDrop {
+                                reason: DropReason::Ring,
+                                cpu: dst,
+                                pkt: id,
+                                flow,
+                            },
+                        );
+                        self.dropped.fetch_add(1, Ordering::Release);
+                        return false;
+                    }
+                    pkt = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// The synthetic in-process packet source [`run_scenario`] runs:
+/// `scenario.packets` descriptors round-robin across flows, with real
+/// wire bytes (possibly chaos-corrupted) in wire mode. Returns the
+/// number of segments the corruptor flipped.
+fn synthetic_source(scenario: &Scenario, inj: &mut Injector) -> u64 {
+    let factory = FrameFactory::default();
+    let mut corruptor = Corruptor::new(scenario.wire_seed, scenario.corrupt_per_million);
+    let mut seqs = vec![0u64; scenario.flows.max(1) as usize];
+    for i in 0..scenario.packets {
+        let flow = i % scenario.flows.max(1);
+        let seq = seqs[flow as usize];
+        seqs[flow as usize] += 1;
+        let mut desc = PktDesc::new(
+            i,
+            flow,
+            seq,
+            rss_hash_for_flow(flow),
+            scenario.payload as u32,
+        );
+        if scenario.wire {
+            // Real bytes: the exact segments a sender's TSO would
+            // emit, possibly bit-flipped by the chaos corruptor before
+            // they hit the "NIC".
+            let mut segs = match scenario.shape {
+                TrafficShape::Udp => factory.udp_wire(flow, seq, scenario.payload),
+                TrafficShape::TcpGro { mss } => factory.tcp_wire(flow, seq, scenario.payload, mss),
+            };
+            for seg in &mut segs {
+                corruptor.maybe_corrupt(seg);
+            }
+            desc = desc.with_wire(WireBuf::segments(segs));
+        }
+        inj.inject(desc);
+        if scenario.inject_gap_ns > 0 {
+            spin_for_ns(scenario.inject_gap_ns);
+        }
+    }
+    corruptor.flipped
+}
+
 /// Runs one scenario to completion and returns the full output.
 ///
 /// Spawns `scenario.workers` (clamped to the host) worker threads plus
 /// an injector, waits for every injected packet to be delivered or
 /// dropped, then joins everything and hands back per-worker stats.
 pub fn run_scenario(scenario: &Scenario) -> RunOutput {
+    let s = scenario.clone();
+    let (mut out, flipped) = run_scenario_from(scenario, move |inj| synthetic_source(&s, inj));
+    out.corrupted_segments = flipped;
+    out
+}
+
+/// Runs one scenario with an external packet source in the injector
+/// slot.
+///
+/// `source` runs on the injector thread after the start barrier and
+/// drives [`Injector::inject`] until it has no more packets; its
+/// return value is handed back next to the [`RunOutput`]. Quiescence
+/// waits on the *actual* injected count, not `scenario.packets` —
+/// `scenario.packets` only pre-sizes the per-worker logs, so a source
+/// should still set it to its best packet-count estimate.
+pub fn run_scenario_from<S, R>(scenario: &Scenario, source: S) -> (RunOutput, R)
+where
+    S: FnOnce(&mut Injector) -> R + Send + 'static,
+    R: Send + 'static,
+{
     // Chaos and oversubscribed runs deliberately skip the clamp: the
     // correctness stress needs real multi-worker ring crossings even
     // on a 1-core CI host, and doesn't care about perf-clean pinning.
@@ -1407,6 +1618,11 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
     // up as latency outliers.
     let order_log_cap = (scenario.packets as usize).saturating_mul(n_stages + 1);
 
+    // Rx-thread telemetry counters: always created (they are a few
+    // atomics), attached to the sampler's hub when telemetry is on, and
+    // handed to the packet source through the Injector.
+    let rx_counters = Arc::new(falcon_telemetry::RxCounters::new());
+
     // Live telemetry: one shard per worker, writers handed out by
     // worker index; the sampler thread starts before the workers pass
     // the barrier so the run's first interval is covered.
@@ -1422,7 +1638,7 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
             spec.interval_ms
         };
         let sampler = Sampler::spawn(
-            hub,
+            Arc::clone(&hub),
             move || epoch.now_ns(),
             SamplerConfig {
                 interval_ms,
@@ -1432,12 +1648,19 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
             },
         )
         .expect("telemetry sampler: bad --prom-addr or unwritable path");
-        (sampler, writers)
+        // Report the bound exposition address while the run is live —
+        // with port 0 this is the only way a caller can learn it in
+        // time to scrape mid-flight.
+        if let (Some(tx), Some(addr)) = (&spec.prom_addr_tx, sampler.prom_addr()) {
+            let _ = tx.send(addr);
+        }
+        (sampler, writers, hub)
     });
     let mut telem_writers: Vec<Option<ShardWriter>> = match telemetry_setup.as_mut() {
-        Some((_, writers)) => std::mem::take(writers).into_iter().map(Some).collect(),
+        Some((_, writers, _)) => std::mem::take(writers).into_iter().map(Some).collect(),
         None => (0..n).map(|_| None).collect(),
     };
+    let telem_hub = telemetry_setup.as_ref().map(|(_, _, hub)| Arc::clone(hub));
 
     let mut handles = Vec::with_capacity(n);
     for (me, inbound_row) in consumers.into_iter().enumerate() {
@@ -1499,9 +1722,10 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
         );
     }
 
-    // Injector: source index n.
+    // Injector: source index n. The source (synthetic or external)
+    // runs on this thread and drives the Injector handle.
     let injector = {
-        let mut to_workers: Vec<Producer<DpPkt>> = producers[n]
+        let to_workers: Vec<Producer<DpPkt>> = producers[n]
             .iter_mut()
             .map(|p| p.take().expect("injector producer"))
             .collect();
@@ -1510,121 +1734,46 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
         let depths = Arc::clone(&depths);
         let dropped = Arc::clone(&dropped);
         let barrier = Arc::clone(&barrier);
-        let scenario = scenario.clone();
+        let rx_counters = Arc::clone(&rx_counters);
+        let trace_capacity = scenario.trace_capacity;
         std::thread::Builder::new()
             .name("dp-injector".to_string())
             .spawn(move || {
-                let mut tracer = if scenario.trace_capacity > 0 {
-                    Tracer::new(scenario.trace_capacity)
+                let tracer = if trace_capacity > 0 {
+                    Tracer::new(trace_capacity)
                 } else {
                     Tracer::disabled()
                 };
                 barrier.wait();
-                let factory = FrameFactory::default();
-                let mut corruptor =
-                    Corruptor::new(scenario.wire_seed, scenario.corrupt_per_million);
-                let mut bytes_injected = 0u64;
-                let mut inject_drops = 0u64;
-                let mut seqs = vec![0u64; scenario.flows.max(1) as usize];
-                for i in 0..scenario.packets {
-                    let flow = i % scenario.flows.max(1);
-                    let seq = seqs[flow as usize];
-                    seqs[flow as usize] += 1;
-                    // A stable per-flow RSS hash, like the NIC's
-                    // Toeplitz over the 5-tuple.
-                    let rx_hash = hash_32(0x517c_c1b7u32.wrapping_add(flow as u32), 32);
-                    let mut desc = PktDesc::new(i, flow, seq, rx_hash, scenario.payload as u32);
-                    if scenario.wire {
-                        // Real bytes: the exact segments a sender's TSO
-                        // would emit, possibly bit-flipped by the chaos
-                        // corruptor before they hit the "NIC".
-                        let mut segs = match scenario.shape {
-                            TrafficShape::Udp => factory.udp_wire(flow, seq, scenario.payload),
-                            TrafficShape::TcpGro { mss } => {
-                                factory.tcp_wire(flow, seq, scenario.payload, mss)
-                            }
-                        };
-                        for seg in &mut segs {
-                            corruptor.maybe_corrupt(seg);
-                        }
-                        desc = desc.with_wire(WireBuf::segments(segs));
-                    }
-                    let pkt_bytes = desc.wire.as_ref().map_or(0, |w| w.wire_bytes());
-                    let want = policy.rss_worker(rx_hash);
-                    let route = flows_table.route(flow, PNIC_IF, want);
-                    let now = epoch.now_ns();
-                    let mut pkt = DpPkt {
-                        desc,
-                        stage: 0,
-                        injected_ns: now,
-                        enqueued_ns: now,
-                        last_worker: usize::MAX,
-                        hop_digest: HOP_HASH_INIT,
-                        hops: 0,
-                        guard: Some(route.guard),
-                        prev_guard: None,
-                        // Seed the audit clock from the guard: after an
-                        // RSS migration the receiving worker must stamp
-                        // past the drained predecessor's records.
-                        lc: route.lc,
-                    };
-                    let dst = route.worker;
-                    let mut yields = 0u32;
-                    loop {
-                        // Gauge before push, undone on failure — same
-                        // underflow hazard as the worker's enqueue.
-                        depths.inc(dst);
-                        match to_workers[dst].try_push(pkt) {
-                            Ok(()) => {
-                                bytes_injected += pkt_bytes;
-                                if tracer.is_enabled() {
-                                    tracer.emit(
-                                        epoch.now_ns(),
-                                        EventKind::RingEnqueue {
-                                            queue: dst,
-                                            pkt: i,
-                                            flow,
-                                            qlen: depths.depth(dst),
-                                        },
-                                    );
-                                }
-                                break;
-                            }
-                            Err(back) => {
-                                depths.dec(dst);
-                                yields += 1;
-                                if yields >= INJECT_MAX_YIELDS {
-                                    if let Some(guard) = back.guard.as_deref() {
-                                        release(guard, back.lc);
-                                    }
-                                    inject_drops += 1;
-                                    tracer.emit(
-                                        epoch.now_ns(),
-                                        EventKind::QueueDrop {
-                                            reason: DropReason::Ring,
-                                            cpu: dst,
-                                            pkt: i,
-                                            flow,
-                                        },
-                                    );
-                                    dropped.fetch_add(1, Ordering::Release);
-                                    break;
-                                }
-                                pkt = back;
-                                std::thread::yield_now();
-                            }
-                        }
-                    }
-                    if scenario.inject_gap_ns > 0 {
-                        spin_for_ns(scenario.inject_gap_ns);
-                    }
-                }
-                (
+                let mut inj = Injector {
+                    to_workers,
+                    policy,
+                    flows: flows_table,
+                    depths,
+                    dropped,
+                    epoch,
+                    tracer,
+                    rx_counters,
+                    telem_hub,
+                    injected: 0,
+                    inject_drops: 0,
+                    bytes_injected: 0,
+                };
+                let result = source(&mut inj);
+                let Injector {
+                    injected,
                     inject_drops,
                     bytes_injected,
-                    corruptor.flipped,
+                    tracer,
+                    ..
+                } = inj;
+                (
+                    injected,
+                    inject_drops,
+                    bytes_injected,
                     tracer.overflow(),
                     tracer.events(),
+                    result,
                 )
             })
             .expect("spawn injector")
@@ -1633,13 +1782,15 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
 
     barrier.wait();
     let t0 = epoch.now_ns();
-    let (inject_drops, bytes_injected, corrupted_segments, injector_overflow, injector_events) =
+    let (injected, inject_drops, bytes_injected, injector_overflow, injector_events, source_out) =
         injector.join().expect("injector thread");
 
     // Quiescence: every injected packet is accounted for as a delivery
-    // or a drop. The deadline only trips if the pipeline wedges.
+    // or a drop — against the count the source actually injected, which
+    // for an external source may differ from `scenario.packets`. The
+    // deadline only trips if the pipeline wedges.
     let deadline = std::time::Instant::now() + Duration::from_secs(60);
-    while delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire) < scenario.packets {
+    while delivered.load(Ordering::Acquire) + dropped.load(Ordering::Acquire) < injected {
         if std::time::Instant::now() >= deadline {
             break;
         }
@@ -1656,27 +1807,30 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutput {
     // Stop the sampler only after the workers have joined: its final
     // snapshot then sees every worker's last publish, so the interval
     // deltas telescope exactly to the final stats.
-    let telemetry = telemetry_setup.map(|(sampler, _)| sampler.finish());
+    let telemetry = telemetry_setup.map(|(sampler, _, _)| sampler.finish());
 
-    RunOutput {
-        policy: scenario.policy,
-        workers: n,
-        host_cores: available_cores(),
-        split_gro: scenario.split_gro,
-        injected: scenario.packets,
-        inject_drops,
-        wall_ns,
-        stage_ns,
-        flow_pairs: flows.pairs(),
-        workers_stats,
-        injector_events,
-        injector_overflow,
-        wire: scenario.wire,
-        bytes_injected,
-        corrupted_segments,
-        meta: scenario.trace_meta(n),
-        telemetry,
-    }
+    (
+        RunOutput {
+            policy: scenario.policy,
+            workers: n,
+            host_cores: available_cores(),
+            split_gro: scenario.split_gro,
+            injected,
+            inject_drops,
+            wall_ns,
+            stage_ns,
+            flow_pairs: flows.pairs(),
+            workers_stats,
+            injector_events,
+            injector_overflow,
+            wire: scenario.wire,
+            bytes_injected,
+            corrupted_segments: 0,
+            meta: scenario.trace_meta(n),
+            telemetry,
+        },
+        source_out,
+    )
 }
 
 #[cfg(test)]

@@ -42,8 +42,9 @@ pub mod topology;
 
 pub use affinity::{available_cores, clamp_workers, pin_current_thread};
 pub use executor::{
-    run_meta, run_scenario, stage_labels, sweep_order, RunOutput, Scenario, TelemetrySpec,
-    TrafficShape, WorkerStats, PNIC_SPLIT_IF, SPLIT_STAGES, STAGES,
+    rss_hash_for_flow, run_meta, run_scenario, run_scenario_from, stage_labels, sweep_order,
+    Injector, RunOutput, Scenario, TelemetrySpec, TrafficShape, WorkerStats, PNIC_SPLIT_IF,
+    SPLIT_STAGES, STAGES,
 };
 pub use report::{
     DataplaneComparison, DataplaneReport, LatencySummary, SweepPoint, SweepReport,

@@ -14,6 +14,7 @@ use std::process::ExitCode;
 
 use falcon_experiments::dataplane;
 use falcon_experiments::figs;
+use falcon_experiments::ingest;
 use falcon_experiments::measure::Scale;
 use falcon_experiments::tracedrun;
 
@@ -24,7 +25,8 @@ fn usage() {
          [--flows <n>] [--dataplane-out <path>] [--dataplane-trace <out.json>] \
          [--sweep] [--sweep-out <path>] [--telemetry] \
          [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
-         [--prom-addr <ip:port>] <fig-id>... | all\n\
+         [--prom-addr <ip:port>] [--ingest] [--ingest-out <path>] \
+         [--rx-batch <n>] <fig-id>... | all\n\
          --dataplane runs the modeled rx path on real pinned threads and \
          writes a vanilla-vs-falcon comparison to --dataplane-out \
          (default BENCH_dataplane.json); --wire makes every injected unit \
@@ -42,7 +44,14 @@ fn usage() {
          --telemetry-out (default BENCH_telemetry.jsonl), serves \
          Prometheus text exposition on --prom-addr if given, and records \
          the instrumentation's goodput cost (telemetry on vs off) in the \
-         comparison's telemetry_overhead field\n\
+         comparison's telemetry_overhead field; --prom-addr with port 0 \
+         binds ephemerally and the bound address is printed when the \
+         listener is up; --ingest sends real VXLAN datagrams over a \
+         loopback UDP socket into the pipeline (batched recvmmsg rx \
+         thread, differential oracle with explicit loss accounting) and \
+         writes the vanilla-vs-falcon comparison to --ingest-out \
+         (default BENCH_ingest.json); --rx-batch sets its datagrams per \
+         batched read\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -70,6 +79,9 @@ fn main() -> ExitCode {
     let mut telemetry_interval_ms: u64 = 0;
     let mut telemetry_out = "BENCH_telemetry.jsonl".to_string();
     let mut prom_addr: Option<String> = None;
+    let mut run_ingest = false;
+    let mut ingest_out = "BENCH_ingest.json".to_string();
+    let mut rx_batch: usize = 32;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -164,6 +176,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--ingest" => run_ingest = true,
+            "--ingest-out" => match args.next() {
+                Some(path) => {
+                    run_ingest = true;
+                    ingest_out = path;
+                }
+                None => {
+                    eprintln!("--ingest-out requires a path");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--rx-batch" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => rx_batch = n,
+                _ => {
+                    eprintln!("--rx-batch requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" | "-l" => {
                 for (id, _) in figs::all() {
                     println!("{id}");
@@ -183,10 +215,25 @@ fn main() -> ExitCode {
         }
     }
 
-    if wanted.is_empty() && trace_out.is_none() && !stage_latency && !run_dataplane && !run_sweep {
+    if wanted.is_empty()
+        && trace_out.is_none()
+        && !stage_latency
+        && !run_dataplane
+        && !run_sweep
+        && !run_ingest
+    {
         usage();
         return ExitCode::FAILURE;
     }
+
+    // Surfaces the Prometheus listener's bound address the moment it is
+    // up — the only way to learn the port when --prom-addr ends in :0.
+    let (prom_addr_tx, prom_addr_rx) = std::sync::mpsc::channel::<std::net::SocketAddr>();
+    let prom_printer = std::thread::spawn(move || {
+        while let Ok(addr) = prom_addr_rx.recv() {
+            eprintln!("prometheus exposition listening on http://{addr}/metrics");
+        }
+    });
 
     let registry = figs::all();
     let run_all = wanted.iter().any(|w| w == "all");
@@ -248,6 +295,7 @@ fn main() -> ExitCode {
             interval_ms: telemetry_interval_ms,
             jsonl_path: Some(telemetry_out.clone()),
             prom_addr: prom_addr.clone(),
+            prom_addr_tx: Some(prom_addr_tx.clone()),
         });
         let cmp = dataplane::run_comparison_with(scale, workers, flows, split_gro, wire, spec);
         if json {
@@ -288,6 +336,51 @@ fn main() -> ExitCode {
         }
     }
 
+    if run_ingest {
+        eprintln!(
+            "ingest: live loopback VXLAN datagrams, vanilla vs falcon, \
+             {workers} worker(s), {flows} flow(s), rx batch {rx_batch} \
+             ({:?} scale)...",
+            scale
+        );
+        // Telemetry rides the ingest falcon leg only when --dataplane
+        // didn't already claim the exporter paths.
+        let spec = (telemetry && !run_dataplane).then(|| falcon_dataplane::TelemetrySpec {
+            interval_ms: telemetry_interval_ms,
+            jsonl_path: Some(telemetry_out.clone()),
+            prom_addr: prom_addr.clone(),
+            prom_addr_tx: Some(prom_addr_tx.clone()),
+        });
+        let cmp = match ingest::run_comparison_with(scale, workers, flows, rx_batch, spec) {
+            Ok(cmp) => cmp,
+            Err(e) => {
+                eprintln!("ingest run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&cmp).expect("serializable")
+            );
+        } else {
+            print!("{}", ingest::render(&cmp));
+        }
+        let bench_json = serde_json::to_string_pretty(&cmp).expect("serializable");
+        if let Err(e) = std::fs::write(&ingest_out, bench_json) {
+            eprintln!("cannot write {ingest_out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {ingest_out}");
+        if !cmp.vanilla.oracle_ok || !cmp.falcon.oracle_ok {
+            eprintln!(
+                "FAIL: differential oracle rejected the run: {:?} {:?}",
+                cmp.vanilla.oracle_errors, cmp.falcon.oracle_errors
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
     if run_sweep {
         eprintln!(
             "dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s), \
@@ -317,6 +410,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+
+    // All senders gone → the printer drains and exits.
+    drop(prom_addr_tx);
+    let _ = prom_printer.join();
 
     ExitCode::SUCCESS
 }

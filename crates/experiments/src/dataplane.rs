@@ -139,6 +139,7 @@ pub fn run_comparison_with(
                 interval_ms: spec.interval_ms,
                 jsonl_path: None,
                 prom_addr: None,
+                prom_addr_tx: None,
             });
             best_on = pick(best_on, DataplaneReport::from_run(&run_scenario(&on)));
         }
@@ -423,6 +424,7 @@ pub fn chrome_trace(scale: Scale, workers: usize, flows: u64, split_gro: bool) -
         interval_ms: 5,
         jsonl_path: None,
         prom_addr: None,
+        prom_addr_tx: None,
     });
     let out = run_scenario(&scenario);
     let tracks = out
@@ -505,6 +507,7 @@ mod tests {
                 interval_ms: 2,
                 jsonl_path: None,
                 prom_addr: None,
+                prom_addr_tx: None,
             }),
         );
         // Provenance stamp rides on every comparison artifact.

@@ -28,6 +28,7 @@
 
 pub mod dataplane;
 pub mod figs;
+pub mod ingest;
 pub mod measure;
 pub mod ratesearch;
 pub mod scenario;

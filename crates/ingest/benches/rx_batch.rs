@@ -1,0 +1,97 @@
+//! Receive-batch sizing: how much does amortizing the syscall buy?
+//!
+//! Preloads a loopback socket's kernel queue with real VXLAN frames,
+//! then measures draining it with `recvmmsg` at batch sizes 1/8/32
+//! and with the portable one-datagram `recv` loop. Batch 1 via
+//! `recvmmsg` ≈ the portable loop (one syscall per datagram); the gap
+//! to batch 32 is the per-syscall overhead the ingest rx thread avoids
+//! — the userspace analogue of the NAPI poll the paper's pNIC stage
+//! models.
+
+use std::net::UdpSocket;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use falcon_ingest::{batch_rx, sock, RecvBatch};
+use falcon_wire::FrameFactory;
+
+/// Frames preloaded into the kernel queue per iteration.
+const PRELOAD: usize = 256;
+
+fn loopback_pair() -> (UdpSocket, UdpSocket) {
+    let rx = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+    let tx = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+    tx.connect(rx.local_addr().unwrap()).expect("connect");
+    (rx, tx)
+}
+
+fn preload_frames() -> Vec<Vec<u8>> {
+    let factory = FrameFactory::default();
+    (0..PRELOAD)
+        .map(|i| {
+            factory
+                .udp_wire((i % 8) as u64, (i / 8) as u64, 256)
+                .into_iter()
+                .next()
+                .unwrap()
+        })
+        .collect()
+}
+
+fn drain(rx: &mut dyn falcon_ingest::BatchRx, batch: &mut RecvBatch, want: usize) -> usize {
+    let mut got = 0;
+    let mut spins = 0u32;
+    while got < want {
+        match rx.recv_batch(batch) {
+            Ok(n) => {
+                got += n;
+                spins = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Loopback delivery is async; bounded spin.
+                spins += 1;
+                if spins > 1_000_000 {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            Err(e) => panic!("recv: {e}"),
+        }
+    }
+    got
+}
+
+fn bench_rx_batch(c: &mut Criterion) {
+    let frames = preload_frames();
+    let bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+    let mut g = c.benchmark_group("rx_batch");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Bytes(bytes));
+
+    let mut cases: Vec<(String, bool, usize)> = vec![("recv-loop".to_string(), true, 32)];
+    if sock::batched_io_available() {
+        for batch in [1usize, 8, 32] {
+            cases.push((format!("recvmmsg/{batch}"), false, batch));
+        }
+    }
+
+    for (name, portable, batch_size) in cases {
+        let (rx_sock, tx) = loopback_pair();
+        // A deep queue so the preload never overflows mid-iteration.
+        sock::set_rcvbuf(&rx_sock, 8 << 20);
+        let mut rx = batch_rx(rx_sock, portable).expect("backend");
+        let mut batch = RecvBatch::new(batch_size);
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                sock::send_batch(&tx, &frames).expect("send");
+                let got = drain(rx.as_mut(), &mut batch, frames.len());
+                assert!(got > 0, "drained nothing");
+                got
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rx_batch);
+criterion_main!(benches);

@@ -1,0 +1,373 @@
+//! `falcon-ingest`: live-socket ingestion frontend.
+//!
+//! Everything upstream of this crate synthesizes its packets in
+//! process: the injector builds VXLAN frames and pushes descriptors
+//! straight into the worker rings. This crate replaces that synthetic
+//! front with the real thing — a sender that puts genuine VXLAN
+//! datagrams onto an OS UDP socket ([`tx`]), and a dedicated rx thread
+//! that drains them back off in batches ([`rx`], `recvmmsg` where
+//! available), frames them into [`WireBuf`]s, and injects them through
+//! the exact same [`Injector`] path the synthetic source uses
+//! ([`source`]). Stages, steering, ordering guards, and telemetry are
+//! untouched; from the pipeline's perspective only the provenance of
+//! the bytes changed.
+//!
+//! Because a real socket may drop, reorder across flows, or deliver
+//! late, correctness is judged by a differential oracle with explicit
+//! loss accounting ([`oracle`]): per-flow delivered digests must form
+//! an in-order subsequence of the sender's digest log, and every
+//! generated frame must be accounted for as delivered, malformed,
+//! ring-dropped, runt, or socket loss — `sent - received` is measured,
+//! never assumed zero and never ignored.
+//!
+//! [`WireBuf`]: falcon_packet::WireBuf
+//! [`Injector`]: falcon_dataplane::Injector
+
+pub mod oracle;
+pub mod rx;
+pub mod sock;
+pub mod source;
+pub mod tx;
+
+use std::io;
+use std::net::UdpSocket;
+
+use serde::Serialize;
+
+use falcon_dataplane::{
+    run_meta, run_scenario_from, DataplaneReport, PolicyKind, RunOutput, Scenario, TelemetrySpec,
+    TrafficShape,
+};
+use falcon_telemetry::RunMeta;
+
+pub use oracle::OracleReport;
+pub use rx::{batch_rx, BatchRx, LoopRx, MmsgRx, RecvBatch, MAX_DATAGRAM};
+pub use source::{rx_into_pipeline, RxConfig, RxStats, MIN_DATAGRAM};
+pub use tx::{send_all, SentLog, TxConfig};
+
+/// One live-ingestion run, end to end.
+#[derive(Clone, Debug)]
+pub struct IngestConfig {
+    /// Steering policy under test.
+    pub policy: PolicyKind,
+    /// Pipeline workers.
+    pub workers: usize,
+    /// Datagrams the sender generates.
+    pub packets: u64,
+    /// Distinct flows.
+    pub flows: u64,
+    /// Inner UDP payload bytes.
+    pub payload: usize,
+    /// Sender pacing, packets per second (0 = open loop).
+    pub pps: u64,
+    /// Frames per `sendmmsg` batch.
+    pub tx_batch: usize,
+    /// Datagrams per batched receive.
+    pub rx_batch: usize,
+    /// Post-sender socket drain window, ms.
+    pub drain_ms: u64,
+    /// Pre-send bit-flip rate per million frames.
+    pub corrupt_per_million: u32,
+    /// Corruptor seed.
+    pub seed: u64,
+    /// Suppress every Nth frame at the sender (0 = never) — the lossy
+    /// harness knob.
+    pub drop_every_n: u64,
+    /// Stage-cost scale in milli-units (1000 = model as-is).
+    pub work_scale_milli: u64,
+    /// Run the five-stage split-GRO pipeline shape.
+    pub split_gro: bool,
+    /// Lift the host-core worker clamp (tests on small hosts).
+    pub oversubscribe: bool,
+    /// Force the portable `recv` loop even where `recvmmsg` exists.
+    pub force_portable_rx: bool,
+    /// Live telemetry for the run (rx counters stream automatically).
+    pub telemetry: Option<TelemetrySpec>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            policy: PolicyKind::Falcon,
+            workers: 4,
+            packets: 20_000,
+            flows: 8,
+            payload: 256,
+            pps: 0,
+            tx_batch: 32,
+            rx_batch: 32,
+            drain_ms: 60,
+            corrupt_per_million: 0,
+            seed: 0x5eed_1e57,
+            drop_every_n: 0,
+            work_scale_milli: 1000,
+            split_gro: false,
+            oversubscribe: false,
+            force_portable_rx: false,
+            telemetry: None,
+        }
+    }
+}
+
+/// Raw products of one run, before report shaping.
+#[derive(Debug)]
+pub struct IngestRun {
+    /// The pipeline's own output (stats, deliveries, telemetry).
+    pub out: RunOutput,
+    /// The sender's ground-truth log.
+    pub sent: SentLog,
+    /// What the rx thread observed.
+    pub rx: RxStats,
+    /// The differential verdict.
+    pub oracle: OracleReport,
+}
+
+/// Sends `cfg.packets` real datagrams through the OS and the pipeline
+/// and checks the differential oracle. Sockets are loopback-bound
+/// ephemerally; nothing leaves the host.
+pub fn run_ingest(cfg: &IngestConfig) -> io::Result<IngestRun> {
+    let rx_sock = UdpSocket::bind("127.0.0.1:0")?;
+    // Best-effort 4 MiB kernel buffer: open-loop senders outrun the rx
+    // thread's startup, and a deep queue turns that into latency
+    // instead of loss. The kernel clamps to rmem_max; drops that still
+    // happen show up in SO_RXQ_OVFL and the conservation identity.
+    sock::set_rcvbuf(&rx_sock, 4 << 20);
+    let addr = rx_sock.local_addr()?;
+    let tx_sock = UdpSocket::bind("127.0.0.1:0")?;
+    tx_sock.connect(addr)?;
+    let mut rx = batch_rx(rx_sock, cfg.force_portable_rx)?;
+
+    let scenario = Scenario {
+        policy: cfg.policy,
+        workers: cfg.workers,
+        packets: cfg.packets,
+        flows: cfg.flows,
+        payload: cfg.payload,
+        shape: TrafficShape::Udp,
+        split_gro: cfg.split_gro,
+        work_scale_milli: cfg.work_scale_milli,
+        oversubscribe: cfg.oversubscribe,
+        wire: true,
+        telemetry: cfg.telemetry.clone(),
+        ..Scenario::default()
+    };
+    let tx_cfg = TxConfig {
+        packets: cfg.packets,
+        flows: cfg.flows,
+        payload: cfg.payload,
+        pps: cfg.pps,
+        batch: cfg.tx_batch,
+        corrupt_per_million: cfg.corrupt_per_million,
+        seed: cfg.seed,
+        drop_every_n: cfg.drop_every_n,
+    };
+    let rx_cfg = RxConfig {
+        batch: cfg.rx_batch,
+        drain_ms: cfg.drain_ms,
+    };
+
+    let (out, (sent, rx_stats)) = run_scenario_from(&scenario, move |inj| {
+        let sender = std::thread::spawn(move || send_all(&tx_sock, &tx_cfg));
+        let stats = rx_into_pipeline(rx.as_mut(), inj, || sender.is_finished(), &rx_cfg);
+        let sent = sender.join().expect("sender thread panicked");
+        (sent, stats)
+    });
+    let sent = sent?;
+    let oracle = oracle::check(&sent, &rx_stats, &out);
+    Ok(IngestRun {
+        out,
+        sent,
+        rx: rx_stats,
+        oracle,
+    })
+}
+
+/// One policy's side of the `BENCH_ingest.json` artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestSideReport {
+    /// Full pipeline report (throughput, goodput, latency, stages).
+    pub pipeline: DataplaneReport,
+    /// Which receive backend ran ("recvmmsg" or "recv-loop").
+    pub rx_backend: String,
+    /// Frames the sender generated (including suppressed).
+    pub sent: u64,
+    /// Frames deliberately withheld at the sender.
+    pub suppressed: u64,
+    /// Frames bit-flipped before send.
+    pub corrupted: u64,
+    /// `sent - rx_datagrams`: frames the socket never delivered.
+    pub socket_loss: u64,
+    /// Datagrams the rx thread read.
+    pub rx_datagrams: u64,
+    /// Non-empty batched reads.
+    pub rx_batches: u64,
+    /// Empty polls.
+    pub rx_eagain_spins: u64,
+    /// Sub-minimum datagrams dropped pre-pipeline.
+    pub rx_runts: u64,
+    /// Kernel `SO_RXQ_OVFL` drop estimate, when available.
+    pub rx_sock_drops: Option<u64>,
+    /// `rx_batch_hist[n]` = reads that returned exactly `n` datagrams.
+    pub rx_batch_hist: Vec<u64>,
+    /// Frames the stages rejected as malformed.
+    pub malformed: u64,
+    /// The differential oracle's verdict.
+    pub oracle_ok: bool,
+    /// Delivered digests outside the sender's per-flow subsequence.
+    pub digest_mismatches: u64,
+    /// Deliveries re-steered onto unknown flows by header flips the
+    /// checksums legitimately don't cover.
+    pub misattributed: u64,
+    /// Oracle failure detail, empty when `oracle_ok`.
+    pub oracle_errors: Vec<String>,
+}
+
+impl IngestSideReport {
+    /// Shapes one run into its artifact form.
+    pub fn from_run(run: &IngestRun) -> Self {
+        IngestSideReport {
+            pipeline: DataplaneReport::from_run(&run.out),
+            rx_backend: run.rx.backend.to_string(),
+            sent: run.sent.sent,
+            suppressed: run.sent.suppressed,
+            corrupted: run.sent.corrupted,
+            socket_loss: run.oracle.socket_loss,
+            rx_datagrams: run.rx.datagrams,
+            rx_batches: run.rx.batches,
+            rx_eagain_spins: run.rx.eagain_spins,
+            rx_runts: run.rx.runts,
+            rx_sock_drops: run.rx.sock_drops,
+            rx_batch_hist: run.rx.batch_hist.clone(),
+            malformed: run.oracle.malformed,
+            oracle_ok: run.oracle.ok,
+            digest_mismatches: run.oracle.digest_mismatches,
+            misattributed: run.oracle.misattributed,
+            oracle_errors: run.oracle.errors.clone(),
+        }
+    }
+}
+
+/// The `BENCH_ingest.json` artifact: vanilla vs falcon over live
+/// sockets, stamped with run provenance.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestComparison {
+    /// Provenance header shared by every BENCH artifact.
+    pub meta: RunMeta,
+    /// Logical cores on the host.
+    pub host_cores: usize,
+    /// Workers used by both runs.
+    pub workers: usize,
+    /// Datagrams generated per run.
+    pub packets: u64,
+    /// Flows per run.
+    pub flows: u64,
+    /// Inner payload bytes.
+    pub payload: usize,
+    /// Sender pacing (0 = open loop).
+    pub pps: u64,
+    /// Datagrams per batched receive.
+    pub rx_batch: usize,
+    /// The serialized baseline.
+    pub vanilla: IngestSideReport,
+    /// The pipelined contender.
+    pub falcon: IngestSideReport,
+    /// `falcon.pipeline.throughput_pps / vanilla.pipeline.throughput_pps`.
+    pub speedup: f64,
+}
+
+/// Runs the same live-socket workload under both steering policies.
+/// As with the dataplane comparison, `cfg.telemetry` attaches to the
+/// Falcon leg only — the vanilla leg runs bare, so the headline
+/// numbers stay an apples-to-apples policy contest and the exporter
+/// artifacts aren't overwritten by the second run.
+pub fn run_ingest_comparison(cfg: &IngestConfig) -> io::Result<IngestComparison> {
+    let vanilla_run = run_ingest(&IngestConfig {
+        policy: PolicyKind::Vanilla,
+        telemetry: None,
+        ..cfg.clone()
+    })?;
+    let falcon_run = run_ingest(&IngestConfig {
+        policy: PolicyKind::Falcon,
+        ..cfg.clone()
+    })?;
+    let vanilla = IngestSideReport::from_run(&vanilla_run);
+    let falcon = IngestSideReport::from_run(&falcon_run);
+    let speedup = if vanilla.pipeline.throughput_pps > 0.0 {
+        falcon.pipeline.throughput_pps / vanilla.pipeline.throughput_pps
+    } else {
+        0.0
+    };
+    Ok(IngestComparison {
+        meta: run_meta("ingest"),
+        host_cores: vanilla_run.out.host_cores,
+        workers: falcon_run.out.workers,
+        packets: cfg.packets,
+        flows: cfg.flows,
+        payload: cfg.payload,
+        pps: cfg.pps,
+        rx_batch: cfg.rx_batch,
+        vanilla,
+        falcon,
+        speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole loop, small: real datagrams through loopback, both
+    /// backends, oracle green.
+    #[test]
+    fn loopback_smoke_oracle_green() {
+        for portable in [false, true] {
+            let cfg = IngestConfig {
+                workers: 2,
+                packets: 2_000,
+                flows: 4,
+                payload: 64,
+                work_scale_milli: 20,
+                oversubscribe: true,
+                force_portable_rx: portable,
+                ..IngestConfig::default()
+            };
+            let run = run_ingest(&cfg).expect("run");
+            assert!(
+                run.oracle.ok,
+                "oracle failed (portable={portable}): {:?}",
+                run.oracle.errors
+            );
+            assert_eq!(run.sent.sent, 2_000);
+            assert!(run.out.delivered() > 0, "something must get through");
+        }
+    }
+
+    /// Corrupted frames are rejected by the stages, not delivered with
+    /// wrong bytes — and the oracle stays green because corrupt slots
+    /// are subsequence gaps.
+    #[test]
+    fn corruption_drops_but_oracle_holds() {
+        let cfg = IngestConfig {
+            workers: 2,
+            packets: 3_000,
+            flows: 4,
+            payload: 64,
+            corrupt_per_million: 100_000, // ~10%
+            work_scale_milli: 20,
+            oversubscribe: true,
+            ..IngestConfig::default()
+        };
+        let run = run_ingest(&cfg).expect("run");
+        assert!(run.sent.corrupted > 0, "flip rate must corrupt something");
+        assert!(
+            run.oracle.ok,
+            "oracle must treat corrupt frames as gaps: {:?}",
+            run.oracle.errors
+        );
+        assert!(
+            run.oracle.malformed > 0,
+            "stages must catch some of the {} corrupt frames",
+            run.sent.corrupted
+        );
+    }
+}

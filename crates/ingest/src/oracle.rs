@@ -1,0 +1,258 @@
+//! Differential oracle with explicit loss accounting.
+//!
+//! The sender logged, per flow, the digest of every frame it
+//! generated. The pipeline logged, per delivery, the digest it
+//! computed from the bytes that actually survived the socket and all
+//! seven stages. Because datagrams can be lost (kernel queue
+//! overflow, deliberate suppression) and corrupted (pre-send bit
+//! flips the stages reject), equality is the wrong check — the right
+//! one is that each flow's delivered digests form an **in-order
+//! subsequence** of the sender's log, plus a conservation identity
+//! that names where every missing frame went. Nothing is allowed to
+//! vanish silently.
+
+use falcon_dataplane::RunOutput;
+
+use crate::source::RxStats;
+use crate::tx::SentLog;
+
+/// The oracle's verdict plus the loss-accounting breakdown.
+#[derive(Clone, Debug)]
+pub struct OracleReport {
+    /// All checks passed.
+    pub ok: bool,
+    /// Delivered digests that were not an in-order subsequence of the
+    /// sender's log (per-flow count summed). Bounded by the
+    /// corruptor's flip count — see `check`.
+    pub digest_mismatches: u64,
+    /// Deliveries on flow ids the sender never used. A pre-send bit
+    /// flip in the outer UDP source port survives every stage (the
+    /// outer UDP checksum is legitimately zero per RFC 7348 §4.1) and
+    /// re-steers the frame, exactly as hardware RSS would; each such
+    /// frame is one misattribution, never silent loss.
+    pub misattributed: u64,
+    /// Frames that left the sender but never reached the rx thread:
+    /// `sent - datagrams` (includes deliberate suppression).
+    pub socket_loss: u64,
+    /// Frames the stages rejected as malformed (summed over stages).
+    pub malformed: u64,
+    /// Ring tail-drops inside the pipeline (injector + workers).
+    pub ring_drops: u64,
+    /// Human-readable failures, empty when `ok`.
+    pub errors: Vec<String>,
+}
+
+/// Runs the subsequence check and the conservation identities.
+pub fn check(sent: &SentLog, rx: &RxStats, out: &RunOutput) -> OracleReport {
+    let mut errors = Vec::new();
+
+    // --- conservation identities -------------------------------------
+    // Sender → socket: anything generated but never read off the
+    // socket is socket loss (kernel drop or deliberate suppression).
+    let socket_loss = match sent.sent.checked_sub(rx.datagrams) {
+        Some(l) => l,
+        None => {
+            errors.push(format!(
+                "rx saw more datagrams ({}) than sender generated ({})",
+                rx.datagrams, sent.sent
+            ));
+            0
+        }
+    };
+    if socket_loss < sent.suppressed {
+        errors.push(format!(
+            "socket loss {} below deliberate suppression {}",
+            socket_loss, sent.suppressed
+        ));
+    }
+
+    // Socket → rings: the rx thread injects everything that is not a
+    // runt, exactly once.
+    if rx.injected != rx.datagrams - rx.runts {
+        errors.push(format!(
+            "rx injected {} != datagrams {} - runts {}",
+            rx.injected, rx.datagrams, rx.runts
+        ));
+    }
+    if out.injected != rx.injected {
+        errors.push(format!(
+            "pipeline counted {} injected, rx thread handed it {}",
+            out.injected, rx.injected
+        ));
+    }
+
+    // Rings → exit: every injected packet is delivered or dropped
+    // (quiescence guarantees this; check it anyway).
+    let delivered = out.delivered();
+    let dropped = out.dropped();
+    if delivered + dropped != out.injected {
+        errors.push(format!(
+            "pipeline leaked packets: delivered {} + dropped {} != injected {}",
+            delivered, dropped, out.injected
+        ));
+    }
+
+    // End to end: every generated frame is delivered, rejected as
+    // malformed, ring-dropped, a runt, or socket loss.
+    let malformed: u64 = out.malformed_per_stage().iter().sum();
+    let other_drops = dropped - malformed.min(dropped);
+    let accounted = delivered + malformed + other_drops + rx.runts + socket_loss;
+    if accounted != sent.sent {
+        errors.push(format!(
+            "conservation broken: delivered {} + malformed {} + other drops {} \
+             + runts {} + socket loss {} = {} != sent {}",
+            delivered, malformed, other_drops, rx.runts, socket_loss, accounted, sent.sent
+        ));
+    }
+
+    // --- per-flow digest subsequence ---------------------------------
+    // Deliveries carry the rx-assigned arrival seq; sorting by it
+    // recovers each flow's arrival order regardless of which worker
+    // delivered what.
+    let mut per_flow: Vec<Vec<(u64, u64)>> = vec![Vec::new(); sent.per_flow.len()];
+    let mut misattributed = 0u64;
+    for (flow, seq, digest) in out.deliveries() {
+        match per_flow.get_mut(flow as usize) {
+            Some(v) => v.push((seq, digest)),
+            None => misattributed += 1,
+        }
+    }
+
+    let mut digest_mismatches = 0u64;
+    for (flow, got) in per_flow.iter_mut().enumerate() {
+        got.sort_unstable_by_key(|&(seq, _)| seq);
+        let expected = &sent.per_flow[flow];
+        // Two-pointer subsequence scan: each delivered digest must
+        // appear in the sender's log at or after the previous match.
+        let mut ei = 0usize;
+        let mut miss = 0u64;
+        for &(_, digest) in got.iter() {
+            while ei < expected.len() && expected[ei] != digest {
+                ei += 1;
+            }
+            if ei == expected.len() {
+                miss += 1;
+            } else {
+                ei += 1;
+            }
+        }
+        if miss > 0 && sent.corrupted == 0 {
+            errors.push(format!(
+                "flow {}: {} delivered digests fall outside the in-order \
+                 subsequence of the send log",
+                flow, miss
+            ));
+        }
+        digest_mismatches += miss;
+    }
+
+    // A non-checksummed-header flip (outer src port, outer src MAC)
+    // survives the stages and either lands on a foreign flow
+    // (misattributed / digest mismatch) or delivers unharmed. Each
+    // corrupt frame explains at most one stray, so the corruptor's
+    // count is a hard budget; with the corruptor off the budget is
+    // zero and any stray is an error.
+    let strays = digest_mismatches + misattributed;
+    if strays > sent.corrupted {
+        errors.push(format!(
+            "{} stray deliveries ({} digest mismatches + {} on unknown flows) \
+             exceed the {} frames the corruptor touched",
+            strays, digest_mismatches, misattributed, sent.corrupted
+        ));
+    }
+
+    OracleReport {
+        ok: errors.is_empty(),
+        digest_mismatches,
+        misattributed,
+        socket_loss,
+        malformed,
+        ring_drops: other_drops,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(per_flow: Vec<Vec<u64>>) -> SentLog {
+        let sent = per_flow.iter().map(|f| f.len() as u64).sum();
+        SentLog {
+            sent,
+            suppressed: 0,
+            corrupted: 0,
+            bytes: 0,
+            per_flow,
+        }
+    }
+
+    #[test]
+    fn subsequence_scan_accepts_gaps_rejects_reorder() {
+        let expected = [10u64, 20, 30, 40];
+        // Gap (20 missing) is fine; reorder (30 before 20) is not.
+        for (got, mismatches) in [
+            (vec![10u64, 30, 40], 0u64),
+            (vec![10, 40], 0),
+            (vec![30, 20], 1),
+            (vec![99], 1),
+        ] {
+            let mut ei = 0usize;
+            let mut miss = 0u64;
+            for d in &got {
+                while ei < expected.len() && expected[ei] != *d {
+                    ei += 1;
+                }
+                if ei == expected.len() {
+                    miss += 1;
+                } else {
+                    ei += 1;
+                }
+            }
+            assert_eq!(miss, mismatches, "got {:?}", got);
+        }
+    }
+
+    #[test]
+    fn socket_loss_is_sent_minus_received() {
+        let log = sent(vec![vec![1, 2, 3, 4]]);
+        let rx = RxStats {
+            datagrams: 3,
+            batches: 1,
+            eagain_spins: 0,
+            runts: 0,
+            sock_drops: None,
+            injected: 3,
+            batch_hist: vec![0, 0, 0, 1],
+            backend: "test",
+        };
+        // Empty pipeline output: 3 injected never delivered → the
+        // conservation check must flag the leak, but socket loss is
+        // still computed.
+        let out = RunOutput {
+            policy: falcon_dataplane::PolicyKind::Vanilla,
+            workers: 0,
+            host_cores: 0,
+            split_gro: false,
+            injected: 3,
+            inject_drops: 0,
+            wall_ns: 0,
+            stage_ns: Vec::new(),
+            flow_pairs: 0,
+            workers_stats: Vec::new(),
+            injector_events: Vec::new(),
+            injector_overflow: 0,
+            wire: true,
+            bytes_injected: 0,
+            corrupted_segments: 0,
+            meta: falcon_trace::TraceMeta {
+                n_cores: 0,
+                devices: Vec::new(),
+            },
+            telemetry: None,
+        };
+        let report = check(&log, &rx, &out);
+        assert_eq!(report.socket_loss, 1);
+        assert!(!report.ok, "3 injected packets vanished");
+    }
+}

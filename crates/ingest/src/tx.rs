@@ -1,0 +1,209 @@
+//! Paced sender: real VXLAN datagrams onto a connected UDP socket.
+//!
+//! The sender is the ground truth for the differential oracle. For
+//! every frame it *would* deliver it records the expected inner-payload
+//! digest in a per-flow log — including frames the [`Corruptor`] flips
+//! pre-send (those become gaps the receiver's subsequence check skips
+//! over) and frames the lossy harness suppresses (those surface as
+//! socket loss in the conservation identity, never silently).
+
+use std::io;
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use falcon_wire::{Corruptor, FrameFactory};
+
+use crate::sock;
+
+/// What the sender should put on the wire.
+#[derive(Clone, Debug)]
+pub struct TxConfig {
+    /// Total datagrams to generate (including suppressed ones).
+    pub packets: u64,
+    /// Distinct flows, round-robined.
+    pub flows: u64,
+    /// Inner UDP payload bytes per packet.
+    pub payload: usize,
+    /// Target packets per second; 0 = open loop (as fast as possible).
+    pub pps: u64,
+    /// Frames per `sendmmsg` batch.
+    pub batch: usize,
+    /// Bit-flip rate fed to the [`Corruptor`] (flips happen *before*
+    /// the frame hits the socket, so the pipeline sees real damage).
+    pub corrupt_per_million: u32,
+    /// Corruptor seed, recorded for reproducibility.
+    pub seed: u64,
+    /// Suppress every Nth frame instead of sending it (0 = never).
+    /// Models socket loss with a known ground truth.
+    pub drop_every_n: u64,
+}
+
+impl Default for TxConfig {
+    fn default() -> Self {
+        TxConfig {
+            packets: 10_000,
+            flows: 8,
+            payload: 256,
+            pps: 0,
+            batch: 32,
+            corrupt_per_million: 0,
+            seed: 0x5eed_1e57,
+            drop_every_n: 0,
+        }
+    }
+}
+
+/// What actually went out, and what the oracle should expect.
+#[derive(Clone, Debug)]
+pub struct SentLog {
+    /// Datagrams generated — includes suppressed ones, so
+    /// `sent - datagrams_received` is the total socket loss.
+    pub sent: u64,
+    /// Frames deliberately withheld by `drop_every_n`.
+    pub suppressed: u64,
+    /// Frames bit-flipped before send.
+    pub corrupted: u64,
+    /// Wire bytes actually written to the socket.
+    pub bytes: u64,
+    /// Per-flow expected digests in send order. Entry `per_flow[f][i]`
+    /// is the digest of flow `f`'s `i`-th *generated* frame; corrupted
+    /// and suppressed frames keep their slot so delivered digests form
+    /// a subsequence.
+    pub per_flow: Vec<Vec<u64>>,
+}
+
+/// Generates, paces, and sends `cfg.packets` frames over `sock`
+/// (which must be connected to the receiver). Blocking socket; pacing
+/// is wall-clock based so `pps` holds across batch sizes.
+pub fn send_all(sock: &UdpSocket, cfg: &TxConfig) -> io::Result<SentLog> {
+    let flows = cfg.flows.max(1);
+    let factory = FrameFactory::default();
+    let mut corruptor = Corruptor::new(cfg.seed, cfg.corrupt_per_million);
+    let mut log = SentLog {
+        sent: 0,
+        suppressed: 0,
+        corrupted: 0,
+        bytes: 0,
+        per_flow: vec![Vec::new(); flows as usize],
+    };
+    let mut seqs = vec![0u64; flows as usize];
+    let batch_cap = cfg.batch.max(1);
+    let mut batch: Vec<Vec<u8>> = Vec::with_capacity(batch_cap);
+    let start = Instant::now();
+
+    for i in 0..cfg.packets {
+        let flow = i % flows;
+        let seq = seqs[flow as usize];
+        seqs[flow as usize] += 1;
+
+        // One UDP overlay packet is one datagram: flatten the (single)
+        // wire segment. The digest is recorded unconditionally — the
+        // oracle treats corrupted/suppressed slots as expected gaps.
+        let mut frame = factory
+            .udp_wire(flow, seq, cfg.payload)
+            .into_iter()
+            .next()
+            .expect("udp_wire yields one segment");
+        log.per_flow[flow as usize].push(FrameFactory::expected_digest(flow, seq, cfg.payload));
+
+        if corruptor.maybe_corrupt(&mut frame) {
+            log.corrupted += 1;
+        }
+
+        log.sent += 1;
+        if cfg.drop_every_n != 0 && (i + 1) % cfg.drop_every_n == 0 {
+            log.suppressed += 1;
+        } else {
+            log.bytes += frame.len() as u64;
+            batch.push(frame);
+        }
+
+        if batch.len() >= batch_cap {
+            sock::send_batch(sock, &batch)?;
+            batch.clear();
+        }
+
+        // Pace against the ideal schedule, not the previous send, so
+        // jitter doesn't accumulate.
+        if let Some(due_ns) = (i + 1).saturating_mul(1_000_000_000).checked_div(cfg.pps) {
+            let due = Duration::from_nanos(due_ns);
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+        }
+    }
+    if !batch.is_empty() {
+        sock::send_batch(sock, &batch)?;
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback() -> (UdpSocket, UdpSocket) {
+        let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        tx.connect(rx.local_addr().unwrap()).unwrap();
+        (rx, tx)
+    }
+
+    #[test]
+    fn logs_every_generated_frame_per_flow() {
+        let (_rx, tx) = loopback();
+        let cfg = TxConfig {
+            packets: 100,
+            flows: 4,
+            ..TxConfig::default()
+        };
+        let log = send_all(&tx, &cfg).unwrap();
+        assert_eq!(log.sent, 100);
+        assert_eq!(log.suppressed, 0);
+        assert!(log.per_flow.iter().all(|f| f.len() == 25));
+        // Digests must match the factory's ground truth.
+        assert_eq!(
+            log.per_flow[1][3],
+            FrameFactory::expected_digest(1, 3, cfg.payload)
+        );
+    }
+
+    #[test]
+    fn drop_every_n_suppresses_but_still_logs() {
+        let (rx, tx) = loopback();
+        rx.set_nonblocking(true).unwrap();
+        let cfg = TxConfig {
+            packets: 30,
+            flows: 3,
+            drop_every_n: 5,
+            ..TxConfig::default()
+        };
+        let log = send_all(&tx, &cfg).unwrap();
+        assert_eq!(log.sent, 30);
+        assert_eq!(log.suppressed, 6);
+        // Every slot is logged, even suppressed ones.
+        assert_eq!(log.per_flow.iter().map(Vec::len).sum::<usize>(), 30);
+        // Exactly sent - suppressed datagrams reach the socket.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let mut buf = [0u8; 2048];
+        let mut got = 0;
+        while rx.recv(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 24);
+    }
+
+    #[test]
+    fn corruptor_flips_are_counted() {
+        let (_rx, tx) = loopback();
+        let cfg = TxConfig {
+            packets: 2_000,
+            corrupt_per_million: 200_000, // ~20% of segments
+            ..TxConfig::default()
+        };
+        let log = send_all(&tx, &cfg).unwrap();
+        assert!(log.corrupted > 0, "high flip rate must corrupt something");
+        assert_eq!(log.sent, 2_000);
+    }
+}

@@ -48,6 +48,21 @@ impl WireBuf {
         Box::new(WireBuf { segs, inner: None })
     }
 
+    /// Frames one received datagram as a single-segment buffer.
+    ///
+    /// The ingestion path reads whole outer frames out of recycled
+    /// socket buffers; this is the one copy that moves the bytes out of
+    /// the receive buffer and into an owned segment — no per-segment
+    /// re-slicing or re-parse happens here. The result is
+    /// indistinguishable from `WireBuf::segments(vec![bytes.to_vec()])`
+    /// to every downstream stage.
+    pub fn from_datagram(bytes: &[u8]) -> Box<WireBuf> {
+        Box::new(WireBuf {
+            segs: vec![bytes.to_vec()],
+            inner: None,
+        })
+    }
+
     /// Total bytes currently held — the on-wire size of the packet.
     pub fn wire_bytes(&self) -> u64 {
         self.segs.iter().map(|s| s.len() as u64).sum()
@@ -132,5 +147,16 @@ mod tests {
 
         let d = PktDesc::new(1, 2, 3, 4, 5).with_wire(WireBuf::single(vec![9u8; 10]));
         assert_eq!(d.wire.as_ref().unwrap().wire_bytes(), 10);
+    }
+
+    #[test]
+    fn from_datagram_matches_single_segment_path() {
+        let bytes: Vec<u8> = (0..200u16).map(|b| b as u8).collect();
+        let a = WireBuf::from_datagram(&bytes);
+        let b = WireBuf::segments(vec![bytes.clone()]);
+        assert_eq!(a, b);
+        assert_eq!(a.wire_bytes(), 200);
+        assert_eq!(a.segs.len(), 1);
+        assert_eq!(a.inner, None);
     }
 }

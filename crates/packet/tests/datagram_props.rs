@@ -1,0 +1,102 @@
+//! Property tests for [`WireBuf::from_datagram`]: the single-copy
+//! datagram framing the live-socket ingestion path uses must be
+//! byte-for-byte indistinguishable from the multi-segment constructor
+//! every other producer goes through — same buffer contents, same
+//! [`decap_bounds`] result on success and on failure.
+
+use falcon_khash::FlowKeys;
+use falcon_packet::{
+    build_udp_frame, decap_bounds, fill_l4_checksum, vxlan_encapsulate, EncapParams, MacAddr,
+    WireBuf,
+};
+use proptest::prelude::*;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn encapsulated_frame(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    keys: &FlowKeys,
+    payload: &[u8],
+    src_port: u16,
+    vni: u32,
+) -> Vec<u8> {
+    let mut inner = build_udp_frame(src_mac, dst_mac, keys, payload);
+    fill_l4_checksum(&mut inner).expect("valid inner frame");
+    vxlan_encapsulate(
+        &inner,
+        &EncapParams {
+            src_mac,
+            dst_mac,
+            src_ip: falcon_packet::Ipv4Addr4(0x0A00_0001),
+            dst_ip: falcon_packet::Ipv4Addr4(0x0A00_0002),
+            src_port,
+            vni,
+        },
+    )
+}
+
+proptest! {
+    /// A well-formed VXLAN datagram frames identically through both
+    /// constructors, and decap_bounds agrees on the inner range + VNI.
+    #[test]
+    fn from_datagram_decaps_like_segments(
+        src_mac in arb_mac(),
+        dst_mac in arb_mac(),
+        sport in 1024u16..u16::MAX,
+        dport in 1024u16..u16::MAX,
+        src_port in 49152u16..u16::MAX,
+        vni in 0u32..(1 << 24),
+        payload in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let keys = FlowKeys::udp(0x0A01_0001, sport, 0x0A01_0002, dport);
+        let frame = encapsulated_frame(src_mac, dst_mac, &keys, &payload, src_port, vni);
+        let a = WireBuf::from_datagram(&frame);
+        let b = WireBuf::segments(vec![frame.clone()]);
+        prop_assert_eq!(&a, &b);
+        let ba = decap_bounds(&a.segs[0]).expect("well-formed frame decaps");
+        let bb = decap_bounds(&b.segs[0]).expect("well-formed frame decaps");
+        prop_assert_eq!(ba.inner, bb.inner);
+        prop_assert_eq!(ba.vni, bb.vni);
+        prop_assert_eq!(ba.vni, vni);
+    }
+
+    /// Arbitrary (mostly garbage) datagrams still frame identically,
+    /// and decap_bounds fails or succeeds the same way on both paths —
+    /// the ingestion constructor cannot launder a malformed datagram.
+    #[test]
+    fn from_datagram_agrees_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let a = WireBuf::from_datagram(&bytes);
+        let b = WireBuf::segments(vec![bytes.clone()]);
+        prop_assert_eq!(&a, &b);
+        let ra = decap_bounds(&a.segs[0]).map(|d| (d.inner, d.vni));
+        let rb = decap_bounds(&b.segs[0]).map(|d| (d.inner, d.vni));
+        prop_assert_eq!(ra.is_ok(), rb.is_ok());
+        if let (Ok(da), Ok(db)) = (ra, rb) {
+            prop_assert_eq!(da, db);
+        }
+    }
+
+    /// A truncated copy of a valid frame behaves the same through both
+    /// constructors for every truncation point.
+    #[test]
+    fn from_datagram_agrees_under_truncation(
+        cut in 0usize..120,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let keys = FlowKeys::udp(0x0A01_0001, 5000, 0x0A01_0002, 6000);
+        let frame = encapsulated_frame(
+            MacAddr::from_index(1), MacAddr::from_index(2), &keys, &payload, 50000, 42,
+        );
+        let cut = cut.min(frame.len());
+        let short = &frame[..cut];
+        let a = WireBuf::from_datagram(short);
+        let b = WireBuf::segments(vec![short.to_vec()]);
+        prop_assert_eq!(&a, &b);
+        let ra = decap_bounds(&a.segs[0]).map(|d| (d.inner, d.vni));
+        let rb = decap_bounds(&b.segs[0]).map(|d| (d.inner, d.vni));
+        prop_assert_eq!(ra, rb);
+    }
+}

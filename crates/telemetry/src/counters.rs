@@ -87,10 +87,12 @@ mod tests {
             TelemetrySample {
                 t_ns: 1_000,
                 workers: vec![w0_a],
+                rx: None,
             },
             TelemetrySample {
                 t_ns: 2_000,
                 workers: vec![w0_b],
+                rx: None,
             },
         ];
         let tracks = counter_tracks(&samples);

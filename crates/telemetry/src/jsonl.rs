@@ -10,6 +10,7 @@ use falcon_trace::DropReason;
 use serde::{Serialize, Value};
 
 use crate::meta::RunMeta;
+use crate::rx::RxSample;
 use crate::shard::WorkerSample;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -120,9 +121,54 @@ pub fn sample_lines(
         .collect()
 }
 
+/// One line per sampling tick for the socket rx thread: counter deltas
+/// vs the previous snapshot, plus the cumulative kernel-drop estimate
+/// (`SO_RXQ_OVFL` is already cumulative, so it exports as a gauge).
+pub fn rx_line(t_ns: u64, cur: &RxSample, prev: &RxSample) -> String {
+    let d = cur.delta_since(prev);
+    let v = obj(vec![
+        ("kind", s("rx")),
+        ("t_ns", int(t_ns)),
+        ("datagrams", int(d.datagrams)),
+        ("batches", int(d.batches)),
+        ("eagain_spins", int(d.eagain_spins)),
+        ("runts", int(d.runts)),
+        ("sock_drops_total", int(cur.sock_drops)),
+    ]);
+    serde_json::to_string(&v).expect("telemetry rx line always serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rx_line_is_valid_json_with_deltas() {
+        let prev = RxSample {
+            datagrams: 10,
+            batches: 2,
+            eagain_spins: 5,
+            runts: 0,
+            sock_drops: 1,
+        };
+        let cur = RxSample {
+            datagrams: 25,
+            batches: 4,
+            eagain_spins: 9,
+            runts: 1,
+            sock_drops: 3,
+        };
+        let line = rx_line(777, &cur, &prev);
+        assert!(!line.contains('\n'));
+        let v: Value = serde_json::from_str(&line).expect("rx line parses");
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("rx"));
+        assert_eq!(v.get("t_ns").and_then(Value::as_u64), Some(777));
+        assert_eq!(v.get("datagrams").and_then(Value::as_u64), Some(15));
+        assert_eq!(v.get("batches").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("eagain_spins").and_then(Value::as_u64), Some(4));
+        assert_eq!(v.get("runts").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("sock_drops_total").and_then(Value::as_u64), Some(3));
+    }
 
     #[test]
     fn header_and_samples_are_valid_jsonl() {

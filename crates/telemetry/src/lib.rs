@@ -29,12 +29,14 @@ pub mod counters;
 pub mod jsonl;
 pub mod meta;
 pub mod prom;
+pub mod rx;
 pub mod sample;
 pub mod shard;
 
 pub use counters::counter_tracks;
 pub use meta::RunMeta;
 pub use prom::{parse_exposition, scrape, PromMetric, PromServer};
+pub use rx::{RxCounters, RxSample};
 pub use sample::{Hub, Sampler, SamplerConfig, TelemetryRun, TelemetrySample, DEFAULT_INTERVAL_MS};
 pub use shard::{shard_pair, Shard, ShardCounters, ShardWriter, StallBreakdown, WorkerSample};
 

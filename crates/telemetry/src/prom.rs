@@ -191,6 +191,44 @@ pub fn render(t_ns: u64, workers: &[WorkerSample], stages: &[String]) -> String 
     out
 }
 
+/// Renders the socket rx thread's counters as an exposition fragment,
+/// appended to [`render`]'s body on ingestion runs.
+pub fn render_rx(rx: &crate::rx::RxSample) -> String {
+    let mut out = String::with_capacity(512);
+    for (name, help, value) in [
+        (
+            "falcon_rx_datagrams_total",
+            "Datagrams read off the ingest socket.",
+            rx.datagrams,
+        ),
+        (
+            "falcon_rx_batches_total",
+            "Batched reads that returned at least one datagram.",
+            rx.batches,
+        ),
+        (
+            "falcon_rx_eagain_spins_total",
+            "Empty reads (EAGAIN) the rx thread spun through.",
+            rx.eagain_spins,
+        ),
+        (
+            "falcon_rx_runts_total",
+            "Datagrams rejected at the rx boundary as too short.",
+            rx.runts,
+        ),
+    ] {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "# HELP falcon_rx_sock_drops Kernel receive-queue overflow estimate (SO_RXQ_OVFL).\n\
+         # TYPE falcon_rx_sock_drops gauge\nfalcon_rx_sock_drops {}\n",
+        rx.sock_drops
+    ));
+    out
+}
+
 /// One parsed exposition sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PromMetric {

@@ -12,6 +12,7 @@ use std::time::Duration;
 use crate::jsonl;
 use crate::meta::RunMeta;
 use crate::prom::{self, PromServer};
+use crate::rx::{RxCounters, RxSample};
 use crate::shard::{shard_pair, Shard, ShardWriter, WorkerSample};
 
 /// Default sampling interval when `--telemetry` is given bare.
@@ -23,6 +24,12 @@ pub struct Hub {
     shards: Vec<Arc<Shard>>,
     stage_labels: Vec<String>,
     n_reasons: usize,
+    /// Optional rx-thread counters, attached once by an ingestion
+    /// frontend before (or even while) the sampler runs. Kept outside
+    /// the worker shards on purpose: the shards' shape invariant (no
+    /// resize during a write session) must not depend on whether a
+    /// socket frontend exists.
+    rx: std::sync::OnceLock<Arc<RxCounters>>,
 }
 
 impl Hub {
@@ -42,9 +49,21 @@ impl Hub {
                 shards,
                 stage_labels,
                 n_reasons,
+                rx: std::sync::OnceLock::new(),
             }),
             writers,
         )
+    }
+
+    /// Attaches the rx-thread counters. Only the first attach wins;
+    /// later calls are ignored (there is one rx thread per run).
+    pub fn attach_rx(&self, counters: Arc<RxCounters>) {
+        let _ = self.rx.set(counters);
+    }
+
+    /// Snapshot of the rx-thread counters, if a frontend attached any.
+    pub fn rx_snapshot(&self) -> Option<RxSample> {
+        self.rx.get().map(|c| c.snapshot())
     }
 
     /// Number of worker shards.
@@ -80,6 +99,8 @@ pub struct TelemetrySample {
     pub t_ns: u64,
     /// Cumulative per-worker snapshots (index = worker id).
     pub workers: Vec<WorkerSample>,
+    /// Cumulative rx-thread counters (socket ingestion runs only).
+    pub rx: Option<RxSample>,
 }
 
 /// Sampler configuration.
@@ -113,6 +134,8 @@ pub struct TelemetryRun {
     pub prom_addr: Option<String>,
     /// Scrapes the listener served.
     pub scrapes: u64,
+    /// Final rx-thread counters (socket ingestion runs only).
+    pub rx_totals: Option<RxSample>,
 }
 
 /// Handle to the running sampler thread.
@@ -180,6 +203,7 @@ fn sampler_loop<F: Fn() -> u64>(
         jsonl_error: None,
         prom_addr: prom.as_ref().map(|p| p.local_addr().to_string()),
         scrapes: 0,
+        rx_totals: None,
     };
     let stages: Vec<String> = hub.stage_labels().to_vec();
     let mut writer = match &cfg.jsonl_path {
@@ -201,12 +225,18 @@ fn sampler_loop<F: Fn() -> u64>(
     };
 
     let mut prev = hub.zeroed();
+    let mut prev_rx = RxSample::default();
     loop {
         let stopping = stop.load(Ordering::Acquire);
         let t = now_ns();
         let cur = hub.snapshot();
+        let cur_rx = hub.rx_snapshot();
         if let Some(w) = writer.as_mut() {
-            for line in jsonl::sample_lines(t, &cur, &prev, &stages) {
+            let mut lines = jsonl::sample_lines(t, &cur, &prev, &stages);
+            if let Some(rx) = cur_rx.as_ref() {
+                lines.push(jsonl::rx_line(t, rx, &prev_rx));
+            }
+            for line in lines {
                 match writeln!(w, "{line}") {
                     Ok(()) => out.jsonl_lines += 1,
                     Err(e) => {
@@ -218,11 +248,20 @@ fn sampler_loop<F: Fn() -> u64>(
             }
         }
         if let Some(p) = prom.as_ref() {
-            p.publish(prom::render(t, &cur, &stages));
+            let mut body = prom::render(t, &cur, &stages);
+            if let Some(rx) = cur_rx.as_ref() {
+                body.push_str(&prom::render_rx(rx));
+            }
+            p.publish(body);
+        }
+        if let Some(rx) = cur_rx.as_ref() {
+            prev_rx = rx.clone();
+            out.rx_totals = Some(rx.clone());
         }
         out.samples.push(TelemetrySample {
             t_ns: t,
             workers: cur.clone(),
+            rx: cur_rx,
         });
         prev = cur;
         if stopping {

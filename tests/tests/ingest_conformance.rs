@@ -1,0 +1,218 @@
+//! Ingest conformance: real datagrams through real sockets must obey
+//! the same books as synthetic injection — with the socket's own
+//! failure modes accounted for explicitly.
+//!
+//! The contract under test: (1) the differential oracle holds
+//! end-to-end under both steering policies, pristine and with the
+//! pre-send corruptor flipping bits; (2) deliberate socket loss (the
+//! lossy harness suppresses every Nth frame at the sender) is
+//! *conserved* — delivered + malformed + other drops + runts +
+//! socket loss == sent, and what does arrive is still in per-flow
+//! arrival order; (3) the rx thread's telemetry counters stream
+//! through the live sampler as their own `"kind":"rx"` JSONL lines
+//! without disturbing the worker-sample stream.
+
+use falcon_dataplane::{PolicyKind, TelemetrySpec};
+use falcon_ingest::{run_ingest, IngestConfig};
+
+/// CI-sized live run: small enough for loopback on a shared runner,
+/// large enough that batching engages and every flow sees traffic.
+fn quick_cfg(policy: PolicyKind) -> IngestConfig {
+    IngestConfig {
+        policy,
+        workers: 2,
+        packets: 4_000,
+        flows: 4,
+        payload: 128,
+        work_scale_milli: 20,
+        oversubscribe: true,
+        ..IngestConfig::default()
+    }
+}
+
+/// ISSUE acceptance: the oracle passes end-to-end under both steering
+/// policies.
+#[test]
+fn oracle_green_under_both_policies() {
+    for policy in [PolicyKind::Vanilla, PolicyKind::Falcon] {
+        let run = run_ingest(&quick_cfg(policy)).expect("run");
+        assert!(
+            run.oracle.ok,
+            "{policy:?}: oracle failed: {:?}",
+            run.oracle.errors
+        );
+        assert_eq!(run.sent.sent, 4_000, "{policy:?}");
+        assert!(run.out.delivered() > 0, "{policy:?}: deliveries happened");
+        // Pristine loopback at this size: no runts, rx conservation
+        // exact.
+        assert_eq!(run.rx.runts, 0, "{policy:?}");
+        assert_eq!(run.rx.injected, run.rx.datagrams, "{policy:?}");
+        assert_eq!(run.out.injected, run.rx.injected, "{policy:?}");
+    }
+}
+
+/// ISSUE acceptance: the oracle still passes with the corruptor
+/// enabled — corrupted frames become malformed drops (or, for flips in
+/// non-checksummed header bytes, misattributed deliveries bounded by
+/// the flip count), never silent wrong-byte deliveries.
+#[test]
+fn oracle_green_with_corruptor_under_both_policies() {
+    for policy in [PolicyKind::Vanilla, PolicyKind::Falcon] {
+        let cfg = IngestConfig {
+            corrupt_per_million: 80_000, // ~8 % of frames
+            seed: 11,
+            ..quick_cfg(policy)
+        };
+        let run = run_ingest(&cfg).expect("run");
+        assert!(run.sent.corrupted > 0, "{policy:?}: corruptor engaged");
+        assert!(
+            run.oracle.ok,
+            "{policy:?}: oracle failed under corruption: {:?}",
+            run.oracle.errors
+        );
+        assert!(
+            run.oracle.malformed > 0,
+            "{policy:?}: stages caught none of {} corrupt frames",
+            run.sent.corrupted
+        );
+        // Strays are bounded by what the corruptor touched.
+        assert!(
+            run.oracle.digest_mismatches + run.oracle.misattributed <= run.sent.corrupted,
+            "{policy:?}"
+        );
+    }
+}
+
+/// Satellite: the lossy-socket harness. Every Nth frame is suppressed
+/// at the sender; the oracle's conservation identity must name that
+/// loss exactly, and the frames that did arrive must still be in
+/// per-flow send order.
+#[test]
+fn lossy_socket_conserves_and_keeps_per_flow_order() {
+    let cfg = IngestConfig {
+        drop_every_n: 7,
+        ..quick_cfg(PolicyKind::Falcon)
+    };
+    let run = run_ingest(&cfg).expect("run");
+    assert_eq!(
+        run.sent.suppressed,
+        4_000 / 7,
+        "harness suppressed every 7th"
+    );
+    assert!(
+        run.oracle.ok,
+        "oracle failed under deliberate loss: {:?}",
+        run.oracle.errors
+    );
+    // Loss is explicit: at least the suppressed frames are socket
+    // loss, and conservation closed (oracle.ok checked it; re-derive
+    // the headline identity here for the record).
+    assert!(run.oracle.socket_loss >= run.sent.suppressed);
+    let other_drops = run.out.dropped() - run.oracle.malformed.min(run.out.dropped());
+    assert_eq!(
+        run.out.delivered()
+            + run.oracle.malformed
+            + other_drops
+            + run.rx.runts
+            + run.oracle.socket_loss,
+        run.sent.sent,
+        "delivered + malformed + drops + runts + socket_loss == sent"
+    );
+    // Per-flow arrival order: every flow's delivered digests are an
+    // in-order subsequence (oracle.ok), and with a gap-only fault
+    // model nothing is misattributed.
+    assert_eq!(run.oracle.digest_mismatches, 0);
+    assert_eq!(run.oracle.misattributed, 0);
+}
+
+/// The lossy harness composed with corruption: both fault models at
+/// once, books still closed.
+#[test]
+fn loss_and_corruption_compose() {
+    let cfg = IngestConfig {
+        drop_every_n: 9,
+        corrupt_per_million: 50_000,
+        seed: 23,
+        ..quick_cfg(PolicyKind::Falcon)
+    };
+    let run = run_ingest(&cfg).expect("run");
+    assert!(run.sent.suppressed > 0);
+    assert!(run.sent.corrupted > 0);
+    assert!(
+        run.oracle.ok,
+        "oracle failed under loss+corruption: {:?}",
+        run.oracle.errors
+    );
+}
+
+/// Rx-thread telemetry: with the live sampler attached, the rx
+/// counters stream as `"kind":"rx"` lines alongside (not inside) the
+/// worker sample stream, their deltas re-add to the run's rx totals,
+/// and the run summary carries the final snapshot.
+#[test]
+fn rx_counters_stream_through_live_sampler() {
+    let dir = std::env::temp_dir().join("falcon-ingest-conformance");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("rx-stream-{}.jsonl", std::process::id()));
+    let cfg = IngestConfig {
+        packets: 8_000,
+        telemetry: Some(TelemetrySpec {
+            interval_ms: 1,
+            jsonl_path: Some(path.to_string_lossy().into_owned()),
+            ..TelemetrySpec::default()
+        }),
+        ..quick_cfg(PolicyKind::Falcon)
+    };
+    let run = run_ingest(&cfg).expect("run");
+    assert!(run.oracle.ok, "{:?}", run.oracle.errors);
+    let telem = run.out.telemetry.as_ref().expect("telemetry enabled");
+    let rx_totals = telem.rx_totals.as_ref().expect("rx totals in summary");
+    assert_eq!(
+        rx_totals.datagrams, run.rx.datagrams,
+        "summary matches rx thread"
+    );
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut rx_lines = 0u64;
+    let mut datagrams_from_deltas = 0u64;
+    let mut sample_lines = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let v: serde::Value = serde_json::from_str(line).expect("line parses");
+        let kind = v.get("kind").and_then(serde::Value::as_str).unwrap();
+        if i == 0 {
+            assert_eq!(kind, "header");
+            continue;
+        }
+        match kind {
+            "sample" => sample_lines += 1,
+            "rx" => {
+                rx_lines += 1;
+                datagrams_from_deltas += v.get("datagrams").and_then(serde::Value::as_u64).unwrap();
+                // Cumulative gauge rides every rx line.
+                assert!(v.get("sock_drops_total").is_some());
+            }
+            other => panic!("unexpected line kind {other:?}"),
+        }
+    }
+    assert!(sample_lines > 0, "worker stream still present");
+    assert!(rx_lines > 0, "rx stream present");
+    assert_eq!(
+        datagrams_from_deltas, run.rx.datagrams,
+        "rx JSONL deltas re-add to the rx thread's datagram count"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// The portable `recv` loop backend sees the same world as
+/// `recvmmsg`: oracle green, identical conservation.
+#[test]
+fn portable_rx_backend_conforms() {
+    let cfg = IngestConfig {
+        force_portable_rx: true,
+        ..quick_cfg(PolicyKind::Falcon)
+    };
+    let run = run_ingest(&cfg).expect("run");
+    assert_eq!(run.rx.backend, "recv-loop");
+    assert!(run.oracle.ok, "{:?}", run.oracle.errors);
+    assert_eq!(run.out.injected, run.rx.injected);
+}

@@ -151,6 +151,7 @@ fn jsonl_stream_is_well_formed_and_conserves() {
         interval_ms: 1,
         jsonl_path: Some(path.to_string_lossy().into_owned()),
         prom_addr: None,
+        prom_addr_tx: None,
     });
     let out = run_scenario(&s);
     let run = out.telemetry.as_ref().expect("telemetry enabled");
@@ -213,29 +214,37 @@ fn jsonl_stream_is_well_formed_and_conserves() {
 /// A live scrape during the run returns parseable Prometheus text
 /// exposition (no curl needed: [`falcon_telemetry::scrape`] is a
 /// plain-TCP test client), and the listener's scrape count lands in
-/// the run summary.
+/// the run summary. The listener binds port 0 and reports its actual
+/// address through `prom_addr_tx` — no probe-bind/release race: the
+/// address that arrives on the channel is, by construction, a port the
+/// listener owns right now.
 #[test]
 fn prometheus_endpoint_serves_parseable_exposition() {
-    // Pick a free port, then hand the (briefly released) address to
-    // the sampler; the bind happens inside run_scenario before the
-    // workers start.
-    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = probe.local_addr().unwrap();
-    drop(probe);
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
     let mut s = telem_scenario(PolicyKind::Falcon, 2, true);
     s.packets = 40_000; // long enough to scrape mid-flight
     s.telemetry = Some(TelemetrySpec {
         interval_ms: 1,
         jsonl_path: None,
-        prom_addr: Some(addr.to_string()),
+        prom_addr: Some("127.0.0.1:0".to_string()),
+        prom_addr_tx: Some(addr_tx),
     });
     let runner = std::thread::spawn(move || run_scenario(&s));
-    // Retry until the listener is up; the run outlives many retries.
+    let addr = addr_rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("bound address arrives while the run is in flight");
+    assert_ne!(addr.port(), 0, "ephemeral bind resolved to a real port");
+    // The listener owns the port already — a connect cannot race the
+    // bind. It can still beat the sampler's *first tick*, in which
+    // case the exposition body is legitimately empty; retry until a
+    // tick has populated it.
     let mut body = None;
     for _ in 0..2_000 {
         if let Ok(text) = falcon_telemetry::scrape(&addr) {
-            body = Some(text);
-            break;
+            if !falcon_telemetry::parse_exposition(&text).is_empty() {
+                body = Some(text);
+                break;
+            }
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
@@ -261,5 +270,9 @@ fn prometheus_endpoint_serves_parseable_exposition() {
     }
     let run = out.telemetry.as_ref().expect("telemetry enabled");
     assert!(run.scrapes >= 1, "listener counted our scrape");
-    assert!(run.prom_addr.is_some(), "bound address reported");
+    assert_eq!(
+        run.prom_addr.as_deref(),
+        Some(addr.to_string().as_str()),
+        "summary reports the same bound address the channel delivered"
+    );
 }
