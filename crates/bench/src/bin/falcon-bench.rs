@@ -96,7 +96,8 @@ fn usage() {
     eprintln!(
         "usage: falcon-bench [--json] [--quick] [--out <path>] [--dataplane] \
          [--wire] [--split-gro] [--dataplane-out <path>] [--workers <n>] \
-         [--flows <n>] [--sweep] [--sweep-out <path>] [--telemetry] \
+         [--flows <n>] [--flow-cache] [--flow-cache-entries <n>] \
+         [--sweep] [--sweep-out <path>] [--telemetry] \
          [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
          [--prom-addr <ip:port>] [--ingest] [--ingest-out <path>] \
          [--rx-batch <n>]\n\
@@ -120,7 +121,12 @@ fn usage() {
          (batched recvmmsg rx thread, differential oracle with explicit \
          loss accounting) and writes the vanilla-vs-falcon comparison \
          to --ingest-out (default BENCH_ingest.json); --rx-batch sets \
-         its datagrams per batched read"
+         its datagrams per batched read; --flow-cache adds a cached leg \
+         to the --wire comparison and sweep (per-worker flow-verdict \
+         cache, hit/miss/eviction/invalidation counters and the \
+         cached-vs-uncached goodput ratio land in the artifact); \
+         --flow-cache-entries sets its per-worker capacity (default \
+         4096, implies --flow-cache)"
     );
 }
 
@@ -134,6 +140,8 @@ fn main() -> ExitCode {
     let mut dataplane_out: Option<String> = None;
     let mut workers: usize = 4;
     let mut flows: u64 = 1;
+    let mut flow_cache = false;
+    let mut flow_cache_entries: usize = 4096;
     let mut run_sweep = false;
     let mut sweep_out = "BENCH_sweep.json".to_string();
     let mut telemetry = false;
@@ -180,6 +188,18 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => flows = n,
                 _ => {
                     eprintln!("--flows requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--flow-cache" => flow_cache = true,
+            "--flow-cache-entries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => {
+                    flow_cache = true;
+                    flow_cache_entries = n;
+                }
+                _ => {
+                    eprintln!("--flow-cache-entries requires a positive integer");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -304,7 +324,16 @@ fn main() -> ExitCode {
             prom_addr: prom_addr.clone(),
             prom_addr_tx: Some(prom_addr_tx.clone()),
         });
-        let cmp = dataplane::run_comparison_with(scale, workers, flows, split_gro, wire, spec);
+        let cache_entries = (wire && flow_cache).then_some(flow_cache_entries);
+        let cmp = dataplane::run_comparison_with(
+            scale,
+            workers,
+            flows,
+            split_gro,
+            wire,
+            spec,
+            cache_entries,
+        );
         print!("{}", dataplane::render(&cmp));
         // Keep BENCH_dataplane.json for the modeled-cost run; the
         // byte-carrying variant defaults to its own artifact.
@@ -362,7 +391,8 @@ fn main() -> ExitCode {
 
     if run_sweep {
         eprintln!("dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s)...");
-        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire);
+        let cache_entries = (wire && flow_cache).then_some(flow_cache_entries);
+        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire, cache_entries);
         print!("{}", dataplane::render_sweep(&sweep));
         let sweep_json = serde_json::to_string_pretty(&sweep).expect("serializable");
         if let Err(e) = std::fs::write(&sweep_out, sweep_json) {

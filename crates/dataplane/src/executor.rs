@@ -64,8 +64,9 @@ use falcon_trace::{
     HOP_HASH_INIT, STAGE_B_CHECK,
 };
 use falcon_wire::{
-    bridge_lookup, deliver_verify, gro_coalesce, pnic_verify, vxlan_decap, Corruptor, Delivery,
-    Fdb, FrameFactory, WireError,
+    bridge_lookup, deliver_verify, flow_cache_key, full_verdict, gro_coalesce, pnic_verify,
+    vxlan_decap, CacheStats, Corruptor, Delivery, Fdb, FlowCache, FrameFactory, Lookup, SharedFdb,
+    WireError,
 };
 
 use crate::affinity::{available_cores, clamp_workers, pin_current_thread};
@@ -194,6 +195,18 @@ pub struct Scenario {
     /// Seed of the wire-mode corruptor stream; a fixed `(seed, rate)`
     /// corrupts the same segments every run.
     pub wire_seed: u64,
+    /// Wire mode: give every worker a private flow-verdict cache
+    /// ([`falcon_wire::FlowCache`]). The slow-path result — decap
+    /// offsets, bridge port — is cached per flow after one full
+    /// verifying pass, so subsequent packets of the flow skip the
+    /// modeled decap and bridge stages entirely (the pNIC stages keep
+    /// their driver budget; the delivery stage's inner checksum and
+    /// digest always run). Cached verdicts are epoch-invalidated on any
+    /// FDB change. Ignored unless `wire` is on.
+    pub flow_cache: bool,
+    /// Entries per worker's flow cache (rounded up to a power of two,
+    /// minimum 8). Ignored unless `flow_cache` is on.
+    pub flow_cache_entries: usize,
     /// Live telemetry: when set, every worker publishes its shard each
     /// sweep and a sampler thread snapshots the shards on the
     /// configured interval, streaming JSONL / Prometheus / Perfetto
@@ -243,6 +256,8 @@ impl Default for Scenario {
             wire: false,
             corrupt_per_million: 0,
             wire_seed: 1,
+            flow_cache: false,
+            flow_cache_entries: 4096,
             telemetry: None,
         }
     }
@@ -370,6 +385,12 @@ struct DpPkt {
     /// clock, across migrations) so the receiving worker's clock jumps
     /// past every record that happens-before this packet's next one.
     lc: u64,
+    /// Flow-cache key of this packet's (single-segment) frame, hashed
+    /// once at the first cache consult and carried across hops so later
+    /// stages probe without re-hashing. `None` until computed — and
+    /// `None` again on an uncacheable frame, which re-derives per stage
+    /// (rare: short or non-UDP/TCP inner frames).
+    cache_key: Option<u64>,
 }
 
 /// What one worker brings home after the run.
@@ -419,6 +440,9 @@ pub struct WorkerStats {
     /// Wire mode: bytes each stage touched (on-wire size until decap,
     /// inner-frame size after; 4 or 5 entries).
     pub bytes_per_stage: Vec<u64>,
+    /// Flow-verdict cache counters (hits, misses, evictions,
+    /// invalidations) — all zero unless the run had `flow_cache` on.
+    pub flow_cache: CacheStats,
     /// Where this worker's wall-clock went: every ns between the start
     /// barrier and thread exit lands in exactly one of the five
     /// attribution buckets (busy work, stalled pushing into a full
@@ -546,6 +570,31 @@ impl RunOutput {
         per_stage
     }
 
+    /// Flow-verdict cache counters summed across workers (all zero
+    /// when the run had no cache).
+    pub fn flow_cache_stats(&self) -> CacheStats {
+        let mut out = CacheStats::default();
+        for w in &self.workers_stats {
+            out.hits += w.flow_cache.hits;
+            out.misses += w.flow_cache.misses;
+            out.evictions += w.flow_cache.evictions;
+            out.invalidations += w.flow_cache.invalidations;
+        }
+        out
+    }
+
+    /// Flow-cache hit rate, `hits / (hits + misses)` (0.0 when the
+    /// cache never consulted).
+    pub fn flow_cache_hit_rate(&self) -> f64 {
+        let s = self.flow_cache_stats();
+        let consults = s.hits + s.misses;
+        if consults == 0 {
+            0.0
+        } else {
+            s.hits as f64 / consults as f64
+        }
+    }
+
     /// Stage executions summed across workers, by stage index.
     pub fn processed_per_stage(&self) -> Vec<u64> {
         let mut per_stage = vec![0u64; self.stages()];
@@ -663,7 +712,10 @@ fn drop_reason_into(split: bool, stage: u8) -> DropReason {
 /// Per-worker wire-mode context: what the byte-level stage work needs
 /// beyond the packet's own buffer.
 struct WireCtx {
-    fdb: Arc<Fdb>,
+    /// The bridge FDB, shared across workers behind an epoch-stamped
+    /// RwLock so control-plane mutations (tests, future config reload)
+    /// invalidate every worker's cached verdicts.
+    fdb: Arc<SharedFdb>,
     host_mac: MacAddr,
     vni: u32,
 }
@@ -682,15 +734,68 @@ struct WireCtx {
 /// - container stack: inner L4 checksum verify and the payload
 ///   delivery digest.
 ///
-/// Returns the delivery evidence at the last stage, `None` earlier.
+/// Returns the delivery evidence at the last stage, `None` earlier;
+/// the `bool` is true when a fresh flow-cache hit replaced the stage's
+/// kernel work outright (decap / bridge), telling the caller to skip
+/// the modeled stage budget too.
+///
+/// With a cache, single-segment frames are keyed ([`flow_cache_key`])
+/// and consulted at every stage before the delivery verify:
+///
+/// - A **fresh hit** at decap applies the cached inner-frame offsets;
+///   at the bridge it stands in for both FDB lookups. Both skip the
+///   stage's modeled spin — the cached path genuinely avoids that
+///   kernel work, which is the goodput win. A hit at the pNIC stages
+///   skips the redundant outer verify but keeps the spin: the driver
+///   poll and GRO machinery run regardless of what the stack caches.
+/// - A **miss** (or an epoch-stale entry, dropped by the lookup) runs
+///   the stage's full verifying slow path, then re-proves the complete
+///   chain ([`full_verdict`]) and fills the cache — under the FDB read
+///   guard, reading the epoch under that same guard, so a concurrent
+///   FDB change can never produce a verdict stamped fresher than the
+///   table it was proven against. Failing frames are never cached.
+///
+/// The delivery stage is never cached: the inner L4 checksum and the
+/// payload digest cover per-packet bytes, so they always run — cached
+/// and uncached runs drop payload corruption at the same stage.
 fn wire_stage_work(
     wire: &WireCtx,
     split: bool,
     stage: u8,
     buf: &mut WireBuf,
-) -> Result<Option<Delivery>, WireError> {
+    mut cache: Option<&mut FlowCache>,
+    cache_key: &mut Option<u64>,
+) -> Result<(Option<Delivery>, bool), WireError> {
     let op = if split { stage } else { stage + 1 };
-    match op {
+    // Cache consult: single-segment frames only (a pre-GRO segment
+    // train has no stable key until coalescing re-encapsulates it).
+    let mut consulted_miss = false;
+    if let Some(cache) = cache.as_deref_mut() {
+        if op < 4 && buf.segs.len() == 1 {
+            if cache_key.is_none() {
+                *cache_key = flow_cache_key(&buf.segs[0]);
+            }
+            if let Some(key) = *cache_key {
+                match cache.lookup(key, wire.fdb.epoch()) {
+                    Lookup::Fresh(v) => match op {
+                        // The verdict proves the outer envelope already
+                        // verified byte-identically (modulo fields the
+                        // delivery stage re-checks), so the pNIC verify
+                        // is redundant — but its driver budget is not.
+                        0 | 1 => return Ok((None, false)),
+                        2 => {
+                            buf.inner = Some(v.inner_start as usize..v.inner_end as usize);
+                            return Ok((None, true));
+                        }
+                        3 => return Ok((None, true)),
+                        _ => unreachable!("delivery is never cached"),
+                    },
+                    Lookup::Stale | Lookup::Miss => consulted_miss = true,
+                }
+            }
+        }
+    }
+    let result = match op {
         // Split stage 0 verifies only; unsplit stage 0 (op 1 skipped
         // via the offset) both verifies and coalesces.
         0 => pnic_verify(buf, wire.host_mac).map(|()| None),
@@ -701,10 +806,24 @@ fn wire_stage_work(
             gro_coalesce(buf).map(|()| None)
         }
         2 => vxlan_decap(buf, wire.vni).map(|()| None),
-        3 => bridge_lookup(buf, &wire.fdb).map(|_port| None),
+        3 => bridge_lookup(buf, &wire.fdb.read()).map(|_port| None),
         4 => deliver_verify(buf).map(Some),
         _ => unreachable!("no wire work for stage {stage}"),
+    };
+    // Fill on a consulted miss whose slow work just passed: prove the
+    // whole chain once and cache the verdict, so this flow's remaining
+    // stages — and every later packet of the flow — hit. The epoch is
+    // read under the same read guard the proof runs against.
+    if result.is_ok() && consulted_miss {
+        if let (Some(cache), Some(key)) = (cache, *cache_key) {
+            let fdb = wire.fdb.read();
+            let epoch = wire.fdb.epoch();
+            if let Some(v) = full_verdict(&buf.segs[0], wire.host_mac, wire.vni, &fdb, epoch) {
+                cache.insert(key, v);
+            }
+        }
     }
+    result.map(|d| (d, false))
 }
 
 /// The inbound-ring visit order for sweep number `sweep` of a worker
@@ -736,6 +855,10 @@ struct WorkerCtx {
     /// Wire-mode context (`None` = stages spin their full budget with
     /// no byte work, the pre-wire behavior).
     wire: Option<WireCtx>,
+    /// This worker's private flow-verdict cache (`None` = every packet
+    /// takes the full verifying slow path). Private per worker: no
+    /// interior locking, no cross-core cache-line traffic.
+    cache: Option<FlowCache>,
     epoch: Epoch,
     /// This worker's Lamport clock for the ordering audit (see
     /// [`OrderRec`]): bumped past the packet's carried clock on every
@@ -969,6 +1092,12 @@ impl WorkerCtx {
     /// the service-time scratch into the per-stage histograms. No-op
     /// (beyond clearing the scratch) when telemetry is off.
     fn publish_telemetry(&mut self) {
+        // Mirror the cache's lifetime counters into the stats snapshot
+        // first: the final `run()` publish is what makes them visible
+        // to the orchestrator even with telemetry off.
+        if let Some(cache) = &self.cache {
+            self.stats.flow_cache = cache.stats;
+        }
         let Some(writer) = self.telemetry.as_mut() else {
             self.hist_scratch.clear();
             return;
@@ -994,6 +1123,10 @@ impl WorkerCtx {
             s.counters.decisions = stats.decisions;
             s.counters.second_choices = stats.second_choices;
             s.counters.migrations = stats.migrations;
+            s.counters.flow_cache_hits = stats.flow_cache.hits;
+            s.counters.flow_cache_misses = stats.flow_cache.misses;
+            s.counters.flow_cache_evictions = stats.flow_cache.evictions;
+            s.counters.flow_cache_invalidations = stats.flow_cache.invalidations;
             s.stall = stats.stall.clone();
             s.ring_depth = depth;
             s.depth_staleness = staleness;
@@ -1026,21 +1159,28 @@ impl WorkerCtx {
             // Wire mode: do the stage's real byte work first, then spin
             // out whatever remains of the modeled budget — the stage's
             // core occupancy stays calibrated to the cost model while
-            // the bytes stay honest.
+            // the bytes stay honest. A fresh flow-cache hit at the
+            // decap or bridge stage skips the budget too: the cached
+            // verdict replaces that stage's kernel work outright.
             let mut delivery = None;
+            let mut cache_hit_skip = false;
             if let Some(wire) = self.wire.as_ref() {
+                let split = self.split;
+                let cache = self.cache.as_mut();
+                let cache_key = &mut pkt.cache_key;
                 let outcome = pkt
                     .desc
                     .wire
                     .as_deref_mut()
                     .ok_or(WireError::NoBuffer)
                     .and_then(|buf| {
-                        wire_stage_work(wire, self.split, stage, buf)
-                            .map(|d| (d, falcon_wire::stage_touched_bytes(buf)))
+                        wire_stage_work(wire, split, stage, buf, cache, cache_key)
+                            .map(|(d, skip)| (d, skip, falcon_wire::stage_touched_bytes(buf)))
                     });
                 match outcome {
-                    Ok((d, touched)) => {
+                    Ok((d, skip, touched)) => {
                         delivery = d;
+                        cache_hit_skip = skip;
                         self.stats.bytes_per_stage[stage as usize] += touched;
                     }
                     Err(_malformed) => {
@@ -1078,7 +1218,15 @@ impl WorkerCtx {
             }
             let spun = if self.wire.is_some() {
                 let wire_ns = self.epoch.now_ns().saturating_sub(start);
-                wire_ns + spin_for_ns(service_ns.saturating_sub(wire_ns))
+                if cache_hit_skip {
+                    // Fresh flow-cache hit at decap/bridge: the cached
+                    // verdict replaced the stage's kernel work, so the
+                    // modeled budget is genuinely not owed. This is
+                    // where the cache buys goodput.
+                    wire_ns
+                } else {
+                    wire_ns + spin_for_ns(service_ns.saturating_sub(wire_ns))
+                }
             } else {
                 spin_for_ns(service_ns)
             };
@@ -1360,11 +1508,16 @@ pub struct Injector {
     policy: Arc<Policy>,
     flows: Arc<FlowTable>,
     depths: Arc<DepthGauge>,
+    delivered: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
     epoch: Epoch,
     tracer: Tracer,
     rx_counters: Arc<falcon_telemetry::RxCounters>,
     telem_hub: Option<Arc<Hub>>,
+    /// Wire mode: the run's shared bridge FDB, so a scripted source can
+    /// mutate the control plane mid-run (epoch-invalidating every
+    /// worker's cached flow verdicts). `None` outside wire mode.
+    fdb: Option<Arc<SharedFdb>>,
     injected: u64,
     inject_drops: u64,
     bytes_injected: u64,
@@ -1386,6 +1539,32 @@ impl Injector {
     /// stayed full past the yield budget.
     pub fn inject_drops(&self) -> u64 {
         self.inject_drops
+    }
+
+    /// Wire mode: the run's shared bridge FDB. Mutating it (set /
+    /// remove) bumps the invalidation epoch, so every worker's cached
+    /// flow verdicts re-verify on their next consult. The FDB-churn
+    /// conformance tests drive this between injection phases.
+    pub fn fdb(&self) -> Option<&Arc<SharedFdb>> {
+        self.fdb.as_ref()
+    }
+
+    /// Blocks until every packet injected so far is accounted for as a
+    /// delivery or a drop (60 s deadline, same as the orchestrator's
+    /// quiescence poll — it only trips if the pipeline wedges). A
+    /// scripted source calls this before mutating shared control-plane
+    /// state (e.g. the FDB) so the mutation is quiescent: no packet is
+    /// in flight to race it, which keeps churn runs deterministic.
+    pub fn wait_quiesced(&self) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while self.delivered.load(Ordering::Acquire) + self.dropped.load(Ordering::Acquire)
+            < self.injected
+        {
+            if std::time::Instant::now() >= deadline {
+                break;
+            }
+            std::thread::yield_now();
+        }
     }
 
     /// Rx-thread telemetry counters. Always present and free to
@@ -1434,6 +1613,7 @@ impl Injector {
             // migration the receiving worker must stamp past the
             // drained predecessor's records.
             lc: route.lc,
+            cache_key: None,
         };
         let dst = route.worker;
         let mut yields = 0u32;
@@ -1572,7 +1752,10 @@ where
     // read-only across workers.
     let wire_setup = if scenario.wire {
         let factory = FrameFactory::default();
-        let fdb = Arc::new(Fdb::for_flows(&factory, scenario.flows.max(1)));
+        let fdb = Arc::new(SharedFdb::new(Fdb::for_flows(
+            &factory,
+            scenario.flows.max(1),
+        )));
         Some((factory, fdb))
     } else {
         None
@@ -1679,6 +1862,8 @@ where
                 host_mac: FrameFactory::host_mac(),
                 vni: factory.vni,
             }),
+            cache: (scenario.wire && scenario.flow_cache)
+                .then(|| FlowCache::new(scenario.flow_cache_entries)),
             epoch,
             lc: 0,
             policy: Arc::clone(&policy),
@@ -1732,9 +1917,11 @@ where
         let policy = Arc::clone(&policy);
         let flows_table = Arc::clone(&flows);
         let depths = Arc::clone(&depths);
+        let delivered = Arc::clone(&delivered);
         let dropped = Arc::clone(&dropped);
         let barrier = Arc::clone(&barrier);
         let rx_counters = Arc::clone(&rx_counters);
+        let inj_fdb = wire_setup.as_ref().map(|(_, fdb)| Arc::clone(fdb));
         let trace_capacity = scenario.trace_capacity;
         std::thread::Builder::new()
             .name("dp-injector".to_string())
@@ -1750,11 +1937,13 @@ where
                     policy,
                     flows: flows_table,
                     depths,
+                    delivered,
                     dropped,
                     epoch,
                     tracer,
                     rx_counters,
                     telem_hub,
+                    fdb: inj_fdb,
                     injected: 0,
                     inject_drops: 0,
                     bytes_injected: 0,

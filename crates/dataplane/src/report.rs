@@ -128,6 +128,9 @@ pub struct DataplaneReport {
     /// Wire mode: bytes each stage touched, keyed by stage label
     /// (on-wire size until decap, inner-frame size after).
     pub bytes_per_stage: BTreeMap<String, u64>,
+    /// Flow-verdict cache counters plus the derived hit rate, when the
+    /// run consulted a cache (`None` on uncached runs).
+    pub flow_cache: Option<FlowCacheReport>,
     /// Per-worker stall attribution: where each worker's wall-clock
     /// went (busy / push-stalled / pop-sweeping / guard-steering /
     /// idle), summing to that worker's `wall_ns` by construction.
@@ -137,6 +140,60 @@ pub struct DataplaneReport {
     pub stall_coverage_min: f64,
     /// Live-telemetry summary, when the run sampled shards.
     pub telemetry: Option<TelemetrySummary>,
+}
+
+/// Flow-verdict cache counters for one run, summed across the workers'
+/// private caches, with the derived hit rate.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowCacheReport {
+    /// Consults that returned a fresh same-epoch verdict.
+    pub hits: u64,
+    /// Consults that took the verifying slow path (stale finds
+    /// included — the caller pays the slow path either way).
+    pub misses: u64,
+    /// Entries replaced to make room for new flows.
+    pub evictions: u64,
+    /// Entries dropped because an FDB epoch bump outdated them.
+    pub invalidations: u64,
+    /// `hits / (hits + misses)`.
+    pub hit_rate: f64,
+}
+
+/// The cached-vs-uncached differential recorded in `BENCH_wire.json`
+/// when `--flow-cache` is on: the same Falcon wire scenario re-run with
+/// per-worker flow-verdict caches, paired against the uncached Falcon
+/// leg. The acceptance bar is `goodput_ratio >= 1.0` with
+/// `hit_rate >= 0.9` on a steady-flow workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowCacheComparison {
+    /// Entries per worker cache.
+    pub entries: usize,
+    /// The cached Falcon leg (the uncached leg is the comparison's
+    /// `falcon` report).
+    pub cached: DataplaneReport,
+    /// Cached / uncached Falcon goodput (throughput ratio outside wire
+    /// mode); 1.0 when the baseline is degenerate.
+    pub goodput_ratio: f64,
+    /// Hit rate of the cached leg.
+    pub hit_rate: f64,
+}
+
+impl FlowCacheComparison {
+    /// Pairs the cached leg against the uncached Falcon baseline.
+    pub fn new(entries: usize, uncached: &DataplaneReport, cached: DataplaneReport) -> Self {
+        let (num, den) = if uncached.wire && uncached.goodput_gbps > 0.0 {
+            (cached.goodput_gbps, uncached.goodput_gbps)
+        } else {
+            (cached.throughput_pps, uncached.throughput_pps)
+        };
+        let hit_rate = cached.flow_cache.as_ref().map_or(0.0, |f| f.hit_rate);
+        FlowCacheComparison {
+            entries,
+            cached,
+            goodput_ratio: if den > 0.0 { num / den } else { 1.0 },
+            hit_rate,
+        }
+    }
 }
 
 /// What the telemetry sampler did during one run, condensed for the
@@ -287,6 +344,17 @@ impl DataplaneReport {
                 .zip(out.bytes_per_stage().iter())
                 .map(|(l, &n)| (l.to_string(), n))
                 .collect(),
+            flow_cache: {
+                let s = out.flow_cache_stats();
+                let consults = s.hits + s.misses;
+                (consults > 0).then(|| FlowCacheReport {
+                    hits: s.hits,
+                    misses: s.misses,
+                    evictions: s.evictions,
+                    invalidations: s.invalidations,
+                    hit_rate: s.hits as f64 / consults as f64,
+                })
+            },
             per_worker_stall: out.workers_stats.iter().map(|w| w.stall.clone()).collect(),
             stall_coverage_min: out
                 .workers_stats
@@ -346,6 +414,9 @@ pub struct DataplaneComparison {
     /// The sampler-on vs sampler-off cost record, when the comparison
     /// ran the overhead experiment (wire + telemetry runs).
     pub telemetry_overhead: Option<TelemetryOverhead>,
+    /// The cached-vs-uncached flow-verdict-cache differential, when the
+    /// comparison was asked for one (`--flow-cache`).
+    pub flow_cache: Option<FlowCacheComparison>,
 }
 
 impl DataplaneComparison {
@@ -370,6 +441,7 @@ impl DataplaneComparison {
             falcon,
             speedup,
             telemetry_overhead: None,
+            flow_cache: None,
         }
     }
 }

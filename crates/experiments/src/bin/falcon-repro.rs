@@ -22,7 +22,8 @@ fn usage() {
     eprintln!(
         "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
          [--stage-latency] [--dataplane] [--wire] [--split-gro] [--workers <n>] \
-         [--flows <n>] [--dataplane-out <path>] [--dataplane-trace <out.json>] \
+         [--flows <n>] [--flow-cache] [--flow-cache-entries <n>] \
+         [--dataplane-out <path>] [--dataplane-trace <out.json>] \
          [--sweep] [--sweep-out <path>] [--telemetry] \
          [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
          [--prom-addr <ip:port>] [--ingest] [--ingest-out <path>] \
@@ -51,7 +52,12 @@ fn usage() {
          thread, differential oracle with explicit loss accounting) and \
          writes the vanilla-vs-falcon comparison to --ingest-out \
          (default BENCH_ingest.json); --rx-batch sets its datagrams per \
-         batched read\n\
+         batched read; --flow-cache adds a cached leg to the --wire \
+         comparison and sweep (per-worker flow-verdict cache on the rx \
+         path, hit/miss/eviction/invalidation counters and the \
+         cached-vs-uncached goodput ratio land in the artifact); \
+         --flow-cache-entries sets its per-worker capacity (default \
+         4096, implies --flow-cache)\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -71,6 +77,8 @@ fn main() -> ExitCode {
     let mut split_gro = false;
     let mut workers: usize = 4;
     let mut flows: u64 = 1;
+    let mut flow_cache = false;
+    let mut flow_cache_entries: usize = 4096;
     let mut dataplane_out: Option<String> = None;
     let mut dataplane_trace: Option<String> = None;
     let mut run_sweep = false;
@@ -113,6 +121,18 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => flows = n,
                 _ => {
                     eprintln!("--flows requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--flow-cache" => flow_cache = true,
+            "--flow-cache-entries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => {
+                    flow_cache = true;
+                    flow_cache_entries = n;
+                }
+                _ => {
+                    eprintln!("--flow-cache-entries requires a positive integer");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -297,7 +317,16 @@ fn main() -> ExitCode {
             prom_addr: prom_addr.clone(),
             prom_addr_tx: Some(prom_addr_tx.clone()),
         });
-        let cmp = dataplane::run_comparison_with(scale, workers, flows, split_gro, wire, spec);
+        let cache_entries = (wire && flow_cache).then_some(flow_cache_entries);
+        let cmp = dataplane::run_comparison_with(
+            scale,
+            workers,
+            flows,
+            split_gro,
+            wire,
+            spec,
+            cache_entries,
+        );
         if json {
             println!(
                 "{}",
@@ -389,7 +418,8 @@ fn main() -> ExitCode {
             if wire { ", wire bytes" } else { "" },
             if split_gro { ", split-gro 5-stage" } else { "" }
         );
-        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire);
+        let cache_entries = (wire && flow_cache).then_some(flow_cache_entries);
+        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire, cache_entries);
         if json {
             println!(
                 "{}",

@@ -19,8 +19,8 @@
 //! split run there would measure nothing.
 
 use falcon_dataplane::{
-    run_scenario, DataplaneComparison, DataplaneReport, PolicyKind, Scenario, SweepPoint,
-    SweepReport, TelemetryOverhead, TelemetrySpec, TrafficShape,
+    run_scenario, DataplaneComparison, DataplaneReport, FlowCacheComparison, PolicyKind, Scenario,
+    SweepPoint, SweepReport, TelemetryOverhead, TelemetrySpec, TrafficShape,
 };
 use falcon_trace::chrome;
 
@@ -77,10 +77,11 @@ pub fn run_comparison(
     split_gro: bool,
     wire: bool,
 ) -> DataplaneComparison {
-    run_comparison_with(scale, workers, flows, split_gro, wire, None)
+    run_comparison_with(scale, workers, flows, split_gro, wire, None, None)
 }
 
-/// [`run_comparison`] with live telemetry on the Falcon run.
+/// [`run_comparison`] with live telemetry on the Falcon run, and
+/// optionally the flow-verdict-cache differential leg.
 ///
 /// When `telemetry` is set, the Falcon leg runs with the sampler (and
 /// its exporters) attached, and a *third* pass — Falcon with telemetry
@@ -88,6 +89,12 @@ pub fn run_comparison(
 /// `telemetry_overhead` so `BENCH_wire.json` records the on/off goodput
 /// side by side. The vanilla leg always runs bare; the comparison's
 /// headline numbers stay an apples-to-apples policy contest.
+///
+/// When `flow_cache` is set (to the per-worker entry count), the same
+/// Falcon scenario is re-run with flow-verdict caches on and the
+/// cached-vs-uncached pair lands in `flow_cache` — both legs best-of-3
+/// (the primary Falcon run counts as one uncached sample), the same
+/// one-sided-noise treatment the telemetry-overhead pair gets.
 pub fn run_comparison_with(
     scale: Scale,
     workers: usize,
@@ -95,6 +102,7 @@ pub fn run_comparison_with(
     split_gro: bool,
     wire: bool,
     telemetry: Option<TelemetrySpec>,
+    flow_cache: Option<usize>,
 ) -> DataplaneComparison {
     let scenario = scenario_for(scale, workers, flows, split_gro, wire);
     let vanilla = DataplaneReport::from_run(&run_scenario(
@@ -155,6 +163,50 @@ pub fn run_comparison_with(
         }
         let best_off = best_off.expect("three off-runs");
         cmp.telemetry_overhead = Some(TelemetryOverhead::new(&best_off, &best_on, interval_ms));
+    }
+    if let Some(entries) = flow_cache {
+        // Best-of-3 per side, like the telemetry-overhead pair:
+        // preemption noise is one-sided, so the max per configuration
+        // estimates unpreempted capacity and the cache's systematic
+        // effect survives the ratio.
+        let key = |r: &DataplaneReport| {
+            if r.wire {
+                r.goodput_gbps
+            } else {
+                r.throughput_pps
+            }
+        };
+        let pick = |best: DataplaneReport, next: DataplaneReport| {
+            if key(&next) > key(&best) {
+                next
+            } else {
+                best
+            }
+        };
+        let mut best_uncached = cmp.falcon.clone();
+        for _ in 0..2 {
+            let uncached = DataplaneReport::from_run(&run_scenario(
+                &scenario.clone().with_policy(PolicyKind::Falcon),
+            ));
+            best_uncached = pick(best_uncached, uncached);
+        }
+        let mut best_cached: Option<DataplaneReport> = None;
+        for _ in 0..3 {
+            let mut cached_scenario = scenario.clone().with_policy(PolicyKind::Falcon);
+            cached_scenario.flow_cache = true;
+            cached_scenario.flow_cache_entries = entries;
+            let cached = DataplaneReport::from_run(&run_scenario(&cached_scenario));
+            best_cached = Some(match best_cached {
+                Some(best) => pick(best, cached),
+                None => cached,
+            });
+        }
+        let best_cached = best_cached.expect("three cached runs");
+        cmp.flow_cache = Some(FlowCacheComparison::new(
+            entries,
+            &best_uncached,
+            best_cached,
+        ));
     }
     cmp
 }
@@ -237,6 +289,13 @@ fn render_report(r: &DataplaneReport, out: &mut String) {
             r.stall_coverage_min,
         );
     }
+    if let Some(f) = &r.flow_cache {
+        let _ = writeln!(
+            out,
+            "            flow-cache: hit rate {:.4} ({} hits / {} misses)  evictions {}  invalidations {}",
+            f.hit_rate, f.hits, f.misses, f.evictions, f.invalidations,
+        );
+    }
     if let Some(t) = &r.telemetry {
         let _ = writeln!(
             out,
@@ -279,6 +338,14 @@ pub fn render(cmp: &DataplaneComparison) -> String {
             o.ratio, o.interval_ms, o.goodput_on_gbps, o.goodput_off_gbps,
         );
     }
+    if let Some(f) = &cmp.flow_cache {
+        let _ = writeln!(
+            out,
+            "  flow-cache ({} entries/worker): cached/uncached goodput ratio {:.4} ({:.3} vs {:.3} Gbit/s), hit rate {:.4}",
+            f.entries, f.goodput_ratio, f.cached.goodput_gbps, cmp.falcon.goodput_gbps, f.hit_rate,
+        );
+        render_report(&f.cached, &mut out);
+    }
     if cmp.host_cores < 4 {
         let _ = writeln!(
             out,
@@ -309,6 +376,10 @@ pub fn render(cmp: &DataplaneComparison) -> String {
 /// every point under forced-migration churn (and lifts the core clamp)
 /// so the conformance suite can prove the order audit holds at every
 /// grid cell under adversarial steering.
+///
+/// With `flow_cache` set (per-worker entries; wire mode only), every
+/// point also runs a third, cached Falcon leg and records the
+/// cached-vs-uncached pair in its comparison's `flow_cache` field.
 pub fn run_sweep(
     scale: Scale,
     max_flows: u64,
@@ -316,6 +387,7 @@ pub fn run_sweep(
     split_gro: bool,
     chaos_steer_period: u64,
     wire: bool,
+    flow_cache: Option<usize>,
 ) -> SweepReport {
     let max_flows = max_flows.max(1);
     let max_workers = max_workers.max(1);
@@ -344,7 +416,21 @@ pub fn run_sweep(
             let falcon = DataplaneReport::from_run(&run_scenario(
                 &scenario.clone().with_policy(PolicyKind::Falcon),
             ));
-            let comparison = DataplaneComparison::new(&scenario, vanilla, falcon);
+            let mut comparison = DataplaneComparison::new(&scenario, vanilla, falcon);
+            if let Some(entries) = flow_cache {
+                // One cached run per point: a grid already multiplies
+                // run count, so the sweep skips the best-of-3 noise
+                // treatment single comparisons get.
+                let mut cached_scenario = scenario.clone().with_policy(PolicyKind::Falcon);
+                cached_scenario.flow_cache = true;
+                cached_scenario.flow_cache_entries = entries;
+                let cached = DataplaneReport::from_run(&run_scenario(&cached_scenario));
+                comparison.flow_cache = Some(FlowCacheComparison::new(
+                    entries,
+                    &comparison.falcon,
+                    cached,
+                ));
+            }
             points.push(SweepPoint {
                 flows,
                 workers: comparison.workers,
@@ -385,7 +471,7 @@ pub fn render_sweep(sweep: &SweepReport) -> String {
     );
     for p in &sweep.points {
         let c = &p.comparison;
-        let _ = writeln!(
+        let _ = write!(
             out,
             "  {:>5} {:>7} | {:>12.0} {:>12.0} {:>7.2}x | {:>10.1} {:>10.1} | {:>6}",
             p.flows,
@@ -397,6 +483,14 @@ pub fn render_sweep(sweep: &SweepReport) -> String {
             c.falcon.latency.p99_ns as f64 / 1e3,
             c.vanilla.reorder_violations + c.falcon.reorder_violations,
         );
+        if let Some(f) = &c.flow_cache {
+            let _ = write!(
+                out,
+                " | cache {:>5.2}x hit {:.3}",
+                f.goodput_ratio, f.hit_rate
+            );
+        }
+        let _ = writeln!(out);
     }
     let _ = writeln!(
         out,
@@ -509,6 +603,7 @@ mod tests {
                 prom_addr: None,
                 prom_addr_tx: None,
             }),
+            None,
         );
         // Provenance stamp rides on every comparison artifact.
         assert_eq!(cmp.meta.schema_version, 1);
@@ -535,8 +630,35 @@ mod tests {
     }
 
     #[test]
+    fn quick_flow_cache_comparison_records_both_legs() {
+        let cmp = run_comparison_with(Scale::Quick, 2, 2, false, true, None, Some(1024));
+        let f = cmp.flow_cache.as_ref().expect("cached leg recorded");
+        assert_eq!(f.entries, 1024);
+        assert!(f.cached.wire);
+        assert_eq!(f.cached.delivered + f.cached.dropped, f.cached.injected);
+        assert_eq!(f.cached.reorder_violations, 0);
+        let fc = f.cached.flow_cache.as_ref().expect("cache counters");
+        assert!(fc.hits > 0);
+        assert!(
+            f.hit_rate >= 0.9,
+            "steady-flow hit rate must clear 0.9, got {}",
+            f.hit_rate
+        );
+        assert!(f.goodput_ratio > 0.0 && f.goodput_ratio.is_finite());
+        // The uncached legs never carry cache counters.
+        assert!(cmp.falcon.flow_cache.is_none());
+        assert!(cmp.vanilla.flow_cache.is_none());
+        let text = render(&cmp);
+        assert!(text.contains("flow-cache"), "{text}");
+        let json = serde_json::to_string(&cmp).expect("serializes");
+        assert!(json.contains("\"flow_cache\""));
+        assert!(json.contains("\"hit_rate\""));
+        assert!(json.contains("\"goodput_ratio\""));
+    }
+
+    #[test]
     fn tiny_sweep_covers_the_grid() {
-        let sweep = run_sweep(Scale::Quick, 2, 1, false, 0, false);
+        let sweep = run_sweep(Scale::Quick, 2, 1, false, 0, false, None);
         assert_eq!(sweep.points.len(), 2, "2 flows x 1 worker");
         assert_eq!(sweep.total_reorder_violations(), 0);
         for p in &sweep.points {

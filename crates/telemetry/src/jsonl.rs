@@ -111,6 +111,15 @@ pub fn sample_lines(
                 ("decisions", int(d.decisions)),
                 ("second_choices", int(d.second_choices)),
                 ("migrations", int(d.migrations)),
+                (
+                    "flow_cache",
+                    obj(vec![
+                        ("hits", int(d.flow_cache_hits)),
+                        ("misses", int(d.flow_cache_misses)),
+                        ("evictions", int(d.flow_cache_evictions)),
+                        ("invalidations", int(d.flow_cache_invalidations)),
+                    ]),
+                ),
                 ("stall", stall.to_value()),
                 ("ring_depth", int(c.ring_depth)),
                 ("depth_staleness", int(c.depth_staleness)),

@@ -65,6 +65,26 @@ pub fn render(t_ns: u64, workers: &[WorkerSample], stages: &[String]) -> String 
         "(flow, stage) migrations caused by this worker's decisions.",
         &per_worker(&|_, s| s.counters.migrations),
     );
+    counter(
+        "falcon_worker_flow_cache_hits_total",
+        "Flow-verdict cache consults that returned a fresh verdict.",
+        &per_worker(&|_, s| s.counters.flow_cache_hits),
+    );
+    counter(
+        "falcon_worker_flow_cache_misses_total",
+        "Flow-verdict cache consults that took the slow path (stale finds included).",
+        &per_worker(&|_, s| s.counters.flow_cache_misses),
+    );
+    counter(
+        "falcon_worker_flow_cache_evictions_total",
+        "Flow-verdict cache entries replaced to make room.",
+        &per_worker(&|_, s| s.counters.flow_cache_evictions),
+    );
+    counter(
+        "falcon_worker_flow_cache_invalidations_total",
+        "Flow-verdict cache entries dropped by FDB epoch bumps.",
+        &per_worker(&|_, s| s.counters.flow_cache_invalidations),
+    );
 
     let mut drop_lines = Vec::new();
     for (w, s) in workers.iter().enumerate() {

@@ -102,6 +102,14 @@ pub struct ShardCounters {
     pub second_choices: u64,
     /// (flow, stage) migrations this worker's decisions caused.
     pub migrations: u64,
+    /// Flow-verdict cache consults that returned a fresh verdict.
+    pub flow_cache_hits: u64,
+    /// Consults that found nothing usable (stale finds count here too).
+    pub flow_cache_misses: u64,
+    /// Cache entries replaced to make room for a new flow.
+    pub flow_cache_evictions: u64,
+    /// Entries dropped because an FDB epoch bump outdated them.
+    pub flow_cache_invalidations: u64,
 }
 
 impl ShardCounters {
@@ -141,6 +149,16 @@ impl ShardCounters {
             decisions: self.decisions.saturating_sub(earlier.decisions),
             second_choices: self.second_choices.saturating_sub(earlier.second_choices),
             migrations: self.migrations.saturating_sub(earlier.migrations),
+            flow_cache_hits: self.flow_cache_hits.saturating_sub(earlier.flow_cache_hits),
+            flow_cache_misses: self
+                .flow_cache_misses
+                .saturating_sub(earlier.flow_cache_misses),
+            flow_cache_evictions: self
+                .flow_cache_evictions
+                .saturating_sub(earlier.flow_cache_evictions),
+            flow_cache_invalidations: self
+                .flow_cache_invalidations
+                .saturating_sub(earlier.flow_cache_invalidations),
         }
     }
 
@@ -165,6 +183,10 @@ impl ShardCounters {
         self.decisions += delta.decisions;
         self.second_choices += delta.second_choices;
         self.migrations += delta.migrations;
+        self.flow_cache_hits += delta.flow_cache_hits;
+        self.flow_cache_misses += delta.flow_cache_misses;
+        self.flow_cache_evictions += delta.flow_cache_evictions;
+        self.flow_cache_invalidations += delta.flow_cache_invalidations;
     }
 }
 

@@ -1,0 +1,153 @@
+//! Flow-verdict cache: what does a hit save, and what does a miss
+//! cost?
+//!
+//! * `hit/N-flows` — per-packet cost of the cached fast path (key
+//!   hash + lookup + offset apply) with N distinct flows resident,
+//!   cycling through all of them so the probe windows stay warm but
+//!   not single-slot hot.
+//! * `slow/N-flows` — per-packet cost of the verifying slow chain the
+//!   hit replaces (outer parse + checksum, decap bounds, VNI check,
+//!   two FDB lookups, flow dissection) over the same frames.
+//! * `miss-storm` — every packet is a brand-new flow: key hash, failed
+//!   lookup, full slow chain, insert (with eviction once full). The
+//!   gap between this and `slow` is the cache's total overhead when it
+//!   never helps — the fallback-regression number.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use falcon_packet::WireBuf;
+use falcon_wire::{
+    flow_cache_key, full_verdict, stage, Fdb, FlowCache, FrameFactory, Lookup, Verdict,
+};
+
+const PAYLOAD: usize = 256;
+
+fn frames_for(flows: u64) -> Vec<Vec<u8>> {
+    let f = FrameFactory::default();
+    (0..flows)
+        .map(|flow| f.udp_wire(flow, 0, PAYLOAD).remove(0))
+        .collect()
+}
+
+/// The per-packet byte work of the three stages a fresh hit skips.
+fn slow_chain(frame: &[u8], fdb: &Fdb, vni: u32) -> u16 {
+    let mut buf = *WireBuf::single(frame.to_vec());
+    stage::pnic_verify(&buf, FrameFactory::host_mac()).expect("clean frame");
+    stage::vxlan_decap(&mut buf, vni).expect("clean frame");
+    stage::bridge_lookup(&buf, fdb).expect("programmed flow")
+}
+
+/// The per-packet work of a fresh hit: hash, probe, apply offsets.
+fn hit_chain(frame: &[u8], cache: &mut FlowCache) -> Verdict {
+    let key = flow_cache_key(frame).expect("cacheable frame");
+    match cache.lookup(key, 0) {
+        Lookup::Fresh(v) => {
+            let mut buf = *WireBuf::single(frame.to_vec());
+            buf.inner = Some(v.inner_start as usize..v.inner_end as usize);
+            black_box(&buf);
+            v
+        }
+        other => panic!("expected a fresh hit, got {other:?}"),
+    }
+}
+
+fn bench_hit_vs_slow(c: &mut Criterion) {
+    let f = FrameFactory::default();
+    for flows in [1u64, 64, 4096] {
+        let frames = frames_for(flows);
+        let fdb = Fdb::for_flows(&f, flows);
+        let mut cache = FlowCache::new(flows.max(8) as usize);
+        for frame in &frames {
+            let key = flow_cache_key(frame).unwrap();
+            let v = full_verdict(frame, FrameFactory::host_mac(), f.vni, &fdb, 0).unwrap();
+            cache.insert(key, v);
+        }
+        // A bounded probe window can evict under hash collisions even
+        // at load factor 1.0, so cycle the hit loop over the flows
+        // that actually stayed resident after the warm fill.
+        let resident: Vec<Vec<u8>> = frames
+            .iter()
+            .filter(|frame| {
+                let key = flow_cache_key(frame).expect("cacheable frame");
+                matches!(cache.lookup(key, 0), Lookup::Fresh(_))
+            })
+            .cloned()
+            .collect();
+        assert!(!resident.is_empty(), "warm fill left nothing resident");
+        let mut group = c.benchmark_group(&format!("flow_cache/{flows}-flows"));
+        group.throughput(Throughput::Elements(1));
+        let mut i = 0usize;
+        group.bench_function("hit", |b| {
+            b.iter(|| {
+                i = (i + 1) % resident.len();
+                hit_chain(black_box(&resident[i]), &mut cache)
+            })
+        });
+        // The executor hashes the frame once per packet and carries
+        // the key across every stage consult, so the probe-plus-apply
+        // cost with the key in hand is the marginal per-consult price.
+        let keys: Vec<u64> = resident
+            .iter()
+            .map(|frame| flow_cache_key(frame).expect("cacheable frame"))
+            .collect();
+        let mut k = 0usize;
+        group.bench_function("hit-keyed", |b| {
+            b.iter(|| {
+                k = (k + 1) % keys.len();
+                match cache.lookup(black_box(keys[k]), 0) {
+                    Lookup::Fresh(v) => black_box(v.bridge_port),
+                    other => panic!("expected a fresh hit, got {other:?}"),
+                }
+            })
+        });
+        let mut j = 0usize;
+        group.bench_function("slow", |b| {
+            b.iter(|| {
+                j = (j + 1) % frames.len();
+                slow_chain(black_box(&frames[j]), &fdb, f.vni)
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_miss_storm(c: &mut Criterion) {
+    let f = FrameFactory::default();
+    // Enough distinct flows that the measurement loop never wraps.
+    const STORM_FLOWS: u64 = 8192;
+    let frames = frames_for(STORM_FLOWS);
+    let fdb = Fdb::for_flows(&f, STORM_FLOWS);
+    let mut group = c.benchmark_group("flow_cache/miss-storm");
+    group.throughput(Throughput::Elements(1));
+    let mut cache = FlowCache::new(1024);
+    let mut i = 0usize;
+    group.bench_function("miss-fill", |b| {
+        b.iter(|| {
+            i = (i + 1) % frames.len();
+            let frame = black_box(&frames[i]);
+            let key = flow_cache_key(frame).expect("cacheable frame");
+            // All-new flows: the lookup misses, the slow chain runs,
+            // the verdict is inserted (evicting once the table fills).
+            match cache.lookup(key, 0) {
+                Lookup::Fresh(v) => v.bridge_port,
+                _ => {
+                    let port = slow_chain(frame, &fdb, f.vni);
+                    let v = full_verdict(frame, FrameFactory::host_mac(), f.vni, &fdb, 0)
+                        .expect("clean frame");
+                    cache.insert(key, v);
+                    port
+                }
+            }
+        })
+    });
+    let mut j = 0usize;
+    group.bench_function("slow-baseline", |b| {
+        b.iter(|| {
+            j = (j + 1) % frames.len();
+            slow_chain(black_box(&frames[j]), &fdb, f.vni)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_vs_slow, bench_miss_storm);
+criterion_main!(benches);

@@ -8,6 +8,8 @@
 //! is still caught at the bridge stage instead of delivering garbage.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard};
 
 use falcon_packet::MacAddr;
 
@@ -39,6 +41,16 @@ impl Fdb {
         self.ports.get(&mac.0).copied()
     }
 
+    /// Programs (or re-points) one MAC → port mapping.
+    pub fn set(&mut self, mac: MacAddr, port: u16) {
+        self.ports.insert(mac.0, port);
+    }
+
+    /// Unprograms one MAC, returning the port it pointed at.
+    pub fn remove(&mut self, mac: MacAddr) -> Option<u16> {
+        self.ports.remove(&mac.0)
+    }
+
     /// Number of programmed entries.
     pub fn len(&self) -> usize {
         self.ports.len()
@@ -47,6 +59,63 @@ impl Fdb {
     /// Whether the FDB is empty.
     pub fn is_empty(&self) -> bool {
         self.ports.is_empty()
+    }
+}
+
+/// A mutable FDB shared between the control plane and the workers,
+/// with an epoch counter the flow-verdict cache keys its invalidation
+/// on.
+///
+/// Every mutation bumps the epoch *while holding the write lock*, so a
+/// reader that takes the read lock and then reads the epoch sees an
+/// epoch consistent with the table contents — a cached verdict stamped
+/// with that epoch was proven against exactly that table. The
+/// lock-free [`SharedFdb::epoch`] read used on cache lookups is
+/// RCU-like: a packet racing a control-plane change may observe either
+/// the old or the new state (exactly like a frame in flight during a
+/// real `bridge fdb replace`), but an epoch observed after a change
+/// can never validate a verdict proven before it.
+#[derive(Debug, Default)]
+pub struct SharedFdb {
+    table: RwLock<Fdb>,
+    epoch: AtomicU64,
+}
+
+impl SharedFdb {
+    /// Wraps an initial table at epoch 0.
+    pub fn new(fdb: Fdb) -> SharedFdb {
+        SharedFdb {
+            table: RwLock::new(fdb),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The current invalidation epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Read access for the slow path (and for verdict fills, which
+    /// must read the epoch under the same guard via
+    /// [`SharedFdb::epoch`] to stamp a consistent verdict).
+    pub fn read(&self) -> RwLockReadGuard<'_, Fdb> {
+        self.table.read().expect("fdb lock never poisoned")
+    }
+
+    /// Programs (or re-points) a MAC → port mapping, invalidating all
+    /// cached verdicts by bumping the epoch.
+    pub fn set(&self, mac: MacAddr, port: u16) {
+        let mut g = self.table.write().expect("fdb lock never poisoned");
+        g.set(mac, port);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Unprograms a MAC, invalidating all cached verdicts.
+    pub fn remove(&self, mac: MacAddr) -> Option<u16> {
+        let mut g = self.table.write().expect("fdb lock never poisoned");
+        let prev = g.remove(mac);
+        self.epoch.fetch_add(1, Ordering::Release);
+        prev
     }
 }
 
@@ -66,5 +135,32 @@ mod tests {
             assert_ne!(fdb.lookup(src), fdb.lookup(dst));
         }
         assert_eq!(fdb.lookup(MacAddr::from_index(0xDEAD)), None);
+    }
+
+    #[test]
+    fn set_and_remove_mutate_the_table() {
+        let mut fdb = Fdb::default();
+        let mac = MacAddr::from_index(5);
+        assert_eq!(fdb.lookup(mac), None);
+        fdb.set(mac, 9);
+        assert_eq!(fdb.lookup(mac), Some(9));
+        fdb.set(mac, 10);
+        assert_eq!(fdb.lookup(mac), Some(10));
+        assert_eq!(fdb.remove(mac), Some(10));
+        assert_eq!(fdb.lookup(mac), None);
+    }
+
+    #[test]
+    fn shared_fdb_bumps_epoch_on_every_mutation() {
+        let f = FrameFactory::default();
+        let shared = SharedFdb::new(Fdb::for_flows(&f, 2));
+        assert_eq!(shared.epoch(), 0);
+        let (_, dst) = f.inner_macs(0);
+        shared.set(dst, 77);
+        assert_eq!(shared.epoch(), 1);
+        assert_eq!(shared.read().lookup(dst), Some(77));
+        assert_eq!(shared.remove(dst), Some(77));
+        assert_eq!(shared.epoch(), 2);
+        assert_eq!(shared.read().lookup(dst), None);
     }
 }

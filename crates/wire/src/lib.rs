@@ -14,14 +14,16 @@
 //! executor calls [`stage`] functions inside its stage budget and maps
 //! [`stage::WireError`] to `DropReason::Malformed`.
 
+pub mod cache;
 pub mod corrupt;
 pub mod factory;
 pub mod fdb;
 pub mod stage;
 
+pub use cache::{flow_cache_key, full_verdict, CacheStats, FlowCache, Lookup, Verdict};
 pub use corrupt::Corruptor;
 pub use factory::FrameFactory;
-pub use fdb::Fdb;
+pub use fdb::{Fdb, SharedFdb};
 pub use stage::{bridge_lookup, deliver_verify, gro_coalesce, pnic_verify, vxlan_decap};
 pub use stage::{Delivery, WireError};
 

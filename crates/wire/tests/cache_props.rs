@@ -1,0 +1,179 @@
+//! Properties of the flow-verdict cache.
+//!
+//! Four invariants the differential conformance suite leans on:
+//!
+//! 1. **Bounded.** No sequence of operations pushes the occupied count
+//!    past the slot count.
+//! 2. **Insert self-preservation.** The eviction victim is never the
+//!    entry inserted immediately before: after any insert, both it and
+//!    the preceding insert are resident.
+//! 3. **Epoch exactness.** After the epoch moves, every entry proven
+//!    under an older epoch reports stale (or was evicted) — never
+//!    fresh — while entries proven under the current epoch are fresh
+//!    whenever resident, never stale.
+//! 4. **Model agreement.** Against a plain `HashMap` oracle, every
+//!    fresh hit returns exactly the verdict the oracle holds, and a
+//!    stale report only happens when the oracle's entry predates the
+//!    lookup epoch. (Misses are always legal: the real cache is
+//!    bounded, the oracle is not.)
+
+use std::collections::HashMap;
+
+use falcon_wire::{FlowCache, Lookup, Verdict};
+use proptest::prelude::*;
+
+fn verdict(tag: u32, epoch: u64) -> Verdict {
+    Verdict {
+        inner_start: 50,
+        inner_end: 50 + tag,
+        bridge_port: (tag % 0x7FFF) as u16,
+        fdb_epoch: epoch,
+    }
+}
+
+/// One scripted cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Lookup(u64),
+    BumpEpoch,
+}
+
+/// Draws an op from one integer: 4/9 insert, 4/9 lookup, 1/9 bump.
+fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
+    (0..key_space * 9).prop_map(move |x| match x % 9 {
+        0..=3 => Op::Insert(x / 9),
+        4..=7 => Op::Lookup(x / 9),
+        _ => Op::BumpEpoch,
+    })
+}
+
+proptest! {
+    /// Invariant 1: occupancy never exceeds capacity, under any mix of
+    /// inserts, lookups, and epoch bumps, across capacities.
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        cap in 1usize..64,
+        ops in proptest::collection::vec(op_strategy(48), 1..400),
+    ) {
+        let mut cache = FlowCache::new(cap);
+        let mut epoch = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(k) => cache.insert(k, verdict(k as u32, epoch)),
+                Op::Lookup(k) => { cache.lookup(k, epoch); }
+                Op::BumpEpoch => epoch += 1,
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+        }
+    }
+
+    /// Invariant 2: an insert never evicts itself or the insert
+    /// immediately before it, even under heavy collision pressure
+    /// (key space much larger than an 8-slot table).
+    #[test]
+    fn eviction_spares_the_last_two_inserts(
+        keys in proptest::collection::vec(any::<u64>(), 2..200),
+    ) {
+        let mut cache = FlowCache::new(8);
+        let mut prev: Option<u64> = None;
+        for k in keys {
+            cache.insert(k, verdict(1, 0));
+            prop_assert!(
+                matches!(cache.lookup(k, 0), Lookup::Fresh(_)),
+                "the just-inserted key {k} must be resident"
+            );
+            if let Some(p) = prev {
+                if p != k {
+                    prop_assert!(
+                        matches!(cache.lookup(p, 0), Lookup::Fresh(_)),
+                        "insert of {k} evicted the immediately preceding insert {p}"
+                    );
+                }
+            }
+            prev = Some(k);
+        }
+    }
+
+    /// Invariant 3: an epoch bump invalidates exactly the entries
+    /// proven under older epochs. Old entries never report fresh; new
+    /// entries never report stale.
+    #[test]
+    fn epoch_bump_invalidates_exactly_the_old_entries(
+        old_keys in proptest::collection::vec(0u64..1000, 1..60),
+        new_keys in proptest::collection::vec(1000u64..2000, 1..60),
+        e0 in 0u64..10,
+        bump in 1u64..10,
+    ) {
+        let e1 = e0 + bump;
+        let mut cache = FlowCache::new(64);
+        for &k in &old_keys {
+            cache.insert(k, verdict(k as u32, e0));
+        }
+        for &k in &new_keys {
+            cache.insert(k, verdict(k as u32, e1));
+        }
+        for &k in &old_keys {
+            match cache.lookup(k, e1) {
+                Lookup::Fresh(v) => prop_assert!(
+                    false,
+                    "old-epoch entry {k} returned fresh verdict {v:?} at epoch {e1}"
+                ),
+                Lookup::Stale | Lookup::Miss => {}
+            }
+        }
+        for &k in &new_keys {
+            match cache.lookup(k, e1) {
+                Lookup::Stale => prop_assert!(
+                    false,
+                    "current-epoch entry {k} reported stale at its own epoch {e1}"
+                ),
+                Lookup::Fresh(v) => prop_assert_eq!(v, verdict(k as u32, e1)),
+                Lookup::Miss => {} // evicted: legal, the cache is bounded
+            }
+        }
+    }
+
+    /// Invariant 4: model agreement with an unbounded HashMap oracle.
+    #[test]
+    fn cache_agrees_with_hashmap_model(
+        cap in 1usize..64,
+        ops in proptest::collection::vec(op_strategy(40), 1..500),
+    ) {
+        let mut cache = FlowCache::new(cap);
+        let mut model: HashMap<u64, Verdict> = HashMap::new();
+        let mut epoch = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    let v = verdict(k as u32, epoch);
+                    cache.insert(k, v);
+                    model.insert(k, v);
+                }
+                Op::Lookup(k) => match cache.lookup(k, epoch) {
+                    Lookup::Fresh(v) => {
+                        let m = model.get(&k);
+                        prop_assert_eq!(
+                            m, Some(&v),
+                            "fresh hit for {} disagrees with the model", k
+                        );
+                        prop_assert_eq!(v.fdb_epoch, epoch);
+                    }
+                    Lookup::Stale => {
+                        let m = model.get(&k).copied();
+                        prop_assert!(
+                            matches!(m, Some(v) if v.fdb_epoch < epoch),
+                            "stale report for {} but the model holds {:?} at epoch {}",
+                            k, m, epoch
+                        );
+                        // The cache dropped the entry; mirror it so a
+                        // later fresh hit can't resurrect stale data.
+                        model.remove(&k);
+                    }
+                    Lookup::Miss => {} // bounded cache: always legal
+                },
+                Op::BumpEpoch => epoch += 1,
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Flow-verdict cache differential conformance: the cached fast path
+//! must be observationally identical to the uncached slow path.
+//!
+//! The per-worker flow cache (`--flow-cache`) skips the modeled decap
+//! and bridge work for flows whose slow-path verdict is cached. That is
+//! only sound if skipping is *unobservable*: every run here executes
+//! the same scenario twice — cache off, cache on — and demands the
+//! exact same multiset of delivered `(flow, seq, payload digest)`
+//! triples, the same drop accounting by reason, the same per-stage
+//! malformed counts, and a clean per-(flow, device) order audit on both
+//! legs. Corruption and chaos steering are layered on top: a flipped
+//! frame must die at the same stage with the cache on, because a flip
+//! in any byte the fast path stops re-checking also changes the cache
+//! key (miss → full slow path), while flips in the masked per-packet
+//! fields are caught by the delivery stage's inner checksum, which the
+//! cache never skips.
+//!
+//! The FDB-churn tests are the invalidation oracle: unprogramming a
+//! MAC mid-run bumps the shared epoch, and no packet may ever deliver
+//! through the dead cached verdict — stale hits must re-verify against
+//! the live table and drop at the bridge stage like the uncached leg.
+
+use falcon_dataplane::{
+    rss_hash_for_flow, run_scenario, run_scenario_from, Injector, PolicyKind, RunOutput, Scenario,
+    TrafficShape,
+};
+use falcon_integration_tests::assert_wire_conforms;
+use falcon_packet::{PktDesc, WireBuf};
+use falcon_trace::DropReason;
+use falcon_wire::FrameFactory;
+
+/// A traced wire-mode scenario sized for invariant checking (same
+/// shape discipline as `wire_conformance.rs`), with a ring deep enough
+/// that backpressure can never drop a packet: ring drops are
+/// timing-dependent, and a differential comparison needs both legs to
+/// see the identical packet population.
+fn wire_scenario(policy: PolicyKind, workers: usize, flows: u64, packets: u64) -> Scenario {
+    Scenario {
+        policy,
+        workers,
+        flows,
+        packets,
+        payload: 512,
+        work_scale_milli: 100,
+        inject_gap_ns: 0,
+        pin: false,
+        oversubscribe: true,
+        trace_capacity: 1 << 18,
+        ring_capacity: 1 << 15,
+        wire: true,
+        ..Scenario::default()
+    }
+}
+
+/// Same, on the Figure-13 TCP-4KB split-GRO shape.
+fn wire_split_scenario(policy: PolicyKind, workers: usize, flows: u64, packets: u64) -> Scenario {
+    let mut s = wire_scenario(policy, workers, flows, packets);
+    s.split_gro = true;
+    s.shape = TrafficShape::TcpGro { mss: 1448 };
+    s.payload = 4096;
+    s
+}
+
+/// The cached leg of a differential pair.
+fn cached(mut s: Scenario, entries: usize) -> Scenario {
+    s.flow_cache = true;
+    s.flow_cache_entries = entries;
+    s
+}
+
+/// The differential oracle: cache on vs cache off must be
+/// observationally identical, and both legs must be loss-free at the
+/// rings (so the comparison covers the same packets).
+fn assert_differential(uncached: &RunOutput, with_cache: &RunOutput, payload: usize) {
+    for (leg, out) in [("uncached", uncached), ("cached", with_cache)] {
+        assert_eq!(
+            out.drops_by_reason()[DropReason::Ring.index()],
+            0,
+            "{leg} leg dropped at a ring; differential runs must be sized loss-free"
+        );
+        assert_wire_conforms(out, payload);
+    }
+    let mut a = uncached.deliveries();
+    let mut b = with_cache.deliveries();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(
+        a, b,
+        "cached leg delivered a different (flow, seq, digest) multiset"
+    );
+    assert_eq!(
+        uncached.drops_by_reason(),
+        with_cache.drops_by_reason(),
+        "cached leg changed drop accounting"
+    );
+    assert_eq!(
+        uncached.malformed_per_stage(),
+        with_cache.malformed_per_stage(),
+        "cached leg moved a malformed drop to a different stage"
+    );
+}
+
+/// Corruption off, four-stage UDP shape, both steering policies: the
+/// cached leg is byte-identical and actually exercises the fast path.
+#[test]
+fn cached_udp_matches_uncached_under_both_policies() {
+    for policy in [PolicyKind::Vanilla, PolicyKind::Falcon] {
+        let s = wire_scenario(policy, 2, 3, 3_000);
+        let uncached = run_scenario(&s);
+        let hot = run_scenario(&cached(s.clone(), 4096));
+        let stats = hot.flow_cache_stats();
+        assert!(stats.hits > 0, "{policy:?} cached leg never hit");
+        assert_eq!(
+            uncached.flow_cache_stats().hits,
+            0,
+            "cache-off leg consulted a cache"
+        );
+        assert_differential(&uncached, &hot, s.payload);
+    }
+}
+
+/// Corruption off, five-stage split-GRO TCP shape, both policies: the
+/// multi-segment trains only consult the cache after coalescing, and
+/// the reassembled digests still match exactly.
+#[test]
+fn cached_split_gro_matches_uncached_under_both_policies() {
+    for policy in [PolicyKind::Vanilla, PolicyKind::Falcon] {
+        let s = wire_split_scenario(policy, 3, 2, 1_200);
+        let uncached = run_scenario(&s);
+        let hot = run_scenario(&cached(s.clone(), 4096));
+        assert!(hot.flow_cache_stats().hits > 0);
+        assert_differential(&uncached, &hot, s.payload);
+    }
+}
+
+/// Corruption on: ~30 % of wire segments get one flipped bit. Every
+/// corrupted frame must die at the same stage — or deliver bit-exact —
+/// whether or not the cache is in front of the slow path.
+#[test]
+fn cached_corruption_drops_at_identical_stages() {
+    let mut s = wire_scenario(PolicyKind::Falcon, 2, 3, 4_000);
+    s.corrupt_per_million = 300_000;
+    s.wire_seed = 7;
+    let uncached = run_scenario(&s);
+    assert!(uncached.corrupted_segments > 0, "the corruptor never fired");
+    let hot = run_scenario(&cached(s.clone(), 4096));
+    assert_eq!(
+        uncached.corrupted_segments, hot.corrupted_segments,
+        "the seeded corruptor must flip the same segments on both legs"
+    );
+    assert!(
+        uncached.drops_by_reason()[DropReason::Malformed.index()] > 0,
+        "30 % corruption must kill some frames"
+    );
+    assert!(
+        hot.flow_cache_stats().hits > 0,
+        "clean frames must still hit"
+    );
+    assert_differential(&uncached, &hot, s.payload);
+}
+
+/// Corruption and chaos steering together on the split shape: forced
+/// migrations bounce flows across workers (each with a private cache)
+/// while malformed segments drop mid-GRO — the books still match.
+#[test]
+fn cached_corruption_survives_chaos_steering_on_split_shape() {
+    let mut s = wire_split_scenario(PolicyKind::Falcon, 3, 2, 1_200);
+    s.corrupt_per_million = 200_000;
+    s.wire_seed = 21;
+    s.chaos_steer_period = 2;
+    let uncached = run_scenario(&s);
+    assert!(uncached.corrupted_segments > 0, "the corruptor never fired");
+    let hot = run_scenario(&cached(s.clone(), 4096));
+    assert!(hot.flow_cache_stats().hits > 0);
+    assert_differential(&uncached, &hot, s.payload);
+}
+
+/// The acceptance workload: a steady flow set that fits the cache must
+/// clear a 90 % hit rate (each worker pays one miss per flow per stage
+/// it runs, then hits forever) with zero evictions or invalidations.
+#[test]
+fn steady_flows_clear_ninety_percent_hit_rate() {
+    let s = cached(wire_scenario(PolicyKind::Falcon, 2, 3, 6_000), 4096);
+    let out = run_scenario(&s);
+    let stats = out.flow_cache_stats();
+    assert!(
+        out.flow_cache_hit_rate() >= 0.9,
+        "steady-flow hit rate must clear 0.9, got {} ({stats:?})",
+        out.flow_cache_hit_rate()
+    );
+    assert_eq!(stats.evictions, 0, "3 flows cannot evict from 4096 entries");
+    assert_eq!(stats.invalidations, 0, "nothing churned the FDB");
+    assert_wire_conforms(&out, s.payload);
+}
+
+/// A deliberately tiny cache under many flows: CLOCK eviction fires
+/// constantly, and thrashing must only cost hit rate — never
+/// correctness.
+#[test]
+fn tiny_cache_thrashes_safely_under_many_flows() {
+    let s = wire_scenario(PolicyKind::Falcon, 2, 64, 3_200);
+    let uncached = run_scenario(&s);
+    let hot = run_scenario(&cached(s.clone(), 8));
+    let stats = hot.flow_cache_stats();
+    assert!(
+        stats.evictions > 0,
+        "64 flows through 8 entries must evict ({stats:?})"
+    );
+    assert_differential(&uncached, &hot, s.payload);
+}
+
+/// Two-phase scripted source for the FDB-churn oracle: inject
+/// `per_phase` packets round-robin over `flows`, quiesce, unprogram
+/// flow 0's destination MAC (bumping the invalidation epoch), then
+/// inject `per_phase` more. Phase-two flow-0 frames have no FDB entry,
+/// so every one must drop at the bridge stage — cached or not.
+fn churn_source(flows: u64, per_phase: u64) -> impl FnOnce(&mut Injector) + Send + 'static {
+    move |inj: &mut Injector| {
+        let factory = FrameFactory::default();
+        let payload = 512usize;
+        let mut id = 0u64;
+        let mut seqs = vec![0u64; flows as usize];
+        let phase = |inj: &mut Injector, seqs: &mut Vec<u64>, id: &mut u64| {
+            for i in 0..per_phase {
+                let flow = i % flows;
+                let seq = seqs[flow as usize];
+                seqs[flow as usize] += 1;
+                let desc = PktDesc::new(*id, flow, seq, rss_hash_for_flow(flow), payload as u32)
+                    .with_wire(WireBuf::segments(factory.udp_wire(flow, seq, payload)));
+                inj.inject(desc);
+                *id += 1;
+            }
+        };
+        phase(inj, &mut seqs, &mut id);
+        // Quiesce before touching the FDB: no packet in flight can
+        // race the mutation, so the phase boundary is exact.
+        inj.wait_quiesced();
+        let (_src, dst) = factory.inner_macs(0);
+        let shared = inj.fdb().expect("wire runs share an FDB with the injector");
+        assert_eq!(shared.epoch(), 0, "nothing else may churn the table");
+        shared
+            .remove(dst)
+            .expect("flow 0's veth MAC was programmed");
+        phase(inj, &mut seqs, &mut id);
+    }
+}
+
+/// Runs the churn script and checks the parts both legs must satisfy:
+/// loss-free rings, full phase-1 delivery, zero flow-0 deliveries past
+/// the flip, and every phase-two flow-0 packet dropped at the bridge.
+fn assert_churn_books(out: &RunOutput, flows: u64, per_phase: u64) {
+    let phase_per_flow = per_phase / flows;
+    assert_eq!(out.drops_by_reason()[DropReason::Ring.index()], 0);
+    assert_wire_conforms(out, 512);
+    let deliveries = out.deliveries();
+    let flow0: Vec<_> = deliveries.iter().filter(|(f, _, _)| *f == 0).collect();
+    assert_eq!(
+        flow0.len() as u64,
+        phase_per_flow,
+        "flow 0 must deliver exactly its phase-1 packets"
+    );
+    assert!(
+        flow0.iter().all(|(_, seq, _)| *seq < phase_per_flow),
+        "a flow-0 packet delivered through the unprogrammed MAC"
+    );
+    for f in 1..flows {
+        let n = deliveries.iter().filter(|(flow, _, _)| *flow == f).count() as u64;
+        assert_eq!(
+            n,
+            2 * phase_per_flow,
+            "untouched flow {f} must lose nothing"
+        );
+    }
+    // Every phase-two flow-0 packet dies at the bridge stage (stage 2
+    // of the four-hop shape), counted as malformed there.
+    assert_eq!(
+        out.drops_by_reason()[DropReason::Malformed.index()],
+        phase_per_flow
+    );
+    assert_eq!(out.malformed_per_stage()[2], phase_per_flow);
+}
+
+/// The tentpole's invalidation guarantee, differentially: flipping a
+/// MAC → port mapping mid-run bumps the epoch, stale verdicts
+/// re-verify, and no packet ever delivers through the dead entry. The
+/// cached and uncached legs agree byte for byte.
+#[test]
+fn fdb_churn_never_delivers_through_a_stale_entry() {
+    let flows = 2u64;
+    let per_phase = 400u64;
+    let mut s = wire_scenario(PolicyKind::Falcon, 2, flows, 2 * per_phase);
+    let (uncached, ()) = run_scenario_from(&s, churn_source(flows, per_phase));
+    assert_churn_books(&uncached, flows, per_phase);
+
+    s.flow_cache = true;
+    s.flow_cache_entries = 4096;
+    let (hot, ()) = run_scenario_from(&s, churn_source(flows, per_phase));
+    assert_churn_books(&hot, flows, per_phase);
+    let stats = hot.flow_cache_stats();
+    assert!(stats.hits > 0, "phase 1 must populate and hit the cache");
+    assert!(
+        stats.invalidations > 0,
+        "the epoch bump must surface as stale-entry invalidations ({stats:?})"
+    );
+
+    let mut a = uncached.deliveries();
+    let mut b = hot.deliveries();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "churn legs disagree on delivered (flow, seq, digest)");
+    assert_eq!(uncached.drops_by_reason(), hot.drops_by_reason());
+    assert_eq!(uncached.malformed_per_stage(), hot.malformed_per_stage());
+}
+
+/// Re-pointing (rather than removing) a MAC mid-run: flow 0 keeps
+/// delivering after the flip — the bridge still knows the MAC — but a
+/// cached run must take the epoch bump, invalidate, and re-verify
+/// instead of serving the verdict proven against the old table.
+#[test]
+fn fdb_repoint_invalidates_but_keeps_delivering() {
+    let flows = 2u64;
+    let per_phase = 400u64;
+    let phase_per_flow = per_phase / flows;
+    let source = move |inj: &mut Injector| {
+        let factory = FrameFactory::default();
+        let payload = 512usize;
+        let mut id = 0u64;
+        let mut seqs = vec![0u64; flows as usize];
+        let phase = |inj: &mut Injector, seqs: &mut Vec<u64>, id: &mut u64| {
+            for i in 0..per_phase {
+                let flow = i % flows;
+                let seq = seqs[flow as usize];
+                seqs[flow as usize] += 1;
+                let desc = PktDesc::new(*id, flow, seq, rss_hash_for_flow(flow), payload as u32)
+                    .with_wire(WireBuf::segments(factory.udp_wire(flow, seq, payload)));
+                inj.inject(desc);
+                *id += 1;
+            }
+        };
+        phase(inj, &mut seqs, &mut id);
+        inj.wait_quiesced();
+        let (_src, dst) = factory.inner_macs(0);
+        let shared = inj.fdb().expect("wire runs share an FDB with the injector");
+        shared.set(dst, 0x7ABC);
+        phase(inj, &mut seqs, &mut id);
+    };
+
+    let mut s = wire_scenario(PolicyKind::Falcon, 2, flows, 2 * per_phase);
+    s.flow_cache = true;
+    s.flow_cache_entries = 4096;
+    let (out, ()) = run_scenario_from(&s, source);
+    assert_eq!(out.drops_by_reason()[DropReason::Ring.index()], 0);
+    assert_wire_conforms(&out, 512);
+    assert_eq!(out.delivered(), 2 * per_phase, "a re-point loses nothing");
+    let stats = out.flow_cache_stats();
+    assert!(stats.hits > 0);
+    assert!(
+        stats.invalidations > 0,
+        "the re-point's epoch bump must invalidate cached verdicts ({stats:?})"
+    );
+    let deliveries = out.deliveries();
+    for f in 0..flows {
+        let n = deliveries.iter().filter(|(flow, _, _)| *flow == f).count() as u64;
+        assert_eq!(n, 2 * phase_per_flow);
+    }
+}
