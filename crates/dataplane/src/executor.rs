@@ -207,6 +207,12 @@ pub struct Scenario {
     /// Entries per worker's flow cache (rounded up to a power of two,
     /// minimum 8). Ignored unless `flow_cache` is on.
     pub flow_cache_entries: usize,
+    /// Wire mode: MTU-class slots in the injector's slab buffer pool
+    /// (0 = the pool's default sizing). Frames are built in place
+    /// inside pre-registered slots and the slots recirculate through
+    /// delivery/drop, so steady-state generation allocates nothing.
+    /// Tests shrink this to force heap-fallback exhaustion on purpose.
+    pub slab_slots: usize,
     /// Live telemetry: when set, every worker publishes its shard each
     /// sweep and a sampler thread snapshots the shards on the
     /// configured interval, streaming JSONL / Prometheus / Perfetto
@@ -258,6 +264,7 @@ impl Default for Scenario {
             wire_seed: 1,
             flow_cache: false,
             flow_cache_entries: 4096,
+            slab_slots: 0,
             telemetry: None,
         }
     }
@@ -443,6 +450,11 @@ pub struct WorkerStats {
     /// Flow-verdict cache counters (hits, misses, evictions,
     /// invalidations) — all zero unless the run had `flow_cache` on.
     pub flow_cache: CacheStats,
+    /// Wire mode: pool-backed wire buffers this worker recycled whole
+    /// (one shell-ring push covering the shell and every leased slot in
+    /// it) at delivery or drop. Heap-built buffers drop normally and
+    /// are not counted.
+    pub slab_recycles: u64,
     /// Where this worker's wall-clock went: every ns between the start
     /// barrier and thread exit lands in exactly one of the five
     /// attribution buckets (busy work, stalled pushing into a full
@@ -493,6 +505,11 @@ pub struct RunOutput {
     /// Live-telemetry output (samples taken, exporter outcomes), when
     /// [`Scenario::telemetry`] was set.
     pub telemetry: Option<TelemetryRun>,
+    /// Final slab-pool counters of the packet source's buffer pool
+    /// (leases, recycles, heap fallbacks, …), when the source attached
+    /// one ([`Injector::attach_slab_counters`]). Snapshotted after the
+    /// workers join, so every recycle push is visible.
+    pub slab: Option<falcon_packet::SlabSample>,
 }
 
 impl RunOutput {
@@ -1046,12 +1063,17 @@ impl WorkerCtx {
             // Tail drop, kernel style: the stage's input queue is full
             // and nobody retries. `staged` now holds exactly the
             // rejected suffix.
-            for pkt in staged.drain(..) {
+            for mut pkt in staged.drain(..) {
                 if let Some(guard) = pkt.guard.as_deref() {
                     release(guard, self.lc);
                 }
                 if let Some(prev) = pkt.prev_guard.as_deref() {
                     release(prev, self.lc);
+                }
+                if let Some(wire) = pkt.desc.wire.take() {
+                    if falcon_packet::slab::recycle(wire) {
+                        self.stats.slab_recycles += 1;
+                    }
                 }
                 let reason = drop_reason_into(self.split, pkt.stage);
                 self.stats.drops[reason.index()] += 1;
@@ -1200,6 +1222,11 @@ impl WorkerCtx {
                         if let Some(prev) = pkt.prev_guard.take() {
                             release(&prev, lc);
                         }
+                        if let Some(wire) = pkt.desc.wire.take() {
+                            if falcon_packet::slab::recycle(wire) {
+                                self.stats.slab_recycles += 1;
+                            }
+                        }
                         self.stats.drops[DropReason::Malformed.index()] += 1;
                         self.stats.malformed_per_stage[stage as usize] += 1;
                         self.tracer.emit(
@@ -1340,6 +1367,14 @@ impl WorkerCtx {
                     self.stats
                         .digests
                         .push((pkt.desc.flow, pkt.desc.seq, d.digest));
+                }
+                // The packet is consumed: hand its wire buffer back to
+                // the injector's slab pool in one shell-ring push. A
+                // heap-built buffer recycles nothing and just drops.
+                if let Some(wire) = pkt.desc.wire.take() {
+                    if falcon_packet::slab::recycle(wire) {
+                        self.stats.slab_recycles += 1;
+                    }
                 }
                 self.delivered_delta += 1;
                 return;
@@ -1521,6 +1556,11 @@ pub struct Injector {
     injected: u64,
     inject_drops: u64,
     bytes_injected: u64,
+    /// Slab-pool counters of the packet source's buffer pool, once the
+    /// source attaches them — surfaced in [`RunOutput::slab`] and, with
+    /// telemetry on, streamed as `"kind":"slab"` JSONL lines and
+    /// `falcon_slab_*` Prometheus series.
+    slab: Option<Arc<falcon_packet::SlabCounters>>,
 }
 
 impl Injector {
@@ -1586,6 +1626,17 @@ impl Injector {
         Arc::clone(&self.rx_counters)
     }
 
+    /// Attaches the source's slab-pool counters to the run: they land
+    /// in [`RunOutput::slab`] at the end and, when the scenario has
+    /// telemetry on, stream live through the sampler. Mirrors
+    /// [`enable_rx_telemetry`](Self::enable_rx_telemetry).
+    pub fn attach_slab_counters(&mut self, counters: Arc<falcon_packet::SlabCounters>) {
+        if let Some(hub) = &self.telem_hub {
+            hub.attach_slab(Arc::clone(&counters));
+        }
+        self.slab = Some(counters);
+    }
+
     /// Routes one descriptor and pushes it at the chosen worker's
     /// ring, yielding while the ring is full and tail-dropping (guard
     /// released, drop counted) after the yield budget. Returns whether
@@ -1637,12 +1688,17 @@ impl Injector {
                     }
                     return true;
                 }
-                Err(back) => {
+                Err(mut back) => {
                     self.depths.dec(dst);
                     yields += 1;
                     if yields >= INJECT_MAX_YIELDS {
                         if let Some(guard) = back.guard.as_deref() {
                             release(guard, back.lc);
+                        }
+                        // Recycle the dropped packet's wire buffer so a
+                        // wedged worker can't bleed the slab pool dry.
+                        if let Some(wire) = back.desc.wire.take() {
+                            falcon_packet::slab::recycle(wire);
                         }
                         self.inject_drops += 1;
                         self.tracer.emit(
@@ -1669,10 +1725,25 @@ impl Injector {
 /// `scenario.packets` descriptors round-robin across flows, with real
 /// wire bytes (possibly chaos-corrupted) in wire mode. Returns the
 /// number of segments the corruptor flipped.
+///
+/// Wire frames are built in place inside slab-pool slots
+/// ([`falcon_wire::SlabFrameBuilder`]): the pool's slots and shells
+/// recirculate through the workers' delivery/drop recycling, so after
+/// the first lap of the pool the source allocates nothing per packet.
+/// The bytes are identical to the old heap path by construction.
 fn synthetic_source(scenario: &Scenario, inj: &mut Injector) -> u64 {
     let factory = FrameFactory::default();
     let mut corruptor = Corruptor::new(scenario.wire_seed, scenario.corrupt_per_million);
     let mut seqs = vec![0u64; scenario.flows.max(1) as usize];
+    let mut slab = scenario.wire.then(|| {
+        let mut cfg = falcon_packet::SlabConfig::default();
+        if scenario.slab_slots > 0 {
+            cfg.mtu_slots = scenario.slab_slots;
+        }
+        let pool = falcon_packet::SlabPool::new(cfg);
+        inj.attach_slab_counters(pool.counters());
+        (pool, falcon_wire::SlabFrameBuilder::new(factory))
+    });
     for i in 0..scenario.packets {
         let flow = i % scenario.flows.max(1);
         let seq = seqs[flow as usize];
@@ -1684,23 +1755,32 @@ fn synthetic_source(scenario: &Scenario, inj: &mut Injector) -> u64 {
             rss_hash_for_flow(flow),
             scenario.payload as u32,
         );
-        if scenario.wire {
+        if let Some((pool, builder)) = slab.as_mut() {
             // Real bytes: the exact segments a sender's TSO would
             // emit, possibly bit-flipped by the chaos corruptor before
             // they hit the "NIC".
-            let mut segs = match scenario.shape {
-                TrafficShape::Udp => factory.udp_wire(flow, seq, scenario.payload),
-                TrafficShape::TcpGro { mss } => factory.tcp_wire(flow, seq, scenario.payload, mss),
+            let mut wire = match scenario.shape {
+                TrafficShape::Udp => builder.udp_wire(pool, flow, seq, scenario.payload),
+                TrafficShape::TcpGro { mss } => {
+                    builder.tcp_wire(pool, flow, seq, scenario.payload, mss)
+                }
             };
-            for seg in &mut segs {
+            for seg in wire.segs.iter_mut() {
                 corruptor.maybe_corrupt(seg);
             }
-            desc = desc.with_wire(WireBuf::segments(segs));
+            desc = desc.with_wire(wire);
         }
         inj.inject(desc);
         if scenario.inject_gap_ns > 0 {
             spin_for_ns(scenario.inject_gap_ns);
         }
+    }
+    if let Some((pool, _)) = slab.as_mut() {
+        // Let the pipeline finish, then drain the return rings once so
+        // the run's final counters show the full recycle picture (and
+        // leak diagnostics can compare free slots against the config).
+        inj.wait_quiesced();
+        pool.drain_returns();
     }
     corruptor.flipped
 }
@@ -1890,6 +1970,11 @@ where
                 processed: vec![0; n_stages],
                 order_log: Vec::with_capacity(order_log_cap),
                 latencies: Vec::with_capacity(scenario.packets as usize),
+                digests: Vec::with_capacity(if scenario.wire {
+                    scenario.packets as usize
+                } else {
+                    0
+                }),
                 malformed_per_stage: vec![0; n_stages],
                 bytes_per_stage: vec![0; n_stages],
                 ..WorkerStats::default()
@@ -1947,6 +2032,7 @@ where
                     injected: 0,
                     inject_drops: 0,
                     bytes_injected: 0,
+                    slab: None,
                 };
                 let result = source(&mut inj);
                 let Injector {
@@ -1954,6 +2040,7 @@ where
                     inject_drops,
                     bytes_injected,
                     tracer,
+                    slab,
                     ..
                 } = inj;
                 (
@@ -1962,6 +2049,7 @@ where
                     bytes_injected,
                     tracer.overflow(),
                     tracer.events(),
+                    slab,
                     result,
                 )
             })
@@ -1971,8 +2059,15 @@ where
 
     barrier.wait();
     let t0 = epoch.now_ns();
-    let (injected, inject_drops, bytes_injected, injector_overflow, injector_events, source_out) =
-        injector.join().expect("injector thread");
+    let (
+        injected,
+        inject_drops,
+        bytes_injected,
+        injector_overflow,
+        injector_events,
+        slab_counters,
+        source_out,
+    ) = injector.join().expect("injector thread");
 
     // Quiescence: every injected packet is accounted for as a delivery
     // or a drop — against the count the source actually injected, which
@@ -2017,6 +2112,7 @@ where
             corrupted_segments: 0,
             meta: scenario.trace_meta(n),
             telemetry,
+            slab: slab_counters.map(|c| c.snapshot()),
         },
         source_out,
     )

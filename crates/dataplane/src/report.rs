@@ -131,6 +131,9 @@ pub struct DataplaneReport {
     /// Flow-verdict cache counters plus the derived hit rate, when the
     /// run consulted a cache (`None` on uncached runs).
     pub flow_cache: Option<FlowCacheReport>,
+    /// Slab buffer-pool counters, when the run built its frames in a
+    /// pool (`None` outside wire mode).
+    pub slab: Option<SlabReport>,
     /// Per-worker stall attribution: where each worker's wall-clock
     /// went (busy / push-stalled / pop-sweeping / guard-steering /
     /// idle), summing to that worker's `wall_ns` by construction.
@@ -140,6 +143,27 @@ pub struct DataplaneReport {
     pub stall_coverage_min: f64,
     /// Live-telemetry summary, when the run sampled shards.
     pub telemetry: Option<TelemetrySummary>,
+}
+
+/// Slab buffer-pool counters for one wire run: the numbers the
+/// zero-alloc claim rides on. `fallbacks` is the honesty counter — a
+/// steady-state run sized correctly reports 0.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlabReport {
+    /// Segments leased from the pool freelists.
+    pub leases: u64,
+    /// Heap-fallback segments handed out because a class was dry.
+    pub fallbacks: u64,
+    /// Returned slots restored onto a freelist.
+    pub recycles: u64,
+    /// Ring pushes from consumers (shells + segments).
+    pub returns: u64,
+    /// Returns dropped because a ring was full (buffer freed instead).
+    pub ring_drops: u64,
+    /// Returns rejected by the generation check (must be 0).
+    pub gen_errors: u64,
+    /// Buffers the workers recycled at delivery/drop sites.
+    pub worker_recycles: u64,
 }
 
 /// Flow-verdict cache counters for one run, summed across the workers'
@@ -355,6 +379,15 @@ impl DataplaneReport {
                     hit_rate: s.hits as f64 / consults as f64,
                 })
             },
+            slab: out.slab.as_ref().map(|s| SlabReport {
+                leases: s.leases,
+                fallbacks: s.fallbacks,
+                recycles: s.recycles,
+                returns: s.returns,
+                ring_drops: s.ring_drops,
+                gen_errors: s.gen_errors,
+                worker_recycles: out.workers_stats.iter().map(|w| w.slab_recycles).sum(),
+            }),
             per_worker_stall: out.workers_stats.iter().map(|w| w.stall.clone()).collect(),
             stall_coverage_min: out
                 .workers_stats

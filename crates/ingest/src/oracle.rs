@@ -250,6 +250,7 @@ mod tests {
                 devices: Vec::new(),
             },
             telemetry: None,
+            slab: None,
         };
         let report = check(&log, &rx, &out);
         assert_eq!(report.socket_loss, 1);

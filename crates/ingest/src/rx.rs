@@ -9,11 +9,17 @@
 //!
 //! Buffers are recycled: one flat set of `MAX_DATAGRAM` scratch
 //! segments lives for the whole run, and each batch only rewrites
-//! lengths — the per-datagram allocation happens once, downstream, when
-//! a frame is copied into its `WireBuf`.
+//! lengths. In pool mode ([`RecvBatch::with_pool`]) the scratch
+//! buffers *are* slab-pool slots: a received datagram is handed
+//! downstream by swapping its slot out for a freshly leased one
+//! ([`RecvBatch::take_wire`]), so the kernel's copy into the iovec is
+//! the only copy the frame ever sees. Without a pool, `take_wire`
+//! falls back to the old copy-into-fresh-heap path.
 
 use std::io;
 use std::net::UdpSocket;
+
+use falcon_packet::{RawSlot, SlabPool, SlabSeg, WireBuf};
 
 use crate::sock;
 
@@ -24,26 +30,71 @@ pub const MAX_DATAGRAM: usize = 2048;
 
 /// Recycled receive scratch for one batch.
 pub struct RecvBatch {
-    /// Datagram scratch buffers, each `MAX_DATAGRAM` long.
+    /// Datagram scratch buffers, each `MAX_DATAGRAM` long. In pool
+    /// mode these are decomposed slab slots (`origins` carries their
+    /// pool identity) so the kernel writes straight into pool memory.
     bufs: Vec<Vec<u8>>,
+    /// Pool identity of each scratch buffer (inert default entries in
+    /// heap mode).
+    origins: Vec<RawSlot>,
     /// Valid length of each received datagram.
     lens: Vec<usize>,
     /// Datagrams valid in this batch (set by the last `recv_batch`).
     count: usize,
+    /// The slab pool backing the scratch slots, if any.
+    pool: Option<SlabPool>,
     /// Latest cumulative `SO_RXQ_OVFL` reading, if the kernel attached
     /// one to any datagram so far.
     pub sock_drops: Option<u64>,
 }
 
 impl RecvBatch {
-    /// Allocates scratch for up to `batch` datagrams per read.
+    /// Allocates plain heap scratch for up to `batch` datagrams per
+    /// read ([`RecvBatch::take_wire`] copies).
     pub fn new(batch: usize) -> RecvBatch {
         let batch = batch.max(1);
         RecvBatch {
             bufs: (0..batch).map(|_| vec![0u8; MAX_DATAGRAM]).collect(),
+            origins: (0..batch).map(|_| RawSlot::default()).collect(),
             lens: vec![0; batch],
             count: 0,
+            pool: None,
             sock_drops: None,
+        }
+    }
+
+    /// Leases the scratch buffers from a slab pool: datagrams land
+    /// directly in pool slots and [`RecvBatch::take_wire`] hands them
+    /// downstream zero-copy. The pool also supplies the recycled
+    /// `WireBuf` shells.
+    pub fn with_pool(batch: usize, mut pool: SlabPool) -> RecvBatch {
+        let batch = batch.max(1);
+        let (mut bufs, mut origins) = (Vec::with_capacity(batch), Vec::with_capacity(batch));
+        for _ in 0..batch {
+            let (buf, origin) = pool.acquire(MAX_DATAGRAM).into_raw();
+            bufs.push(buf);
+            origins.push(origin);
+        }
+        RecvBatch {
+            bufs,
+            origins,
+            lens: vec![0; batch],
+            count: 0,
+            pool: Some(pool),
+            sock_drops: None,
+        }
+    }
+
+    /// The slab pool backing this scratch, if pool mode is on.
+    pub fn pool(&self) -> Option<&SlabPool> {
+        self.pool.as_ref()
+    }
+
+    /// Drains the pool's return rings (recycled downstream buffers
+    /// back onto the freelists). No-op in heap mode.
+    pub fn drain_returns(&mut self) {
+        if let Some(pool) = self.pool.as_mut() {
+            pool.drain_returns();
         }
     }
 
@@ -59,6 +110,48 @@ impl RecvBatch {
             .zip(self.lens.iter())
             .take(self.count)
             .map(|(b, &l)| &b[..l.min(MAX_DATAGRAM)])
+    }
+
+    /// Datagram `i` of the last batch.
+    pub fn datagram(&self, i: usize) -> &[u8] {
+        debug_assert!(i < self.count);
+        &self.bufs[i][..self.lens[i].min(MAX_DATAGRAM)]
+    }
+
+    /// Takes datagram `i` out of the batch as an owned `WireBuf`.
+    ///
+    /// Pool mode: the filled slot itself moves into the buffer (its
+    /// scratch position is refilled with a freshly leased slot), so no
+    /// bytes are copied — the kernel's write into the iovec was the
+    /// frame's only copy. Heap mode: falls back to the historical
+    /// copy into a fresh heap segment. Either way the result is
+    /// indistinguishable downstream.
+    pub fn take_wire(&mut self, i: usize) -> Box<WireBuf> {
+        debug_assert!(i < self.count);
+        let len = self.lens[i].min(MAX_DATAGRAM);
+        let Some(pool) = self.pool.as_mut() else {
+            return WireBuf::from_datagram(&self.bufs[i][..len]);
+        };
+        let (mut buf, mut origin) = pool.acquire(MAX_DATAGRAM).into_raw();
+        std::mem::swap(&mut self.bufs[i], &mut buf);
+        std::mem::swap(&mut self.origins[i], &mut origin);
+        let mut seg = SlabSeg::from_raw(buf, origin);
+        seg.truncate(len);
+        let mut wire = pool.lease_shell();
+        wire.segs.push(seg);
+        wire
+    }
+}
+
+impl Drop for RecvBatch {
+    /// Reattaches the scratch slots to their pool identities so they
+    /// return to the freelists instead of leaking until pool teardown.
+    fn drop(&mut self) {
+        if self.pool.is_some() {
+            for (buf, origin) in self.bufs.drain(..).zip(self.origins.drain(..)) {
+                drop(SlabSeg::from_raw(buf, origin));
+            }
+        }
     }
 }
 
@@ -181,6 +274,55 @@ mod tests {
             let mut batch = RecvBatch::new(7);
             let got = drain(rx.as_mut(), &mut batch, frames.len());
             assert_eq!(got, frames, "backend {}", rx.backend());
+        }
+    }
+
+    /// Pool-backed scratch must hand out the same bytes as heap
+    /// scratch, zero-copy, with every slot accounted for.
+    #[test]
+    fn pooled_take_wire_matches_heap_and_recycles() {
+        use falcon_packet::{SlabConfig, SlabPool};
+        for portable in [true, false] {
+            let (rxs, tx) = pair();
+            let mut rx = batch_rx(rxs, portable).unwrap();
+            let frames: Vec<Vec<u8>> = (0..12u8).map(|i| vec![i; 100 + i as usize]).collect();
+            sock::send_batch(&tx, &frames).unwrap();
+            let mut batch = RecvBatch::with_pool(4, SlabPool::new(SlabConfig::default()));
+            let mut got = Vec::new();
+            for _ in 0..10_000 {
+                match rx.recv_batch(&mut batch) {
+                    Ok(n) => {
+                        for i in 0..n {
+                            let wire = batch.take_wire(i);
+                            assert!(
+                                wire.segs[0].is_pooled(),
+                                "pool-mode datagram must ride a slab slot"
+                            );
+                            got.push(wire.segs[0].to_vec());
+                            assert!(falcon_packet::slab::recycle(wire));
+                        }
+                        if got.len() >= frames.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                    Err(e) => panic!("recv: {e}"),
+                }
+            }
+            assert_eq!(got, frames, "backend {}", rx.backend());
+            batch.drain_returns();
+            let counters = batch.pool().unwrap().counters();
+            let snap = counters.snapshot();
+            assert_eq!(snap.fallbacks, 0, "default pool must never fall back");
+            // Every datagram leased a replacement slot, and every
+            // recycled buffer (one shell + one seg each) made it back
+            // onto the freelists.
+            assert!(snap.leases >= frames.len() as u64);
+            assert_eq!(snap.returns, 2 * frames.len() as u64);
+            assert_eq!(snap.recycles, frames.len() as u64);
+            assert_eq!(snap.gen_errors, 0);
         }
     }
 

@@ -1,14 +1,17 @@
 //! The rx thread: socket → [`WireBuf`] → executor rings.
 //!
 //! This is the live replacement for the synthetic injector loop. It
-//! drains the socket in batches, frames each datagram into a
-//! single-segment [`WireBuf`] without parsing anything beyond the
-//! outer UDP source port (the flow is recovered from the RSS-style
-//! port mapping the [`FrameFactory`] uses, exactly what a NIC's
-//! 5-tuple hash would key on), and hands descriptors to the
-//! [`Injector`]. Steering, guards, stages, and telemetry downstream
-//! are untouched — the pipeline cannot tell live frames from
-//! synthetic ones, which is what makes the differential oracle fair.
+//! drains the socket in batches straight into slab-pool slots, frames
+//! each datagram into a single-segment [`WireBuf`](falcon_packet::WireBuf)
+//! without parsing anything beyond the outer UDP source port (the flow
+//! is recovered from the RSS-style port mapping the [`FrameFactory`]
+//! uses, exactly what a NIC's 5-tuple hash would key on), and hands
+//! descriptors to the [`Injector`]. The kernel's copy into the iovec
+//! is the only copy a frame sees: [`RecvBatch::take_wire`] moves the
+//! filled slot downstream instead of copying out of recycled scratch.
+//! Steering, guards, stages, and telemetry downstream are untouched —
+//! the pipeline cannot tell live frames from synthetic ones, which is
+//! what makes the differential oracle fair.
 //!
 //! [`FrameFactory`]: falcon_wire::FrameFactory
 
@@ -17,7 +20,7 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use falcon_dataplane::{rss_hash_for_flow, Injector};
-use falcon_packet::{PktDesc, WireBuf};
+use falcon_packet::{PktDesc, SlabConfig, SlabPool};
 
 use crate::rx::{BatchRx, RecvBatch};
 
@@ -91,7 +94,10 @@ pub fn rx_into_pipeline(
     cfg: &RxConfig,
 ) -> RxStats {
     let counters = inj.enable_rx_telemetry();
-    let mut batch = RecvBatch::new(cfg.batch);
+    let mut batch = RecvBatch::with_pool(cfg.batch, SlabPool::new(SlabConfig::default()));
+    if let Some(pool) = batch.pool() {
+        inj.attach_slab_counters(pool.counters());
+    }
     let mut stats = RxStats {
         datagrams: 0,
         batches: 0,
@@ -115,7 +121,8 @@ pub fn rx_into_pipeline(
                 stats.batches += 1;
                 stats.batch_hist[n.min(batch.capacity())] += 1;
                 counters.add_batch(n as u64);
-                for bytes in batch.datagrams() {
+                for i in 0..n {
+                    let bytes = batch.datagram(i);
                     if bytes.len() < MIN_DATAGRAM {
                         stats.runts += 1;
                         counters.add_runt();
@@ -124,6 +131,7 @@ pub fn rx_into_pipeline(
                     let sport =
                         u16::from_be_bytes([bytes[OUTER_SPORT_OFF], bytes[OUTER_SPORT_OFF + 1]]);
                     let flow = sport.wrapping_sub(SPORT_BASE) as u64;
+                    let len = bytes.len();
                     let seq_slot = arrival_seq.entry(flow).or_insert(0);
                     let seq = *seq_slot;
                     *seq_slot += 1;
@@ -132,9 +140,9 @@ pub fn rx_into_pipeline(
                         flow,
                         seq,
                         rss_hash_for_flow(flow),
-                        (bytes.len() - MIN_DATAGRAM) as u32,
+                        (len - MIN_DATAGRAM) as u32,
                     )
-                    .with_wire(WireBuf::from_datagram(bytes));
+                    .with_wire(batch.take_wire(i));
                     next_id += 1;
                     stats.injected += 1;
                     inj.inject(desc);
@@ -162,5 +170,8 @@ pub fn rx_into_pipeline(
             counters.set_sock_drops(d);
         }
     }
+    // Sweep any buffers the workers recycled after the last acquire so
+    // the pool's return counter reflects the whole run.
+    batch.drain_returns();
     stats
 }

@@ -1,0 +1,54 @@
+//! Slab round-trip vs the allocator it replaces.
+//!
+//! * `roundtrip/slab` — `acquire` an MTU-class slot, touch it, drop it
+//!   (self-returns through the MPSC ring), drain the ring. This is the
+//!   full steady-state recycle cycle a wire packet pays.
+//! * `roundtrip/heap` — `vec![0; 2048]` alloc, touch, drop: the malloc
+//!   round-trip the pool removes from the hot path.
+//! * `roundtrip/slab-shell` — the same cycle including the `WireBuf`
+//!   shell lease/recycle, i.e. the whole per-packet buffer story.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use falcon_packet::{slab, SlabConfig, SlabPool};
+
+const LEN: usize = 2048;
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("roundtrip");
+
+    g.bench_function("heap", |b| {
+        b.iter(|| {
+            let mut v = vec![0u8; LEN];
+            v[0] = 0xAB;
+            black_box(&v);
+        })
+    });
+
+    let mut pool = SlabPool::new(SlabConfig::default());
+    g.bench_function("slab", |b| {
+        b.iter(|| {
+            let mut seg = pool.acquire(LEN);
+            seg[0] = 0xAB;
+            black_box(&seg);
+            drop(seg);
+            pool.drain_returns();
+        })
+    });
+
+    let mut pool = SlabPool::new(SlabConfig::default());
+    g.bench_function("slab-shell", |b| {
+        b.iter(|| {
+            let seg = pool.acquire(LEN);
+            let mut wire = pool.lease_shell();
+            wire.segs.push(seg);
+            black_box(&wire);
+            slab::recycle(wire);
+            pool.drain_returns();
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_roundtrip);
+criterion_main!(benches);

@@ -10,10 +10,16 @@
 //! stays put in DMA memory. In wire mode the descriptor additionally
 //! owns a [`WireBuf`] of real frame bytes behind one pointer-sized
 //! `Option<Box<_>>` field, so the ring slot stays small and modeled-mode
-//! runs pay nothing.
+//! runs pay nothing. The wire buffer's segments are
+//! [`SlabSeg`]s — pool-leased slots in steady state
+//! (see [`slab`](crate::slab)), detached heap buffers otherwise — and
+//! the shell itself can be pool-backed so delivery recycles the whole
+//! thing with one ring push instead of three frees.
 
 use core::ops::Range;
+use std::sync::Arc;
 
+use crate::slab::{PoolShared, SlabSeg};
 use crate::PacketId;
 
 /// Owned wire bytes travelling with a descriptor in wire mode.
@@ -24,43 +30,99 @@ use crate::PacketId;
 /// back into one. After the VXLAN stage decapsulates, `inner` records
 /// where the inner Ethernet frame sits inside `segs[0]` — offsets, not
 /// a copy, mirroring how the kernel advances `skb->data`.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Default)]
 pub struct WireBuf {
     /// Outer (encapsulated) frames, oldest first. GRO replaces multiple
     /// segments with a single coalesced frame.
-    pub segs: Vec<Vec<u8>>,
+    pub segs: Vec<SlabSeg>,
     /// Byte range of the decapsulated inner frame within `segs[0]`,
     /// set by the VXLAN device stage.
     pub inner: Option<Range<usize>>,
+    /// The pool this shell recycles to, if it was pool-leased.
+    shell: Option<Arc<PoolShared>>,
 }
+
+impl Clone for WireBuf {
+    /// Clones detach: copied segments are plain heap buffers and the
+    /// copy's shell is not pool-backed.
+    fn clone(&self) -> Self {
+        WireBuf {
+            segs: self.segs.clone(),
+            inner: self.inner.clone(),
+            shell: None,
+        }
+    }
+}
+
+impl PartialEq for WireBuf {
+    /// Equality is over contents (segments + inner range); whether
+    /// either side is pool-backed is invisible, so differential oracles
+    /// can compare slab and heap runs directly.
+    fn eq(&self, other: &Self) -> bool {
+        self.segs == other.segs && self.inner == other.inner
+    }
+}
+impl Eq for WireBuf {}
 
 impl WireBuf {
     /// Wraps a single outer frame.
     pub fn single(frame: Vec<u8>) -> Box<WireBuf> {
         Box::new(WireBuf {
-            segs: vec![frame],
+            segs: vec![SlabSeg::from(frame)],
             inner: None,
+            shell: None,
         })
     }
 
     /// Wraps a multi-segment (pre-GRO) packet.
     pub fn segments(segs: Vec<Vec<u8>>) -> Box<WireBuf> {
-        Box::new(WireBuf { segs, inner: None })
+        Box::new(WireBuf {
+            segs: segs.into_iter().map(SlabSeg::from).collect(),
+            inner: None,
+            shell: None,
+        })
+    }
+
+    /// Wraps already-leased segments (the zero-copy ingest and slab
+    /// frame-factory paths).
+    pub fn leased(segs: Vec<SlabSeg>) -> Box<WireBuf> {
+        Box::new(WireBuf {
+            segs,
+            inner: None,
+            shell: None,
+        })
+    }
+
+    /// A fresh pool-backed shell (used by [`crate::slab::SlabPool`]).
+    pub(crate) fn new_pooled(shell: Arc<PoolShared>) -> WireBuf {
+        WireBuf {
+            segs: Vec::with_capacity(4),
+            inner: None,
+            shell: Some(shell),
+        }
+    }
+
+    /// The pool this shell belongs to, if any.
+    pub(crate) fn shell_origin(&self) -> Option<Arc<PoolShared>> {
+        self.shell.clone()
     }
 
     /// Frames one received datagram as a single-segment buffer.
     ///
-    /// The ingestion path reads whole outer frames out of recycled
-    /// socket buffers; this is the one copy that moves the bytes out of
-    /// the receive buffer and into an owned segment — no per-segment
-    /// re-slicing or re-parse happens here. The result is
-    /// indistinguishable from `WireBuf::segments(vec![bytes.to_vec()])`
-    /// to every downstream stage.
+    /// This is the copying fallback the ingestion path used before the
+    /// slab pool: it moves the bytes out of a recycled socket buffer
+    /// into a fresh heap segment. The zero-copy path instead leases a
+    /// slot, lands the datagram in it directly, and wraps it with
+    /// [`WireBuf::leased`] — indistinguishable downstream.
     pub fn from_datagram(bytes: &[u8]) -> Box<WireBuf> {
-        Box::new(WireBuf {
-            segs: vec![bytes.to_vec()],
-            inner: None,
-        })
+        WireBuf::single(bytes.to_vec())
+    }
+
+    /// Replaces all segments with one owned frame, reusing the segment
+    /// list's capacity (the GRO coalesce path).
+    pub fn set_single(&mut self, frame: Vec<u8>) {
+        self.segs.clear();
+        self.segs.push(SlabSeg::from(frame));
     }
 
     /// Total bytes currently held — the on-wire size of the packet.
@@ -158,5 +220,33 @@ mod tests {
         assert_eq!(a.wire_bytes(), 200);
         assert_eq!(a.segs.len(), 1);
         assert_eq!(a.inner, None);
+    }
+
+    #[test]
+    fn set_single_reuses_the_segment_list() {
+        let mut buf = *WireBuf::segments(vec![vec![1u8; 10], vec![2u8; 10]]);
+        let cap = buf.segs.capacity();
+        buf.set_single(vec![3u8; 30]);
+        assert_eq!(buf.segs.len(), 1);
+        assert_eq!(buf.wire_bytes(), 30);
+        assert!(buf.segs.capacity() >= 1 && buf.segs.capacity() <= cap.max(2));
+    }
+
+    #[test]
+    fn pooled_and_heap_bufs_compare_equal_by_contents() {
+        use crate::slab::{SlabConfig, SlabPool};
+        let mut pool = SlabPool::new(SlabConfig {
+            mtu_slots: 2,
+            jumbo_slots: 0,
+        });
+        let payload: Vec<u8> = (0..100u8).collect();
+        let mut seg = pool.acquire(payload.len());
+        seg.vec_mut().clear();
+        seg.vec_mut().extend_from_slice(&payload);
+        let mut pooled = pool.lease_shell();
+        pooled.segs.push(seg);
+        let heap = WireBuf::single(payload);
+        assert_eq!(pooled, heap);
+        assert!(crate::slab::recycle(pooled));
     }
 }

@@ -64,14 +64,24 @@ pub struct EncapParams {
 /// assert_eq!(vni, 42);
 /// ```
 pub fn vxlan_encapsulate(inner_frame: &[u8], params: &EncapParams) -> Vec<u8> {
+    let mut out = Vec::with_capacity(inner_frame.len() + VXLAN_OVERHEAD);
+    vxlan_encapsulate_into(&mut out, inner_frame, params);
+    out
+}
+
+/// [`vxlan_encapsulate`] into a caller-owned buffer: clears `out` and
+/// writes the envelope plus inner frame, reusing `out`'s capacity. The
+/// slab hot path builds frames directly inside pool slots with this —
+/// no allocation when the slot's capacity covers the frame.
+pub fn vxlan_encapsulate_into(out: &mut Vec<u8>, inner_frame: &[u8], params: &EncapParams) {
     let total = inner_frame.len() + VXLAN_OVERHEAD;
-    let mut out = Vec::with_capacity(total);
+    out.clear();
     EthernetHdr {
         dst: params.dst_mac,
         src: params.src_mac,
         ethertype: EtherType::Ipv4,
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     Ipv4Hdr {
         total_len: (total - ETHERNET_HDR_LEN) as u16,
         ident: 0,
@@ -80,17 +90,17 @@ pub fn vxlan_encapsulate(inner_frame: &[u8], params: &EncapParams) -> Vec<u8> {
         src: params.src_ip,
         dst: params.dst_ip,
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     UdpHdr {
         src_port: params.src_port,
         dst_port: VXLAN_PORT,
         len: (UDP_HDR_LEN + VXLAN_HDR_LEN + inner_frame.len()) as u16,
         checksum: 0,
     }
-    .push_onto(&mut out);
-    VxlanHdr::new(params.vni).push_onto(&mut out);
+    .push_onto(out);
+    VxlanHdr::new(params.vni).push_onto(out);
     out.extend_from_slice(inner_frame);
-    out
+    debug_assert_eq!(out.len(), total);
 }
 
 /// Where the inner frame lives inside a VXLAN-encapsulated buffer.
@@ -301,14 +311,28 @@ pub fn build_udp_frame(
     keys: &FlowKeys,
     payload: &[u8],
 ) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ETHERNET_HDR_LEN + IPV4_HDR_LEN + UDP_HDR_LEN + payload.len());
+    build_udp_frame_into(&mut out, src_mac, dst_mac, keys, payload);
+    out
+}
+
+/// [`build_udp_frame`] into a caller-owned buffer (cleared first,
+/// capacity reused — the frame factory's amortized-zero-alloc path).
+pub fn build_udp_frame_into(
+    out: &mut Vec<u8>,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    keys: &FlowKeys,
+    payload: &[u8],
+) {
     let total_ip = IPV4_HDR_LEN + UDP_HDR_LEN + payload.len();
-    let mut out = Vec::with_capacity(ETHERNET_HDR_LEN + total_ip);
+    out.clear();
     EthernetHdr {
         dst: dst_mac,
         src: src_mac,
         ethertype: EtherType::Ipv4,
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     Ipv4Hdr {
         total_len: total_ip as u16,
         ident: 0,
@@ -317,16 +341,15 @@ pub fn build_udp_frame(
         src: Ipv4Addr4(keys.src_addr),
         dst: Ipv4Addr4(keys.dst_addr),
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     UdpHdr {
         src_port: keys.src_port,
         dst_port: keys.dst_port,
         len: (UDP_HDR_LEN + payload.len()) as u16,
         checksum: 0,
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     out.extend_from_slice(payload);
-    out
 }
 
 /// Builds a TCP segment frame: Ethernet + IPv4 + TCP + payload.
@@ -341,14 +364,35 @@ pub fn build_tcp_frame(
     window: u16,
     payload: &[u8],
 ) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ETHERNET_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN + payload.len());
+    build_tcp_frame_into(
+        &mut out, src_mac, dst_mac, keys, seq, ack, flags, window, payload,
+    );
+    out
+}
+
+/// [`build_tcp_frame`] into a caller-owned buffer (cleared first,
+/// capacity reused).
+#[allow(clippy::too_many_arguments)]
+pub fn build_tcp_frame_into(
+    out: &mut Vec<u8>,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    keys: &FlowKeys,
+    seq: u32,
+    ack: u32,
+    flags: TcpFlags,
+    window: u16,
+    payload: &[u8],
+) {
     let total_ip = IPV4_HDR_LEN + TCP_HDR_LEN + payload.len();
-    let mut out = Vec::with_capacity(ETHERNET_HDR_LEN + total_ip);
+    out.clear();
     EthernetHdr {
         dst: dst_mac,
         src: src_mac,
         ethertype: EtherType::Ipv4,
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     Ipv4Hdr {
         total_len: total_ip as u16,
         ident: 0,
@@ -357,7 +401,7 @@ pub fn build_tcp_frame(
         src: Ipv4Addr4(keys.src_addr),
         dst: Ipv4Addr4(keys.dst_addr),
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     TcpHdr {
         src_port: keys.src_port,
         dst_port: keys.dst_port,
@@ -366,9 +410,8 @@ pub fn build_tcp_frame(
         flags,
         window,
     }
-    .push_onto(&mut out);
+    .push_onto(out);
     out.extend_from_slice(payload);
-    out
 }
 
 /// Dissects the flow keys from an (inner or host) frame starting at its

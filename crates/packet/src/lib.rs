@@ -20,7 +20,9 @@ pub mod desc;
 pub mod encap;
 pub mod ethernet;
 pub mod ipv4;
+pub mod mix;
 pub mod skbuff;
+pub mod slab;
 pub mod tcp;
 pub mod udp;
 pub mod vxlan;
@@ -28,12 +30,14 @@ pub mod vxlan;
 pub use desc::{PktDesc, WireBuf};
 pub use encap::{
     build_tcp_frame, build_udp_frame, decap_bounds, dissect_flow, fill_l4_checksum,
-    verify_l4_checksum, vxlan_decapsulate, vxlan_encapsulate, DecapBounds, EncapParams,
-    VXLAN_OVERHEAD,
+    verify_l4_checksum, vxlan_decapsulate, vxlan_encapsulate, vxlan_encapsulate_into, DecapBounds,
+    EncapParams, VXLAN_OVERHEAD,
 };
 pub use ethernet::{EtherType, EthernetHdr, MacAddr, ETHERNET_HDR_LEN};
 pub use ipv4::{IpProto, Ipv4Addr4, Ipv4Hdr, IPV4_HDR_LEN};
+pub use mix::{mix64, mix64_scalar};
 pub use skbuff::{FragMeta, PacketId, SkBuff, TraceHop};
+pub use slab::{RawSlot, SlabConfig, SlabCounters, SlabPool, SlabSample, SlabSeg};
 pub use tcp::{TcpFlags, TcpHdr, TCP_HDR_LEN};
 pub use udp::{UdpHdr, UDP_HDR_LEN, VXLAN_PORT};
 pub use vxlan::{VxlanHdr, VXLAN_HDR_LEN};

@@ -1,0 +1,119 @@
+//! An 8-byte-chunk mixing hash for the wire hot path.
+//!
+//! Replaces byte-at-a-time FNV-1a in the two places the dataplane
+//! hashes payload-sized byte runs per packet: the delivery digest and
+//! the flow-verdict cache key. The walk consumes one 64-bit lane per
+//! iteration (multiply-xorshift mix per lane, length seeded up front so
+//! zero-padding the tail cannot alias a longer input, strong final
+//! avalanche), which is ~8x fewer loop iterations than FNV over an MTU
+//! frame while keeping the bit-dispersion properties the corruption
+//! oracles rely on.
+//!
+//! [`mix64_scalar`] assembles each lane byte-by-byte and must produce
+//! *identical* output — it is the differential reference the property
+//! tests pin the chunked walk against.
+
+/// Multiplier for the per-lane mix (the 64-bit golden-ratio constant).
+const M: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Multiplier for the final avalanche (from splitmix64).
+const A: u64 = 0xD6E8_FEB8_6659_FD93;
+
+#[inline]
+fn mix_lane(h: u64, v: u64) -> u64 {
+    let h = (h ^ v).wrapping_mul(M);
+    h ^ (h >> 29)
+}
+
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 32;
+    h = h.wrapping_mul(A);
+    h ^ (h >> 32)
+}
+
+/// Hashes `data` 8 bytes per iteration, seeded with `seed`.
+pub fn mix64(seed: u64, data: &[u8]) -> u64 {
+    let mut h = seed ^ (data.len() as u64).wrapping_mul(M);
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let v = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h = mix_lane(h, v);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = mix_lane(h, u64::from_le_bytes(tail));
+    }
+    avalanche(h)
+}
+
+/// Byte-at-a-time reference implementation of [`mix64`]: assembles the
+/// same little-endian lanes one byte at a time. Output is identical by
+/// construction; the proptests assert it stays that way.
+pub fn mix64_scalar(seed: u64, data: &[u8]) -> u64 {
+    let mut h = seed ^ (data.len() as u64).wrapping_mul(M);
+    let mut i = 0;
+    while i < data.len() {
+        let mut v = 0u64;
+        let end = (i + 8).min(data.len());
+        for (shift, &b) in data[i..end].iter().enumerate() {
+            v |= (b as u64) << (8 * shift);
+        }
+        h = mix_lane(h, v);
+        i = end;
+    }
+    avalanche(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_equals_scalar_reference() {
+        let mut data = vec![0u8; 2048 + 7];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(73).wrapping_add(5);
+        }
+        for start in 0..8 {
+            for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1499, 1500, 2048] {
+                let slice = &data[start..start + len];
+                for seed in [0u64, 0xDEAD_BEEF, u64::MAX] {
+                    assert_eq!(
+                        mix64(seed, slice),
+                        mix64_scalar(seed, slice),
+                        "start={start} len={len} seed={seed:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_is_part_of_the_hash() {
+        // The tail is zero-padded, so the length seed is what keeps a
+        // trailing zero byte from aliasing the shorter input.
+        assert_ne!(mix64(0, b""), mix64(0, b"\0"));
+        assert_ne!(mix64(0, b"abc"), mix64(0, b"abc\0"));
+        assert_ne!(mix64(0, &[0u8; 8]), mix64(0, &[0u8; 16]));
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_hash() {
+        let base: Vec<u8> = (0..256u32).map(|i| (i * 31 + 7) as u8).collect();
+        let h0 = mix64(7, &base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(h0, mix64(7, &flipped), "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_separates_streams() {
+        assert_ne!(mix64(1, b"payload"), mix64(2, b"payload"));
+    }
+}

@@ -188,4 +188,38 @@ proptest! {
             }
         }
     }
+
+    /// The chunked [`mix64`](falcon_packet::mix64) digest that replaced
+    /// FNV-1a keeps the corruption-detection contract the wire oracle
+    /// rides on: any single-bit flip anywhere in a payload changes the
+    /// digest, and so does any truncation (the length is mixed into the
+    /// seed, so a shorter prefix can never collide with its original).
+    #[test]
+    fn digest_detects_single_bit_flips_and_truncation(
+        payload in proptest::collection::vec(any::<u8>(), 1..=1500),
+        seed in any::<u64>(),
+        flip_seed in any::<u64>(),
+    ) {
+        let pristine = falcon_packet::mix64(seed, &payload);
+
+        let bit_index = flip_seed % (payload.len() as u64 * 8);
+        let (byte, bit) = ((bit_index / 8) as usize, (bit_index % 8) as u32);
+        let mut corrupt = payload.clone();
+        corrupt[byte] ^= 1 << bit;
+        prop_assert_ne!(
+            falcon_packet::mix64(seed, &corrupt),
+            pristine,
+            "single-bit flip at byte {} bit {} went undetected",
+            byte,
+            bit
+        );
+
+        let cut = (flip_seed >> 32) as usize % payload.len();
+        prop_assert_ne!(
+            falcon_packet::mix64(seed, &payload[..cut]),
+            pristine,
+            "truncation to {} bytes went undetected",
+            cut
+        );
+    }
 }

@@ -1,0 +1,98 @@
+//! Property-based equivalence of the vectorized byte loops against
+//! their scalar references.
+//!
+//! The folded [`sum_words`] and chunked [`mix64`] are the wire hot
+//! path; the two-bytes-at-a-time [`sum_words_scalar`] and
+//! byte-at-a-time [`mix64_scalar`] are the auditable specs. The
+//! contract differs per loop: the checksum paths are *fold-equivalent*
+//! (the raw accumulators may differ, the folded 16-bit value may not),
+//! while the digest paths must agree bit-for-bit. Both are exercised
+//! across every length up to MTU, odd tails, unaligned slice starts,
+//! and carried-in accumulators, plus the RFC 768 rule that a UDP
+//! checksum computing to zero transmits as `0xFFFF`.
+//!
+//! [`sum_words`]: falcon_packet::checksum::sum_words
+//! [`sum_words_scalar`]: falcon_packet::checksum::sum_words_scalar
+//! [`mix64`]: falcon_packet::mix64
+//! [`mix64_scalar`]: falcon_packet::mix64_scalar
+
+use falcon_packet::checksum::{fold, internet_checksum, sum_words, sum_words_scalar, verify};
+use falcon_packet::{mix64, mix64_scalar};
+use proptest::prelude::*;
+
+/// Standard MTU: the longest contiguous run either loop sees per call.
+const MTU: usize = 1500;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fold-equivalence over every length 0..=MTU (odd tails included
+    /// by construction) with a carried-in accumulator, the exact
+    /// multi-part shape `fill_l4_checksum` uses (pseudo-header sum
+    /// carried into the payload walk).
+    #[test]
+    fn checksum_paths_are_fold_equivalent(
+        data in proptest::collection::vec(any::<u8>(), 0..=MTU),
+        acc in 0u32..=0x0003_FFFF,
+    ) {
+        prop_assert_eq!(
+            fold(sum_words(&data, acc)),
+            fold(sum_words_scalar(&data, acc)),
+        );
+    }
+
+    /// Unaligned starts: the vector path must not assume its slice
+    /// begins on any particular boundary. Slicing a shared buffer at
+    /// offsets 0..16 covers every 16-byte phase the SSE path can see.
+    #[test]
+    fn checksum_fold_equivalence_survives_unaligned_starts(
+        data in proptest::collection::vec(any::<u8>(), 16..=MTU),
+        off in 0usize..16,
+        acc in 0u32..=0xFFFF,
+    ) {
+        let slice = &data[off..];
+        prop_assert_eq!(
+            fold(sum_words(slice, acc)),
+            fold(sum_words_scalar(slice, acc)),
+        );
+    }
+
+    /// RFC 768: a transmitted UDP checksum of zero means "absent", so
+    /// a *computed* `0x0000` is transmitted as `0xFFFF` — both sums
+    /// must agree on when that substitution fires, and the substituted
+    /// value must still verify (a ones'-complement sum of `0xFFFF`).
+    #[test]
+    fn rfc768_zero_checksum_rule_agrees_across_paths(
+        data in proptest::collection::vec(any::<u8>(), 8..=MTU),
+    ) {
+        // Build a pseudo-UDP buffer with a zeroed checksum field at
+        // offset 6 (the UDP layout), then fill it the RFC 768 way.
+        let mut frame = data.clone();
+        frame[6] = 0;
+        frame[7] = 0;
+        let csum_vec = match !fold(sum_words(&frame, 0)) {
+            0 => 0xFFFF,
+            c => c,
+        };
+        let csum_scalar = match !fold(sum_words_scalar(&frame, 0)) {
+            0 => 0xFFFF,
+            c => c,
+        };
+        prop_assert_eq!(csum_vec, csum_scalar);
+        frame[6..8].copy_from_slice(&csum_vec.to_be_bytes());
+        prop_assert!(verify(&frame), "filled checksum must verify");
+        prop_assert_eq!(internet_checksum(&frame), 0);
+    }
+
+    /// The digest paths are bit-identical: same seed, same bytes, same
+    /// 64-bit output, over every length and an unaligned start.
+    #[test]
+    fn mix64_matches_scalar_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..=MTU),
+        seed in any::<u64>(),
+        off in 0usize..8,
+    ) {
+        let slice = if data.len() >= off { &data[off..] } else { &data[..] };
+        prop_assert_eq!(mix64(seed, slice), mix64_scalar(seed, slice));
+    }
+}

@@ -88,11 +88,13 @@ mod tests {
                 t_ns: 1_000,
                 workers: vec![w0_a],
                 rx: None,
+                slab: None,
             },
             TelemetrySample {
                 t_ns: 2_000,
                 workers: vec![w0_b],
                 rx: None,
+                slab: None,
             },
         ];
         let tracks = counter_tracks(&samples);

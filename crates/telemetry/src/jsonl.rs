@@ -147,9 +147,63 @@ pub fn rx_line(t_ns: u64, cur: &RxSample, prev: &RxSample) -> String {
     serde_json::to_string(&v).expect("telemetry rx line always serializes")
 }
 
+/// One line per sampling tick for the packet source's slab buffer
+/// pool: counter deltas vs the previous snapshot, plus the cumulative
+/// heap-fallback count (the number the zero-alloc claim rides on, so
+/// it exports as a running total too).
+pub fn slab_line(
+    t_ns: u64,
+    cur: &falcon_packet::SlabSample,
+    prev: &falcon_packet::SlabSample,
+) -> String {
+    let d = cur.delta_since(prev);
+    let v = obj(vec![
+        ("kind", s("slab")),
+        ("t_ns", int(t_ns)),
+        ("leases", int(d.leases)),
+        ("recycles", int(d.recycles)),
+        ("returns", int(d.returns)),
+        ("fallbacks", int(d.fallbacks)),
+        ("ring_drops", int(d.ring_drops)),
+        ("gen_errors", int(d.gen_errors)),
+        ("fallbacks_total", int(cur.fallbacks)),
+    ]);
+    serde_json::to_string(&v).expect("telemetry slab line always serializes")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slab_line_is_valid_json_with_deltas() {
+        let prev = falcon_packet::SlabSample {
+            leases: 100,
+            fallbacks: 1,
+            recycles: 90,
+            returns: 95,
+            ring_drops: 0,
+            gen_errors: 0,
+        };
+        let cur = falcon_packet::SlabSample {
+            leases: 250,
+            fallbacks: 3,
+            recycles: 240,
+            returns: 245,
+            ring_drops: 1,
+            gen_errors: 0,
+        };
+        let line = slab_line(555, &cur, &prev);
+        assert!(!line.contains('\n'));
+        let v: Value = serde_json::from_str(&line).expect("slab line parses");
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("slab"));
+        assert_eq!(v.get("t_ns").and_then(Value::as_u64), Some(555));
+        assert_eq!(v.get("leases").and_then(Value::as_u64), Some(150));
+        assert_eq!(v.get("recycles").and_then(Value::as_u64), Some(150));
+        assert_eq!(v.get("fallbacks").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("ring_drops").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("fallbacks_total").and_then(Value::as_u64), Some(3));
+    }
 
     #[test]
     fn rx_line_is_valid_json_with_deltas() {

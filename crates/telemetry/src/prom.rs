@@ -249,6 +249,49 @@ pub fn render_rx(rx: &crate::rx::RxSample) -> String {
     out
 }
 
+/// Renders the packet source's slab-pool counters as an exposition
+/// fragment, appended to [`render`]'s body on slab-backed runs.
+pub fn render_slab(slab: &falcon_packet::SlabSample) -> String {
+    let mut out = String::with_capacity(768);
+    for (name, help, value) in [
+        (
+            "falcon_slab_leases_total",
+            "Segments leased from a slab-pool freelist.",
+            slab.leases,
+        ),
+        (
+            "falcon_slab_recycles_total",
+            "Slots drained from the return rings back into a freelist.",
+            slab.recycles,
+        ),
+        (
+            "falcon_slab_returns_total",
+            "Cross-thread pushes into the slab return rings.",
+            slab.returns,
+        ),
+        (
+            "falcon_slab_fallbacks_total",
+            "Heap-fallback segments handed out because the pool was dry.",
+            slab.fallbacks,
+        ),
+        (
+            "falcon_slab_ring_drops_total",
+            "Returns lost to a full return ring (buffer freed).",
+            slab.ring_drops,
+        ),
+        (
+            "falcon_slab_gen_errors_total",
+            "Returned slots discarded on a generation-tag mismatch.",
+            slab.gen_errors,
+        ),
+    ] {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    }
+    out
+}
+
 /// One parsed exposition sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PromMetric {

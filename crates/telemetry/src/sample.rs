@@ -30,6 +30,10 @@ pub struct Hub {
     /// resize during a write session) must not depend on whether a
     /// socket frontend exists.
     rx: std::sync::OnceLock<Arc<RxCounters>>,
+    /// Optional slab-pool counters, attached once by the packet source
+    /// when it generates frames from a pre-registered buffer pool.
+    /// Same shape rationale as `rx`.
+    slab: std::sync::OnceLock<Arc<falcon_packet::SlabCounters>>,
 }
 
 impl Hub {
@@ -50,6 +54,7 @@ impl Hub {
                 stage_labels,
                 n_reasons,
                 rx: std::sync::OnceLock::new(),
+                slab: std::sync::OnceLock::new(),
             }),
             writers,
         )
@@ -64,6 +69,17 @@ impl Hub {
     /// Snapshot of the rx-thread counters, if a frontend attached any.
     pub fn rx_snapshot(&self) -> Option<RxSample> {
         self.rx.get().map(|c| c.snapshot())
+    }
+
+    /// Attaches the packet source's slab-pool counters. Only the first
+    /// attach wins (there is one source pool per run).
+    pub fn attach_slab(&self, counters: Arc<falcon_packet::SlabCounters>) {
+        let _ = self.slab.set(counters);
+    }
+
+    /// Snapshot of the slab-pool counters, if a source attached any.
+    pub fn slab_snapshot(&self) -> Option<falcon_packet::SlabSample> {
+        self.slab.get().map(|c| c.snapshot())
     }
 
     /// Number of worker shards.
@@ -101,6 +117,8 @@ pub struct TelemetrySample {
     pub workers: Vec<WorkerSample>,
     /// Cumulative rx-thread counters (socket ingestion runs only).
     pub rx: Option<RxSample>,
+    /// Cumulative slab-pool counters (slab-backed sources only).
+    pub slab: Option<falcon_packet::SlabSample>,
 }
 
 /// Sampler configuration.
@@ -136,6 +154,8 @@ pub struct TelemetryRun {
     pub scrapes: u64,
     /// Final rx-thread counters (socket ingestion runs only).
     pub rx_totals: Option<RxSample>,
+    /// Final slab-pool counters (slab-backed sources only).
+    pub slab_totals: Option<falcon_packet::SlabSample>,
 }
 
 /// Handle to the running sampler thread.
@@ -204,6 +224,7 @@ fn sampler_loop<F: Fn() -> u64>(
         prom_addr: prom.as_ref().map(|p| p.local_addr().to_string()),
         scrapes: 0,
         rx_totals: None,
+        slab_totals: None,
     };
     let stages: Vec<String> = hub.stage_labels().to_vec();
     let mut writer = match &cfg.jsonl_path {
@@ -226,15 +247,20 @@ fn sampler_loop<F: Fn() -> u64>(
 
     let mut prev = hub.zeroed();
     let mut prev_rx = RxSample::default();
+    let mut prev_slab = falcon_packet::SlabSample::default();
     loop {
         let stopping = stop.load(Ordering::Acquire);
         let t = now_ns();
         let cur = hub.snapshot();
         let cur_rx = hub.rx_snapshot();
+        let cur_slab = hub.slab_snapshot();
         if let Some(w) = writer.as_mut() {
             let mut lines = jsonl::sample_lines(t, &cur, &prev, &stages);
             if let Some(rx) = cur_rx.as_ref() {
                 lines.push(jsonl::rx_line(t, rx, &prev_rx));
+            }
+            if let Some(slab) = cur_slab.as_ref() {
+                lines.push(jsonl::slab_line(t, slab, &prev_slab));
             }
             for line in lines {
                 match writeln!(w, "{line}") {
@@ -252,16 +278,24 @@ fn sampler_loop<F: Fn() -> u64>(
             if let Some(rx) = cur_rx.as_ref() {
                 body.push_str(&prom::render_rx(rx));
             }
+            if let Some(slab) = cur_slab.as_ref() {
+                body.push_str(&prom::render_slab(slab));
+            }
             p.publish(body);
         }
         if let Some(rx) = cur_rx.as_ref() {
             prev_rx = rx.clone();
             out.rx_totals = Some(rx.clone());
         }
+        if let Some(slab) = cur_slab.as_ref() {
+            prev_slab = *slab;
+            out.slab_totals = Some(*slab);
+        }
         out.samples.push(TelemetrySample {
             t_ns: t,
             workers: cur.clone(),
             rx: cur_rx,
+            slab: cur_slab,
         });
         prev = cur;
         if stopping {

@@ -9,9 +9,10 @@
 
 use falcon_khash::FlowKeys;
 use falcon_packet::encap::{
-    build_tcp_frame, build_udp_frame, fill_l4_checksum, vxlan_encapsulate, EncapParams,
+    build_tcp_frame, build_tcp_frame_into, build_udp_frame, build_udp_frame_into, fill_l4_checksum,
+    vxlan_encapsulate, vxlan_encapsulate_into, EncapParams, VXLAN_OVERHEAD,
 };
-use falcon_packet::{Ipv4Addr4, MacAddr, TcpFlags};
+use falcon_packet::{Ipv4Addr4, MacAddr, SlabPool, TcpFlags, WireBuf};
 
 use crate::payload_digest;
 
@@ -77,16 +78,24 @@ impl FrameFactory {
 
     /// The deterministic payload of message `(flow, seq)`.
     pub fn payload(flow: u64, seq: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        Self::payload_into(&mut out, flow, seq, len);
+        out
+    }
+
+    /// [`FrameFactory::payload`] into a reused buffer — the zero-alloc
+    /// generation path. Clears `out` first; capacity is retained across
+    /// calls.
+    pub fn payload_into(out: &mut Vec<u8>, flow: u64, seq: u64, len: usize) {
         let mut state = (flow << 32) ^ seq ^ 0x9E37_79B9_7F4A_7C15;
-        (0..len)
-            .map(|_| {
-                // xorshift64*: cheap, deterministic, byte-position mixed.
-                state ^= state << 13;
-                state ^= state >> 7;
-                state ^= state << 17;
-                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
-            })
-            .collect()
+        out.clear();
+        out.extend((0..len).map(|_| {
+            // xorshift64*: cheap, deterministic, byte-position mixed.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        }));
     }
 
     /// The TCP sequence number of the first byte of message `seq`.
@@ -168,6 +177,99 @@ impl FrameFactory {
     }
 }
 
+/// Zero-alloc wire-frame builder: the same deterministic frames as
+/// [`FrameFactory::udp_wire`]/[`FrameFactory::tcp_wire`], but built in
+/// place inside pool-leased slab slots instead of fresh heap vectors.
+///
+/// The payload and inner frame are staged in two scratch buffers owned
+/// by the builder (their capacity is retained across packets), and the
+/// encapsulated result is written directly into a [`SlabPool`] slot.
+/// The returned `Box<WireBuf>` is a recycled pool shell, so steady-state
+/// generation performs no allocator calls at all — the differential
+/// oracles can't tell: the bytes are identical to the heap path.
+#[derive(Debug, Default)]
+pub struct SlabFrameBuilder {
+    factory: FrameFactory,
+    payload: Vec<u8>,
+    inner: Vec<u8>,
+}
+
+impl SlabFrameBuilder {
+    /// A builder emitting the same frames as `factory`.
+    pub fn new(factory: FrameFactory) -> Self {
+        SlabFrameBuilder {
+            factory,
+            payload: Vec::new(),
+            inner: Vec::new(),
+        }
+    }
+
+    /// The wire buffer of a UDP message, built in leased slots.
+    /// Byte-identical to [`FrameFactory::udp_wire`].
+    pub fn udp_wire(
+        &mut self,
+        pool: &mut SlabPool,
+        flow: u64,
+        seq: u64,
+        payload_len: usize,
+    ) -> Box<WireBuf> {
+        let (src_mac, dst_mac) = self.factory.inner_macs(flow);
+        let keys = self.factory.inner_keys(flow, false);
+        FrameFactory::payload_into(&mut self.payload, flow, seq, payload_len);
+        build_udp_frame_into(&mut self.inner, src_mac, dst_mac, &keys, &self.payload);
+        fill_l4_checksum(&mut self.inner).expect("generated frame has a valid L4 layout");
+        let params = self.factory.encap_params(flow);
+        let mut seg = pool.acquire(self.inner.len() + VXLAN_OVERHEAD);
+        vxlan_encapsulate_into(seg.vec_mut(), &self.inner, &params);
+        let mut buf = pool.lease_shell();
+        buf.segs.push(seg);
+        buf
+    }
+
+    /// The wire buffer of a TCP message — MSS-sized segments, one
+    /// leased slot each. Byte-identical to [`FrameFactory::tcp_wire`].
+    pub fn tcp_wire(
+        &mut self,
+        pool: &mut SlabPool,
+        flow: u64,
+        seq: u64,
+        msg_len: usize,
+        mss: usize,
+    ) -> Box<WireBuf> {
+        assert!(mss > 0, "mss must be positive");
+        let (src_mac, dst_mac) = self.factory.inner_macs(flow);
+        let keys = self.factory.inner_keys(flow, true);
+        let params = self.factory.encap_params(flow);
+        FrameFactory::payload_into(&mut self.payload, flow, seq, msg_len);
+        let seq0 = FrameFactory::tcp_seq0(seq, msg_len);
+        let mut buf = pool.lease_shell();
+        let mut off = 0usize;
+        while off < msg_len || (msg_len == 0 && buf.segs.is_empty()) {
+            let take = mss.min(msg_len - off);
+            build_tcp_frame_into(
+                &mut self.inner,
+                src_mac,
+                dst_mac,
+                &keys,
+                seq0.wrapping_add(off as u32),
+                0,
+                TcpFlags::data(),
+                0xFFFF,
+                &self.payload[off..off + take],
+            );
+            fill_l4_checksum(&mut self.inner).expect("generated segment has a valid L4 layout");
+            let mut seg = pool.acquire(self.inner.len() + VXLAN_OVERHEAD);
+            vxlan_encapsulate_into(seg.vec_mut(), &self.inner, &params);
+            buf.segs.push(seg);
+            off += take;
+            if take == 0 {
+                break;
+            }
+        }
+        buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +319,35 @@ mod tests {
             reassembled.extend_from_slice(payload);
         }
         assert_eq!(reassembled, FrameFactory::payload(2, 3, msg));
+    }
+
+    #[test]
+    fn slab_builder_matches_heap_factory_byte_for_byte() {
+        use falcon_packet::{SlabConfig, SlabPool};
+        let f = FrameFactory::new(9);
+        let mut pool = SlabPool::new(SlabConfig::default());
+        let mut b = SlabFrameBuilder::new(f);
+
+        for seq in 0..4u64 {
+            let slab = b.udp_wire(&mut pool, 5, seq, 700);
+            let heap = f.udp_wire(5, seq, 700);
+            assert_eq!(slab.segs.len(), heap.len());
+            assert_eq!(slab.segs[0], heap[0]);
+            assert!(slab.segs[0].is_pooled());
+            assert!(falcon_packet::slab::recycle(slab));
+        }
+
+        let slab = b.tcp_wire(&mut pool, 2, 3, 4096, 1448);
+        let heap = f.tcp_wire(2, 3, 4096, 1448);
+        assert_eq!(slab.segs.len(), heap.len());
+        for (s, h) in slab.segs.iter().zip(&heap) {
+            assert_eq!(s, h);
+        }
+        assert!(falcon_packet::slab::recycle(slab));
+
+        // Slots recirculate: nothing leaked after the recycles drain.
+        let c = pool.counters().snapshot();
+        assert!(c.fallbacks == 0, "default pool must not fall back");
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod stage;
 
 pub use cache::{flow_cache_key, full_verdict, CacheStats, FlowCache, Lookup, Verdict};
 pub use corrupt::Corruptor;
-pub use factory::FrameFactory;
+pub use factory::{FrameFactory, SlabFrameBuilder};
 pub use fdb::{Fdb, SharedFdb};
 pub use stage::{bridge_lookup, deliver_verify, gro_coalesce, pnic_verify, vxlan_decap};
 pub use stage::{Delivery, WireError};
@@ -38,15 +38,24 @@ pub fn stage_touched_bytes(buf: &falcon_packet::WireBuf) -> u64 {
         .map_or_else(|| buf.wire_bytes(), |f| f.len() as u64)
 }
 
-/// FNV-1a over bytes: the delivery digest. Matches nothing else in the
-/// tree on purpose — it digests application payload, not trace hops.
+/// Seed of the delivery digest. Matches nothing else in the tree on
+/// purpose — it digests application payload, not trace hops.
+const DIGEST_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The delivery digest: an 8-byte-chunk mixing hash over the payload
+/// (see [`falcon_packet::mix`]). Replaced byte-at-a-time FNV-1a — same
+/// role, same collision-test behaviour, ~8x fewer loop iterations over
+/// an MTU frame. Every producer and consumer of digests (generator
+/// oracle, delivery stage, conformance checks) calls this one function,
+/// so the value change is invisible to the differential oracles.
 pub fn payload_digest(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    falcon_packet::mix64(DIGEST_SEED, bytes)
+}
+
+/// Byte-at-a-time differential reference for [`payload_digest`]:
+/// identical output, scalar lane assembly.
+pub fn payload_digest_scalar(bytes: &[u8]) -> u64 {
+    falcon_packet::mix64_scalar(DIGEST_SEED, bytes)
 }
 
 #[cfg(test)]

@@ -196,7 +196,7 @@ pub fn gro_coalesce(buf: &mut WireBuf) -> Result<(), WireError> {
         &payload,
     );
     fill_l4_checksum(&mut merged)?;
-    buf.segs = vec![vxlan_encapsulate(&merged, &params)];
+    buf.set_single(vxlan_encapsulate(&merged, &params));
     buf.inner = None;
     Ok(())
 }

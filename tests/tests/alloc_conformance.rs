@@ -1,0 +1,164 @@
+//! Allocation conformance for the wire-mode hot path.
+//!
+//! The slab pool's whole reason to exist is that the steady-state
+//! packet path — build frame in a pooled slot, inject, run every
+//! stage, deliver, recycle — touches the allocator **zero** times per
+//! packet. Claims like that rot silently, so this harness wraps the
+//! global allocator in a counting shim and measures the real pipeline:
+//! after a warmup lap primes the pool, the flow tables, and every
+//! preallocated log, a measured batch of packets must drive the
+//! process-wide allocation count up by exactly zero.
+//!
+//! The same harness proves the fallback story: a deliberately starved
+//! pool (a handful of slots against thousands of in-flight packets)
+//! must keep the run correct while counting its heap fallbacks
+//! honestly.
+//!
+//! Both legs live in ONE `#[test]` — the measurement window spans
+//! every thread in the process, so nothing else may run concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use falcon_dataplane::{
+    rss_hash_for_flow, run_scenario, run_scenario_from, Injector, PolicyKind, Scenario,
+};
+use falcon_packet::{PktDesc, SlabConfig, SlabPool};
+use falcon_wire::{FrameFactory, SlabFrameBuilder};
+
+/// Counts every allocator entry point; frees are irrelevant to the
+/// zero-alloc claim (recycling *releases* memory, it must not acquire
+/// any).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// SAFETY: pure pass-through to `System` plus a relaxed counter bump.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+const FLOWS: u64 = 4;
+const PAYLOAD: usize = 512;
+const WARMUP: u64 = 6_000;
+const MEASURED: u64 = 2_000;
+
+fn wire_scenario(packets: u64) -> Scenario {
+    Scenario {
+        policy: PolicyKind::Vanilla,
+        workers: 2,
+        flows: FLOWS,
+        packets,
+        payload: PAYLOAD,
+        work_scale_milli: 100,
+        inject_gap_ns: 0,
+        pin: false,
+        oversubscribe: true,
+        // Tracing off: the trace ring is preallocated anyway, but the
+        // measured window should exercise exactly the shipping path.
+        trace_capacity: 0,
+        wire: true,
+        ..Scenario::default()
+    }
+}
+
+fn build_and_inject(
+    inj: &mut Injector,
+    pool: &mut SlabPool,
+    builder: &mut SlabFrameBuilder,
+    seqs: &mut [u64],
+    i: u64,
+) {
+    let flow = i % FLOWS;
+    let seq = seqs[flow as usize];
+    seqs[flow as usize] += 1;
+    let wire = builder.udp_wire(pool, flow, seq, PAYLOAD);
+    let desc = PktDesc::new(i, flow, seq, rss_hash_for_flow(flow), PAYLOAD as u32).with_wire(wire);
+    inj.inject(desc);
+}
+
+/// Leg 1: after warmup, a measured batch of UDP wire packets through
+/// the full two-worker pipeline performs zero allocations anywhere in
+/// the process. Leg 2: a starved pool falls back to the heap, counts
+/// every fallback, and the run still completes correctly.
+#[test]
+fn wire_steady_state_allocates_nothing_and_exhaustion_is_counted() {
+    // ---- Leg 1: steady state is alloc-free. -------------------------
+    let scenario = wire_scenario(WARMUP + MEASURED);
+    let (out, (delta, fallbacks_live)) = run_scenario_from(&scenario, move |inj| {
+        // Plenty of headroom over ring capacity so exhaustion can't
+        // sneak a fallback allocation into the measured window.
+        let cfg = SlabConfig {
+            mtu_slots: 4096,
+            ..SlabConfig::default()
+        };
+        let mut pool = SlabPool::new(cfg);
+        let counters = pool.counters();
+        inj.attach_slab_counters(pool.counters());
+        let mut builder = SlabFrameBuilder::new(FrameFactory::default());
+        let mut seqs = vec![0u64; FLOWS as usize];
+
+        for i in 0..WARMUP {
+            build_and_inject(inj, &mut pool, &mut builder, &mut seqs, i);
+        }
+        // Quiesce so the measured window starts from an idle pipeline
+        // with every recycled buffer back on the freelists.
+        inj.wait_quiesced();
+        pool.drain_returns();
+
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for i in WARMUP..WARMUP + MEASURED {
+            build_and_inject(inj, &mut pool, &mut builder, &mut seqs, i);
+        }
+        inj.wait_quiesced();
+        pool.drain_returns();
+        let after = ALLOCS.load(Ordering::SeqCst);
+
+        (after - before, counters.snapshot().fallbacks)
+    });
+    assert_eq!(
+        out.delivered(),
+        WARMUP + MEASURED,
+        "alloc run must deliver everything (drops would skew the count)"
+    );
+    assert_eq!(
+        fallbacks_live, 0,
+        "steady-state leg must never fall back to the heap"
+    );
+    assert_eq!(
+        delta, 0,
+        "steady-state wire path allocated {delta} times over {MEASURED} packets"
+    );
+
+    // ---- Leg 2: exhaustion falls back, visibly. ---------------------
+    let mut starved = wire_scenario(3_000);
+    starved.slab_slots = 8;
+    let out = run_scenario(&starved);
+    assert_eq!(out.delivered(), 3_000, "starved run still delivers");
+    let slab = out.slab.expect("wire run reports slab counters");
+    assert!(slab.leases > 0, "starved pool still leases its 8 slots");
+    assert!(
+        slab.fallbacks > 0,
+        "8 slots against 3000 packets must overflow to the heap"
+    );
+}

@@ -238,12 +238,23 @@ fn sweep_report_audits_zero_violations_under_chaos() {
 /// own drop counters (asserted inside the conformance helpers).
 #[test]
 fn drop_reason_totals_agree_with_traces() {
-    // Dataplane: 4-slot rings on the 5-stage shape guarantee drops.
+    // Dataplane: 4-slot rings on the 5-stage shape all but guarantee
+    // drops. "All but": on an oversubscribed host the injector thread
+    // can be starved hard enough that packets trickle through without
+    // ever filling a ring, so retry the provocation a couple of times.
+    // Conformance is asserted on every attempt either way.
     let mut s = dp_scenario(true, 3, 2, 4_000);
     s.ring_capacity = 4;
-    let out = run_scenario(&s);
-    assert_dataplane_conforms(&out);
-    assert!(out.dropped() > 0, "scenario failed to provoke drops");
+    let mut provoked = false;
+    for _ in 0..3 {
+        let out = run_scenario(&s);
+        assert_dataplane_conforms(&out);
+        if out.dropped() > 0 {
+            provoked = true;
+            break;
+        }
+    }
+    assert!(provoked, "scenario failed to provoke drops in 3 attempts");
 
     // Simulator: overdrive the single-flow sender against the
     // serialized vanilla overlay, which saturates (and drops) first.

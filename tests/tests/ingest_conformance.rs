@@ -176,6 +176,8 @@ fn rx_counters_stream_through_live_sampler() {
     let mut rx_lines = 0u64;
     let mut datagrams_from_deltas = 0u64;
     let mut sample_lines = 0u64;
+    let mut slab_lines = 0u64;
+    let mut leases_from_deltas = 0u64;
     for (i, line) in text.lines().enumerate() {
         let v: serde::Value = serde_json::from_str(line).expect("line parses");
         let kind = v.get("kind").and_then(serde::Value::as_str).unwrap();
@@ -191,14 +193,25 @@ fn rx_counters_stream_through_live_sampler() {
                 // Cumulative gauge rides every rx line.
                 assert!(v.get("sock_drops_total").is_some());
             }
+            "slab" => {
+                slab_lines += 1;
+                leases_from_deltas += v.get("leases").and_then(serde::Value::as_u64).unwrap();
+                // Cumulative fallback gauge rides every slab line.
+                assert!(v.get("fallbacks_total").is_some());
+            }
             other => panic!("unexpected line kind {other:?}"),
         }
     }
     assert!(sample_lines > 0, "worker stream still present");
     assert!(rx_lines > 0, "rx stream present");
+    assert!(slab_lines > 0, "slab pool stream present");
     assert_eq!(
         datagrams_from_deltas, run.rx.datagrams,
         "rx JSONL deltas re-add to the rx thread's datagram count"
+    );
+    assert!(
+        leases_from_deltas >= run.rx.injected,
+        "every injected datagram rode a leased slab slot"
     );
     std::fs::remove_file(&path).ok();
 }
