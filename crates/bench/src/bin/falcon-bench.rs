@@ -96,7 +96,8 @@ fn usage() {
     eprintln!(
         "usage: falcon-bench [--json] [--quick] [--out <path>] [--dataplane] \
          [--wire] [--split-gro] [--dataplane-out <path>] [--workers <n>] \
-         [--flows <n>] [--flow-cache] [--flow-cache-entries <n>] \
+         [--flows <n>] [--policy <vanilla|falcon|replicate>] \
+         [--flow-cache] [--flow-cache-entries <n>] \
          [--sweep] [--sweep-out <path>] [--telemetry] \
          [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
          [--prom-addr <ip:port>] [--ingest] [--ingest-out <path>] \
@@ -126,7 +127,12 @@ fn usage() {
          cache, hit/miss/eviction/invalidation counters and the \
          cached-vs-uncached goodput ratio land in the artifact); \
          --flow-cache-entries sets its per-worker capacity (default \
-         4096, implies --flow-cache)"
+         4096, implies --flow-cache); --policy replicate adds the SCR \
+         leg (per-flow round-robin spraying with per-worker replicated \
+         conntrack shards, plus the state-convergence differential \
+         oracle on drop-free wire runs) to the --dataplane comparison \
+         and the --sweep grid; vanilla and falcon always run, so \
+         naming either is a no-op"
     );
 }
 
@@ -142,6 +148,7 @@ fn main() -> ExitCode {
     let mut flows: u64 = 1;
     let mut flow_cache = false;
     let mut flow_cache_entries: usize = 4096;
+    let mut replicate = false;
     let mut run_sweep = false;
     let mut sweep_out = "BENCH_sweep.json".to_string();
     let mut telemetry = false;
@@ -188,6 +195,21 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => flows = n,
                 _ => {
                     eprintln!("--flows requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match args
+                .next()
+                .as_deref()
+                .and_then(falcon_dataplane::PolicyKind::from_label)
+            {
+                Some(falcon_dataplane::PolicyKind::Replicate) => replicate = true,
+                // Vanilla and falcon always run as the comparison's
+                // two standing legs.
+                Some(_) => {}
+                None => {
+                    eprintln!("--policy requires vanilla, falcon, or replicate");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -333,6 +355,7 @@ fn main() -> ExitCode {
             wire,
             spec,
             cache_entries,
+            replicate,
         );
         print!("{}", dataplane::render(&cmp));
         // Keep BENCH_dataplane.json for the modeled-cost run; the
@@ -392,7 +415,16 @@ fn main() -> ExitCode {
     if run_sweep {
         eprintln!("dataplane sweep: 1..={flows} flow(s) x 1..={workers} worker(s)...");
         let cache_entries = (wire && flow_cache).then_some(flow_cache_entries);
-        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire, cache_entries);
+        let sweep = dataplane::run_sweep(
+            scale,
+            flows,
+            workers,
+            split_gro,
+            0,
+            wire,
+            cache_entries,
+            replicate,
+        );
         print!("{}", dataplane::render_sweep(&sweep));
         let sweep_json = serde_json::to_string_pretty(&sweep).expect("serializable");
         if let Err(e) = std::fs::write(&sweep_out, sweep_json) {

@@ -1,0 +1,570 @@
+//! falcon-conntrack: per-flow connection state for the bridge stage,
+//! built to be *replicated* rather than serialized.
+//!
+//! The bridge stage keeps one [`ConnEntry`] per inner 5-tuple: a
+//! TCP-inspired state machine driven by the control flags of the inner
+//! header, plus packet/byte counters and a last-seen clock. Falcon's
+//! answer to that statefulness is serialization — one (flow, device)
+//! owner at a time. The State-Compute Replication answer implemented
+//! here is the opposite: every worker keeps its own [`ConnShard`]
+//! replica and applies the packets it happens to receive, and a
+//! merge/reconcile pass ([`merge_shards`]) proves the replicas converge
+//! to the serialized ground truth.
+//!
+//! What makes the merge exact rather than approximate:
+//!
+//! * The counters (packets, bytes, last-seen) are commutative
+//!   accumulators — sums and maxima — so any partition of the packet
+//!   stream across shards merges losslessly.
+//! * The state machine is driven by *virtual time*: each packet's flow
+//!   sequence number, not its arrival instant. A shard logs a compact
+//!   per-packet state-delta record — every control-flag event, plus at
+//!   most one marker for the earliest data packet it saw — and the
+//!   merge replays the union of those records in sequence order. The
+//!   machine is constructed so that a data (flag-less) packet can only
+//!   matter when *no* event precedes it in virtual time (it opens a
+//!   mid-stream pickup, [`ConnState::New`] → [`ConnState::Established`];
+//!   in every other state it is a self-loop), which is exactly why the
+//!   single minimum-sequence marker per shard is sufficient for an
+//!   exact replay. The proptests in `tests/merge_props.rs` pin this
+//!   against a single-threaded reference across arbitrary
+//!   interleavings.
+//!
+//! The last-seen clock is virtual time too (the largest sequence
+//! observed), so the final table of a run is a pure function of the
+//! packet *set* — byte-equal across steering policies, which is what
+//! the differential oracle compares.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::Serialize;
+
+/// A connection's 5-tuple key (host byte order, matching
+/// `falcon_khash::FlowKeys`). `Ord` so tables iterate — and compare —
+/// deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct ConnKey {
+    pub src_addr: u32,
+    pub dst_addr: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub proto: u8,
+}
+
+/// The control flags of one observed segment. UDP datagrams observe
+/// with all flags clear ("data"); TCP segments carry the header's
+/// SYN/FIN/RST bits. ACK and PSH never drive a transition, so they are
+/// not part of the observation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct SegFlags {
+    pub syn: bool,
+    pub fin: bool,
+    pub rst: bool,
+}
+
+impl SegFlags {
+    /// A flag-less data segment (the common case; also every UDP
+    /// datagram).
+    pub fn data() -> SegFlags {
+        SegFlags::default()
+    }
+
+    /// Whether this segment carries any state-machine control flag.
+    pub fn is_ctrl(self) -> bool {
+        self.syn || self.fin || self.rst
+    }
+}
+
+/// One-directional, TCP-inspired connection state. The tracker sees
+/// the receive path of a single direction, so this is conntrack-style
+/// observation, not a full two-sided TCP automaton.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum ConnState {
+    /// No packet observed yet (never the state of a stored entry).
+    #[default]
+    New,
+    /// A SYN opened (or re-opened) the connection.
+    SynSeen,
+    /// Data flowing with no open/close flags — either after a SYN could
+    /// not be observed (mid-stream pickup, like conntrack's pickup of
+    /// established flows) or a plain UDP flow.
+    Established,
+    /// A FIN passed; retransmitted data may still trail it.
+    FinSeen,
+    /// A second FIN after [`ConnState::FinSeen`] — the close observed
+    /// as far as one direction can.
+    Closed,
+    /// An RST passed. Absorbing until a SYN opens a new incarnation.
+    Reset,
+}
+
+impl ConnState {
+    /// The transition function, total over (state, flags). Priority
+    /// RST > SYN > FIN > data, mirroring how a real tracker treats a
+    /// segment carrying several control bits.
+    ///
+    /// Two properties the SCR merge depends on:
+    /// * after any control event the state is never `New`, and no
+    ///   transition returns to `New` — so a data packet's only
+    ///   non-self-loop edge (`New` → `Established`) can fire solely for
+    ///   the virtually-earliest packet of the connection;
+    /// * `Reset` is absorbing except for SYN (a new incarnation), so
+    ///   replay order among equal-priority events is fixed by sequence
+    ///   alone.
+    pub fn next(self, f: SegFlags) -> ConnState {
+        use ConnState::*;
+        if f.rst {
+            return Reset;
+        }
+        if f.syn {
+            // A SYN on a live connection is a retransmit: ignored. On
+            // anything torn down (or untouched) it opens an incarnation.
+            return match self {
+                Established | FinSeen | SynSeen => self,
+                New | Closed | Reset => SynSeen,
+            };
+        }
+        if self == Reset {
+            return Reset;
+        }
+        if f.fin {
+            return match self {
+                FinSeen | Closed => Closed,
+                _ => FinSeen,
+            };
+        }
+        // Flag-less data: a mid-stream pickup from New, a no-op
+        // everywhere else (SynSeen stays SynSeen — one direction never
+        // sees the handshake complete, only its own segments).
+        match self {
+            New => Established,
+            s => s,
+        }
+    }
+}
+
+/// One connection's tracked state: the machine plus the commutative
+/// accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ConnEntry {
+    pub state: ConnState,
+    /// Packets observed (saturating).
+    pub pkts: u64,
+    /// Payload bytes observed (saturating).
+    pub bytes: u64,
+    /// Virtual-time last-seen clock: the largest flow sequence number
+    /// observed. Virtual rather than wall-clock on purpose — it makes
+    /// the final table a pure function of the packet set, so tables are
+    /// byte-equal across steering policies and the differential oracle
+    /// can compare them directly.
+    pub last_seen: u64,
+}
+
+impl ConnEntry {
+    fn new() -> ConnEntry {
+        ConnEntry {
+            state: ConnState::New,
+            pkts: 0,
+            bytes: 0,
+            last_seen: 0,
+        }
+    }
+
+    /// Folds `pkts`/`bytes`/`last_seen` counts in — saturating sums and
+    /// a max, the commutative half of an observation.
+    pub fn absorb(&mut self, pkts: u64, bytes: u64, last_seen: u64) {
+        self.pkts = self.pkts.saturating_add(pkts);
+        self.bytes = self.bytes.saturating_add(bytes);
+        self.last_seen = self.last_seen.max(last_seen);
+    }
+}
+
+/// Per-state entry counts of one table — the summary the reports carry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ConnSummary {
+    pub entries: u64,
+    pub pkts: u64,
+    pub bytes: u64,
+    pub syn_seen: u64,
+    pub established: u64,
+    pub fin_seen: u64,
+    pub closed: u64,
+    pub reset: u64,
+}
+
+/// The serialized ground-truth conntrack table: a deterministic map
+/// from 5-tuple to entry. Applying observations in virtual-time (seq)
+/// order through [`ConnTable::observe`] is the single-threaded
+/// reference model every replicated execution must merge back to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConnTable {
+    entries: BTreeMap<ConnKey, ConnEntry>,
+}
+
+impl ConnTable {
+    /// An empty table.
+    pub fn new() -> ConnTable {
+        ConnTable::default()
+    }
+
+    /// Applies one observation in call order. The reference model calls
+    /// this in sequence order; the executor's serialized policies call
+    /// it in arrival order, which for them is the same thing per flow.
+    pub fn observe(&mut self, key: ConnKey, flags: SegFlags, bytes: u64, seq: u64) {
+        let e = self.entries.entry(key).or_insert_with(ConnEntry::new);
+        e.state = e.state.next(flags);
+        e.absorb(1, bytes, seq);
+    }
+
+    /// Inserts a fully-formed entry (merge and test construction).
+    pub fn insert(&mut self, key: ConnKey, entry: ConnEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Entry for `key`, if tracked.
+    pub fn get(&self, key: &ConnKey) -> Option<&ConnEntry> {
+        self.entries.get(key)
+    }
+
+    /// Number of tracked connections.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Deterministic (key-ordered) iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (&ConnKey, &ConnEntry)> {
+        self.entries.iter()
+    }
+
+    /// Totals and per-state counts.
+    pub fn summary(&self) -> ConnSummary {
+        let mut s = ConnSummary {
+            entries: self.entries.len() as u64,
+            ..ConnSummary::default()
+        };
+        for e in self.entries.values() {
+            s.pkts = s.pkts.saturating_add(e.pkts);
+            s.bytes = s.bytes.saturating_add(e.bytes);
+            match e.state {
+                ConnState::SynSeen => s.syn_seen += 1,
+                ConnState::Established => s.established += 1,
+                ConnState::FinSeen => s.fin_seen += 1,
+                ConnState::Closed => s.closed += 1,
+                ConnState::Reset => s.reset += 1,
+                ConnState::New => {}
+            }
+        }
+        s
+    }
+}
+
+/// Monotonic counters of one shard's lifetime, exported per worker
+/// through the telemetry shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct ConnCounters {
+    /// Observations applied (one per packet that executed the bridge
+    /// stage on this worker — cached fast path included).
+    pub updates: u64,
+    /// Local replica state changes.
+    pub transitions: u64,
+    /// Compact state-delta records appended to the shard log (control
+    /// events plus min-data-marker installs/lowerings).
+    pub delta_records: u64,
+}
+
+/// One connection's slice of a shard: the local replica state, the
+/// commutative accumulators, and the compact delta log the merge
+/// replays.
+#[derive(Debug, Clone, Default)]
+struct ShardEntry {
+    /// Replica state folded in arrival order — the worker's live view
+    /// (telemetry counts its transitions). The merge does not trust it;
+    /// it replays the log in virtual-time order instead.
+    state: ConnState,
+    pkts: u64,
+    bytes: u64,
+    last_seen: u64,
+    /// Every control-flag event this shard observed, as (seq, flags).
+    ctrl_events: Vec<(u64, SegFlags)>,
+    /// The virtually-earliest flag-less packet this shard observed —
+    /// the one data record that can matter to the replay (see the
+    /// module docs).
+    min_data_seq: Option<u64>,
+}
+
+/// A per-worker conntrack replica: the SCR unit of state. Single-owner,
+/// no interior locking — workers never share a shard.
+#[derive(Debug, Clone, Default)]
+pub struct ConnShard {
+    entries: HashMap<ConnKey, ShardEntry>,
+    /// Lifetime counters, mirrored into the telemetry shard.
+    pub counters: ConnCounters,
+}
+
+impl ConnShard {
+    /// An empty shard.
+    pub fn new() -> ConnShard {
+        ConnShard::default()
+    }
+
+    /// Applies one observed packet: counters accumulate, the replica
+    /// state steps in arrival order, and the delta log records what the
+    /// merge needs to replay this packet in virtual-time order.
+    pub fn record(&mut self, key: ConnKey, flags: SegFlags, bytes: u64, seq: u64) {
+        let e = self.entries.entry(key).or_default();
+        e.pkts = e.pkts.saturating_add(1);
+        e.bytes = e.bytes.saturating_add(bytes);
+        e.last_seen = e.last_seen.max(seq);
+        if flags.is_ctrl() {
+            e.ctrl_events.push((seq, flags));
+            self.counters.delta_records += 1;
+        } else if e.min_data_seq.is_none_or(|m| seq < m) {
+            if e.min_data_seq.is_none() {
+                self.counters.delta_records += 1;
+            }
+            e.min_data_seq = Some(seq);
+        }
+        let next = e.state.next(flags);
+        if next != e.state {
+            self.counters.transitions += 1;
+            e.state = next;
+        }
+        self.counters.updates += 1;
+    }
+
+    /// Number of connections this shard has touched.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether this shard saw no traffic.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Merges per-worker shards into the converged table: counters sum
+/// (saturating) and last-seen takes the max; the state is recomputed by
+/// replaying the union of every shard's delta records in virtual-time
+/// order — control events sorted by (seq, flags), the single surviving
+/// minimum data marker folded in at its sequence position. The result
+/// equals the single-threaded reference fold over the full packet
+/// stream, for *any* partition of packets across shards (pinned by the
+/// merge proptests).
+pub fn merge_shards<'a, I>(shards: I) -> ConnTable
+where
+    I: IntoIterator<Item = &'a ConnShard>,
+{
+    #[derive(Default)]
+    struct Acc {
+        pkts: u64,
+        bytes: u64,
+        last_seen: u64,
+        ctrl: Vec<(u64, SegFlags)>,
+        min_data: Option<u64>,
+    }
+    let mut accs: HashMap<ConnKey, Acc> = HashMap::new();
+    for shard in shards {
+        for (key, e) in &shard.entries {
+            let a = accs.entry(*key).or_default();
+            a.pkts = a.pkts.saturating_add(e.pkts);
+            a.bytes = a.bytes.saturating_add(e.bytes);
+            a.last_seen = a.last_seen.max(e.last_seen);
+            a.ctrl.extend_from_slice(&e.ctrl_events);
+            a.min_data = match (a.min_data, e.min_data_seq) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            };
+        }
+    }
+    let mut table = ConnTable::new();
+    for (key, mut a) in accs {
+        // Distinct packets of one flow carry distinct seqs, so the seq
+        // alone orders the replay; flags break ties defensively should
+        // a caller ever feed duplicates.
+        a.ctrl.sort_unstable();
+        let mut state = ConnState::New;
+        let mut data_pending = a.min_data;
+        for (seq, flags) in a.ctrl {
+            if data_pending.is_some_and(|d| d < seq) {
+                state = state.next(SegFlags::data());
+                data_pending = None;
+            }
+            state = state.next(flags);
+        }
+        if data_pending.is_some() {
+            state = state.next(SegFlags::data());
+        }
+        table.insert(
+            key,
+            ConnEntry {
+                state,
+                pkts: a.pkts,
+                bytes: a.bytes,
+                last_seen: a.last_seen,
+            },
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ConnState::*;
+
+    fn key(id: u16) -> ConnKey {
+        ConnKey {
+            src_addr: 0x0a01_0001,
+            dst_addr: 0x0a02_0001,
+            src_port: 40_000 + id,
+            dst_port: 5201,
+            proto: 6,
+        }
+    }
+
+    const SYN: SegFlags = SegFlags {
+        syn: true,
+        fin: false,
+        rst: false,
+    };
+    const FIN: SegFlags = SegFlags {
+        syn: false,
+        fin: true,
+        rst: false,
+    };
+    const RST: SegFlags = SegFlags {
+        syn: false,
+        fin: false,
+        rst: true,
+    };
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut s = New;
+        s = s.next(SYN);
+        assert_eq!(s, SynSeen);
+        s = s.next(SegFlags::data());
+        assert_eq!(s, SynSeen, "one direction never sees the handshake end");
+        s = s.next(FIN);
+        assert_eq!(s, FinSeen);
+        s = s.next(SegFlags::data());
+        assert_eq!(s, FinSeen, "retransmits after FIN don't reopen");
+        s = s.next(FIN);
+        assert_eq!(s, Closed);
+        assert_eq!(s.next(SegFlags::data()), Closed);
+        assert_eq!(s.next(SYN), SynSeen, "a new incarnation reopens");
+    }
+
+    #[test]
+    fn reset_is_absorbing_except_syn() {
+        for from in [New, SynSeen, Established, FinSeen, Closed, Reset] {
+            assert_eq!(from.next(RST), Reset);
+        }
+        assert_eq!(Reset.next(SegFlags::data()), Reset);
+        assert_eq!(Reset.next(FIN), Reset);
+        assert_eq!(Reset.next(SYN), SynSeen);
+    }
+
+    #[test]
+    fn data_only_promotes_new() {
+        assert_eq!(New.next(SegFlags::data()), Established);
+        for from in [SynSeen, Established, FinSeen, Closed] {
+            assert_eq!(from.next(SegFlags::data()), from);
+        }
+    }
+
+    #[test]
+    fn rst_wins_combined_flags() {
+        let synrst = SegFlags {
+            syn: true,
+            fin: true,
+            rst: true,
+        };
+        assert_eq!(Established.next(synrst), Reset);
+    }
+
+    #[test]
+    fn table_reference_fold() {
+        let mut t = ConnTable::new();
+        t.observe(key(1), SYN, 0, 0);
+        t.observe(key(1), SegFlags::data(), 100, 1);
+        t.observe(key(1), FIN, 0, 2);
+        t.observe(key(2), SegFlags::data(), 64, 0);
+        let e1 = *t.get(&key(1)).unwrap();
+        assert_eq!(e1.state, FinSeen);
+        assert_eq!((e1.pkts, e1.bytes, e1.last_seen), (3, 100, 2));
+        assert_eq!(t.get(&key(2)).unwrap().state, Established);
+        let s = t.summary();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.established, 1);
+        assert_eq!(s.fin_seen, 1);
+        assert_eq!(s.pkts, 4);
+    }
+
+    #[test]
+    fn single_shard_merge_matches_reference() {
+        let mut shard = ConnShard::new();
+        let mut reference = ConnTable::new();
+        for (seq, flags, bytes) in [
+            (0, SYN, 0u64),
+            (1, SegFlags::data(), 1000),
+            (2, SegFlags::data(), 1000),
+            (3, FIN, 0),
+        ] {
+            shard.record(key(9), flags, bytes, seq);
+            reference.observe(key(9), flags, bytes, seq);
+        }
+        assert_eq!(merge_shards([&shard]), reference);
+        assert_eq!(shard.counters.updates, 4);
+        assert_eq!(shard.counters.transitions, 2, "New->SynSeen, ->FinSeen");
+        assert_eq!(shard.counters.delta_records, 3, "2 ctrl + 1 data marker");
+    }
+
+    #[test]
+    fn split_shards_converge_despite_arrival_reorder() {
+        // Global stream (seq order): fin@0 fin@1 syn@2 data@3 — final
+        // state must be SynSeen (the reopening SYN wins; data after it
+        // is a self-loop). Shard A gets the data packet only; shard B
+        // gets the flags in reversed arrival order. The replicas' live
+        // states are wrong in isolation; the merged replay is not.
+        let mut a = ConnShard::new();
+        a.record(key(3), SegFlags::data(), 500, 3);
+        let mut b = ConnShard::new();
+        b.record(key(3), SYN, 0, 2);
+        b.record(key(3), FIN, 0, 1);
+        b.record(key(3), FIN, 0, 0);
+        let merged = merge_shards([&a, &b]);
+        let mut reference = ConnTable::new();
+        for (seq, flags, bytes) in [
+            (0, FIN, 0),
+            (1, FIN, 0),
+            (2, SYN, 0),
+            (3, SegFlags::data(), 500),
+        ] {
+            reference.observe(key(3), flags, bytes, seq);
+        }
+        assert_eq!(merged, reference);
+        assert_eq!(merged.get(&key(3)).unwrap().state, SynSeen);
+    }
+
+    #[test]
+    fn counters_saturate() {
+        let mut e = ConnEntry::new();
+        e.absorb(u64::MAX, u64::MAX, 5);
+        e.absorb(10, 10, 3);
+        assert_eq!(e.pkts, u64::MAX);
+        assert_eq!(e.bytes, u64::MAX);
+        assert_eq!(e.last_seen, 5);
+        let mut shard = ConnShard::new();
+        shard.record(key(1), SegFlags::data(), u64::MAX, 0);
+        shard.record(key(1), SegFlags::data(), u64::MAX, 1);
+        let t = merge_shards([&shard]);
+        assert_eq!(t.get(&key(1)).unwrap().bytes, u64::MAX);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests pinning the SCR shard + delta-log merge to the
+//! single-threaded reference model: for *any* packet stream, *any*
+//! assignment of packets to shards, and *any* per-shard arrival order,
+//! `merge_shards` must reproduce exactly the table obtained by folding
+//! the stream in sequence order through `ConnTable::observe`.
+
+use falcon_conntrack::{merge_shards, ConnKey, ConnShard, ConnState, ConnTable, SegFlags};
+use proptest::prelude::*;
+
+fn key(id: u8) -> ConnKey {
+    ConnKey {
+        src_addr: 0x0a01_0000 | u32::from(id),
+        dst_addr: 0x0a02_0001,
+        src_port: 40_000 + u16::from(id),
+        dst_port: 5201,
+        proto: 6,
+    }
+}
+
+const SYN: SegFlags = SegFlags {
+    syn: true,
+    fin: false,
+    rst: false,
+};
+const FIN: SegFlags = SegFlags {
+    syn: false,
+    fin: true,
+    rst: false,
+};
+
+/// Decodes one generated word into a packet: (flow id, flags, bytes).
+/// The flag selector is weighted toward data segments the way real
+/// traffic is, with enough control density to hit every edge —
+/// including multi-bit segments where priority resolution matters.
+fn decode(word: u64) -> (u8, SegFlags, u64) {
+    let flow = (word & 0x3) as u8;
+    let bytes = (word >> 2) % 2000;
+    let flags = match (word >> 40) % 16 {
+        0..=7 => SegFlags::data(),
+        8 | 9 => SYN,
+        10 | 11 => FIN,
+        12 => SegFlags {
+            syn: false,
+            fin: false,
+            rst: true,
+        },
+        13 => SegFlags {
+            syn: true,
+            fin: true,
+            rst: false,
+        },
+        14 => SegFlags {
+            syn: false,
+            fin: true,
+            rst: true,
+        },
+        _ => SegFlags {
+            syn: true,
+            fin: true,
+            rst: true,
+        },
+    };
+    (flow, flags, bytes)
+}
+
+/// One packet stream; the virtual-time seq of a packet is its index in
+/// the vector — distinct per flow, as the executor guarantees.
+fn stream() -> impl Strategy<Value = Vec<(u8, SegFlags, u64)>> {
+    prop::collection::vec(any::<u64>(), 0..64).prop_map(|ws| ws.into_iter().map(decode).collect())
+}
+
+fn reference_table(pkts: &[(u8, SegFlags, u64)]) -> ConnTable {
+    let mut t = ConnTable::new();
+    for (seq, (flow, flags, bytes)) in pkts.iter().enumerate() {
+        t.observe(key(*flow), *flags, *bytes, seq as u64);
+    }
+    t
+}
+
+proptest! {
+    /// Arbitrary shard assignment + per-shard arrival permutation
+    /// converges to the reference.
+    #[test]
+    fn sharded_merge_equals_reference(
+        pkts in stream(),
+        assignment in prop::collection::vec(0usize..4, 0..64),
+        perm_seed in any::<u64>(),
+    ) {
+        let reference = reference_table(&pkts);
+
+        // Partition packets across 4 shards by the assignment vector.
+        let mut buckets: Vec<Vec<(u64, u8, SegFlags, u64)>> = vec![Vec::new(); 4];
+        for (seq, (flow, flags, bytes)) in pkts.iter().enumerate() {
+            let shard = assignment.get(seq).copied().unwrap_or(seq % 4);
+            buckets[shard].push((seq as u64, *flow, *flags, *bytes));
+        }
+
+        // Deterministically scramble each shard's arrival order with a
+        // cheap LCG keyed off perm_seed (Fisher–Yates).
+        let mut state = perm_seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut shards = Vec::new();
+        for bucket in &mut buckets {
+            for i in (1..bucket.len()).rev() {
+                let j = (next() % (i as u64 + 1)) as usize;
+                bucket.swap(i, j);
+            }
+            let mut shard = ConnShard::new();
+            for &(seq, flow, flags, bytes) in bucket.iter() {
+                shard.record(key(flow), flags, bytes, seq);
+            }
+            shards.push(shard);
+        }
+
+        let merged = merge_shards(shards.iter());
+        prop_assert_eq!(&merged, &reference);
+
+        // Counter invariant: every packet is exactly one update.
+        let updates: u64 = shards.iter().map(|s| s.counters.updates).sum();
+        prop_assert_eq!(updates, pkts.len() as u64);
+    }
+
+    /// Merging is insensitive to shard count: 1 shard (fully serialized)
+    /// and N shards agree.
+    #[test]
+    fn shard_count_invariance(pkts in stream(), n_shards in 1usize..6) {
+        let mut single = ConnShard::new();
+        let mut shards = vec![ConnShard::new(); n_shards];
+        for (seq, (flow, flags, bytes)) in pkts.iter().enumerate() {
+            single.record(key(*flow), *flags, *bytes, seq as u64);
+            shards[seq % n_shards].record(key(*flow), *flags, *bytes, seq as u64);
+        }
+        prop_assert_eq!(merge_shards([&single]), merge_shards(shards.iter()));
+    }
+
+    /// SYN/FIN/RST edges: the merged state machine respects the exact
+    /// lifecycle regardless of where the stream is split across shards.
+    #[test]
+    fn lifecycle_edges_survive_sharding(split in 0usize..5) {
+        // syn data fin fin syn data — the reopened incarnation's final
+        // state is SynSeen (data after SYN is a self-loop; one
+        // direction never sees the handshake complete).
+        let lifecycle = [SYN, SegFlags::data(), FIN, FIN, SYN, SegFlags::data()];
+        let mut a = ConnShard::new();
+        let mut b = ConnShard::new();
+        for (seq, flags) in lifecycle.iter().enumerate() {
+            let shard = if seq <= split { &mut a } else { &mut b };
+            shard.record(key(0), *flags, 100, seq as u64);
+        }
+        let merged = merge_shards([&a, &b]);
+        let e = merged.get(&key(0)).unwrap();
+        prop_assert_eq!(e.state, ConnState::SynSeen);
+        prop_assert_eq!(e.pkts, 6);
+        prop_assert_eq!(e.last_seen, 5);
+    }
+
+    /// Byte counters saturate instead of wrapping, on any shard split.
+    #[test]
+    fn saturation_survives_merge(splits in prop::collection::vec(0usize..3, 4)) {
+        let mut shards = vec![ConnShard::new(); 3];
+        for (seq, shard_idx) in splits.iter().enumerate() {
+            shards[*shard_idx].record(key(1), SegFlags::data(), u64::MAX / 2, seq as u64);
+        }
+        let merged = merge_shards(shards.iter());
+        let e = merged.get(&key(1)).unwrap();
+        prop_assert_eq!(e.pkts, 4);
+        prop_assert_eq!(e.bytes, u64::MAX, "4 x (MAX/2) saturates");
+    }
+}

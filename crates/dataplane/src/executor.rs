@@ -52,6 +52,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
+use falcon_conntrack::{merge_shards, ConnCounters, ConnShard, ConnTable};
 use falcon_khash::hash_32;
 use falcon_netstack::CostModel;
 use falcon_packet::{MacAddr, PktDesc, WireBuf};
@@ -64,9 +65,9 @@ use falcon_trace::{
     HOP_HASH_INIT, STAGE_B_CHECK,
 };
 use falcon_wire::{
-    bridge_lookup, deliver_verify, flow_cache_key, full_verdict, gro_coalesce, pnic_verify,
-    vxlan_decap, CacheStats, Corruptor, Delivery, Fdb, FlowCache, FrameFactory, Lookup, SharedFdb,
-    WireError,
+    bridge_lookup, conn_observe, deliver_verify, flow_cache_key, full_verdict, gro_coalesce,
+    pnic_verify, vxlan_decap, CacheStats, Corruptor, Delivery, Fdb, FlowCache, FrameFactory,
+    Lookup, SharedFdb, WireError,
 };
 
 use crate::affinity::{available_cores, clamp_workers, pin_current_thread};
@@ -455,6 +456,11 @@ pub struct WorkerStats {
     /// it) at delivery or drop. Heap-built buffers drop normally and
     /// are not counted.
     pub slab_recycles: u64,
+    /// Wire mode: this worker's conntrack replica (the SCR state
+    /// shard), carried home whole so the orchestrator can merge the
+    /// shards and the differential oracle can compare merged tables
+    /// across policies. `None` outside wire mode.
+    pub conntrack: Option<ConnShard>,
     /// Where this worker's wall-clock went: every ns between the start
     /// barrier and thread exit lands in exactly one of the five
     /// attribution buckets (busy work, stalled pushing into a full
@@ -612,6 +618,39 @@ impl RunOutput {
         }
     }
 
+    /// Wire mode: the run's final conntrack table — the per-worker SCR
+    /// shards merged through the delta-log replay. For serialized
+    /// policies the merge is trivially exact (each flow's packets all
+    /// landed in seq order somewhere); for `Replicate` it is the
+    /// reconcile step that proves the replicated state converged to
+    /// the serialized ground truth. `None` outside wire mode.
+    pub fn conntrack_table(&self) -> Option<ConnTable> {
+        let shards: Vec<&ConnShard> = self
+            .workers_stats
+            .iter()
+            .filter_map(|w| w.conntrack.as_ref())
+            .collect();
+        if shards.is_empty() {
+            None
+        } else {
+            Some(merge_shards(shards))
+        }
+    }
+
+    /// Conntrack/SCR counters summed across workers (all zero outside
+    /// wire mode).
+    pub fn conntrack_counters(&self) -> ConnCounters {
+        let mut out = ConnCounters::default();
+        for w in &self.workers_stats {
+            if let Some(c) = w.conntrack.as_ref() {
+                out.updates += c.counters.updates;
+                out.transitions += c.counters.transitions;
+                out.delta_records += c.counters.delta_records;
+            }
+        }
+        out
+    }
+
     /// Stage executions summed across workers, by stage index.
     pub fn processed_per_stage(&self) -> Vec<u64> {
         let mut per_stage = vec![0u64; self.stages()];
@@ -664,6 +703,24 @@ impl RunOutput {
             .iter()
             .flat_map(|w| w.order_log.iter().copied())
             .collect();
+        // Replicate runs under the relaxed SCR ordering contract: a
+        // flow's packets execute concurrently on many workers, so
+        // per-flow seq monotonicity is *expected* to break — that is
+        // the policy's whole trade. What must still hold is exactness:
+        // every (flow, checkpoint) executes each seq exactly once
+        // (duplicate-freedom; losses already fail the delivery
+        // conservation checks). The audit degrades to that check:
+        // checks = records audited, violations = duplicates.
+        if self.policy == PolicyKind::Replicate {
+            let mut seen = std::collections::HashSet::with_capacity(log.len());
+            let mut dups = 0u64;
+            for &(_, _, flow, checkpoint, seq) in &log {
+                if !seen.insert((flow, checkpoint, seq)) {
+                    dups += 1;
+                }
+            }
+            return (log.len() as u64, dups);
+        }
         log.sort_unstable_by_key(|&(lc, worker, _, _, _)| (lc, worker));
         let mut tracker = falcon_netstack::ordering::OrderTracker::new();
         for (_, _, flow, checkpoint, seq) in log {
@@ -737,6 +794,23 @@ struct WireCtx {
     vni: u32,
 }
 
+/// Applies one packet's conntrack observation to the worker's shard.
+/// Runs inside the bridge stage — on both the verifying slow path and
+/// the flow-cache fast path, because state mutation is exactly the work
+/// a cached verdict must never skip. `seq` is the packet's per-flow
+/// virtual time; a frame that doesn't dissect is a silent no-op (it
+/// cannot happen for frames the bridge just verified or previously
+/// cached).
+fn observe_conntrack(conntrack: Option<&mut ConnShard>, buf: &WireBuf, seq: u64) {
+    let Some(shard) = conntrack else { return };
+    let Some(inner) = buf.inner_frame() else {
+        return;
+    };
+    if let Some(obs) = conn_observe(inner) {
+        shard.record(obs.key, obs.flags, obs.payload_len, seq);
+    }
+}
+
 /// The real byte slice of work each pipeline stage performs in wire
 /// mode, mirroring the kernel path the stage stands for:
 ///
@@ -775,6 +849,7 @@ struct WireCtx {
 /// The delivery stage is never cached: the inner L4 checksum and the
 /// payload digest cover per-packet bytes, so they always run — cached
 /// and uncached runs drop payload corruption at the same stage.
+#[allow(clippy::too_many_arguments)]
 fn wire_stage_work(
     wire: &WireCtx,
     split: bool,
@@ -782,6 +857,8 @@ fn wire_stage_work(
     buf: &mut WireBuf,
     mut cache: Option<&mut FlowCache>,
     cache_key: &mut Option<u64>,
+    conntrack: Option<&mut ConnShard>,
+    seq: u64,
 ) -> Result<(Option<Delivery>, bool), WireError> {
     let op = if split { stage } else { stage + 1 };
     // Cache consult: single-segment frames only (a pre-GRO segment
@@ -804,7 +881,16 @@ fn wire_stage_work(
                             buf.inner = Some(v.inner_start as usize..v.inner_end as usize);
                             return Ok((None, true));
                         }
-                        3 => return Ok((None, true)),
+                        3 => {
+                            // The cached verdict stands in for the FDB
+                            // lookups, but the bridge stage is stateful
+                            // now: the conntrack update is per-packet
+                            // work no verdict can cache, so it runs on
+                            // the fast path too — cached and uncached
+                            // runs must end with identical tables.
+                            observe_conntrack(conntrack, buf, seq);
+                            return Ok((None, true));
+                        }
                         _ => unreachable!("delivery is never cached"),
                     },
                     Lookup::Stale | Lookup::Miss => consulted_miss = true,
@@ -812,21 +898,28 @@ fn wire_stage_work(
             }
         }
     }
-    let result = match op {
-        // Split stage 0 verifies only; unsplit stage 0 (op 1 skipped
-        // via the offset) both verifies and coalesces.
-        0 => pnic_verify(buf, wire.host_mac).map(|()| None),
-        1 => {
-            if !split {
-                pnic_verify(buf, wire.host_mac)?;
+    let result =
+        match op {
+            // Split stage 0 verifies only; unsplit stage 0 (op 1 skipped
+            // via the offset) both verifies and coalesces.
+            0 => pnic_verify(buf, wire.host_mac).map(|()| None),
+            1 => {
+                if !split {
+                    pnic_verify(buf, wire.host_mac)?;
+                }
+                gro_coalesce(buf).map(|()| None)
             }
-            gro_coalesce(buf).map(|()| None)
-        }
-        2 => vxlan_decap(buf, wire.vni).map(|()| None),
-        3 => bridge_lookup(buf, &wire.fdb.read()).map(|_port| None),
-        4 => deliver_verify(buf).map(Some),
-        _ => unreachable!("no wire work for stage {stage}"),
-    };
+            2 => vxlan_decap(buf, wire.vni).map(|()| None),
+            3 => bridge_lookup(buf, &wire.fdb.read()).map(|_port| {
+                // Slow-path bridge pass: the frame just proved both FDB
+                // entries and a valid 5-tuple, so the stateful half of
+                // the stage applies its conntrack observation.
+                observe_conntrack(conntrack, buf, seq);
+                None
+            }),
+            4 => deliver_verify(buf).map(Some),
+            _ => unreachable!("no wire work for stage {stage}"),
+        };
     // Fill on a consulted miss whose slow work just passed: prove the
     // whole chain once and cache the verdict, so this flow's remaining
     // stages — and every later packet of the flow — hit. The epoch is
@@ -876,6 +969,11 @@ struct WorkerCtx {
     /// takes the full verifying slow path). Private per worker: no
     /// interior locking, no cross-core cache-line traffic.
     cache: Option<FlowCache>,
+    /// This worker's conntrack replica — the SCR state shard the
+    /// stateful bridge stage mutates (`Some` exactly when wire mode is
+    /// on). Private per worker like the cache; the orchestrator merges
+    /// the shards after the run ([`RunOutput::conntrack_table`]).
+    conntrack: Option<ConnShard>,
     epoch: Epoch,
     /// This worker's Lamport clock for the ordering audit (see
     /// [`OrderRec`]): bumped past the packet's carried clock on every
@@ -1007,6 +1105,9 @@ impl WorkerCtx {
         self.publish_telemetry();
         self.stats.trace_overflow = self.tracer.overflow();
         self.stats.events = self.tracer.events();
+        // Carry the conntrack replica home whole: the orchestrator
+        // merges the per-worker shards into the run's final table.
+        self.stats.conntrack = self.conntrack.take();
         self.stats
     }
 
@@ -1126,6 +1227,11 @@ impl WorkerCtx {
         };
         let depth = self.depths.depth(self.me) as u64;
         let staleness = self.depths.staleness(self.me) as u64;
+        let conn = self
+            .conntrack
+            .as_ref()
+            .map(|c| c.counters)
+            .unwrap_or_default();
         let stats = &self.stats;
         let scratch = &mut self.hist_scratch;
         writer.write(|s| {
@@ -1149,6 +1255,9 @@ impl WorkerCtx {
             s.counters.flow_cache_misses = stats.flow_cache.misses;
             s.counters.flow_cache_evictions = stats.flow_cache.evictions;
             s.counters.flow_cache_invalidations = stats.flow_cache.invalidations;
+            s.counters.conntrack_updates = conn.updates;
+            s.counters.conntrack_transitions = conn.transitions;
+            s.counters.scr_delta_records = conn.delta_records;
             s.stall = stats.stall.clone();
             s.ring_depth = depth;
             s.depth_staleness = staleness;
@@ -1189,14 +1298,16 @@ impl WorkerCtx {
             if let Some(wire) = self.wire.as_ref() {
                 let split = self.split;
                 let cache = self.cache.as_mut();
+                let conntrack = self.conntrack.as_mut();
                 let cache_key = &mut pkt.cache_key;
+                let seq = pkt.desc.seq;
                 let outcome = pkt
                     .desc
                     .wire
                     .as_deref_mut()
                     .ok_or(WireError::NoBuffer)
                     .and_then(|buf| {
-                        wire_stage_work(wire, split, stage, buf, cache, cache_key)
+                        wire_stage_work(wire, split, stage, buf, cache, cache_key, conntrack, seq)
                             .map(|(d, skip)| (d, skip, falcon_wire::stage_touched_bytes(buf)))
                     });
                 match outcome {
@@ -1403,6 +1514,40 @@ impl WorkerCtx {
                 continue;
             };
 
+            // SCR run-to-completion: under Replicate a packet executes
+            // every remaining stage on the worker it landed on — no
+            // policy choice, no flow-table registration, no guards.
+            // Cross-worker state consistency is the conntrack shards'
+            // job, not the steering layer's. Chaos steering still
+            // rotates packets across workers (guard-free hops) so the
+            // merge path gets exercised under adversarial placement.
+            if self.policy.kind() == PolicyKind::Replicate {
+                self.stats.decisions += 1;
+                let mut dst = self.me;
+                if let Some(rot) = pkt.desc.seq.checked_div(self.chaos_steer_period) {
+                    let n = self.outbound.len();
+                    dst = (rot as usize + pkt.stage as usize) % n;
+                }
+                let now = self.epoch.now_ns();
+                self.stats.stall.guard_wait_ns += now - *t;
+                *t = now;
+                if dst == self.me {
+                    if self.tracer.is_enabled() {
+                        self.tracer.emit(
+                            done,
+                            EventKind::BacklogEnqueue {
+                                cpu: self.me,
+                                pkt: pkt.desc.id.0,
+                                flow: pkt.desc.flow,
+                                qlen: self.depths.depth(self.me),
+                            },
+                        );
+                    }
+                    continue;
+                }
+                self.outbox[dst].push(pkt);
+                return;
+            }
             // A steering point (A1→A2 when split, B→C, C→D). Resolve
             // the policy's preference, then the flow table's
             // order-safe verdict. The load signal folds this worker's
@@ -1647,8 +1792,25 @@ impl Injector {
         let pkt_bytes = desc.wire.as_ref().map_or(0, |w| w.wire_bytes());
         let id = desc.id.0;
         let flow = desc.flow;
-        let want = self.policy.rss_worker(desc.rx_hash);
-        let route = self.flows.route(flow, PNIC_IF, want);
+        // Replicate sprays packets across workers round-robin at the
+        // injector — deliberately ignoring the flow hash, so a single
+        // heavy flow spreads over every core instead of pinning its
+        // RSS core. No flow-table registration and no guard: SCR
+        // replaces serialization with per-worker state replicas.
+        let (dst, guard, lc) = if self.policy.kind() == PolicyKind::Replicate {
+            (
+                ((self.injected - 1) % self.to_workers.len() as u64) as usize,
+                None,
+                0,
+            )
+        } else {
+            let want = self.policy.rss_worker(desc.rx_hash);
+            let route = self.flows.route(flow, PNIC_IF, want);
+            // The audit clock seeds from the guard: after an RSS
+            // migration the receiving worker must stamp past the
+            // drained predecessor's records.
+            (route.worker, Some(route.guard), route.lc)
+        };
         let now = self.epoch.now_ns();
         let mut pkt = DpPkt {
             desc,
@@ -1658,15 +1820,11 @@ impl Injector {
             last_worker: usize::MAX,
             hop_digest: HOP_HASH_INIT,
             hops: 0,
-            guard: Some(route.guard),
+            guard,
             prev_guard: None,
-            // Seed the audit clock from the guard: after an RSS
-            // migration the receiving worker must stamp past the
-            // drained predecessor's records.
-            lc: route.lc,
+            lc,
             cache_key: None,
         };
-        let dst = route.worker;
         let mut yields = 0u32;
         loop {
             // Gauge before push, undone on failure — same underflow
@@ -1721,6 +1879,54 @@ impl Injector {
     }
 }
 
+/// Worker-thread count a scenario actually runs with. Chaos and
+/// oversubscribed runs deliberately skip the host-core clamp: their
+/// correctness stress needs real multi-worker ring crossings even on a
+/// 1-core CI host and doesn't care about perf-clean pinning.
+fn effective_workers(scenario: &Scenario) -> usize {
+    if scenario.chaos_steer_period > 0 || scenario.oversubscribe {
+        scenario.workers.max(1)
+    } else {
+        clamp_workers(scenario.workers)
+    }
+}
+
+/// Sizes the slab pool from the scenario's packet budget so the
+/// steady-state wire path never falls back to the heap.
+///
+/// The number of segments alive at once is bounded by what the rings
+/// and in-flight batches can hold: each of the `n` workers has `n + 1`
+/// inbound rings (peers + injector) of `ring_capacity` slots, plus a
+/// NAPI batch and an outbox per peer in flight on each worker, plus
+/// injector slack. Short runs need no more than every packet resident
+/// simultaneously, so take the min of the two bounds, convert packets
+/// to wire segments per the traffic shape, and cap at 64 Ki slots so a
+/// huge `packets` budget can't balloon the pool.
+fn size_slab_for(scenario: &Scenario, cfg: &mut falcon_packet::SlabConfig) {
+    let n = effective_workers(scenario);
+    let (seg_payload, segs_per_pkt) = match scenario.shape {
+        TrafficShape::Udp => (scenario.payload, 1),
+        TrafficShape::TcpGro { mss } => (
+            scenario.payload.min(mss.max(1)),
+            scenario.payload.div_ceil(mss.max(1)).max(1),
+        ),
+    };
+    let inflight_pkts =
+        (n + 1) * n * scenario.ring_capacity + n * (n + 1) * scenario.napi_budget.max(1) + 64;
+    let slots = (scenario.packets as usize)
+        .min(inflight_pkts)
+        .saturating_mul(segs_per_pkt)
+        .saturating_add(64)
+        .min(65_536);
+    // Headers (ethernet + ipv4 + l4 + VXLAN encapsulation) add ~104
+    // bytes on top of the segment payload; 128 leaves margin.
+    if seg_payload + 128 <= falcon_packet::slab::MTU_SLOT {
+        cfg.mtu_slots = cfg.mtu_slots.max(slots);
+    } else {
+        cfg.jumbo_slots = cfg.jumbo_slots.max(slots);
+    }
+}
+
 /// The synthetic in-process packet source [`run_scenario`] runs:
 /// `scenario.packets` descriptors round-robin across flows, with real
 /// wire bytes (possibly chaos-corrupted) in wire mode. Returns the
@@ -1739,6 +1945,8 @@ fn synthetic_source(scenario: &Scenario, inj: &mut Injector) -> u64 {
         let mut cfg = falcon_packet::SlabConfig::default();
         if scenario.slab_slots > 0 {
             cfg.mtu_slots = scenario.slab_slots;
+        } else {
+            size_slab_for(scenario, &mut cfg);
         }
         let pool = falcon_packet::SlabPool::new(cfg);
         inj.attach_slab_counters(pool.counters());
@@ -1811,14 +2019,7 @@ where
     S: FnOnce(&mut Injector) -> R + Send + 'static,
     R: Send + 'static,
 {
-    // Chaos and oversubscribed runs deliberately skip the clamp: the
-    // correctness stress needs real multi-worker ring crossings even
-    // on a 1-core CI host, and doesn't care about perf-clean pinning.
-    let n = if scenario.chaos_steer_period > 0 || scenario.oversubscribe {
-        scenario.workers.max(1)
-    } else {
-        clamp_workers(scenario.workers)
-    };
+    let n = effective_workers(scenario);
     let cost = CostModel::kernel_5_4();
     let mut stage_ns = scenario.stage_service_ns(&cost);
     for s in stage_ns.iter_mut() {
@@ -1944,6 +2145,7 @@ where
             }),
             cache: (scenario.wire && scenario.flow_cache)
                 .then(|| FlowCache::new(scenario.flow_cache_entries)),
+            conntrack: scenario.wire.then(ConnShard::new),
             epoch,
             lc: 0,
             policy: Arc::clone(&policy),
@@ -2549,6 +2751,64 @@ mod tests {
         let (checks, violations) = out.order_audit();
         assert!(checks > 0);
         assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn replicate_conserves_and_stays_duplicate_free() {
+        let mut s = quick(PolicyKind::Replicate, 4);
+        s.oversubscribe = true; // genuine multi-worker even on 1-core CI
+        let out = run_scenario(&s);
+        assert_eq!(out.policy, PolicyKind::Replicate);
+        assert_eq!(out.delivered() + out.dropped(), out.injected);
+        // The relaxed SCR contract: per-flow order may break (that is
+        // the point of round-robin spraying), but every (flow,
+        // checkpoint, seq) still executes exactly once.
+        let (checks, dups) = out.order_audit();
+        assert!(checks > 0);
+        assert_eq!(dups, 0, "replicate ran some (flow, checkpoint, seq) twice");
+    }
+
+    #[test]
+    fn replicate_conntrack_merge_matches_vanilla_ground_truth() {
+        let mk = |policy| {
+            let mut s = quick(policy, 4);
+            s.oversubscribe = true;
+            s.wire = true;
+            s.packets = 800;
+            s.flows = 4;
+            // Drop-free by construction (rings hold the whole run):
+            // cross-policy table equality is only defined when both
+            // policies process the same packet set.
+            s.ring_capacity = 2_048;
+            s
+        };
+        let vanilla = run_scenario(&mk(PolicyKind::Vanilla));
+        let repl = run_scenario(&mk(PolicyKind::Replicate));
+        assert_eq!(vanilla.dropped(), 0, "oracle precondition: drop-free");
+        assert_eq!(repl.dropped(), 0, "oracle precondition: drop-free");
+        let vt = vanilla.conntrack_table().expect("wire mode tracks conns");
+        let rt = repl.conntrack_table().expect("wire mode tracks conns");
+        assert_eq!(
+            vt, rt,
+            "replicated conntrack state must reconcile to serialized ground truth"
+        );
+        // The bridge stage saw every packet exactly once.
+        assert_eq!(vt.summary().pkts, vanilla.injected);
+        assert_eq!(vt.len() as u64, mk(PolicyKind::Vanilla).flows);
+        let c = repl.conntrack_counters();
+        assert_eq!(c.updates, repl.injected);
+        // Round-robin injection with run-to-completion workers: every
+        // worker owned a share of the flow's packets and tracked state
+        // in its own shard.
+        let active = repl
+            .workers_stats
+            .iter()
+            .filter(|w| w.delivered > 0)
+            .count();
+        assert_eq!(
+            active, 4,
+            "replicate must spread one flow across all workers"
+        );
     }
 
     #[test]

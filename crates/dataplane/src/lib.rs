@@ -47,8 +47,8 @@ pub use executor::{
     SPLIT_STAGES, STAGES,
 };
 pub use report::{
-    DataplaneComparison, DataplaneReport, FlowCacheComparison, FlowCacheReport, LatencySummary,
-    SweepPoint, SweepReport, TelemetryOverhead, TelemetrySummary,
+    ConntrackOracle, ConntrackReport, DataplaneComparison, DataplaneReport, FlowCacheComparison,
+    FlowCacheReport, LatencySummary, SweepPoint, SweepReport, TelemetryOverhead, TelemetrySummary,
 };
 pub use spin::{spin_for_ns, Backoff, Epoch, IdleTier};
 pub use spsc::{ring, Consumer, Producer};

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use falcon_conntrack::ConnSummary;
 use falcon_telemetry::{RunMeta, StallBreakdown};
 use serde::Serialize;
 
@@ -131,6 +132,9 @@ pub struct DataplaneReport {
     /// Flow-verdict cache counters plus the derived hit rate, when the
     /// run consulted a cache (`None` on uncached runs).
     pub flow_cache: Option<FlowCacheReport>,
+    /// The run's final conntrack table (per-worker SCR shards merged)
+    /// plus the shard counters (`None` outside wire mode).
+    pub conntrack: Option<ConntrackReport>,
     /// Slab buffer-pool counters, when the run built its frames in a
     /// pool (`None` outside wire mode).
     pub slab: Option<SlabReport>,
@@ -164,6 +168,64 @@ pub struct SlabReport {
     pub gen_errors: u64,
     /// Buffers the workers recycled at delivery/drop sites.
     pub worker_recycles: u64,
+}
+
+/// Bridge-stage conntrack state for one run: the merged table's
+/// per-state summary plus the SCR shard counters summed across
+/// workers.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ConntrackReport {
+    /// Per-state entry counts and packet/byte totals of the final
+    /// merged table.
+    pub summary: ConnSummary,
+    /// Observations absorbed by the workers' shards.
+    pub updates: u64,
+    /// Observations that moved a connection's state machine.
+    pub transitions: u64,
+    /// Compact state-delta records appended for the SCR merge.
+    pub scr_delta_records: u64,
+}
+
+/// The SCR differential oracle recorded next to the replicate leg: the
+/// replicated run's merged conntrack table must be *byte-identical* to
+/// the serialized ground truth's, and the delivery multiset (flow, seq,
+/// digest, sorted) must match exactly. This is the relaxed SCR
+/// contract's pass/fail line — order may differ, state and data may
+/// not.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ConntrackOracle {
+    /// Merged-table equality (serialized ground truth vs replicated).
+    pub tables_equal: bool,
+    /// Sorted delivery-multiset equality.
+    pub deliveries_equal: bool,
+    /// Connections in the ground-truth table.
+    pub entries: u64,
+    /// Packets the ground-truth table absorbed.
+    pub pkts: u64,
+}
+
+impl ConntrackOracle {
+    /// Compares a serialized ground-truth run against a replicated run
+    /// of the same scenario.
+    pub fn new(ground: &RunOutput, replicated: &RunOutput) -> Self {
+        let gt = ground.conntrack_table().unwrap_or_default();
+        let rt = replicated.conntrack_table().unwrap_or_default();
+        let mut gd = ground.deliveries();
+        let mut rd = replicated.deliveries();
+        gd.sort_unstable();
+        rd.sort_unstable();
+        ConntrackOracle {
+            tables_equal: gt == rt,
+            deliveries_equal: gd == rd,
+            entries: gt.len() as u64,
+            pkts: gt.summary().pkts,
+        }
+    }
+
+    /// Whether both halves of the contract held.
+    pub fn holds(&self) -> bool {
+        self.tables_equal && self.deliveries_equal
+    }
 }
 
 /// Flow-verdict cache counters for one run, summed across the workers'
@@ -379,6 +441,15 @@ impl DataplaneReport {
                     hit_rate: s.hits as f64 / consults as f64,
                 })
             },
+            conntrack: out.conntrack_table().map(|t| {
+                let c = out.conntrack_counters();
+                ConntrackReport {
+                    summary: t.summary(),
+                    updates: c.updates,
+                    transitions: c.transitions,
+                    scr_delta_records: c.delta_records,
+                }
+            }),
             slab: out.slab.as_ref().map(|s| SlabReport {
                 leases: s.leases,
                 fallbacks: s.fallbacks,
@@ -442,8 +513,19 @@ pub struct DataplaneComparison {
     pub vanilla: DataplaneReport,
     /// The pipelined contender.
     pub falcon: DataplaneReport,
+    /// The SCR contender: per-flow round-robin spraying with
+    /// replicated conntrack shards (`None` unless the comparison ran
+    /// the third policy).
+    pub replicate: Option<DataplaneReport>,
     /// `falcon.throughput_pps / vanilla.throughput_pps`.
     pub speedup: f64,
+    /// `replicate.throughput_pps / vanilla.throughput_pps`, when the
+    /// replicate leg ran.
+    pub speedup_replicate: Option<f64>,
+    /// The SCR differential oracle pairing the replicate leg against
+    /// the vanilla ground truth, when the replicate leg ran in wire
+    /// mode.
+    pub conntrack_oracle: Option<ConntrackOracle>,
     /// The sampler-on vs sampler-off cost record, when the comparison
     /// ran the overhead experiment (wire + telemetry runs).
     pub telemetry_overhead: Option<TelemetryOverhead>,
@@ -472,10 +554,22 @@ impl DataplaneComparison {
             split_gro: scenario.split_gro,
             vanilla,
             falcon,
+            replicate: None,
             speedup,
+            speedup_replicate: None,
+            conntrack_oracle: None,
             telemetry_overhead: None,
             flow_cache: None,
         }
+    }
+
+    /// Attaches the SCR leg: the condensed replicate run, its speedup
+    /// over vanilla, and (wire mode) the differential oracle.
+    pub fn set_replicate(&mut self, report: DataplaneReport, oracle: Option<ConntrackOracle>) {
+        self.speedup_replicate = (self.vanilla.throughput_pps > 0.0)
+            .then(|| report.throughput_pps / self.vanilla.throughput_pps);
+        self.replicate = Some(report);
+        self.conntrack_oracle = oracle;
     }
 }
 
@@ -523,7 +617,12 @@ impl SweepReport {
         self.points
             .iter()
             .map(|p| {
-                p.comparison.vanilla.reorder_violations + p.comparison.falcon.reorder_violations
+                p.comparison.vanilla.reorder_violations
+                    + p.comparison.falcon.reorder_violations
+                    + p.comparison
+                        .replicate
+                        .as_ref()
+                        .map_or(0, |r| r.reorder_violations)
             })
             .sum()
     }

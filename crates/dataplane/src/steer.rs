@@ -43,6 +43,14 @@ pub enum PolicyKind {
     Vanilla,
     /// Device-aware hashing + two-choice balancing (the paper).
     Falcon,
+    /// State-Compute Replication: spread every flow's packets across
+    /// workers round-robin with *no* per-(flow, device) serialization;
+    /// each worker replicates the stateful bridge computation in its
+    /// own conntrack shard, reconciled after the run by a delta-log
+    /// merge. Trades per-flow delivery order (relaxed to the SCR
+    /// duplicate-freedom contract) for immunity to the single-heavy-flow
+    /// pin that serializing policies suffer.
+    Replicate,
 }
 
 impl PolicyKind {
@@ -51,6 +59,17 @@ impl PolicyKind {
         match self {
             PolicyKind::Vanilla => "vanilla",
             PolicyKind::Falcon => "falcon",
+            PolicyKind::Replicate => "replicate",
+        }
+    }
+
+    /// Parses a report label back into a kind (CLI `--policy`).
+    pub fn from_label(label: &str) -> Option<PolicyKind> {
+        match label {
+            "vanilla" => Some(PolicyKind::Vanilla),
+            "falcon" => Some(PolicyKind::Falcon),
+            "replicate" => Some(PolicyKind::Replicate),
+            _ => None,
         }
     }
 }
@@ -221,6 +240,13 @@ pub enum Policy {
         /// Falcon knobs; `falcon_cpus` is the worker set.
         config: FalconConfig,
     },
+    /// State-Compute Replication: packet-level round-robin at injection,
+    /// run-to-completion on the receiving worker, per-worker state
+    /// replicas merged after the run. No guards, no migration.
+    Replicate {
+        /// The worker set packets are spread over.
+        workers: CpuSet,
+    },
 }
 
 impl Policy {
@@ -243,6 +269,9 @@ impl Policy {
                     .with_always_on(true)
                     .with_two_choice(two_choice),
             },
+            PolicyKind::Replicate => Policy::Replicate {
+                workers: CpuSet::first_n(n_workers),
+            },
         }
     }
 
@@ -256,6 +285,7 @@ impl Policy {
         match self {
             Policy::Vanilla { .. } => PolicyKind::Vanilla,
             Policy::Falcon { .. } => PolicyKind::Falcon,
+            Policy::Replicate { .. } => PolicyKind::Replicate,
         }
     }
 
@@ -266,6 +296,10 @@ impl Policy {
         match self {
             Policy::Vanilla { workers } => workers.pick_by_hash(rx_hash),
             Policy::Falcon { config } => config.falcon_cpus.pick_by_hash(rx_hash),
+            // Replicate doesn't pin flows to an RSS core — the injector
+            // round-robins per packet and ignores this — but keep the
+            // hash pick as a sensible answer for callers that ask.
+            Policy::Replicate { workers } => workers.pick_by_hash(rx_hash),
         }
     }
 
@@ -294,6 +328,17 @@ impl Policy {
                     first,
                     worker,
                     second,
+                }
+            }
+            // Under SCR the executor never steers mid-pipeline — the
+            // packet runs to completion where it landed. Answer with
+            // the hash pick so the Choice contract stays total.
+            Policy::Replicate { workers } => {
+                let worker = workers.pick_by_hash(rx_hash);
+                Choice {
+                    first: worker,
+                    worker,
+                    second: false,
                 }
             }
         }

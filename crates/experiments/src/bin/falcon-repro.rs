@@ -22,7 +22,8 @@ fn usage() {
     eprintln!(
         "usage: falcon-repro [--quick] [--json] [--list] [--trace <out.json>] \
          [--stage-latency] [--dataplane] [--wire] [--split-gro] [--workers <n>] \
-         [--flows <n>] [--flow-cache] [--flow-cache-entries <n>] \
+         [--flows <n>] [--policy <vanilla|falcon|replicate>] \
+         [--flow-cache] [--flow-cache-entries <n>] \
          [--dataplane-out <path>] [--dataplane-trace <out.json>] \
          [--sweep] [--sweep-out <path>] [--telemetry] \
          [--telemetry-interval-ms <n>] [--telemetry-out <path>] \
@@ -57,7 +58,13 @@ fn usage() {
          path, hit/miss/eviction/invalidation counters and the \
          cached-vs-uncached goodput ratio land in the artifact); \
          --flow-cache-entries sets its per-worker capacity (default \
-         4096, implies --flow-cache)\n\
+         4096, implies --flow-cache); --policy replicate adds the SCR \
+         leg to the --dataplane comparison and the --sweep grid (the \
+         same scenario under Policy::Replicate — per-flow round-robin \
+         spraying with per-worker replicated conntrack shards — plus \
+         the state-convergence differential oracle on drop-free wire \
+         runs); vanilla and falcon always run, so naming either is a \
+         no-op\n\
          figure ids: {}",
         figs::all()
             .iter()
@@ -79,6 +86,7 @@ fn main() -> ExitCode {
     let mut flows: u64 = 1;
     let mut flow_cache = false;
     let mut flow_cache_entries: usize = 4096;
+    let mut replicate = false;
     let mut dataplane_out: Option<String> = None;
     let mut dataplane_trace: Option<String> = None;
     let mut run_sweep = false;
@@ -121,6 +129,21 @@ fn main() -> ExitCode {
                 Some(n) if n > 0 => flows = n,
                 _ => {
                     eprintln!("--flows requires a positive integer");
+                    usage();
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--policy" => match args
+                .next()
+                .as_deref()
+                .and_then(falcon_dataplane::PolicyKind::from_label)
+            {
+                Some(falcon_dataplane::PolicyKind::Replicate) => replicate = true,
+                // Vanilla and falcon always run as the comparison's
+                // two standing legs.
+                Some(_) => {}
+                None => {
+                    eprintln!("--policy requires vanilla, falcon, or replicate");
                     usage();
                     return ExitCode::FAILURE;
                 }
@@ -326,6 +349,7 @@ fn main() -> ExitCode {
             wire,
             spec,
             cache_entries,
+            replicate,
         );
         if json {
             println!(
@@ -419,7 +443,16 @@ fn main() -> ExitCode {
             if split_gro { ", split-gro 5-stage" } else { "" }
         );
         let cache_entries = (wire && flow_cache).then_some(flow_cache_entries);
-        let sweep = dataplane::run_sweep(scale, flows, workers, split_gro, 0, wire, cache_entries);
+        let sweep = dataplane::run_sweep(
+            scale,
+            flows,
+            workers,
+            split_gro,
+            0,
+            wire,
+            cache_entries,
+            replicate,
+        );
         if json {
             println!(
                 "{}",

@@ -19,8 +19,9 @@
 //! split run there would measure nothing.
 
 use falcon_dataplane::{
-    run_scenario, DataplaneComparison, DataplaneReport, FlowCacheComparison, PolicyKind, Scenario,
-    SweepPoint, SweepReport, TelemetryOverhead, TelemetrySpec, TrafficShape,
+    run_scenario, ConntrackOracle, DataplaneComparison, DataplaneReport, FlowCacheComparison,
+    PolicyKind, RunOutput, Scenario, SweepPoint, SweepReport, TelemetryOverhead, TelemetrySpec,
+    TrafficShape,
 };
 use falcon_trace::chrome;
 
@@ -77,7 +78,22 @@ pub fn run_comparison(
     split_gro: bool,
     wire: bool,
 ) -> DataplaneComparison {
-    run_comparison_with(scale, workers, flows, split_gro, wire, None, None)
+    run_comparison_with(scale, workers, flows, split_gro, wire, None, None, false)
+}
+
+/// Runs the replicate leg of a comparison and attaches it: the same
+/// scenario under `Policy::Replicate` (per-flow round-robin spraying
+/// with per-worker SCR conntrack shards), its speedup over vanilla,
+/// and — when both runs are drop-free wire runs — the SCR differential
+/// oracle against the vanilla ground truth. The oracle is only defined
+/// on drop-free pairs: a queue drop is a scheduling accident, so the
+/// two policies would legitimately track different packet sets.
+fn attach_replicate(cmp: &mut DataplaneComparison, scenario: &Scenario, vanilla_out: &RunOutput) {
+    let repl_out = run_scenario(&scenario.clone().with_policy(PolicyKind::Replicate));
+    let report = DataplaneReport::from_run(&repl_out);
+    let oracle = (scenario.wire && vanilla_out.dropped() == 0 && repl_out.dropped() == 0)
+        .then(|| ConntrackOracle::new(vanilla_out, &repl_out));
+    cmp.set_replicate(report, oracle);
 }
 
 /// [`run_comparison`] with live telemetry on the Falcon run, and
@@ -95,6 +111,12 @@ pub fn run_comparison(
 /// cached-vs-uncached pair lands in `flow_cache` — both legs best-of-3
 /// (the primary Falcon run counts as one uncached sample), the same
 /// one-sided-noise treatment the telemetry-overhead pair gets.
+///
+/// When `replicate` is set, a third leg runs the same scenario under
+/// `Policy::Replicate` and the comparison carries its report, its
+/// speedup over vanilla, and (drop-free wire runs) the SCR
+/// differential oracle against the vanilla ground truth.
+#[allow(clippy::too_many_arguments)]
 pub fn run_comparison_with(
     scale: Scale,
     workers: usize,
@@ -103,15 +125,18 @@ pub fn run_comparison_with(
     wire: bool,
     telemetry: Option<TelemetrySpec>,
     flow_cache: Option<usize>,
+    replicate: bool,
 ) -> DataplaneComparison {
     let scenario = scenario_for(scale, workers, flows, split_gro, wire);
-    let vanilla = DataplaneReport::from_run(&run_scenario(
-        &scenario.clone().with_policy(PolicyKind::Vanilla),
-    ));
+    let vanilla_out = run_scenario(&scenario.clone().with_policy(PolicyKind::Vanilla));
+    let vanilla = DataplaneReport::from_run(&vanilla_out);
     let mut falcon_scenario = scenario.clone().with_policy(PolicyKind::Falcon);
     falcon_scenario.telemetry = telemetry.clone();
     let falcon = DataplaneReport::from_run(&run_scenario(&falcon_scenario));
     let mut cmp = DataplaneComparison::new(&scenario, vanilla, falcon);
+    if replicate {
+        attach_replicate(&mut cmp, &scenario, &vanilla_out);
+    }
     if let Some(spec) = telemetry {
         let interval_ms = if spec.interval_ms == 0 {
             falcon_telemetry::DEFAULT_INTERVAL_MS
@@ -296,6 +321,22 @@ fn render_report(r: &DataplaneReport, out: &mut String) {
             f.hit_rate, f.hits, f.misses, f.evictions, f.invalidations,
         );
     }
+    if let Some(c) = &r.conntrack {
+        let _ = writeln!(
+            out,
+            "            conntrack: {} conn(s), {} pkts, {} updates ({} transitions, {} delta records)  states syn/est/fin/closed/rst {}/{}/{}/{}/{}",
+            c.summary.entries,
+            c.summary.pkts,
+            c.updates,
+            c.transitions,
+            c.scr_delta_records,
+            c.summary.syn_seen,
+            c.summary.established,
+            c.summary.fin_seen,
+            c.summary.closed,
+            c.summary.reset,
+        );
+    }
     if let Some(t) = &r.telemetry {
         let _ = writeln!(
             out,
@@ -326,11 +367,24 @@ pub fn render(cmp: &DataplaneComparison) -> String {
     );
     render_report(&cmp.vanilla, &mut out);
     render_report(&cmp.falcon, &mut out);
+    if let Some(r) = &cmp.replicate {
+        render_report(r, &mut out);
+    }
     let _ = writeln!(
         out,
         "  speedup   {:.2}x (falcon/vanilla throughput)",
         cmp.speedup
     );
+    if let Some(s) = cmp.speedup_replicate {
+        let _ = writeln!(out, "  speedup   {s:.2}x (replicate/vanilla throughput)");
+    }
+    if let Some(o) = &cmp.conntrack_oracle {
+        let _ = writeln!(
+            out,
+            "  scr oracle: tables_equal {}  deliveries_equal {}  ({} conn(s), {} pkts)",
+            o.tables_equal, o.deliveries_equal, o.entries, o.pkts,
+        );
+    }
     if let Some(o) = &cmp.telemetry_overhead {
         let _ = writeln!(
             out,
@@ -380,6 +434,12 @@ pub fn render(cmp: &DataplaneComparison) -> String {
 /// With `flow_cache` set (per-worker entries; wire mode only), every
 /// point also runs a third, cached Falcon leg and records the
 /// cached-vs-uncached pair in its comparison's `flow_cache` field.
+///
+/// With `replicate` set, every point also runs the SCR leg and records
+/// it (plus the drop-free-wire differential oracle) in its
+/// comparison — the single-heavy-flow column is where Replicate's
+/// guard-free spraying visibly beats Falcon's per-flow serialization.
+#[allow(clippy::too_many_arguments)]
 pub fn run_sweep(
     scale: Scale,
     max_flows: u64,
@@ -388,6 +448,7 @@ pub fn run_sweep(
     chaos_steer_period: u64,
     wire: bool,
     flow_cache: Option<usize>,
+    replicate: bool,
 ) -> SweepReport {
     let max_flows = max_flows.max(1);
     let max_workers = max_workers.max(1);
@@ -410,13 +471,15 @@ pub fn run_sweep(
             scenario.oversubscribe = true;
             packets_per_point = scenario.packets;
             shape = scenario.shape.label();
-            let vanilla = DataplaneReport::from_run(&run_scenario(
-                &scenario.clone().with_policy(PolicyKind::Vanilla),
-            ));
+            let vanilla_out = run_scenario(&scenario.clone().with_policy(PolicyKind::Vanilla));
+            let vanilla = DataplaneReport::from_run(&vanilla_out);
             let falcon = DataplaneReport::from_run(&run_scenario(
                 &scenario.clone().with_policy(PolicyKind::Falcon),
             ));
             let mut comparison = DataplaneComparison::new(&scenario, vanilla, falcon);
+            if replicate {
+                attach_replicate(&mut comparison, &scenario, &vanilla_out);
+            }
             if let Some(entries) = flow_cache {
                 // One cached run per point: a grid already multiplies
                 // run count, so the sweep skips the best-of-3 noise
@@ -481,8 +544,16 @@ pub fn render_sweep(sweep: &SweepReport) -> String {
             c.speedup,
             c.vanilla.latency.p99_ns as f64 / 1e3,
             c.falcon.latency.p99_ns as f64 / 1e3,
-            c.vanilla.reorder_violations + c.falcon.reorder_violations,
+            c.vanilla.reorder_violations
+                + c.falcon.reorder_violations
+                + c.replicate.as_ref().map_or(0, |r| r.reorder_violations),
         );
+        if let (Some(r), Some(s)) = (&c.replicate, c.speedup_replicate) {
+            let _ = write!(out, " | repl {:>10.0} pps {s:>5.2}x", r.throughput_pps);
+            if let Some(o) = &c.conntrack_oracle {
+                let _ = write!(out, " oracle {}", if o.holds() { "ok" } else { "FAIL" });
+            }
+        }
         if let Some(f) = &c.flow_cache {
             let _ = write!(
                 out,
@@ -604,6 +675,7 @@ mod tests {
                 prom_addr_tx: None,
             }),
             None,
+            false,
         );
         // Provenance stamp rides on every comparison artifact.
         assert_eq!(cmp.meta.schema_version, 1);
@@ -631,7 +703,7 @@ mod tests {
 
     #[test]
     fn quick_flow_cache_comparison_records_both_legs() {
-        let cmp = run_comparison_with(Scale::Quick, 2, 2, false, true, None, Some(1024));
+        let cmp = run_comparison_with(Scale::Quick, 2, 2, false, true, None, Some(1024), false);
         let f = cmp.flow_cache.as_ref().expect("cached leg recorded");
         assert_eq!(f.entries, 1024);
         assert!(f.cached.wire);
@@ -657,8 +729,32 @@ mod tests {
     }
 
     #[test]
+    fn quick_replicate_comparison_carries_oracle() {
+        let cmp = run_comparison_with(Scale::Quick, 2, 1, false, true, None, None, true);
+        let r = cmp.replicate.as_ref().expect("replicate leg recorded");
+        assert!(r.wire);
+        assert_eq!(r.policy, "replicate");
+        assert_eq!(r.delivered + r.dropped, r.injected);
+        assert_eq!(r.reorder_violations, 0, "replicate leg ran a packet twice");
+        let ct = r.conntrack.as_ref().expect("conntrack report on wire run");
+        assert!(ct.updates > 0);
+        assert!(cmp.speedup_replicate.expect("speedup computed") > 0.0);
+        if cmp.vanilla.dropped == 0 && r.dropped == 0 {
+            let o = cmp.conntrack_oracle.as_ref().expect("drop-free oracle");
+            assert!(o.tables_equal, "SCR merge diverged from ground truth");
+            assert!(o.deliveries_equal, "delivery multisets diverged");
+        }
+        let text = render(&cmp);
+        assert!(text.contains("replicate"), "{text}");
+        assert!(text.contains("conntrack"), "{text}");
+        let json = serde_json::to_string(&cmp).expect("serializes");
+        assert!(json.contains("\"speedup_replicate\""));
+        assert!(json.contains("\"conntrack\""));
+    }
+
+    #[test]
     fn tiny_sweep_covers_the_grid() {
-        let sweep = run_sweep(Scale::Quick, 2, 1, false, 0, false, None);
+        let sweep = run_sweep(Scale::Quick, 2, 1, false, 0, false, None, false);
         assert_eq!(sweep.points.len(), 2, "2 flows x 1 worker");
         assert_eq!(sweep.total_reorder_violations(), 0);
         for p in &sweep.points {

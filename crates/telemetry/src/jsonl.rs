@@ -120,6 +120,14 @@ pub fn sample_lines(
                         ("invalidations", int(d.flow_cache_invalidations)),
                     ]),
                 ),
+                (
+                    "conntrack",
+                    obj(vec![
+                        ("updates", int(d.conntrack_updates)),
+                        ("transitions", int(d.conntrack_transitions)),
+                        ("scr_delta_records", int(d.scr_delta_records)),
+                    ]),
+                ),
                 ("stall", stall.to_value()),
                 ("ring_depth", int(c.ring_depth)),
                 ("depth_staleness", int(c.depth_staleness)),

@@ -85,6 +85,21 @@ pub fn render(t_ns: u64, workers: &[WorkerSample], stages: &[String]) -> String 
         "Flow-verdict cache entries dropped by FDB epoch bumps.",
         &per_worker(&|_, s| s.counters.flow_cache_invalidations),
     );
+    counter(
+        "falcon_worker_conntrack_updates_total",
+        "Conntrack observations absorbed by this worker's SCR shard.",
+        &per_worker(&|_, s| s.counters.conntrack_updates),
+    );
+    counter(
+        "falcon_worker_conntrack_transitions_total",
+        "Conntrack observations that moved a connection's state machine.",
+        &per_worker(&|_, s| s.counters.conntrack_transitions),
+    );
+    counter(
+        "falcon_worker_scr_delta_records_total",
+        "Compact state-delta records appended for the SCR merge.",
+        &per_worker(&|_, s| s.counters.scr_delta_records),
+    );
 
     let mut drop_lines = Vec::new();
     for (w, s) in workers.iter().enumerate() {

@@ -110,6 +110,12 @@ pub struct ShardCounters {
     pub flow_cache_evictions: u64,
     /// Entries dropped because an FDB epoch bump outdated them.
     pub flow_cache_invalidations: u64,
+    /// Conntrack observations absorbed by this worker's SCR shard.
+    pub conntrack_updates: u64,
+    /// Observations that moved a connection's replica state machine.
+    pub conntrack_transitions: u64,
+    /// Compact state-delta records appended for the SCR merge.
+    pub scr_delta_records: u64,
 }
 
 impl ShardCounters {
@@ -159,6 +165,15 @@ impl ShardCounters {
             flow_cache_invalidations: self
                 .flow_cache_invalidations
                 .saturating_sub(earlier.flow_cache_invalidations),
+            conntrack_updates: self
+                .conntrack_updates
+                .saturating_sub(earlier.conntrack_updates),
+            conntrack_transitions: self
+                .conntrack_transitions
+                .saturating_sub(earlier.conntrack_transitions),
+            scr_delta_records: self
+                .scr_delta_records
+                .saturating_sub(earlier.scr_delta_records),
         }
     }
 
@@ -187,6 +202,9 @@ impl ShardCounters {
         self.flow_cache_misses += delta.flow_cache_misses;
         self.flow_cache_evictions += delta.flow_cache_evictions;
         self.flow_cache_invalidations += delta.flow_cache_invalidations;
+        self.conntrack_updates += delta.conntrack_updates;
+        self.conntrack_transitions += delta.conntrack_transitions;
+        self.scr_delta_records += delta.scr_delta_records;
     }
 }
 

@@ -1,0 +1,172 @@
+//! Bridge-stage conntrack observation: the slice of the inner frame
+//! the stateful bridge feeds into `falcon-conntrack`.
+//!
+//! [`conn_observe`] parses the decapsulated inner frame into the
+//! 5-tuple key, the TCP control flags (UDP datagrams observe as
+//! flag-less data), and the application payload length — exactly the
+//! inputs `ConnShard::record` / `ConnTable::observe` take. It runs in
+//! the bridge stage next to `bridge_lookup` (and *instead of* it on the
+//! flow-cache fast path, where the cached verdict skips the FDB work
+//! but must never skip the state update).
+
+use falcon_conntrack::{ConnKey, SegFlags};
+use falcon_packet::{
+    EtherType, EthernetHdr, IpProto, Ipv4Hdr, TcpHdr, UdpHdr, ETHERNET_HDR_LEN, IPV4_HDR_LEN,
+    TCP_HDR_LEN, UDP_HDR_LEN,
+};
+
+/// One packet's contribution to the conntrack table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnObservation {
+    /// The inner 5-tuple.
+    pub key: ConnKey,
+    /// Control flags driving the state machine (all-clear for UDP).
+    pub flags: SegFlags,
+    /// Application payload bytes (the byte-counter increment).
+    pub payload_len: u64,
+}
+
+/// Parses the inner frame into a conntrack observation. Returns `None`
+/// for frames that don't dissect to a supported 5-tuple — the caller
+/// treats that as a no-op, which cannot happen for frames that passed
+/// the bridge's own `dissect_flow` (or a cached verdict, which proved
+/// the same thing when it was filled).
+pub fn conn_observe(inner: &[u8]) -> Option<ConnObservation> {
+    let eth = EthernetHdr::parse(inner).ok()?;
+    if eth.ethertype != EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4Hdr::parse(inner.get(ETHERNET_HDR_LEN..)?).ok()?;
+    let l4 = inner.get(ETHERNET_HDR_LEN + IPV4_HDR_LEN..)?;
+    let l4_len = (ip.total_len as usize).checked_sub(IPV4_HDR_LEN)?;
+    match ip.proto {
+        IpProto::Tcp => {
+            let tcp = TcpHdr::parse(l4).ok()?;
+            Some(ConnObservation {
+                key: ConnKey {
+                    src_addr: ip.src.0,
+                    dst_addr: ip.dst.0,
+                    src_port: tcp.src_port,
+                    dst_port: tcp.dst_port,
+                    proto: 6,
+                },
+                flags: SegFlags {
+                    syn: tcp.flags.syn,
+                    fin: tcp.flags.fin,
+                    rst: tcp.flags.rst,
+                },
+                payload_len: l4_len.checked_sub(TCP_HDR_LEN)? as u64,
+            })
+        }
+        IpProto::Udp => {
+            let udp = UdpHdr::parse(l4).ok()?;
+            Some(ConnObservation {
+                key: ConnKey {
+                    src_addr: ip.src.0,
+                    dst_addr: ip.dst.0,
+                    src_port: udp.src_port,
+                    dst_port: udp.dst_port,
+                    proto: 17,
+                },
+                flags: SegFlags::data(),
+                payload_len: l4_len.checked_sub(UDP_HDR_LEN)? as u64,
+            })
+        }
+        IpProto::Other(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FrameFactory;
+    use falcon_packet::encap::decap_bounds;
+    use falcon_packet::TcpFlags;
+
+    #[test]
+    fn udp_frame_observes_as_data() {
+        let f = FrameFactory::default();
+        let inner = f.inner_frame(false, 2, 0, 300);
+        let obs = conn_observe(&inner).unwrap();
+        assert_eq!(obs.flags, SegFlags::data());
+        assert_eq!(obs.payload_len, 300);
+        assert_eq!(obs.key.proto, 17);
+        assert_eq!(obs.key.dst_port, f.inner_keys(2, false).dst_port);
+    }
+
+    #[test]
+    fn tcp_frame_observes_header_flags() {
+        let f = FrameFactory::default();
+        let inner = f.inner_frame(true, 1, 7, 512);
+        let obs = conn_observe(&inner).unwrap();
+        // Factory data frames are ACK-only: ACK never drives the
+        // machine, so the observation is flag-less data.
+        assert_eq!(obs.flags, SegFlags::data());
+        assert_eq!(obs.payload_len, 512);
+        assert_eq!(obs.key.proto, 6);
+        let keys = f.inner_keys(1, true);
+        assert_eq!(obs.key.src_port, keys.src_port);
+        assert_eq!(obs.key.dst_port, keys.dst_port);
+    }
+
+    #[test]
+    fn ctrl_frame_carries_syn_fin_rst() {
+        let f = FrameFactory::default();
+        for (tf, want) in [
+            (
+                TcpFlags {
+                    syn: true,
+                    ack: false,
+                    fin: false,
+                    psh: false,
+                    rst: false,
+                },
+                SegFlags {
+                    syn: true,
+                    fin: false,
+                    rst: false,
+                },
+            ),
+            (
+                TcpFlags {
+                    syn: false,
+                    ack: true,
+                    fin: true,
+                    psh: false,
+                    rst: false,
+                },
+                SegFlags {
+                    syn: false,
+                    fin: true,
+                    rst: false,
+                },
+            ),
+            (
+                TcpFlags {
+                    syn: false,
+                    ack: false,
+                    fin: false,
+                    psh: false,
+                    rst: true,
+                },
+                SegFlags {
+                    syn: false,
+                    fin: false,
+                    rst: true,
+                },
+            ),
+        ] {
+            let wire = f.tcp_ctrl_wire(0, 9, 64, tf);
+            let b = decap_bounds(&wire).unwrap();
+            let obs = conn_observe(&wire[b.inner]).unwrap();
+            assert_eq!(obs.flags, want);
+            assert_eq!(obs.payload_len, 64);
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_silent_no_op() {
+        assert_eq!(conn_observe(&[]), None);
+        assert_eq!(conn_observe(&[0u8; 64]), None);
+    }
+}

@@ -170,6 +170,34 @@ impl FrameFactory {
         segs
     }
 
+    /// One encapsulated TCP segment with explicit control flags — the
+    /// connection-lifecycle traffic (SYN/FIN/RST) the conntrack
+    /// conformance tests inject. Single segment on purpose: control
+    /// segments are never TSO'd, so they pass GRO untouched.
+    pub fn tcp_ctrl_wire(
+        &self,
+        flow: u64,
+        seq: u64,
+        payload_len: usize,
+        flags: TcpFlags,
+    ) -> Vec<u8> {
+        let (src_mac, dst_mac) = self.inner_macs(flow);
+        let keys = self.inner_keys(flow, true);
+        let payload = Self::payload(flow, seq, payload_len);
+        let mut inner = build_tcp_frame(
+            src_mac,
+            dst_mac,
+            &keys,
+            Self::tcp_seq0(seq, payload_len),
+            0,
+            flags,
+            0xFFFF,
+            &payload,
+        );
+        fill_l4_checksum(&mut inner).expect("generated frame has a valid L4 layout");
+        vxlan_encapsulate(&inner, &self.encap_params(flow))
+    }
+
     /// Digest of the payload the container must receive for message
     /// `(flow, seq)` — the conformance oracle.
     pub fn expected_digest(flow: u64, seq: u64, payload_len: usize) -> u64 {

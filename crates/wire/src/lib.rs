@@ -15,12 +15,14 @@
 //! [`stage::WireError`] to `DropReason::Malformed`.
 
 pub mod cache;
+pub mod conn;
 pub mod corrupt;
 pub mod factory;
 pub mod fdb;
 pub mod stage;
 
 pub use cache::{flow_cache_key, full_verdict, CacheStats, FlowCache, Lookup, Verdict};
+pub use conn::{conn_observe, ConnObservation};
 pub use corrupt::Corruptor;
 pub use factory::{FrameFactory, SlabFrameBuilder};
 pub use fdb::{Fdb, SharedFdb};

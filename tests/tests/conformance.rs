@@ -220,7 +220,7 @@ fn sweep_grid_chaos_conformance_holds() {
 fn sweep_report_audits_zero_violations_under_chaos() {
     use falcon_experiments::dataplane::run_sweep;
     use falcon_experiments::measure::Scale;
-    let sweep = run_sweep(Scale::Quick, 2, 2, true, 3, false, None);
+    let sweep = run_sweep(Scale::Quick, 2, 2, true, 3, false, None, false);
     assert_eq!(sweep.points.len(), 4, "2 flows x 2 workers");
     assert_eq!(sweep.total_reorder_violations(), 0);
     for p in &sweep.points {

@@ -1,0 +1,393 @@
+//! SCR conntrack differential conformance: replicated state must
+//! converge to serialized ground truth.
+//!
+//! The stateful bridge stage mutates a per-flow conntrack entry on
+//! every packet, which is exactly the kind of shared state the paper's
+//! per-(flow, device) serialization exists to protect. `Policy::
+//! Replicate` drops that protection — one flow's packets run
+//! concurrently on every worker — and compensates with State-Compute
+//! Replication: each worker tracks state in a private shard plus a
+//! compact delta log, and the post-run merge replays the logs in
+//! virtual-time order. The contract these tests enforce is the relaxed
+//! SCR contract:
+//!
+//! * the merged conntrack table is **byte-identical** to the table a
+//!   serialized policy builds from the same packets (state machine,
+//!   packet/byte counters, last-seen clocks — everything);
+//! * the delivered `(flow, seq, digest)` multiset is identical
+//!   (replication may reorder, never corrupt or drop);
+//! * delivery order per flow is allowed to differ — that is the whole
+//!   trade — but no (flow, checkpoint, seq) may execute twice.
+//!
+//! Corruption and chaos steering layer on top: bit-flip drops are
+//! content-based and the observation only runs after the bridge op
+//! succeeds, so all three policies track the identical packet set even
+//! when a third of the wire is being flipped.
+
+use falcon_conntrack::ConnState;
+use falcon_dataplane::{
+    rss_hash_for_flow, run_scenario, run_scenario_from, Injector, PolicyKind, RunOutput, Scenario,
+    TrafficShape,
+};
+use falcon_packet::{PktDesc, TcpFlags, WireBuf};
+use falcon_trace::DropReason;
+use falcon_wire::FrameFactory;
+
+/// Wire-mode scenario sized for differential checking: the ring holds
+/// the whole run, so backpressure can never drop a packet. Ring drops
+/// are timing accidents — two policies would legitimately track
+/// different packet sets — so every differential config here must be
+/// drop-free at the rings by construction.
+fn conn_scenario(policy: PolicyKind, workers: usize, flows: u64, packets: u64) -> Scenario {
+    Scenario {
+        policy,
+        workers,
+        flows,
+        packets,
+        payload: 512,
+        work_scale_milli: 100,
+        inject_gap_ns: 0,
+        pin: false,
+        oversubscribe: true,
+        trace_capacity: 1 << 18,
+        ring_capacity: 1 << 15,
+        wire: true,
+        ..Scenario::default()
+    }
+}
+
+/// Same, on the Figure-13 TCP-4KB split-GRO shape.
+fn conn_split_scenario(policy: PolicyKind, workers: usize, flows: u64, packets: u64) -> Scenario {
+    let mut s = conn_scenario(policy, workers, flows, packets);
+    s.split_gro = true;
+    s.shape = TrafficShape::TcpGro { mss: 1448 };
+    s.payload = 4096;
+    s
+}
+
+/// The differential oracle across steering policies: byte-identical
+/// merged conntrack tables, identical delivery multisets, identical
+/// drop books, and a clean (policy-appropriate) order audit on every
+/// leg.
+fn assert_convergence(legs: &[(&str, &RunOutput)]) {
+    let (ground_name, ground) = legs[0];
+    for (name, out) in legs {
+        assert_eq!(
+            out.drops_by_reason()[DropReason::Ring.index()],
+            0,
+            "{name} leg dropped at a ring; differential runs must be sized loss-free"
+        );
+        let (checks, violations) = out.order_audit();
+        assert!(checks > 0, "{name} leg audited nothing");
+        assert_eq!(violations, 0, "{name} leg failed its order audit");
+    }
+    let ground_table = ground.conntrack_table().expect("wire runs track state");
+    let mut ground_deliveries = ground.deliveries();
+    ground_deliveries.sort_unstable();
+    for (name, out) in &legs[1..] {
+        let table = out.conntrack_table().expect("wire runs track state");
+        assert_eq!(
+            ground_table, table,
+            "{name} conntrack table diverged from {ground_name} ground truth"
+        );
+        let mut deliveries = out.deliveries();
+        deliveries.sort_unstable();
+        assert_eq!(
+            ground_deliveries, deliveries,
+            "{name} delivered a different (flow, seq, digest) multiset than {ground_name}"
+        );
+        assert_eq!(
+            ground.drops_by_reason(),
+            out.drops_by_reason(),
+            "{name} changed drop accounting vs {ground_name}"
+        );
+        assert_eq!(
+            ground.malformed_per_stage(),
+            out.malformed_per_stage(),
+            "{name} moved a malformed drop to a different stage vs {ground_name}"
+        );
+    }
+}
+
+/// Clean UDP wire: all three policies build byte-identical tables and
+/// the bridge stage observed every packet exactly once.
+#[test]
+fn three_policies_build_identical_tables_on_clean_udp() {
+    let base = conn_scenario(PolicyKind::Vanilla, 3, 4, 3_000);
+    let vanilla = run_scenario(&base);
+    let falcon = run_scenario(&base.clone().with_policy(PolicyKind::Falcon));
+    let replicate = run_scenario(&base.clone().with_policy(PolicyKind::Replicate));
+    assert_convergence(&[
+        ("vanilla", &vanilla),
+        ("falcon", &falcon),
+        ("replicate", &replicate),
+    ]);
+    let table = vanilla.conntrack_table().expect("wire run tracks state");
+    assert_eq!(table.len() as u64, base.flows);
+    let summary = table.summary();
+    assert_eq!(summary.pkts, base.packets);
+    // UDP never carries control flags: every flow folds to Established.
+    assert_eq!(summary.established, base.flows);
+    for (name, out) in [("vanilla", &vanilla), ("replicate", &replicate)] {
+        let c = out.conntrack_counters();
+        assert_eq!(c.updates, base.packets, "{name} shard update count");
+        assert!(c.delta_records > 0, "{name} logged no merge deltas");
+    }
+    // Replicate actually sprayed the flows across workers.
+    let active = replicate
+        .workers_stats
+        .iter()
+        .filter(|w| w.delivered > 0)
+        .count();
+    assert_eq!(
+        active, 3,
+        "replicate must spread packets across all workers"
+    );
+}
+
+/// Split-GRO TCP: the multi-segment trains coalesce before the bridge,
+/// so the shards observe one coalesced frame per message on every
+/// policy — and the tables still match byte for byte.
+#[test]
+fn three_policies_converge_on_split_gro_tcp() {
+    let base = conn_split_scenario(PolicyKind::Vanilla, 3, 2, 1_200);
+    let vanilla = run_scenario(&base);
+    let falcon = run_scenario(&base.clone().with_policy(PolicyKind::Falcon));
+    let replicate = run_scenario(&base.clone().with_policy(PolicyKind::Replicate));
+    assert_convergence(&[
+        ("vanilla", &vanilla),
+        ("falcon", &falcon),
+        ("replicate", &replicate),
+    ]);
+    let summary = vanilla
+        .conntrack_table()
+        .expect("wire run tracks state")
+        .summary();
+    assert_eq!(summary.entries, base.flows);
+    assert_eq!(
+        summary.pkts, base.packets,
+        "one coalesced observation per injected message"
+    );
+}
+
+/// ~30 % corruption: flips kill frames at content-determined stages, so
+/// the surviving packet set — and therefore the tables — stay identical
+/// across all three policies. A frame the bridge rejects must never
+/// touch the table.
+#[test]
+fn corruption_drops_identically_across_policies() {
+    let mut base = conn_scenario(PolicyKind::Vanilla, 3, 4, 4_000);
+    base.corrupt_per_million = 300_000;
+    base.wire_seed = 7;
+    let vanilla = run_scenario(&base);
+    assert!(vanilla.corrupted_segments > 0, "the corruptor never fired");
+    assert!(
+        vanilla.drops_by_reason()[DropReason::Malformed.index()] > 0,
+        "30 % corruption must kill some frames"
+    );
+    let falcon = run_scenario(&base.clone().with_policy(PolicyKind::Falcon));
+    let replicate = run_scenario(&base.clone().with_policy(PolicyKind::Replicate));
+    assert_eq!(vanilla.corrupted_segments, replicate.corrupted_segments);
+    assert_convergence(&[
+        ("vanilla", &vanilla),
+        ("falcon", &falcon),
+        ("replicate", &replicate),
+    ]);
+    // The table saw exactly the packets that survived *to* the bridge:
+    // deliveries plus the frames the later deliver-verify stage killed
+    // (observed, then dropped on the inner checksum).
+    let summary = vanilla
+        .conntrack_table()
+        .expect("wire run tracks state")
+        .summary();
+    assert!(summary.pkts < base.packets, "corruption thinned the stream");
+    let per_stage = vanilla.malformed_per_stage();
+    let post_bridge = per_stage.last().copied().unwrap_or(0);
+    assert_eq!(
+        summary.pkts,
+        vanilla.delivered() + post_bridge,
+        "table pkts must equal deliveries plus post-bridge kills"
+    );
+}
+
+/// Chaos steering under Replicate: forced rotation bounces packets
+/// across workers mid-pipeline (guard-free hops, the merge's worst
+/// case), while vanilla stays the serialized reference — the merge
+/// still reconciles exactly.
+#[test]
+fn chaos_steering_cannot_break_the_merge() {
+    let mut base = conn_scenario(PolicyKind::Vanilla, 3, 2, 2_000);
+    base.chaos_steer_period = 2;
+    let vanilla = run_scenario(&base);
+    let replicate = run_scenario(&base.clone().with_policy(PolicyKind::Replicate));
+    assert_convergence(&[("vanilla", &vanilla), ("replicate", &replicate)]);
+    // Chaos rotation forced real cross-worker hops on the replicate
+    // leg: more than one worker must have run bridge work per flow.
+    let active = replicate
+        .workers_stats
+        .iter()
+        .filter(|w| w.processed.iter().sum::<u64>() > 0)
+        .count();
+    assert!(active > 1, "chaos steering never left the home worker");
+}
+
+/// Corruption and chaos steering together on the split shape — the
+/// adversarial config from the flow-cache suite, now with three
+/// policies and the state oracle on top.
+#[test]
+fn corruption_and_chaos_survive_on_split_shape() {
+    let mut base = conn_split_scenario(PolicyKind::Vanilla, 3, 2, 1_200);
+    base.corrupt_per_million = 200_000;
+    base.wire_seed = 21;
+    base.chaos_steer_period = 2;
+    let vanilla = run_scenario(&base);
+    assert!(vanilla.corrupted_segments > 0, "the corruptor never fired");
+    let falcon = run_scenario(&base.clone().with_policy(PolicyKind::Falcon));
+    let replicate = run_scenario(&base.clone().with_policy(PolicyKind::Replicate));
+    assert_convergence(&[
+        ("vanilla", &vanilla),
+        ("falcon", &falcon),
+        ("replicate", &replicate),
+    ]);
+}
+
+/// Scripted TCP lifecycle source: for every flow, a SYN, `data_per_flow`
+/// data segments, a FIN, and a second FIN — plus an RST tail on flow 0.
+/// Sequence numbers are the virtual clock, so the reference end state is
+/// exact: flow 0 ends `Reset`, everything else `Closed`.
+fn lifecycle_source(flows: u64, data_per_flow: u64) -> impl FnOnce(&mut Injector) + Send + 'static {
+    move |inj: &mut Injector| {
+        let factory = FrameFactory::default();
+        let payload = 256usize;
+        let mut id = 0u64;
+        let syn = TcpFlags {
+            syn: true,
+            ack: false,
+            psh: false,
+            fin: false,
+            rst: false,
+        };
+        let fin = TcpFlags {
+            syn: false,
+            ack: true,
+            psh: false,
+            fin: true,
+            rst: false,
+        };
+        let rst = TcpFlags {
+            syn: false,
+            ack: false,
+            psh: false,
+            fin: false,
+            rst: true,
+        };
+        let mut send = |inj: &mut Injector, flow: u64, seq: u64, flags: TcpFlags| {
+            let wire = factory.tcp_ctrl_wire(flow, seq, payload, flags);
+            let desc = PktDesc::new(id, flow, seq, rss_hash_for_flow(flow), payload as u32)
+                .with_wire(WireBuf::segments(vec![wire]));
+            inj.inject(desc);
+            id += 1;
+        };
+        // Interleave flows on purpose: arrival order across flows is
+        // irrelevant, virtual time within a flow is what replays.
+        for seq in 0..data_per_flow + 3 {
+            for flow in 0..flows {
+                let flags = match seq {
+                    0 => syn,
+                    s if s <= data_per_flow => TcpFlags::data(),
+                    s if s == data_per_flow + 1 => fin,
+                    _ => fin,
+                };
+                send(inj, flow, seq, flags);
+            }
+        }
+        // Flow 0's connection dies hard after the close.
+        send(inj, 0, data_per_flow + 3, rst);
+    }
+}
+
+/// The SYN/data/FIN/FIN(/RST) lifecycle through the real pipeline, all
+/// three policies: every leg's merged table lands on the exact
+/// reference end states, byte-identically.
+#[test]
+fn tcp_lifecycle_reaches_exact_end_states_on_all_policies() {
+    let flows = 3u64;
+    let data_per_flow = 40u64;
+    let packets = flows * (data_per_flow + 3) + 1;
+    let factory = FrameFactory::default();
+    let mut legs: Vec<(&str, RunOutput)> = Vec::new();
+    for (name, policy) in [
+        ("vanilla", PolicyKind::Vanilla),
+        ("falcon", PolicyKind::Falcon),
+        ("replicate", PolicyKind::Replicate),
+    ] {
+        let s = conn_scenario(policy, 3, flows, packets);
+        let (out, ()) = run_scenario_from(&s, lifecycle_source(flows, data_per_flow));
+        legs.push((name, out));
+    }
+    let views: Vec<(&str, &RunOutput)> = legs.iter().map(|(n, o)| (*n, o)).collect();
+    assert_convergence(&views);
+    let table = legs[0].1.conntrack_table().expect("wire run tracks state");
+    assert_eq!(table.len() as u64, flows);
+    for flow in 0..flows {
+        let key = {
+            let keys = factory.inner_keys(flow, true);
+            falcon_conntrack::ConnKey {
+                src_addr: keys.src_addr,
+                dst_addr: keys.dst_addr,
+                src_port: keys.src_port,
+                dst_port: keys.dst_port,
+                proto: 6,
+            }
+        };
+        let entry = table.get(&key).expect("flow tracked");
+        let want = if flow == 0 {
+            ConnState::Reset
+        } else {
+            ConnState::Closed
+        };
+        assert_eq!(entry.state, want, "flow {flow} end state");
+        let pkts = data_per_flow + 3 + u64::from(flow == 0);
+        assert_eq!(entry.pkts, pkts, "flow {flow} packet count");
+        assert_eq!(entry.bytes, pkts * 256, "flow {flow} byte count");
+        assert_eq!(
+            entry.last_seen,
+            data_per_flow + 2 + u64::from(flow == 0),
+            "flow {flow} virtual last-seen"
+        );
+    }
+}
+
+/// Satellite: the flow-verdict fast path is stateful-correct. A fresh
+/// cache hit skips the FDB lookup but must never skip the conntrack
+/// update — cached and uncached legs build byte-identical tables with
+/// identical update counts.
+#[test]
+fn flow_cache_hit_never_skips_the_conntrack_update() {
+    for policy in [
+        PolicyKind::Vanilla,
+        PolicyKind::Falcon,
+        PolicyKind::Replicate,
+    ] {
+        let s = conn_scenario(policy, 2, 3, 3_000);
+        let uncached = run_scenario(&s);
+        let mut hot_s = s.clone();
+        hot_s.flow_cache = true;
+        hot_s.flow_cache_entries = 4096;
+        let hot = run_scenario(&hot_s);
+        let stats = hot.flow_cache_stats();
+        assert!(stats.hits > 0, "{policy:?} cached leg never hit");
+        let cold_table = uncached.conntrack_table().expect("wire run tracks state");
+        let hot_table = hot.conntrack_table().expect("wire run tracks state");
+        assert_eq!(
+            cold_table, hot_table,
+            "{policy:?}: a cache hit skipped a conntrack update"
+        );
+        assert_eq!(
+            uncached.conntrack_counters().updates,
+            hot.conntrack_counters().updates,
+            "{policy:?}: cached leg absorbed a different observation count"
+        );
+        assert_eq!(hot.conntrack_counters().updates, s.packets);
+    }
+}

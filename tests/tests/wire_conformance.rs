@@ -154,7 +154,7 @@ fn wire_corruption_survives_chaos_steering_on_split_shape() {
 fn wire_sweep_artifact_carries_bytes_and_audits_clean() {
     use falcon_experiments::dataplane::run_sweep;
     use falcon_experiments::measure::Scale;
-    let sweep = run_sweep(Scale::Quick, 2, 2, false, 0, true, None);
+    let sweep = run_sweep(Scale::Quick, 2, 2, false, 0, true, None, false);
     assert_eq!(sweep.points.len(), 4, "2 flows x 2 workers");
     assert_eq!(sweep.total_reorder_violations(), 0);
     for p in &sweep.points {
